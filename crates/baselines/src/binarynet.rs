@@ -1,0 +1,447 @@
+//! BinaryNet-style binarised MLP with an XNOR/popcount inference path.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use poetbin_bits::{BitVec, FeatureMatrix};
+use poetbin_data::binary::to_tensor;
+use poetbin_nn::{Layer, Mode, Param, Tensor};
+
+use crate::MulticlassClassifier;
+
+/// A dense layer with weights binarised to ±1 in the forward pass and a
+/// straight-through gradient to the latent real weights (Courbariaux et
+/// al., 2016). Latent weights are clipped to `[-1, 1]` after every step by
+/// the trainer.
+pub struct BinarizedDense {
+    in_dim: usize,
+    out_dim: usize,
+    w: Param,
+    b: Param,
+    cache: Option<(Tensor, Tensor)>,
+}
+
+impl BinarizedDense {
+    /// Creates a binarised dense layer with small random latent weights.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..in_dim * out_dim)
+            .map(|_| rng.random_range(-0.5..0.5))
+            .collect();
+        BinarizedDense {
+            in_dim,
+            out_dim,
+            w: Param::new(Tensor::from_vec(data, vec![out_dim, in_dim])),
+            b: Param::new(Tensor::zeros(vec![out_dim])),
+            cache: None,
+        }
+    }
+
+    fn binarized_weights(&self) -> Tensor {
+        let mut wb = self.w.value.clone();
+        for v in wb.data_mut() {
+            *v = if *v >= 0.0 { 1.0 } else { -1.0 };
+        }
+        wb
+    }
+
+    /// The ±1 weight signs packed as bits (`weight >= 0` → 1), one
+    /// [`BitVec`] per output neuron — the format the XNOR path consumes.
+    pub fn sign_rows(&self) -> Vec<BitVec> {
+        (0..self.out_dim)
+            .map(|o| {
+                BitVec::from_fn(self.in_dim, |j| {
+                    self.w.value.data()[o * self.in_dim + j] >= 0.0
+                })
+            })
+            .collect()
+    }
+
+    /// The real-valued biases.
+    pub fn biases(&self) -> &[f32] {
+        self.b.value.data()
+    }
+}
+
+impl Layer for BinarizedDense {
+    fn forward(&mut self, x: Tensor, mode: Mode) -> Tensor {
+        let wb = self.binarized_weights();
+        let mut y = x.matmul_t(&wb);
+        let b = self.b.value.data();
+        for r in 0..y.rows() {
+            let row = &mut y.data_mut()[r * b.len()..(r + 1) * b.len()];
+            for (v, bias) in row.iter_mut().zip(b) {
+                *v += bias;
+            }
+        }
+        if mode == Mode::Train {
+            self.cache = Some((x, wb));
+        }
+        y
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        let (x, wb) = self
+            .cache
+            .take()
+            .expect("binarized dense backward without training forward");
+        // Straight-through: gradient w.r.t. the binarised weights flows to
+        // the latent weights where |w| <= 1.
+        let dw = grad.t_matmul(&x);
+        for ((g, d), latent) in self
+            .w
+            .grad
+            .data_mut()
+            .iter_mut()
+            .zip(dw.data())
+            .zip(self.w.value.data())
+        {
+            if latent.abs() <= 1.0 {
+                *g += d;
+            }
+        }
+        for r in 0..grad.rows() {
+            for (g, d) in self.b.grad.data_mut().iter_mut().zip(grad.row(r)) {
+                *g += d;
+            }
+        }
+        grad.matmul(&wb)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    fn name(&self) -> &'static str {
+        "binarized_dense"
+    }
+}
+
+/// Training configuration for [`BinaryNet`].
+#[derive(Clone, Debug)]
+pub struct BinaryNetConfig {
+    /// Hidden layer width.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Seed for weights and shuffling.
+    pub seed: u64,
+}
+
+impl Default for BinaryNetConfig {
+    fn default() -> Self {
+        BinaryNetConfig {
+            hidden: 128,
+            epochs: 25,
+            learning_rate: 0.01,
+            seed: 0,
+        }
+    }
+}
+
+/// A two-layer binarised classifier: binary features → binarised hidden
+/// layer with hard activations → binarised output layer.
+///
+/// As in Courbariaux et al., batch normalisation precedes the hard
+/// activation during training — without it the pre-activations of a wide
+/// binarised layer sit far outside the straight-through window and no
+/// gradient flows. At inference the batch norm reduces to a per-neuron
+/// threshold, which [`BinaryNet::to_xnor`] folds into the popcount
+/// comparison.
+pub struct BinaryNet {
+    hidden: BinarizedDense,
+    norm: poetbin_nn::BatchNorm,
+    output: BinarizedDense,
+    output_norm: poetbin_nn::BatchNorm,
+    classes: usize,
+}
+
+impl BinaryNet {
+    /// Trains the network on binary features with squared hinge loss and
+    /// latent-weight clipping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels` disagrees with `features` on length.
+    pub fn train(
+        features: &FeatureMatrix,
+        labels: &[usize],
+        classes: usize,
+        config: &BinaryNetConfig,
+    ) -> Self {
+        use poetbin_nn::{Adam, BatchNorm, Loss, Optimizer, SquaredHingeLoss};
+        let n = features.num_examples();
+        assert_eq!(labels.len(), n, "label / feature count mismatch");
+        let x = to_tensor(features);
+        let mut hidden = BinarizedDense::new(features.num_features(), config.hidden, config.seed);
+        let mut norm = BatchNorm::new(config.hidden);
+        let mut act = poetbin_nn::BinarySigmoid::new();
+        let mut output = BinarizedDense::new(config.hidden, classes, config.seed + 1);
+        let mut output_norm = BatchNorm::new(classes);
+        let mut adam = Adam::new(config.learning_rate);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        let loss = SquaredHingeLoss;
+
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(64) {
+                let bx = x.gather_rows(chunk);
+                let bt: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+                for p in hidden
+                    .params_mut()
+                    .into_iter()
+                    .chain(norm.params_mut())
+                    .chain(output.params_mut())
+                    .chain(output_norm.params_mut())
+                {
+                    p.zero_grad();
+                }
+                let h = hidden.forward(bx, Mode::Train);
+                let hn = norm.forward(h, Mode::Train);
+                let a = act.forward(hn, Mode::Train);
+                let scores = output_norm.forward(output.forward(a, Mode::Train), Mode::Train);
+                let (_, grad) = loss.loss_and_grad(&scores, &bt);
+                let grad = output.backward(output_norm.backward(grad));
+                let grad = act.backward(grad);
+                let grad = norm.backward(grad);
+                hidden.backward(grad);
+                let mut params: Vec<&mut Param> = hidden.params_mut();
+                params.extend(norm.params_mut());
+                params.extend(output.params_mut());
+                params.extend(output_norm.params_mut());
+                adam.step(&mut params);
+                // BinaryNet clips latent *binarised* weights to [-1, 1]
+                // after each step (batch-norm parameters stay free).
+                for p in hidden.params_mut().into_iter().chain(output.params_mut()) {
+                    for v in p.value.data_mut() {
+                        *v = v.clamp(-1.0, 1.0);
+                    }
+                }
+            }
+        }
+        BinaryNet {
+            hidden,
+            norm,
+            output,
+            output_norm,
+            classes,
+        }
+    }
+
+    /// Float-path scores (used by tests to validate the XNOR path).
+    pub fn scores(&mut self, features: &FeatureMatrix) -> Tensor {
+        let x = to_tensor(features);
+        let h = self.hidden.forward(x, Mode::Infer);
+        let mut a = self.norm.forward(h, Mode::Infer);
+        for v in a.data_mut() {
+            *v = if *v >= 0.0 { 1.0 } else { 0.0 };
+        }
+        self.output_norm
+            .forward(self.output.forward(a, Mode::Infer), Mode::Infer)
+    }
+
+    /// Extracts the pure bit-manipulation inference engine, folding the
+    /// inference-time batch norm into a per-neuron affine threshold.
+    pub fn to_xnor(&self) -> XnorClassifier {
+        use poetbin_nn::BatchNorm;
+        let eps = BatchNorm::epsilon();
+        let fold = |norm: &BatchNorm| {
+            let (mut scale, mut shift) = (Vec::new(), Vec::new());
+            for ((&g, &b), (&m, &v)) in norm
+                .gamma()
+                .iter()
+                .zip(norm.beta())
+                .zip(norm.running_mean().iter().zip(norm.running_var()))
+            {
+                let inv_std = 1.0 / (v + eps).sqrt();
+                scale.push(g * inv_std);
+                shift.push(b - g * inv_std * m);
+            }
+            (scale, shift)
+        };
+        let (hidden_scale, hidden_shift) = fold(&self.norm);
+        let (output_scale, output_shift) = fold(&self.output_norm);
+        XnorClassifier {
+            hidden_signs: self.hidden.sign_rows(),
+            hidden_bias: self.hidden.biases().to_vec(),
+            hidden_scale,
+            hidden_shift,
+            output_signs: self.output.sign_rows(),
+            output_bias: self.output.biases().to_vec(),
+            output_scale,
+            output_shift,
+            classes: self.classes,
+        }
+    }
+}
+
+impl MulticlassClassifier for BinaryNet {
+    fn predict(&self, features: &FeatureMatrix) -> Vec<usize> {
+        self.to_xnor().predict(features)
+    }
+}
+
+/// The XNOR/popcount inference path of a trained [`BinaryNet`].
+///
+/// With 0/1 activations and ±1 weights, a neuron's pre-activation is
+/// `Σ_j w_j x_j = 2·popcount(w_bits & x_bits) − popcount(x_bits) + bias` —
+/// two popcounts and a subtraction per neuron, the binary-MAC the paper's
+/// energy comparison models (§4.2).
+#[derive(Clone, Debug)]
+pub struct XnorClassifier {
+    hidden_signs: Vec<BitVec>,
+    hidden_bias: Vec<f32>,
+    hidden_scale: Vec<f32>,
+    hidden_shift: Vec<f32>,
+    output_signs: Vec<BitVec>,
+    output_bias: Vec<f32>,
+    output_scale: Vec<f32>,
+    output_shift: Vec<f32>,
+    classes: usize,
+}
+
+impl XnorClassifier {
+    fn neuron_preact(signs: &BitVec, bias: f32, x: &BitVec) -> f32 {
+        let matches = signs.count_and(x) as i64;
+        let active = x.count_ones() as i64;
+        (2 * matches - active) as f32 + bias
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Per-class scores for one example row.
+    pub fn scores_row(&self, row: &BitVec) -> Vec<f32> {
+        let hidden_bits = BitVec::from_fn(self.hidden_signs.len(), |o| {
+            let pre = Self::neuron_preact(&self.hidden_signs[o], self.hidden_bias[o], row);
+            // Folded batch norm: one multiply-compare per neuron — in
+            // hardware this is a fixed comparator threshold.
+            self.hidden_scale[o] * pre + self.hidden_shift[o] >= 0.0
+        });
+        (0..self.classes)
+            .map(|c| {
+                let pre =
+                    Self::neuron_preact(&self.output_signs[c], self.output_bias[c], &hidden_bits);
+                self.output_scale[c] * pre + self.output_shift[c]
+            })
+            .collect()
+    }
+}
+
+impl MulticlassClassifier for XnorClassifier {
+    fn predict(&self, features: &FeatureMatrix) -> Vec<usize> {
+        (0..features.num_examples())
+            .map(|e| {
+                let scores = self.scores_row(features.row(e));
+                scores
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 4-class task with *distributed* class signal: class =
+    /// maj(f0..f7) + 2·maj(f8..f15). Majority votes are exactly the
+    /// functions a ±1-weight neuron represents, so BinaryNet can learn
+    /// this (a label depending on one lone feature would drown in the
+    /// forced ±1 noise of the other inputs — the known weakness of fully
+    /// binarised layers).
+    fn four_class_task(n: usize, seed: u64) -> (FeatureMatrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<BitVec> = (0..n)
+            .map(|_| BitVec::from_fn(16, |_| rng.random::<bool>()))
+            .collect();
+        let m = FeatureMatrix::from_rows(rows);
+        let maj = |e: usize, lo: usize| {
+            (lo..lo + 8).filter(|&j| m.bit(e, j)).count() >= 4
+        };
+        let labels = (0..n)
+            .map(|e| usize::from(maj(e, 0)) + 2 * usize::from(maj(e, 8)))
+            .collect();
+        (m, labels)
+    }
+
+    #[test]
+    fn learns_simple_four_class_task() {
+        let (m, labels) = four_class_task(400, 3);
+        let net = BinaryNet::train(
+            &m,
+            &labels,
+            4,
+            &BinaryNetConfig {
+                hidden: 32,
+                epochs: 30,
+                learning_rate: 0.02,
+                seed: 1,
+            },
+        );
+        let acc = net.accuracy(&m, &labels);
+        assert!(acc > 0.9, "BinaryNet accuracy only {acc:.3}");
+    }
+
+    #[test]
+    fn xnor_path_matches_float_path() {
+        let (m, labels) = four_class_task(100, 5);
+        let mut net = BinaryNet::train(
+            &m,
+            &labels,
+            4,
+            &BinaryNetConfig {
+                hidden: 16,
+                epochs: 3,
+                learning_rate: 0.02,
+                seed: 2,
+            },
+        );
+        let float_scores = net.scores(&m);
+        let xnor = net.to_xnor();
+        for e in 0..m.num_examples() {
+            let bits = xnor.scores_row(m.row(e));
+            for (c, s) in bits.iter().enumerate() {
+                let f = float_scores.data()[e * 4 + c];
+                assert!(
+                    (s - f).abs() < 1e-3,
+                    "example {e} class {c}: xnor {s} vs float {f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn xnor_popcount_identity() {
+        // 2·popcount(w & x) − popcount(x) equals the ±1 dot product over
+        // active inputs.
+        let w = BitVec::from_bools([true, false, true, true]);
+        let x = BitVec::from_bools([true, true, false, true]);
+        let pre = XnorClassifier::neuron_preact(&w, 0.0, &x);
+        // Active inputs {0, 1, 3}; signs +1, −1, +1 → sum = 1.
+        assert_eq!(pre, 1.0);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (m, labels) = four_class_task(80, 7);
+        let cfg = BinaryNetConfig {
+            hidden: 8,
+            epochs: 2,
+            learning_rate: 0.01,
+            seed: 9,
+        };
+        let a = BinaryNet::train(&m, &labels, 4, &cfg).predict(&m);
+        let b = BinaryNet::train(&m, &labels, 4, &cfg).predict(&m);
+        assert_eq!(a, b);
+    }
+}

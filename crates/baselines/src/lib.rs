@@ -1,0 +1,54 @@
+//! Baseline classifiers for the Table 2 comparison.
+//!
+//! §4.1 of the paper compares PoET-BiN against three starkly different
+//! classifier families, all sharing the same feature extractor:
+//!
+//! * [`binarynet::BinaryNet`] — a binarised MLP in the style of
+//!   Courbariaux et al. (2016): ±1 weights trained with a straight-through
+//!   estimator, hard binary activations, and an XNOR/popcount inference
+//!   path ([`binarynet::XnorClassifier`]) that is bit-for-bit equivalent
+//!   to the float forward pass.
+//! * [`polybinn::PolyBinn`] — the off-the-shelf decision-tree
+//!   approach of POLYBiNN (Abdelsalam et al., 2018): one-vs-all boosted
+//!   node-wise trees with a confidence comparison.
+//! * [`ndf::NeuralDecisionForest`] — differentiable
+//!   decision trees (Kontschieder et al., 2015) with sigmoid routers and
+//!   iteratively re-estimated leaf distributions.
+//!
+//! All three train on the binary features produced by a teacher network,
+//! exactly the protocol the paper uses ("we use the same feature extractor
+//! across all architectures, and change the classifier portion").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binarynet;
+pub mod ndf;
+pub mod polybinn;
+
+pub use binarynet::{BinaryNet, BinaryNetConfig, XnorClassifier};
+pub use ndf::{NeuralDecisionForest, NdfConfig};
+pub use polybinn::{PolyBinn, PolyBinnConfig};
+
+use poetbin_bits::FeatureMatrix;
+
+/// A multiclass classifier over binary feature rows.
+pub trait MulticlassClassifier {
+    /// Predicts class indices for every example.
+    fn predict(&self, features: &FeatureMatrix) -> Vec<usize>;
+
+    /// Classification accuracy against reference labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` differs from the example count.
+    fn accuracy(&self, features: &FeatureMatrix, labels: &[usize]) -> f64 {
+        assert_eq!(features.num_examples(), labels.len());
+        if labels.is_empty() {
+            return 1.0;
+        }
+        let preds = self.predict(features);
+        let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+        correct as f64 / labels.len() as f64
+    }
+}

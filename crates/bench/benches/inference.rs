@@ -1,0 +1,72 @@
+//! Per-sample inference latency: PoET-BiN LUT evaluation vs the
+//! XNOR/popcount BinaryNet path vs a float MLP — the software analogue of
+//! Table 7's latency comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use poetbin_baselines::{BinaryNet, BinaryNetConfig, MulticlassClassifier};
+use poetbin_bench::{hardware_classifier, DatasetKind};
+use poetbin_bits::{BitVec, FeatureMatrix};
+use poetbin_data::binary::to_tensor;
+use poetbin_nn::{Dense, Mode, Relu, Sequential};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference_per_sample");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+
+    // A paper-shaped SVHN classifier (P=6, 36 trees, RINC-2, 60 modules).
+    let (clf, features) = hardware_classifier(DatasetKind::SvhnLike, 200, 3);
+    let batch = features.select_examples(&(0..64).collect::<Vec<_>>());
+    group.bench_function("poetbin_lut_classifier", |b| {
+        b.iter(|| black_box(clf.predict(black_box(&batch))))
+    });
+
+    // BinaryNet on the same 512-bit features.
+    let mut rng = StdRng::seed_from_u64(5);
+    let rows: Vec<BitVec> = (0..200)
+        .map(|_| BitVec::from_fn(512, |_| rng.random::<bool>()))
+        .collect();
+    let feats = FeatureMatrix::from_rows(rows);
+    let labels: Vec<usize> = (0..200).map(|e| e % 10).collect();
+    let bn = BinaryNet::train(
+        &feats,
+        &labels,
+        10,
+        &BinaryNetConfig {
+            hidden: 128,
+            epochs: 1,
+            learning_rate: 0.01,
+            seed: 1,
+        },
+    );
+    let xnor = bn.to_xnor();
+    let bn_batch = feats.select_examples(&(0..64).collect::<Vec<_>>());
+    group.bench_function("binarynet_xnor_popcount", |b| {
+        b.iter(|| black_box(xnor.predict(black_box(&bn_batch))))
+    });
+
+    // Float MLP classifier portion (512 → 512 → 10), the vanilla row.
+    let mut mlp = Sequential::new();
+    mlp.push(Dense::new(512, 512, 1));
+    mlp.push(Relu::new());
+    mlp.push(Dense::new(512, 10, 2));
+    let x = to_tensor(&bn_batch);
+    group.bench_function("float_mlp_classifier", |b| {
+        b.iter(|| {
+            let y = mlp.forward(black_box(x.clone()), Mode::Infer);
+            black_box(y.argmax_rows())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

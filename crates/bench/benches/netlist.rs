@@ -1,0 +1,40 @@
+//! FPGA-model throughput: bit-parallel netlist simulation and the
+//! map/prune pipeline on a paper-shaped classifier.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use poetbin_bench::{hardware_classifier, DatasetKind};
+use poetbin_bits::BitVec;
+use poetbin_fpga::{map_to_lut6, prune, simulate};
+
+fn bench_netlist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fpga_model");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500));
+
+    let (clf, features) = hardware_classifier(DatasetKind::SvhnLike, 200, 3);
+    let net = clf.to_netlist(512);
+    let vectors: Vec<BitVec> = features.iter_rows().take(128).cloned().collect();
+
+    group.bench_function("simulate_128_vectors", |b| {
+        b.iter(|| black_box(simulate(black_box(&net), &vectors)))
+    });
+
+    group.bench_function("map_to_lut6", |b| {
+        b.iter(|| black_box(map_to_lut6(black_box(&net))))
+    });
+
+    let (mapped, _) = map_to_lut6(&net);
+    group.bench_function("prune", |b| {
+        b.iter(|| black_box(prune(black_box(&mapped))))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_netlist);
+criterion_main!(benches);

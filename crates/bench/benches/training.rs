@@ -1,0 +1,47 @@
+//! Training throughput: the level-wise RINC-0 algorithm vs a classic
+//! node-wise tree on identical weighted data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use poetbin_data::binary::hidden_majority;
+use poetbin_dt::{ClassicTree, ClassicTreeConfig, LevelTreeConfig, LevelWiseTree};
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_training");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500));
+
+    let task = hidden_majority(2000, 128, 9, 0.1, 7);
+    let w = vec![1.0; 2000];
+
+    group.bench_function("level_wise_p6", |b| {
+        b.iter(|| {
+            black_box(LevelWiseTree::train(
+                black_box(&task.features),
+                &task.labels,
+                &w,
+                &LevelTreeConfig::new(6),
+            ))
+        })
+    });
+
+    group.bench_function("classic_depth6", |b| {
+        b.iter(|| {
+            black_box(ClassicTree::train(
+                black_box(&task.features),
+                &task.labels,
+                &w,
+                &ClassicTreeConfig::with_depth(6),
+            ))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

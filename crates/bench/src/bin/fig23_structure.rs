@@ -1,0 +1,38 @@
+//! Figures 2–3 demonstration: the RINC-1 and RINC-2 structures and the
+//! LUT budget formula `(P^(L+1) - 1)/(P - 1)`.
+
+use poetbin_bench::print_header;
+use poetbin_boost::{RincConfig, RincModule};
+use poetbin_data::binary::hidden_majority;
+
+fn main() {
+    print_header(
+        "Figures 2-3: RINC hierarchy structure",
+        &["P", "L", "trees", "MATs", "LUTs", "formula", "LUT levels"],
+    );
+    for (p, l) in [(3usize, 1usize), (3, 2), (2, 3), (6, 1)] {
+        let task = hidden_majority(600, 32, 9, 0.2, (p * 10 + l) as u64);
+        let module = RincModule::train(
+            &task.features,
+            &task.labels,
+            &vec![1.0; 600],
+            &RincConfig::new(p, l),
+        );
+        let stats = module.stats();
+        let formula = (p.pow(l as u32 + 1) - 1) / (p - 1);
+        println!(
+            "P={p} L={l}: {:>3} trees, {:>2} MATs, {:>3} LUTs (formula {formula}), {} LUT levels",
+            stats.trees, stats.mats, stats.luts, stats.lut_levels
+        );
+        assert!(stats.luts <= formula);
+    }
+    println!("\nPaper SVHN module: P=6, L=2, 6 subgroups -> 6*(6+1)+1 = 43 LUTs:");
+    let task = hidden_majority(600, 64, 11, 0.25, 99);
+    let module = RincModule::train(
+        &task.features,
+        &task.labels,
+        &vec![1.0; 600],
+        &RincConfig::new(6, 2).with_top_groups(6),
+    );
+    println!("trained module: {} LUTs, depth {}", module.lut_count(), module.lut_depth());
+}

@@ -1,0 +1,31 @@
+//! Figures 4–5 demonstration: the intermediate layer and the staged
+//! workflow A1 → A2 → A3 → A4 on one dataset.
+
+use poetbin_bench::{print_header, DatasetKind, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let kind = DatasetKind::MnistLike;
+    print_header(
+        "Figures 4-5: teacher workflow on the MNIST-like dataset",
+        &["stage", "test accuracy"],
+    );
+    let result = scale.run_workflow(kind, 42);
+    println!("A1 vanilla network        {:.4}", result.a1);
+    println!("A2 binary features        {:.4}", result.a2);
+    println!("A3 teacher (intermediate) {:.4}", result.a3);
+    println!("A4 PoET-BiN               {:.4}", result.a4);
+    println!("RINC/teacher fidelity     {:.4}", result.rinc_fidelity);
+    let arch = scale.workflow_config(kind).arch;
+    println!(
+        "\nIntermediate layer: {} binary neurons (nc={} x P={}), each emulated by one RINC-{} module.",
+        arch.intermediate_width(),
+        arch.classes,
+        arch.lut_inputs,
+        arch.rinc_levels
+    );
+    println!(
+        "Output layer: sparsely connected, each class reads its own {} bits, quantised to 8 bits.",
+        arch.lut_inputs
+    );
+}

@@ -1,0 +1,40 @@
+//! Regenerates Table 1: the network architectures M1 / C1 / S1.
+
+use poetbin_bench::{print_header, DatasetKind};
+
+fn main() {
+    print_header(
+        "Table 1: Network Architecture",
+        &["ARCH.", "SYMBOL", "DATASET", "CLASSIFIER", "P", "DTs", "RINC-L"],
+    );
+    for kind in DatasetKind::ALL {
+        let arch = kind.architecture();
+        let fe = match kind {
+            DatasetKind::MnistLike => "LeNet-FE",
+            _ => "VGG11-FE",
+        };
+        let classifier: Vec<String> = arch
+            .hidden
+            .iter()
+            .map(|h| format!("{h}FC"))
+            .chain(std::iter::once(format!("{}FC", arch.classes)))
+            .collect();
+        println!(
+            "{fe} - ({})  {}  {}  P={}  {} DTs  RINC-{}",
+            classifier.join(")-("),
+            arch.name,
+            kind.name(),
+            arch.lut_inputs,
+            arch.trees_per_module,
+            arch.rinc_levels,
+        );
+    }
+    println!(
+        "\nIntermediate layer widths (nc x P): {}",
+        DatasetKind::ALL
+            .iter()
+            .map(|k| format!("{}={}", k.name(), k.architecture().intermediate_width()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

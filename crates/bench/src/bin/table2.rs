@@ -1,0 +1,86 @@
+//! Regenerates Table 2: classification accuracy A1–A4 per dataset plus the
+//! BinaryNet / POLYBiNN / NDF baseline comparison.
+//!
+//! Absolute numbers differ from the paper (synthetic stand-in datasets,
+//! CPU-scaled extractors — see DESIGN.md); the structure reproduced here is
+//! the staged-accuracy ordering and the relative standing of the four
+//! classifier families on the *same* binary features.
+
+use poetbin_baselines::{
+    BinaryNet, BinaryNetConfig, MulticlassClassifier, NdfConfig, NeuralDecisionForest, PolyBinn,
+    PolyBinnConfig,
+};
+use poetbin_bench::{print_header, DatasetKind, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    print_header(
+        "Table 2: Overall classification accuracy & comparison",
+        &["ARCH.", "DATASET", "A1", "A2", "A3", "A4(PoET-BiN)", "BINARYNET", "POLYBINN", "NDF"],
+    );
+
+    for kind in DatasetKind::ALL {
+        let result = scale.run_workflow(kind, 42);
+
+        // Baselines share the teacher's binary features (§4.1 protocol).
+        let data = kind.generate(scale.train + scale.test, 42);
+        let (train, test) = data.split(scale.train);
+
+        let bn = BinaryNet::train(
+            &result.train_features,
+            &train.labels,
+            10,
+            &BinaryNetConfig {
+                hidden: 128,
+                epochs: scale.epochs * 4,
+                learning_rate: 0.01,
+                seed: 7,
+            },
+        );
+        let bn_acc = bn.accuracy(&result.test_features, &test.labels);
+
+        let pb = PolyBinn::train(
+            &result.train_features,
+            &train.labels,
+            10,
+            &PolyBinnConfig::default(),
+        );
+        let pb_acc = pb.accuracy(&result.test_features, &test.labels);
+
+        let ndf = NeuralDecisionForest::train(
+            &result.train_features,
+            &train.labels,
+            10,
+            &NdfConfig {
+                trees: 4,
+                depth: 4,
+                epochs: 10,
+                learning_rate: 1.0,
+                pi_iterations: 2,
+                seed: 5,
+            },
+        );
+        let ndf_acc = ndf.accuracy(&result.test_features, &test.labels);
+
+        println!(
+            "{:<4} {:<14} {:5.2}% {:5.2}% {:5.2}% {:5.2}%        {:5.2}%    {:5.2}%   {:5.2}%",
+            kind.architecture().name,
+            kind.name(),
+            result.a1 * 100.0,
+            result.a2 * 100.0,
+            result.a3 * 100.0,
+            result.a4 * 100.0,
+            bn_acc * 100.0,
+            pb_acc * 100.0,
+            ndf_acc * 100.0,
+        );
+        println!(
+            "     (RINC/teacher fidelity {:5.2}%, classifier LUTs {})",
+            result.rinc_fidelity * 100.0,
+            result.classifier.lut_count()
+        );
+    }
+    println!("\nPaper (real datasets): M1 99.20/99.06/98.93/98.15, BinaryNet 98.97, POLYBiNN 97.52, NDF 99.42");
+    println!("                       C1 91.02/89.88/89.10/92.64, BinaryNet 89.76, POLYBiNN 91.58, NDF 90.46");
+    println!("                       S1 97.36/96.98/96.22/95.13, BinaryNet 95.06, POLYBiNN 94.97, NDF 95.20");
+}

@@ -1,0 +1,40 @@
+//! Regenerates Table 3: PoET-BiN power (dynamic / static / total) on the
+//! modelled Spartan-6, using measured switching activity from simulation.
+
+use poetbin_bench::{hardware_classifier, print_header, DatasetKind};
+use poetbin_bits::BitVec;
+use poetbin_fpga::{map_to_lut6, prune, simulate, PowerModel};
+
+fn main() {
+    let n = 400;
+    print_header(
+        "Table 3: PoET-BiN power results (model) vs paper",
+        &["POWER(W)", "MNIST", "CIFAR-10", "SVHN"],
+    );
+    let paper_dynamic = [0.468, 0.300, 0.374];
+    let paper_static = [0.045, 0.041, 0.043];
+    let mut dynamic = Vec::new();
+    let mut statics = Vec::new();
+    for kind in DatasetKind::ALL {
+        let (clf, features) = hardware_classifier(kind, n, 11);
+        let net = clf.to_netlist(512);
+        let (mapped, _) = map_to_lut6(&net);
+        let (pruned, _) = prune(&mapped);
+        let vectors: Vec<BitVec> = features.iter_rows().take(256).cloned().collect();
+        let sim = simulate(&pruned, &vectors);
+        let report = PowerModel::default().estimate(&pruned, &sim, kind.clock_mhz());
+        dynamic.push(report.dynamic_w());
+        statics.push(report.static_w);
+    }
+    let row = |label: &str, values: &[f64], paper: &[f64]| {
+        println!(
+            "{label:<8} {:.3} (paper {:.3})  {:.3} (paper {:.3})  {:.3} (paper {:.3})",
+            values[0], paper[0], values[1], paper[1], values[2], paper[2]
+        );
+    };
+    row("DYNAMIC", &dynamic, &paper_dynamic);
+    row("STATIC", &statics, &paper_static);
+    let totals: Vec<f64> = dynamic.iter().zip(&statics).map(|(d, s)| d + s).collect();
+    let paper_totals = [0.513, 0.341, 0.417];
+    row("TOTAL", &totals, &paper_totals);
+}

@@ -1,0 +1,27 @@
+//! Regenerates Table 4: individual operation power results (the measured
+//! constants of the energy model — reproduced verbatim by construction,
+//! printed with the derived compute/total columns).
+
+use poetbin_bench::print_header;
+use poetbin_power::OP_TABLE;
+
+fn main() {
+    print_header(
+        "Table 4: Individual operation power results (W at 62.5 MHz)",
+        &["OPERATION", "CLOCK", "LOGIC", "SIGNAL", "IO", "STATIC", "TOTAL", "LOGIC+SIGNAL"],
+    );
+    for op in OP_TABLE {
+        println!(
+            "{:<24} {:.3}  {:.3}  {:.3}  {:.3}  {:.3}  {:.3}   {:.3}",
+            op.kind.label(),
+            op.clock_w,
+            op.logic_w,
+            op.signal_w,
+            op.io_w,
+            op.static_w,
+            op.total_w(),
+            op.compute_w(),
+        );
+    }
+    println!("\nOnly the LOGIC+SIGNAL column enters the Table 6 energy estimates (§4.2).");
+}

@@ -1,0 +1,52 @@
+//! Regenerates Table 7: latency and LUT utilisation of the PoET-BiN
+//! classifiers, including the §4.3 LUT hand-count and the synthesizer
+//! pruning observation.
+
+use poetbin_bench::{hardware_classifier, print_header, DatasetKind};
+use poetbin_fpga::{map_to_lut6, prune, TimingModel};
+
+fn main() {
+    print_header(
+        "Table 7: Implementation results of PoET-BiN",
+        &["PARAMETER", "MNIST", "CIFAR-10", "SVHN"],
+    );
+    let mut latency = Vec::new();
+    let mut luts = Vec::new();
+    let mut logical = Vec::new();
+    let mut reduction = Vec::new();
+    for kind in DatasetKind::ALL {
+        let (clf, _) = hardware_classifier(kind, 400, 11);
+        let net = clf.to_netlist(512);
+        logical.push(clf.lut_count());
+        let (mapped, _) = map_to_lut6(&net);
+        let (pruned, report) = prune(&mapped);
+        let timing = TimingModel::default().analyze(&pruned);
+        latency.push(timing.critical_path_ns);
+        luts.push(pruned.area().luts);
+        reduction.push(report.lut_reduction() * 100.0);
+    }
+    println!(
+        "LATENCY(NS)     {:>8.2}  {:>8.2}  {:>8.2}   (paper: 9.11 / 9.48 / 5.85)",
+        latency[0], latency[1], latency[2]
+    );
+    println!(
+        "LUTS (mapped)   {:>8}  {:>8}  {:>8}   (paper: 11899 / 9650 / 2660)",
+        luts[0], luts[1], luts[2]
+    );
+    println!(
+        "LUTS (logical)  {:>8}  {:>8}  {:>8}   (paper hand-count for SVHN: 2660)",
+        logical[0], logical[1], logical[2]
+    );
+    println!(
+        "PRUNED (%)      {:>8.1}  {:>8.1}  {:>8.1}   (paper: ~36% of CIFAR-10 LUTs removed)",
+        reduction[0], reduction[1], reduction[2]
+    );
+
+    // The paper's own structural audit for SVHN (§4.3): 43 LUTs per
+    // RINC-2 module × 60 modules + 80 output LUTs = 2660.
+    let s1 = DatasetKind::SvhnLike.architecture();
+    let per_module = s1.top_groups() * (s1.lut_inputs + 1) + 1;
+    let audit = per_module * s1.intermediate_width() + 8 * s1.classes;
+    println!("\nSVHN hand-count: {per_module} LUTs/module x {} modules + 80 output LUTs = {audit}",
+             s1.intermediate_width());
+}

@@ -1,0 +1,271 @@
+//! Binary datasets stored in both row-major and column-major order.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::BitVec;
+
+/// An `n × f` matrix of bits: `n` examples (rows) by `f` binary features
+/// (columns).
+///
+/// Level-wise decision-tree training (Algorithm 1 of the paper) scans every
+/// candidate *feature column* once per level, while inference and boosting
+/// read individual *example rows*. The matrix therefore keeps both
+/// orientations; memory cost is `2·n·f` bits, negligible at PoET-BiN scale
+/// (a 60 000 × 512 dataset is under 8 MiB).
+///
+/// # Example
+///
+/// ```
+/// use poetbin_bits::{BitVec, FeatureMatrix};
+///
+/// let rows = vec![
+///     BitVec::from_bools([true, false, true]),
+///     BitVec::from_bools([false, false, true]),
+/// ];
+/// let m = FeatureMatrix::from_rows(rows);
+/// assert_eq!(m.num_examples(), 2);
+/// assert_eq!(m.num_features(), 3);
+/// assert!(m.bit(0, 0));
+/// assert_eq!(m.feature(2).count_ones(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureMatrix {
+    n: usize,
+    f: usize,
+    rows: Vec<BitVec>,
+    cols: Vec<BitVec>,
+}
+
+impl FeatureMatrix {
+    /// Builds a matrix from example rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: Vec<BitVec>) -> Self {
+        let n = rows.len();
+        let f = rows.first().map_or(0, BitVec::len);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), f, "row {i} has {} features, expected {f}", r.len());
+        }
+        let mut cols = vec![BitVec::zeros(n); f];
+        for (e, row) in rows.iter().enumerate() {
+            for j in row.iter_ones() {
+                cols[j].set(e, true);
+            }
+        }
+        FeatureMatrix { n, f, rows, cols }
+    }
+
+    /// Builds a matrix from feature columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the columns have inconsistent lengths.
+    pub fn from_columns(cols: Vec<BitVec>) -> Self {
+        let f = cols.len();
+        let n = cols.first().map_or(0, BitVec::len);
+        for (j, c) in cols.iter().enumerate() {
+            assert_eq!(c.len(), n, "column {j} has {} examples, expected {n}", c.len());
+        }
+        let mut rows = vec![BitVec::zeros(f); n];
+        for (j, col) in cols.iter().enumerate() {
+            for e in col.iter_ones() {
+                rows[e].set(j, true);
+            }
+        }
+        FeatureMatrix { n, f, rows, cols }
+    }
+
+    /// Builds an `n × f` matrix from a predicate on (example, feature).
+    pub fn from_fn(n: usize, f: usize, mut pred: impl FnMut(usize, usize) -> bool) -> Self {
+        let rows = (0..n)
+            .map(|e| BitVec::from_fn(f, |j| pred(e, j)))
+            .collect();
+        FeatureMatrix::from_rows(rows)
+    }
+
+    /// Number of examples (rows).
+    pub fn num_examples(&self) -> usize {
+        self.n
+    }
+
+    /// Number of features (columns).
+    pub fn num_features(&self) -> usize {
+        self.f
+    }
+
+    /// Reads the bit for `example`, `feature`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[inline]
+    pub fn bit(&self, example: usize, feature: usize) -> bool {
+        self.rows[example].get(feature)
+    }
+
+    /// The full feature column as a bit vector over examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature >= num_features()`.
+    pub fn feature(&self, feature: usize) -> &BitVec {
+        &self.cols[feature]
+    }
+
+    /// The full example row as a bit vector over features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `example >= num_examples()`.
+    pub fn row(&self, example: usize) -> &BitVec {
+        &self.rows[example]
+    }
+
+    /// Iterates over example rows.
+    pub fn iter_rows(&self) -> std::slice::Iter<'_, BitVec> {
+        self.rows.iter()
+    }
+
+    /// Selects a subset of examples (with repetition allowed), e.g. for
+    /// boosting by resampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn select_examples(&self, indices: &[usize]) -> FeatureMatrix {
+        let rows = indices.iter().map(|&e| self.rows[e].clone()).collect();
+        FeatureMatrix::from_rows(rows)
+    }
+
+    /// Selects a subset of feature columns in the given order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn select_features(&self, features: &[usize]) -> FeatureMatrix {
+        let cols = features.iter().map(|&j| self.cols[j].clone()).collect();
+        FeatureMatrix::from_columns(cols)
+    }
+
+    /// Vertically stacks two matrices with the same feature count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature counts differ.
+    pub fn vstack(&self, other: &FeatureMatrix) -> FeatureMatrix {
+        assert_eq!(self.f, other.f, "feature count mismatch in vstack");
+        let rows = self
+            .rows
+            .iter()
+            .chain(other.rows.iter())
+            .cloned()
+            .collect();
+        FeatureMatrix::from_rows(rows)
+    }
+
+    /// Packs the bits of `features` for one example into a LUT address
+    /// (feature `features[0]` becomes address bit 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range or more than
+    /// `usize::BITS` features are requested.
+    #[inline]
+    pub fn address(&self, example: usize, features: &[usize]) -> usize {
+        assert!(features.len() < usize::BITS as usize);
+        let row = &self.rows[example];
+        let mut addr = 0usize;
+        for (pos, &j) in features.iter().enumerate() {
+            if row.get(j) {
+                addr |= 1 << pos;
+            }
+        }
+        addr
+    }
+}
+
+impl fmt::Debug for FeatureMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FeatureMatrix({} examples × {} features)", self.n, self.f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FeatureMatrix {
+        FeatureMatrix::from_fn(5, 4, |e, j| (e + j) % 3 == 0)
+    }
+
+    #[test]
+    fn rows_and_columns_are_consistent() {
+        let m = sample();
+        for e in 0..5 {
+            for j in 0..4 {
+                assert_eq!(m.bit(e, j), m.feature(j).get(e), "({e},{j})");
+                assert_eq!(m.bit(e, j), m.row(e).get(j), "({e},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn from_columns_matches_from_rows() {
+        let m = sample();
+        let cols: Vec<BitVec> = (0..4).map(|j| m.feature(j).clone()).collect();
+        let m2 = FeatureMatrix::from_columns(cols);
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn select_examples_allows_repetition() {
+        let m = sample();
+        let s = m.select_examples(&[0, 0, 4]);
+        assert_eq!(s.num_examples(), 3);
+        assert_eq!(s.row(0), s.row(1));
+        assert_eq!(s.row(2), m.row(4));
+    }
+
+    #[test]
+    fn select_features_reorders() {
+        let m = sample();
+        let s = m.select_features(&[2, 0]);
+        assert_eq!(s.num_features(), 2);
+        for e in 0..5 {
+            assert_eq!(s.bit(e, 0), m.bit(e, 2));
+            assert_eq!(s.bit(e, 1), m.bit(e, 0));
+        }
+    }
+
+    #[test]
+    fn vstack_concatenates_examples() {
+        let m = sample();
+        let v = m.vstack(&m);
+        assert_eq!(v.num_examples(), 10);
+        assert_eq!(v.row(7), m.row(2));
+    }
+
+    #[test]
+    fn address_packs_little_endian() {
+        let m = FeatureMatrix::from_rows(vec![BitVec::from_bools([true, false, true, true])]);
+        assert_eq!(m.address(0, &[0, 1, 2]), 0b101);
+        assert_eq!(m.address(0, &[3, 0]), 0b11);
+        assert_eq!(m.address(0, &[1]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected")]
+    fn ragged_rows_panic() {
+        FeatureMatrix::from_rows(vec![BitVec::zeros(3), BitVec::zeros(4)]);
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        let m = FeatureMatrix::from_rows(Vec::new());
+        assert_eq!(m.num_examples(), 0);
+        assert_eq!(m.num_features(), 0);
+    }
+}

@@ -1,0 +1,403 @@
+//! LUT truth tables: boolean functions of `k` inputs stored as `2^k` bits.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::BitVec;
+
+/// Maximum LUT fan-in the crate will materialise (`2^24` bits = 2 MiB).
+///
+/// The paper notes that a 30-input LUT already needs a gigabit of storage;
+/// real FPGA LUTs have 6 inputs and PoET-BiN never folds more than
+/// `P ≤ 8` inputs into one table, so this bound only guards against bugs.
+pub const MAX_LUT_INPUTS: usize = 24;
+
+/// The contents of a `k`-input look-up table.
+///
+/// Entry `i` (for `0 <= i < 2^k`) stores the output of the function when the
+/// inputs, read as a little-endian integer (input 0 is bit 0), equal `i`.
+/// This is exactly the "Address | Output" table of Figure 1 in the paper and
+/// the `INIT` constant of a Xilinx LUT primitive.
+///
+/// # Example
+///
+/// ```
+/// use poetbin_bits::TruthTable;
+///
+/// let xor2 = TruthTable::from_fn(2, |i| (i & 1) ^ ((i >> 1) & 1) == 1);
+/// assert!(xor2.eval(0b01));
+/// assert!(xor2.eval(0b10));
+/// assert!(!xor2.eval(0b11));
+/// assert!(xor2.depends_on(0) && xor2.depends_on(1));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TruthTable {
+    inputs: usize,
+    bits: BitVec,
+}
+
+impl TruthTable {
+    /// Creates the constant-`false` table over `inputs` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs > MAX_LUT_INPUTS`.
+    pub fn zeros(inputs: usize) -> Self {
+        assert!(
+            inputs <= MAX_LUT_INPUTS,
+            "LUT with {inputs} inputs exceeds the {MAX_LUT_INPUTS}-input limit"
+        );
+        TruthTable {
+            inputs,
+            bits: BitVec::zeros(1 << inputs),
+        }
+    }
+
+    /// Creates the constant-`true` table over `inputs` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs > MAX_LUT_INPUTS`.
+    pub fn ones(inputs: usize) -> Self {
+        assert!(
+            inputs <= MAX_LUT_INPUTS,
+            "LUT with {inputs} inputs exceeds the {MAX_LUT_INPUTS}-input limit"
+        );
+        TruthTable {
+            inputs,
+            bits: BitVec::ones(1 << inputs),
+        }
+    }
+
+    /// Builds a table by evaluating `f` on every input combination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs > MAX_LUT_INPUTS`.
+    pub fn from_fn(inputs: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut t = TruthTable::zeros(inputs);
+        for i in 0..(1usize << inputs) {
+            if f(i) {
+                t.bits.set(i, true);
+            }
+        }
+        t
+    }
+
+    /// Builds a table from its packed entry vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != 2^inputs` or `inputs > MAX_LUT_INPUTS`.
+    pub fn from_bits(inputs: usize, bits: BitVec) -> Self {
+        assert!(inputs <= MAX_LUT_INPUTS);
+        assert_eq!(bits.len(), 1 << inputs, "truth table length mismatch");
+        TruthTable { inputs, bits }
+    }
+
+    /// Builds a ≤6-input table from a Xilinx-style 64-bit `INIT` word.
+    pub fn from_init_word(inputs: usize, init: u64) -> Self {
+        assert!(inputs <= 6, "INIT word form only covers up to 6 inputs");
+        TruthTable::from_fn(inputs, |i| (init >> i) & 1 == 1)
+    }
+
+    /// Packs a ≤6-input table into a Xilinx-style 64-bit `INIT` word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table has more than 6 inputs.
+    pub fn to_init_word(&self) -> u64 {
+        assert!(self.inputs <= 6, "table too large for a 64-bit INIT word");
+        let mut word = 0u64;
+        for i in 0..self.len() {
+            if self.bits.get(i) {
+                word |= 1 << i;
+            }
+        }
+        word
+    }
+
+    /// Number of inputs `k`.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of table entries, `2^k`.
+    pub fn len(&self) -> usize {
+        1 << self.inputs
+    }
+
+    /// Returns `true` only for the degenerate zero-input table — a LUT always
+    /// has at least one entry, so this mirrors `len() == 1` never being zero.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Evaluates the function on a packed input combination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input >= 2^k`.
+    #[inline]
+    pub fn eval(&self, input: usize) -> bool {
+        self.bits.get(input)
+    }
+
+    /// Evaluates the function on individual input bits.
+    ///
+    /// `bits[0]` is input 0 (the least-significant address bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != self.inputs()`.
+    pub fn eval_bits(&self, bits: &[bool]) -> bool {
+        assert_eq!(bits.len(), self.inputs, "input arity mismatch");
+        let mut addr = 0usize;
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                addr |= 1 << i;
+            }
+        }
+        self.eval(addr)
+    }
+
+    /// Sets one table entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input >= 2^k`.
+    pub fn set(&mut self, input: usize, value: bool) {
+        self.bits.set(input, value);
+    }
+
+    /// Number of input combinations mapping to `true`.
+    pub fn count_ones(&self) -> usize {
+        self.bits.count_ones()
+    }
+
+    /// Returns `true` if the function is constant (all entries equal).
+    pub fn is_constant(&self) -> bool {
+        let ones = self.count_ones();
+        ones == 0 || ones == self.len()
+    }
+
+    /// The constant value if the function is constant.
+    pub fn constant_value(&self) -> Option<bool> {
+        match self.count_ones() {
+            0 => Some(false),
+            n if n == self.len() => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Shannon cofactor: the `(k-1)`-input function obtained by fixing
+    /// input `var` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= k` or `k == 0`.
+    pub fn cofactor(&self, var: usize, value: bool) -> TruthTable {
+        assert!(var < self.inputs, "cofactor variable out of range");
+        assert!(self.inputs > 0);
+        let low_mask = (1usize << var) - 1;
+        TruthTable::from_fn(self.inputs - 1, |i| {
+            let addr = (i & low_mask) | (usize::from(value) << var) | ((i & !low_mask) << 1);
+            self.eval(addr)
+        })
+    }
+
+    /// Returns `true` if the function actually depends on input `var`
+    /// (its two cofactors differ).
+    ///
+    /// The Xilinx synthesizer uses exactly this test to strip MAT inputs
+    /// whose AdaBoost weight is too small to ever flip the threshold; the
+    /// pruning pass in `poetbin-fpga` relies on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= k`.
+    pub fn depends_on(&self, var: usize) -> bool {
+        assert!(var < self.inputs, "variable out of range");
+        self.cofactor(var, false) != self.cofactor(var, true)
+    }
+
+    /// Indices of inputs the function genuinely depends on.
+    pub fn support(&self) -> Vec<usize> {
+        (0..self.inputs).filter(|&v| self.depends_on(v)).collect()
+    }
+
+    /// Rebuilds the table over only its support variables, returning the new
+    /// table and the kept original input indices (ascending).
+    ///
+    /// If the function is constant the returned table has zero inputs and a
+    /// single entry.
+    pub fn shrink_to_support(&self) -> (TruthTable, Vec<usize>) {
+        let support = self.support();
+        let table = TruthTable::from_fn(support.len(), |i| {
+            let mut addr = 0usize;
+            for (new_pos, &orig) in support.iter().enumerate() {
+                if (i >> new_pos) & 1 == 1 {
+                    addr |= 1 << orig;
+                }
+            }
+            self.eval(addr)
+        });
+        (table, support)
+    }
+
+    /// Restricts the table to a new input ordering: output input `i` of the
+    /// result reads original input `perm[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..k`.
+    pub fn permute_inputs(&self, perm: &[usize]) -> TruthTable {
+        assert_eq!(perm.len(), self.inputs, "permutation arity mismatch");
+        let mut seen = vec![false; self.inputs];
+        for &p in perm {
+            assert!(p < self.inputs && !seen[p], "invalid permutation");
+            seen[p] = true;
+        }
+        TruthTable::from_fn(self.inputs, |i| {
+            let mut addr = 0usize;
+            for (new_pos, &orig) in perm.iter().enumerate() {
+                if (i >> new_pos) & 1 == 1 {
+                    addr |= 1 << orig;
+                }
+            }
+            self.eval(addr)
+        })
+    }
+
+    /// Read-only view of the packed entries (entry `i` at bit `i`).
+    pub fn as_bits(&self) -> &BitVec {
+        &self.bits
+    }
+}
+
+impl fmt::Debug for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TruthTable({} inputs; ", self.inputs)?;
+        if self.inputs <= 6 {
+            write!(f, "0x{:0width$x})", self.to_init_word(), width = self.len().div_ceil(4))
+        } else {
+            write!(f, "{} ones of {})", self.count_ones(), self.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn majority3() -> TruthTable {
+        TruthTable::from_fn(3, |i| (i as u32).count_ones() >= 2)
+    }
+
+    #[test]
+    fn from_fn_eval_agree() {
+        let t = majority3();
+        for i in 0..8 {
+            assert_eq!(t.eval(i), (i as u32).count_ones() >= 2, "entry {i}");
+        }
+        assert_eq!(t.count_ones(), 4);
+    }
+
+    #[test]
+    fn eval_bits_matches_packed_eval() {
+        let t = majority3();
+        for i in 0..8usize {
+            let bits = [(i & 1) == 1, (i >> 1) & 1 == 1, (i >> 2) & 1 == 1];
+            assert_eq!(t.eval_bits(&bits), t.eval(i));
+        }
+    }
+
+    #[test]
+    fn init_word_roundtrip() {
+        let t = TruthTable::from_fn(6, |i| i % 3 == 0);
+        let w = t.to_init_word();
+        assert_eq!(TruthTable::from_init_word(6, w), t);
+    }
+
+    #[test]
+    fn cofactor_fixes_variable() {
+        let t = majority3();
+        // Fixing input 2 to true: majority(a, b, 1) = a | b.
+        let c = t.cofactor(2, true);
+        assert_eq!(c.inputs(), 2);
+        for i in 0..4 {
+            assert_eq!(c.eval(i), i != 0, "or entry {i}");
+        }
+        // Fixing input 0 to false: majority(0, b, c) = b & c.
+        let c = t.cofactor(0, false);
+        for i in 0..4 {
+            assert_eq!(c.eval(i), i == 3, "and entry {i}");
+        }
+    }
+
+    #[test]
+    fn depends_on_detects_dummy_variable() {
+        // f(a, b, c) = a XOR c ignores input 1.
+        let t = TruthTable::from_fn(3, |i| ((i & 1) ^ ((i >> 2) & 1)) == 1);
+        assert!(t.depends_on(0));
+        assert!(!t.depends_on(1));
+        assert!(t.depends_on(2));
+        assert_eq!(t.support(), vec![0, 2]);
+    }
+
+    #[test]
+    fn shrink_to_support_preserves_function() {
+        let t = TruthTable::from_fn(4, |i| ((i >> 1) & 1) == 1); // depends only on input 1
+        let (small, kept) = t.shrink_to_support();
+        assert_eq!(kept, vec![1]);
+        assert_eq!(small.inputs(), 1);
+        assert!(!small.eval(0));
+        assert!(small.eval(1));
+    }
+
+    #[test]
+    fn shrink_constant_gives_zero_inputs() {
+        let t = TruthTable::ones(3);
+        let (small, kept) = t.shrink_to_support();
+        assert!(kept.is_empty());
+        assert_eq!(small.inputs(), 0);
+        assert_eq!(small.constant_value(), Some(true));
+    }
+
+    #[test]
+    fn permute_inputs_swaps_roles() {
+        // f(a,b) = a & !b; swapping inputs gives !a & b.
+        let t = TruthTable::from_fn(2, |i| (i & 1) == 1 && (i >> 1) & 1 == 0);
+        let p = t.permute_inputs(&[1, 0]);
+        assert!(p.eval(0b10));
+        assert!(!p.eval(0b01));
+    }
+
+    #[test]
+    fn constant_detection() {
+        assert_eq!(TruthTable::zeros(4).constant_value(), Some(false));
+        assert_eq!(TruthTable::ones(4).constant_value(), Some(true));
+        assert_eq!(majority3().constant_value(), None);
+        assert!(TruthTable::zeros(2).is_constant());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_lut_panics() {
+        TruthTable::zeros(MAX_LUT_INPUTS + 1);
+    }
+
+    #[test]
+    fn zero_input_table_is_a_constant() {
+        let t = TruthTable::from_fn(0, |_| true);
+        assert_eq!(t.len(), 1);
+        assert!(t.eval(0));
+        assert_eq!(t.constant_value(), Some(true));
+    }
+
+    #[test]
+    fn debug_shows_init_for_small_tables() {
+        let s = format!("{:?}", majority3());
+        assert!(s.contains("3 inputs"));
+    }
+}

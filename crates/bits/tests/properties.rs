@@ -1,0 +1,116 @@
+//! Property-based tests for the bit-level substrate.
+
+use poetbin_bits::{BitVec, FeatureMatrix, TruthTable};
+use proptest::prelude::*;
+
+fn bitvec_strategy(max_len: usize) -> impl Strategy<Value = BitVec> {
+    prop::collection::vec(any::<bool>(), 0..max_len).prop_map(BitVec::from_bools)
+}
+
+fn table_strategy(max_inputs: usize) -> impl Strategy<Value = TruthTable> {
+    (0..=max_inputs).prop_flat_map(|k| {
+        prop::collection::vec(any::<bool>(), 1 << k)
+            .prop_map(move |bits| TruthTable::from_bits(k, BitVec::from_bools(bits)))
+    })
+}
+
+proptest! {
+    #[test]
+    fn bitvec_ops_match_bool_vectors(bits_a in prop::collection::vec(any::<bool>(), 0..300),
+                                     bits_b in prop::collection::vec(any::<bool>(), 0..300)) {
+        let n = bits_a.len().min(bits_b.len());
+        let a = BitVec::from_bools(bits_a[..n].iter().copied());
+        let b = BitVec::from_bools(bits_b[..n].iter().copied());
+
+        let and = a.and(&b);
+        let xor = a.xor(&b);
+        let not = a.not();
+        for i in 0..n {
+            prop_assert_eq!(and.get(i), bits_a[i] && bits_b[i]);
+            prop_assert_eq!(xor.get(i), bits_a[i] ^ bits_b[i]);
+            prop_assert_eq!(not.get(i), !bits_a[i]);
+        }
+        prop_assert_eq!(a.count_ones(), bits_a[..n].iter().filter(|&&x| x).count());
+        prop_assert_eq!(a.count_and(&b), and.count_ones());
+        prop_assert_eq!(a.hamming_distance(&b), xor.count_ones());
+    }
+
+    #[test]
+    fn double_negation_is_identity(v in bitvec_strategy(300)) {
+        prop_assert_eq!(v.not().not(), v);
+    }
+
+    #[test]
+    fn iter_ones_is_sorted_and_complete(v in bitvec_strategy(300)) {
+        let ones: Vec<usize> = v.iter_ones().collect();
+        prop_assert!(ones.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(ones.len(), v.count_ones());
+        for i in ones {
+            prop_assert!(v.get(i));
+        }
+    }
+
+    #[test]
+    fn shannon_expansion_reconstructs_table(t in table_strategy(8)) {
+        // f = (!x_v & f|x_v=0) | (x_v & f|x_v=1) for every variable v.
+        for v in 0..t.inputs() {
+            let lo = t.cofactor(v, false);
+            let hi = t.cofactor(v, true);
+            for addr in 0..t.len() {
+                let reduced = (addr & ((1 << v) - 1)) | ((addr >> (v + 1)) << v);
+                let expect = if (addr >> v) & 1 == 1 { hi.eval(reduced) } else { lo.eval(reduced) };
+                prop_assert_eq!(t.eval(addr), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_to_support_preserves_semantics(t in table_strategy(7)) {
+        let (small, kept) = t.shrink_to_support();
+        prop_assert_eq!(small.inputs(), kept.len());
+        for addr in 0..t.len() {
+            let mut shrunk_addr = 0usize;
+            for (pos, &orig) in kept.iter().enumerate() {
+                if (addr >> orig) & 1 == 1 {
+                    shrunk_addr |= 1 << pos;
+                }
+            }
+            prop_assert_eq!(t.eval(addr), small.eval(shrunk_addr));
+        }
+        // Every kept variable really is in the support.
+        for (pos, _) in kept.iter().enumerate() {
+            prop_assert!(small.depends_on(pos));
+        }
+    }
+
+    #[test]
+    fn permutation_roundtrip(t in table_strategy(6)) {
+        let k = t.inputs();
+        let perm: Vec<usize> = (0..k).rev().collect();
+        let twice = t.permute_inputs(&perm).permute_inputs(&perm);
+        prop_assert_eq!(twice, t);
+    }
+
+    #[test]
+    fn matrix_row_column_duality(n in 1usize..20, f in 1usize..20, seed in any::<u64>()) {
+        let m = FeatureMatrix::from_fn(n, f, |e, j| {
+            // Cheap deterministic pseudo-random fill.
+            (seed.wrapping_mul(e as u64 * 31 + j as u64 + 7) >> 17) & 1 == 1
+        });
+        for e in 0..n {
+            for j in 0..f {
+                prop_assert_eq!(m.row(e).get(j), m.feature(j).get(e));
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_address_matches_manual_pack(f in 1usize..16, seed in any::<u64>()) {
+        let m = FeatureMatrix::from_fn(1, f, |_, j| (seed >> (j % 60)) & 1 == 1);
+        let features: Vec<usize> = (0..f).collect();
+        let addr = m.address(0, &features);
+        for (pos, &j) in features.iter().enumerate() {
+            prop_assert_eq!((addr >> pos) & 1 == 1, m.bit(0, j));
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Boosting machinery for PoET-BiN: AdaBoost, MAT units and the
+//! hierarchical RINC-L architecture.
+//!
+//! The paper composes three pieces (§2.1.2–2.1.3):
+//!
+//! * [`adaboost::AdaBoost`] — the classic discrete AdaBoost loop
+//!   over any weak learner implementing
+//!   [`BitClassifier`](poetbin_dt::BitClassifier), supporting both exact
+//!   weighted training and boosting-by-resampling.
+//! * [`mat::MatModule`] — the Multiply-Add-Threshold unit: the
+//!   weighted vote of `k ≤ P` binary classifiers, *folded into a single
+//!   `k`-input LUT* by pre-computing the thresholded sum for all `2^k`
+//!   combinations. A property test guarantees the folded LUT and the
+//!   arithmetic vote agree bit-for-bit.
+//! * [`rinc::RincModule`] — the recursive hierarchy: a RINC-`L`
+//!   groups up to `P` RINC-`(L-1)` modules under one MAT unit, giving
+//!   `P^(L+1)` effective inputs with `(P^(L+1)-1)/(P-1)` LUTs (Algorithm 2).
+//!
+//! # Example
+//!
+//! ```
+//! use poetbin_bits::{BitVec, FeatureMatrix};
+//! use poetbin_boost::{RincConfig, RincModule};
+//! use poetbin_dt::BitClassifier;
+//!
+//! // Learn a noisy majority-ish function with a RINC-1 of 3-input trees.
+//! let data = FeatureMatrix::from_fn(256, 8, |e, j| (e * 2654435761usize >> j) & 1 == 1);
+//! let labels = BitVec::from_fn(256, |e| (e * 2654435761usize).count_ones() % 2 == 0);
+//! let config = RincConfig::new(3, 1);
+//! let rinc = RincModule::train(&data, &labels, &vec![1.0; 256], &config);
+//! assert!(rinc.accuracy(&data, &labels) > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaboost;
+pub mod mat;
+pub mod rinc;
+
+pub use adaboost::{AdaBoost, AdaBoostReport, BoostedEnsemble, WeightUpdate};
+pub use mat::MatModule;
+pub use rinc::{RincConfig, RincModule, RincNode, RincStats};

@@ -1,0 +1,182 @@
+//! Staged teacher training (Figure 5: A1 → A2 → A3).
+
+use poetbin_bits::FeatureMatrix;
+use poetbin_data::binary::binarize_tensor;
+use poetbin_data::ImageDataset;
+use poetbin_nn::{
+    evaluate, fit, Adam, ExponentialDecay, FitConfig, Mode, Sequential, SquaredHingeLoss,
+};
+
+use crate::arch::Architecture;
+
+/// Training budget for the teacher stages.
+#[derive(Clone, Debug)]
+pub struct TeacherConfig {
+    /// Epochs for each stage (vanilla / binary-features / teacher).
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Initial Adam learning rate (decays exponentially per §3).
+    pub learning_rate: f32,
+    /// Learning-rate decay factor per epoch.
+    pub lr_decay: f32,
+    /// Seed for weights and shuffling.
+    pub seed: u64,
+    /// Print per-epoch progress.
+    pub verbose: bool,
+}
+
+impl Default for TeacherConfig {
+    fn default() -> Self {
+        TeacherConfig {
+            epochs: 6,
+            batch_size: 64,
+            learning_rate: 0.005,
+            lr_decay: 0.85,
+            seed: 0,
+            verbose: false,
+        }
+    }
+}
+
+/// The trained teacher network and its stage accuracies.
+pub struct Teacher {
+    net: Sequential,
+    feature_layer: usize,
+    intermediate_layer: usize,
+    /// Test accuracy of the vanilla network (A1).
+    pub a1: f64,
+    /// Test accuracy with binary features (A2).
+    pub a2: f64,
+    /// Test accuracy with the binary intermediate layer (A3).
+    pub a3: f64,
+}
+
+impl Teacher {
+    /// Runs the three training stages of Figure 5 on the given data.
+    ///
+    /// Each stage trains a fresh network with the next binarisation step
+    /// inserted (replacing an activation and retraining, as §3
+    /// describes) and records its test accuracy.
+    pub fn train(
+        arch: &Architecture,
+        train: &ImageDataset,
+        test: &ImageDataset,
+        config: &TeacherConfig,
+    ) -> Teacher {
+        let fit_config = FitConfig::new(config.epochs)
+            .with_batch_size(config.batch_size)
+            .with_schedule(ExponentialDecay::new(config.learning_rate, config.lr_decay))
+            .with_seed(config.seed)
+            .with_verbose(config.verbose);
+        let loss = SquaredHingeLoss;
+
+        // Stage A1: vanilla full-precision network.
+        let mut vanilla = arch.build_vanilla(config.seed);
+        let mut adam = Adam::new(config.learning_rate);
+        fit(&mut vanilla, &loss, &mut adam, &train.images, &train.labels, &fit_config);
+        let a1 = evaluate(&mut vanilla, &test.images, &test.labels);
+
+        // Stage A2: binary feature representation.
+        let mut binfeat = arch.build_binary_features(config.seed);
+        let mut adam = Adam::new(config.learning_rate);
+        fit(&mut binfeat, &loss, &mut adam, &train.images, &train.labels, &fit_config);
+        let a2 = evaluate(&mut binfeat, &test.images, &test.labels);
+
+        // Stage A3: the teacher with the binary intermediate layer.
+        let (mut teacher, feature_layer, intermediate_layer) = arch.build_teacher(config.seed);
+        let mut adam = Adam::new(config.learning_rate);
+        fit(&mut teacher, &loss, &mut adam, &train.images, &train.labels, &fit_config);
+        let a3 = evaluate(&mut teacher, &test.images, &test.labels);
+
+        Teacher {
+            net: teacher,
+            feature_layer,
+            intermediate_layer,
+            a1,
+            a2,
+            a3,
+        }
+    }
+
+    /// The 512 binary features for every image (rows of the returned
+    /// matrix), batched to bound memory.
+    pub fn binary_features(&mut self, data: &ImageDataset) -> FeatureMatrix {
+        let t = self.forward_prefix_batched(data, self.feature_layer);
+        binarize_tensor(&t, 0.5)
+    }
+
+    /// The `nc × P` intermediate-layer bits for every image.
+    pub fn intermediate_bits(&mut self, data: &ImageDataset) -> FeatureMatrix {
+        let t = self.forward_prefix_batched(data, self.intermediate_layer);
+        binarize_tensor(&t, 0.5)
+    }
+
+    /// Test accuracy of the full teacher.
+    pub fn accuracy(&mut self, data: &ImageDataset) -> f64 {
+        evaluate(&mut self.net, &data.images, &data.labels)
+    }
+
+    fn forward_prefix_batched(
+        &mut self,
+        data: &ImageDataset,
+        upto: usize,
+    ) -> poetbin_nn::Tensor {
+        let n = data.len();
+        let mut rows: Vec<f32> = Vec::new();
+        let mut width = 0usize;
+        let batch = 256usize;
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + batch).min(n);
+            let idx: Vec<usize> = (start..end).collect();
+            let out = self
+                .net
+                .forward_prefix(data.images.gather_rows(&idx), upto, Mode::Infer);
+            width = out.row_len();
+            rows.extend_from_slice(out.data());
+            start = end;
+        }
+        poetbin_nn::Tensor::from_vec(rows, vec![n, width])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poetbin_data::synthetic;
+
+    /// One small teacher run shared by the assertions below (training even
+    /// a scaled CNN is the expensive part of this crate's test suite).
+    fn quick_teacher() -> (Teacher, ImageDataset) {
+        let data = synthetic::digits(1200, 42);
+        let (train, test) = data.split(1000);
+        let arch = Architecture::m1().scaled(48);
+        let cfg = TeacherConfig {
+            epochs: 6,
+            ..TeacherConfig::default()
+        };
+        (Teacher::train(&arch, &train, &test, &cfg), test)
+    }
+
+    #[test]
+    fn stages_learn_and_expose_binary_layers() {
+        let (mut teacher, test) = quick_teacher();
+        // All three stages must beat chance (10%) clearly.
+        assert!(teacher.a1 > 0.5, "A1 {}", teacher.a1);
+        assert!(teacher.a2 > 0.4, "A2 {}", teacher.a2);
+        assert!(teacher.a3 > 0.4, "A3 {}", teacher.a3);
+
+        let feats = teacher.binary_features(&test);
+        assert_eq!(feats.num_examples(), test.len());
+        assert_eq!(feats.num_features(), 512);
+        let inter = teacher.intermediate_bits(&test);
+        assert_eq!(inter.num_features(), 80);
+        // Binary layers should not be saturated all-0 or all-1.
+        let ones = (0..inter.num_features())
+            .map(|j| inter.feature(j).count_ones())
+            .sum::<usize>();
+        let total = inter.num_examples() * inter.num_features();
+        assert!(ones > 0 && ones < total, "intermediate layer saturated");
+    }
+}

@@ -1,0 +1,156 @@
+//! Boolean-function tasks over binary feature matrices.
+//!
+//! These exercise the tree/boosting layers directly — without a CNN in the
+//! loop — and double as workload generators for the training-throughput
+//! benchmarks.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use poetbin_bits::{BitVec, FeatureMatrix};
+use poetbin_nn::Tensor;
+
+/// A binary-features classification task: `n` examples over `f` bits with
+/// one binary label each.
+#[derive(Clone, Debug)]
+pub struct BinaryTask {
+    /// The feature matrix.
+    pub features: FeatureMatrix,
+    /// Per-example binary labels.
+    pub labels: BitVec,
+}
+
+/// Uniform random features labelled by a hidden majority vote over
+/// `relevant` features, with `noise` probability of flipping the label.
+///
+/// # Panics
+///
+/// Panics if `relevant > f` or `noise` is outside `[0, 0.5]`.
+pub fn hidden_majority(n: usize, f: usize, relevant: usize, noise: f64, seed: u64) -> BinaryTask {
+    assert!(relevant <= f, "more relevant features than features");
+    assert!((0.0..=0.5).contains(&noise), "noise must be in [0, 0.5]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<BitVec> = (0..n)
+        .map(|_| BitVec::from_fn(f, |_| rng.random::<bool>()))
+        .collect();
+    let features = FeatureMatrix::from_rows(rows);
+    let labels = BitVec::from_fn(n, |e| {
+        let votes = (0..relevant).filter(|&j| features.bit(e, j)).count();
+        let clean = votes * 2 >= relevant;
+        if rng.random::<f64>() < noise {
+            !clean
+        } else {
+            clean
+        }
+    });
+    BinaryTask { features, labels }
+}
+
+/// Uniform random features labelled by a hidden `k`-term DNF (OR of ANDs of
+/// literals), the canonical "LUT-learnable" function family.
+///
+/// # Panics
+///
+/// Panics if `f == 0` or `term_width > f`.
+pub fn hidden_dnf(n: usize, f: usize, terms: usize, term_width: usize, seed: u64) -> BinaryTask {
+    assert!(f > 0, "need at least one feature");
+    assert!(term_width <= f, "term width exceeds feature count");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Each term: a set of (feature, polarity) literals.
+    let term_defs: Vec<Vec<(usize, bool)>> = (0..terms)
+        .map(|_| {
+            let mut feats: Vec<usize> = (0..f).collect();
+            feats.shuffle(&mut rng);
+            feats[..term_width]
+                .iter()
+                .map(|&j| (j, rng.random::<bool>()))
+                .collect()
+        })
+        .collect();
+    let rows: Vec<BitVec> = (0..n)
+        .map(|_| BitVec::from_fn(f, |_| rng.random::<bool>()))
+        .collect();
+    let features = FeatureMatrix::from_rows(rows);
+    let labels = BitVec::from_fn(n, |e| {
+        term_defs.iter().any(|term| {
+            term.iter()
+                .all(|&(j, polarity)| features.bit(e, j) == polarity)
+        })
+    });
+    BinaryTask { features, labels }
+}
+
+/// Thresholds a real-valued `[n, d]` tensor into a [`FeatureMatrix`]
+/// (`value >= threshold` → bit 1) — how binary sigmoid activations become
+/// RINC training features.
+pub fn binarize_tensor(t: &Tensor, threshold: f32) -> FeatureMatrix {
+    let n = t.rows();
+    let d = t.row_len();
+    FeatureMatrix::from_fn(n, d, |e, j| t.data()[e * d + j] >= threshold)
+}
+
+/// Converts a [`FeatureMatrix`] to a float `[n, f]` tensor (bits → 0.0/1.0)
+/// — how RINC outputs feed the retrained output layer.
+pub fn to_tensor(m: &FeatureMatrix) -> Tensor {
+    let (n, f) = (m.num_examples(), m.num_features());
+    let mut data = vec![0.0f32; n * f];
+    for e in 0..n {
+        for j in m.row(e).iter_ones() {
+            data[e * f + j] = 1.0;
+        }
+    }
+    Tensor::from_vec(data, vec![n, f])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_task_is_learnable_and_deterministic() {
+        let a = hidden_majority(100, 16, 5, 0.0, 3);
+        let b = hidden_majority(100, 16, 5, 0.0, 3);
+        assert_eq!(a.labels, b.labels);
+        // Labels must actually follow the majority rule.
+        for e in 0..100 {
+            let votes = (0..5).filter(|&j| a.features.bit(e, j)).count();
+            assert_eq!(a.labels.get(e), votes * 2 >= 5);
+        }
+    }
+
+    #[test]
+    fn noise_flips_some_labels() {
+        let clean = hidden_majority(500, 8, 3, 0.0, 9);
+        let noisy = hidden_majority(500, 8, 3, 0.3, 9);
+        let flips = clean.labels.hamming_distance(&noisy.labels);
+        assert!(flips > 50, "expected noise flips, got {flips}");
+        assert!(flips < 350, "too many flips: {flips}");
+    }
+
+    #[test]
+    fn dnf_labels_match_formula_positives() {
+        let t = hidden_dnf(200, 12, 3, 3, 5);
+        // At least some of each class (overwhelmingly likely for 3 terms of
+        // width 3: P(true) ≈ 1 - (7/8)^3).
+        let ones = t.labels.count_ones();
+        assert!(ones > 0 && ones < 200, "degenerate DNF task: {ones} ones");
+    }
+
+    #[test]
+    fn binarize_thresholds_correctly() {
+        let t = Tensor::from_vec(vec![0.1, 0.6, 0.5, -0.2], vec![2, 2]);
+        let m = binarize_tensor(&t, 0.5);
+        assert!(!m.bit(0, 0));
+        assert!(m.bit(0, 1));
+        assert!(m.bit(1, 0));
+        assert!(!m.bit(1, 1));
+    }
+
+    #[test]
+    fn tensor_roundtrip() {
+        let m = FeatureMatrix::from_fn(4, 6, |e, j| (e + j) % 2 == 0);
+        let t = to_tensor(&m);
+        let back = binarize_tensor(&t, 0.5);
+        assert_eq!(back, m);
+    }
+}

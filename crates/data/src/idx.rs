@@ -1,0 +1,278 @@
+//! Loader for the IDX file format used by the original MNIST distribution.
+//!
+//! Supports the two record types MNIST uses: `0x08 0x03` (unsigned-byte
+//! 3-D image tensors) and `0x08 0x01` (unsigned-byte label vectors). When
+//! the real dataset files are available locally, [`load_images`] /
+//! [`load_labels`] let every experiment in this repository run on them
+//! unchanged.
+
+use bytes::Buf;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use poetbin_nn::Tensor;
+
+use crate::ImageDataset;
+
+/// Errors raised while decoding IDX data.
+#[derive(Debug)]
+pub enum IdxError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The magic number or dimension header is malformed.
+    BadHeader(String),
+    /// The payload is shorter than the header promises.
+    Truncated {
+        /// Bytes the header promised.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for IdxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdxError::Io(e) => write!(f, "i/o error reading idx data: {e}"),
+            IdxError::BadHeader(msg) => write!(f, "malformed idx header: {msg}"),
+            IdxError::Truncated { expected, actual } => {
+                write!(f, "idx payload truncated: expected {expected} bytes, found {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IdxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IdxError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for IdxError {
+    fn from(e: io::Error) -> Self {
+        IdxError::Io(e)
+    }
+}
+
+fn parse_header(buf: &mut &[u8], expect_dims: u8) -> Result<Vec<usize>, IdxError> {
+    if buf.remaining() < 4 {
+        return Err(IdxError::BadHeader("shorter than magic number".into()));
+    }
+    let magic = buf.get_u32();
+    let dtype = ((magic >> 8) & 0xFF) as u8;
+    let ndims = (magic & 0xFF) as u8;
+    if magic >> 16 != 0 {
+        return Err(IdxError::BadHeader(format!("bad magic 0x{magic:08x}")));
+    }
+    if dtype != 0x08 {
+        return Err(IdxError::BadHeader(format!(
+            "unsupported element type 0x{dtype:02x} (only unsigned byte is supported)"
+        )));
+    }
+    if ndims != expect_dims {
+        return Err(IdxError::BadHeader(format!(
+            "expected {expect_dims} dimensions, found {ndims}"
+        )));
+    }
+    let mut dims = Vec::with_capacity(ndims as usize);
+    for _ in 0..ndims {
+        if buf.remaining() < 4 {
+            return Err(IdxError::BadHeader("dimension list truncated".into()));
+        }
+        dims.push(buf.get_u32() as usize);
+    }
+    Ok(dims)
+}
+
+/// Decodes an IDX3 unsigned-byte image tensor from memory into `[n, 1, h, w]`
+/// floats scaled to `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`IdxError`] if the header is malformed or the payload is
+/// truncated.
+pub fn decode_images(mut bytes: &[u8]) -> Result<Tensor, IdxError> {
+    let dims = parse_header(&mut bytes, 3)?;
+    let (n, h, w) = (dims[0], dims[1], dims[2]);
+    let expected = n * h * w;
+    if bytes.remaining() < expected {
+        return Err(IdxError::Truncated {
+            expected,
+            actual: bytes.remaining(),
+        });
+    }
+    let data: Vec<f32> = bytes[..expected].iter().map(|&b| b as f32 / 255.0).collect();
+    Ok(Tensor::from_vec(data, vec![n, 1, h, w]))
+}
+
+/// Decodes an IDX1 unsigned-byte label vector from memory.
+///
+/// # Errors
+///
+/// Returns [`IdxError`] if the header is malformed or the payload is
+/// truncated.
+pub fn decode_labels(mut bytes: &[u8]) -> Result<Vec<usize>, IdxError> {
+    let dims = parse_header(&mut bytes, 1)?;
+    let n = dims[0];
+    if bytes.remaining() < n {
+        return Err(IdxError::Truncated {
+            expected: n,
+            actual: bytes.remaining(),
+        });
+    }
+    Ok(bytes[..n].iter().map(|&b| b as usize).collect())
+}
+
+/// Loads an IDX3 image file from disk.
+///
+/// # Errors
+///
+/// Returns [`IdxError`] on I/O failure or malformed content.
+pub fn load_images(path: impl AsRef<Path>) -> Result<Tensor, IdxError> {
+    decode_images(&fs::read(path)?)
+}
+
+/// Loads an IDX1 label file from disk.
+///
+/// # Errors
+///
+/// Returns [`IdxError`] on I/O failure or malformed content.
+pub fn load_labels(path: impl AsRef<Path>) -> Result<Vec<usize>, IdxError> {
+    decode_labels(&fs::read(path)?)
+}
+
+/// Loads a full MNIST-style dataset from an image file and a label file.
+///
+/// # Errors
+///
+/// Returns [`IdxError`] on I/O failure, malformed content, or an
+/// image/label count mismatch.
+pub fn load_dataset(
+    images: impl AsRef<Path>,
+    labels: impl AsRef<Path>,
+) -> Result<ImageDataset, IdxError> {
+    let images = load_images(images)?;
+    let labels = load_labels(labels)?;
+    if images.rows() != labels.len() {
+        return Err(IdxError::BadHeader(format!(
+            "image count {} != label count {}",
+            images.rows(),
+            labels.len()
+        )));
+    }
+    let num_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+    Ok(ImageDataset {
+        images,
+        labels,
+        num_classes,
+    })
+}
+
+/// Encodes images into IDX3 bytes (round-trip support for tests and for
+/// exporting synthetic data to other tools).
+///
+/// # Panics
+///
+/// Panics unless the tensor is `[n, 1, h, w]`.
+pub fn encode_images(images: &Tensor) -> Vec<u8> {
+    let s = images.shape();
+    assert_eq!(s.len(), 4, "expected [n, 1, h, w]");
+    assert_eq!(s[1], 1, "idx images are single-channel");
+    let (n, h, w) = (s[0], s[2], s[3]);
+    let mut out = Vec::with_capacity(16 + n * h * w);
+    out.extend_from_slice(&0x0000_0803u32.to_be_bytes());
+    for d in [n, h, w] {
+        out.extend_from_slice(&(d as u32).to_be_bytes());
+    }
+    out.extend(images.data().iter().map(|&p| (p * 255.0).round().clamp(0.0, 255.0) as u8));
+    out
+}
+
+/// Encodes labels into IDX1 bytes.
+pub fn encode_labels(labels: &[usize]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + labels.len());
+    out.extend_from_slice(&0x0000_0801u32.to_be_bytes());
+    out.extend_from_slice(&(labels.len() as u32).to_be_bytes());
+    out.extend(labels.iter().map(|&l| l as u8));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic;
+
+    #[test]
+    fn image_roundtrip() {
+        let ds = synthetic::digits(6, 21);
+        let bytes = encode_images(&ds.images);
+        let back = decode_images(&bytes).unwrap();
+        assert_eq!(back.shape(), ds.images.shape());
+        // 8-bit quantisation error only.
+        for (a, b) in back.data().iter().zip(ds.images.data()) {
+            assert!((a - b).abs() <= 1.0 / 255.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn label_roundtrip() {
+        let labels = vec![3usize, 1, 4, 1, 5, 9, 2, 6];
+        let bytes = encode_labels(&labels);
+        assert_eq!(decode_labels(&bytes).unwrap(), labels);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = decode_labels(&[0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0]).unwrap_err();
+        assert!(matches!(err, IdxError::BadHeader(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_wrong_dimensionality() {
+        // Labels header (1-D) fed to the image decoder.
+        let bytes = encode_labels(&[1, 2, 3]);
+        let err = decode_images(&bytes).unwrap_err();
+        assert!(matches!(err, IdxError::BadHeader(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let ds = synthetic::digits(2, 1);
+        let mut bytes = encode_images(&ds.images);
+        bytes.truncate(bytes.len() - 10);
+        let err = decode_images(&bytes).unwrap_err();
+        assert!(matches!(err, IdxError::Truncated { .. }), "{err}");
+    }
+
+    #[test]
+    fn dataset_loader_checks_count_mismatch() {
+        let dir = std::env::temp_dir().join("poetbin_idx_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ds = synthetic::digits(4, 2);
+        let img_path = dir.join("img.idx3");
+        let lbl_path = dir.join("lbl.idx1");
+        std::fs::write(&img_path, encode_images(&ds.images)).unwrap();
+        std::fs::write(&lbl_path, encode_labels(&ds.labels[..3])).unwrap();
+        let err = load_dataset(&img_path, &lbl_path).unwrap_err();
+        assert!(err.to_string().contains("!="));
+        // And a matching pair loads fine.
+        std::fs::write(&lbl_path, encode_labels(&ds.labels)).unwrap();
+        let loaded = load_dataset(&img_path, &lbl_path).unwrap();
+        assert_eq!(loaded.len(), 4);
+        assert_eq!(loaded.labels, ds.labels);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = IdxError::Truncated {
+            expected: 100,
+            actual: 7,
+        };
+        assert!(e.to_string().contains("100"));
+    }
+}

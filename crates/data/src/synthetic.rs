@@ -1,0 +1,338 @@
+//! Seeded procedural image datasets standing in for MNIST / CIFAR-10 / SVHN.
+//!
+//! Each generator draws class-conditional images with within-class
+//! variability (position, thickness, colour, noise) so that a small CNN has
+//! something real to learn, while remaining fully deterministic given the
+//! seed.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use poetbin_nn::Tensor;
+
+use crate::ImageDataset;
+
+/// Seven-segment display encodings of the digits 0–9: segments
+/// (top, top-left, top-right, middle, bottom-left, bottom-right, bottom).
+const SEGMENTS: [[bool; 7]; 10] = [
+    [true, true, true, false, true, true, true],    // 0
+    [false, false, true, false, false, true, false], // 1
+    [true, false, true, true, true, false, true],   // 2
+    [true, false, true, true, false, true, true],   // 3
+    [false, true, true, true, false, true, false],  // 4
+    [true, true, false, true, false, true, true],   // 5
+    [true, true, false, true, true, true, true],    // 6
+    [true, false, true, false, false, true, false], // 7
+    [true, true, true, true, true, true, true],     // 8
+    [true, true, true, true, false, true, true],    // 9
+];
+
+/// Draws a digit's segments into a single-channel canvas.
+///
+/// The digit occupies a box of `dw × dh` pixels at offset `(ox, oy)` with
+/// the given stroke thickness and intensity.
+#[allow(clippy::too_many_arguments)]
+fn draw_digit(
+    canvas: &mut [f32],
+    width: usize,
+    height: usize,
+    digit: usize,
+    ox: isize,
+    oy: isize,
+    dw: usize,
+    dh: usize,
+    thick: usize,
+    intensity: f32,
+) {
+    let segs = &SEGMENTS[digit];
+    let mut blot = |x0: isize, y0: isize, w: usize, h: usize| {
+        for dy in 0..h as isize {
+            for dx in 0..w as isize {
+                let x = x0 + dx;
+                let y = y0 + dy;
+                if x >= 0 && y >= 0 && (x as usize) < width && (y as usize) < height {
+                    let px = &mut canvas[y as usize * width + x as usize];
+                    *px = px.max(intensity);
+                }
+            }
+        }
+    };
+    let t = thick.max(1);
+    let (w, h) = (dw, dh);
+    let half = h / 2;
+    if segs[0] {
+        blot(ox, oy, w, t); // top
+    }
+    if segs[1] {
+        blot(ox, oy, t, half); // top-left
+    }
+    if segs[2] {
+        blot(ox + (w - t) as isize, oy, t, half); // top-right
+    }
+    if segs[3] {
+        blot(ox, oy + (half - t / 2) as isize, w, t); // middle
+    }
+    if segs[4] {
+        blot(ox, oy + half as isize, t, h - half); // bottom-left
+    }
+    if segs[5] {
+        blot(ox + (w - t) as isize, oy + half as isize, t, h - half); // bottom-right
+    }
+    if segs[6] {
+        blot(ox, oy + (h - t) as isize, w, t); // bottom
+    }
+}
+
+/// MNIST-like dataset: `n` grayscale 28×28 stroke-rendered digits with
+/// random placement, size, thickness and pixel noise. Labels are the digit
+/// values (10 classes).
+pub fn digits(n: usize, seed: u64) -> ImageDataset {
+    let (w, h) = (28usize, 28usize);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = vec![0.0f32; n * w * h];
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let digit = rng.random_range(0..10usize);
+        labels.push(digit);
+        let canvas = &mut data[i * w * h..(i + 1) * w * h];
+        let dw = rng.random_range(10..16usize);
+        let dh = rng.random_range(16..22usize);
+        let ox = rng.random_range(2..(w - dw - 1)) as isize;
+        let oy = rng.random_range(2..(h - dh - 1)) as isize;
+        let thick = rng.random_range(2..4usize);
+        let intensity = rng.random_range(0.75..1.0f32);
+        draw_digit(canvas, w, h, digit, ox, oy, dw, dh, thick, intensity);
+        for px in canvas.iter_mut() {
+            *px = (*px + rng.random_range(-0.08..0.08f32)).clamp(0.0, 1.0);
+        }
+    }
+    ImageDataset {
+        images: Tensor::from_vec(data, vec![n, 1, h, w]),
+        labels,
+        num_classes: 10,
+    }
+}
+
+/// CIFAR-like dataset: `n` RGB 32×32 images of ten parametric object
+/// classes (shapes × textures) with colour jitter and noise.
+pub fn objects(n: usize, seed: u64) -> ImageDataset {
+    let (w, h, c) = (32usize, 32usize, 3usize);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = vec![0.0f32; n * c * w * h];
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = rng.random_range(0..10usize);
+        labels.push(class);
+        let img = &mut data[i * c * w * h..(i + 1) * c * w * h];
+        // Class-conditional base hue with jitter.
+        let base = [
+            0.15 + 0.08 * (class % 3) as f32 + rng.random_range(-0.05..0.05f32),
+            0.25 + 0.06 * (class % 5) as f32 + rng.random_range(-0.05..0.05f32),
+            0.35 + 0.05 * (class % 7) as f32 + rng.random_range(-0.05..0.05f32),
+        ];
+        for ch in 0..c {
+            for p in img[ch * w * h..(ch + 1) * w * h].iter_mut() {
+                *p = base[ch];
+            }
+        }
+        let cx = rng.random_range(10..22) as f32;
+        let cy = rng.random_range(10..22) as f32;
+        let size = rng.random_range(6..11) as f32;
+        let fg = [
+            0.5 + 0.05 * (class / 2) as f32,
+            0.9 - 0.07 * (class % 4) as f32,
+            0.3 + 0.06 * (class % 6) as f32,
+        ];
+        for y in 0..h {
+            for x in 0..w {
+                let (dx, dy) = (x as f32 - cx, y as f32 - cy);
+                // Each class pairs a shape family with a texture family.
+                let inside = match class % 5 {
+                    0 => dx * dx + dy * dy < size * size, // disc
+                    1 => dx.abs() < size && dy.abs() < size, // square
+                    2 => dx.abs() + dy.abs() < size * 1.3, // diamond
+                    3 => dy.abs() < size * 0.5,           // horizontal bar
+                    _ => dx.abs() < size * 0.5,           // vertical bar
+                };
+                if inside {
+                    let stripe = if class >= 5 {
+                        // Textured variant: diagonal stripes.
+                        if ((x + 2 * y) / 3) % 2 == 0 {
+                            1.0
+                        } else {
+                            0.45
+                        }
+                    } else {
+                        1.0
+                    };
+                    for ch in 0..c {
+                        img[ch * w * h + y * w + x] = (fg[ch] * stripe).clamp(0.0, 1.0);
+                    }
+                }
+            }
+        }
+        for p in img.iter_mut() {
+            *p = (*p + rng.random_range(-0.06..0.06f32)).clamp(0.0, 1.0);
+        }
+    }
+    ImageDataset {
+        images: Tensor::from_vec(data, vec![n, c, h, w]),
+        labels,
+        num_classes: 10,
+    }
+}
+
+/// SVHN-like dataset: `n` RGB 32×32 images of a centred digit over a
+/// cluttered background, with partially visible distractor digits at the
+/// edges (the hallmark difficulty of SVHN).
+pub fn house_numbers(n: usize, seed: u64) -> ImageDataset {
+    let (w, h, c) = (32usize, 32usize, 3usize);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = vec![0.0f32; n * c * w * h];
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let digit = rng.random_range(0..10usize);
+        labels.push(digit);
+        let img = &mut data[i * c * w * h..(i + 1) * c * w * h];
+        // Cluttered background: low-frequency colour gradient + noise.
+        let (gx, gy) = (
+            rng.random_range(-0.01..0.01f32),
+            rng.random_range(-0.01..0.01f32),
+        );
+        let bg = rng.random_range(0.2..0.5f32);
+        for ch in 0..c {
+            let tint = 1.0 - 0.15 * ch as f32;
+            for y in 0..h {
+                for x in 0..w {
+                    img[ch * w * h + y * w + x] =
+                        (bg * tint + gx * x as f32 + gy * y as f32).clamp(0.0, 1.0);
+                }
+            }
+        }
+        // A single-channel plate for the strokes, then colourised.
+        let mut plate = vec![0.0f32; w * h];
+        // Distractor digits clipped at the left/right edges.
+        for side in 0..2 {
+            if rng.random_range(0.0..1.0f32) < 0.7 {
+                let d = rng.random_range(0..10usize);
+                let ox = if side == 0 {
+                    -rng.random_range(3..8) as isize
+                } else {
+                    (w - 4) as isize
+                };
+                let oy = rng.random_range(4..12) as isize;
+                draw_digit(&mut plate, w, h, d, ox, oy, 10, 16, 2, 0.8);
+            }
+        }
+        // The labelled digit, centred-ish.
+        let dw = rng.random_range(9..13usize);
+        let dh = rng.random_range(14..19usize);
+        let ox = rng.random_range(9..(w - dw - 8)) as isize;
+        let oy = rng.random_range(6..(h - dh - 4)) as isize;
+        draw_digit(&mut plate, w, h, digit, ox, oy, dw, dh, 2, 1.0);
+        // Colourise strokes with a random bright colour against the
+        // background.
+        let stroke = [
+            rng.random_range(0.6..1.0f32),
+            rng.random_range(0.6..1.0f32),
+            rng.random_range(0.6..1.0f32),
+        ];
+        for y in 0..h {
+            for x in 0..w {
+                let s = plate[y * w + x];
+                if s > 0.0 {
+                    for ch in 0..c {
+                        let px = &mut img[ch * w * h + y * w + x];
+                        *px = (*px * (1.0 - s) + stroke[ch] * s).clamp(0.0, 1.0);
+                    }
+                }
+            }
+        }
+        for p in img.iter_mut() {
+            *p = (*p + rng.random_range(-0.05..0.05f32)).clamp(0.0, 1.0);
+        }
+    }
+    ImageDataset {
+        images: Tensor::from_vec(data, vec![n, c, h, w]),
+        labels,
+        num_classes: 10,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digits_shape_and_determinism() {
+        let a = digits(20, 7);
+        let b = digits(20, 7);
+        assert_eq!(a.image_shape(), (1, 28, 28));
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.images.data(), b.images.data());
+        assert_eq!(a.num_classes, 10);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = digits(20, 1);
+        let b = digits(20, 2);
+        assert_ne!(a.images.data(), b.images.data());
+    }
+
+    #[test]
+    fn digits_have_ink() {
+        let d = digits(10, 3);
+        for i in 0..10 {
+            let img = d.images.row(i);
+            let ink: f32 = img.iter().sum();
+            assert!(ink > 10.0, "image {i} looks blank (ink {ink})");
+        }
+    }
+
+    #[test]
+    fn pixel_range_is_unit_interval() {
+        for ds in [digits(5, 11), objects(5, 11), house_numbers(5, 11)] {
+            assert!(ds
+                .images
+                .data()
+                .iter()
+                .all(|p| (0.0..=1.0).contains(p)));
+        }
+    }
+
+    #[test]
+    fn objects_shape() {
+        let d = objects(12, 5);
+        assert_eq!(d.image_shape(), (3, 32, 32));
+        assert_eq!(d.len(), 12);
+    }
+
+    #[test]
+    fn house_numbers_shape_and_classes() {
+        let d = house_numbers(50, 9);
+        assert_eq!(d.image_shape(), (3, 32, 32));
+        let hist = d.class_histogram();
+        assert_eq!(hist.iter().sum::<usize>(), 50);
+        // With 50 draws, at least 5 distinct digits should appear.
+        assert!(hist.iter().filter(|&&c| c > 0).count() >= 5);
+    }
+
+    #[test]
+    fn same_class_images_differ() {
+        // Within-class variability: find two images of the same digit and
+        // check they are not identical.
+        let d = digits(60, 13);
+        let mut seen: Option<usize> = None;
+        for i in 0..d.len() {
+            if d.labels[i] == 0 {
+                if let Some(j) = seen {
+                    assert_ne!(d.images.row(i), d.images.row(j));
+                    return;
+                }
+                seen = Some(i);
+            }
+        }
+        panic!("fewer than two examples of digit 0 in 60 draws");
+    }
+}

@@ -1,0 +1,103 @@
+//! Impurity measures for weighted binary splits.
+
+/// Shannon entropy (base 2) of a weighted binary class distribution.
+///
+/// `w0` and `w1` are the total example weights of class 0 and class 1 in a
+/// node. Returns 0 for pure or empty nodes and 1 for a perfectly balanced
+/// node.
+///
+/// # Example
+///
+/// ```
+/// use poetbin_dt::weighted_binary_entropy;
+///
+/// assert_eq!(weighted_binary_entropy(1.0, 0.0), 0.0);
+/// assert!((weighted_binary_entropy(0.5, 0.5) - 1.0).abs() < 1e-12);
+/// ```
+pub fn weighted_binary_entropy(w0: f64, w1: f64) -> f64 {
+    debug_assert!(w0 >= 0.0 && w1 >= 0.0, "negative class weight");
+    let total = w0 + w1;
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut h = 0.0;
+    for w in [w0, w1] {
+        if w > 0.0 {
+            let p = w / total;
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+/// Gini impurity of a weighted binary class distribution.
+///
+/// Used by the classic node-wise tree when configured with
+/// [`SplitCriterion::Gini`](crate::SplitCriterion); ranges over `[0, 0.5]`.
+///
+/// # Example
+///
+/// ```
+/// use poetbin_dt::gini_impurity;
+///
+/// assert_eq!(gini_impurity(3.0, 0.0), 0.0);
+/// assert!((gini_impurity(1.0, 1.0) - 0.5).abs() < 1e-12);
+/// ```
+pub fn gini_impurity(w0: f64, w1: f64) -> f64 {
+    debug_assert!(w0 >= 0.0 && w1 >= 0.0, "negative class weight");
+    let total = w0 + w1;
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let p0 = w0 / total;
+    let p1 = w1 / total;
+    1.0 - p0 * p0 - p1 * p1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_extremes() {
+        assert_eq!(weighted_binary_entropy(0.0, 0.0), 0.0);
+        assert_eq!(weighted_binary_entropy(5.0, 0.0), 0.0);
+        assert_eq!(weighted_binary_entropy(0.0, 2.0), 0.0);
+        assert!((weighted_binary_entropy(3.0, 3.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_is_symmetric_and_scale_invariant() {
+        let a = weighted_binary_entropy(1.0, 3.0);
+        let b = weighted_binary_entropy(3.0, 1.0);
+        let c = weighted_binary_entropy(10.0, 30.0);
+        assert!((a - b).abs() < 1e-12);
+        assert!((a - c).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_monotone_towards_balance() {
+        let mut prev = 0.0;
+        for k in 1..=10 {
+            let h = weighted_binary_entropy(k as f64, 10.0);
+            assert!(h >= prev, "entropy should rise towards balance");
+            prev = h;
+        }
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert_eq!(gini_impurity(0.0, 0.0), 0.0);
+        assert_eq!(gini_impurity(4.0, 0.0), 0.0);
+        assert!((gini_impurity(2.0, 2.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_bounded_by_entropy_shape() {
+        for k in 0..=20 {
+            let w1 = k as f64 / 20.0;
+            let g = gini_impurity(1.0 - w1, w1);
+            assert!((0.0..=0.5 + 1e-12).contains(&g));
+        }
+    }
+}

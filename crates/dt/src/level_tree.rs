@@ -1,0 +1,514 @@
+//! The level-wise decision tree of PoET-BiN (Algorithm 1): RINC-0.
+
+use serde::{Deserialize, Serialize};
+
+use poetbin_bits::{BitVec, FeatureMatrix, TruthTable};
+
+use crate::entropy::weighted_binary_entropy;
+use crate::BitClassifier;
+
+/// What label an unreached leaf (no training example lands in it) receives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum EmptyLeafPolicy {
+    /// Follow Algorithm 1 literally: `S0 <= S1` with both sums zero yields
+    /// class 1.
+    #[default]
+    PaperOne,
+    /// Fall back to the overall (weighted) majority class of the training
+    /// set — usually slightly more accurate on sparse data.
+    GlobalMajority,
+}
+
+/// Configuration for training a [`LevelWiseTree`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LevelTreeConfig {
+    /// Number of tree levels = number of LUT inputs `P`.
+    pub inputs: usize,
+    /// Optional restriction of the candidate feature pool; `None` means all
+    /// features of the dataset may be chosen.
+    pub candidates: Option<Vec<usize>>,
+    /// Label policy for leaves that receive no training examples.
+    pub empty_leaf: EmptyLeafPolicy,
+}
+
+impl LevelTreeConfig {
+    /// Convenience constructor for a `P`-input tree over all features.
+    pub fn new(inputs: usize) -> Self {
+        LevelTreeConfig {
+            inputs,
+            candidates: None,
+            empty_leaf: EmptyLeafPolicy::default(),
+        }
+    }
+
+    /// Restricts candidate features (builder style).
+    pub fn with_candidates(mut self, candidates: Vec<usize>) -> Self {
+        self.candidates = Some(candidates);
+        self
+    }
+
+    /// Sets the empty-leaf policy (builder style).
+    pub fn with_empty_leaf(mut self, policy: EmptyLeafPolicy) -> Self {
+        self.empty_leaf = policy;
+        self
+    }
+}
+
+/// Diagnostics produced while training a [`LevelWiseTree`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LevelTrainReport {
+    /// Weighted conditional entropy after each level was added.
+    pub level_entropies: Vec<f64>,
+    /// Number of leaves that received no training example.
+    pub empty_leaves: usize,
+    /// Weighted training error of the finished tree.
+    pub train_error: f64,
+}
+
+/// The paper's modified decision tree: `P` levels, one feature per level,
+/// equivalent to a single `P`-input LUT (RINC-0, Figure 1).
+///
+/// The tree stores the `P` chosen feature indices and the complete
+/// `2^P`-entry truth table of leaf labels. Prediction is a single table
+/// look-up — exactly the O(1) leaf selection the paper highlights.
+///
+/// Address convention: the feature chosen at level `i` drives address bit
+/// `i` of the truth table (`features()[0]` is the least-significant bit).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LevelWiseTree {
+    features: Vec<usize>,
+    table: TruthTable,
+}
+
+impl LevelWiseTree {
+    /// Trains a tree with Algorithm 1 of the paper.
+    ///
+    /// Greedily selects, for each of the `config.inputs` levels, the unused
+    /// feature that minimises the weighted entropy summed over all nodes of
+    /// the new level; then labels every leaf with its weighted majority
+    /// class (`S0 <= S1 → 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels`/`weights` lengths disagree with `data`, if any
+    /// weight is negative, or if fewer candidate features exist than levels
+    /// requested.
+    pub fn train(
+        data: &FeatureMatrix,
+        labels: &BitVec,
+        weights: &[f64],
+        config: &LevelTreeConfig,
+    ) -> Self {
+        Self::train_with_report(data, labels, weights, config).0
+    }
+
+    /// Like [`LevelWiseTree::train`] but also returns training diagnostics.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`LevelWiseTree::train`].
+    pub fn train_with_report(
+        data: &FeatureMatrix,
+        labels: &BitVec,
+        weights: &[f64],
+        config: &LevelTreeConfig,
+    ) -> (Self, LevelTrainReport) {
+        let n = data.num_examples();
+        assert_eq!(labels.len(), n, "label / data length mismatch");
+        assert_eq!(weights.len(), n, "weight / data length mismatch");
+        assert!(weights.iter().all(|w| *w >= 0.0), "negative example weight");
+        let p = config.inputs;
+        let pool: Vec<usize> = match &config.candidates {
+            Some(c) => {
+                for &j in c {
+                    assert!(j < data.num_features(), "candidate feature {j} out of range");
+                }
+                c.clone()
+            }
+            None => (0..data.num_features()).collect(),
+        };
+        assert!(
+            pool.len() >= p,
+            "need at least {p} candidate features, have {}",
+            pool.len()
+        );
+
+        // node_of[e] is the index of the node example e currently sits in,
+        // reading chosen features as little-endian address bits.
+        let mut node_of = vec![0u32; n];
+        let mut used = vec![false; data.num_features()];
+        let mut features = Vec::with_capacity(p);
+        let mut level_entropies = Vec::with_capacity(p);
+
+        // Cache labels as a plain byte per example: the innermost loop below
+        // runs n × F × P times and BitVec::get's shift/mask per label costs
+        // measurably more than an indexed byte load.
+        let label_u8: Vec<u8> = (0..n).map(|e| u8::from(labels.get(e))).collect();
+
+        for level in 0..p {
+            let new_nodes = 1usize << (level + 1);
+            let mut best: Option<(usize, f64)> = None;
+
+            for &feat in &pool {
+                if used[feat] {
+                    continue;
+                }
+                let col = data.feature(feat);
+                // counts[(node << 1 | bit) * 2 + class] = total weight.
+                let mut counts = vec![0.0f64; new_nodes * 2];
+                for e in 0..n {
+                    let bit = u32::from(col.get(e));
+                    let child = ((node_of[e] << 1) | bit) as usize;
+                    counts[child * 2 + label_u8[e] as usize] += weights[e];
+                }
+                let total: f64 = counts.iter().sum();
+                let mut level_entropy = 0.0;
+                if total > 0.0 {
+                    for node in 0..new_nodes {
+                        let w0 = counts[node * 2];
+                        let w1 = counts[node * 2 + 1];
+                        level_entropy +=
+                            (w0 + w1) / total * weighted_binary_entropy(w0, w1);
+                    }
+                }
+                let better = match best {
+                    None => true,
+                    Some((_, e)) => level_entropy < e - 1e-15,
+                };
+                if better {
+                    best = Some((feat, level_entropy));
+                }
+            }
+
+            let (feat, entropy) = best.expect("candidate pool exhausted");
+            used[feat] = true;
+            features.push(feat);
+            level_entropies.push(entropy);
+            let col = data.feature(feat);
+            for e in 0..n {
+                node_of[e] = (node_of[e] << 1) | u32::from(col.get(e));
+            }
+        }
+
+        // node_of holds big-endian addresses (level 0 = most significant);
+        // refill leaf statistics in the little-endian convention used by the
+        // truth table so predict() can call FeatureMatrix::address directly.
+        let leaves = 1usize << p;
+        let mut leaf_w = vec![0.0f64; leaves * 2];
+        for e in 0..n {
+            let be = node_of[e] as usize;
+            let le = reverse_bits(be, p);
+            leaf_w[le * 2 + label_u8[e] as usize] += weights[e];
+        }
+
+        let (mut total_w0, mut total_w1) = (0.0, 0.0);
+        for leaf in 0..leaves {
+            total_w0 += leaf_w[leaf * 2];
+            total_w1 += leaf_w[leaf * 2 + 1];
+        }
+        let majority = total_w1 >= total_w0;
+
+        let mut empty_leaves = 0;
+        let table = TruthTable::from_fn(p, |leaf| {
+            let w0 = leaf_w[leaf * 2];
+            let w1 = leaf_w[leaf * 2 + 1];
+            if w0 == 0.0 && w1 == 0.0 {
+                empty_leaves += 1;
+                match config.empty_leaf {
+                    EmptyLeafPolicy::PaperOne => true,
+                    EmptyLeafPolicy::GlobalMajority => majority,
+                }
+            } else {
+                // Algorithm 1: S0 <= S1 → label 1.
+                w0 <= w1
+            }
+        });
+
+        let tree = LevelWiseTree { features, table };
+        let train_error = tree.weighted_error(data, labels, weights);
+        (
+            tree,
+            LevelTrainReport {
+                level_entropies,
+                empty_leaves,
+                train_error,
+            },
+        )
+    }
+
+    /// Builds a tree directly from chosen features and a truth table,
+    /// bypassing training (used by deserialisation and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table.inputs() != features.len()`.
+    pub fn from_parts(features: Vec<usize>, table: TruthTable) -> Self {
+        assert_eq!(
+            table.inputs(),
+            features.len(),
+            "truth table arity must match feature count"
+        );
+        LevelWiseTree { features, table }
+    }
+
+    /// The feature selected at each level (level 0 first; drives address
+    /// bit 0).
+    pub fn features(&self) -> &[usize] {
+        &self.features
+    }
+
+    /// The LUT contents: leaf labels for every feature combination.
+    pub fn table(&self) -> &TruthTable {
+        &self.table
+    }
+
+    /// Number of LUT inputs `P`.
+    pub fn inputs(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Predicts every example by indexing the truth table with packed
+    /// feature bits — the hardware-equivalent batch path.
+    pub fn predict_matrix(&self, data: &FeatureMatrix) -> BitVec {
+        BitVec::from_fn(data.num_examples(), |e| {
+            self.table.eval(data.address(e, &self.features))
+        })
+    }
+}
+
+impl BitClassifier for LevelWiseTree {
+    fn predict_row(&self, row: &BitVec) -> bool {
+        let mut addr = 0usize;
+        for (pos, &j) in self.features.iter().enumerate() {
+            if row.get(j) {
+                addr |= 1 << pos;
+            }
+        }
+        self.table.eval(addr)
+    }
+
+    fn predict_batch(&self, data: &FeatureMatrix) -> BitVec {
+        self.predict_matrix(data)
+    }
+}
+
+/// Reverses the `width` lowest bits of `value`.
+fn reverse_bits(value: usize, width: usize) -> usize {
+    let mut out = 0usize;
+    for i in 0..width {
+        if (value >> i) & 1 == 1 {
+            out |= 1 << (width - 1 - i);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive dataset over `f` features: example `e` has feature `j`
+    /// set when bit `j` of `e` is one.
+    fn exhaustive(f: usize) -> FeatureMatrix {
+        FeatureMatrix::from_fn(1 << f, f, |e, j| (e >> j) & 1 == 1)
+    }
+
+    #[test]
+    fn reverse_bits_works() {
+        assert_eq!(reverse_bits(0b001, 3), 0b100);
+        assert_eq!(reverse_bits(0b110, 3), 0b011);
+        assert_eq!(reverse_bits(0b1, 1), 0b1);
+        assert_eq!(reverse_bits(0, 4), 0);
+    }
+
+    #[test]
+    fn learns_single_relevant_feature() {
+        let data = exhaustive(5);
+        let labels = BitVec::from_fn(32, |e| (e >> 3) & 1 == 1);
+        let w = vec![1.0; 32];
+        let tree = LevelWiseTree::train(&data, &labels, &w, &LevelTreeConfig::new(1));
+        assert_eq!(tree.features(), &[3]);
+        assert_eq!(tree.accuracy(&data, &labels), 1.0);
+    }
+
+    #[test]
+    fn learns_xor_exactly_with_two_levels() {
+        // XOR makes every single feature look equally useless (entropy 1),
+        // so greedy selection falls back to the deterministic lowest-index
+        // tie-break. With the XOR pair at indices 0 and 1, two levels
+        // recover the function exactly — the Figure 1 capacity argument.
+        let data = exhaustive(6);
+        let labels = BitVec::from_fn(64, |e| (e ^ (e >> 1)) & 1 == 1);
+        let w = vec![1.0; 64];
+        let (tree, report) =
+            LevelWiseTree::train_with_report(&data, &labels, &w, &LevelTreeConfig::new(2));
+        let mut chosen = tree.features().to_vec();
+        chosen.sort_unstable();
+        assert_eq!(chosen, vec![0, 1]);
+        assert_eq!(tree.accuracy(&data, &labels), 1.0);
+        assert_eq!(report.train_error, 0.0);
+        assert_eq!(*report.level_entropies.last().unwrap(), 0.0);
+        assert_eq!(report.empty_leaves, 0);
+    }
+
+    #[test]
+    fn xor_defeats_single_level_but_not_two() {
+        // Entropy of any single feature on XOR labels is 1 bit: level-wise
+        // training still recovers it once paired, demonstrating the capacity
+        // argument of §2.1.1.
+        let data = exhaustive(4);
+        let labels = BitVec::from_fn(16, |e| ((e) ^ (e >> 1)) & 1 == 1);
+        let w = vec![1.0; 16];
+        let one = LevelWiseTree::train(&data, &labels, &w, &LevelTreeConfig::new(1));
+        assert!(one.accuracy(&data, &labels) <= 0.5 + 1e-9);
+        let two = LevelWiseTree::train(&data, &labels, &w, &LevelTreeConfig::new(2));
+        assert_eq!(two.accuracy(&data, &labels), 1.0);
+    }
+
+    #[test]
+    fn respects_candidate_restriction() {
+        let data = exhaustive(5);
+        // Label is feature 0, but feature 0 is excluded from the pool.
+        let labels = BitVec::from_fn(32, |e| e & 1 == 1);
+        let w = vec![1.0; 32];
+        let cfg = LevelTreeConfig::new(2).with_candidates(vec![1, 2, 3, 4]);
+        let tree = LevelWiseTree::train(&data, &labels, &w, &cfg);
+        assert!(!tree.features().contains(&0));
+    }
+
+    #[test]
+    fn features_are_distinct() {
+        let data = exhaustive(6);
+        let labels = BitVec::from_fn(64, |e| (e.count_ones() % 2) == 1);
+        let w = vec![1.0; 64];
+        let tree = LevelWiseTree::train(&data, &labels, &w, &LevelTreeConfig::new(4));
+        let mut f = tree.features().to_vec();
+        f.sort_unstable();
+        f.dedup();
+        assert_eq!(f.len(), 4, "a feature was reused across levels");
+    }
+
+    #[test]
+    fn weights_steer_the_split_choice() {
+        // Two candidate features; feature 0 classifies the heavy examples,
+        // feature 1 the light ones. With skewed weights the tree must pick
+        // feature 0 first.
+        let data = FeatureMatrix::from_fn(4, 2, |e, j| match (e, j) {
+            (0, 0) | (1, 0) => true,
+            (0, 1) | (2, 1) => true,
+            _ => false,
+        });
+        let labels = BitVec::from_bools([true, true, false, false]);
+        let heavy = vec![10.0, 10.0, 10.0, 10.0];
+        let tree = LevelWiseTree::train(&data, &labels, &heavy, &LevelTreeConfig::new(1));
+        assert_eq!(tree.features(), &[0]);
+
+        // Invert label alignment importance by zeroing the weight of the
+        // examples feature 0 explains.
+        let skewed = vec![0.0, 0.0, 10.0, 10.0];
+        let tree = LevelWiseTree::train(&data, &labels, &skewed, &LevelTreeConfig::new(1));
+        // Under these weights feature 1 perfectly separates (e2 has it set,
+        // label 0 vs e3 unset, label 0 — both are class 0, so entropy is 0
+        // for any feature; tie-break keeps the lowest index).
+        assert_eq!(tree.features(), &[0]);
+    }
+
+    #[test]
+    fn empty_leaf_policies_differ() {
+        // Only 2 examples over 2 features: most leaves are unreached.
+        let data = FeatureMatrix::from_fn(2, 3, |e, j| e == 0 && j < 2);
+        let labels = BitVec::from_bools([false, false]);
+        let w = vec![1.0; 2];
+        let paper = LevelWiseTree::train(
+            &data,
+            &labels,
+            &w,
+            &LevelTreeConfig::new(2).with_empty_leaf(EmptyLeafPolicy::PaperOne),
+        );
+        let majority = LevelWiseTree::train(
+            &data,
+            &labels,
+            &w,
+            &LevelTreeConfig::new(2).with_empty_leaf(EmptyLeafPolicy::GlobalMajority),
+        );
+        // Paper policy marks unreached leaves 1, majority marks them 0.
+        assert!(paper.table().count_ones() >= 2);
+        assert_eq!(majority.table().count_ones(), 0);
+    }
+
+    #[test]
+    fn predict_row_and_matrix_agree() {
+        let data = exhaustive(6);
+        let labels = BitVec::from_fn(64, |e| (e * 2654435761) & 8 != 0);
+        let w = vec![1.0; 64];
+        let tree = LevelWiseTree::train(&data, &labels, &w, &LevelTreeConfig::new(3));
+        let batch = tree.predict_matrix(&data);
+        for e in 0..64 {
+            assert_eq!(batch.get(e), tree.predict_row(data.row(e)));
+        }
+    }
+
+    #[test]
+    fn lut_equivalence_exhaustive() {
+        // The Figure 1 property: the trained tree IS its truth table. Walk
+        // the tree semantics manually and compare against table eval.
+        let data = exhaustive(5);
+        let labels = BitVec::from_fn(32, |e| e % 3 == 0);
+        let w = vec![1.0; 32];
+        let tree = LevelWiseTree::train(&data, &labels, &w, &LevelTreeConfig::new(3));
+        for e in 0..32 {
+            let mut addr = 0usize;
+            for (pos, &f) in tree.features().iter().enumerate() {
+                if data.bit(e, f) {
+                    addr |= 1 << pos;
+                }
+            }
+            assert_eq!(tree.predict_row(data.row(e)), tree.table().eval(addr));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate features")]
+    fn too_few_candidates_panics() {
+        let data = exhaustive(2);
+        let labels = BitVec::zeros(4);
+        let w = vec![1.0; 4];
+        LevelWiseTree::train(&data, &labels, &w, &LevelTreeConfig::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_weights_panic() {
+        let data = exhaustive(2);
+        let labels = BitVec::zeros(4);
+        LevelWiseTree::train(&data, &labels, &[1.0, -1.0, 1.0, 1.0], &LevelTreeConfig::new(1));
+    }
+
+    #[test]
+    fn from_parts_roundtrip() {
+        let table = TruthTable::from_fn(2, |i| i == 3);
+        let tree = LevelWiseTree::from_parts(vec![4, 7], table.clone());
+        assert_eq!(tree.features(), &[4, 7]);
+        assert_eq!(tree.table(), &table);
+        let mut row = BitVec::zeros(8);
+        row.set(4, true);
+        row.set(7, true);
+        assert!(tree.predict_row(&row));
+    }
+
+    #[test]
+    fn entropy_never_increases_per_level() {
+        let data = exhaustive(8);
+        let labels = BitVec::from_fn(256, |e| (e.wrapping_mul(97) >> 3) & 1 == 1);
+        let w = vec![1.0; 256];
+        let (_, report) =
+            LevelWiseTree::train_with_report(&data, &labels, &w, &LevelTreeConfig::new(5));
+        for pair in report.level_entropies.windows(2) {
+            assert!(
+                pair[1] <= pair[0] + 1e-9,
+                "conditional entropy must be non-increasing: {:?}",
+                report.level_entropies
+            );
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Decision trees for the PoET-BiN reproduction.
+//!
+//! Two tree families live here:
+//!
+//! * [`LevelWiseTree`] — the paper's modified decision tree (Algorithm 1,
+//!   §2.1.1). Instead of growing one node at a time, the tree is trained
+//!   *level by level*: every node of a level shares the same feature, so a
+//!   `P`-level tree reads exactly `P` distinct inputs and its complete
+//!   input→output behaviour fits a single `P`-input LUT. This is the RINC-0
+//!   module.
+//! * [`ClassicTree`] — a conventional node-wise CART-style tree limited by
+//!   depth or node count, as used by off-the-shelf libraries (and by the
+//!   POLYBiNN baseline the paper compares against). It exists to quantify
+//!   the paper's claim that node-wise trees under-utilise LUT inputs.
+//!
+//! Both trees are binary classifiers over binary features and train on
+//! weighted examples so they can serve as AdaBoost weak learners
+//! (see `poetbin-boost`).
+//!
+//! # Example
+//!
+//! ```
+//! use poetbin_bits::{BitVec, FeatureMatrix};
+//! use poetbin_dt::{BitClassifier, LevelTreeConfig, LevelWiseTree};
+//!
+//! // Learn xor(f0, f1) from an exhaustive table over 4 features.
+//! let data = FeatureMatrix::from_fn(16, 4, |e, j| (e >> j) & 1 == 1);
+//! let labels = BitVec::from_fn(16, |e| ((e & 1) ^ ((e >> 1) & 1)) == 1);
+//! let weights = vec![1.0; 16];
+//! let tree = LevelWiseTree::train(&data, &labels, &weights, &LevelTreeConfig::new(2));
+//! for e in 0..16 {
+//!     assert_eq!(tree.predict_row(data.row(e)), labels.get(e));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classic_tree;
+mod entropy;
+mod level_tree;
+
+pub use classic_tree::{ClassicTree, ClassicTreeConfig, SplitCriterion};
+pub use entropy::{gini_impurity, weighted_binary_entropy};
+pub use level_tree::{EmptyLeafPolicy, LevelTrainReport, LevelTreeConfig, LevelWiseTree};
+
+use poetbin_bits::{BitVec, FeatureMatrix};
+
+/// A binary classifier over binary feature rows.
+///
+/// Implemented by both tree families and by the boosted RINC modules in
+/// `poetbin-boost`, so boosting can treat any of them as a weak learner.
+pub trait BitClassifier {
+    /// Predicts the binary class for one example row.
+    fn predict_row(&self, row: &BitVec) -> bool;
+
+    /// Predicts the binary class for every example in `data`.
+    fn predict_batch(&self, data: &FeatureMatrix) -> BitVec {
+        BitVec::from_fn(data.num_examples(), |e| self.predict_row(data.row(e)))
+    }
+
+    /// Weighted 0/1 error of the classifier on a labelled set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels` or `weights` disagree with `data` on length.
+    fn weighted_error(&self, data: &FeatureMatrix, labels: &BitVec, weights: &[f64]) -> f64 {
+        assert_eq!(data.num_examples(), labels.len());
+        assert_eq!(data.num_examples(), weights.len());
+        let preds = self.predict_batch(data);
+        let total: f64 = weights.iter().sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let mut wrong = 0.0;
+        for e in preds.xor(labels).iter_ones() {
+            wrong += weights[e];
+        }
+        wrong / total
+    }
+
+    /// Unweighted accuracy on a labelled set.
+    fn accuracy(&self, data: &FeatureMatrix, labels: &BitVec) -> f64 {
+        let n = data.num_examples();
+        if n == 0 {
+            return 1.0;
+        }
+        let agree = n - self.predict_batch(data).hamming_distance(labels);
+        agree as f64 / n as f64
+    }
+}

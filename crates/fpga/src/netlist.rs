@@ -1,0 +1,362 @@
+//! Combinational LUT netlists.
+
+use serde::{Deserialize, Serialize};
+
+use poetbin_bits::TruthTable;
+
+/// Identifier of a signal in a [`Netlist`] (the index of the node driving
+/// it).
+pub type SignalId = usize;
+
+/// One primitive of the netlist. Nodes are stored in topological order:
+/// every operand id is smaller than the node's own id.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Node {
+    /// Primary input number `index`.
+    Input {
+        /// Position among the primary inputs.
+        index: usize,
+    },
+    /// A constant driver.
+    Const {
+        /// The constant value.
+        value: bool,
+    },
+    /// A look-up table over the given operand signals (operand `i` is
+    /// address bit `i`).
+    Lut {
+        /// Operand signals.
+        inputs: Vec<SignalId>,
+        /// The LUT contents.
+        table: TruthTable,
+    },
+    /// A dedicated 2:1 mux (Xilinx MUXF7/F8): `out = if sel { hi } else
+    /// { lo }`.
+    Mux {
+        /// Select signal.
+        sel: SignalId,
+        /// Value when `sel` is 0.
+        lo: SignalId,
+        /// Value when `sel` is 1.
+        hi: SignalId,
+    },
+}
+
+/// A combinational network of LUTs, muxes and constants.
+///
+/// Built through [`NetlistBuilder`], which enforces topological order, so
+/// evaluation is a single forward sweep.
+///
+/// # Example
+///
+/// ```
+/// use poetbin_bits::TruthTable;
+/// use poetbin_fpga::NetlistBuilder;
+///
+/// let mut b = NetlistBuilder::new();
+/// let x = b.add_input();
+/// let y = b.add_input();
+/// let and = b.add_lut(vec![x, y], TruthTable::from_fn(2, |i| i == 3));
+/// b.set_outputs(vec![and]);
+/// let net = b.finish();
+/// assert_eq!(net.eval(&[true, true]), vec![true]);
+/// assert_eq!(net.eval(&[true, false]), vec![false]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Netlist {
+    nodes: Vec<Node>,
+    outputs: Vec<SignalId>,
+    num_inputs: usize,
+}
+
+impl Netlist {
+    /// All nodes in topological order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The output signals, in declaration order.
+    pub fn outputs(&self) -> &[SignalId] {
+        &self.outputs
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of signals (nodes).
+    pub fn num_signals(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Evaluates the network on one input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != num_inputs()`.
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.num_inputs, "input arity mismatch");
+        let mut values = vec![false; self.nodes.len()];
+        for (id, node) in self.nodes.iter().enumerate() {
+            values[id] = match node {
+                Node::Input { index } => inputs[*index],
+                Node::Const { value } => *value,
+                Node::Lut { inputs, table } => {
+                    let mut addr = 0usize;
+                    for (pos, &src) in inputs.iter().enumerate() {
+                        if values[src] {
+                            addr |= 1 << pos;
+                        }
+                    }
+                    table.eval(addr)
+                }
+                Node::Mux { sel, lo, hi } => {
+                    if values[*sel] {
+                        values[*hi]
+                    } else {
+                        values[*lo]
+                    }
+                }
+            };
+        }
+        self.outputs.iter().map(|&o| values[o]).collect()
+    }
+
+    /// Area statistics of the network as built (before or after mapping).
+    pub fn area(&self) -> AreaReport {
+        let mut report = AreaReport::default();
+        for node in &self.nodes {
+            match node {
+                Node::Input { .. } | Node::Const { .. } => {}
+                Node::Lut { inputs, .. } => {
+                    report.luts += 1;
+                    report.max_lut_inputs = report.max_lut_inputs.max(inputs.len());
+                    if inputs.len() > 6 {
+                        report.oversized_luts += 1;
+                    }
+                }
+                Node::Mux { .. } => report.muxes += 1,
+            }
+        }
+        report
+    }
+
+    /// Fanout (number of reading nodes plus output taps) of every signal.
+    pub fn fanouts(&self) -> Vec<usize> {
+        let mut fanout = vec![0usize; self.nodes.len()];
+        for node in &self.nodes {
+            match node {
+                Node::Input { .. } | Node::Const { .. } => {}
+                Node::Lut { inputs, .. } => {
+                    for &src in inputs {
+                        fanout[src] += 1;
+                    }
+                }
+                Node::Mux { sel, lo, hi } => {
+                    fanout[*sel] += 1;
+                    fanout[*lo] += 1;
+                    fanout[*hi] += 1;
+                }
+            }
+        }
+        for &o in &self.outputs {
+            fanout[o] += 1;
+        }
+        fanout
+    }
+
+}
+
+/// Area statistics of a [`Netlist`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AreaReport {
+    /// Number of LUT nodes.
+    pub luts: usize,
+    /// Number of dedicated mux nodes.
+    pub muxes: usize,
+    /// Widest LUT fan-in present.
+    pub max_lut_inputs: usize,
+    /// LUTs wider than the 6-input fabric primitive (present only before
+    /// technology mapping).
+    pub oversized_luts: usize,
+}
+
+/// Incremental, topologically-ordered netlist construction.
+#[derive(Default)]
+pub struct NetlistBuilder {
+    nodes: Vec<Node>,
+    outputs: Vec<SignalId>,
+    num_inputs: usize,
+}
+
+impl NetlistBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        NetlistBuilder::default()
+    }
+
+    /// Adds the next primary input and returns its signal.
+    pub fn add_input(&mut self) -> SignalId {
+        let id = self.nodes.len();
+        self.nodes.push(Node::Input {
+            index: self.num_inputs,
+        });
+        self.num_inputs += 1;
+        id
+    }
+
+    /// Adds `n` primary inputs and returns their signals.
+    pub fn add_inputs(&mut self, n: usize) -> Vec<SignalId> {
+        (0..n).map(|_| self.add_input()).collect()
+    }
+
+    /// Adds a constant driver.
+    pub fn add_const(&mut self, value: bool) -> SignalId {
+        self.nodes.push(Node::Const { value });
+        self.nodes.len() - 1
+    }
+
+    /// Adds a LUT node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand count disagrees with the table arity or any
+    /// operand is not yet defined (forward reference).
+    pub fn add_lut(&mut self, inputs: Vec<SignalId>, table: TruthTable) -> SignalId {
+        assert_eq!(
+            inputs.len(),
+            table.inputs(),
+            "LUT operand count must match table arity"
+        );
+        let id = self.nodes.len();
+        for &src in &inputs {
+            assert!(src < id, "forward reference to signal {src}");
+        }
+        self.nodes.push(Node::Lut { inputs, table });
+        id
+    }
+
+    /// Adds a dedicated 2:1 mux node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on forward references.
+    pub fn add_mux(&mut self, sel: SignalId, lo: SignalId, hi: SignalId) -> SignalId {
+        let id = self.nodes.len();
+        for src in [sel, lo, hi] {
+            assert!(src < id, "forward reference to signal {src}");
+        }
+        self.nodes.push(Node::Mux { sel, lo, hi });
+        id
+    }
+
+    /// Declares the network outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any signal is undefined.
+    pub fn set_outputs(&mut self, outputs: Vec<SignalId>) {
+        for &o in &outputs {
+            assert!(o < self.nodes.len(), "undefined output signal {o}");
+        }
+        self.outputs = outputs;
+    }
+
+    /// Finalises the netlist.
+    pub fn finish(self) -> Netlist {
+        Netlist {
+            nodes: self.nodes,
+            outputs: self.outputs,
+            num_inputs: self.num_inputs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_net() -> Netlist {
+        let mut b = NetlistBuilder::new();
+        let x = b.add_input();
+        let y = b.add_input();
+        let xor = b.add_lut(vec![x, y], TruthTable::from_fn(2, |i| i == 1 || i == 2));
+        b.set_outputs(vec![xor]);
+        b.finish()
+    }
+
+    #[test]
+    fn eval_xor() {
+        let net = xor_net();
+        assert_eq!(net.eval(&[false, false]), vec![false]);
+        assert_eq!(net.eval(&[true, false]), vec![true]);
+        assert_eq!(net.eval(&[false, true]), vec![true]);
+        assert_eq!(net.eval(&[true, true]), vec![false]);
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut b = NetlistBuilder::new();
+        let sel = b.add_input();
+        let lo = b.add_const(false);
+        let hi = b.add_const(true);
+        let m = b.add_mux(sel, lo, hi);
+        b.set_outputs(vec![m]);
+        let net = b.finish();
+        assert_eq!(net.eval(&[false]), vec![false]);
+        assert_eq!(net.eval(&[true]), vec![true]);
+    }
+
+    #[test]
+    fn area_counts_primitives() {
+        let mut b = NetlistBuilder::new();
+        let ins = b.add_inputs(8);
+        let wide = b.add_lut(ins.clone(), TruthTable::from_fn(8, |i| i % 3 == 0));
+        let narrow = b.add_lut(ins[..2].to_vec(), TruthTable::from_fn(2, |i| i == 0));
+        let m = b.add_mux(ins[0], wide, narrow);
+        b.set_outputs(vec![m]);
+        let area = b.finish().area();
+        assert_eq!(area.luts, 2);
+        assert_eq!(area.muxes, 1);
+        assert_eq!(area.max_lut_inputs, 8);
+        assert_eq!(area.oversized_luts, 1);
+    }
+
+    #[test]
+    fn fanouts_count_readers_and_outputs() {
+        let net = xor_net();
+        let f = net.fanouts();
+        assert_eq!(f[0], 1); // x feeds the LUT
+        assert_eq!(f[1], 1);
+        assert_eq!(f[2], 1); // output tap
+    }
+
+    #[test]
+    #[should_panic(expected = "forward reference")]
+    fn forward_reference_panics() {
+        let mut b = NetlistBuilder::new();
+        let x = b.add_input();
+        b.add_lut(vec![x, 99], TruthTable::zeros(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn wrong_input_count_panics() {
+        xor_net().eval(&[true]);
+    }
+
+    #[test]
+    fn deep_chain_evaluates() {
+        // A 100-deep inverter chain: output = input for even depth.
+        let mut b = NetlistBuilder::new();
+        let mut sig = b.add_input();
+        for _ in 0..100 {
+            sig = b.add_lut(vec![sig], TruthTable::from_fn(1, |i| i == 0));
+        }
+        b.set_outputs(vec![sig]);
+        let net = b.finish();
+        assert_eq!(net.eval(&[true]), vec![true]);
+        assert_eq!(net.eval(&[false]), vec![false]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Bit-parallel netlist simulation with switching-activity capture.
+
+use poetbin_bits::{BitVec, TruthTable};
+
+use crate::netlist::{Netlist, Node};
+
+/// Result of a [`simulate`] run over a vector sequence.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Output waveforms: `outputs[k]` holds output `k`'s value for every
+    /// applied vector.
+    pub outputs: Vec<BitVec>,
+    /// Per-signal toggle rate: transitions between consecutive vectors
+    /// divided by `vectors - 1`. Index matches the netlist's signal ids.
+    pub activity: Vec<f64>,
+    /// Number of vectors applied.
+    pub vectors: usize,
+}
+
+impl SimResult {
+    /// Mean toggle rate across all signals — the aggregate switching
+    /// activity the power model consumes.
+    pub fn mean_activity(&self) -> f64 {
+        if self.activity.is_empty() {
+            0.0
+        } else {
+            self.activity.iter().sum::<f64>() / self.activity.len() as f64
+        }
+    }
+}
+
+/// Evaluates a LUT over 64 parallel input lanes by Shannon recursion on the
+/// packed truth-table bits.
+fn lut_eval_words(table: &TruthTable, operands: &[u64]) -> u64 {
+    fn go(table: &TruthTable, operands: &[u64], offset: usize, width: usize) -> u64 {
+        if width == 0 {
+            return if table.eval(offset) { u64::MAX } else { 0 };
+        }
+        let lo = go(table, operands, offset, width - 1);
+        let hi = go(table, operands, offset | (1 << (width - 1)), width - 1);
+        let sel = operands[width - 1];
+        (!sel & lo) | (sel & hi)
+    }
+    go(table, operands, 0, table.inputs())
+}
+
+/// Applies `vectors` (one [`BitVec`] of `num_inputs` bits per vector) to
+/// the netlist, 64 lanes at a time, and records output waveforms plus
+/// per-signal switching activity.
+///
+/// # Panics
+///
+/// Panics if any vector's width differs from the netlist's input count.
+pub fn simulate(net: &Netlist, vectors: &[BitVec]) -> SimResult {
+    let n = vectors.len();
+    for (i, v) in vectors.iter().enumerate() {
+        assert_eq!(
+            v.len(),
+            net.num_inputs(),
+            "vector {i} has {} bits, expected {}",
+            v.len(),
+            net.num_inputs()
+        );
+    }
+    let num_signals = net.num_signals();
+    let mut outputs = vec![BitVec::zeros(n); net.outputs().len()];
+    let mut toggles = vec![0u64; num_signals];
+    let mut last_value: Vec<Option<bool>> = vec![None; num_signals];
+
+    let mut lane_values = vec![0u64; num_signals];
+    let mut start = 0usize;
+    while start < n {
+        let lanes = (n - start).min(64);
+        // Pack inputs: lane l carries vector start+l.
+        for (id, node) in net.nodes().iter().enumerate() {
+            lane_values[id] = match node {
+                Node::Input { index } => {
+                    let mut w = 0u64;
+                    for l in 0..lanes {
+                        if vectors[start + l].get(*index) {
+                            w |= 1 << l;
+                        }
+                    }
+                    w
+                }
+                Node::Const { value } => {
+                    if *value {
+                        u64::MAX
+                    } else {
+                        0
+                    }
+                }
+                Node::Lut { inputs, table } => {
+                    let ops: Vec<u64> = inputs.iter().map(|&s| lane_values[s]).collect();
+                    lut_eval_words(table, &ops)
+                }
+                Node::Mux { sel, lo, hi } => {
+                    let s = lane_values[*sel];
+                    (!s & lane_values[*lo]) | (s & lane_values[*hi])
+                }
+            };
+        }
+        // Collect outputs.
+        for (k, &o) in net.outputs().iter().enumerate() {
+            let w = lane_values[o];
+            for l in 0..lanes {
+                if (w >> l) & 1 == 1 {
+                    outputs[k].set(start + l, true);
+                }
+            }
+        }
+        // Toggle counting: transitions inside the word plus the seam with
+        // the previous word.
+        let lane_mask = if lanes == 64 {
+            u64::MAX
+        } else {
+            (1u64 << lanes) - 1
+        };
+        for id in 0..num_signals {
+            let w = lane_values[id] & lane_mask;
+            // Within-word transitions between consecutive lanes.
+            let within = (w ^ (w >> 1)) & (lane_mask >> 1);
+            toggles[id] += within.count_ones() as u64;
+            // Seam with the previous block.
+            if let Some(prev) = last_value[id] {
+                if prev != ((w & 1) == 1) {
+                    toggles[id] += 1;
+                }
+            }
+            last_value[id] = Some((w >> (lanes - 1)) & 1 == 1);
+        }
+        start += lanes;
+    }
+
+    let denom = n.saturating_sub(1).max(1) as f64;
+    SimResult {
+        outputs,
+        activity: toggles.iter().map(|&t| t as f64 / denom).collect(),
+        vectors: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NetlistBuilder;
+
+    fn xor_net() -> Netlist {
+        let mut b = NetlistBuilder::new();
+        let x = b.add_input();
+        let y = b.add_input();
+        let xor = b.add_lut(vec![x, y], TruthTable::from_fn(2, |i| i == 1 || i == 2));
+        b.set_outputs(vec![xor]);
+        b.finish()
+    }
+
+    #[test]
+    fn batch_matches_single_eval() {
+        let net = xor_net();
+        let vectors: Vec<BitVec> = (0..200)
+            .map(|i| BitVec::from_bools([(i / 2) % 2 == 0, i % 3 == 0]))
+            .collect();
+        let sim = simulate(&net, &vectors);
+        for (i, v) in vectors.iter().enumerate() {
+            let expect = net.eval(&[v.get(0), v.get(1)]);
+            assert_eq!(sim.outputs[0].get(i), expect[0], "vector {i}");
+        }
+    }
+
+    #[test]
+    fn wide_lut_simulation_matches_eval() {
+        let mut b = NetlistBuilder::new();
+        let ins = b.add_inputs(8);
+        let lut = b.add_lut(
+            ins,
+            TruthTable::from_fn(8, |i| (i * 2654435761) & 32 != 0),
+        );
+        b.set_outputs(vec![lut]);
+        let net = b.finish();
+        let vectors: Vec<BitVec> = (0..256)
+            .map(|i| BitVec::from_fn(8, |j| (i >> j) & 1 == 1))
+            .collect();
+        let sim = simulate(&net, &vectors);
+        for (i, v) in vectors.iter().enumerate() {
+            let bits: Vec<bool> = (0..8).map(|j| v.get(j)).collect();
+            assert_eq!(sim.outputs[0].get(i), net.eval(&bits)[0], "vector {i}");
+        }
+    }
+
+    #[test]
+    fn constant_signal_never_toggles() {
+        let mut b = NetlistBuilder::new();
+        let x = b.add_input();
+        let c = b.add_const(true);
+        let and = b.add_lut(vec![x, c], TruthTable::from_fn(2, |i| i == 3));
+        b.set_outputs(vec![and]);
+        let net = b.finish();
+        let vectors: Vec<BitVec> = (0..100).map(|i| BitVec::from_bools([i % 2 == 0])).collect();
+        let sim = simulate(&net, &vectors);
+        assert_eq!(sim.activity[1], 0.0, "constant toggled");
+        assert!(sim.activity[0] > 0.9, "alternating input must toggle");
+    }
+
+    #[test]
+    fn alternating_input_has_full_activity() {
+        let net = xor_net();
+        let vectors: Vec<BitVec> = (0..129)
+            .map(|i| BitVec::from_bools([i % 2 == 0, false]))
+            .collect();
+        let sim = simulate(&net, &vectors);
+        assert!((sim.activity[0] - 1.0).abs() < 1e-9, "{}", sim.activity[0]);
+        assert_eq!(sim.activity[1], 0.0);
+        // XOR output follows input 0 exactly.
+        assert!((sim.activity[2] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seam_toggles_are_counted() {
+        // 65 vectors alternating: toggle count must be 64, not 63 (the seam
+        // between word 0 and word 1 counts).
+        let mut b = NetlistBuilder::new();
+        let x = b.add_input();
+        b.set_outputs(vec![x]);
+        let net = b.finish();
+        let vectors: Vec<BitVec> = (0..65).map(|i| BitVec::from_bools([i % 2 == 1])).collect();
+        let sim = simulate(&net, &vectors);
+        assert!((sim.activity[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_vector_list_is_fine() {
+        let net = xor_net();
+        let sim = simulate(&net, &[]);
+        assert_eq!(sim.vectors, 0);
+        assert_eq!(sim.outputs[0].len(), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! VHDL generation for PoET-BiN netlists.
+//!
+//! The fifth contribution of the paper is automatic VHDL generation from
+//! the trained LUTs, plus an automatically produced testbench that checks
+//! the FPGA outputs against the framework outputs. This crate reproduces
+//! both:
+//!
+//! * [`generate_vhdl`] — emits a synthesizable entity/architecture pair in
+//!   which every netlist LUT becomes an `INIT` constant and an indexed
+//!   look-up, every dedicated mux a conditional assignment.
+//! * [`generate_testbench`] — emits a self-checking testbench applying a
+//!   vector set whose expected responses come from the Rust simulator.
+//! * [`generate_shift_wrapper`] — the paper's trick for boards with fewer
+//!   IO pins than classifier inputs: a serial shift register feeds the
+//!   core (§4.2 subtracts its power afterwards).
+//! * [`parse_vhdl`] — reads the generated VHDL back into a
+//!   [`Netlist`](poetbin_fpga::Netlist); round-tripping plus simulation
+//!   substitutes for the vendor HDL simulator in this environment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod parse;
+mod testbench;
+mod vhdl;
+
+pub use parse::{parse_vhdl, ParseVhdlError};
+pub use testbench::generate_testbench;
+pub use vhdl::{generate_shift_wrapper, generate_vhdl};

@@ -1,0 +1,310 @@
+//! Round-trip parser for the VHDL emitted by [`generate_vhdl`].
+//!
+//! [`generate_vhdl`]: crate::generate_vhdl
+
+use std::collections::HashMap;
+use std::fmt;
+
+use poetbin_bits::{BitVec, TruthTable};
+use poetbin_fpga::{Netlist, NetlistBuilder, SignalId};
+
+/// Errors raised while reading generated VHDL back in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseVhdlError {
+    /// 1-based line of the offending text, when known.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseVhdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vhdl parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseVhdlError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseVhdlError {
+    ParseVhdlError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// One parsed statement, before ids are re-numbered.
+enum Stmt {
+    Input { sig: usize },
+    Const { sig: usize, value: bool },
+    Lut { sig: usize, inputs: Vec<usize> },
+    Mux { sig: usize, sel: usize, lo: usize, hi: usize },
+    Output { index: usize, sig: usize },
+}
+
+/// Parses text produced by [`generate_vhdl`](crate::generate_vhdl) back
+/// into a [`Netlist`].
+///
+/// Only the statement shapes the generator emits are recognised; this is a
+/// verification tool for the generator, not a general VHDL front end.
+///
+/// # Errors
+///
+/// Returns [`ParseVhdlError`] on any statement the generator could not have
+/// produced, on dangling signal references, or on INIT/operand arity
+/// mismatches.
+pub fn parse_vhdl(text: &str) -> Result<Netlist, ParseVhdlError> {
+    let mut inits: HashMap<usize, BitVec> = HashMap::new();
+    let mut stmts: Vec<Stmt> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let n = lineno + 1;
+        if let Some(rest) = line.strip_prefix("constant INIT_s") {
+            // constant INIT_s<id> : std_logic_vector(K downto 0) := "...";
+            let id: usize = rest
+                .split(' ')
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err(n, "malformed INIT constant name"))?;
+            let open = line
+                .find('"')
+                .ok_or_else(|| err(n, "INIT constant without bit string"))?;
+            let close = line[open + 1..]
+                .find('"')
+                .ok_or_else(|| err(n, "unterminated INIT bit string"))?;
+            let bits_str = &line[open + 1..open + 1 + close];
+            // MSB first in the text: reverse into entry order.
+            let bits = BitVec::from_bools(bits_str.chars().rev().map(|c| c == '1'));
+            if !bits.len().is_power_of_two() {
+                return Err(err(n, format!("INIT length {} is not a power of two", bits.len())));
+            }
+            inits.insert(id, bits);
+        } else if let Some(rest) = line.strip_prefix("s") {
+            // One of the assignment forms.
+            let Some((lhs, rhs)) = rest.split_once(" <= ") else {
+                continue; // a signal declaration, not an assignment
+            };
+            let Ok(sig) = lhs.trim().parse::<usize>() else {
+                continue;
+            };
+            let rhs = rhs.trim().trim_end_matches(';');
+            if let Some(idx) = rhs.strip_prefix("x(") {
+                let index: usize = idx
+                    .trim_end_matches(')')
+                    .parse()
+                    .map_err(|_| err(n, "bad input index"))?;
+                let _ = index; // inputs are re-numbered in file order
+                stmts.push(Stmt::Input { sig });
+            } else if rhs == "'0'" || rhs == "'1'" {
+                stmts.push(Stmt::Const {
+                    sig,
+                    value: rhs == "'1'",
+                });
+            } else if rhs.starts_with("INIT_s") {
+                let open = rhs
+                    .find("unsigned")
+                    .ok_or_else(|| err(n, "LUT look-up without unsigned cast"))?;
+                let operands = &rhs[open..];
+                let mut inputs: Vec<usize> = Vec::new();
+                // Operand list is `sA & sB & …` MSB-first; collect then
+                // reverse to entry order.
+                for token in operands
+                    .trim_start_matches("unsigned'(")
+                    .trim_start_matches("unsigned(")
+                    .trim_end_matches(')')
+                    .split('&')
+                {
+                    let t = token.trim().trim_matches('"');
+                    if t.is_empty() {
+                        continue; // the `"" &` qualifier of 1-input LUTs
+                    }
+                    let id = t
+                        .strip_prefix('s')
+                        .and_then(|x| x.parse::<usize>().ok())
+                        .ok_or_else(|| err(n, format!("bad LUT operand `{t}`")))?;
+                    inputs.push(id);
+                }
+                inputs.reverse();
+                stmts.push(Stmt::Lut { sig, inputs });
+            } else if rhs.contains(" when ") {
+                // s<hi> when s<sel> = '1' else s<lo>
+                let parts: Vec<&str> = rhs.split([' ']).collect();
+                let grab = |tok: &str| -> Result<usize, ParseVhdlError> {
+                    tok.strip_prefix('s')
+                        .and_then(|x| x.parse().ok())
+                        .ok_or_else(|| err(n, format!("bad mux operand `{tok}`")))
+                };
+                if parts.len() != 7 || parts[1] != "when" || parts[5] != "else" {
+                    return Err(err(n, "malformed mux assignment"));
+                }
+                stmts.push(Stmt::Mux {
+                    sig,
+                    hi: grab(parts[0])?,
+                    sel: grab(parts[2])?,
+                    lo: grab(parts[6])?,
+                });
+            } else {
+                return Err(err(n, format!("unrecognised assignment `{rhs}`")));
+            }
+        } else if let Some(rest) = line.strip_prefix("y(") {
+            let (idx, rhs) = rest
+                .split_once(") <= ")
+                .ok_or_else(|| err(n, "malformed output assignment"))?;
+            let index: usize = idx.parse().map_err(|_| err(n, "bad output index"))?;
+            let sig = rhs
+                .trim_end_matches(';')
+                .trim()
+                .strip_prefix('s')
+                .and_then(|x| x.parse().ok())
+                .ok_or_else(|| err(n, "bad output source"))?;
+            stmts.push(Stmt::Output { index, sig });
+        }
+    }
+
+    // Rebuild: statement order in the generated file follows node id order,
+    // so a single pass with an id map suffices.
+    let mut b = NetlistBuilder::new();
+    let mut remap: HashMap<usize, SignalId> = HashMap::new();
+    let mut outputs: Vec<(usize, usize)> = Vec::new();
+    for stmt in &stmts {
+        match stmt {
+            Stmt::Input { sig } => {
+                remap.insert(*sig, b.add_input());
+            }
+            Stmt::Const { sig, value } => {
+                remap.insert(*sig, b.add_const(*value));
+            }
+            Stmt::Lut { sig, inputs } => {
+                let init = inits
+                    .get(sig)
+                    .ok_or_else(|| err(0, format!("LUT s{sig} has no INIT constant")))?;
+                let arity = init.len().trailing_zeros() as usize;
+                if inputs.len() != arity {
+                    return Err(err(
+                        0,
+                        format!(
+                            "LUT s{sig}: {} operands but INIT implies {arity}",
+                            inputs.len()
+                        ),
+                    ));
+                }
+                let table = TruthTable::from_bits(arity, init.clone());
+                let ins: Result<Vec<SignalId>, _> = inputs
+                    .iter()
+                    .map(|i| {
+                        remap
+                            .get(i)
+                            .copied()
+                            .ok_or_else(|| err(0, format!("LUT s{sig} reads undefined s{i}")))
+                    })
+                    .collect();
+                remap.insert(*sig, b.add_lut(ins?, table));
+            }
+            Stmt::Mux { sig, sel, lo, hi } => {
+                let get = |i: &usize| {
+                    remap
+                        .get(i)
+                        .copied()
+                        .ok_or_else(|| err(0, format!("mux s{sig} reads undefined s{i}")))
+                };
+                let (s, l, h) = (get(sel)?, get(lo)?, get(hi)?);
+                remap.insert(*sig, b.add_mux(s, l, h));
+            }
+            Stmt::Output { index, sig } => outputs.push((*index, *sig)),
+        }
+    }
+    outputs.sort_by_key(|&(index, _)| index);
+    let resolved: Result<Vec<SignalId>, _> = outputs
+        .iter()
+        .map(|(_, sig)| {
+            remap
+                .get(sig)
+                .copied()
+                .ok_or_else(|| err(0, format!("output reads undefined s{sig}")))
+        })
+        .collect();
+    b.set_outputs(resolved?);
+    Ok(b.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vhdl::generate_vhdl;
+    use poetbin_fpga::NetlistBuilder;
+
+    fn roundtrip_equal(net: &Netlist, width: usize) {
+        let text = generate_vhdl(net, "t");
+        let back = parse_vhdl(&text).expect("parse generated text");
+        for v in 0..(1usize << width) {
+            let bits: Vec<bool> = (0..width).map(|i| (v >> i) & 1 == 1).collect();
+            assert_eq!(net.eval(&bits), back.eval(&bits), "input {v:b}\n{text}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_or_mux() {
+        let mut b = NetlistBuilder::new();
+        let x = b.add_input();
+        let y = b.add_input();
+        let z = b.add_input();
+        let and = b.add_lut(vec![x, y], TruthTable::from_fn(2, |i| i == 3));
+        let or = b.add_lut(vec![y, z], TruthTable::from_fn(2, |i| i != 0));
+        let m = b.add_mux(x, and, or);
+        b.set_outputs(vec![m, and]);
+        roundtrip_equal(&b.finish(), 3);
+    }
+
+    #[test]
+    fn roundtrip_single_input_lut() {
+        let mut b = NetlistBuilder::new();
+        let x = b.add_input();
+        let inv = b.add_lut(vec![x], TruthTable::from_fn(1, |i| i == 0));
+        b.set_outputs(vec![inv]);
+        roundtrip_equal(&b.finish(), 1);
+    }
+
+    #[test]
+    fn roundtrip_constants() {
+        let mut b = NetlistBuilder::new();
+        let x = b.add_input();
+        let t = b.add_const(true);
+        let and = b.add_lut(vec![x, t], TruthTable::from_fn(2, |i| i == 3));
+        b.set_outputs(vec![and]);
+        roundtrip_equal(&b.finish(), 1);
+    }
+
+    #[test]
+    fn roundtrip_wide_lut() {
+        let mut b = NetlistBuilder::new();
+        let ins = b.add_inputs(6);
+        let lut = b.add_lut(ins, TruthTable::from_fn(6, |i| i % 5 == 0));
+        b.set_outputs(vec![lut]);
+        roundtrip_equal(&b.finish(), 6);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let e = parse_vhdl("s0 <= frobnicate;").unwrap_err();
+        assert!(e.to_string().contains("unrecognised"));
+    }
+
+    #[test]
+    fn rejects_lut_without_init() {
+        let text = "s1 <= INIT_s1(to_integer(unsigned(s0)));";
+        let e = parse_vhdl(text).unwrap_err();
+        assert!(e.to_string().contains("INIT"), "{e}");
+    }
+
+    #[test]
+    fn output_order_follows_indices() {
+        let mut b = NetlistBuilder::new();
+        let x = b.add_input();
+        let y = b.add_input();
+        b.set_outputs(vec![x, y]);
+        let net = b.finish();
+        let back = parse_vhdl(&generate_vhdl(&net, "t")).unwrap();
+        assert_eq!(back.eval(&[true, false]), vec![true, false]);
+        assert_eq!(back.eval(&[false, true]), vec![false, true]);
+    }
+}

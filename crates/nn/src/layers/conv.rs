@@ -1,0 +1,327 @@
+//! 2-D convolution via im2col and matrix multiplication.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use super::{Layer, Mode, Param};
+use crate::Tensor;
+
+/// A 2-D convolution over `[n, c, h, w]` tensors.
+///
+/// Implemented as im2col followed by one mat-mul per batch — the classic
+/// CPU strategy, fast enough to train the scaled feature extractors of this
+/// reproduction without a BLAS. Stride is fixed at 1; zero padding is
+/// configurable.
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    pad: usize,
+    w: Param,
+    b: Param,
+    cache: Option<ConvCache>,
+}
+
+struct ConvCache {
+    cols: Tensor,
+    in_shape: Vec<usize>,
+    out_hw: (usize, usize),
+}
+
+impl Conv2d {
+    /// Creates a convolution with a square `kernel`, stride 1, and the
+    /// given zero padding, He-initialised from a deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel == 0`.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        pad: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(kernel > 0, "kernel size must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fan_in = in_channels * kernel * kernel;
+        Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            pad,
+            w: Param::new(Tensor::he_uniform(
+                vec![out_channels, in_channels * kernel * kernel],
+                fan_in,
+                &mut rng,
+            )),
+            b: Param::new(Tensor::zeros(vec![out_channels])),
+            cache: None,
+        }
+    }
+
+    /// Output spatial size for an input of `h × w`.
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (h + 2 * self.pad + 1 - self.kernel, w + 2 * self.pad + 1 - self.kernel)
+    }
+
+    /// im2col: unfolds every receptive field of the batch into a row of a
+    /// `[n·oh·ow, c·k·k]` matrix.
+    fn im2col(&self, x: &Tensor) -> Tensor {
+        let (n, c, h, w) = dims4(x);
+        let (oh, ow) = self.out_hw(h, w);
+        let k = self.kernel;
+        let pad = self.pad as isize;
+        let row_w = c * k * k;
+        let mut cols = vec![0.0f32; n * oh * ow * row_w];
+        let xd = x.data();
+        for img in 0..n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row_base = ((img * oh + oy) * ow + ox) * row_w;
+                    for ch in 0..c {
+                        for ky in 0..k {
+                            let iy = oy as isize + ky as isize - pad;
+                            if iy < 0 || iy >= h as isize {
+                                continue; // zero padding
+                            }
+                            let src_base = ((img * c + ch) * h + iy as usize) * w;
+                            let dst_base = row_base + (ch * k + ky) * k;
+                            for kx in 0..k {
+                                let ix = ox as isize + kx as isize - pad;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                cols[dst_base + kx] = xd[src_base + ix as usize];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(cols, vec![n * oh * ow, row_w])
+    }
+
+    /// Scatter-adds column gradients back to input positions (col2im).
+    fn col2im(&self, dcols: &Tensor, in_shape: &[usize]) -> Tensor {
+        let (n, c, h, w) = (in_shape[0], in_shape[1], in_shape[2], in_shape[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        let k = self.kernel;
+        let pad = self.pad as isize;
+        let row_w = c * k * k;
+        let mut dx = vec![0.0f32; n * c * h * w];
+        let dd = dcols.data();
+        for img in 0..n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row_base = ((img * oh + oy) * ow + ox) * row_w;
+                    for ch in 0..c {
+                        for ky in 0..k {
+                            let iy = oy as isize + ky as isize - pad;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            let dst_base = ((img * c + ch) * h + iy as usize) * w;
+                            let src_base = row_base + (ch * k + ky) * k;
+                            for kx in 0..k {
+                                let ix = ox as isize + kx as isize - pad;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                dx[dst_base + ix as usize] += dd[src_base + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(dx, in_shape.to_vec())
+    }
+}
+
+fn dims4(x: &Tensor) -> (usize, usize, usize, usize) {
+    let s = x.shape();
+    assert_eq!(s.len(), 4, "expected [n, c, h, w], got {s:?}");
+    (s[0], s[1], s[2], s[3])
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: Tensor, mode: Mode) -> Tensor {
+        let (n, c, h, w) = dims4(&x);
+        assert_eq!(c, self.in_channels, "conv expected {} channels", self.in_channels);
+        let (oh, ow) = self.out_hw(h, w);
+        let cols = self.im2col(&x);
+        // [n·oh·ow, ckk] · [out, ckk]ᵀ = [n·oh·ow, out]
+        let flat = cols.matmul_t(&self.w.value);
+        // Rearrange to [n, out, oh, ow] and add bias.
+        let mut out = vec![0.0f32; n * self.out_channels * oh * ow];
+        let fd = flat.data();
+        let bias = self.b.value.data();
+        for img in 0..n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let src = ((img * oh + oy) * ow + ox) * self.out_channels;
+                    for oc in 0..self.out_channels {
+                        out[((img * self.out_channels + oc) * oh + oy) * ow + ox] =
+                            fd[src + oc] + bias[oc];
+                    }
+                }
+            }
+        }
+        if mode == Mode::Train {
+            self.cache = Some(ConvCache {
+                cols,
+                in_shape: vec![n, c, h, w],
+                out_hw: (oh, ow),
+            });
+        }
+        Tensor::from_vec(out, vec![n, self.out_channels, oh, ow])
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("conv backward without training forward");
+        let (n, _, _, _) = dims4(&grad);
+        let (oh, ow) = cache.out_hw;
+        // Rearrange grad [n, out, oh, ow] to [n·oh·ow, out].
+        let mut gflat = vec![0.0f32; n * oh * ow * self.out_channels];
+        let gd = grad.data();
+        for img in 0..n {
+            for oc in 0..self.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        gflat[((img * oh + oy) * ow + ox) * self.out_channels + oc] =
+                            gd[((img * self.out_channels + oc) * oh + oy) * ow + ox];
+                    }
+                }
+            }
+        }
+        let gflat = Tensor::from_vec(gflat, vec![n * oh * ow, self.out_channels]);
+
+        // dW = gflatᵀ · cols ; db = column sums of gflat ; dcols = gflat · W.
+        let dw = gflat.t_matmul(&cache.cols);
+        for (g, d) in self.w.grad.data_mut().iter_mut().zip(dw.data()) {
+            *g += d;
+        }
+        for r in 0..gflat.rows() {
+            for (g, d) in self.b.grad.data_mut().iter_mut().zip(gflat.row(r)) {
+                *g += d;
+            }
+        }
+        let dcols = gflat.matmul(&self.w.value);
+        self.col2im(&dcols, &cache.in_shape)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 1-channel 3×3 input convolved with an identity kernel must
+    /// reproduce itself.
+    #[test]
+    fn identity_kernel_preserves_input() {
+        let mut conv = Conv2d::new(1, 1, 1, 0, 0);
+        conv.w.value = Tensor::from_vec(vec![1.0], vec![1, 1]);
+        conv.b.value = Tensor::zeros(vec![1]);
+        let x = Tensor::from_vec((0..9).map(|i| i as f32).collect(), vec![1, 1, 3, 3]);
+        let y = conv.forward(x.clone(), Mode::Infer);
+        assert_eq!(y.shape(), &[1, 1, 3, 3]);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_3x3_sum_kernel() {
+        let mut conv = Conv2d::new(1, 1, 3, 0, 1);
+        conv.w.value = Tensor::full(vec![1, 9], 1.0);
+        conv.b.value = Tensor::zeros(vec![1]);
+        let x = Tensor::full(vec![1, 1, 3, 3], 1.0);
+        let y = conv.forward(x, Mode::Infer);
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert_eq!(y.data(), &[9.0]);
+    }
+
+    #[test]
+    fn padding_grows_output() {
+        let conv = Conv2d::new(1, 2, 3, 1, 1);
+        assert_eq!(conv.out_hw(8, 8), (8, 8));
+        let conv = Conv2d::new(1, 2, 5, 0, 1);
+        assert_eq!(conv.out_hw(28, 28), (24, 24));
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut conv = Conv2d::new(1, 2, 3, 1, 5);
+        let x = Tensor::from_vec(
+            (0..16).map(|i| ((i * 7 % 5) as f32 - 2.0) * 0.3).collect(),
+            vec![1, 1, 4, 4],
+        );
+        let y = conv.forward(x.clone(), Mode::Train);
+        let dx = conv.backward(Tensor::full(y.shape().to_vec(), 1.0));
+
+        let eps = 1e-2f32;
+        for idx in [0usize, 5, 10, 15] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let yp: f32 = conv.forward(xp, Mode::Infer).data().iter().sum();
+            let ym: f32 = conv.forward(xm, Mode::Infer).data().iter().sum();
+            let numeric = (yp - ym) / (2.0 * eps);
+            assert!(
+                (dx.data()[idx] - numeric).abs() < 2e-2,
+                "dx[{idx}] analytic {} vs numeric {numeric}",
+                dx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_differences() {
+        let mut conv = Conv2d::new(1, 1, 2, 0, 3);
+        let x = Tensor::from_vec(vec![0.5, -1.0, 0.25, 2.0, 1.5, -0.5, 0.0, 1.0, -2.0], vec![1, 1, 3, 3]);
+        let y = conv.forward(x.clone(), Mode::Train);
+        conv.backward(Tensor::full(y.shape().to_vec(), 1.0));
+        let analytic = conv.w.grad.data().to_vec();
+
+        let eps = 1e-2f32;
+        for idx in 0..4 {
+            let orig = conv.w.value.data()[idx];
+            conv.w.value.data_mut()[idx] = orig + eps;
+            let yp: f32 = conv.forward(x.clone(), Mode::Infer).data().iter().sum();
+            conv.w.value.data_mut()[idx] = orig - eps;
+            let ym: f32 = conv.forward(x.clone(), Mode::Infer).data().iter().sum();
+            conv.w.value.data_mut()[idx] = orig;
+            let numeric = (yp - ym) / (2.0 * eps);
+            assert!(
+                (analytic[idx] - numeric).abs() < 2e-2,
+                "dw[{idx}] analytic {} vs numeric {numeric}",
+                analytic[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn multichannel_shapes() {
+        let mut conv = Conv2d::new(3, 8, 3, 1, 2);
+        let y = conv.forward(Tensor::zeros(vec![2, 3, 16, 16]), Mode::Infer);
+        assert_eq!(y.shape(), &[2, 8, 16, 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "channels")]
+    fn channel_mismatch_panics() {
+        let mut conv = Conv2d::new(3, 8, 3, 1, 2);
+        conv.forward(Tensor::zeros(vec![1, 2, 8, 8]), Mode::Infer);
+    }
+}

@@ -1,0 +1,231 @@
+//! Fully-connected layer.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use super::{Layer, Mode, Param};
+use crate::Tensor;
+
+/// A fully-connected (affine) layer: `y = x·Wᵀ + b`.
+///
+/// Weight shape is `[out, in]` so each output neuron's weights are
+/// contiguous — the layout the quantized sparse output layer of PoET-BiN
+/// reads back out when it folds neurons into LUTs.
+pub struct Dense {
+    in_dim: usize,
+    out_dim: usize,
+    w: Param,
+    b: Param,
+    cache_x: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a layer with He-uniform weights from a deterministic seed.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dense {
+            in_dim,
+            out_dim,
+            w: Param::new(Tensor::he_uniform(vec![out_dim, in_dim], in_dim, &mut rng)),
+            b: Param::new(Tensor::zeros(vec![out_dim])),
+            cache_x: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Read access to the weight matrix (`[out, in]`).
+    pub fn weights(&self) -> &Tensor {
+        &self.w.value
+    }
+
+    /// Read access to the bias vector (`[out]`).
+    pub fn bias(&self) -> &Tensor {
+        &self.b.value
+    }
+
+    /// Overwrites the weights and bias — used when distilling the retrained
+    /// sparse output layer back into the classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes do not match the layer dimensions.
+    pub fn set_parameters(&mut self, w: Tensor, b: Tensor) {
+        assert_eq!(w.shape(), &[self.out_dim, self.in_dim]);
+        assert_eq!(b.shape(), &[self.out_dim]);
+        self.w = Param::new(w);
+        self.b = Param::new(b);
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, x: Tensor, mode: Mode) -> Tensor {
+        assert_eq!(
+            x.row_len(),
+            self.in_dim,
+            "dense layer expected {} inputs, got {:?}",
+            self.in_dim,
+            x.shape()
+        );
+        let mut y = x.matmul_t(&self.w.value);
+        let b = self.b.value.data();
+        for r in 0..y.rows() {
+            let row = &mut y.data_mut()[r * b.len()..(r + 1) * b.len()];
+            for (v, bias) in row.iter_mut().zip(b) {
+                *v += bias;
+            }
+        }
+        if mode == Mode::Train {
+            self.cache_x = Some(x);
+        }
+        y
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        let x = self
+            .cache_x
+            .take()
+            .expect("dense backward without training forward");
+        // dW = gradᵀ·x, db = column sums, dx = grad·W.
+        let dw = grad.t_matmul(&x);
+        for (g, d) in self.w.grad.data_mut().iter_mut().zip(dw.data()) {
+            *g += d;
+        }
+        let n = grad.rows();
+        for r in 0..n {
+            let row = grad.row(r);
+            for (g, d) in self.b.grad.data_mut().iter_mut().zip(row) {
+                *g += d;
+            }
+        }
+        grad.matmul(&self.w.value)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+}
+
+/// Flattens `[n, ...]` to `[n, d]`, remembering the original shape for the
+/// backward pass.
+#[derive(Default)]
+pub struct Flatten {
+    original: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: Tensor, mode: Mode) -> Tensor {
+        let n = x.rows();
+        let d = x.row_len();
+        if mode == Mode::Train {
+            self.original = Some(x.shape().to_vec());
+        }
+        x.reshape(vec![n, d])
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        let shape = self
+            .original
+            .take()
+            .expect("flatten backward without training forward");
+        grad.reshape(shape)
+    }
+
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_matches_manual_affine() {
+        let mut layer = Dense::new(2, 2, 0);
+        layer.set_parameters(
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], vec![2, 2]),
+            Tensor::from_vec(vec![0.5, -0.5], vec![2]),
+        );
+        let x = Tensor::from_vec(vec![1.0, 1.0], vec![1, 2]);
+        let y = layer.forward(x, Mode::Infer);
+        // y0 = 1*1 + 2*1 + 0.5 ; y1 = 3 + 4 - 0.5
+        assert_eq!(y.data(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_differences() {
+        let mut layer = Dense::new(3, 2, 9);
+        let x = Tensor::from_vec(vec![0.3, -0.7, 1.1, 0.2, 0.5, -0.4], vec![2, 3]);
+        // Loss = sum(y); dL/dy = ones.
+        let y = layer.forward(x.clone(), Mode::Train);
+        let dx = layer.backward(Tensor::full(y.shape().to_vec(), 1.0));
+
+        let eps = 1e-3f32;
+        // Check dL/dx numerically for a few coordinates.
+        for idx in [0usize, 2, 4] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let yp: f32 = layer.forward(xp, Mode::Infer).data().iter().sum();
+            let ym: f32 = layer.forward(xm, Mode::Infer).data().iter().sum();
+            let numeric = (yp - ym) / (2.0 * eps);
+            assert!(
+                (dx.data()[idx] - numeric).abs() < 1e-2,
+                "dx[{idx}] analytic {} vs numeric {numeric}",
+                dx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn weight_gradient_accumulates() {
+        let mut layer = Dense::new(2, 1, 4);
+        let x = Tensor::from_vec(vec![1.0, 2.0], vec![1, 2]);
+        let y = layer.forward(x.clone(), Mode::Train);
+        layer.backward(Tensor::full(y.shape().to_vec(), 1.0));
+        let first = layer.w.grad.data().to_vec();
+        let y = layer.forward(x, Mode::Train);
+        layer.backward(Tensor::full(y.shape().to_vec(), 1.0));
+        for (twice, once) in layer.w.grad.data().iter().zip(&first) {
+            assert!((twice - 2.0 * once).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros(vec![2, 3, 4]);
+        let y = f.forward(x, Mode::Train);
+        assert_eq!(y.shape(), &[2, 12]);
+        let back = f.backward(Tensor::zeros(vec![2, 12]));
+        assert_eq!(back.shape(), &[2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected")]
+    fn wrong_input_width_panics() {
+        let mut layer = Dense::new(3, 2, 0);
+        layer.forward(Tensor::zeros(vec![1, 4]), Mode::Infer);
+    }
+}

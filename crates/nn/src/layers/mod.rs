@@ -1,0 +1,221 @@
+//! Neural-network layers with explicit forward/backward passes.
+
+mod act;
+mod conv;
+mod dense;
+mod norm;
+mod pool;
+
+pub use act::{BinarySigmoid, Relu};
+pub use conv::Conv2d;
+pub use dense::{Dense, Flatten};
+pub use norm::BatchNorm;
+pub use pool::MaxPool2d;
+
+use crate::Tensor;
+
+/// Whether a pass updates training-time statistics (batch norm) and caches
+/// activations for backprop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Training pass: caches are populated, batch statistics are used.
+    Train,
+    /// Inference pass: running statistics are used, no caches needed.
+    Infer,
+}
+
+/// A trainable parameter: value, accumulated gradient, and Adam moment
+/// buffers. Layers own their parameters; optimizers visit them through
+/// [`Layer::params_mut`].
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient accumulated by the latest backward pass.
+    pub grad: Tensor,
+    /// First-moment buffer (Adam).
+    pub m: Vec<f32>,
+    /// Second-moment buffer (Adam).
+    pub v: Vec<f32>,
+}
+
+impl Param {
+    /// Wraps an initial value with zeroed gradient and moment buffers.
+    pub fn new(value: Tensor) -> Self {
+        let len = value.len();
+        Param {
+            grad: Tensor::zeros(value.shape().to_vec()),
+            value,
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+        }
+    }
+
+    /// Zeroes the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        for g in self.grad.data_mut() {
+            *g = 0.0;
+        }
+    }
+}
+
+/// A differentiable network layer.
+///
+/// Layers are stateful: `forward` caches whatever `backward` needs, so a
+/// backward call must follow the forward call it differentiates. This mirrors
+/// the define-by-run tape of the frameworks the paper used, at a fraction of
+/// the machinery.
+pub trait Layer {
+    /// Applies the layer.
+    fn forward(&mut self, x: Tensor, mode: Mode) -> Tensor;
+
+    /// Propagates the loss gradient; returns the gradient w.r.t. the input
+    /// and accumulates parameter gradients internally.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when called without a preceding
+    /// training-mode forward pass.
+    fn backward(&mut self, grad: Tensor) -> Tensor;
+
+    /// The layer's trainable parameters, if any.
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Short human-readable layer name for summaries.
+    fn name(&self) -> &'static str;
+}
+
+/// A straight-line stack of layers.
+///
+/// # Example
+///
+/// ```
+/// use poetbin_nn::{Dense, Mode, Relu, Sequential, Tensor};
+///
+/// let mut net = Sequential::new();
+/// net.push(Dense::new(2, 4, 7));
+/// net.push(Relu::new());
+/// let y = net.forward(Tensor::zeros(vec![1, 2]), Mode::Infer);
+/// assert_eq!(y.shape(), &[1, 4]);
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// An empty stack.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Layer + 'static) -> &mut Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Runs the full forward pass.
+    pub fn forward(&mut self, x: Tensor, mode: Mode) -> Tensor {
+        self.layers
+            .iter_mut()
+            .fold(x, |t, layer| layer.forward(t, mode))
+    }
+
+    /// Runs the forward pass through the first `upto` layers only — used to
+    /// read intermediate representations (e.g. the binary feature layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `upto > len()`.
+    pub fn forward_prefix(&mut self, x: Tensor, upto: usize, mode: Mode) -> Tensor {
+        assert!(upto <= self.layers.len());
+        self.layers[..upto]
+            .iter_mut()
+            .fold(x, |t, layer| layer.forward(t, mode))
+    }
+
+    /// Runs the full backward pass (reverse layer order).
+    pub fn backward(&mut self, grad: Tensor) -> Tensor {
+        self.layers
+            .iter_mut()
+            .rev()
+            .fold(grad, |g, layer| layer.backward(g))
+    }
+
+    /// All trainable parameters in layer order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    /// Zeroes every parameter gradient.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Layer names in order, for summaries.
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+
+    /// Total trainable scalar count.
+    pub fn num_parameters(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.value.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_forward_chains_shapes() {
+        let mut net = Sequential::new();
+        net.push(Dense::new(3, 5, 1));
+        net.push(Relu::new());
+        net.push(Dense::new(5, 2, 2));
+        let y = net.forward(Tensor::zeros(vec![4, 3]), Mode::Infer);
+        assert_eq!(y.shape(), &[4, 2]);
+        assert_eq!(net.layer_names(), vec!["dense", "relu", "dense"]);
+        assert_eq!(net.num_parameters(), 3 * 5 + 5 + 5 * 2 + 2);
+    }
+
+    #[test]
+    fn forward_prefix_stops_midway() {
+        let mut net = Sequential::new();
+        net.push(Dense::new(3, 5, 1));
+        net.push(Relu::new());
+        net.push(Dense::new(5, 2, 2));
+        let mid = net.forward_prefix(Tensor::zeros(vec![1, 3]), 2, Mode::Infer);
+        assert_eq!(mid.shape(), &[1, 5]);
+    }
+
+    #[test]
+    fn zero_grad_clears_all() {
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 2, 3));
+        let x = Tensor::full(vec![1, 2], 1.0);
+        let y = net.forward(x, Mode::Train);
+        net.backward(Tensor::full(y.shape().to_vec(), 1.0));
+        assert!(net.params_mut().iter().any(|p| p.grad.data().iter().any(|g| *g != 0.0)));
+        net.zero_grad();
+        assert!(net.params_mut().iter().all(|p| p.grad.data().iter().all(|g| *g == 0.0)));
+    }
+}

@@ -1,0 +1,161 @@
+//! Loss functions: squared hinge (the paper's choice) and cross-entropy.
+
+use crate::Tensor;
+
+/// A differentiable classification loss over raw scores.
+pub trait Loss {
+    /// Mean loss and the gradient w.r.t. the scores.
+    ///
+    /// `scores` is `[n, classes]`; `targets[i]` is the class index of
+    /// example `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len() != n` or a target is out of range.
+    fn loss_and_grad(&self, scores: &Tensor, targets: &[usize]) -> (f32, Tensor);
+}
+
+/// Multi-class squared hinge loss (Rosasco et al., 2004), the loss the
+/// paper trains every vanilla network with.
+///
+/// One-vs-all encoding: `y = +1` for the true class, `-1` otherwise;
+/// `L = mean(max(0, 1 - y·s)²)`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SquaredHingeLoss;
+
+impl Loss for SquaredHingeLoss {
+    fn loss_and_grad(&self, scores: &Tensor, targets: &[usize]) -> (f32, Tensor) {
+        let n = scores.rows();
+        let c = scores.row_len();
+        assert_eq!(targets.len(), n, "target / score count mismatch");
+        let mut grad = Tensor::zeros(vec![n, c]);
+        let mut total = 0.0f64;
+        let denom = (n * c).max(1) as f32;
+        for i in 0..n {
+            assert!(targets[i] < c, "target {} out of range {c}", targets[i]);
+            for j in 0..c {
+                let y = if targets[i] == j { 1.0f32 } else { -1.0 };
+                let margin = 1.0 - y * scores.data()[i * c + j];
+                if margin > 0.0 {
+                    total += (margin * margin) as f64;
+                    grad.data_mut()[i * c + j] = -2.0 * y * margin / denom;
+                }
+            }
+        }
+        ((total / denom as f64) as f32, grad)
+    }
+}
+
+/// Softmax cross-entropy, used to train the neural-decision-forest baseline
+/// and for loss ablations.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CrossEntropyLoss;
+
+impl Loss for CrossEntropyLoss {
+    fn loss_and_grad(&self, scores: &Tensor, targets: &[usize]) -> (f32, Tensor) {
+        let n = scores.rows();
+        let c = scores.row_len();
+        assert_eq!(targets.len(), n, "target / score count mismatch");
+        let mut grad = Tensor::zeros(vec![n, c]);
+        let mut total = 0.0f64;
+        for i in 0..n {
+            assert!(targets[i] < c, "target {} out of range {c}", targets[i]);
+            let row = scores.row(i);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = row.iter().map(|s| (s - max).exp()).collect();
+            let sum: f32 = exps.iter().sum();
+            for j in 0..c {
+                let p = exps[j] / sum;
+                grad.data_mut()[i * c + j] =
+                    (p - if targets[i] == j { 1.0 } else { 0.0 }) / n as f32;
+                if targets[i] == j {
+                    total -= (p.max(1e-12)).ln() as f64;
+                }
+            }
+        }
+        ((total / n.max(1) as f64) as f32, grad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hinge_is_zero_beyond_margin() {
+        let scores = Tensor::from_vec(vec![2.0, -2.0], vec![1, 2]);
+        let (loss, grad) = SquaredHingeLoss.loss_and_grad(&scores, &[0]);
+        assert_eq!(loss, 0.0);
+        assert!(grad.data().iter().all(|g| *g == 0.0));
+    }
+
+    #[test]
+    fn hinge_penalises_margin_violation() {
+        let scores = Tensor::from_vec(vec![0.0, 0.0], vec![1, 2]);
+        let (loss, grad) = SquaredHingeLoss.loss_and_grad(&scores, &[0]);
+        // Both classes violate by margin 1: L = (1 + 1) / 2 = 1.
+        assert!((loss - 1.0).abs() < 1e-6);
+        // True class pushes up, wrong class pushes down.
+        assert!(grad.data()[0] < 0.0);
+        assert!(grad.data()[1] > 0.0);
+    }
+
+    #[test]
+    fn hinge_gradient_matches_finite_differences() {
+        let scores = Tensor::from_vec(vec![0.4, -0.3, 0.1, 0.8, -0.6, 0.2], vec![2, 3]);
+        let (_, grad) = SquaredHingeLoss.loss_and_grad(&scores, &[1, 0]);
+        let eps = 1e-3f32;
+        for idx in 0..6 {
+            let mut sp = scores.clone();
+            sp.data_mut()[idx] += eps;
+            let mut sm = scores.clone();
+            sm.data_mut()[idx] -= eps;
+            let (lp, _) = SquaredHingeLoss.loss_and_grad(&sp, &[1, 0]);
+            let (lm, _) = SquaredHingeLoss.loss_and_grad(&sm, &[1, 0]);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (grad.data()[idx] - numeric).abs() < 1e-3,
+                "idx {idx}: analytic {} numeric {numeric}",
+                grad.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn cross_entropy_prefers_correct_class() {
+        let good = Tensor::from_vec(vec![5.0, -5.0], vec![1, 2]);
+        let bad = Tensor::from_vec(vec![-5.0, 5.0], vec![1, 2]);
+        let (lg, _) = CrossEntropyLoss.loss_and_grad(&good, &[0]);
+        let (lb, _) = CrossEntropyLoss.loss_and_grad(&bad, &[0]);
+        assert!(lg < 0.01);
+        assert!(lb > 5.0);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_differences() {
+        let scores = Tensor::from_vec(vec![0.3, -0.2, 0.5, -0.1, 0.7, 0.0], vec![2, 3]);
+        let (_, grad) = CrossEntropyLoss.loss_and_grad(&scores, &[2, 1]);
+        let eps = 1e-3f32;
+        for idx in 0..6 {
+            let mut sp = scores.clone();
+            sp.data_mut()[idx] += eps;
+            let mut sm = scores.clone();
+            sm.data_mut()[idx] -= eps;
+            let (lp, _) = CrossEntropyLoss.loss_and_grad(&sp, &[2, 1]);
+            let (lm, _) = CrossEntropyLoss.loss_and_grad(&sm, &[2, 1]);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (grad.data()[idx] - numeric).abs() < 1e-3,
+                "idx {idx}: analytic {} numeric {numeric}",
+                grad.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_target_panics() {
+        let scores = Tensor::zeros(vec![1, 2]);
+        SquaredHingeLoss.loss_and_grad(&scores, &[5]);
+    }
+}

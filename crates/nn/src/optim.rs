@@ -1,0 +1,211 @@
+//! Optimizers and learning-rate schedules (§3 of the paper: ADAM with an
+//! exponentially decreasing learning rate).
+
+use crate::layers::Param;
+
+/// A first-order optimizer stepping a set of parameters.
+pub trait Optimizer {
+    /// Applies one update step using each parameter's accumulated gradient.
+    fn step(&mut self, params: &mut [&mut Param]);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (used by schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// ADAM (Kingma & Ba, 2015) — the optimizer all the paper's networks use.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates ADAM with the canonical hyper-parameters
+    /// (`β₁ = 0.9, β₂ = 0.999, ε = 1e-8`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        self.t += 1;
+        let b1c = 1.0 - self.beta1.powi(self.t as i32);
+        let b2c = 1.0 - self.beta2.powi(self.t as i32);
+        for p in params.iter_mut() {
+            let g_tensor = p.grad.data().to_vec();
+            for (i, g) in g_tensor.iter().enumerate() {
+                p.m[i] = self.beta1 * p.m[i] + (1.0 - self.beta1) * g;
+                p.v[i] = self.beta2 * p.v[i] + (1.0 - self.beta2) * g * g;
+                let m_hat = p.m[i] / b1c;
+                let v_hat = p.v[i] / b2c;
+                p.value.data_mut()[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+}
+
+impl Sgd {
+    /// Momentum-free SGD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Sgd { lr, momentum: 0.0 }
+    }
+
+    /// Adds classical momentum (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= momentum < 1`.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        self.momentum = momentum;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        for p in params.iter_mut() {
+            let g_tensor = p.grad.data().to_vec();
+            for (i, g) in g_tensor.iter().enumerate() {
+                // Reuse the Adam first-moment buffer as the velocity.
+                p.m[i] = self.momentum * p.m[i] + g;
+                p.value.data_mut()[i] -= self.lr * p.m[i];
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Exponentially decreasing learning rate: `lr(epoch) = lr₀ · γ^epoch`.
+#[derive(Clone, Copy, Debug)]
+pub struct ExponentialDecay {
+    initial: f32,
+    gamma: f32,
+}
+
+impl ExponentialDecay {
+    /// Creates a schedule starting at `initial` and multiplying by `gamma`
+    /// each epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `initial > 0` and `0 < gamma <= 1`.
+    pub fn new(initial: f32, gamma: f32) -> Self {
+        assert!(initial > 0.0, "initial learning rate must be positive");
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+        ExponentialDecay { initial, gamma }
+    }
+
+    /// Learning rate at a given epoch.
+    pub fn at(&self, epoch: usize) -> f32 {
+        self.initial * self.gamma.powi(epoch as i32)
+    }
+
+    /// Applies the schedule to an optimizer for the given epoch.
+    pub fn apply(&self, optimizer: &mut dyn Optimizer, epoch: usize) {
+        optimizer.set_learning_rate(self.at(epoch));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+
+    fn quadratic_param(x0: f32) -> Param {
+        Param::new(Tensor::from_vec(vec![x0], vec![1]))
+    }
+
+    /// Minimise f(x) = x² with each optimizer; both must converge to 0.
+    fn run(optimizer: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut p = quadratic_param(5.0);
+        for _ in 0..steps {
+            let x = p.value.data()[0];
+            p.grad.data_mut()[0] = 2.0 * x;
+            optimizer.step(&mut [&mut p]);
+            p.zero_grad();
+        }
+        p.value.data()[0]
+    }
+
+    #[test]
+    fn adam_minimises_quadratic() {
+        let x = run(&mut Adam::new(0.3), 200);
+        assert!(x.abs() < 1e-2, "adam ended at {x}");
+    }
+
+    #[test]
+    fn sgd_minimises_quadratic() {
+        let x = run(&mut Sgd::new(0.1), 200);
+        assert!(x.abs() < 1e-3, "sgd ended at {x}");
+    }
+
+    #[test]
+    fn momentum_accelerates_sgd() {
+        let plain = run(&mut Sgd::new(0.01), 50).abs();
+        let momentum = run(&mut Sgd::new(0.01).with_momentum(0.9), 50).abs();
+        assert!(momentum < plain, "momentum {momentum} vs plain {plain}");
+    }
+
+    #[test]
+    fn decay_schedule_is_exponential() {
+        let sched = ExponentialDecay::new(0.1, 0.5);
+        assert!((sched.at(0) - 0.1).abs() < 1e-9);
+        assert!((sched.at(1) - 0.05).abs() < 1e-9);
+        assert!((sched.at(3) - 0.0125).abs() < 1e-9);
+        let mut adam = Adam::new(1.0);
+        sched.apply(&mut adam, 2);
+        assert!((adam.learning_rate() - 0.025).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_lr_panics() {
+        Adam::new(0.0);
+    }
+}

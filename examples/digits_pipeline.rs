@@ -1,0 +1,60 @@
+//! The full PoET-BiN pipeline on the MNIST-like synthetic dataset:
+//! vanilla CNN → binary features → teacher → RINC distillation →
+//! quantised sparse output layer (Figure 5 / Table 2 of the paper).
+//!
+//! ```sh
+//! cargo run --release --example digits_pipeline
+//! ```
+
+use poetbin::prelude::*;
+use poetbin_core::teacher::TeacherConfig as CoreTeacherConfig;
+
+fn main() {
+    // Generate and split the stand-in dataset.
+    let data = poetbin_data::synthetic::digits(2400, 42);
+    let (train, test) = data.split(2000);
+    println!(
+        "dataset: {} train / {} test images of shape {:?}",
+        train.len(),
+        test.len(),
+        train.image_shape()
+    );
+
+    // The M1 architecture of Table 1, hidden widths scaled for CPU
+    // training; P=6 with 12 trees per module keeps the demo quick.
+    let mut config = WorkflowConfig::fast();
+    config.teacher = CoreTeacherConfig {
+        epochs: 5,
+        verbose: true,
+        ..CoreTeacherConfig::default()
+    };
+
+    let result = Workflow::new(config).run(&train, &test);
+
+    println!("\n--- staged accuracies (Table 2 row) ---");
+    println!("A1 vanilla:        {:.4}", result.a1);
+    println!("A2 binary features:{:.4}", result.a2);
+    println!("A3 teacher:        {:.4}", result.a3);
+    println!("A4 PoET-BiN:       {:.4}", result.a4);
+    println!("RINC fidelity:     {:.4}", result.rinc_fidelity);
+
+    // Baseline comparison on the same binary features (§4.1 protocol).
+    let bn = BinaryNet::train(
+        &result.train_features,
+        &train.labels,
+        10,
+        &BinaryNetConfig::default(),
+    );
+    println!(
+        "BinaryNet (same features): {:.4}",
+        bn.accuracy(&result.test_features, &test.labels)
+    );
+
+    let classifier = &result.classifier;
+    println!(
+        "\nclassifier: {} logical LUTs ({} RINC + {} output)",
+        classifier.lut_count(),
+        classifier.bank().lut_count(),
+        classifier.output().lut_count()
+    );
+}

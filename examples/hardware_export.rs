@@ -1,0 +1,82 @@
+//! Hardware flow: train a classifier, lower it to the FPGA fabric model,
+//! measure area/timing/power, and emit VHDL plus a self-checking
+//! testbench — the paper's automatic VHDL generation (§4.2).
+//!
+//! ```sh
+//! cargo run --release --example hardware_export
+//! ```
+
+use poetbin::prelude::*;
+
+fn main() {
+    // A compact classifier: 2 classes, P=4, RINC-1 — small enough to read
+    // the generated VHDL by eye.
+    let task = poetbin_data::binary::hidden_majority(1200, 64, 9, 0.05, 3);
+    let labels: Vec<usize> = (0..1200).map(|e| usize::from(task.labels.get(e))).collect();
+    let targets = poetbin_bits::FeatureMatrix::from_fn(1200, 2 * 4, |e, j| {
+        (j / 4 == 1) == task.labels.get(e)
+    });
+    let bank = RincBank::train(&task.features, &targets, &RincConfig::new(4, 1));
+    let inter = bank.predict_bits(&task.features);
+    let output = QuantizedSparseOutput::train(&inter, &labels, 2, 8, 20);
+    let classifier = PoetBinClassifier::new(bank, output);
+    println!(
+        "software accuracy: {:.3}",
+        classifier.accuracy(&task.features, &labels)
+    );
+
+    // Lower to the fabric: map wide LUTs, run the synthesizer-style
+    // pruning, and analyze.
+    let netlist = classifier.to_netlist(64);
+    let (mapped, map_report) = map_to_lut6(&netlist);
+    let (pruned, prune_report) = prune(&mapped);
+    println!(
+        "netlist: {} logical LUTs → {} fabric LUTs → {} after pruning ({:.1}% removed)",
+        netlist.area().luts,
+        mapped.area().luts,
+        pruned.area().luts,
+        prune_report.lut_reduction() * 100.0
+    );
+    println!(
+        "mapping: {} wide LUTs decomposed into {} LUT6 + {} muxes",
+        map_report.decomposed_luts, map_report.emitted_luts, map_report.emitted_muxes
+    );
+
+    let timing = TimingModel::default().analyze(&pruned);
+    println!(
+        "timing: {:.2} ns critical path, {} LUT levels, fmax {:.0} MHz",
+        timing.critical_path_ns, timing.lut_levels, timing.fmax_mhz
+    );
+
+    // Switching activity from real feature vectors drives the power model.
+    let vectors: Vec<BitVec> = task.features.iter_rows().take(256).cloned().collect();
+    let sim = simulate(&pruned, &vectors);
+    let power = PowerModel::default().estimate(&pruned, &sim, 100.0);
+    println!(
+        "power @100 MHz: {:.3} W dynamic + {:.3} W static = {:.3} W ({:.2e} J/inference)",
+        power.dynamic_w(),
+        power.static_w,
+        power.total_w(),
+        power.energy_per_inference_j(100.0)
+    );
+
+    // Emit VHDL and verify the generator by parsing it back.
+    let vhdl = classifier.to_vhdl(64, "poetbin_demo");
+    let reparsed = parse_vhdl(&vhdl).expect("generated VHDL must parse");
+    let check: Vec<BitVec> = task.features.iter_rows().take(32).cloned().collect();
+    let original = simulate(&netlist, &check);
+    let roundtrip = simulate(&reparsed, &check);
+    assert_eq!(original.outputs, roundtrip.outputs, "VHDL round-trip mismatch");
+    println!(
+        "\nVHDL: {} lines, round-trip verified on 32 vectors",
+        vhdl.lines().count()
+    );
+
+    let tb = classifier.to_testbench(
+        &task.features.select_examples(&(0..8).collect::<Vec<_>>()),
+        "poetbin_demo",
+    );
+    println!("testbench: {} lines (8 vectors, self-checking)", tb.lines().count());
+    println!("\nfirst VHDL lines:\n{}",
+        vhdl.lines().take(12).collect::<Vec<_>>().join("\n"));
+}

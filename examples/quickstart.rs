@@ -1,0 +1,73 @@
+//! Quickstart: train a RINC module on a boolean task and fold it into a
+//! LUT netlist.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use poetbin::prelude::*;
+
+fn main() {
+    // 1. A binary classification task over 32 binary features: the label
+    //    is a hidden majority vote over 9 of them, with 5% label noise.
+    let task = poetbin_data::binary::hidden_majority(2000, 32, 9, 0.05, 7);
+    let train = task.features.select_examples(&(0..1500).collect::<Vec<_>>());
+    let train_labels = BitVec::from_fn(1500, |e| task.labels.get(e));
+    let test = task.features.select_examples(&(1500..2000).collect::<Vec<_>>());
+    let test_labels = BitVec::from_fn(500, |e| task.labels.get(1500 + e));
+
+    // 2. Train a RINC-2 hierarchy: P=4 LUT inputs, two AdaBoost levels.
+    let config = RincConfig::new(4, 2);
+    let rinc = RincModule::train(&train, &train_labels, &vec![1.0; 1500], &config);
+    println!(
+        "trained RINC-2: {} LUTs, {} LUT levels deep",
+        rinc.lut_count(),
+        rinc.lut_depth()
+    );
+    println!("test accuracy: {:.3}", rinc.accuracy(&test, &test_labels));
+
+    // 3. Compare with a single level-wise tree (RINC-0) — the boost in
+    //    capacity is the whole point of the hierarchy.
+    let tree = LevelWiseTree::train(
+        &train,
+        &train_labels,
+        &vec![1.0; 1500],
+        &LevelTreeConfig::new(4),
+    );
+    println!("single RINC-0 tree accuracy: {:.3}", tree.accuracy(&test, &test_labels));
+
+    // 4. Lower the module onto the FPGA fabric model and time it.
+    let mut builder = NetlistBuilder::new();
+    let inputs = builder.add_inputs(32);
+    let out = add_rinc_to_netlist(&mut builder, &rinc, &inputs);
+    builder.set_outputs(vec![out]);
+    let net = builder.finish();
+    let (mapped, _) = map_to_lut6(&net);
+    let timing = TimingModel::default().analyze(&mapped);
+    println!(
+        "hardware: {} fabric LUTs, critical path {:.2} ns ({:.0} MHz)",
+        mapped.area().luts,
+        timing.critical_path_ns,
+        timing.fmax_mhz
+    );
+}
+
+/// Recursively lowers a RINC node onto the netlist builder.
+fn add_rinc_to_netlist(
+    b: &mut NetlistBuilder,
+    module: &RincModule,
+    inputs: &[usize],
+) -> usize {
+    let children: Vec<usize> = module
+        .children()
+        .iter()
+        .map(|child| match child {
+            RincNode::Tree(t) => {
+                let ins: Vec<usize> = t.features().iter().map(|&f| inputs[f]).collect();
+                b.add_lut(ins, t.table().clone())
+            }
+            RincNode::Module(m) => add_rinc_to_netlist(b, m, inputs),
+        })
+        .collect();
+    b.add_lut(children, module.mat().table().clone())
+}

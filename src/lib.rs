@@ -1,0 +1,70 @@
+//! PoET-BiN: Power Efficient Tiny Binary Neurons — a from-scratch Rust
+//! reproduction of the MLSys 2020 paper.
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`poetbin_bits`] | packed bit vectors, LUT truth tables, feature matrices |
+//! | [`poetbin_dt`] | level-wise decision trees (RINC-0) and a classic baseline |
+//! | [`poetbin_boost`] | AdaBoost, MAT units, hierarchical RINC-L |
+//! | [`poetbin_nn`] | CPU neural-network substrate (conv/dense/batch-norm/Adam) |
+//! | [`poetbin_data`] | synthetic datasets, IDX loader, boolean tasks |
+//! | [`poetbin_fpga`] | LUT netlists, 6-LUT mapping, pruning, simulation, timing, power |
+//! | [`poetbin_hdl`] | VHDL generation and round-trip parsing |
+//! | [`poetbin_power`] | operation-level energy models (Tables 4–6) |
+//! | [`poetbin_baselines`] | BinaryNet, POLYBiNN-style, neural decision forest |
+//! | [`poetbin_core`] | the assembled PoET-BiN architecture and A1→A4 workflow |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use poetbin::prelude::*;
+//!
+//! // Learn a majority function with a boosted hierarchy of LUT-sized trees.
+//! let task = poetbin_data::binary::hidden_majority(400, 16, 5, 0.0, 1);
+//! let rinc = RincModule::train(
+//!     &task.features,
+//!     &task.labels,
+//!     &vec![1.0; 400],
+//!     &RincConfig::new(3, 1),
+//! );
+//! assert!(rinc.accuracy(&task.features, &task.labels) > 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use poetbin_baselines;
+pub use poetbin_bits;
+pub use poetbin_boost;
+pub use poetbin_core;
+pub use poetbin_data;
+pub use poetbin_dt;
+pub use poetbin_fpga;
+pub use poetbin_hdl;
+pub use poetbin_nn;
+pub use poetbin_power;
+
+/// The most commonly used items, for `use poetbin::prelude::*`.
+pub mod prelude {
+    pub use poetbin_baselines::{
+        BinaryNet, BinaryNetConfig, MulticlassClassifier, NdfConfig, NeuralDecisionForest,
+        PolyBinn, PolyBinnConfig, XnorClassifier,
+    };
+    pub use poetbin_bits::{BitVec, FeatureMatrix, TruthTable};
+    pub use poetbin_boost::{AdaBoost, MatModule, RincConfig, RincModule, RincNode};
+    pub use poetbin_core::{
+        Architecture, PoetBinClassifier, QuantizedSparseOutput, RincBank, Teacher, TeacherConfig,
+        Workflow, WorkflowConfig, WorkflowResult,
+    };
+    pub use poetbin_data::ImageDataset;
+    pub use poetbin_dt::{
+        BitClassifier, ClassicTree, ClassicTreeConfig, LevelTreeConfig, LevelWiseTree,
+    };
+    pub use poetbin_fpga::{
+        map_to_lut6, prune, simulate, Netlist, NetlistBuilder, PowerModel, TimingModel,
+    };
+    pub use poetbin_hdl::{generate_testbench, generate_vhdl, parse_vhdl};
+    pub use poetbin_power::{binary_network_energy, fc_energy, fc_ops, Precision};
+}

@@ -1,0 +1,79 @@
+//! Cross-crate integration: software model ≡ netlist ≡ generated VHDL,
+//! through mapping and pruning.
+
+use poetbin::prelude::*;
+
+fn small_classifier() -> (PoetBinClassifier, FeatureMatrix, Vec<usize>) {
+    let task = poetbin_data::binary::hidden_majority(600, 48, 9, 0.05, 9);
+    let labels: Vec<usize> = (0..600).map(|e| usize::from(task.labels.get(e))).collect();
+    let targets = FeatureMatrix::from_fn(600, 2 * 3, |e, j| (j / 3 == 1) == task.labels.get(e));
+    let bank = RincBank::train(&task.features, &targets, &RincConfig::new(3, 1));
+    let inter = bank.predict_bits(&task.features);
+    let output = QuantizedSparseOutput::train(&inter, &labels, 2, 8, 15);
+    (
+        PoetBinClassifier::new(bank, output),
+        task.features,
+        labels,
+    )
+}
+
+#[test]
+fn software_netlist_mapped_pruned_vhdl_all_agree() {
+    let (clf, features, _) = small_classifier();
+    let net = clf.to_netlist(48);
+    let (mapped, _) = map_to_lut6(&net);
+    let (pruned, _) = prune(&mapped);
+    let vhdl = clf.to_vhdl(48, "dut");
+    let reparsed = parse_vhdl(&vhdl).expect("generated VHDL parses");
+
+    let vectors: Vec<BitVec> = features.iter_rows().take(100).cloned().collect();
+    let reference = simulate(&net, &vectors);
+    for (name, other) in [
+        ("mapped", &mapped),
+        ("pruned", &pruned),
+        ("vhdl-roundtrip", &reparsed),
+    ] {
+        let sim = simulate(other, &vectors);
+        assert_eq!(sim.outputs, reference.outputs, "{name} diverged");
+    }
+
+    // And the netlist agrees with the pure-software predictions.
+    let subset: Vec<usize> = (0..100).collect();
+    let soft = clf.predict(&features.select_examples(&subset));
+    for (v, &expect) in soft.iter().enumerate() {
+        let bits: Vec<bool> = (0..net.outputs().len())
+            .map(|k| reference.outputs[k].get(v))
+            .collect();
+        assert_eq!(clf.argmax_from_output_bits(&bits), expect, "vector {v}");
+    }
+}
+
+#[test]
+fn timing_and_power_reports_are_sane() {
+    let (clf, features, _) = small_classifier();
+    let net = clf.to_netlist(48);
+    let (mapped, _) = map_to_lut6(&net);
+    let timing = TimingModel::default().analyze(&mapped);
+    // RINC-1 + output LUT = 3 LUT levels on the critical path.
+    assert_eq!(timing.lut_levels, 3, "{timing:?}");
+    assert!(timing.critical_path_ns > 3.0 && timing.critical_path_ns < 10.0);
+
+    let vectors: Vec<BitVec> = features.iter_rows().take(128).cloned().collect();
+    let sim = simulate(&mapped, &vectors);
+    let power = PowerModel::default().estimate(&mapped, &sim, 100.0);
+    assert!(power.total_w() > power.static_w);
+    assert!(power.total_w() < 1.0, "tiny design should be well under a watt");
+    let energy = power.energy_per_inference_j(100.0);
+    assert!(energy < 1e-6, "energy {energy}");
+}
+
+#[test]
+fn testbench_covers_every_vector() {
+    let (clf, features, _) = small_classifier();
+    let subset = features.select_examples(&(0..5).collect::<Vec<_>>());
+    let tb = clf.to_testbench(&subset, "dut");
+    for v in 0..5 {
+        assert!(tb.contains(&format!("vector {v} mismatch")), "vector {v} missing");
+    }
+    assert!(tb.contains("5 vectors"));
+}

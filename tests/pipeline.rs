@@ -1,0 +1,79 @@
+//! Cross-crate integration: the full A1→A4 pipeline against the baselines
+//! on one synthetic dataset.
+
+use poetbin::prelude::*;
+use poetbin_core::teacher::TeacherConfig;
+
+#[test]
+fn workflow_and_baselines_share_features_and_beat_chance() {
+    let data = poetbin_data::synthetic::digits(1200, 31);
+    let (train, test) = data.split(1000);
+
+    let mut config = WorkflowConfig::fast();
+    config.teacher = TeacherConfig {
+        epochs: 5,
+        ..TeacherConfig::default()
+    };
+    config.arch.trees_per_module = 6;
+    let result = Workflow::new(config).run(&train, &test);
+
+    // Stage ordering: binarisation steps may each cost accuracy, and the
+    // distilled classifier tracks the teacher. All must beat 10-class
+    // chance by a wide margin.
+    assert!(result.a1 > 0.4, "A1 {}", result.a1);
+    assert!(result.a2 > 0.3, "A2 {}", result.a2);
+    assert!(result.a3 > 0.3, "A3 {}", result.a3);
+    assert!(result.a4 > 0.25, "A4 {}", result.a4);
+    assert!(result.rinc_fidelity > 0.6, "fidelity {}", result.rinc_fidelity);
+
+    // Baselines consume the identical binary features (§4.1 protocol).
+    let bn = BinaryNet::train(
+        &result.train_features,
+        &train.labels,
+        10,
+        &BinaryNetConfig {
+            hidden: 64,
+            epochs: 20,
+            learning_rate: 0.01,
+            seed: 3,
+        },
+    );
+    let bn_acc = bn.accuracy(&result.test_features, &test.labels);
+    assert!(bn_acc > 0.25, "BinaryNet {bn_acc}");
+
+    let pb = PolyBinn::train(
+        &result.train_features,
+        &train.labels,
+        10,
+        &PolyBinnConfig {
+            max_depth: 5,
+            rounds: 4,
+        },
+    );
+    let pb_acc = pb.accuracy(&result.test_features, &test.labels);
+    assert!(pb_acc > 0.2, "PolyBinn {pb_acc}");
+}
+
+#[test]
+fn rinc_capacity_ordering_holds() {
+    // RINC-0 ≤ RINC-1 ≤ RINC-2 in capacity on a wide task (the paper's
+    // hierarchy motivation, §2.1.3).
+    let task = poetbin_data::binary::hidden_majority(1500, 32, 15, 0.05, 5);
+    let train = task.features.select_examples(&(0..1000).collect::<Vec<_>>());
+    let train_labels = BitVec::from_fn(1000, |e| task.labels.get(e));
+    let test = task.features.select_examples(&(1000..1500).collect::<Vec<_>>());
+    let test_labels = BitVec::from_fn(500, |e| task.labels.get(1000 + e));
+    let w = vec![1.0; 1000];
+
+    let accs: Vec<f64> = (0..3)
+        .map(|l| {
+            let node = RincNode::train(&train, &train_labels, &w, &RincConfig::new(3, l));
+            node.accuracy(&test, &test_labels)
+        })
+        .collect();
+    assert!(
+        accs[2] >= accs[0] - 0.02,
+        "hierarchy should not lose to a bare tree: {accs:?}"
+    );
+    assert!(accs[2] > 0.7, "RINC-2 too weak: {accs:?}");
+}

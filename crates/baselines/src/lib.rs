@@ -27,7 +27,7 @@ pub mod ndf;
 pub mod polybinn;
 
 pub use binarynet::{BinaryNet, BinaryNetConfig, XnorClassifier};
-pub use ndf::{NeuralDecisionForest, NdfConfig};
+pub use ndf::{NdfConfig, NeuralDecisionForest};
 pub use polybinn::{PolyBinn, PolyBinnConfig};
 
 use poetbin_bits::FeatureMatrix;

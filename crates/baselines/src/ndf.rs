@@ -211,8 +211,8 @@ impl NeuralDecisionForest {
                         }
                         // dL/dz = d_node * node_mass - right_mass.
                         let dz = d[node] * node_mass - right_mass;
-                        let g = &mut grad
-                            [node * (tree.features + 1)..(node + 1) * (tree.features + 1)];
+                        let g =
+                            &mut grad[node * (tree.features + 1)..(node + 1) * (tree.features + 1)];
                         for (gw, xv) in g[..tree.features].iter_mut().zip(xe) {
                             *gw += dz * xv;
                         }

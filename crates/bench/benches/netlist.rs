@@ -29,9 +29,7 @@ fn bench_netlist(c: &mut Criterion) {
     });
 
     let (mapped, _) = map_to_lut6(&net);
-    group.bench_function("prune", |b| {
-        b.iter(|| black_box(prune(black_box(&mapped))))
-    });
+    group.bench_function("prune", |b| b.iter(|| black_box(prune(black_box(&mapped)))));
 
     group.finish();
 }

@@ -24,7 +24,13 @@ fn main() {
         "Ablation: RINC capacity on a hidden 6-term DNF over 64 features",
         &["configuration", "LUTs", "test accuracy"],
     );
-    for (p, l, groups) in [(6usize, 0usize, 1usize), (6, 1, 3), (6, 1, 6), (6, 2, 3), (6, 2, 6)] {
+    for (p, l, groups) in [
+        (6usize, 0usize, 1usize),
+        (6, 1, 3),
+        (6, 1, 6),
+        (6, 2, 3),
+        (6, 2, 6),
+    ] {
         let mut cfg = RincConfig::new(p, l);
         if l >= 1 {
             cfg = cfg.with_top_groups(groups);

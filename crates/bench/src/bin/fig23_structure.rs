@@ -34,5 +34,9 @@ fn main() {
         &vec![1.0; 600],
         &RincConfig::new(6, 2).with_top_groups(6),
     );
-    println!("trained module: {} LUTs, depth {}", module.lut_count(), module.lut_depth());
+    println!(
+        "trained module: {} LUTs, depth {}",
+        module.lut_count(),
+        module.lut_depth()
+    );
 }

@@ -5,7 +5,15 @@ use poetbin_bench::{print_header, DatasetKind};
 fn main() {
     print_header(
         "Table 1: Network Architecture",
-        &["ARCH.", "SYMBOL", "DATASET", "CLASSIFIER", "P", "DTs", "RINC-L"],
+        &[
+            "ARCH.",
+            "SYMBOL",
+            "DATASET",
+            "CLASSIFIER",
+            "P",
+            "DTs",
+            "RINC-L",
+        ],
     );
     for kind in DatasetKind::ALL {
         let arch = kind.architecture();

@@ -2,7 +2,7 @@
 //! BinaryNet / POLYBiNN / NDF baseline comparison.
 //!
 //! Absolute numbers differ from the paper (synthetic stand-in datasets,
-//! CPU-scaled extractors — see DESIGN.md); the structure reproduced here is
+//! CPU-scaled extractors — see README.md); the structure reproduced here is
 //! the staged-accuracy ordering and the relative standing of the four
 //! classifier families on the *same* binary features.
 
@@ -16,7 +16,17 @@ fn main() {
     let scale = Scale::from_env();
     print_header(
         "Table 2: Overall classification accuracy & comparison",
-        &["ARCH.", "DATASET", "A1", "A2", "A3", "A4(PoET-BiN)", "BINARYNET", "POLYBINN", "NDF"],
+        &[
+            "ARCH.",
+            "DATASET",
+            "A1",
+            "A2",
+            "A3",
+            "A4(PoET-BiN)",
+            "BINARYNET",
+            "POLYBINN",
+            "NDF",
+        ],
     );
 
     for kind in DatasetKind::ALL {

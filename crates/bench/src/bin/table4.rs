@@ -8,7 +8,16 @@ use poetbin_power::OP_TABLE;
 fn main() {
     print_header(
         "Table 4: Individual operation power results (W at 62.5 MHz)",
-        &["OPERATION", "CLOCK", "LOGIC", "SIGNAL", "IO", "STATIC", "TOTAL", "LOGIC+SIGNAL"],
+        &[
+            "OPERATION",
+            "CLOCK",
+            "LOGIC",
+            "SIGNAL",
+            "IO",
+            "STATIC",
+            "TOTAL",
+            "LOGIC+SIGNAL",
+        ],
     );
     for op in OP_TABLE {
         println!(

@@ -47,6 +47,8 @@ fn main() {
     let s1 = DatasetKind::SvhnLike.architecture();
     let per_module = s1.top_groups() * (s1.lut_inputs + 1) + 1;
     let audit = per_module * s1.intermediate_width() + 8 * s1.classes;
-    println!("\nSVHN hand-count: {per_module} LUTs/module x {} modules + 80 output LUTs = {audit}",
-             s1.intermediate_width());
+    println!(
+        "\nSVHN hand-count: {per_module} LUTs/module x {} modules + 80 output LUTs = {audit}",
+        s1.intermediate_width()
+    );
 }

@@ -1,7 +1,7 @@
 //! Experiment harness shared by the per-table binaries.
 //!
 //! Every table and figure of the paper has a binary in `src/bin/` that
-//! regenerates it (see DESIGN.md for the index). The helpers here pick the
+//! regenerates it (see README.md for the index). The helpers here pick the
 //! dataset/architecture per paper row, scale the run to the
 //! `POETBIN_SCALE` environment variable (`small` default, `medium`,
 //! `full`), and format rows consistently.
@@ -153,10 +153,7 @@ pub fn hardware_classifier(
     kind: DatasetKind,
     n: usize,
     seed: u64,
-) -> (
-    poetbin_core::PoetBinClassifier,
-    poetbin_bits::FeatureMatrix,
-) {
+) -> (poetbin_core::PoetBinClassifier, poetbin_bits::FeatureMatrix) {
     use poetbin_bits::{BitVec, FeatureMatrix};
     use poetbin_boost::RincConfig;
     use poetbin_core::{PoetBinClassifier, QuantizedSparseOutput, RincBank};
@@ -194,7 +191,10 @@ pub fn hardware_classifier(
 pub fn print_header(title: &str, columns: &[&str]) {
     println!("\n=== {title} ===");
     println!("{}", columns.join("  "));
-    println!("{}", "-".repeat(columns.iter().map(|c| c.len() + 2).sum::<usize>().max(20)));
+    println!(
+        "{}",
+        "-".repeat(columns.iter().map(|c| c.len() + 2).sum::<usize>().max(20))
+    );
 }
 
 /// Formats a value in scientific notation the way Table 6 prints energies.

@@ -67,7 +67,12 @@ impl FeatureMatrix {
         let f = cols.len();
         let n = cols.first().map_or(0, BitVec::len);
         for (j, c) in cols.iter().enumerate() {
-            assert_eq!(c.len(), n, "column {j} has {} examples, expected {n}", c.len());
+            assert_eq!(
+                c.len(),
+                n,
+                "column {j} has {} examples, expected {n}",
+                c.len()
+            );
         }
         let mut rows = vec![BitVec::zeros(f); n];
         for (j, col) in cols.iter().enumerate() {
@@ -80,9 +85,7 @@ impl FeatureMatrix {
 
     /// Builds an `n × f` matrix from a predicate on (example, feature).
     pub fn from_fn(n: usize, f: usize, mut pred: impl FnMut(usize, usize) -> bool) -> Self {
-        let rows = (0..n)
-            .map(|e| BitVec::from_fn(f, |j| pred(e, j)))
-            .collect();
+        let rows = (0..n).map(|e| BitVec::from_fn(f, |j| pred(e, j))).collect();
         FeatureMatrix::from_rows(rows)
     }
 
@@ -157,12 +160,7 @@ impl FeatureMatrix {
     /// Panics if the feature counts differ.
     pub fn vstack(&self, other: &FeatureMatrix) -> FeatureMatrix {
         assert_eq!(self.f, other.f, "feature count mismatch in vstack");
-        let rows = self
-            .rows
-            .iter()
-            .chain(other.rows.iter())
-            .cloned()
-            .collect();
+        let rows = self.rows.iter().chain(other.rows.iter()).cloned().collect();
         FeatureMatrix::from_rows(rows)
     }
 
@@ -189,7 +187,11 @@ impl FeatureMatrix {
 
 impl fmt::Debug for FeatureMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "FeatureMatrix({} examples × {} features)", self.n, self.f)
+        write!(
+            f,
+            "FeatureMatrix({} examples × {} features)",
+            self.n, self.f
+        )
     }
 }
 

@@ -279,7 +279,12 @@ impl fmt::Debug for TruthTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "TruthTable({} inputs; ", self.inputs)?;
         if self.inputs <= 6 {
-            write!(f, "0x{:0width$x})", self.to_init_word(), width = self.len().div_ceil(4))
+            write!(
+                f,
+                "0x{:0width$x})",
+                self.to_init_word(),
+                width = self.len().div_ceil(4)
+            )
         } else {
             write!(f, "{} ones of {})", self.count_ones(), self.len())
         }

@@ -1,23 +1,29 @@
 //! Property-based tests for the bit-level substrate.
+//!
+//! Written as deterministic randomized loops (seeded [`StdRng`], many cases
+//! per property) rather than `proptest` strategies, so they run in the
+//! offline build environment with no external dependencies.
 
 use poetbin_bits::{BitVec, FeatureMatrix, TruthTable};
-use proptest::prelude::*;
+use rand::prelude::*;
 
-fn bitvec_strategy(max_len: usize) -> impl Strategy<Value = BitVec> {
-    prop::collection::vec(any::<bool>(), 0..max_len).prop_map(BitVec::from_bools)
+fn random_bools(rng: &mut StdRng, max_len: usize) -> Vec<bool> {
+    let len = rng.random_range(0..max_len);
+    (0..len).map(|_| rng.random::<bool>()).collect()
 }
 
-fn table_strategy(max_inputs: usize) -> impl Strategy<Value = TruthTable> {
-    (0..=max_inputs).prop_flat_map(|k| {
-        prop::collection::vec(any::<bool>(), 1 << k)
-            .prop_map(move |bits| TruthTable::from_bits(k, BitVec::from_bools(bits)))
-    })
+fn random_table(rng: &mut StdRng, max_inputs: usize) -> TruthTable {
+    let k = rng.random_range(0..=max_inputs);
+    let bits: Vec<bool> = (0..(1usize << k)).map(|_| rng.random::<bool>()).collect();
+    TruthTable::from_bits(k, BitVec::from_bools(bits))
 }
 
-proptest! {
-    #[test]
-    fn bitvec_ops_match_bool_vectors(bits_a in prop::collection::vec(any::<bool>(), 0..300),
-                                     bits_b in prop::collection::vec(any::<bool>(), 0..300)) {
+#[test]
+fn bitvec_ops_match_bool_vectors() {
+    let mut rng = StdRng::seed_from_u64(0xB175);
+    for _case in 0..64 {
+        let bits_a = random_bools(&mut rng, 300);
+        let bits_b = random_bools(&mut rng, 300);
         let n = bits_a.len().min(bits_b.len());
         let a = BitVec::from_bools(bits_a[..n].iter().copied());
         let b = BitVec::from_bools(bits_b[..n].iter().copied());
@@ -26,48 +32,68 @@ proptest! {
         let xor = a.xor(&b);
         let not = a.not();
         for i in 0..n {
-            prop_assert_eq!(and.get(i), bits_a[i] && bits_b[i]);
-            prop_assert_eq!(xor.get(i), bits_a[i] ^ bits_b[i]);
-            prop_assert_eq!(not.get(i), !bits_a[i]);
+            assert_eq!(and.get(i), bits_a[i] && bits_b[i]);
+            assert_eq!(xor.get(i), bits_a[i] ^ bits_b[i]);
+            assert_eq!(not.get(i), !bits_a[i]);
         }
-        prop_assert_eq!(a.count_ones(), bits_a[..n].iter().filter(|&&x| x).count());
-        prop_assert_eq!(a.count_and(&b), and.count_ones());
-        prop_assert_eq!(a.hamming_distance(&b), xor.count_ones());
+        assert_eq!(a.count_ones(), bits_a[..n].iter().filter(|&&x| x).count());
+        assert_eq!(a.count_and(&b), and.count_ones());
+        assert_eq!(a.hamming_distance(&b), xor.count_ones());
     }
+}
 
-    #[test]
-    fn double_negation_is_identity(v in bitvec_strategy(300)) {
-        prop_assert_eq!(v.not().not(), v);
+#[test]
+fn double_negation_is_identity() {
+    let mut rng = StdRng::seed_from_u64(0xD0B1E);
+    for _case in 0..64 {
+        let v = BitVec::from_bools(random_bools(&mut rng, 300));
+        assert_eq!(v.not().not(), v);
     }
+}
 
-    #[test]
-    fn iter_ones_is_sorted_and_complete(v in bitvec_strategy(300)) {
+#[test]
+fn iter_ones_is_sorted_and_complete() {
+    let mut rng = StdRng::seed_from_u64(0x17E12);
+    for _case in 0..64 {
+        let v = BitVec::from_bools(random_bools(&mut rng, 300));
         let ones: Vec<usize> = v.iter_ones().collect();
-        prop_assert!(ones.windows(2).all(|w| w[0] < w[1]));
-        prop_assert_eq!(ones.len(), v.count_ones());
+        assert!(ones.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(ones.len(), v.count_ones());
         for i in ones {
-            prop_assert!(v.get(i));
+            assert!(v.get(i));
         }
     }
+}
 
-    #[test]
-    fn shannon_expansion_reconstructs_table(t in table_strategy(8)) {
+#[test]
+fn shannon_expansion_reconstructs_table() {
+    let mut rng = StdRng::seed_from_u64(0x5A4A);
+    for _case in 0..32 {
         // f = (!x_v & f|x_v=0) | (x_v & f|x_v=1) for every variable v.
+        let t = random_table(&mut rng, 8);
         for v in 0..t.inputs() {
             let lo = t.cofactor(v, false);
             let hi = t.cofactor(v, true);
             for addr in 0..t.len() {
                 let reduced = (addr & ((1 << v) - 1)) | ((addr >> (v + 1)) << v);
-                let expect = if (addr >> v) & 1 == 1 { hi.eval(reduced) } else { lo.eval(reduced) };
-                prop_assert_eq!(t.eval(addr), expect);
+                let expect = if (addr >> v) & 1 == 1 {
+                    hi.eval(reduced)
+                } else {
+                    lo.eval(reduced)
+                };
+                assert_eq!(t.eval(addr), expect);
             }
         }
     }
+}
 
-    #[test]
-    fn shrink_to_support_preserves_semantics(t in table_strategy(7)) {
+#[test]
+fn shrink_to_support_preserves_semantics() {
+    let mut rng = StdRng::seed_from_u64(0x5121);
+    for _case in 0..32 {
+        let t = random_table(&mut rng, 7);
         let (small, kept) = t.shrink_to_support();
-        prop_assert_eq!(small.inputs(), kept.len());
+        assert_eq!(small.inputs(), kept.len());
         for addr in 0..t.len() {
             let mut shrunk_addr = 0usize;
             for (pos, &orig) in kept.iter().enumerate() {
@@ -75,42 +101,57 @@ proptest! {
                     shrunk_addr |= 1 << pos;
                 }
             }
-            prop_assert_eq!(t.eval(addr), small.eval(shrunk_addr));
+            assert_eq!(t.eval(addr), small.eval(shrunk_addr));
         }
         // Every kept variable really is in the support.
         for (pos, _) in kept.iter().enumerate() {
-            prop_assert!(small.depends_on(pos));
+            assert!(small.depends_on(pos));
         }
     }
+}
 
-    #[test]
-    fn permutation_roundtrip(t in table_strategy(6)) {
+#[test]
+fn permutation_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x9E23);
+    for _case in 0..32 {
+        let t = random_table(&mut rng, 6);
         let k = t.inputs();
         let perm: Vec<usize> = (0..k).rev().collect();
         let twice = t.permute_inputs(&perm).permute_inputs(&perm);
-        prop_assert_eq!(twice, t);
+        assert_eq!(twice, t);
     }
+}
 
-    #[test]
-    fn matrix_row_column_duality(n in 1usize..20, f in 1usize..20, seed in any::<u64>()) {
+#[test]
+fn matrix_row_column_duality() {
+    let mut rng = StdRng::seed_from_u64(0xD0A1);
+    for _case in 0..32 {
+        let n = rng.random_range(1usize..20);
+        let f = rng.random_range(1usize..20);
+        let seed: u64 = rng.random();
         let m = FeatureMatrix::from_fn(n, f, |e, j| {
             // Cheap deterministic pseudo-random fill.
             (seed.wrapping_mul(e as u64 * 31 + j as u64 + 7) >> 17) & 1 == 1
         });
         for e in 0..n {
             for j in 0..f {
-                prop_assert_eq!(m.row(e).get(j), m.feature(j).get(e));
+                assert_eq!(m.row(e).get(j), m.feature(j).get(e));
             }
         }
     }
+}
 
-    #[test]
-    fn matrix_address_matches_manual_pack(f in 1usize..16, seed in any::<u64>()) {
+#[test]
+fn matrix_address_matches_manual_pack() {
+    let mut rng = StdRng::seed_from_u64(0xADD2);
+    for _case in 0..32 {
+        let f = rng.random_range(1usize..16);
+        let seed: u64 = rng.random();
         let m = FeatureMatrix::from_fn(1, f, |_, j| (seed >> (j % 60)) & 1 == 1);
         let features: Vec<usize> = (0..f).collect();
         let addr = m.address(0, &features);
         for (pos, &j) in features.iter().enumerate() {
-            prop_assert_eq!((addr >> pos) & 1 == 1, m.bit(0, j));
+            assert_eq!((addr >> pos) & 1 == 1, m.bit(0, j));
         }
     }
 }

@@ -261,8 +261,7 @@ mod tests {
     fn boosting_stumps_learns_majority() {
         let (data, labels) = majority_task();
         let booster = AdaBoost::new(5);
-        let (ensemble, report) =
-            booster.train(&data, &labels, &vec![1.0; 8], stump_learner);
+        let (ensemble, report) = booster.train(&data, &labels, &vec![1.0; 8], stump_learner);
         assert_eq!(report.train_error, 0.0, "errors: {:?}", report.round_errors);
         assert_eq!(ensemble.accuracy(&data, &labels), 1.0);
         assert!(ensemble.members.len() <= 5);
@@ -288,7 +287,11 @@ mod tests {
         let labels = BitVec::from_fn(16, |e| e & 1 == 1); // f0 is perfect
         let booster = AdaBoost::new(6);
         let (ensemble, report) = booster.train(&data, &labels, &vec![1.0; 16], stump_learner);
-        assert_eq!(ensemble.members.len(), 1, "should stop after the perfect round");
+        assert_eq!(
+            ensemble.members.len(),
+            1,
+            "should stop after the perfect round"
+        );
         assert!(report.round_errors[0] <= ERR_FLOOR);
         assert_eq!(ensemble.accuracy(&data, &labels), 1.0);
     }
@@ -322,10 +325,7 @@ mod tests {
         let (e1, r1) = booster.train(&big, &big_labels, &w, stump_learner);
         let (e2, r2) = booster.train(&big, &big_labels, &w, stump_learner);
         assert_eq!(r1.alphas, r2.alphas, "same seed must reproduce");
-        assert_eq!(
-            e1.predict_batch(&big),
-            e2.predict_batch(&big)
-        );
+        assert_eq!(e1.predict_batch(&big), e2.predict_batch(&big));
         assert!(r1.train_error <= 0.25, "train error {}", r1.train_error);
     }
 

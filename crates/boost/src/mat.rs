@@ -59,9 +59,7 @@ impl MatModule {
         );
         assert!(threshold.is_finite(), "non-finite MAT threshold");
         let k = weights.len();
-        let table = TruthTable::from_fn(k, |combo| {
-            Self::vote_impl(&weights, threshold, combo)
-        });
+        let table = TruthTable::from_fn(k, |combo| Self::vote_impl(&weights, threshold, combo));
         MatModule {
             weights,
             threshold,

@@ -279,11 +279,7 @@ impl RincModule {
     /// For a full `P`-ary hierarchy this equals the paper's
     /// `(P^(L+1) - 1)/(P - 1)`.
     pub fn lut_count(&self) -> usize {
-        1 + self
-            .children
-            .iter()
-            .map(RincNode::lut_count)
-            .sum::<usize>()
+        1 + self.children.iter().map(RincNode::lut_count).sum::<usize>()
     }
 
     /// LUT levels on the critical path: deepest child plus this MAT.
@@ -316,9 +312,7 @@ fn derive_update(update: WeightUpdate, salt: u64) -> WeightUpdate {
     match update {
         WeightUpdate::Exact => WeightUpdate::Exact,
         WeightUpdate::Resample { seed } => WeightUpdate::Resample {
-            seed: seed
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add(salt),
+            seed: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(salt),
         },
     }
 }
@@ -375,10 +369,16 @@ mod tests {
     /// labelled by a hidden 3-feature majority plus hash noise.
     fn task(n: usize, f: usize) -> (FeatureMatrix, BitVec) {
         let data = FeatureMatrix::from_fn(n, f, |e, j| {
-            (e.wrapping_mul(2654435761).wrapping_add(j.wrapping_mul(40503)) >> 7) & 1 == 1
+            (e.wrapping_mul(2654435761)
+                .wrapping_add(j.wrapping_mul(40503))
+                >> 7)
+                & 1
+                == 1
         });
         let labels = BitVec::from_fn(n, |e| {
-            let votes = usize::from(data.bit(e, 0)) + usize::from(data.bit(e, 1)) + usize::from(data.bit(e, 2));
+            let votes = usize::from(data.bit(e, 0))
+                + usize::from(data.bit(e, 1))
+                + usize::from(data.bit(e, 2));
             votes >= 2
         });
         (data, labels)
@@ -422,7 +422,11 @@ mod tests {
         // (P^(L+1)-1)/(P-1) LUTs for a full hierarchy; verify on a task hard
         // enough that no early stopping occurs (hash noise labels).
         let data = FeatureMatrix::from_fn(512, 16, |e, j| {
-            (e.wrapping_mul(0x9E3779B9).wrapping_add(j.wrapping_mul(0x85EBCA6B)) >> 9) & 1 == 1
+            (e.wrapping_mul(0x9E3779B9)
+                .wrapping_add(j.wrapping_mul(0x85EBCA6B))
+                >> 9)
+                & 1
+                == 1
         });
         let labels = BitVec::from_fn(512, |e| (e.wrapping_mul(0xC2B2AE35) >> 13) & 1 == 1);
         let (p, l) = (3usize, 2usize);
@@ -437,7 +441,11 @@ mod tests {
     #[test]
     fn top_groups_shrinks_only_the_outer_level() {
         let data = FeatureMatrix::from_fn(512, 16, |e, j| {
-            (e.wrapping_mul(0x9E3779B9).wrapping_add(j.wrapping_mul(0x85EBCA6B)) >> 9) & 1 == 1
+            (e.wrapping_mul(0x9E3779B9)
+                .wrapping_add(j.wrapping_mul(0x85EBCA6B))
+                >> 9)
+                & 1
+                == 1
         });
         let labels = BitVec::from_fn(512, |e| (e.wrapping_mul(0xC2B2AE35) >> 13) & 1 == 1);
         let cfg = RincConfig::new(3, 2).with_top_groups(2);

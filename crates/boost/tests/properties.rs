@@ -1,47 +1,58 @@
 //! Property-based tests for boosting invariants.
+//!
+//! Written as deterministic randomized loops (seeded [`StdRng`], many cases
+//! per property) rather than `proptest` strategies, so they run in the
+//! offline build environment with no external dependencies.
 
 use poetbin_bits::{BitVec, FeatureMatrix};
 use poetbin_boost::{AdaBoost, MatModule, RincConfig, RincModule};
 use poetbin_dt::{BitClassifier, LevelTreeConfig, LevelWiseTree};
-use proptest::prelude::*;
+use rand::prelude::*;
 
-proptest! {
-    /// The central MAT invariant (§2.1.2): folding the weighted vote into a
-    /// LUT never changes a single output bit.
-    #[test]
-    fn mat_lut_equals_weighted_vote(
-        weights in prop::collection::vec(-2.0f64..2.0, 1..=8),
-        threshold in -1.0f64..1.0,
-    ) {
+/// The central MAT invariant (§2.1.2): folding the weighted vote into a
+/// LUT never changes a single output bit.
+#[test]
+fn mat_lut_equals_weighted_vote() {
+    let mut rng = StdRng::seed_from_u64(0x3A7);
+    for _case in 0..64 {
+        let k = rng.random_range(1usize..=8);
+        let weights: Vec<f64> = (0..k).map(|_| rng.random_range(-2.0..2.0)).collect();
+        let threshold: f64 = rng.random_range(-1.0..1.0);
         let mat = MatModule::with_threshold(weights.clone(), threshold);
         for combo in 0..(1usize << weights.len()) {
-            prop_assert_eq!(mat.eval(combo), mat.vote(combo));
+            assert_eq!(mat.eval(combo), mat.vote(combo));
         }
     }
+}
 
-    /// Inputs reported irrelevant really never change the output.
-    #[test]
-    fn irrelevant_inputs_never_flip_output(
-        weights in prop::collection::vec(-1.5f64..1.5, 2..=6),
-    ) {
+/// Inputs reported irrelevant really never change the output.
+#[test]
+fn irrelevant_inputs_never_flip_output() {
+    let mut rng = StdRng::seed_from_u64(0x122E);
+    for _case in 0..64 {
+        let k = rng.random_range(2usize..=6);
+        let weights: Vec<f64> = (0..k).map(|_| rng.random_range(-1.5..1.5)).collect();
         let mat = MatModule::new(weights.clone());
         for x in mat.irrelevant_inputs() {
             for combo in 0..(1usize << weights.len()) {
-                prop_assert_eq!(mat.eval(combo), mat.eval(combo ^ (1 << x)));
+                assert_eq!(mat.eval(combo), mat.eval(combo ^ (1 << x)));
             }
         }
     }
+}
 
-    /// AdaBoost's exponential-loss guarantee in practice: the boosted
-    /// ensemble's training error never exceeds its first weak learner's.
-    #[test]
-    fn boosting_never_hurts_training_error(seed in 0u64..500) {
+/// AdaBoost's exponential-loss guarantee in practice: the boosted
+/// ensemble's training error never exceeds its first weak learner's.
+#[test]
+fn boosting_never_hurts_training_error() {
+    for seed in (0u64..500).step_by(13) {
         let n = 128usize;
         let data = FeatureMatrix::from_fn(n, 8, |e, j| {
             (seed.wrapping_mul(e as u64 + 3).wrapping_add(j as u64 * 131) >> 11) & 1 == 1
         });
         let labels = BitVec::from_fn(n, |e| {
-            usize::from(data.bit(e, 0)) + usize::from(data.bit(e, 3)) + usize::from(data.bit(e, 5)) >= 2
+            usize::from(data.bit(e, 0)) + usize::from(data.bit(e, 3)) + usize::from(data.bit(e, 5))
+                >= 2
         });
         let w = vec![1.0; n];
         let learner = |d: &FeatureMatrix, l: &BitVec, wt: &[f64], _r: usize| {
@@ -50,14 +61,20 @@ proptest! {
         let stump = learner(&data, &labels, &w, 0);
         let stump_err = 1.0 - stump.accuracy(&data, &labels);
         let (ensemble, report) = AdaBoost::new(6).train(&data, &labels, &w, learner);
-        prop_assert!(report.train_error <= stump_err + 1e-12,
-            "boosted {} vs stump {}", report.train_error, stump_err);
-        prop_assert!((1.0 - ensemble.accuracy(&data, &labels) - report.train_error).abs() < 1e-12);
+        assert!(
+            report.train_error <= stump_err + 1e-12,
+            "boosted {} vs stump {}",
+            report.train_error,
+            stump_err
+        );
+        assert!((1.0 - ensemble.accuracy(&data, &labels) - report.train_error).abs() < 1e-12);
     }
+}
 
-    /// AdaBoost weights always remain a probability distribution.
-    #[test]
-    fn weights_stay_normalised(seed in 0u64..200) {
+/// AdaBoost weights always remain a probability distribution.
+#[test]
+fn weights_stay_normalised() {
+    for seed in (0u64..200).step_by(7) {
         let n = 64usize;
         let data = FeatureMatrix::from_fn(n, 6, |e, j| {
             (seed.wrapping_mul(e as u64 * 7 + j as u64 + 1) >> 9) & 1 == 1
@@ -67,30 +84,44 @@ proptest! {
             LevelWiseTree::train(d, l, wt, &LevelTreeConfig::new(2))
         });
         let sum: f64 = report.final_weights.iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-9, "weight sum {sum}");
-        prop_assert!(report.final_weights.iter().all(|w| *w >= 0.0));
+        assert!((sum - 1.0).abs() < 1e-9, "weight sum {sum}");
+        assert!(report.final_weights.iter().all(|w| *w >= 0.0));
     }
+}
 
-    /// The paper's LUT budget formula holds for any full (P, L) hierarchy
-    /// trained on noise (no early stopping): (P^(L+1)-1)/(P-1).
-    #[test]
-    fn rinc_lut_budget_formula(p in 2usize..=3, l in 1usize..=2, seed in 0u64..50) {
-        let n = 256usize;
-        let f = 16usize;
-        let data = FeatureMatrix::from_fn(n, f, |e, j| {
-            (seed.wrapping_mul(e as u64 + 11).wrapping_add(j as u64 * 2654435761) >> 13) & 1 == 1
-        });
-        let labels = BitVec::from_fn(n, |e| (seed.wrapping_mul(e as u64 * 31 + 7) >> 17) & 1 == 1);
-        let m = RincModule::train(&data, &labels, &vec![1.0; n], &RincConfig::new(p, l));
-        let full = (p.pow(l as u32 + 1) - 1) / (p - 1);
-        prop_assert!(m.lut_count() <= full, "{} > {}", m.lut_count(), full);
-        // Early stopping only ever removes whole sub-hierarchies.
-        prop_assert!(m.lut_depth() <= l + 1);
+/// The paper's LUT budget formula holds for any full (P, L) hierarchy
+/// trained on noise (no early stopping): (P^(L+1)-1)/(P-1).
+#[test]
+fn rinc_lut_budget_formula() {
+    for p in 2usize..=3 {
+        for l in 1usize..=2 {
+            for seed in (0u64..50).step_by(10) {
+                let n = 256usize;
+                let f = 16usize;
+                let data = FeatureMatrix::from_fn(n, f, |e, j| {
+                    (seed
+                        .wrapping_mul(e as u64 + 11)
+                        .wrapping_add(j as u64 * 2654435761)
+                        >> 13)
+                        & 1
+                        == 1
+                });
+                let labels =
+                    BitVec::from_fn(n, |e| (seed.wrapping_mul(e as u64 * 31 + 7) >> 17) & 1 == 1);
+                let m = RincModule::train(&data, &labels, &vec![1.0; n], &RincConfig::new(p, l));
+                let full = (p.pow(l as u32 + 1) - 1) / (p - 1);
+                assert!(m.lut_count() <= full, "{} > {}", m.lut_count(), full);
+                // Early stopping only ever removes whole sub-hierarchies.
+                assert!(m.lut_depth() <= l + 1);
+            }
+        }
     }
+}
 
-    /// Batch and row prediction agree for trained hierarchies.
-    #[test]
-    fn rinc_batch_row_agreement(seed in 0u64..100) {
+/// Batch and row prediction agree for trained hierarchies.
+#[test]
+fn rinc_batch_row_agreement() {
+    for seed in (0u64..100).step_by(9) {
         let n = 96usize;
         let data = FeatureMatrix::from_fn(n, 9, |e, j| {
             (seed.wrapping_mul(e as u64 * 5 + j as u64 * 17 + 3) >> 8) & 1 == 1
@@ -99,7 +130,7 @@ proptest! {
         let m = RincModule::train(&data, &labels, &vec![1.0; n], &RincConfig::new(3, 1));
         let batch = m.predict_batch(&data);
         for e in 0..n {
-            prop_assert_eq!(batch.get(e), m.predict_row(data.row(e)));
+            assert_eq!(batch.get(e), m.predict_row(data.row(e)));
         }
     }
 }

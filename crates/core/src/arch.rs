@@ -243,7 +243,11 @@ impl Architecture {
         net.push(BatchNorm::new(self.intermediate_width()));
         net.push(BinarySigmoid::new());
         let intermediate_layer = net.len();
-        net.push(Dense::new(self.intermediate_width(), self.classes, seed + 40));
+        net.push(Dense::new(
+            self.intermediate_width(),
+            self.classes,
+            seed + 40,
+        ));
         (net, feature_layer, intermediate_layer)
     }
 }
@@ -294,7 +298,9 @@ mod tests {
         let arch = Architecture::m1().scaled(32);
         let (mut net, feat_idx, _) = arch.build_teacher(3);
         let imgs = Tensor::from_vec(
-            (0..4 * 784).map(|i| ((i * 37) % 97) as f32 / 97.0).collect(),
+            (0..4 * 784)
+                .map(|i| ((i * 37) % 97) as f32 / 97.0)
+                .collect(),
             vec![4, 1, 28, 28],
         );
         // One training pass so batch-norm statistics are meaningful.
@@ -302,7 +308,10 @@ mod tests {
         let feats = net.forward_prefix(imgs, feat_idx, Mode::Train);
         let ones: f32 = feats.data().iter().sum();
         let total = feats.len() as f32;
-        assert!(ones > 0.0 && ones < total, "features saturated: {ones}/{total}");
+        assert!(
+            ones > 0.0 && ones < total,
+            "features saturated: {ones}/{total}"
+        );
     }
 
     #[test]

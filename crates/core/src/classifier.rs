@@ -154,8 +154,7 @@ impl PoetBinClassifier {
     /// Emits a self-checking testbench over the given feature rows.
     pub fn to_testbench(&self, features: &FeatureMatrix, entity: &str) -> String {
         let net = self.to_netlist(features.num_features());
-        let vectors: Vec<poetbin_bits::BitVec> =
-            features.iter_rows().cloned().collect();
+        let vectors: Vec<poetbin_bits::BitVec> = features.iter_rows().cloned().collect();
         generate_testbench(&net, entity, &vectors)
     }
 }
@@ -207,17 +206,12 @@ mod tests {
         // Intermediate targets in the teacher's style: every bit of class
         // c's block fires exactly when the example belongs to class c —
         // a 9-feature majority, expressible by a RINC-1 with P=3.
-        let targets = FeatureMatrix::from_fn(n, classes * p, |e, j| {
-            (j / p == 1) == (labels[e] == 1)
-        });
+        let targets =
+            FeatureMatrix::from_fn(n, classes * p, |e, j| (j / p == 1) == (labels[e] == 1));
         let bank = RincBank::train(&features, &targets, &RincConfig::new(p, 1));
         let inter = bank.predict_bits(&features);
         let output = QuantizedSparseOutput::train(&inter, &labels, classes, 8, 20);
-        (
-            PoetBinClassifier::new(bank, output),
-            features,
-            labels,
-        )
+        (PoetBinClassifier::new(bank, output), features, labels)
     }
 
     #[test]

@@ -105,8 +105,16 @@ impl QuantizedSparseOutput {
         let mut min_score = i64::MAX;
         let mut max_score = i64::MIN;
         for c in 0..classes {
-            let neg: i64 = weights[c].iter().filter(|&&v| v < 0).map(|&v| v as i64).sum();
-            let pos: i64 = weights[c].iter().filter(|&&v| v > 0).map(|&v| v as i64).sum();
+            let neg: i64 = weights[c]
+                .iter()
+                .filter(|&&v| v < 0)
+                .map(|&v| v as i64)
+                .sum();
+            let pos: i64 = weights[c]
+                .iter()
+                .filter(|&&v| v > 0)
+                .map(|&v| v as i64)
+                .sum();
             min_score = min_score.min(neg + biases[c] as i64);
             max_score = max_score.max(pos + biases[c] as i64);
         }

@@ -47,8 +47,7 @@ impl RincBank {
                 let handle = scope.spawn(move || {
                     for (i, slot) in slot_chunk.iter_mut().enumerate() {
                         let neuron = t * chunk + i;
-                        let labels =
-                            BitVec::from_fn(n, |e| targets.bit(e, neuron));
+                        let labels = BitVec::from_fn(n, |e| targets.bit(e, neuron));
                         let mut cfg = config.clone();
                         // Distinct resampling streams per neuron.
                         cfg = match cfg.update {

@@ -74,19 +74,40 @@ impl Teacher {
         // Stage A1: vanilla full-precision network.
         let mut vanilla = arch.build_vanilla(config.seed);
         let mut adam = Adam::new(config.learning_rate);
-        fit(&mut vanilla, &loss, &mut adam, &train.images, &train.labels, &fit_config);
+        fit(
+            &mut vanilla,
+            &loss,
+            &mut adam,
+            &train.images,
+            &train.labels,
+            &fit_config,
+        );
         let a1 = evaluate(&mut vanilla, &test.images, &test.labels);
 
         // Stage A2: binary feature representation.
         let mut binfeat = arch.build_binary_features(config.seed);
         let mut adam = Adam::new(config.learning_rate);
-        fit(&mut binfeat, &loss, &mut adam, &train.images, &train.labels, &fit_config);
+        fit(
+            &mut binfeat,
+            &loss,
+            &mut adam,
+            &train.images,
+            &train.labels,
+            &fit_config,
+        );
         let a2 = evaluate(&mut binfeat, &test.images, &test.labels);
 
         // Stage A3: the teacher with the binary intermediate layer.
         let (mut teacher, feature_layer, intermediate_layer) = arch.build_teacher(config.seed);
         let mut adam = Adam::new(config.learning_rate);
-        fit(&mut teacher, &loss, &mut adam, &train.images, &train.labels, &fit_config);
+        fit(
+            &mut teacher,
+            &loss,
+            &mut adam,
+            &train.images,
+            &train.labels,
+            &fit_config,
+        );
         let a3 = evaluate(&mut teacher, &test.images, &test.labels);
 
         Teacher {
@@ -117,11 +138,7 @@ impl Teacher {
         evaluate(&mut self.net, &data.images, &data.labels)
     }
 
-    fn forward_prefix_batched(
-        &mut self,
-        data: &ImageDataset,
-        upto: usize,
-    ) -> poetbin_nn::Tensor {
+    fn forward_prefix_batched(&mut self, data: &ImageDataset, upto: usize) -> poetbin_nn::Tensor {
         let n = data.len();
         let mut rows: Vec<f32> = Vec::new();
         let mut width = 0usize;

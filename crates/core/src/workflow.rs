@@ -165,7 +165,11 @@ mod tests {
         assert!(result.a3 > 0.3, "A3 {}", result.a3);
         assert!(result.a4 > 0.3, "A4 {}", result.a4);
         // The RINC bank must track the teacher's intermediate layer well.
-        assert!(result.rinc_fidelity > 0.6, "fidelity {}", result.rinc_fidelity);
+        assert!(
+            result.rinc_fidelity > 0.6,
+            "fidelity {}",
+            result.rinc_fidelity
+        );
         // The classifier stays within a sane LUT budget.
         let luts = result.classifier.lut_count();
         assert!(luts > 0 && luts < 10_000, "LUTs {luts}");

@@ -6,7 +6,6 @@
 //! [`load_labels`] let every experiment in this repository run on them
 //! unchanged.
 
-use bytes::Buf;
 use std::fmt;
 use std::fs;
 use std::io;
@@ -38,7 +37,10 @@ impl fmt::Display for IdxError {
             IdxError::Io(e) => write!(f, "i/o error reading idx data: {e}"),
             IdxError::BadHeader(msg) => write!(f, "malformed idx header: {msg}"),
             IdxError::Truncated { expected, actual } => {
-                write!(f, "idx payload truncated: expected {expected} bytes, found {actual}")
+                write!(
+                    f,
+                    "idx payload truncated: expected {expected} bytes, found {actual}"
+                )
             }
         }
     }
@@ -59,11 +61,19 @@ impl From<io::Error> for IdxError {
     }
 }
 
+/// Reads a big-endian `u32` from the front of `buf`, advancing it.
+fn get_u32(buf: &mut &[u8]) -> u32 {
+    let (head, rest) = buf.split_at(4);
+    let value = u32::from_be_bytes(head.try_into().expect("4-byte slice"));
+    *buf = rest;
+    value
+}
+
 fn parse_header(buf: &mut &[u8], expect_dims: u8) -> Result<Vec<usize>, IdxError> {
-    if buf.remaining() < 4 {
+    if buf.len() < 4 {
         return Err(IdxError::BadHeader("shorter than magic number".into()));
     }
-    let magic = buf.get_u32();
+    let magic = get_u32(buf);
     let dtype = ((magic >> 8) & 0xFF) as u8;
     let ndims = (magic & 0xFF) as u8;
     if magic >> 16 != 0 {
@@ -81,10 +91,10 @@ fn parse_header(buf: &mut &[u8], expect_dims: u8) -> Result<Vec<usize>, IdxError
     }
     let mut dims = Vec::with_capacity(ndims as usize);
     for _ in 0..ndims {
-        if buf.remaining() < 4 {
+        if buf.len() < 4 {
             return Err(IdxError::BadHeader("dimension list truncated".into()));
         }
-        dims.push(buf.get_u32() as usize);
+        dims.push(get_u32(buf) as usize);
     }
     Ok(dims)
 }
@@ -99,14 +109,20 @@ fn parse_header(buf: &mut &[u8], expect_dims: u8) -> Result<Vec<usize>, IdxError
 pub fn decode_images(mut bytes: &[u8]) -> Result<Tensor, IdxError> {
     let dims = parse_header(&mut bytes, 3)?;
     let (n, h, w) = (dims[0], dims[1], dims[2]);
-    let expected = n * h * w;
-    if bytes.remaining() < expected {
+    let expected = n
+        .checked_mul(h)
+        .and_then(|v| v.checked_mul(w))
+        .ok_or_else(|| IdxError::BadHeader(format!("dimension overflow: {n}x{h}x{w}")))?;
+    if bytes.len() < expected {
         return Err(IdxError::Truncated {
             expected,
-            actual: bytes.remaining(),
+            actual: bytes.len(),
         });
     }
-    let data: Vec<f32> = bytes[..expected].iter().map(|&b| b as f32 / 255.0).collect();
+    let data: Vec<f32> = bytes[..expected]
+        .iter()
+        .map(|&b| b as f32 / 255.0)
+        .collect();
     Ok(Tensor::from_vec(data, vec![n, 1, h, w]))
 }
 
@@ -119,10 +135,10 @@ pub fn decode_images(mut bytes: &[u8]) -> Result<Tensor, IdxError> {
 pub fn decode_labels(mut bytes: &[u8]) -> Result<Vec<usize>, IdxError> {
     let dims = parse_header(&mut bytes, 1)?;
     let n = dims[0];
-    if bytes.remaining() < n {
+    if bytes.len() < n {
         return Err(IdxError::Truncated {
             expected: n,
-            actual: bytes.remaining(),
+            actual: bytes.len(),
         });
     }
     Ok(bytes[..n].iter().map(|&b| b as usize).collect())
@@ -189,7 +205,12 @@ pub fn encode_images(images: &Tensor) -> Vec<u8> {
     for d in [n, h, w] {
         out.extend_from_slice(&(d as u32).to_be_bytes());
     }
-    out.extend(images.data().iter().map(|&p| (p * 255.0).round().clamp(0.0, 255.0) as u8));
+    out.extend(
+        images
+            .data()
+            .iter()
+            .map(|&p| (p * 255.0).round().clamp(0.0, 255.0) as u8),
+    );
     out
 }
 

@@ -15,16 +15,16 @@ use crate::ImageDataset;
 /// Seven-segment display encodings of the digits 0–9: segments
 /// (top, top-left, top-right, middle, bottom-left, bottom-right, bottom).
 const SEGMENTS: [[bool; 7]; 10] = [
-    [true, true, true, false, true, true, true],    // 0
+    [true, true, true, false, true, true, true],     // 0
     [false, false, true, false, false, true, false], // 1
-    [true, false, true, true, true, false, true],   // 2
-    [true, false, true, true, false, true, true],   // 3
-    [false, true, true, true, false, true, false],  // 4
-    [true, true, false, true, false, true, true],   // 5
-    [true, true, false, true, true, true, true],    // 6
-    [true, false, true, false, false, true, false], // 7
-    [true, true, true, true, true, true, true],     // 8
-    [true, true, true, true, false, true, true],    // 9
+    [true, false, true, true, true, false, true],    // 2
+    [true, false, true, true, false, true, true],    // 3
+    [false, true, true, true, false, true, false],   // 4
+    [true, true, false, true, false, true, true],    // 5
+    [true, true, false, true, true, true, true],     // 6
+    [true, false, true, false, false, true, false],  // 7
+    [true, true, true, true, true, true, true],      // 8
+    [true, true, true, true, false, true, true],     // 9
 ];
 
 /// Draws a digit's segments into a single-channel canvas.
@@ -148,11 +148,11 @@ pub fn objects(n: usize, seed: u64) -> ImageDataset {
                 let (dx, dy) = (x as f32 - cx, y as f32 - cy);
                 // Each class pairs a shape family with a texture family.
                 let inside = match class % 5 {
-                    0 => dx * dx + dy * dy < size * size, // disc
+                    0 => dx * dx + dy * dy < size * size,    // disc
                     1 => dx.abs() < size && dy.abs() < size, // square
-                    2 => dx.abs() + dy.abs() < size * 1.3, // diamond
-                    3 => dy.abs() < size * 0.5,           // horizontal bar
-                    _ => dx.abs() < size * 0.5,           // vertical bar
+                    2 => dx.abs() + dy.abs() < size * 1.3,   // diamond
+                    3 => dy.abs() < size * 0.5,              // horizontal bar
+                    _ => dx.abs() < size * 0.5,              // vertical bar
                 };
                 if inside {
                     let stripe = if class >= 5 {
@@ -293,11 +293,7 @@ mod tests {
     #[test]
     fn pixel_range_is_unit_interval() {
         for ds in [digits(5, 11), objects(5, 11), house_numbers(5, 11)] {
-            assert!(ds
-                .images
-                .data()
-                .iter()
-                .all(|p| (0.0..=1.0).contains(p)));
+            assert!(ds.images.data().iter().all(|p| (0.0..=1.0).contains(p)));
         }
     }
 

@@ -79,7 +79,11 @@ impl ClassicTreeConfig {
 enum Node {
     /// Internal node: test `feature`; 0 → `lo`, 1 → `hi` (indices into the
     /// node arena).
-    Split { feature: usize, lo: usize, hi: usize },
+    Split {
+        feature: usize,
+        lo: usize,
+        hi: usize,
+    },
     /// Leaf with a fixed class.
     Leaf { label: bool },
 }

@@ -121,7 +121,10 @@ impl LevelWiseTree {
         let pool: Vec<usize> = match &config.candidates {
             Some(c) => {
                 for &j in c {
-                    assert!(j < data.num_features(), "candidate feature {j} out of range");
+                    assert!(
+                        j < data.num_features(),
+                        "candidate feature {j} out of range"
+                    );
                 }
                 c.clone()
             }
@@ -167,8 +170,7 @@ impl LevelWiseTree {
                     for node in 0..new_nodes {
                         let w0 = counts[node * 2];
                         let w1 = counts[node * 2 + 1];
-                        level_entropy +=
-                            (w0 + w1) / total * weighted_binary_entropy(w0, w1);
+                        level_entropy += (w0 + w1) / total * weighted_binary_entropy(w0, w1);
                     }
                 }
                 let better = match best {
@@ -481,7 +483,12 @@ mod tests {
     fn negative_weights_panic() {
         let data = exhaustive(2);
         let labels = BitVec::zeros(4);
-        LevelWiseTree::train(&data, &labels, &[1.0, -1.0, 1.0, 1.0], &LevelTreeConfig::new(1));
+        LevelWiseTree::train(
+            &data,
+            &labels,
+            &[1.0, -1.0, 1.0, 1.0],
+            &LevelTreeConfig::new(1),
+        );
     }
 
     #[test]

@@ -142,10 +142,7 @@ mod tests {
             ins[..8].to_vec(),
             TruthTable::from_fn(8, |i| (i as u32).count_ones() % 2 == 1),
         );
-        let narrow = b.add_lut(
-            vec![ins[8], wide],
-            TruthTable::from_fn(2, |i| i == 2),
-        );
+        let narrow = b.add_lut(vec![ins[8], wide], TruthTable::from_fn(2, |i| i == 2));
         b.set_outputs(vec![narrow, wide]);
         let net = b.finish();
         let (mapped, _) = map_to_lut6(&net);

@@ -165,7 +165,6 @@ impl Netlist {
         }
         fanout
     }
-
 }
 
 /// Area statistics of a [`Netlist`].

@@ -116,17 +116,14 @@ impl PowerModel {
     ///
     /// Panics if `freq_mhz` is not positive or `activity` is outside
     /// `[0, 1]`.
-    pub fn estimate_uniform(
-        &self,
-        net: &Netlist,
-        activity: f64,
-        freq_mhz: f64,
-    ) -> PowerReport {
+    pub fn estimate_uniform(&self, net: &Netlist, activity: f64, freq_mhz: f64) -> PowerReport {
         assert!(freq_mhz > 0.0, "clock frequency must be positive");
-        assert!((0.0..=1.0).contains(&activity), "activity must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&activity),
+            "activity must be in [0, 1]"
+        );
         let f_hz = freq_mhz * 1e6;
-        let switch =
-            net.num_signals() as f64 * activity * self.toggle_energy_j * f_hz;
+        let switch = net.num_signals() as f64 * activity * self.toggle_energy_j * f_hz;
         let clocked = net.num_inputs() as f64;
         let pads = (net.outputs().len() + 1) as f64;
         PowerReport {

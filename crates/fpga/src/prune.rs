@@ -102,8 +102,7 @@ pub fn prune(net: &Netlist) -> (Netlist, PruneReport) {
                         report.constants_folded += 1;
                         nodes[id] = Node::Const { value };
                         changed = true;
-                    } else if cur_table.inputs() == 1 && cur_table.eval(1) && !cur_table.eval(0)
-                    {
+                    } else if cur_table.inputs() == 1 && cur_table.eval(1) && !cur_table.eval(0) {
                         // Identity LUT: alias straight through.
                         alias[id] = cur_inputs[0];
                         nodes[id] = Node::Const { value: false }; // placeholder, now aliased
@@ -145,11 +144,7 @@ pub fn prune(net: &Netlist) -> (Netlist, PruneReport) {
 
     // Dead-code elimination: mark from outputs.
     let mut live = vec![false; nodes.len()];
-    let mut stack: Vec<SignalId> = net
-        .outputs()
-        .iter()
-        .map(|&o| resolve(&alias, o))
-        .collect();
+    let mut stack: Vec<SignalId> = net.outputs().iter().map(|&o| resolve(&alias, o)).collect();
     while let Some(s) = stack.pop() {
         if live[s] {
             continue;
@@ -184,10 +179,8 @@ pub fn prune(net: &Netlist) -> (Netlist, PruneReport) {
             Node::Input { .. } => b.add_input(),
             Node::Const { value } => b.add_const(*value),
             Node::Lut { inputs, table } => {
-                let ins: Vec<SignalId> = inputs
-                    .iter()
-                    .map(|&s| remap[resolve(&alias, s)])
-                    .collect();
+                let ins: Vec<SignalId> =
+                    inputs.iter().map(|&s| remap[resolve(&alias, s)]).collect();
                 b.add_lut(ins, table.clone())
             }
             Node::Mux { sel, lo, hi } => b.add_mux(

@@ -171,10 +171,7 @@ mod tests {
     fn wide_lut_simulation_matches_eval() {
         let mut b = NetlistBuilder::new();
         let ins = b.add_inputs(8);
-        let lut = b.add_lut(
-            ins,
-            TruthTable::from_fn(8, |i| (i * 2654435761) & 32 != 0),
-        );
+        let lut = b.add_lut(ins, TruthTable::from_fn(8, |i| (i * 2654435761) & 32 != 0));
         b.set_outputs(vec![lut]);
         let net = b.finish();
         let vectors: Vec<BitVec> = (0..256)

@@ -148,7 +148,11 @@ mod tests {
         let t = TimingModel::default().analyze(&b.finish());
         assert_eq!(t.lut_levels, 4);
         // 1.5 + 4 × (0.9 + 0.19) = 5.86 ns ≈ the paper's 5.85 ns.
-        assert!((t.critical_path_ns - 5.86).abs() < 0.02, "{}", t.critical_path_ns);
+        assert!(
+            (t.critical_path_ns - 5.86).abs() < 0.02,
+            "{}",
+            t.critical_path_ns
+        );
         assert!(t.fmax_mhz > 100.0);
     }
 

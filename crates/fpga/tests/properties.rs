@@ -1,9 +1,13 @@
 //! Property-based tests: mapping and pruning never change behaviour, and
 //! simulation agrees with single-vector evaluation.
+//!
+//! Written as deterministic randomized loops (seeded [`StdRng`], many cases
+//! per property) rather than `proptest` strategies, so they run in the
+//! offline build environment with no external dependencies.
 
 use poetbin_bits::{BitVec, TruthTable};
 use poetbin_fpga::{map_to_lut6, prune, simulate, Netlist, NetlistBuilder};
-use proptest::prelude::*;
+use rand::prelude::*;
 
 /// Builds a random 3-layer netlist over `width` inputs from a seed.
 fn random_netlist(width: usize, seed: u64) -> Netlist {
@@ -21,62 +25,91 @@ fn random_netlist(width: usize, seed: u64) -> Netlist {
         let mut new_layer = Vec::new();
         for _ in 0..3 {
             let k = (next() as usize % 7) + 1; // 1..=7 inputs (some wide)
-            let ins: Vec<usize> = (0..k).map(|_| layer[next() as usize % layer.len()]).collect();
+            let ins: Vec<usize> = (0..k)
+                .map(|_| layer[next() as usize % layer.len()])
+                .collect();
             let table = TruthTable::from_fn(k, |i| (next().wrapping_add(i as u64)) & 2 == 0);
             new_layer.push(b.add_lut(ins, table));
         }
         layer.extend(new_layer);
     }
-    let outs: Vec<usize> = (0..3).map(|_| layer[next() as usize % layer.len()]).collect();
+    let outs: Vec<usize> = (0..3)
+        .map(|_| layer[next() as usize % layer.len()])
+        .collect();
     b.set_outputs(outs);
     b.finish()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Technology mapping is behaviour-preserving on random networks.
-    #[test]
-    fn mapping_preserves_behaviour(seed in any::<u64>()) {
+/// Technology mapping is behaviour-preserving on random networks.
+#[test]
+fn mapping_preserves_behaviour() {
+    let mut rng = StdRng::seed_from_u64(0x6A9);
+    for _case in 0..32 {
+        let seed: u64 = rng.random();
         let net = random_netlist(6, seed);
         let (mapped, report) = map_to_lut6(&net);
-        prop_assert_eq!(mapped.area().oversized_luts, 0);
+        assert_eq!(mapped.area().oversized_luts, 0);
         for v in 0..(1usize << 6) {
             let bits: Vec<bool> = (0..6).map(|i| (v >> i) & 1 == 1).collect();
-            prop_assert_eq!(net.eval(&bits), mapped.eval(&bits), "input {:b}", v);
+            assert_eq!(
+                net.eval(&bits),
+                mapped.eval(&bits),
+                "input {v:b} (seed {seed})"
+            );
         }
         // Budget sanity: an 8-input LUT maps to at most 4 LUT6 + 3 muxes.
-        prop_assert!(report.emitted_luts <= report.decomposed_luts * 4);
+        assert!(report.emitted_luts <= report.decomposed_luts * 4);
     }
+}
 
-    /// Pruning is behaviour-preserving and never grows the LUT count.
-    #[test]
-    fn pruning_preserves_behaviour(seed in any::<u64>()) {
+/// Pruning is behaviour-preserving and never grows the LUT count.
+#[test]
+fn pruning_preserves_behaviour() {
+    let mut rng = StdRng::seed_from_u64(0x921);
+    for _case in 0..32 {
+        let seed: u64 = rng.random();
         let net = random_netlist(5, seed);
         let (pruned, report) = prune(&net);
-        prop_assert!(report.luts_after <= report.luts_before);
+        assert!(report.luts_after <= report.luts_before);
         for v in 0..(1usize << 5) {
             let bits: Vec<bool> = (0..5).map(|i| (v >> i) & 1 == 1).collect();
-            prop_assert_eq!(net.eval(&bits), pruned.eval(&bits), "input {:b}", v);
+            assert_eq!(
+                net.eval(&bits),
+                pruned.eval(&bits),
+                "input {v:b} (seed {seed})"
+            );
         }
     }
+}
 
-    /// Map-then-prune composes safely.
-    #[test]
-    fn map_prune_pipeline_preserves_behaviour(seed in any::<u64>()) {
+/// Map-then-prune composes safely.
+#[test]
+fn map_prune_pipeline_preserves_behaviour() {
+    let mut rng = StdRng::seed_from_u64(0xA1E);
+    for _case in 0..32 {
+        let seed: u64 = rng.random();
         let net = random_netlist(5, seed);
         let (mapped, _) = map_to_lut6(&net);
         let (pruned, _) = prune(&mapped);
         for v in 0..(1usize << 5) {
             let bits: Vec<bool> = (0..5).map(|i| (v >> i) & 1 == 1).collect();
-            prop_assert_eq!(net.eval(&bits), pruned.eval(&bits), "input {:b}", v);
+            assert_eq!(
+                net.eval(&bits),
+                pruned.eval(&bits),
+                "input {v:b} (seed {seed})"
+            );
         }
     }
+}
 
-    /// Bit-parallel simulation equals per-vector evaluation, across the
-    /// 64-lane word seams.
-    #[test]
-    fn simulation_matches_eval(seed in any::<u64>(), n in 1usize..200) {
+/// Bit-parallel simulation equals per-vector evaluation, across the
+/// 64-lane word seams.
+#[test]
+fn simulation_matches_eval() {
+    let mut rng = StdRng::seed_from_u64(0x51A);
+    for _case in 0..32 {
+        let seed: u64 = rng.random();
+        let n = rng.random_range(1usize..200);
         let net = random_netlist(5, seed);
         let vectors: Vec<BitVec> = (0..n)
             .map(|i| BitVec::from_fn(5, |j| (seed.wrapping_mul(i as u64 + 1) >> j) & 1 == 1))
@@ -86,7 +119,11 @@ proptest! {
             let bits: Vec<bool> = (0..5).map(|j| v.get(j)).collect();
             let expect = net.eval(&bits);
             for (k, e) in expect.iter().enumerate() {
-                prop_assert_eq!(sim.outputs[k].get(i), *e, "vector {} output {}", i, k);
+                assert_eq!(
+                    sim.outputs[k].get(i),
+                    *e,
+                    "vector {i} output {k} (seed {seed})"
+                );
             }
         }
     }

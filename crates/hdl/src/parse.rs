@@ -19,7 +19,11 @@ pub struct ParseVhdlError {
 
 impl fmt::Display for ParseVhdlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "vhdl parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "vhdl parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -34,11 +38,27 @@ fn err(line: usize, message: impl Into<String>) -> ParseVhdlError {
 
 /// One parsed statement, before ids are re-numbered.
 enum Stmt {
-    Input { sig: usize },
-    Const { sig: usize, value: bool },
-    Lut { sig: usize, inputs: Vec<usize> },
-    Mux { sig: usize, sel: usize, lo: usize, hi: usize },
-    Output { index: usize, sig: usize },
+    Input {
+        sig: usize,
+    },
+    Const {
+        sig: usize,
+        value: bool,
+    },
+    Lut {
+        sig: usize,
+        inputs: Vec<usize>,
+    },
+    Mux {
+        sig: usize,
+        sel: usize,
+        lo: usize,
+        hi: usize,
+    },
+    Output {
+        index: usize,
+        sig: usize,
+    },
 }
 
 /// Parses text produced by [`generate_vhdl`](crate::generate_vhdl) back
@@ -76,7 +96,10 @@ pub fn parse_vhdl(text: &str) -> Result<Netlist, ParseVhdlError> {
             // MSB first in the text: reverse into entry order.
             let bits = BitVec::from_bools(bits_str.chars().rev().map(|c| c == '1'));
             if !bits.len().is_power_of_two() {
-                return Err(err(n, format!("INIT length {} is not a power of two", bits.len())));
+                return Err(err(
+                    n,
+                    format!("INIT length {} is not a power of two", bits.len()),
+                ));
             }
             inits.insert(id, bits);
         } else if let Some(rest) = line.strip_prefix("s") {

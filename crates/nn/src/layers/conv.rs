@@ -62,7 +62,10 @@ impl Conv2d {
 
     /// Output spatial size for an input of `h × w`.
     fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
-        (h + 2 * self.pad + 1 - self.kernel, w + 2 * self.pad + 1 - self.kernel)
+        (
+            h + 2 * self.pad + 1 - self.kernel,
+            w + 2 * self.pad + 1 - self.kernel,
+        )
     }
 
     /// im2col: unfolds every receptive field of the batch into a row of a
@@ -148,7 +151,11 @@ fn dims4(x: &Tensor) -> (usize, usize, usize, usize) {
 impl Layer for Conv2d {
     fn forward(&mut self, x: Tensor, mode: Mode) -> Tensor {
         let (n, c, h, w) = dims4(&x);
-        assert_eq!(c, self.in_channels, "conv expected {} channels", self.in_channels);
+        assert_eq!(
+            c, self.in_channels,
+            "conv expected {} channels",
+            self.in_channels
+        );
         let (oh, ow) = self.out_hw(h, w);
         let cols = self.im2col(&x);
         // [n·oh·ow, ckk] · [out, ckk]ᵀ = [n·oh·ow, out]
@@ -289,7 +296,10 @@ mod tests {
     #[test]
     fn weight_gradient_matches_finite_differences() {
         let mut conv = Conv2d::new(1, 1, 2, 0, 3);
-        let x = Tensor::from_vec(vec![0.5, -1.0, 0.25, 2.0, 1.5, -0.5, 0.0, 1.0, -2.0], vec![1, 1, 3, 3]);
+        let x = Tensor::from_vec(
+            vec![0.5, -1.0, 0.25, 2.0, 1.5, -0.5, 0.0, 1.0, -2.0],
+            vec![1, 1, 3, 3],
+        );
         let y = conv.forward(x.clone(), Mode::Train);
         conv.backward(Tensor::full(y.shape().to_vec(), 1.0));
         let analytic = conv.w.grad.data().to_vec();

@@ -214,8 +214,14 @@ mod tests {
         let x = Tensor::full(vec![1, 2], 1.0);
         let y = net.forward(x, Mode::Train);
         net.backward(Tensor::full(y.shape().to_vec(), 1.0));
-        assert!(net.params_mut().iter().any(|p| p.grad.data().iter().any(|g| *g != 0.0)));
+        assert!(net
+            .params_mut()
+            .iter()
+            .any(|p| p.grad.data().iter().any(|g| *g != 0.0)));
         net.zero_grad();
-        assert!(net.params_mut().iter().all(|p| p.grad.data().iter().all(|g| *g == 0.0)));
+        assert!(net
+            .params_mut()
+            .iter()
+            .all(|p| p.grad.data().iter().all(|g| *g == 0.0)));
     }
 }

@@ -176,7 +176,8 @@ impl Layer for BatchNorm {
         for (i, d) in dx.data_mut().iter_mut().enumerate() {
             let ch = Self::channel_of(&shape, i);
             let g = grad.data()[i] as f64;
-            let term = g - sum_dy[ch] / n_per_c as f64
+            let term = g
+                - sum_dy[ch] / n_per_c as f64
                 - cache.x_hat[i] as f64 * sum_dy_xhat[ch] / n_per_c as f64;
             *d = (gamma[ch] as f64 * cache.inv_std[ch] as f64 * term) as f32;
         }

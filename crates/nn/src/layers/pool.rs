@@ -34,8 +34,18 @@ impl Layer for MaxPool2d {
         let s = x.shape();
         assert_eq!(s.len(), 4, "expected [n, c, h, w], got {s:?}");
         let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
-        assert_eq!(h % self.size, 0, "height {h} not divisible by pool {}", self.size);
-        assert_eq!(w % self.size, 0, "width {w} not divisible by pool {}", self.size);
+        assert_eq!(
+            h % self.size,
+            0,
+            "height {h} not divisible by pool {}",
+            self.size
+        );
+        assert_eq!(
+            w % self.size,
+            0,
+            "width {w} not divisible by pool {}",
+            self.size
+        );
         let (oh, ow) = (h / self.size, w / self.size);
         let mut out = vec![f32::NEG_INFINITY; n * c * oh * ow];
         let mut argmax = vec![0usize; n * c * oh * ow];

@@ -63,7 +63,13 @@ impl Tensor {
     /// Panics if `data.len()` differs from the shape's element count.
     pub fn from_vec(data: Vec<f32>, shape: Vec<usize>) -> Self {
         let expect: usize = shape.iter().product();
-        assert_eq!(data.len(), expect, "data length {} != shape {:?}", data.len(), shape);
+        assert_eq!(
+            data.len(),
+            expect,
+            "data length {} != shape {:?}",
+            data.len(),
+            shape
+        );
         Tensor { data, shape }
     }
 
@@ -113,7 +119,12 @@ impl Tensor {
     /// Panics if the element counts differ.
     pub fn reshape(mut self, shape: Vec<usize>) -> Tensor {
         let expect: usize = shape.iter().product();
-        assert_eq!(self.data.len(), expect, "reshape to {shape:?} from {:?}", self.shape);
+        assert_eq!(
+            self.data.len(),
+            expect,
+            "reshape to {shape:?} from {:?}",
+            self.shape
+        );
         self.shape = shape;
         self
     }

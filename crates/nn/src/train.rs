@@ -134,11 +134,7 @@ pub fn fit(
 /// batched to bound memory).
 pub fn evaluate(net: &mut Sequential, x: &Tensor, targets: &[usize]) -> f64 {
     let preds = predictions(net, x);
-    let correct = preds
-        .iter()
-        .zip(targets)
-        .filter(|(p, t)| *p == *t)
-        .count();
+    let correct = preds.iter().zip(targets).filter(|(p, t)| *p == *t).count();
     correct as f64 / targets.len().max(1) as f64
 }
 
@@ -258,6 +254,13 @@ mod tests {
         let mut net = Sequential::new();
         net.push(Dense::new(2, 2, 5));
         let mut adam = Adam::new(0.1);
-        fit(&mut net, &SquaredHingeLoss, &mut adam, &x, &[0, 1], &FitConfig::new(1));
+        fit(
+            &mut net,
+            &SquaredHingeLoss,
+            &mut adam,
+            &x,
+            &[0, 1],
+            &FitConfig::new(1),
+        );
     }
 }

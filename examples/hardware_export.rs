@@ -66,7 +66,10 @@ fn main() {
     let check: Vec<BitVec> = task.features.iter_rows().take(32).cloned().collect();
     let original = simulate(&netlist, &check);
     let roundtrip = simulate(&reparsed, &check);
-    assert_eq!(original.outputs, roundtrip.outputs, "VHDL round-trip mismatch");
+    assert_eq!(
+        original.outputs, roundtrip.outputs,
+        "VHDL round-trip mismatch"
+    );
     println!(
         "\nVHDL: {} lines, round-trip verified on 32 vectors",
         vhdl.lines().count()
@@ -76,7 +79,12 @@ fn main() {
         &task.features.select_examples(&(0..8).collect::<Vec<_>>()),
         "poetbin_demo",
     );
-    println!("testbench: {} lines (8 vectors, self-checking)", tb.lines().count());
-    println!("\nfirst VHDL lines:\n{}",
-        vhdl.lines().take(12).collect::<Vec<_>>().join("\n"));
+    println!(
+        "testbench: {} lines (8 vectors, self-checking)",
+        tb.lines().count()
+    );
+    println!(
+        "\nfirst VHDL lines:\n{}",
+        vhdl.lines().take(12).collect::<Vec<_>>().join("\n")
+    );
 }

@@ -11,9 +11,13 @@ fn main() {
     // 1. A binary classification task over 32 binary features: the label
     //    is a hidden majority vote over 9 of them, with 5% label noise.
     let task = poetbin_data::binary::hidden_majority(2000, 32, 9, 0.05, 7);
-    let train = task.features.select_examples(&(0..1500).collect::<Vec<_>>());
+    let train = task
+        .features
+        .select_examples(&(0..1500).collect::<Vec<_>>());
     let train_labels = BitVec::from_fn(1500, |e| task.labels.get(e));
-    let test = task.features.select_examples(&(1500..2000).collect::<Vec<_>>());
+    let test = task
+        .features
+        .select_examples(&(1500..2000).collect::<Vec<_>>());
     let test_labels = BitVec::from_fn(500, |e| task.labels.get(1500 + e));
 
     // 2. Train a RINC-2 hierarchy: P=4 LUT inputs, two AdaBoost levels.
@@ -34,7 +38,10 @@ fn main() {
         &vec![1.0; 1500],
         &LevelTreeConfig::new(4),
     );
-    println!("single RINC-0 tree accuracy: {:.3}", tree.accuracy(&test, &test_labels));
+    println!(
+        "single RINC-0 tree accuracy: {:.3}",
+        tree.accuracy(&test, &test_labels)
+    );
 
     // 4. Lower the module onto the FPGA fabric model and time it.
     let mut builder = NetlistBuilder::new();
@@ -53,11 +60,7 @@ fn main() {
 }
 
 /// Recursively lowers a RINC node onto the netlist builder.
-fn add_rinc_to_netlist(
-    b: &mut NetlistBuilder,
-    module: &RincModule,
-    inputs: &[usize],
-) -> usize {
+fn add_rinc_to_netlist(b: &mut NetlistBuilder, module: &RincModule, inputs: &[usize]) -> usize {
     let children: Vec<usize> = module
         .children()
         .iter()

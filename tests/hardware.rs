@@ -10,11 +10,7 @@ fn small_classifier() -> (PoetBinClassifier, FeatureMatrix, Vec<usize>) {
     let bank = RincBank::train(&task.features, &targets, &RincConfig::new(3, 1));
     let inter = bank.predict_bits(&task.features);
     let output = QuantizedSparseOutput::train(&inter, &labels, 2, 8, 15);
-    (
-        PoetBinClassifier::new(bank, output),
-        task.features,
-        labels,
-    )
+    (PoetBinClassifier::new(bank, output), task.features, labels)
 }
 
 #[test]
@@ -62,7 +58,10 @@ fn timing_and_power_reports_are_sane() {
     let sim = simulate(&mapped, &vectors);
     let power = PowerModel::default().estimate(&mapped, &sim, 100.0);
     assert!(power.total_w() > power.static_w);
-    assert!(power.total_w() < 1.0, "tiny design should be well under a watt");
+    assert!(
+        power.total_w() < 1.0,
+        "tiny design should be well under a watt"
+    );
     let energy = power.energy_per_inference_j(100.0);
     assert!(energy < 1e-6, "energy {energy}");
 }
@@ -73,7 +72,10 @@ fn testbench_covers_every_vector() {
     let subset = features.select_examples(&(0..5).collect::<Vec<_>>());
     let tb = clf.to_testbench(&subset, "dut");
     for v in 0..5 {
-        assert!(tb.contains(&format!("vector {v} mismatch")), "vector {v} missing");
+        assert!(
+            tb.contains(&format!("vector {v} mismatch")),
+            "vector {v} missing"
+        );
     }
     assert!(tb.contains("5 vectors"));
 }

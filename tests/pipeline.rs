@@ -4,6 +4,43 @@
 use poetbin::prelude::*;
 use poetbin_core::teacher::TeacherConfig;
 
+/// Smoke test: the complete A1→A4 path on a tiny synthetic-digits run.
+/// Loose bounds only — this exists so CI exercises every stage (teacher,
+/// binarisation, RINC distillation, quantised output) in seconds; the
+/// heavier test below checks real accuracy orderings.
+#[test]
+fn fast_workflow_smoke() {
+    let data = poetbin_data::synthetic::digits(720, 11);
+    let (train, test) = data.split(600);
+
+    let mut config = WorkflowConfig::fast();
+    config.teacher = TeacherConfig {
+        epochs: 3,
+        ..TeacherConfig::default()
+    };
+    config.arch.trees_per_module = 6;
+    config.output_epochs = 5;
+    let result = Workflow::new(config).run(&train, &test);
+
+    // Ten classes, so chance is 0.1; every stage must clear it and produce
+    // features for the whole split.
+    for (stage, acc) in [
+        ("A1", result.a1),
+        ("A2", result.a2),
+        ("A3", result.a3),
+        ("A4", result.a4),
+    ] {
+        assert!(acc > 0.12, "{stage} at chance: {acc}");
+    }
+    assert_eq!(result.train_features.num_examples(), 600);
+    assert_eq!(result.test_features.num_examples(), 120);
+    assert!(
+        result.rinc_fidelity > 0.5,
+        "fidelity {}",
+        result.rinc_fidelity
+    );
+}
+
 #[test]
 fn workflow_and_baselines_share_features_and_beat_chance() {
     let data = poetbin_data::synthetic::digits(1200, 31);
@@ -24,7 +61,11 @@ fn workflow_and_baselines_share_features_and_beat_chance() {
     assert!(result.a2 > 0.3, "A2 {}", result.a2);
     assert!(result.a3 > 0.3, "A3 {}", result.a3);
     assert!(result.a4 > 0.25, "A4 {}", result.a4);
-    assert!(result.rinc_fidelity > 0.6, "fidelity {}", result.rinc_fidelity);
+    assert!(
+        result.rinc_fidelity > 0.6,
+        "fidelity {}",
+        result.rinc_fidelity
+    );
 
     // Baselines consume the identical binary features (§4.1 protocol).
     let bn = BinaryNet::train(
@@ -59,9 +100,13 @@ fn rinc_capacity_ordering_holds() {
     // RINC-0 ≤ RINC-1 ≤ RINC-2 in capacity on a wide task (the paper's
     // hierarchy motivation, §2.1.3).
     let task = poetbin_data::binary::hidden_majority(1500, 32, 15, 0.05, 5);
-    let train = task.features.select_examples(&(0..1000).collect::<Vec<_>>());
+    let train = task
+        .features
+        .select_examples(&(0..1000).collect::<Vec<_>>());
     let train_labels = BitVec::from_fn(1000, |e| task.labels.get(e));
-    let test = task.features.select_examples(&(1000..1500).collect::<Vec<_>>());
+    let test = task
+        .features
+        .select_examples(&(1000..1500).collect::<Vec<_>>());
     let test_labels = BitVec::from_fn(500, |e| task.labels.get(1000 + e));
     let w = vec![1.0; 1000];
 

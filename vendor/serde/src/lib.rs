@@ -1,0 +1,13 @@
+//! Offline stand-in for the [`serde`](https://serde.rs) facade.
+//!
+//! Re-exports the no-op [`Serialize`] / [`Deserialize`] derives from the
+//! in-tree `serde_derive` shim so that `use serde::{Deserialize, Serialize}`
+//! and the `#[derive(...)]` annotations across the workspace keep compiling
+//! without network access. Swap this path dependency for the real crates.io
+//! `serde = { version = "1", features = ["derive"] }` to restore actual
+//! serialization support — no source changes needed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace annotates its data types with
+//! `#[derive(Serialize, Deserialize)]` so that swapping in the real serde is
+//! a one-line manifest change once the build environment has network access.
+//! Until then these derives expand to nothing: the annotations are kept
+//! merely declarative, and nothing in the workspace calls serialization at
+//! runtime.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

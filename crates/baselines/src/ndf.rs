@@ -86,17 +86,17 @@ impl SoftTree {
     fn leaf_probs(&self, x: &[f32]) -> (Vec<f32>, Vec<f32>) {
         let internal = (1 << self.depth) - 1;
         let mut d = vec![0.0f32; internal];
-        for node in 0..internal {
+        for (node, dn) in d.iter_mut().enumerate() {
             let row = self.routers.row(node);
             let mut z = row[self.features]; // bias
             for (w, xv) in row[..self.features].iter().zip(x) {
                 z += w * xv;
             }
-            d[node] = 1.0 / (1.0 + (-z).exp());
+            *dn = 1.0 / (1.0 + (-z).exp());
         }
         let leaves = 1 << self.depth;
         let mut probs = vec![0.0f32; leaves];
-        for leaf in 0..leaves {
+        for (leaf, prob) in probs.iter_mut().enumerate() {
             let mut p = 1.0f32;
             let mut node = 0usize;
             for level in (0..self.depth).rev() {
@@ -104,7 +104,7 @@ impl SoftTree {
                 p *= if go_right { d[node] } else { 1.0 - d[node] };
                 node = 2 * node + 1 + usize::from(go_right);
             }
-            probs[leaf] = p;
+            *prob = p;
         }
         (probs, d)
     }
@@ -187,8 +187,7 @@ impl NeuralDecisionForest {
                     for node in 0..internal {
                         // Sum of leaf contributions under left/right child.
                         let (mut right_mass, mut node_mass) = (0.0f32, 0.0f32);
-                        let leaves = 1 << tree.depth;
-                        for leaf in 0..leaves {
+                        for (leaf, &leaf_prob) in probs.iter().enumerate() {
                             // Walk from root to see if this leaf passes node
                             // and on which side.
                             let mut at = 0usize;
@@ -202,7 +201,7 @@ impl NeuralDecisionForest {
                                 at = 2 * at + 1 + usize::from(go_right);
                             }
                             if let Some(go_right) = side {
-                                let contrib = probs[leaf] * tree.pi.row(leaf)[labels[e]] / py;
+                                let contrib = leaf_prob * tree.pi.row(leaf)[labels[e]] / py;
                                 node_mass += contrib;
                                 if go_right {
                                     right_mass += contrib;

@@ -1,0 +1,94 @@
+//! Batch-inference throughput: the compiled word-parallel engine against
+//! the scalar per-example netlist walk it replaced.
+//!
+//! Three paths over the same paper-shaped (512-feature, SVHN-like)
+//! classifier netlist:
+//!
+//! * `scalar_*` — the seed path: `Netlist::eval`, one example and one bit
+//!   at a time;
+//! * `engine_1thread_*` — the compiled plan, 64 examples per word, one
+//!   core;
+//! * `engine_sharded_*` — the same plan with the word range split across
+//!   all cores via `std::thread::scope`.
+//!
+//! Run with `cargo bench -p poetbin_bench --bench engine`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use poetbin_bench::{hardware_classifier, DatasetKind};
+use poetbin_bits::FeatureMatrix;
+use poetbin_engine::Engine;
+use poetbin_fpga::Netlist;
+
+/// Deterministic pseudo-random batch, `n × f`.
+fn random_batch(n: usize, f: usize) -> FeatureMatrix {
+    FeatureMatrix::from_fn(n, f, |e, j| {
+        (e.wrapping_mul(2654435761)
+            .wrapping_add(j.wrapping_mul(40503))
+            >> 7)
+            & 1
+            == 1
+    })
+}
+
+/// The pre-engine inference path: walk the netlist per example.
+fn scalar_eval(net: &Netlist, batch: &FeatureMatrix) -> usize {
+    let mut ones = 0usize;
+    let f = batch.num_features();
+    let mut row = vec![false; f];
+    for e in 0..batch.num_examples() {
+        for (j, slot) in row.iter_mut().enumerate() {
+            *slot = batch.bit(e, j);
+        }
+        ones += net.eval(&row).iter().filter(|&&b| b).count();
+    }
+    ones
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_throughput");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8))
+        .warm_up_time(Duration::from_millis(300));
+
+    let (clf, _) = hardware_classifier(DatasetKind::SvhnLike, 200, 3);
+    let net = clf.to_netlist(512);
+    let single = Engine::from_netlist(&net)
+        .expect("valid netlist")
+        .with_threads(1);
+    let sharded = Engine::from_netlist(&net).expect("valid netlist");
+    let small = random_batch(1_000, 512);
+    let large = random_batch(60_000, 512);
+
+    group.bench_function("plan_compile", |b| {
+        b.iter(|| black_box(Engine::from_netlist(black_box(&net)).unwrap()))
+    });
+
+    group.bench_function("scalar_1k", |b| {
+        b.iter(|| black_box(scalar_eval(black_box(&net), &small)))
+    });
+    group.bench_function("engine_1thread_1k", |b| {
+        b.iter(|| black_box(single.eval_batch(black_box(&small))))
+    });
+    group.bench_function("engine_sharded_1k", |b| {
+        b.iter(|| black_box(sharded.eval_batch(black_box(&small))))
+    });
+
+    group.bench_function("scalar_60k", |b| {
+        b.iter(|| black_box(scalar_eval(black_box(&net), &large)))
+    });
+    group.bench_function("engine_1thread_60k", |b| {
+        b.iter(|| black_box(single.eval_batch(black_box(&large))))
+    });
+    group.bench_function("engine_sharded_60k", |b| {
+        b.iter(|| black_box(sharded.eval_batch(black_box(&large))))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -54,25 +54,53 @@ impl BitVec {
     }
 
     /// Builds a bit vector from an iterator of booleans.
+    ///
+    /// Streams the iterator directly into packed words — no intermediate
+    /// `Vec<bool>` and no per-bit bounds-checked writes. This sits on the
+    /// dataset-loading hot path (every row and column constructor funnels
+    /// through here).
     pub fn from_bools<I: IntoIterator<Item = bool>>(bits: I) -> Self {
-        let bools: Vec<bool> = bits.into_iter().collect();
-        let mut v = BitVec::zeros(bools.len());
-        for (i, b) in bools.into_iter().enumerate() {
+        let iter = bits.into_iter();
+        let mut words = Vec::with_capacity(iter.size_hint().0.div_ceil(WORD_BITS));
+        let mut word = 0u64;
+        let mut len = 0usize;
+        for b in iter {
             if b {
-                v.set(i, true);
+                word |= 1u64 << (len % WORD_BITS);
+            }
+            len += 1;
+            if len.is_multiple_of(WORD_BITS) {
+                words.push(word);
+                word = 0;
             }
         }
-        v
+        if !len.is_multiple_of(WORD_BITS) {
+            words.push(word);
+        }
+        BitVec { words, len }
     }
 
-    /// Builds a bit vector of `len` bits from a function of the index.
-    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Self {
-        let mut v = BitVec::zeros(len);
-        for i in 0..len {
-            if f(i) {
-                v.set(i, true);
-            }
-        }
+    /// Builds a bit vector of `len` bits from a function of the index,
+    /// packing words directly.
+    pub fn from_fn(len: usize, f: impl FnMut(usize) -> bool) -> Self {
+        BitVec::from_bools((0..len).map(f))
+    }
+
+    /// Builds a bit vector of `len` bits from its packed words (bit `i` of
+    /// the vector is bit `i % 64` of word `i / 64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != len.div_ceil(64)`. Bits beyond `len` in
+    /// the final word are cleared to restore the tail invariant.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(
+            words.len(),
+            len.div_ceil(WORD_BITS),
+            "word count mismatch for {len} bits"
+        );
+        let mut v = BitVec { words, len };
+        v.mask_tail();
         v
     }
 
@@ -288,7 +316,7 @@ impl BitVec {
 
     /// Appends a bit, growing the vector by one.
     pub fn push(&mut self, value: bool) {
-        if self.len % WORD_BITS == 0 {
+        if self.len.is_multiple_of(WORD_BITS) {
             self.words.push(0);
         }
         self.len += 1;
@@ -440,6 +468,41 @@ mod tests {
         let v: BitVec = (0..10).map(|i| i < 4).collect();
         assert_eq!(v.len(), 10);
         assert_eq!(v.count_ones(), 4);
+    }
+
+    #[test]
+    fn from_bools_packs_words_exactly() {
+        // Word-boundary lengths and an unsized iterator both pack correctly.
+        for len in [0usize, 1, 63, 64, 65, 128, 130] {
+            let fast = BitVec::from_bools((0..len).map(|i| i % 3 == 1));
+            let mut slow = BitVec::zeros(len);
+            for i in 0..len {
+                if i % 3 == 1 {
+                    slow.set(i, true);
+                }
+            }
+            assert_eq!(fast, slow, "len {len}");
+            assert_eq!(fast.as_words().len(), len.div_ceil(WORD_BITS));
+        }
+        let filtered = BitVec::from_bools((0..200).filter(|i| i % 2 == 0).map(|i| i % 4 == 0));
+        assert_eq!(filtered.len(), 100);
+        assert_eq!(filtered.count_ones(), 50);
+    }
+
+    #[test]
+    fn from_words_roundtrips_and_masks_tail() {
+        let v = BitVec::from_fn(100, |i| i % 7 == 2);
+        let back = BitVec::from_words(v.as_words().to_vec(), v.len());
+        assert_eq!(back, v);
+        // A dirty tail is cleared, keeping count_ones honest.
+        let dirty = BitVec::from_words(vec![u64::MAX], 10);
+        assert_eq!(dirty.count_ones(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "word count mismatch")]
+    fn from_words_rejects_wrong_word_count() {
+        BitVec::from_words(vec![0, 0], 64);
     }
 
     #[test]

@@ -43,7 +43,7 @@ mod truth_table;
 
 pub use bitvec::BitVec;
 pub use matrix::FeatureMatrix;
-pub use truth_table::TruthTable;
+pub use truth_table::{TruthTable, TruthTableBytesError, MAX_LUT_INPUTS};
 
 /// Number of payload bits per storage word used throughout the crate.
 pub const WORD_BITS: usize = 64;

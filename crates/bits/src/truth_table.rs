@@ -161,6 +161,26 @@ impl TruthTable {
         self.eval(addr)
     }
 
+    /// Evaluates the function on 64 packed input lanes at once.
+    ///
+    /// `operands[i]` carries input `i` for 64 independent evaluations: bit
+    /// `l` of the result is the function applied to bit `l` of every
+    /// operand. The implementation is a word-parallel Shannon reduction on
+    /// the packed table bits — the kernel shared by the FPGA simulator,
+    /// the RINC batch predictors and the `poetbin-engine` inference plan.
+    /// Tables of ≤ 6 inputs run a branch-free iterative reduction on a
+    /// single table word; wider tables Shannon-split on their high inputs
+    /// down to that base case, one table word per leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `operands.len() != self.inputs()`.
+    #[inline]
+    pub fn eval_words(&self, operands: &[u64]) -> u64 {
+        assert_eq!(operands.len(), self.inputs, "input arity mismatch");
+        eval_words_split(self.bits.as_words(), operands, 0, self.inputs)
+    }
+
     /// Sets one table entry.
     ///
     /// # Panics
@@ -273,7 +293,133 @@ impl TruthTable {
     pub fn as_bits(&self) -> &BitVec {
         &self.bits
     }
+
+    /// Serialises the table into a self-describing byte string: one length
+    /// byte holding `k`, then the packed entries as little-endian `u64`
+    /// words. The in-tree serde shim is a no-op, so this is the persistence
+    /// format used by model save/load (see `poetbin_core::persist`).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let words = self.bits.as_words();
+        let mut out = Vec::with_capacity(1 + words.len() * 8);
+        out.push(self.inputs as u8);
+        for w in words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a table previously produced by [`TruthTable::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TruthTableBytesError`] when the buffer is empty, declares
+    /// an arity above [`MAX_LUT_INPUTS`], or has the wrong payload length
+    /// for its arity (trailing bytes are rejected too).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, TruthTableBytesError> {
+        let (&inputs, payload) = bytes.split_first().ok_or(TruthTableBytesError::Truncated)?;
+        let inputs = inputs as usize;
+        if inputs > MAX_LUT_INPUTS {
+            return Err(TruthTableBytesError::ArityTooLarge(inputs));
+        }
+        let len = 1usize << inputs;
+        let expected = len.div_ceil(crate::WORD_BITS) * 8;
+        if payload.len() != expected {
+            return Err(TruthTableBytesError::PayloadLength {
+                expected,
+                actual: payload.len(),
+            });
+        }
+        let words: Vec<u64> = payload
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect();
+        // from_words clears any tail bits beyond the last valid entry.
+        let bits = BitVec::from_words(words, len);
+        Ok(TruthTable { inputs, bits })
+    }
 }
+
+/// Shannon-splits on the high inputs until the subtable fits one word,
+/// then hands off to the iterative base case. `word_offset` indexes the
+/// packed table words; splits always land on word boundaries because only
+/// inputs ≥ 6 are split.
+fn eval_words_split(words: &[u64], operands: &[u64], word_offset: usize, width: usize) -> u64 {
+    if width <= 6 {
+        return eval_words_in_table_word(words[word_offset], operands, width);
+    }
+    let half_words = 1usize << (width - 7);
+    let lo = eval_words_split(words, operands, word_offset, width - 1);
+    let hi = eval_words_split(words, operands, word_offset + half_words, width - 1);
+    let sel = operands[width - 1];
+    lo ^ (sel & (lo ^ hi))
+}
+
+/// Evaluates a ≤ 6-input table stored in the low `2^width` bits of `t`
+/// over 64 lanes: a bottom-up Shannon reduction with no branches, no
+/// recursion and no per-bit table reads.
+#[inline]
+fn eval_words_in_table_word(t: u64, operands: &[u64], width: usize) -> u64 {
+    if width == 0 {
+        return 0u64.wrapping_sub(t & 1);
+    }
+    // Level 0 collapses entry pairs (2i, 2i+1) under operand 0; each entry
+    // bit is broadcast to a full lane word by two's-complement negation.
+    let mut r = [0u64; 32];
+    let s = operands[0];
+    let ns = !s;
+    let pairs = 1usize << (width - 1);
+    for (i, slot) in r.iter_mut().take(pairs).enumerate() {
+        let b0 = 0u64.wrapping_sub((t >> (2 * i)) & 1);
+        let b1 = 0u64.wrapping_sub((t >> (2 * i + 1)) & 1);
+        *slot = (ns & b0) | (s & b1);
+    }
+    // Each further level muxes adjacent sub-results under the next input.
+    for (level, &s) in operands.iter().enumerate().take(width).skip(1) {
+        let nodes = 1usize << (width - 1 - level);
+        for i in 0..nodes {
+            r[i] = r[2 * i] ^ (s & (r[2 * i] ^ r[2 * i + 1]));
+        }
+    }
+    r[0]
+}
+
+/// Errors raised by [`TruthTable::from_bytes`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TruthTableBytesError {
+    /// The buffer is too short to hold even the arity byte.
+    Truncated,
+    /// The declared arity exceeds [`MAX_LUT_INPUTS`].
+    ArityTooLarge(usize),
+    /// The payload length disagrees with the declared arity.
+    PayloadLength {
+        /// Bytes the arity implies.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for TruthTableBytesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TruthTableBytesError::Truncated => write!(f, "truth table bytes truncated"),
+            TruthTableBytesError::ArityTooLarge(k) => {
+                write!(
+                    f,
+                    "truth table arity {k} exceeds the {MAX_LUT_INPUTS}-input limit"
+                )
+            }
+            TruthTableBytesError::PayloadLength { expected, actual } => {
+                write!(
+                    f,
+                    "truth table payload: expected {expected} bytes, found {actual}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TruthTableBytesError {}
 
 impl fmt::Debug for TruthTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -404,5 +550,59 @@ mod tests {
     fn debug_shows_init_for_small_tables() {
         let s = format!("{:?}", majority3());
         assert!(s.contains("3 inputs"));
+    }
+
+    #[test]
+    fn eval_words_matches_scalar_eval_per_lane() {
+        // 0..=6 exercises the single-word base case, 7..=8 the high-input
+        // Shannon split across table words.
+        for k in 0..=8usize {
+            let t = TruthTable::from_fn(k, |i| (i.wrapping_mul(2654435761) >> 3) & 1 == 1);
+            // Operand i's lane l carries a pseudo-random bit.
+            let ops: Vec<u64> = (0..k)
+                .map(|i| (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .collect();
+            let word = t.eval_words(&ops);
+            for l in 0..64 {
+                let addr: usize = (0..k).map(|i| (((ops[i] >> l) & 1) as usize) << i).sum();
+                assert_eq!((word >> l) & 1 == 1, t.eval(addr), "k={k} lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn eval_words_rejects_wrong_operand_count() {
+        majority3().eval_words(&[0, 0]);
+    }
+
+    #[test]
+    fn byte_roundtrip_preserves_table() {
+        for k in [0usize, 1, 3, 6, 7, 9] {
+            let t = TruthTable::from_fn(k, |i| (i * 7 + k) % 3 == 0);
+            let back = TruthTable::from_bytes(&t.to_bytes()).expect("roundtrip");
+            assert_eq!(back, t, "k={k}");
+        }
+    }
+
+    #[test]
+    fn from_bytes_rejects_corrupt_input() {
+        assert_eq!(
+            TruthTable::from_bytes(&[]),
+            Err(TruthTableBytesError::Truncated)
+        );
+        assert!(matches!(
+            TruthTable::from_bytes(&[25]),
+            Err(TruthTableBytesError::ArityTooLarge(25))
+        ));
+        // Arity 3 needs exactly one 8-byte word.
+        let mut bytes = majority3().to_bytes();
+        bytes.pop();
+        assert!(matches!(
+            TruthTable::from_bytes(&bytes),
+            Err(TruthTableBytesError::PayloadLength { .. })
+        ));
+        bytes.extend_from_slice(&[0, 0]);
+        assert!(TruthTable::from_bytes(&bytes).is_err());
     }
 }

@@ -14,9 +14,10 @@ use crate::mat::MatModule;
 const ERR_FLOOR: f64 = 1e-10;
 
 /// How AdaBoost communicates example importance to the weak learner.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub enum WeightUpdate {
     /// Pass the exact weight vector to the learner (classic AdaBoost).
+    #[default]
     Exact,
     /// Boosting by resampling: draw a same-sized bootstrap sample
     /// proportional to the weights and train the learner on it with uniform
@@ -27,12 +28,6 @@ pub enum WeightUpdate {
         /// Seed for the bootstrap draws (deterministic training).
         seed: u64,
     },
-}
-
-impl Default for WeightUpdate {
-    fn default() -> Self {
-        WeightUpdate::Exact
-    }
 }
 
 /// Configuration for one AdaBoost run.
@@ -123,10 +118,10 @@ impl AdaBoost {
             // Reweight: w *= exp(-alpha * y * h) with y, h in ±1, then
             // renormalise.
             let mut sum = 0.0;
-            for e in 0..n {
+            for (e, w) in weights.iter_mut().enumerate() {
                 let agree = preds.get(e) == labels.get(e);
-                weights[e] *= if agree { (-alpha).exp() } else { alpha.exp() };
-                sum += weights[e];
+                *w *= if agree { (-alpha).exp() } else { alpha.exp() };
+                sum += *w;
             }
             if sum > 0.0 {
                 for w in &mut weights {
@@ -261,7 +256,7 @@ mod tests {
     fn boosting_stumps_learns_majority() {
         let (data, labels) = majority_task();
         let booster = AdaBoost::new(5);
-        let (ensemble, report) = booster.train(&data, &labels, &vec![1.0; 8], stump_learner);
+        let (ensemble, report) = booster.train(&data, &labels, &[1.0; 8], stump_learner);
         assert_eq!(report.train_error, 0.0, "errors: {:?}", report.round_errors);
         assert_eq!(ensemble.accuracy(&data, &labels), 1.0);
         assert!(ensemble.members.len() <= 5);
@@ -271,8 +266,8 @@ mod tests {
     fn single_round_equals_weak_learner() {
         let (data, labels) = majority_task();
         let booster = AdaBoost::new(1);
-        let (ensemble, _) = booster.train(&data, &labels, &vec![1.0; 8], stump_learner);
-        let lone = stump_learner(&data, &labels, &vec![1.0 / 8.0; 8], 0);
+        let (ensemble, _) = booster.train(&data, &labels, &[1.0; 8], stump_learner);
+        let lone = stump_learner(&data, &labels, &[1.0 / 8.0; 8], 0);
         for e in 0..8 {
             assert_eq!(
                 ensemble.predict_row(data.row(e)),
@@ -286,7 +281,7 @@ mod tests {
         let data = FeatureMatrix::from_fn(16, 4, |e, j| (e >> j) & 1 == 1);
         let labels = BitVec::from_fn(16, |e| e & 1 == 1); // f0 is perfect
         let booster = AdaBoost::new(6);
-        let (ensemble, report) = booster.train(&data, &labels, &vec![1.0; 16], stump_learner);
+        let (ensemble, report) = booster.train(&data, &labels, &[1.0; 16], stump_learner);
         assert_eq!(
             ensemble.members.len(),
             1,
@@ -300,10 +295,10 @@ mod tests {
     fn round_weights_focus_on_mistakes() {
         let (data, labels) = majority_task();
         let booster = AdaBoost::new(2);
-        let (_, report) = booster.train(&data, &labels, &vec![1.0; 8], stump_learner);
+        let (_, report) = booster.train(&data, &labels, &[1.0; 8], stump_learner);
         // After round 1 (a stump), misclassified examples must carry more
         // weight than correctly classified ones.
-        let stump = stump_learner(&data, &labels, &vec![1.0 / 8.0; 8], 0);
+        let stump = stump_learner(&data, &labels, &[1.0 / 8.0; 8], 0);
         let preds = stump.predict_batch(&data);
         let wrong: Vec<usize> = preds.xor(&labels).iter_ones().collect();
         assert!(!wrong.is_empty());
@@ -333,7 +328,7 @@ mod tests {
     fn mat_weights_equal_alphas() {
         let (data, labels) = majority_task();
         let booster = AdaBoost::new(3);
-        let (ensemble, report) = booster.train(&data, &labels, &vec![1.0; 8], stump_learner);
+        let (ensemble, report) = booster.train(&data, &labels, &[1.0; 8], stump_learner);
         assert_eq!(ensemble.mat.weights(), &report.alphas[..]);
     }
 
@@ -350,13 +345,13 @@ mod tests {
     #[should_panic(expected = "at least one round")]
     fn zero_rounds_panics() {
         let (data, labels) = majority_task();
-        AdaBoost::new(0).train(&data, &labels, &vec![1.0; 8], stump_learner);
+        AdaBoost::new(0).train(&data, &labels, &[1.0; 8], stump_learner);
     }
 
     #[test]
     #[should_panic(expected = "zero")]
     fn zero_weights_panic() {
         let (data, labels) = majority_task();
-        AdaBoost::new(1).train(&data, &labels, &vec![0.0; 8], stump_learner);
+        AdaBoost::new(1).train(&data, &labels, &[0.0; 8], stump_learner);
     }
 }

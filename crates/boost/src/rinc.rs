@@ -329,20 +329,24 @@ impl BitClassifier for RincModule {
     }
 
     fn predict_batch(&self, data: &FeatureMatrix) -> BitVec {
+        // Children produce packed prediction words; the MAT LUT then votes
+        // on 64 examples at a time through the shared word-parallel kernel.
         let child_preds: Vec<BitVec> = self
             .children
             .iter()
             .map(|c| c.predict_batch(data))
             .collect();
-        BitVec::from_fn(data.num_examples(), |e| {
-            let mut combo = 0usize;
-            for (x, preds) in child_preds.iter().enumerate() {
-                if preds.get(e) {
-                    combo |= 1 << x;
-                }
+        let table = self.mat.table();
+        let mut ops = vec![0u64; child_preds.len()];
+        let mut out = BitVec::zeros(data.num_examples());
+        for (w, word) in out.as_words_mut().iter_mut().enumerate() {
+            for (op, preds) in ops.iter_mut().zip(&child_preds) {
+                *op = preds.as_words()[w];
             }
-            self.mat.eval(combo)
-        })
+            *word = table.eval_words(&ops);
+        }
+        out.mask_tail();
+        out
     }
 }
 
@@ -387,7 +391,7 @@ mod tests {
     #[test]
     fn rinc0_is_a_bare_tree() {
         let (data, labels) = task(64, 8);
-        let node = RincNode::train(&data, &labels, &vec![1.0; 64], &RincConfig::new(3, 0));
+        let node = RincNode::train(&data, &labels, &[1.0; 64], &RincConfig::new(3, 0));
         assert!(matches!(node, RincNode::Tree(_)));
         assert_eq!(node.lut_count(), 1);
         assert_eq!(node.lut_depth(), 1);
@@ -397,7 +401,7 @@ mod tests {
     fn rinc1_lut_budget_matches_formula() {
         let (data, labels) = task(128, 10);
         let cfg = RincConfig::new(3, 1);
-        let m = RincModule::train(&data, &labels, &vec![1.0; 128], &cfg);
+        let m = RincModule::train(&data, &labels, &[1.0; 128], &cfg);
         // P + 1 LUTs unless early stopping shrank the group.
         assert!(m.lut_count() <= 3 + 1);
         assert_eq!(m.lut_depth(), 2);
@@ -410,7 +414,7 @@ mod tests {
     fn rinc2_depth_and_budget() {
         let (data, labels) = task(256, 12);
         let cfg = RincConfig::new(2, 2);
-        let m = RincModule::train(&data, &labels, &vec![1.0; 256], &cfg);
+        let m = RincModule::train(&data, &labels, &[1.0; 256], &cfg);
         // Full shape: P^2 trees + P inner MATs + 1 outer MAT = 7 for P=2.
         assert!(m.lut_count() <= 7);
         assert!(m.lut_depth() <= 3);
@@ -430,7 +434,7 @@ mod tests {
         });
         let labels = BitVec::from_fn(512, |e| (e.wrapping_mul(0xC2B2AE35) >> 13) & 1 == 1);
         let (p, l) = (3usize, 2usize);
-        let m = RincModule::train(&data, &labels, &vec![1.0; 512], &RincConfig::new(p, l));
+        let m = RincModule::train(&data, &labels, &[1.0; 512], &RincConfig::new(p, l));
         let expected = (p.pow(l as u32 + 1) - 1) / (p - 1);
         assert_eq!(m.lut_count(), expected);
         let stats = m.stats();
@@ -449,7 +453,7 @@ mod tests {
         });
         let labels = BitVec::from_fn(512, |e| (e.wrapping_mul(0xC2B2AE35) >> 13) & 1 == 1);
         let cfg = RincConfig::new(3, 2).with_top_groups(2);
-        let m = RincModule::train(&data, &labels, &vec![1.0; 512], &cfg);
+        let m = RincModule::train(&data, &labels, &[1.0; 512], &cfg);
         assert_eq!(m.children().len(), 2);
         for child in m.children() {
             match child {
@@ -490,7 +494,7 @@ mod tests {
     #[test]
     fn predict_row_and_batch_agree() {
         let (data, labels) = task(128, 10);
-        let m = RincModule::train(&data, &labels, &vec![1.0; 128], &RincConfig::new(3, 2));
+        let m = RincModule::train(&data, &labels, &[1.0; 128], &RincConfig::new(3, 2));
         let batch = m.predict_batch(&data);
         for e in 0..128 {
             assert_eq!(batch.get(e), m.predict_row(data.row(e)), "example {e}");
@@ -510,7 +514,7 @@ mod tests {
     #[test]
     fn stats_features_are_sorted_unique() {
         let (data, labels) = task(128, 10);
-        let m = RincModule::train(&data, &labels, &vec![1.0; 128], &RincConfig::new(3, 1));
+        let m = RincModule::train(&data, &labels, &[1.0; 128], &RincConfig::new(3, 1));
         let stats = m.stats();
         for w in stats.features.windows(2) {
             assert!(w[0] < w[1]);
@@ -522,7 +526,7 @@ mod tests {
     #[should_panic(expected = "levels >= 1")]
     fn module_train_rejects_level0() {
         let (data, labels) = task(16, 6);
-        RincModule::train(&data, &labels, &vec![1.0; 16], &RincConfig::new(3, 0));
+        RincModule::train(&data, &labels, &[1.0; 16], &RincConfig::new(3, 0));
     }
 
     #[test]

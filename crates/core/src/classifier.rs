@@ -54,25 +54,17 @@ impl PoetBinClassifier {
     }
 
     /// Predicts classes for a batch of binary feature rows.
+    ///
+    /// The RINC bank produces its intermediate bits word-parallel (64
+    /// examples per [`poetbin_bits::TruthTable::eval_words`] call) and the
+    /// output layer decodes them from packed column words; no per-bit
+    /// scalar loop remains on the path. For repeated large batches,
+    /// `poetbin-engine`'s `ClassifierEngine` precomputes the whole
+    /// netlist-level evaluation plan once and additionally shards across
+    /// cores.
     pub fn predict(&self, features: &FeatureMatrix) -> Vec<usize> {
         let inter = self.bank.predict_bits(features);
-        let p = self.output.lut_inputs();
-        (0..features.num_examples())
-            .map(|e| {
-                let combos: Vec<usize> = (0..self.classes())
-                    .map(|c| {
-                        let mut combo = 0usize;
-                        for j in 0..p {
-                            if inter.bit(e, c * p + j) {
-                                combo |= 1 << j;
-                            }
-                        }
-                        combo
-                    })
-                    .collect();
-                self.output.predict_from_combos(&combos)
-            })
-            .collect()
+        self.output.predict_batch(&inter)
     }
 
     /// Classification accuracy against labels.

@@ -15,6 +15,8 @@
 //!   class.
 //! * [`classifier`] — [`PoetBinClassifier`]: the complete LUT classifier
 //!   with software inference, netlist export and VHDL generation.
+//! * [`persist`] — bespoke binary save/load for trained classifiers (the
+//!   offline serde shim is a no-op, so models carry their own format).
 //! * [`workflow`] — the end-to-end A1→A4 pipeline reproducing Table 2
 //!   rows.
 //!
@@ -36,6 +38,7 @@
 pub mod arch;
 pub mod classifier;
 pub mod output_layer;
+pub mod persist;
 pub mod rinc_bank;
 pub mod teacher;
 pub mod workflow;
@@ -43,6 +46,7 @@ pub mod workflow;
 pub use arch::{Architecture, FeatureExtractor};
 pub use classifier::PoetBinClassifier;
 pub use output_layer::QuantizedSparseOutput;
+pub use persist::{load_classifier, save_classifier, PersistError};
 pub use rinc_bank::RincBank;
 pub use teacher::{Teacher, TeacherConfig};
 pub use workflow::{Workflow, WorkflowConfig, WorkflowResult};

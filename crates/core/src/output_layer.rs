@@ -61,21 +61,21 @@ impl QuantizedSparseOutput {
         let mut bias = vec![0.0f32; classes];
         let lr = 0.05f32;
         for _ in 0..epochs {
-            for e in 0..n {
+            for (e, &label) in labels.iter().enumerate() {
                 for c in 0..classes {
                     let mut score = bias[c];
-                    for j in 0..p {
+                    for (j, &wj) in w[c].iter().enumerate() {
                         if inter_bits.bit(e, c * p + j) {
-                            score += w[c][j];
+                            score += wj;
                         }
                     }
-                    let y = if labels[e] == c { 1.0f32 } else { -1.0 };
+                    let y = if label == c { 1.0f32 } else { -1.0 };
                     let margin = 1.0 - y * score;
                     if margin > 0.0 {
                         let g = -2.0 * y * margin;
-                        for j in 0..p {
+                        for (j, wj) in w[c].iter_mut().enumerate() {
                             if inter_bits.bit(e, c * p + j) {
-                                w[c][j] -= lr * g;
+                                *wj -= lr * g;
                             }
                         }
                         bias[c] -= lr * g;
@@ -135,6 +135,39 @@ impl QuantizedSparseOutput {
         }
     }
 
+    /// Assembles a layer from already-quantised parts (model loading,
+    /// tests, hand-built architectures).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches between `weights`, `biases` and
+    /// `classes`, or `q_bits` outside `1..=16`.
+    pub fn from_parts(
+        lut_inputs: usize,
+        q_bits: u8,
+        weights: Vec<Vec<i32>>,
+        biases: Vec<i32>,
+        score_offset: i64,
+        score_shift: u32,
+    ) -> Self {
+        let classes = weights.len();
+        assert!(classes > 0, "output layer needs at least one class");
+        assert_eq!(biases.len(), classes, "bias / weight class count mismatch");
+        assert!((1..=16).contains(&q_bits), "q_bits must be in 1..=16");
+        for (c, row) in weights.iter().enumerate() {
+            assert_eq!(row.len(), lut_inputs, "class {c} weight width mismatch");
+        }
+        QuantizedSparseOutput {
+            classes,
+            lut_inputs,
+            q_bits,
+            weights,
+            biases,
+            score_offset,
+            score_shift,
+        }
+    }
+
     /// Number of classes.
     pub fn classes(&self) -> usize {
         self.classes
@@ -148,6 +181,26 @@ impl QuantizedSparseOutput {
     /// Output quantisation width `q`.
     pub fn q_bits(&self) -> u8 {
         self.q_bits
+    }
+
+    /// The quantised integer weights, `[classes][P]`.
+    pub fn weights(&self) -> &[Vec<i32>] {
+        &self.weights
+    }
+
+    /// The quantised integer biases, one per class.
+    pub fn biases(&self) -> &[i32] {
+        &self.biases
+    }
+
+    /// Offset mapping raw integer scores onto the unsigned q-bit range.
+    pub fn score_offset(&self) -> i64 {
+        self.score_offset
+    }
+
+    /// Right-shift mapping raw integer scores onto the q-bit range.
+    pub fn score_shift(&self) -> u32 {
+        self.score_shift
     }
 
     /// The unsigned q-bit score of `class` for a packed combination of its
@@ -170,6 +223,54 @@ impl QuantizedSparseOutput {
         (0..self.classes)
             .max_by_key(|&c| (self.score(c, combos[c]), std::cmp::Reverse(c)))
             .unwrap_or(0)
+    }
+
+    /// Predicts every example of an `n × (classes·P)` intermediate-bit
+    /// matrix, reading the packed column words directly.
+    ///
+    /// Each class's full `2^P`-entry score table is evaluated once up
+    /// front, then combos are assembled from 64-example column words —
+    /// no per-bit `FeatureMatrix::bit` calls anywhere on the path. Ties
+    /// resolve to the smallest class index, matching
+    /// [`QuantizedSparseOutput::predict_from_combos`] bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inter_bits` is not `classes × P` features wide.
+    pub fn predict_batch(&self, inter_bits: &FeatureMatrix) -> Vec<usize> {
+        assert_eq!(
+            inter_bits.num_features(),
+            self.classes * self.lut_inputs,
+            "intermediate width must equal classes × P"
+        );
+        let n = inter_bits.num_examples();
+        let p = self.lut_inputs;
+        let mut preds = vec![0usize; n];
+        let mut best = vec![0u64; n];
+        let mut col_words: Vec<&[u64]> = Vec::with_capacity(p);
+        for c in 0..self.classes {
+            let score_table: Vec<u64> =
+                (0..1usize << p).map(|combo| self.score(c, combo)).collect();
+            col_words.clear();
+            col_words.extend((0..p).map(|j| inter_bits.feature(c * p + j).as_words()));
+            for w in 0..n.div_ceil(64) {
+                let lanes = (n - w * 64).min(64);
+                for l in 0..lanes {
+                    let combo: usize = col_words
+                        .iter()
+                        .enumerate()
+                        .map(|(j, col)| (((col[w] >> l) & 1) as usize) << j)
+                        .sum();
+                    let e = w * 64 + l;
+                    let s = score_table[combo];
+                    if c == 0 || s > best[e] {
+                        best[e] = s;
+                        preds[e] = c;
+                    }
+                }
+            }
+        }
+        preds
     }
 
     /// Exports the layer as `q` truth tables per class: table `b` of class
@@ -213,7 +314,7 @@ mod tests {
         let (m, labels) = one_hot_blocks(120, 4, 3);
         let layer = QuantizedSparseOutput::train(&m, &labels, 4, 8, 20);
         let mut correct = 0;
-        for e in 0..120 {
+        for (e, &label) in labels.iter().enumerate() {
             let combos: Vec<usize> = (0..4)
                 .map(|c| {
                     let mut combo = 0usize;
@@ -225,7 +326,7 @@ mod tests {
                     combo
                 })
                 .collect();
-            if layer.predict_from_combos(&combos) == labels[e] {
+            if layer.predict_from_combos(&combos) == label {
                 correct += 1;
             }
         }
@@ -252,10 +353,10 @@ mod tests {
         let luts = layer.to_luts();
         assert_eq!(luts.len(), 3);
         assert_eq!(luts[0].len(), 8);
-        for c in 0..3 {
+        for (c, class_luts) in luts.iter().enumerate() {
             for combo in 0..16usize {
                 let mut from_luts = 0u64;
-                for (b, table) in luts[c].iter().enumerate() {
+                for (b, table) in class_luts.iter().enumerate() {
                     if table.eval(combo) {
                         from_luts |= 1 << b;
                     }
@@ -303,7 +404,7 @@ mod tests {
         });
         let layer = QuantizedSparseOutput::train(&noisy, &labels, 4, 8, 30);
         let mut correct = 0;
-        for e in 0..200 {
+        for (e, &label) in labels.iter().enumerate() {
             let combos: Vec<usize> = (0..4)
                 .map(|c| {
                     let mut combo = 0usize;
@@ -315,7 +416,7 @@ mod tests {
                     combo
                 })
                 .collect();
-            if layer.predict_from_combos(&combos) == labels[e] {
+            if layer.predict_from_combos(&combos) == label {
                 correct += 1;
             }
         }

@@ -1,0 +1,455 @@
+//! Bespoke binary save/load for trained classifiers.
+//!
+//! The workspace builds offline against a no-op serde shim (see
+//! `vendor/serde`), so `#[derive(Serialize)]` produces nothing at runtime.
+//! Model persistence therefore uses its own little-endian byte format,
+//! versioned by a magic string. The format covers everything
+//! [`PoetBinClassifier`] contains: the RINC bank (trees and boosted
+//! modules, recursively), each MAT unit's weights and threshold, and the
+//! quantised sparse output layer. Truth tables travel as
+//! [`TruthTable::to_bytes`] payloads; MAT tables are re-folded from their
+//! weights on load, which reproduces them bit-exactly because folding is
+//! deterministic.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use poetbin_core::persist::{load_classifier, save_classifier};
+//! # let classifier: poetbin_core::PoetBinClassifier = unimplemented!();
+//!
+//! let bytes = save_classifier(&classifier);
+//! let back = load_classifier(&bytes).expect("round-trip");
+//! assert_eq!(back, classifier);
+//! ```
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use poetbin_bits::{TruthTable, TruthTableBytesError};
+use poetbin_boost::{MatModule, RincModule, RincNode};
+use poetbin_dt::LevelWiseTree;
+
+use crate::classifier::PoetBinClassifier;
+use crate::output_layer::QuantizedSparseOutput;
+use crate::rinc_bank::RincBank;
+
+/// Magic string identifying the format and its version.
+const MAGIC: &[u8; 8] = b"POETBIN1";
+
+/// Node tag for a RINC-0 tree.
+const TAG_TREE: u8 = 0;
+/// Node tag for a boosted RINC module.
+const TAG_MODULE: u8 = 1;
+
+/// Errors raised while decoding a persisted classifier.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The buffer ended before the structure it promised.
+    UnexpectedEof,
+    /// The magic string is missing or belongs to another version.
+    BadMagic,
+    /// An unknown node tag was encountered.
+    BadTag(u8),
+    /// An embedded truth table failed to decode.
+    Table(TruthTableBytesError),
+    /// The bytes decoded but describe an inconsistent model.
+    Invalid(String),
+    /// Underlying I/O failure (file helpers only).
+    Io(io::Error),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::UnexpectedEof => write!(f, "model bytes truncated"),
+            PersistError::BadMagic => write!(f, "not a POETBIN1 model file"),
+            PersistError::BadTag(t) => write!(f, "unknown RINC node tag {t}"),
+            PersistError::Table(e) => write!(f, "embedded truth table: {e}"),
+            PersistError::Invalid(msg) => write!(f, "inconsistent model: {msg}"),
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Table(e) => Some(e),
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TruthTableBytesError> for PersistError {
+    fn from(e: TruthTableBytesError) -> Self {
+        PersistError::Table(e)
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Little-endian byte cursor over the encoded model.
+struct Reader<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        if self.bytes.len() < n {
+            return Err(PersistError::UnexpectedEof);
+        }
+        let (head, rest) = self.bytes.split_at(n);
+        self.bytes = rest;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i32(&mut self) -> Result<i32, PersistError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, PersistError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn table(&mut self) -> Result<TruthTable, PersistError> {
+        let len = self.u32()? as usize;
+        Ok(TruthTable::from_bytes(self.take(len)?)?)
+    }
+}
+
+fn write_table(out: &mut Vec<u8>, table: &TruthTable) {
+    let bytes = table.to_bytes();
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(&bytes);
+}
+
+fn write_node(out: &mut Vec<u8>, node: &RincNode) {
+    match node {
+        RincNode::Tree(tree) => {
+            out.push(TAG_TREE);
+            out.extend_from_slice(&(tree.features().len() as u32).to_le_bytes());
+            for &f in tree.features() {
+                out.extend_from_slice(&(f as u64).to_le_bytes());
+            }
+            write_table(out, tree.table());
+        }
+        RincNode::Module(module) => {
+            out.push(TAG_MODULE);
+            out.extend_from_slice(&(module.level() as u64).to_le_bytes());
+            out.extend_from_slice(&(module.children().len() as u32).to_le_bytes());
+            for child in module.children() {
+                write_node(out, child);
+            }
+            let mat = module.mat();
+            out.extend_from_slice(&(mat.weights().len() as u32).to_le_bytes());
+            for &w in mat.weights() {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+            out.extend_from_slice(&mat.threshold().to_le_bytes());
+        }
+    }
+}
+
+fn read_node(r: &mut Reader<'_>) -> Result<RincNode, PersistError> {
+    match r.u8()? {
+        TAG_TREE => {
+            let nfeat = r.u32()? as usize;
+            let features: Vec<usize> = (0..nfeat)
+                .map(|_| r.u64().map(|v| v as usize))
+                .collect::<Result<_, _>>()?;
+            let table = r.table()?;
+            if table.inputs() != features.len() {
+                return Err(PersistError::Invalid(format!(
+                    "tree with {} features but a {}-input table",
+                    features.len(),
+                    table.inputs()
+                )));
+            }
+            Ok(RincNode::Tree(LevelWiseTree::from_parts(features, table)))
+        }
+        TAG_MODULE => {
+            let level = r.u64()? as usize;
+            if level == 0 {
+                return Err(PersistError::Invalid("module with level 0".into()));
+            }
+            let nchildren = r.u32()? as usize;
+            let children: Vec<RincNode> = (0..nchildren)
+                .map(|_| read_node(r))
+                .collect::<Result<_, _>>()?;
+            let k = r.u32()? as usize;
+            let weights: Vec<f64> = (0..k).map(|_| r.f64()).collect::<Result<_, _>>()?;
+            let threshold = r.f64()?;
+            if weights.is_empty()
+                || weights.iter().any(|w| !w.is_finite())
+                || !threshold.is_finite()
+            {
+                return Err(PersistError::Invalid("degenerate MAT weights".into()));
+            }
+            // Re-folding the vote LUT materialises 2^fan-in entries;
+            // reject anything past the table limit before it can panic
+            // (or blow up memory) inside MatModule.
+            if weights.len() > poetbin_bits::MAX_LUT_INPUTS {
+                return Err(PersistError::Invalid(format!(
+                    "MAT fan-in {} exceeds the {}-input LUT limit",
+                    weights.len(),
+                    poetbin_bits::MAX_LUT_INPUTS
+                )));
+            }
+            if weights.len() != children.len() {
+                return Err(PersistError::Invalid(format!(
+                    "MAT fan-in {} but {} children",
+                    weights.len(),
+                    children.len()
+                )));
+            }
+            let mat = MatModule::with_threshold(weights, threshold);
+            Ok(RincNode::Module(RincModule::from_parts(
+                children, mat, level,
+            )))
+        }
+        tag => Err(PersistError::BadTag(tag)),
+    }
+}
+
+/// Serialises a trained classifier into the versioned `POETBIN1` byte
+/// format.
+pub fn save_classifier(clf: &PoetBinClassifier) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(clf.bank().len() as u32).to_le_bytes());
+    for module in clf.bank().modules() {
+        write_node(&mut out, module);
+    }
+    let layer = clf.output();
+    out.extend_from_slice(&(layer.classes() as u32).to_le_bytes());
+    out.extend_from_slice(&(layer.lut_inputs() as u32).to_le_bytes());
+    out.push(layer.q_bits());
+    for row in layer.weights() {
+        for &w in row {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+    for &b in layer.biases() {
+        out.extend_from_slice(&b.to_le_bytes());
+    }
+    out.extend_from_slice(&layer.score_offset().to_le_bytes());
+    out.extend_from_slice(&layer.score_shift().to_le_bytes());
+    out
+}
+
+/// Decodes a classifier previously produced by [`save_classifier`].
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on truncation, a bad magic string, unknown
+/// node tags, malformed truth tables, trailing bytes, or structurally
+/// inconsistent contents (wrong bank width, degenerate MAT weights, …).
+pub fn load_classifier(bytes: &[u8]) -> Result<PoetBinClassifier, PersistError> {
+    let mut r = Reader { bytes };
+    if r.take(MAGIC.len())? != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let nmodules = r.u32()? as usize;
+    let modules: Vec<RincNode> = (0..nmodules)
+        .map(|_| read_node(&mut r))
+        .collect::<Result<_, _>>()?;
+    let classes = r.u32()? as usize;
+    let p = r.u32()? as usize;
+    let q_bits = r.u8()?;
+    if classes == 0 || !(1..=16).contains(&q_bits) {
+        return Err(PersistError::Invalid(format!(
+            "output layer with {classes} classes, q={q_bits}"
+        )));
+    }
+    let weights: Vec<Vec<i32>> = (0..classes)
+        .map(|_| (0..p).map(|_| r.i32()).collect::<Result<_, _>>())
+        .collect::<Result<_, _>>()?;
+    let biases: Vec<i32> = (0..classes).map(|_| r.i32()).collect::<Result<_, _>>()?;
+    let score_offset = r.i64()?;
+    let score_shift = r.u32()?;
+    if !r.bytes.is_empty() {
+        return Err(PersistError::Invalid(format!(
+            "{} trailing bytes after the model",
+            r.bytes.len()
+        )));
+    }
+    if modules.len() != classes * p {
+        return Err(PersistError::Invalid(format!(
+            "bank has {} modules but the output layer expects {classes} × {p}",
+            modules.len()
+        )));
+    }
+    let output =
+        QuantizedSparseOutput::from_parts(p, q_bits, weights, biases, score_offset, score_shift);
+    Ok(PoetBinClassifier::new(
+        RincBank::from_modules(modules),
+        output,
+    ))
+}
+
+/// Writes a classifier to a file in the `POETBIN1` format.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] on filesystem failure.
+pub fn save_classifier_to(
+    path: impl AsRef<Path>,
+    clf: &PoetBinClassifier,
+) -> Result<(), PersistError> {
+    fs::write(path, save_classifier(clf))?;
+    Ok(())
+}
+
+/// Reads a classifier from a file in the `POETBIN1` format.
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on I/O failure or malformed content.
+pub fn load_classifier_from(path: impl AsRef<Path>) -> Result<PoetBinClassifier, PersistError> {
+    load_classifier(&fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poetbin_bits::{BitVec, FeatureMatrix};
+    use poetbin_boost::RincConfig;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    /// A small but structurally complete classifier: RINC-2 hierarchy so
+    /// both node tags and nested modules appear in the byte stream.
+    fn trained_classifier() -> (PoetBinClassifier, FeatureMatrix) {
+        let n = 240;
+        let f = 20;
+        let (classes, p) = (2usize, 2usize);
+        let mut rng = StdRng::seed_from_u64(41);
+        let rows: Vec<BitVec> = (0..n)
+            .map(|_| BitVec::from_fn(f, |_| rng.random::<bool>()))
+            .collect();
+        let features = FeatureMatrix::from_rows(rows);
+        let labels: Vec<usize> = (0..n)
+            .map(|e| usize::from((0..7).filter(|&j| features.bit(e, j)).count() >= 4))
+            .collect();
+        let targets =
+            FeatureMatrix::from_fn(n, classes * p, |e, j| (j / p == 1) == (labels[e] == 1));
+        let bank = RincBank::train(&features, &targets, &RincConfig::new(2, 2));
+        let inter = bank.predict_bits(&features);
+        let output = QuantizedSparseOutput::train(&inter, &labels, classes, 8, 10);
+        (PoetBinClassifier::new(bank, output), features)
+    }
+
+    #[test]
+    fn classifier_roundtrip_is_exact() {
+        let (clf, features) = trained_classifier();
+        let bytes = save_classifier(&clf);
+        let back = load_classifier(&bytes).expect("round-trip");
+        assert_eq!(back, clf);
+        assert_eq!(back.predict(&features), clf.predict(&features));
+    }
+
+    #[test]
+    fn file_roundtrip_works() {
+        let (clf, _) = trained_classifier();
+        let path = std::env::temp_dir().join("poetbin_persist_test.bin");
+        save_classifier_to(&path, &clf).expect("save");
+        let back = load_classifier_from(&path).expect("load");
+        assert_eq!(back, clf);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_prefix_length() {
+        let (clf, _) = trained_classifier();
+        let bytes = save_classifier(&clf);
+        // Every strict prefix must fail cleanly — never panic, never
+        // succeed.
+        for cut in (0..bytes.len()).step_by(7) {
+            assert!(
+                load_classifier(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_tag_and_trailing_bytes() {
+        let (clf, _) = trained_classifier();
+        let mut bytes = save_classifier(&clf);
+        assert!(matches!(
+            load_classifier(b"NOTPBIN1rest"),
+            Err(PersistError::BadMagic)
+        ));
+        let mut bad_tag = bytes.clone();
+        bad_tag[MAGIC.len() + 4] = 9; // first node tag
+        assert!(matches!(
+            load_classifier(&bad_tag),
+            Err(PersistError::BadTag(9))
+        ));
+        bytes.push(0);
+        assert!(matches!(
+            load_classifier(&bytes),
+            Err(PersistError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_mat_fanin_without_panicking() {
+        // A crafted module with 25 trivial children and 25 finite MAT
+        // weights passes the shape checks but must not reach the LUT
+        // folder (which asserts fan-in ≤ 24).
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // one bank module
+        bytes.push(TAG_MODULE);
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // level
+        bytes.extend_from_slice(&25u32.to_le_bytes()); // children
+        for _ in 0..25 {
+            bytes.push(TAG_TREE);
+            bytes.extend_from_slice(&0u32.to_le_bytes()); // zero features
+            let table = TruthTable::from_fn(0, |_| true).to_bytes();
+            bytes.extend_from_slice(&(table.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&table);
+        }
+        bytes.extend_from_slice(&25u32.to_le_bytes()); // MAT fan-in
+        for _ in 0..25 {
+            bytes.extend_from_slice(&1.0f64.to_le_bytes());
+        }
+        bytes.extend_from_slice(&0.0f64.to_le_bytes()); // threshold
+        let err = load_classifier(&bytes).unwrap_err();
+        assert!(
+            matches!(&err, PersistError::Invalid(msg) if msg.contains("fan-in 25")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = PersistError::Invalid("bank has 3 modules".into());
+        assert!(e.to_string().contains("3 modules"));
+        assert!(PersistError::BadMagic.to_string().contains("POETBIN1"));
+    }
+}

@@ -67,6 +67,12 @@ impl RincBank {
         }
     }
 
+    /// Assembles a bank from already-trained modules (model loading,
+    /// tests, hand-built architectures).
+    pub fn from_modules(modules: Vec<RincNode>) -> RincBank {
+        RincBank { modules }
+    }
+
     /// The trained modules in neuron order.
     pub fn modules(&self) -> &[RincNode] {
         &self.modules

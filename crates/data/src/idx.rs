@@ -268,6 +268,68 @@ mod tests {
         bytes.truncate(bytes.len() - 10);
         let err = decode_images(&bytes).unwrap_err();
         assert!(matches!(err, IdxError::Truncated { .. }), "{err}");
+        // Labels too, and with the payload cut to nothing at all.
+        let mut lbl = encode_labels(&[1, 2, 3]);
+        lbl.truncate(lbl.len() - 1);
+        assert!(matches!(
+            decode_labels(&lbl).unwrap_err(),
+            IdxError::Truncated {
+                expected: 3,
+                actual: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_short_headers_without_panicking() {
+        // Every strict prefix of a valid header must fail cleanly: shorter
+        // than the magic, mid-magic, and mid-dimension-list.
+        let bytes = encode_images(&synthetic::digits(2, 1).images);
+        for cut in 0..16 {
+            let err = decode_images(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, IdxError::BadHeader(_) | IdxError::Truncated { .. }),
+                "prefix {cut}: {err}"
+            );
+        }
+        let lbl = encode_labels(&[7]);
+        for cut in 0..8 {
+            assert!(decode_labels(&lbl[..cut]).is_err(), "label prefix {cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_dimension_overflow() {
+        // A header whose dimensions multiply past usize::MAX must be
+        // reported as a bad header, not wrap around and under-read.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&0x0000_0803u32.to_be_bytes());
+        for _ in 0..3 {
+            bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+        }
+        bytes.extend_from_slice(&[0u8; 64]);
+        let err = decode_images(&bytes).unwrap_err();
+        assert!(matches!(err, IdxError::BadHeader(_)), "{err}");
+        assert!(err.to_string().contains("overflow"), "{err}");
+    }
+
+    #[test]
+    fn huge_declared_count_is_truncation_not_allocation() {
+        // Dimensions that fit usize but dwarf the payload: clean Truncated
+        // error, no attempt to materialise the promised tensor.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&0x0000_0803u32.to_be_bytes());
+        for d in [1_000_000u32, 28, 28] {
+            bytes.extend_from_slice(&d.to_be_bytes());
+        }
+        bytes.extend_from_slice(&[0u8; 100]);
+        assert!(matches!(
+            decode_images(&bytes).unwrap_err(),
+            IdxError::Truncated {
+                expected: 784_000_000,
+                actual: 100
+            }
+        ));
     }
 
     #[test]

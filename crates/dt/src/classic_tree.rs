@@ -98,7 +98,7 @@ enum Node {
 ///
 /// let data = FeatureMatrix::from_fn(8, 3, |e, j| (e >> j) & 1 == 1);
 /// let labels = BitVec::from_fn(8, |e| e & 1 == 1);
-/// let tree = ClassicTree::train(&data, &labels, &vec![1.0; 8],
+/// let tree = ClassicTree::train(&data, &labels, &[1.0; 8],
 ///                               &ClassicTreeConfig::with_depth(2));
 /// assert_eq!(tree.accuracy(&data, &labels), 1.0);
 /// ```
@@ -308,7 +308,7 @@ mod tests {
         let tree = ClassicTree::train(
             &data,
             &labels,
-            &vec![1.0; 16],
+            &[1.0; 16],
             &ClassicTreeConfig::with_depth(3),
         );
         assert_eq!(tree.accuracy(&data, &labels), 1.0);
@@ -320,12 +320,7 @@ mod tests {
     fn learns_and_function() {
         let data = exhaustive(3);
         let labels = BitVec::from_fn(8, |e| e & 0b11 == 0b11);
-        let tree = ClassicTree::train(
-            &data,
-            &labels,
-            &vec![1.0; 8],
-            &ClassicTreeConfig::with_depth(4),
-        );
+        let tree = ClassicTree::train(&data, &labels, &[1.0; 8], &ClassicTreeConfig::with_depth(4));
         assert_eq!(tree.accuracy(&data, &labels), 1.0);
         assert!(tree.depth() <= 2);
     }
@@ -337,7 +332,7 @@ mod tests {
         let tree = ClassicTree::train(
             &data,
             &labels,
-            &vec![1.0; 64],
+            &[1.0; 64],
             &ClassicTreeConfig::with_depth(3),
         );
         assert!(tree.depth() <= 3);
@@ -350,7 +345,7 @@ mod tests {
         let tree = ClassicTree::train(
             &data,
             &labels,
-            &vec![1.0; 64],
+            &[1.0; 64],
             &ClassicTreeConfig::with_nodes(5),
         );
         assert!(tree.num_splits() <= 5, "got {} splits", tree.num_splits());
@@ -363,7 +358,7 @@ mod tests {
         let tree = ClassicTree::train(
             &data,
             &labels,
-            &vec![1.0; 16],
+            &[1.0; 16],
             &ClassicTreeConfig::with_depth(8),
         );
         assert_eq!(tree.num_splits(), 0);
@@ -379,7 +374,7 @@ mod tests {
             let tree = ClassicTree::train(
                 &data,
                 &labels,
-                &vec![1.0; 32],
+                &[1.0; 32],
                 &ClassicTreeConfig::with_depth(4).with_criterion(criterion),
             );
             assert_eq!(tree.accuracy(&data, &labels), 1.0, "{criterion:?}");
@@ -419,7 +414,7 @@ mod tests {
         let tree = ClassicTree::train(
             &data,
             &labels,
-            &vec![1.0; 128],
+            &[1.0; 128],
             &ClassicTreeConfig::with_depth(3),
         );
         assert!(

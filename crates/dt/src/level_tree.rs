@@ -187,8 +187,8 @@ impl LevelWiseTree {
             features.push(feat);
             level_entropies.push(entropy);
             let col = data.feature(feat);
-            for e in 0..n {
-                node_of[e] = (node_of[e] << 1) | u32::from(col.get(e));
+            for (e, node) in node_of.iter_mut().enumerate() {
+                *node = (*node << 1) | u32::from(col.get(e));
             }
         }
 
@@ -269,12 +269,27 @@ impl LevelWiseTree {
         self.features.len()
     }
 
-    /// Predicts every example by indexing the truth table with packed
-    /// feature bits — the hardware-equivalent batch path.
+    /// Predicts every example word-parallel: the chosen feature columns
+    /// are fed 64 examples at a time through the shared Shannon-recursion
+    /// kernel [`TruthTable::eval_words`], exactly as the FPGA simulator
+    /// and the `poetbin-engine` batch plan evaluate a LUT.
     pub fn predict_matrix(&self, data: &FeatureMatrix) -> BitVec {
-        BitVec::from_fn(data.num_examples(), |e| {
-            self.table.eval(data.address(e, &self.features))
-        })
+        let n = data.num_examples();
+        let cols: Vec<&[u64]> = self
+            .features
+            .iter()
+            .map(|&f| data.feature(f).as_words())
+            .collect();
+        let mut ops = vec![0u64; cols.len()];
+        let mut out = BitVec::zeros(n);
+        for (w, word) in out.as_words_mut().iter_mut().enumerate() {
+            for (op, col) in ops.iter_mut().zip(&cols) {
+                *op = col[w];
+            }
+            *word = self.table.eval_words(&ops);
+        }
+        out.mask_tail();
+        out
     }
 }
 
@@ -395,10 +410,8 @@ mod tests {
         // Two candidate features; feature 0 classifies the heavy examples,
         // feature 1 the light ones. With skewed weights the tree must pick
         // feature 0 first.
-        let data = FeatureMatrix::from_fn(4, 2, |e, j| match (e, j) {
-            (0, 0) | (1, 0) => true,
-            (0, 1) | (2, 1) => true,
-            _ => false,
+        let data = FeatureMatrix::from_fn(4, 2, |e, j| {
+            matches!((e, j), (0, 0) | (1, 0) | (0, 1) | (2, 1))
         });
         let labels = BitVec::from_bools([true, true, false, false]);
         let heavy = vec![10.0, 10.0, 10.0, 10.0];

@@ -1,0 +1,258 @@
+//! Batch evaluation of a compiled plan, with multi-core sharding.
+
+use poetbin_bits::{BitVec, FeatureMatrix};
+use poetbin_core::PoetBinClassifier;
+use poetbin_fpga::{Netlist, NetlistError};
+
+use crate::plan::EvalPlan;
+
+/// Minimum words (64-example blocks) a shard must receive before the
+/// engine bothers spawning threads: below this the per-thread setup costs
+/// more than the parallelism recovers.
+pub const MIN_WORDS_PER_SHARD: usize = 8;
+
+/// A word-parallel batch evaluator over a compiled [`EvalPlan`].
+///
+/// The engine runs the compiled mux tape 64 examples per word and, for
+/// batches large enough to amortise thread startup
+/// ([`MIN_WORDS_PER_SHARD`] words per shard), splits the word range across
+/// scoped threads (`std::thread::scope`); each shard owns one reusable
+/// value array for the entire run, so the hot loop performs no allocation
+/// and no per-op dispatch.
+///
+/// # Example
+///
+/// ```
+/// use poetbin_bits::{FeatureMatrix, TruthTable};
+/// use poetbin_engine::Engine;
+/// use poetbin_fpga::NetlistBuilder;
+///
+/// let mut b = NetlistBuilder::new();
+/// let x = b.add_input();
+/// let y = b.add_input();
+/// let xor = b.add_lut(vec![x, y], TruthTable::from_fn(2, |i| i == 1 || i == 2));
+/// b.set_outputs(vec![xor]);
+/// let net = b.finish();
+///
+/// let engine = Engine::from_netlist(&net).unwrap();
+/// let batch = FeatureMatrix::from_fn(300, 2, |e, j| (e >> j) & 1 == 1);
+/// let out = engine.eval_batch(&batch);
+/// for e in 0..300 {
+///     assert_eq!(out[0].get(e), ((e & 1) ^ ((e >> 1) & 1)) == 1);
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Engine {
+    plan: EvalPlan,
+    threads: Option<usize>,
+}
+
+impl Engine {
+    /// Wraps an already-compiled plan with automatic thread selection.
+    pub fn new(plan: EvalPlan) -> Engine {
+        Engine {
+            plan,
+            threads: None,
+        }
+    }
+
+    /// Compiles a netlist and wraps it in an engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`NetlistError`] when the node list is not
+    /// topologically ordered (see [`EvalPlan::compile`]).
+    pub fn from_netlist(net: &Netlist) -> Result<Engine, NetlistError> {
+        Ok(Engine::new(EvalPlan::compile(net)?))
+    }
+
+    /// Fixes the shard count (builder style). `1` forces the
+    /// single-threaded path; an explicit count is honoured exactly (only
+    /// capped by the number of 64-example words in a batch). Without this
+    /// call the engine picks `available_parallelism`, additionally capped
+    /// so each automatic shard keeps at least [`MIN_WORDS_PER_SHARD`]
+    /// words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_threads(mut self, threads: usize) -> Engine {
+        assert!(threads > 0, "thread count must be positive");
+        self.threads = Some(threads);
+        self
+    }
+
+    /// The compiled plan.
+    pub fn plan(&self) -> &EvalPlan {
+        &self.plan
+    }
+
+    /// Shards actually used for a batch of `num_words` words.
+    fn shard_count(&self, num_words: usize) -> usize {
+        match self.threads {
+            // An explicit count is honoured as requested; more shards
+            // than words would leave some with nothing to do.
+            Some(t) => t.min(num_words.max(1)),
+            None => std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min((num_words / MIN_WORDS_PER_SHARD).max(1)),
+        }
+    }
+
+    /// Evaluates every example of `batch`, returning one [`BitVec`] per
+    /// netlist output (bit `e` of output `k` is output `k` for example
+    /// `e`) — the same layout as `poetbin_fpga::SimResult::outputs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a non-empty `batch` has a feature count different from
+    /// the plan's input count (an empty batch trivially evaluates to empty
+    /// outputs, whatever its declared width).
+    pub fn eval_batch(&self, batch: &FeatureMatrix) -> Vec<BitVec> {
+        assert!(
+            batch.num_examples() == 0 || batch.num_features() == self.plan.num_inputs(),
+            "batch has {} features, plan expects {}",
+            batch.num_features(),
+            self.plan.num_inputs()
+        );
+        let n = batch.num_examples();
+        let num_words = n.div_ceil(64);
+        let k = self.plan.num_outputs();
+        // Word-major flat output buffer: words are contiguous per shard, so
+        // `chunks_mut` hands each thread an exclusive, contiguous slice.
+        let mut flat = vec![0u64; num_words * k];
+        let shards = self.shard_count(num_words);
+
+        if shards <= 1 {
+            self.run_shard(batch, 0, &mut flat);
+        } else {
+            let words_per_shard = num_words.div_ceil(shards);
+            std::thread::scope(|scope| {
+                for (s, chunk) in flat.chunks_mut(words_per_shard * k.max(1)).enumerate() {
+                    let this = &self;
+                    scope.spawn(move || this.run_shard(batch, s * words_per_shard, chunk));
+                }
+            });
+        }
+
+        (0..k)
+            .map(|o| {
+                let words: Vec<u64> = (0..num_words).map(|w| flat[w * k + o]).collect();
+                // Tail lanes past `n` may hold garbage (constants evaluate
+                // to all-ones there); from_words clears them.
+                BitVec::from_words(words, n)
+            })
+            .collect()
+    }
+
+    /// Evaluates a contiguous run of words starting at `first_word`,
+    /// writing into the word-major `out` slice (`num_outputs` words per
+    /// batch word).
+    fn run_shard(&self, batch: &FeatureMatrix, first_word: usize, out: &mut [u64]) {
+        let k = self.plan.num_outputs();
+        if k == 0 {
+            return;
+        }
+        let mut vals = vec![0u64; self.plan.num_vals()];
+        vals[1] = u64::MAX; // the constant-true lane word
+        for (i, out_word) in out.chunks_mut(k).enumerate() {
+            self.plan
+                .eval_word(batch, first_word + i, &mut vals, out_word);
+        }
+    }
+}
+
+/// A [`PoetBinClassifier`] compiled for batch prediction.
+///
+/// Wraps the classifier's lowered netlist in an [`Engine`] and decodes the
+/// class-major q-bit score outputs back into class predictions, matching
+/// `PoetBinClassifier::predict` bit for bit (same scores, same
+/// smallest-index tie-breaking).
+#[derive(Clone, Debug)]
+pub struct ClassifierEngine {
+    engine: Engine,
+    classes: usize,
+    q_bits: usize,
+}
+
+impl ClassifierEngine {
+    /// Compiles a trained classifier over `num_features` binary inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NetlistError`] if the lowered netlist fails validation
+    /// (defence in depth — `PoetBinClassifier::to_netlist` output is
+    /// already builder-validated).
+    pub fn compile(
+        clf: &PoetBinClassifier,
+        num_features: usize,
+    ) -> Result<ClassifierEngine, NetlistError> {
+        Ok(ClassifierEngine {
+            engine: Engine::from_netlist(&clf.to_netlist(num_features))?,
+            classes: clf.classes(),
+            q_bits: clf.output().q_bits() as usize,
+        })
+    }
+
+    /// Fixes the shard count (builder style); see [`Engine::with_threads`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_threads(mut self, threads: usize) -> ClassifierEngine {
+        self.engine = self.engine.with_threads(threads);
+        self
+    }
+
+    /// The underlying netlist engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Predicts the class of every example in `features`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature count differs from the compiled width.
+    pub fn predict(&self, features: &FeatureMatrix) -> Vec<usize> {
+        let outs = self.engine.eval_batch(features);
+        let n = features.num_examples();
+        let q = self.q_bits;
+        let mut preds = vec![0usize; n];
+        let mut best = vec![0u64; n];
+        for c in 0..self.classes {
+            let bit_words: Vec<&[u64]> = (0..q).map(|b| outs[c * q + b].as_words()).collect();
+            for w in 0..n.div_ceil(64) {
+                let lanes = (n - w * 64).min(64);
+                for l in 0..lanes {
+                    let score: u64 = bit_words
+                        .iter()
+                        .enumerate()
+                        .map(|(b, col)| ((col[w] >> l) & 1) << b)
+                        .sum();
+                    let e = w * 64 + l;
+                    if c == 0 || score > best[e] {
+                        best[e] = score;
+                        preds[e] = c;
+                    }
+                }
+            }
+        }
+        preds
+    }
+
+    /// Classification accuracy against labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` differs from the example count.
+    pub fn accuracy(&self, features: &FeatureMatrix, labels: &[usize]) -> f64 {
+        assert_eq!(features.num_examples(), labels.len());
+        if labels.is_empty() {
+            return 1.0;
+        }
+        let preds = self.predict(features);
+        preds.iter().zip(labels).filter(|(p, l)| p == l).count() as f64 / labels.len() as f64
+    }
+}

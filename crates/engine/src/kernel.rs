@@ -1,0 +1,253 @@
+//! Per-LUT compiled kernels: a truth table lowered into a deduplicated
+//! mux DAG at plan-compile time.
+//!
+//! `TruthTable::eval_words` reduces an arbitrary table bottom-up at every
+//! call — `Θ(2^k)` word operations per 64 examples, even when most of the
+//! table is redundant. The engine evaluates the *same* table millions of
+//! times, so it pays once to compile it instead: Shannon-decompose the
+//! table, memoise identical subtables (decision-tree LUTs are full of
+//! repeated leaves), fold constant and single-literal cofactors into free
+//! references, and keep only the muxes that remain. A typical 6-input
+//! tree LUT shrinks from 63 structural muxes to a couple dozen ops, and
+//! threshold (MAT) tables collapse much further.
+
+use std::collections::HashMap;
+
+use poetbin_bits::TruthTable;
+
+/// A value available while a kernel runs: constants and operand literals
+/// are free; `Node` reads an earlier mux result from the scratch buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum KRef {
+    /// Constant false (all-zero lanes).
+    Zero,
+    /// Constant true (all-one lanes).
+    One,
+    /// Operand `i`'s lane word.
+    Var(u8),
+    /// Complement of operand `i`'s lane word.
+    NotVar(u8),
+    /// Result of mux op `i`.
+    Node(u32),
+}
+
+/// One mux: `out = if sel { hi } else { lo }`, lane-parallel.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct KOp {
+    pub(crate) sel: u8,
+    pub(crate) lo: KRef,
+    pub(crate) hi: KRef,
+}
+
+/// A compiled LUT: mux ops in dependency order plus the result reference.
+#[derive(Clone, Debug)]
+pub(crate) struct LutKernel {
+    ops: Vec<KOp>,
+    result: KRef,
+}
+
+/// Compilation state: content-keyed memo for word-sized subtables and a
+/// structural memo for wider merge nodes.
+struct Builder {
+    ops: Vec<KOp>,
+    by_content: HashMap<(u8, u64), KRef>,
+    by_shape: HashMap<(u8, KRef, KRef), KRef>,
+}
+
+impl Builder {
+    fn merge(&mut self, sel: u8, lo: KRef, hi: KRef) -> KRef {
+        if lo == hi {
+            return lo;
+        }
+        if lo == KRef::Zero && hi == KRef::One {
+            return KRef::Var(sel);
+        }
+        if lo == KRef::One && hi == KRef::Zero {
+            return KRef::NotVar(sel);
+        }
+        if let Some(&r) = self.by_shape.get(&(sel, lo, hi)) {
+            return r;
+        }
+        let r = KRef::Node(self.ops.len() as u32);
+        self.ops.push(KOp { sel, lo, hi });
+        self.by_shape.insert((sel, lo, hi), r);
+        r
+    }
+
+    /// Compiles a subtable held in the low `2^width` bits of `t`
+    /// (`width ≤ 6`), with full content deduplication.
+    fn build_word(&mut self, t: u64, width: usize) -> KRef {
+        let mask = if width == 6 {
+            u64::MAX
+        } else {
+            (1u64 << (1 << width)) - 1
+        };
+        let t = t & mask;
+        if t == 0 {
+            return KRef::Zero;
+        }
+        if t == mask {
+            return KRef::One;
+        }
+        if let Some(&r) = self.by_content.get(&(width as u8, t)) {
+            return r;
+        }
+        let half = 1usize << (width - 1);
+        let lo = self.build_word(t, width - 1);
+        let hi = self.build_word(t >> half, width - 1);
+        let r = self.merge(width as u8 - 1, lo, hi);
+        self.by_content.insert((width as u8, t), r);
+        r
+    }
+
+    /// Compiles a table of any arity by splitting high inputs until the
+    /// subtable fits one word. Splits land on word boundaries because only
+    /// inputs ≥ 6 are split.
+    fn build(&mut self, words: &[u64], width: usize, word_offset: usize) -> KRef {
+        if width <= 6 {
+            return self.build_word(words[word_offset], width);
+        }
+        let half_words = 1usize << (width - 7);
+        let lo = self.build(words, width - 1, word_offset);
+        let hi = self.build(words, width - 1, word_offset + half_words);
+        self.merge(width as u8 - 1, lo, hi)
+    }
+}
+
+impl LutKernel {
+    /// Compiles a truth table into a mux DAG.
+    pub(crate) fn compile(table: &TruthTable) -> LutKernel {
+        let mut b = Builder {
+            ops: Vec::new(),
+            by_content: HashMap::new(),
+            by_shape: HashMap::new(),
+        };
+        let result = b.build(table.as_bits().as_words(), table.inputs(), 0);
+        LutKernel { ops: b.ops, result }
+    }
+
+    /// Number of mux ops (the scratch space [`LutKernel::eval`] needs).
+    #[cfg(test)]
+    fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The mux ops in dependency order. Invariant relied on by the tape
+    /// flattener: when [`LutKernel::result`] is a `Node`, it is always the
+    /// LAST op — a `by_shape` memo hit can only return a pre-existing node
+    /// when no new ops were emitted underneath it, so a freshly pushed
+    /// root is necessarily final.
+    pub(crate) fn ops(&self) -> &[KOp] {
+        &self.ops
+    }
+
+    /// The kernel's result reference (constant, literal, complement or
+    /// final node).
+    pub(crate) fn result(&self) -> KRef {
+        self.result
+    }
+
+    /// Evaluates the kernel over 64 lanes. `sels[i]` is operand `i`'s lane
+    /// word; `scratch` must hold at least [`LutKernel::num_ops`] words.
+    /// Reference implementation for the unit tests — the engine runs the
+    /// flattened tape in `plan.rs` instead.
+    #[cfg(test)]
+    fn eval(&self, sels: &[u64], scratch: &mut [u64]) -> u64 {
+        #[inline]
+        fn resolve(r: KRef, sels: &[u64], scratch: &[u64]) -> u64 {
+            match r {
+                KRef::Zero => 0,
+                KRef::One => u64::MAX,
+                KRef::Var(v) => sels[v as usize],
+                KRef::NotVar(v) => !sels[v as usize],
+                KRef::Node(i) => scratch[i as usize],
+            }
+        }
+        for i in 0..self.ops.len() {
+            let op = self.ops[i];
+            let s = sels[op.sel as usize];
+            let lo = resolve(op.lo, sels, scratch);
+            let hi = resolve(op.hi, sels, scratch);
+            scratch[i] = lo ^ (s & (lo ^ hi));
+        }
+        resolve(self.result, sels, scratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_table(table: &TruthTable, case: &str) {
+        let kernel = LutKernel::compile(table);
+        let k = table.inputs();
+        let mut scratch = vec![0u64; kernel.num_ops()];
+        // Pseudo-random independent lane words per operand.
+        let sels: Vec<u64> = (0..k)
+            .map(|i| {
+                (i as u64 + 3)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .rotate_left(i as u32)
+            })
+            .collect();
+        let word = kernel.eval(&sels, &mut scratch);
+        assert_eq!(
+            word,
+            table.eval_words(&sels),
+            "{case}: kernel vs kernel-free eval_words"
+        );
+        for l in 0..64 {
+            let addr: usize = (0..k).map(|i| (((sels[i] >> l) & 1) as usize) << i).sum();
+            assert_eq!((word >> l) & 1 == 1, table.eval(addr), "{case}: lane {l}");
+        }
+    }
+
+    #[test]
+    fn kernel_matches_table_on_random_functions() {
+        for k in 0..=8usize {
+            for salt in 0..4u64 {
+                let table = TruthTable::from_fn(k, |i| {
+                    (i as u64)
+                        .wrapping_add(salt)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        >> 13
+                        & 1
+                        == 1
+                });
+                check_table(&table, &format!("k={k} salt={salt}"));
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_handles_degenerate_tables() {
+        check_table(&TruthTable::zeros(6), "const0");
+        check_table(&TruthTable::ones(6), "const1");
+        // Single-literal and majority functions.
+        check_table(&TruthTable::from_fn(4, |i| (i >> 2) & 1 == 1), "literal");
+        check_table(
+            &TruthTable::from_fn(5, |i| (i as u32).count_ones() >= 3),
+            "majority5",
+        );
+        assert_eq!(LutKernel::compile(&TruthTable::zeros(6)).num_ops(), 0);
+        assert_eq!(
+            LutKernel::compile(&TruthTable::from_fn(3, |i| i & 1 == 1)).num_ops(),
+            0,
+            "a bare literal needs no muxes"
+        );
+    }
+
+    #[test]
+    fn dedup_keeps_threshold_tables_small() {
+        // A 6-input majority has heavy subtable sharing; the deduplicated
+        // DAG must stay well under the 63 structural muxes.
+        let majority = TruthTable::from_fn(6, |i| (i as u32).count_ones() >= 3);
+        let kernel = LutKernel::compile(&majority);
+        assert!(
+            kernel.num_ops() <= 25,
+            "majority-6 compiled to {} ops",
+            kernel.num_ops()
+        );
+        check_table(&majority, "majority6");
+    }
+}

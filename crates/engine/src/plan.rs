@@ -1,0 +1,314 @@
+//! Compilation of a [`Netlist`] into a levelized, branch-free evaluation
+//! tape.
+
+use poetbin_bits::FeatureMatrix;
+use poetbin_fpga::{Netlist, NetlistError, Node};
+
+use crate::kernel::{KRef, LutKernel};
+
+/// Location of the constant-false lane word in the value array.
+const LOC_ZERO: u32 = 0;
+/// Location of the constant-true lane word in the value array.
+const LOC_ONE: u32 = 1;
+
+/// One tape entry: the universal lane-parallel mux
+/// `vals[dst] = if vals[sel] { vals[hi] } else { vals[lo] }`, computed
+/// branch-free as `lo ^ (sel & (lo ^ hi))`. Every primitive lowers to this
+/// one op (a NOT is `mux(x, 1, 0)`), so the hot loop is a single
+/// straight-line stream with no per-op dispatch.
+#[derive(Clone, Copy, Debug)]
+struct TapeOp {
+    dst: u32,
+    sel: u32,
+    lo: u32,
+    hi: u32,
+}
+
+/// A netlist compiled for repeated word-parallel batch evaluation.
+///
+/// Construction walks the netlist once and precomputes everything the hot
+/// loop would otherwise re-derive per example:
+///
+/// * a **topologically sorted schedule** restricted to the transitive
+///   fan-in of the outputs (dead nodes are dropped entirely);
+/// * **compiled LUT kernels** — every truth table is Shannon-decomposed
+///   into a subtable-deduplicated mux DAG once (see `kernel.rs`),
+///   then flattened into the tape, so the hot loop runs a short
+///   straight-line program per LUT instead of reducing the full
+///   `2^k`-entry table per word;
+/// * **alias and constant propagation** — LUTs and muxes that collapse to
+///   a constant, a copy or a complement don't occupy full kernels; their
+///   readers are rewired at compile time;
+/// * one **flat value array** (constants, live signals, reusable kernel
+///   scratch) indexed by the tape, so evaluation is branch-free and
+///   allocation-free per word;
+/// * the **logic depth** (levelization), reported via
+///   [`EvalPlan::logic_levels`].
+///
+/// Evaluation itself lives in [`crate::Engine`], which runs the tape 64
+/// examples per word and shards word ranges across threads.
+#[derive(Clone, Debug)]
+pub struct EvalPlan {
+    /// `(value location, primary-input index)` loads run before the tape.
+    input_loads: Vec<(u32, u32)>,
+    tape: Vec<TapeOp>,
+    /// Value location of each netlist output (possibly a constant or an
+    /// aliased signal).
+    outputs: Vec<u32>,
+    num_inputs: usize,
+    num_vals: usize,
+    num_slots: usize,
+    logic_levels: usize,
+    dead_nodes: usize,
+}
+
+impl EvalPlan {
+    /// Compiles a netlist into an evaluation plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`NetlistError`] if the netlist violates the
+    /// topological-order invariants (defence in depth: a [`Netlist`] built
+    /// through `NetlistBuilder::finish` is already validated, but plans can
+    /// be built from any source of nodes, and a forward reference here
+    /// would silently read a stale lane word).
+    pub fn compile(net: &Netlist) -> Result<EvalPlan, NetlistError> {
+        net.validate()?;
+        let nodes = net.nodes();
+
+        // Liveness: only nodes in some output's transitive fan-in are
+        // scheduled. Nodes are topologically ordered, so one reverse sweep
+        // suffices.
+        let mut live = vec![false; nodes.len()];
+        for &o in net.outputs() {
+            live[o] = true;
+        }
+        for id in (0..nodes.len()).rev() {
+            if !live[id] {
+                continue;
+            }
+            match &nodes[id] {
+                Node::Input { .. } | Node::Const { .. } => {}
+                Node::Lut { inputs, .. } => {
+                    for &src in inputs {
+                        live[src] = true;
+                    }
+                }
+                Node::Mux { sel, lo, hi } => {
+                    for &src in [sel, lo, hi] {
+                        live[src] = true;
+                    }
+                }
+            }
+        }
+        let num_live = live.iter().filter(|&&l| l).count();
+
+        // Signal slots: one per live non-constant node (aliasing below may
+        // leave a few unused — that only costs buffer words, never
+        // correctness). The shared kernel scratch sits right after them.
+        let num_slots = nodes
+            .iter()
+            .enumerate()
+            .filter(|(id, n)| live[*id] && !matches!(n, Node::Const { .. }))
+            .count();
+        let scratch_base = 2 + num_slots as u32;
+
+        // Schedule. `loc_of[id]` is where node id's value lives in the
+        // value array: its own slot, or an alias after constant/copy
+        // propagation. Kernel intermediates go to the scratch region,
+        // which every LUT reuses.
+        let mut loc_of = vec![u32::MAX; nodes.len()];
+        let mut level_of = vec![0usize; nodes.len()];
+        let mut input_loads = Vec::new();
+        let mut tape: Vec<TapeOp> = Vec::new();
+        let mut next_slot = 2u32;
+        let mut max_scratch = 0usize;
+        let mut logic_levels = 0usize;
+        for (id, node) in nodes.iter().enumerate() {
+            if !live[id] {
+                continue;
+            }
+            match node {
+                Node::Input { index } => {
+                    loc_of[id] = next_slot;
+                    next_slot += 1;
+                    input_loads.push((loc_of[id], *index as u32));
+                }
+                Node::Const { value } => {
+                    loc_of[id] = if *value { LOC_ONE } else { LOC_ZERO };
+                }
+                Node::Mux { sel, lo, hi } => {
+                    level_of[id] = 1 + [sel, lo, hi].iter().map(|&&s| level_of[s]).max().unwrap();
+                    let (s, l, h) = (loc_of[*sel], loc_of[*lo], loc_of[*hi]);
+                    loc_of[id] = if s == LOC_ZERO || l == h {
+                        l
+                    } else if s == LOC_ONE {
+                        h
+                    } else {
+                        let slot = next_slot;
+                        next_slot += 1;
+                        tape.push(TapeOp {
+                            dst: slot,
+                            sel: s,
+                            lo: l,
+                            hi: h,
+                        });
+                        slot
+                    };
+                }
+                Node::Lut { inputs, table } => {
+                    level_of[id] = 1 + inputs.iter().map(|&s| level_of[s]).max().unwrap_or(0);
+                    let operand_locs: Vec<u32> = inputs.iter().map(|&s| loc_of[s]).collect();
+                    let kernel = LutKernel::compile(table);
+                    let slot = next_slot;
+                    let (result_loc, used) =
+                        flatten_kernel(&kernel, &operand_locs, slot, scratch_base, &mut tape);
+                    max_scratch = max_scratch.max(used);
+                    loc_of[id] = result_loc;
+                    if result_loc == slot {
+                        next_slot += 1;
+                    }
+                }
+            }
+            logic_levels = logic_levels.max(level_of[id]);
+        }
+
+        Ok(EvalPlan {
+            input_loads,
+            outputs: net.outputs().iter().map(|&o| loc_of[o]).collect(),
+            num_inputs: net.num_inputs(),
+            num_vals: scratch_base as usize + max_scratch,
+            num_slots,
+            tape,
+            logic_levels,
+            dead_nodes: nodes.len() - num_live,
+        })
+    }
+
+    /// Number of primary inputs the plan expects per example.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of outputs the plan produces per example.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Signal slots in the value array (one per live non-constant signal).
+    pub fn num_slots(&self) -> usize {
+        self.num_slots
+    }
+
+    /// Total mux ops on the tape — the per-word work left after kernel
+    /// deduplication and alias propagation.
+    pub fn tape_len(&self) -> usize {
+        self.tape.len()
+    }
+
+    /// LUT/mux levels on the critical path of the schedule.
+    pub fn logic_levels(&self) -> usize {
+        self.logic_levels
+    }
+
+    /// Netlist nodes dropped because no output depends on them.
+    pub fn dead_nodes(&self) -> usize {
+        self.dead_nodes
+    }
+
+    /// Size of the value array a shard must allocate.
+    pub(crate) fn num_vals(&self) -> usize {
+        self.num_vals
+    }
+
+    /// Executes the tape for one 64-example word.
+    ///
+    /// `vals` must hold `num_vals()` words with `vals[1] == u64::MAX` (see
+    /// `Engine::run_shard`); it is caller-owned so a shard reuses it
+    /// across its whole word range. `out` receives one word per output.
+    #[inline]
+    pub(crate) fn eval_word(
+        &self,
+        batch: &FeatureMatrix,
+        word: usize,
+        vals: &mut [u64],
+        out: &mut [u64],
+    ) {
+        for &(loc, feature) in &self.input_loads {
+            vals[loc as usize] = batch.feature(feature as usize).as_words()[word];
+        }
+        for op in &self.tape {
+            let s = vals[op.sel as usize];
+            let lo = vals[op.lo as usize];
+            let hi = vals[op.hi as usize];
+            vals[op.dst as usize] = lo ^ (s & (lo ^ hi));
+        }
+        for (o, &loc) in out.iter_mut().zip(&self.outputs) {
+            *o = vals[loc as usize];
+        }
+    }
+}
+
+/// Appends a compiled LUT kernel to the tape.
+///
+/// Kernel node `i` writes scratch slot `scratch_base + 2 + i`; the first
+/// two scratch slots hold materialised operand complements (one for `lo`,
+/// one for `hi`, rewritten immediately before the op that reads them, so
+/// any mix of `NotVar` operands stays correct). The kernel root lands in
+/// `result_slot`; a kernel that collapses to a constant or a copy aliases
+/// instead. Returns `(result location, scratch words used)`.
+fn flatten_kernel(
+    kernel: &LutKernel,
+    operand_locs: &[u32],
+    result_slot: u32,
+    scratch_base: u32,
+    tape: &mut Vec<TapeOp>,
+) -> (u32, usize) {
+    let emit_not = |var: u8, dst: u32, tape: &mut Vec<TapeOp>| -> u32 {
+        tape.push(TapeOp {
+            dst,
+            sel: operand_locs[var as usize],
+            lo: LOC_ONE,
+            hi: LOC_ZERO,
+        });
+        dst
+    };
+    let resolve = |r: KRef, not_slot: u32, tape: &mut Vec<TapeOp>| -> u32 {
+        match r {
+            KRef::Zero => LOC_ZERO,
+            KRef::One => LOC_ONE,
+            KRef::Var(v) => operand_locs[v as usize],
+            KRef::NotVar(v) => emit_not(v, not_slot, tape),
+            KRef::Node(i) => scratch_base + 2 + i,
+        }
+    };
+    let ops = kernel.ops();
+    for (i, op) in ops.iter().enumerate() {
+        let sel = operand_locs[op.sel as usize];
+        let lo = resolve(op.lo, scratch_base, tape);
+        let hi = resolve(op.hi, scratch_base + 1, tape);
+        // The kernel root is always the last op (kernel.rs invariant); it
+        // writes the signal's own slot so the scratch region can be
+        // reused by the next LUT.
+        let dst = if i + 1 == ops.len() {
+            result_slot
+        } else {
+            scratch_base + 2 + i as u32
+        };
+        tape.push(TapeOp { dst, sel, lo, hi });
+    }
+    match kernel.result() {
+        KRef::Node(i) => {
+            debug_assert_eq!(i as usize + 1, ops.len(), "kernel root must be last");
+            (result_slot, 2 + ops.len())
+        }
+        KRef::NotVar(v) => {
+            // A pure complement: materialise it into the signal slot.
+            emit_not(v, result_slot, tape);
+            (result_slot, 0)
+        }
+        KRef::Zero => (LOC_ZERO, 0),
+        KRef::One => (LOC_ONE, 0),
+        KRef::Var(v) => (operand_locs[v as usize], 0),
+    }
+}

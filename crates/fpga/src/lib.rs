@@ -33,7 +33,7 @@ mod sim;
 mod timing;
 
 pub use mapping::{map_to_lut6, MappingReport, FABRIC_LUT_INPUTS};
-pub use netlist::{AreaReport, Netlist, NetlistBuilder, Node, SignalId};
+pub use netlist::{AreaReport, Netlist, NetlistBuilder, NetlistError, Node, SignalId};
 pub use power::{PowerModel, PowerReport};
 pub use prune::{prune, PruneReport};
 pub use sim::{simulate, SimResult};

@@ -1,6 +1,7 @@
 //! Combinational LUT netlists.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 use poetbin_bits::TruthTable;
 
@@ -69,7 +70,166 @@ pub struct Netlist {
     num_inputs: usize,
 }
 
+/// Structural defects detected while validating a [`Netlist`].
+///
+/// The evaluators (`Netlist::eval`, `simulate`, the `poetbin-engine` plan
+/// builder) all sweep the nodes once in storage order, so an operand id at
+/// or after its reader would silently observe a stale default value
+/// instead of the driving node's output. Validation turns that silent
+/// wrong answer into a loud error at construction time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A `Lut` or `Mux` operand refers to the reading node itself or a
+    /// later node — evaluation order would read a stale default.
+    ForwardReference {
+        /// Id of the reading node.
+        node: usize,
+        /// The out-of-order operand id.
+        operand: SignalId,
+    },
+    /// A LUT's operand count disagrees with its truth-table arity.
+    ArityMismatch {
+        /// Id of the LUT node.
+        node: usize,
+        /// Operand count as wired.
+        operands: usize,
+        /// Input count the table expects.
+        table_inputs: usize,
+    },
+    /// An output taps a signal no node drives.
+    UndefinedOutput {
+        /// The undefined output id.
+        output: SignalId,
+        /// Number of signals that exist.
+        num_signals: usize,
+    },
+    /// An `Input` node's position among the primary inputs is out of range.
+    BadInputIndex {
+        /// Id of the input node.
+        node: usize,
+        /// The claimed primary-input position.
+        index: usize,
+        /// Declared number of primary inputs.
+        num_inputs: usize,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::ForwardReference { node, operand } => write!(
+                f,
+                "node {node} reads signal {operand}, which is not defined before it \
+                 (operands must be topologically ordered)"
+            ),
+            NetlistError::ArityMismatch {
+                node,
+                operands,
+                table_inputs,
+            } => write!(
+                f,
+                "LUT node {node} wires {operands} operands to a {table_inputs}-input table"
+            ),
+            NetlistError::UndefinedOutput {
+                output,
+                num_signals,
+            } => write!(
+                f,
+                "output taps signal {output} but only {num_signals} signals exist"
+            ),
+            NetlistError::BadInputIndex {
+                node,
+                index,
+                num_inputs,
+            } => write!(
+                f,
+                "input node {node} claims primary-input position {index} of {num_inputs}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
 impl Netlist {
+    /// Assembles a netlist from raw parts, validating the structural
+    /// invariants the forward-sweep evaluators rely on.
+    ///
+    /// This is the programmatic counterpart of [`NetlistBuilder`]: use it
+    /// when reconstructing a netlist from persisted or externally produced
+    /// node lists, where the builder's incremental panics are unavailable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError`] on forward references, LUT arity
+    /// mismatches, undefined outputs, or out-of-range input positions.
+    pub fn from_parts(
+        nodes: Vec<Node>,
+        outputs: Vec<SignalId>,
+        num_inputs: usize,
+    ) -> Result<Netlist, NetlistError> {
+        let net = Netlist {
+            nodes,
+            outputs,
+            num_inputs,
+        };
+        net.validate()?;
+        Ok(net)
+    }
+
+    /// Checks the topological-order and arity invariants of the stored
+    /// nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`NetlistError`] encountered in node order.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        for (id, node) in self.nodes.iter().enumerate() {
+            match node {
+                Node::Const { .. } => {}
+                Node::Input { index } => {
+                    if *index >= self.num_inputs {
+                        return Err(NetlistError::BadInputIndex {
+                            node: id,
+                            index: *index,
+                            num_inputs: self.num_inputs,
+                        });
+                    }
+                }
+                Node::Lut { inputs, table } => {
+                    if inputs.len() != table.inputs() {
+                        return Err(NetlistError::ArityMismatch {
+                            node: id,
+                            operands: inputs.len(),
+                            table_inputs: table.inputs(),
+                        });
+                    }
+                    if let Some(&bad) = inputs.iter().find(|&&src| src >= id) {
+                        return Err(NetlistError::ForwardReference {
+                            node: id,
+                            operand: bad,
+                        });
+                    }
+                }
+                Node::Mux { sel, lo, hi } => {
+                    if let Some(&bad) = [*sel, *lo, *hi].iter().find(|&&src| src >= id) {
+                        return Err(NetlistError::ForwardReference {
+                            node: id,
+                            operand: bad,
+                        });
+                    }
+                }
+            }
+        }
+        if let Some(&bad) = self.outputs.iter().find(|&&o| o >= self.nodes.len()) {
+            return Err(NetlistError::UndefinedOutput {
+                output: bad,
+                num_signals: self.nodes.len(),
+            });
+        }
+        Ok(())
+    }
+
     /// All nodes in topological order.
     pub fn nodes(&self) -> &[Node] {
         &self.nodes
@@ -262,12 +422,23 @@ impl NetlistBuilder {
         self.outputs = outputs;
     }
 
-    /// Finalises the netlist.
+    /// Finalises the netlist, re-validating the topological operand order
+    /// end to end.
+    ///
+    /// The incremental `add_*` methods already reject forward references,
+    /// but `finish` is the single choke point every construction path goes
+    /// through, so it re-checks the whole node list: a netlist that
+    /// evaluates wrong silently is far worse than a loud failure here.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the offending [`NetlistError`] if any operand is not
+    /// topologically ordered, any LUT arity disagrees with its table, or
+    /// any output is undefined.
     pub fn finish(self) -> Netlist {
-        Netlist {
-            nodes: self.nodes,
-            outputs: self.outputs,
-            num_inputs: self.num_inputs,
+        match Netlist::from_parts(self.nodes, self.outputs, self.num_inputs) {
+            Ok(net) => net,
+            Err(e) => panic!("invalid netlist: {e}"),
         }
     }
 }
@@ -337,6 +508,83 @@ mod tests {
         let mut b = NetlistBuilder::new();
         let x = b.add_input();
         b.add_lut(vec![x, 99], TruthTable::zeros(2));
+    }
+
+    #[test]
+    fn from_parts_rejects_forward_references() {
+        // Regression: a LUT operand at or after its own id used to be
+        // evaluated against a stale `false` default instead of failing.
+        let nodes = vec![
+            Node::Input { index: 0 },
+            Node::Lut {
+                inputs: vec![0, 2],
+                table: TruthTable::zeros(2),
+            },
+            Node::Input { index: 1 },
+        ];
+        let err = Netlist::from_parts(nodes, vec![1], 2).unwrap_err();
+        assert_eq!(
+            err,
+            NetlistError::ForwardReference {
+                node: 1,
+                operand: 2
+            }
+        );
+        assert!(err.to_string().contains("topologically ordered"));
+
+        // Self-reference counts as forward too.
+        let nodes = vec![
+            Node::Input { index: 0 },
+            Node::Mux {
+                sel: 0,
+                lo: 0,
+                hi: 1,
+            },
+        ];
+        let err = Netlist::from_parts(nodes, vec![1], 1).unwrap_err();
+        assert!(matches!(
+            err,
+            NetlistError::ForwardReference { node: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn from_parts_rejects_other_defects() {
+        let arity = Netlist::from_parts(
+            vec![
+                Node::Input { index: 0 },
+                Node::Lut {
+                    inputs: vec![0],
+                    table: TruthTable::zeros(2),
+                },
+            ],
+            vec![1],
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(arity, NetlistError::ArityMismatch { node: 1, .. }));
+
+        let out = Netlist::from_parts(vec![Node::Input { index: 0 }], vec![5], 1).unwrap_err();
+        assert!(matches!(
+            out,
+            NetlistError::UndefinedOutput { output: 5, .. }
+        ));
+
+        let idx = Netlist::from_parts(vec![Node::Input { index: 3 }], vec![0], 1).unwrap_err();
+        assert!(matches!(idx, NetlistError::BadInputIndex { index: 3, .. }));
+    }
+
+    #[test]
+    fn from_parts_accepts_valid_netlists_and_finish_validates() {
+        let net = xor_net();
+        let rebuilt = Netlist::from_parts(
+            net.nodes().to_vec(),
+            net.outputs().to_vec(),
+            net.num_inputs(),
+        )
+        .expect("valid netlist");
+        assert_eq!(rebuilt, net);
+        assert!(net.validate().is_ok());
     }
 
     #[test]

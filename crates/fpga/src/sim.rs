@@ -1,6 +1,6 @@
 //! Bit-parallel netlist simulation with switching-activity capture.
 
-use poetbin_bits::{BitVec, TruthTable};
+use poetbin_bits::BitVec;
 
 use crate::netlist::{Netlist, Node};
 
@@ -29,24 +29,14 @@ impl SimResult {
     }
 }
 
-/// Evaluates a LUT over 64 parallel input lanes by Shannon recursion on the
-/// packed truth-table bits.
-fn lut_eval_words(table: &TruthTable, operands: &[u64]) -> u64 {
-    fn go(table: &TruthTable, operands: &[u64], offset: usize, width: usize) -> u64 {
-        if width == 0 {
-            return if table.eval(offset) { u64::MAX } else { 0 };
-        }
-        let lo = go(table, operands, offset, width - 1);
-        let hi = go(table, operands, offset | (1 << (width - 1)), width - 1);
-        let sel = operands[width - 1];
-        (!sel & lo) | (sel & hi)
-    }
-    go(table, operands, 0, table.inputs())
-}
-
 /// Applies `vectors` (one [`BitVec`] of `num_inputs` bits per vector) to
 /// the netlist, 64 lanes at a time, and records output waveforms plus
 /// per-signal switching activity.
+///
+/// LUT nodes are evaluated with the workspace-wide word-parallel kernel,
+/// [`poetbin_bits::TruthTable::eval_words`]. For plain batch inference without activity
+/// capture, prefer the `poetbin-engine` crate, which precomputes an
+/// evaluation plan and shards the batch across cores.
 ///
 /// # Panics
 ///
@@ -68,6 +58,7 @@ pub fn simulate(net: &Netlist, vectors: &[BitVec]) -> SimResult {
     let mut last_value: Vec<Option<bool>> = vec![None; num_signals];
 
     let mut lane_values = vec![0u64; num_signals];
+    let mut ops = Vec::new();
     let mut start = 0usize;
     while start < n {
         let lanes = (n - start).min(64);
@@ -91,8 +82,9 @@ pub fn simulate(net: &Netlist, vectors: &[BitVec]) -> SimResult {
                     }
                 }
                 Node::Lut { inputs, table } => {
-                    let ops: Vec<u64> = inputs.iter().map(|&s| lane_values[s]).collect();
-                    lut_eval_words(table, &ops)
+                    ops.clear();
+                    ops.extend(inputs.iter().map(|&s| lane_values[s]));
+                    table.eval_words(&ops)
                 }
                 Node::Mux { sel, lo, hi } => {
                     let s = lane_values[*sel];
@@ -144,6 +136,7 @@ pub fn simulate(net: &Netlist, vectors: &[BitVec]) -> SimResult {
 mod tests {
     use super::*;
     use crate::netlist::NetlistBuilder;
+    use poetbin_bits::TruthTable;
 
     fn xor_net() -> Netlist {
         let mut b = NetlistBuilder::new();

@@ -31,10 +31,10 @@ impl Loss for SquaredHingeLoss {
         let mut grad = Tensor::zeros(vec![n, c]);
         let mut total = 0.0f64;
         let denom = (n * c).max(1) as f32;
-        for i in 0..n {
-            assert!(targets[i] < c, "target {} out of range {c}", targets[i]);
+        for (i, &target) in targets.iter().enumerate() {
+            assert!(target < c, "target {target} out of range {c}");
             for j in 0..c {
-                let y = if targets[i] == j { 1.0f32 } else { -1.0 };
+                let y = if target == j { 1.0f32 } else { -1.0 };
                 let margin = 1.0 - y * scores.data()[i * c + j];
                 if margin > 0.0 {
                     total += (margin * margin) as f64;
@@ -58,17 +58,16 @@ impl Loss for CrossEntropyLoss {
         assert_eq!(targets.len(), n, "target / score count mismatch");
         let mut grad = Tensor::zeros(vec![n, c]);
         let mut total = 0.0f64;
-        for i in 0..n {
-            assert!(targets[i] < c, "target {} out of range {c}", targets[i]);
+        for (i, &target) in targets.iter().enumerate() {
+            assert!(target < c, "target {target} out of range {c}");
             let row = scores.row(i);
             let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
             let exps: Vec<f32> = row.iter().map(|s| (s - max).exp()).collect();
             let sum: f32 = exps.iter().sum();
-            for j in 0..c {
-                let p = exps[j] / sum;
-                grad.data_mut()[i * c + j] =
-                    (p - if targets[i] == j { 1.0 } else { 0.0 }) / n as f32;
-                if targets[i] == j {
+            for (j, &exp) in exps.iter().enumerate() {
+                let p = exp / sum;
+                grad.data_mut()[i * c + j] = (p - if target == j { 1.0 } else { 0.0 }) / n as f32;
+                if target == j {
                     total -= (p.max(1e-12)).ln() as f64;
                 }
             }

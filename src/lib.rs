@@ -7,6 +7,7 @@
 //! |-------|----------|
 //! | [`poetbin_bits`] | packed bit vectors, LUT truth tables, feature matrices |
 //! | [`poetbin_dt`] | level-wise decision trees (RINC-0) and a classic baseline |
+//! | [`poetbin_engine`] | compiled word-parallel batch-inference engine |
 //! | [`poetbin_boost`] | AdaBoost, MAT units, hierarchical RINC-L |
 //! | [`poetbin_nn`] | CPU neural-network substrate (conv/dense/batch-norm/Adam) |
 //! | [`poetbin_data`] | synthetic datasets, IDX loader, boolean tasks |
@@ -41,6 +42,7 @@ pub use poetbin_boost;
 pub use poetbin_core;
 pub use poetbin_data;
 pub use poetbin_dt;
+pub use poetbin_engine;
 pub use poetbin_fpga;
 pub use poetbin_hdl;
 pub use poetbin_nn;
@@ -62,6 +64,7 @@ pub mod prelude {
     pub use poetbin_dt::{
         BitClassifier, ClassicTree, ClassicTreeConfig, LevelTreeConfig, LevelWiseTree,
     };
+    pub use poetbin_engine::{ClassifierEngine, Engine, EvalPlan};
     pub use poetbin_fpga::{
         map_to_lut6, prune, simulate, Netlist, NetlistBuilder, PowerModel, TimingModel,
     };

@@ -39,6 +39,25 @@ fn fast_workflow_smoke() {
         "fidelity {}",
         result.rinc_fidelity
     );
+
+    // The compiled batch engine must reproduce the software path
+    // bit-identically on a real trained classifier, with and without
+    // sharding, and survive a save/load round-trip unchanged.
+    let clf = &result.classifier;
+    let soft = clf.predict(&result.test_features);
+    let engine = ClassifierEngine::compile(clf, result.test_features.num_features())
+        .expect("classifier netlists are topologically ordered");
+    assert_eq!(engine.predict(&result.test_features), soft);
+    let sharded = ClassifierEngine::compile(clf, result.test_features.num_features())
+        .expect("compiles")
+        .with_threads(4);
+    assert_eq!(sharded.predict(&result.test_features), soft);
+
+    let restored =
+        poetbin_core::persist::load_classifier(&poetbin_core::persist::save_classifier(clf))
+            .expect("model round-trip");
+    assert_eq!(&restored, clf);
+    assert_eq!(restored.predict(&result.test_features), soft);
 }
 
 #[test]

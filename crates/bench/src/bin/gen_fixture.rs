@@ -1,0 +1,142 @@
+//! Regenerates the checked-in `POETBIN1` conformance fixtures under
+//! `tests/fixtures/` and prints the golden predictions embedded in
+//! `tests/conformance.rs`.
+//!
+//! Construction is fully deterministic (seeded [`StdRng`], no training),
+//! so re-running this binary after a model-format or classifier change
+//! shows exactly what drifted. The conformance suite's byte-exact
+//! snapshot test guards the files themselves; if it starts failing the
+//! format changed and either the format must be kept stable or the
+//! fixtures regenerated *deliberately* with this tool (bumping the format
+//! version).
+//!
+//! ```text
+//! cargo run -p poetbin_bench --bin gen_fixture
+//! ```
+
+use std::path::Path;
+
+use poetbin_bits::{BitVec, TruthTable};
+use poetbin_boost::{MatModule, RincModule, RincNode};
+use poetbin_core::persist::save_classifier_to;
+use poetbin_core::{PoetBinClassifier, QuantizedSparseOutput, RincBank};
+use poetbin_dt::LevelWiseTree;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+fn random_node(rng: &mut StdRng, num_features: usize, p: usize, level: usize) -> RincNode {
+    if level == 0 {
+        let mut features: Vec<usize> = Vec::with_capacity(p);
+        while features.len() < p {
+            let f = rng.random_range(0..num_features);
+            if !features.contains(&f) {
+                features.push(f);
+            }
+        }
+        let table = TruthTable::from_fn(p, |_| rng.random::<bool>());
+        return RincNode::Tree(LevelWiseTree::from_parts(features, table));
+    }
+    let children: Vec<RincNode> = (0..p)
+        .map(|_| random_node(rng, num_features, p, level - 1))
+        .collect();
+    let weights: Vec<f64> = (0..p).map(|_| rng.random_range(0.05..1.0)).collect();
+    RincNode::Module(RincModule::from_parts(
+        children,
+        MatModule::new(weights),
+        level,
+    ))
+}
+
+/// A deterministic fixture classifier. The first module is pinned to a
+/// tree reading feature `num_features - 1`, so `min_features()` equals the
+/// intended width and loaders need no out-of-band metadata.
+fn fixture_classifier(
+    seed: u64,
+    num_features: usize,
+    classes: usize,
+    p: usize,
+    max_level: usize,
+    q_bits: u8,
+) -> PoetBinClassifier {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut modules: Vec<RincNode> = Vec::with_capacity(classes * p);
+    for i in 0..classes * p {
+        if i == 0 {
+            let mut features = vec![num_features - 1];
+            while features.len() < p {
+                let f = rng.random_range(0..num_features);
+                if !features.contains(&f) {
+                    features.push(f);
+                }
+            }
+            let table = TruthTable::from_fn(p, |_| rng.random::<bool>());
+            modules.push(RincNode::Tree(LevelWiseTree::from_parts(features, table)));
+        } else {
+            modules.push(random_node(&mut rng, num_features, p, i % (max_level + 1)));
+        }
+    }
+    let weights: Vec<Vec<i32>> = (0..classes)
+        .map(|_| (0..p).map(|_| rng.random_range(-40..40)).collect())
+        .collect();
+    let biases: Vec<i32> = (0..classes).map(|_| rng.random_range(-20..20)).collect();
+    let min_score: i64 = weights
+        .iter()
+        .zip(&biases)
+        .map(|(row, &b)| {
+            row.iter()
+                .filter(|&&w| w < 0)
+                .map(|&w| w as i64)
+                .sum::<i64>()
+                + b as i64
+        })
+        .min()
+        .unwrap();
+    let output = QuantizedSparseOutput::from_parts(p, q_bits, weights, biases, min_score, 1);
+    PoetBinClassifier::new(RincBank::from_modules(modules), output)
+}
+
+/// The deterministic probe row shared with `tests/conformance.rs`
+/// (SplitMix64 finalizer over the (row, feature) pair).
+fn probe_row(num_features: usize, i: usize) -> BitVec {
+    BitVec::from_fn(num_features, |j| {
+        let mut z = (i as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(j as u64);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) & 1 == 1
+    })
+}
+
+fn emit(dir: &Path, name: &str, clf: &PoetBinClassifier, num_features: usize) {
+    let path = dir.join(name);
+    save_classifier_to(&path, clf).expect("write fixture");
+    assert_eq!(
+        clf.min_features(),
+        num_features,
+        "{name}: pinned tree lost — loaders would infer the wrong width"
+    );
+    let probes = poetbin_bits::FeatureMatrix::from_rows(
+        (0..32).map(|i| probe_row(num_features, i)).collect(),
+    );
+    let golden = clf.predict(&probes);
+    println!(
+        "{name}: {} features, {} classes, {} modules, {} bytes",
+        num_features,
+        clf.classes(),
+        clf.bank().len(),
+        std::fs::metadata(&path).expect("stat").len()
+    );
+    println!("  golden predictions: {golden:?}");
+}
+
+fn main() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures");
+    std::fs::create_dir_all(&dir).expect("fixtures dir");
+    // Seeds chosen so the golden probes exercise several classes rather
+    // than collapsing to one dominant prediction.
+    let tiny = fixture_classifier(29, 16, 2, 2, 1, 4);
+    emit(&dir, "tiny.poetbin", &tiny, 16);
+    let deep = fixture_classifier(1029, 48, 4, 3, 2, 8);
+    emit(&dir, "deep.poetbin", &deep, 48);
+}

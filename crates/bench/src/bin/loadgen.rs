@@ -1,0 +1,233 @@
+//! Closed-loop load generator for `poetbin-serve`.
+//!
+//! Starts an in-process server on an ephemeral port for each requested
+//! linger setting, hammers it from `--clients` closed-loop client threads
+//! (each waits for its response before sending the next request — the
+//! classic closed-loop model, so concurrency equals the client count),
+//! verifies **every** response against the offline batch-path prediction
+//! for the same row, and reports throughput, p50/p99 latency and the mean
+//! lanes-per-word the micro-batcher achieved.
+//!
+//! ```text
+//! cargo run --release -p poetbin_bench --bin loadgen -- \
+//!     [--model PATH] [--requests N] [--clients C] [--workers W] \
+//!     [--lingers US,US,...] [--max-batch B]
+//! ```
+//!
+//! Defaults: the checked-in `tests/fixtures/deep.poetbin` model, 12 000
+//! requests, 8 clients, 2 workers, lingers `0,200` µs. Exits non-zero on
+//! any prediction mismatch or transport error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use poetbin_bits::{BitVec, FeatureMatrix};
+use poetbin_engine::ClassifierEngine;
+use poetbin_serve::{load_engine, Client, ServeConfig, Server};
+
+struct Args {
+    model: PathBuf,
+    requests: usize,
+    clients: usize,
+    workers: usize,
+    lingers_us: Vec<u64>,
+    max_batch: usize,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut args = Args {
+            model: PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../../tests/fixtures/deep.poetbin"),
+            requests: 12_000,
+            clients: 8,
+            workers: 2,
+            lingers_us: vec![0, 200],
+            max_batch: 64,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+            match flag.as_str() {
+                "--model" => args.model = PathBuf::from(value),
+                "--requests" => args.requests = value.parse().map_err(|_| "bad --requests")?,
+                "--clients" => args.clients = value.parse().map_err(|_| "bad --clients")?,
+                "--workers" => args.workers = value.parse().map_err(|_| "bad --workers")?,
+                "--max-batch" => args.max_batch = value.parse().map_err(|_| "bad --max-batch")?,
+                "--lingers" => {
+                    args.lingers_us = value
+                        .split(',')
+                        .map(|v| v.trim().parse().map_err(|_| "bad --lingers"))
+                        .collect::<Result<_, _>>()?;
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        if args.requests == 0 || args.clients == 0 || args.lingers_us.is_empty() {
+            return Err("requests, clients and lingers must be non-empty".into());
+        }
+        Ok(args)
+    }
+}
+
+/// The deterministic row a given (client, sequence) pair sends — shared
+/// with nothing, but stable across runs.
+fn load_row(num_features: usize, client: usize, i: usize) -> BitVec {
+    BitVec::from_fn(num_features, |j| {
+        let mut z = (client as u64)
+            .wrapping_mul(0xA076_1D64_78BD_642F)
+            .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(j as u64);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        (z ^ (z >> 27)) & 1 == 1
+    })
+}
+
+struct RunResult {
+    latencies_ns: Vec<u64>,
+    wall: Duration,
+    mismatches: u64,
+    errors: u64,
+    mean_batch: f64,
+    served: u64,
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted_ns.len() - 1) as f64).round() as usize;
+    sorted_ns[rank] as f64 / 1_000.0
+}
+
+fn run_one(engine: &Arc<ClassifierEngine>, args: &Args, linger_us: u64) -> RunResult {
+    let config = ServeConfig {
+        workers: args.workers,
+        linger: Duration::from_micros(linger_us),
+        max_batch: args.max_batch,
+    };
+    let server = Server::start(Arc::clone(engine), "127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr();
+    let f = engine.num_features();
+    let per_client = args.requests.div_ceil(args.clients);
+
+    let start = Instant::now();
+    let mut all_latencies: Vec<u64> = Vec::with_capacity(per_client * args.clients);
+    let mut mismatches = 0u64;
+    let mut errors = 0u64;
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for c in 0..args.clients {
+            let engine = Arc::clone(engine);
+            joins.push(scope.spawn(move || {
+                let rows: Vec<BitVec> = (0..per_client).map(|i| load_row(f, c, i)).collect();
+                // The offline batch path is the ground truth every served
+                // answer is checked against.
+                let expected = engine.predict(&FeatureMatrix::from_rows(rows.clone()));
+                let mut latencies = Vec::with_capacity(per_client);
+                let mut mismatches = 0u64;
+                let mut errors = 0u64;
+                match Client::connect(addr) {
+                    Ok(mut client) => {
+                        for (i, row) in rows.iter().enumerate() {
+                            let t0 = Instant::now();
+                            match client.predict(row) {
+                                Ok(class) => {
+                                    latencies.push(t0.elapsed().as_nanos() as u64);
+                                    if class != expected[i] {
+                                        mismatches += 1;
+                                    }
+                                }
+                                Err(_) => errors += 1,
+                            }
+                        }
+                    }
+                    Err(_) => errors += per_client as u64,
+                }
+                (latencies, mismatches, errors)
+            }));
+        }
+        for j in joins {
+            let (lat, mis, err) = j.join().expect("client thread");
+            all_latencies.extend(lat);
+            mismatches += mis;
+            errors += err;
+        }
+    });
+    let wall = start.elapsed();
+    let stats = server.stats();
+    let (mean_batch, served) = (stats.mean_batch(), stats.served());
+    server.shutdown();
+    all_latencies.sort_unstable();
+    RunResult {
+        latencies_ns: all_latencies,
+        wall,
+        mismatches,
+        errors,
+        mean_batch,
+        served,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let engine = match load_engine(&args.model, None) {
+        Ok(engine) => Arc::new(engine),
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "model {} · {} features · {} classes · {} tape ops",
+        args.model.display(),
+        engine.num_features(),
+        engine.classes(),
+        engine.engine().plan().tape_len()
+    );
+    println!(
+        "{} requests · {} closed-loop clients · {} workers · max batch {}",
+        args.requests, args.clients, args.workers, args.max_batch
+    );
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>10} {:>11} {:>9}",
+        "linger_us", "req/s", "p50_us", "p99_us", "served", "mean_batch", "errors"
+    );
+
+    let mut failed = false;
+    for &linger_us in &args.lingers_us {
+        let result = run_one(&engine, &args, linger_us);
+        let rps = result.latencies_ns.len() as f64 / result.wall.as_secs_f64();
+        println!(
+            "{:>10} {:>10.0} {:>10.1} {:>10.1} {:>10} {:>11.2} {:>9}",
+            linger_us,
+            rps,
+            percentile(&result.latencies_ns, 0.50),
+            percentile(&result.latencies_ns, 0.99),
+            result.served,
+            result.mean_batch,
+            result.mismatches + result.errors
+        );
+        if result.mismatches > 0 || result.errors > 0 {
+            eprintln!(
+                "loadgen: linger {linger_us} µs: {} mismatches, {} transport errors",
+                result.mismatches, result.errors
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("all responses matched the offline batch path");
+        ExitCode::SUCCESS
+    }
+}

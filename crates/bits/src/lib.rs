@@ -42,7 +42,7 @@ mod matrix;
 mod truth_table;
 
 pub use bitvec::BitVec;
-pub use matrix::FeatureMatrix;
+pub use matrix::{pack_word_rows, pack_word_rows_into, FeatureMatrix};
 pub use truth_table::{TruthTable, TruthTableBytesError, MAX_LUT_INPUTS};
 
 /// Number of payload bits per storage word used throughout the crate.

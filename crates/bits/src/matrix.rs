@@ -24,6 +24,77 @@ fn transpose64(a: &mut [u64; WORD_BITS]) {
     }
 }
 
+/// Packs up to 64 example rows into feature-major lane words: word `j` of
+/// the result carries feature `j`, with bit `l` holding row `l`'s value —
+/// exactly the layout one 64-example word of a [`FeatureMatrix`] column
+/// plane uses, and what `poetbin_engine`'s single-word evaluation path
+/// consumes.
+///
+/// This is the ingestion kernel for request coalescing: a batching server
+/// that has collected `rows.len() ≤ 64` independent single-example rows
+/// turns them into one engine word with a single 64×64 block transpose per
+/// 64 features, instead of building (and double-transposing) a full
+/// [`FeatureMatrix`]. Lanes `>= rows.len()` of every output word are zero.
+///
+/// # Panics
+///
+/// Panics if `rows.len() > 64` or any row's length differs from
+/// `num_features`.
+pub fn pack_word_rows<'a, I>(rows: I, num_features: usize) -> Vec<u64>
+where
+    I: IntoIterator<Item = &'a BitVec>,
+    I::IntoIter: Clone,
+{
+    let mut out = Vec::new();
+    pack_word_rows_into(rows, num_features, &mut out);
+    out
+}
+
+/// [`pack_word_rows`] into a caller-owned buffer (cleared and resized to
+/// `num_features` words), so a serving worker that packs one word per
+/// batch forever allocates nothing on its hot path. The rows iterator is
+/// walked twice — once to validate, once per 64-feature block — hence the
+/// `Clone` bound; slices and `iter().map(..)` adapters satisfy it for
+/// free.
+///
+/// # Panics
+///
+/// As for [`pack_word_rows`].
+pub fn pack_word_rows_into<'a, I>(rows: I, num_features: usize, out: &mut Vec<u64>)
+where
+    I: IntoIterator<Item = &'a BitVec>,
+    I::IntoIter: Clone,
+{
+    let iter = rows.into_iter();
+    out.clear();
+    out.resize(num_features, 0);
+    let mut lanes = 0usize;
+    for row in iter.clone() {
+        assert!(lanes < WORD_BITS, "at most 64 rows fit one lane word");
+        assert_eq!(
+            row.len(),
+            num_features,
+            "row {lanes} has {} features, expected {num_features}",
+            row.len()
+        );
+        lanes += 1;
+    }
+    let mut block = [0u64; WORD_BITS];
+    for in_word in 0..num_features.div_ceil(WORD_BITS) {
+        for (l, row) in iter.clone().enumerate() {
+            block[l] = row.as_words()[in_word];
+        }
+        for w in block.iter_mut().skip(lanes) {
+            *w = 0;
+        }
+        transpose64(&mut block);
+        let start = in_word * WORD_BITS;
+        for (j, &w) in block.iter().enumerate().take(num_features - start) {
+            out[start + j] = w;
+        }
+    }
+}
+
 /// Word-level transpose shared by the matrix constructors: given `vecs`
 /// bit vectors of `width` bits each, returns `width` vectors of
 /// `vecs.len()` bits with the two indices swapped. Works 64×64 bits at a
@@ -333,6 +404,49 @@ mod tests {
         // Transposing twice is the identity.
         transpose64(&mut block);
         assert_eq!(block, orig);
+    }
+
+    #[test]
+    fn pack_word_rows_matches_column_planes() {
+        // Any lane count and feature width must reproduce the column-plane
+        // words a FeatureMatrix over the same rows would hold.
+        for (lanes, f) in [
+            (0usize, 5usize),
+            (1, 1),
+            (3, 70),
+            (63, 65),
+            (64, 64),
+            (64, 130),
+        ] {
+            let rows: Vec<BitVec> = (0..lanes)
+                .map(|e| BitVec::from_fn(f, |j| (e * 31 + j * 7) % 5 < 2))
+                .collect();
+            let words = pack_word_rows(rows.iter(), f);
+            assert_eq!(words.len(), f);
+            let m = FeatureMatrix::from_rows(rows);
+            for (j, &w) in words.iter().enumerate() {
+                let expect = if lanes == 0 {
+                    0
+                } else {
+                    m.feature(j).as_words()[0]
+                };
+                assert_eq!(w, expect, "feature {j} of {lanes}x{f}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 rows")]
+    fn pack_word_rows_rejects_65_rows() {
+        let rows: Vec<BitVec> = (0..65).map(|_| BitVec::zeros(3)).collect();
+        pack_word_rows(rows.iter(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 4")]
+    fn pack_word_rows_rejects_width_mismatch() {
+        let rows = [BitVec::zeros(4), BitVec::zeros(5)];
+        pack_word_rows(rows.iter(), 4);
     }
 
     #[test]

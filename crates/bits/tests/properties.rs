@@ -155,3 +155,72 @@ fn matrix_address_matches_manual_pack() {
         }
     }
 }
+
+/// Tail-lane property: `eval_words` is a pure per-lane function, so lanes
+/// a caller does not care about may hold arbitrary garbage without
+/// perturbing the lanes it does. Checked at every interesting live-lane
+/// count (`n % 64 ∈ {0, 1, 63}` plus mid-word) by comparing a clean
+/// operand set against one with random garbage injected above the live
+/// lanes.
+#[test]
+fn eval_words_ignores_garbage_in_dead_lanes() {
+    let mut rng = StdRng::seed_from_u64(0x7A11);
+    for _case in 0..48 {
+        let table = random_table(&mut rng, 8);
+        let k = table.inputs();
+        let clean: Vec<u64> = (0..k).map(|_| rng.random::<u64>()).collect();
+        for live in [64usize, 1, 63, 17] {
+            let live_mask = if live == 64 {
+                u64::MAX
+            } else {
+                (1u64 << live) - 1
+            };
+            let dirty: Vec<u64> = clean
+                .iter()
+                .map(|&w| (w & live_mask) | (rng.random::<u64>() & !live_mask))
+                .collect();
+            let clean_out = table.eval_words(&clean) & live_mask;
+            let dirty_out = table.eval_words(&dirty) & live_mask;
+            assert_eq!(
+                clean_out, dirty_out,
+                "k={k} live={live}: garbage lanes leaked into live results"
+            );
+        }
+    }
+}
+
+/// Word-boundary batch shapes through `eval_words`: evaluating a batch of
+/// `n` rows one packed word at a time must match the scalar `eval_bits`
+/// path for every `n % 64 ∈ {0, 1, 63}` straddling one and two words.
+#[test]
+fn eval_words_matches_scalar_at_word_boundary_batch_sizes() {
+    let mut rng = StdRng::seed_from_u64(0x0EA1);
+    for &n in &[1usize, 63, 64, 65, 127, 128] {
+        let table = random_table(&mut rng, 6);
+        let k = table.inputs();
+        let rows: Vec<Vec<bool>> = (0..n)
+            .map(|_| (0..k).map(|_| rng.random::<bool>()).collect())
+            .collect();
+        let mut got = Vec::with_capacity(n);
+        for base in (0..n).step_by(64) {
+            let lanes = (n - base).min(64);
+            let operands: Vec<u64> = (0..k)
+                .map(|j| {
+                    let mut w = rng.random::<u64>(); // garbage-initialised
+                    for (l, row) in rows[base..base + lanes].iter().enumerate() {
+                        if row[j] {
+                            w |= 1 << l;
+                        } else {
+                            w &= !(1 << l);
+                        }
+                    }
+                    w
+                })
+                .collect();
+            let out = table.eval_words(&operands);
+            got.extend((0..lanes).map(|l| (out >> l) & 1 == 1));
+        }
+        let expect: Vec<bool> = rows.iter().map(|r| table.eval_bits(r)).collect();
+        assert_eq!(got, expect, "n={n} k={k}");
+    }
+}

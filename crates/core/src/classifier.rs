@@ -53,6 +53,23 @@ impl PoetBinClassifier {
         self.output.classes()
     }
 
+    /// Smallest feature-vector width the classifier can run on: one past
+    /// the highest feature index any RINC tree reads.
+    ///
+    /// A persisted `POETBIN1` model does not record the width of the rows
+    /// it was trained on (trees store only the indices they use), so a
+    /// loader that must compile the model without out-of-band metadata —
+    /// `poetbin-serve`'s persist → engine path — lowers it at this width.
+    pub fn min_features(&self) -> usize {
+        fn walk(node: &RincNode) -> usize {
+            match node {
+                RincNode::Tree(tree) => tree.features().iter().map(|&f| f + 1).max().unwrap_or(0),
+                RincNode::Module(module) => module.children().iter().map(walk).max().unwrap_or(0),
+            }
+        }
+        self.bank.modules().iter().map(walk).max().unwrap_or(0)
+    }
+
     /// Predicts classes for a batch of binary feature rows.
     ///
     /// The RINC bank produces its intermediate bits word-parallel (64

@@ -161,6 +161,74 @@ impl Engine {
                 .eval_word(batch, first_word + i, &mut vals, out_word);
         }
     }
+
+    /// Allocates a reusable [`Scratch`] sized for this engine's plan.
+    pub fn scratch(&self) -> Scratch {
+        let mut vals = vec![0u64; self.plan.num_vals()];
+        if vals.len() > 1 {
+            vals[1] = u64::MAX; // the constant-true lane word
+        }
+        Scratch {
+            vals,
+            out: vec![0u64; self.plan.num_outputs()],
+        }
+    }
+
+    /// Evaluates a single 64-lane word of already-packed inputs, masking
+    /// the result to the valid lanes.
+    ///
+    /// `feature_words[j]` carries feature `j` for up to 64 independent
+    /// examples, lane `l` being example `l` — the layout
+    /// [`poetbin_bits::pack_word_rows`] produces. Lanes where `lane_mask`
+    /// is clear may hold arbitrary garbage in every operand; the mask is
+    /// applied to each output word, so garbage never escapes into results.
+    /// Returns one masked word per netlist output, borrowed from
+    /// `scratch` — the partial-word tail path a request batcher uses when
+    /// fewer than 64 requests have arrived.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature_words.len()` differs from the plan's input count
+    /// or `scratch` was allocated for a different plan shape.
+    pub fn eval_word_masked<'s>(
+        &self,
+        feature_words: &[u64],
+        lane_mask: u64,
+        scratch: &'s mut Scratch,
+    ) -> &'s [u64] {
+        assert_eq!(
+            feature_words.len(),
+            self.plan.num_inputs(),
+            "packed word has {} features, plan expects {}",
+            feature_words.len(),
+            self.plan.num_inputs()
+        );
+        assert!(
+            scratch.vals.len() == self.plan.num_vals()
+                && scratch.out.len() == self.plan.num_outputs(),
+            "scratch was allocated for a different plan"
+        );
+        self.plan
+            .eval_packed(feature_words, &mut scratch.vals, &mut scratch.out);
+        for w in &mut scratch.out {
+            *w &= lane_mask;
+        }
+        &scratch.out
+    }
+}
+
+/// Reusable working memory for the single-word evaluation path
+/// ([`Engine::eval_word_masked`] / [`ClassifierEngine::predict_word_into`]).
+///
+/// Holds the plan's value array and an output-word buffer, so a worker
+/// shard serving a stream of micro-batches allocates once and re-evaluates
+/// forever. Obtain one from [`Engine::scratch`] or
+/// [`ClassifierEngine::scratch`]; a scratch is only valid for the engine
+/// that created it (enforced by size assertions).
+#[derive(Clone, Debug)]
+pub struct Scratch {
+    vals: Vec<u64>,
+    out: Vec<u64>,
 }
 
 /// A [`PoetBinClassifier`] compiled for batch prediction.
@@ -208,6 +276,72 @@ impl ClassifierEngine {
     /// The underlying netlist engine.
     pub fn engine(&self) -> &Engine {
         &self.engine
+    }
+
+    /// Number of binary features the compiled netlist expects per example.
+    pub fn num_features(&self) -> usize {
+        self.engine.plan().num_inputs()
+    }
+
+    /// Number of classes the classifier distinguishes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Allocates a reusable [`Scratch`] for the single-word predict path.
+    pub fn scratch(&self) -> Scratch {
+        self.engine.scratch()
+    }
+
+    /// Predicts up to 64 examples packed into one lane word, writing one
+    /// class index per lane into `preds`.
+    ///
+    /// `feature_words` is the [`poetbin_bits::pack_word_rows`] layout:
+    /// word `j` carries feature `j`, lane `l` is example `l`. Exactly
+    /// `preds.len()` lanes are decoded; higher lanes may hold garbage (the
+    /// evaluation is masked to the live lanes, see
+    /// [`Engine::eval_word_masked`]). Predictions are bit-identical to
+    /// [`ClassifierEngine::predict`] on the same rows — same q-bit scores,
+    /// same smallest-index tie-breaking.
+    ///
+    /// This is the serving hot path: a micro-batcher that has coalesced
+    /// `preds.len() ≤ 64` concurrent requests runs them all in one tape
+    /// pass with zero allocation (`scratch` is reused across calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `preds.len() > 64`, `feature_words.len()` differs from
+    /// the compiled feature count, or `scratch` belongs to another engine.
+    pub fn predict_word_into(
+        &self,
+        feature_words: &[u64],
+        scratch: &mut Scratch,
+        preds: &mut [usize],
+    ) {
+        let lanes = preds.len();
+        assert!(lanes <= 64, "at most 64 lanes fit one word");
+        let lane_mask = if lanes == 64 {
+            u64::MAX
+        } else {
+            (1u64 << lanes) - 1
+        };
+        let q = self.q_bits;
+        let outs = self
+            .engine
+            .eval_word_masked(feature_words, lane_mask, scratch);
+        let mut best = [0u64; 64];
+        for c in 0..self.classes {
+            for (l, pred) in preds.iter_mut().enumerate() {
+                let mut score = 0u64;
+                for (b, &word) in outs[c * q..(c + 1) * q].iter().enumerate() {
+                    score |= ((word >> l) & 1) << b;
+                }
+                if c == 0 || score > best[l] {
+                    best[l] = score;
+                    *pred = c;
+                }
+            }
+        }
     }
 
     /// Predicts the class of every example in `features`.

@@ -17,6 +17,11 @@
 //! * [`ClassifierEngine`] — an [`Engine`] over a trained
 //!   [`poetbin_core::PoetBinClassifier`]'s lowered netlist plus the q-bit
 //!   argmax decode, bit-identical to `PoetBinClassifier::predict`.
+//! * [`Scratch`] and the masked single-word path
+//!   ([`Engine::eval_word_masked`] /
+//!   [`ClassifierEngine::predict_word_into`]) — allocation-free evaluation
+//!   of one packed 64-lane word with dead lanes masked out, the substrate
+//!   `poetbin-serve`'s request micro-batcher runs on.
 //!
 //! # Example
 //!
@@ -39,7 +44,7 @@ mod engine;
 mod kernel;
 mod plan;
 
-pub use engine::{ClassifierEngine, Engine, MIN_WORDS_PER_SHARD};
+pub use engine::{ClassifierEngine, Engine, Scratch, MIN_WORDS_PER_SHARD};
 pub use plan::EvalPlan;
 
 #[cfg(test)]

@@ -237,6 +237,23 @@ impl EvalPlan {
         for &(loc, feature) in &self.input_loads {
             vals[loc as usize] = batch.feature(feature as usize).as_words()[word];
         }
+        self.run_tape(vals, out);
+    }
+
+    /// Executes the tape for one 64-example word whose inputs arrive
+    /// already packed feature-major (`feature_words[j]` carries feature `j`
+    /// for all 64 lanes) — the layout [`poetbin_bits::pack_word_rows`]
+    /// produces. Same contract on `vals`/`out` as [`EvalPlan::eval_word`].
+    #[inline]
+    pub(crate) fn eval_packed(&self, feature_words: &[u64], vals: &mut [u64], out: &mut [u64]) {
+        for &(loc, feature) in &self.input_loads {
+            vals[loc as usize] = feature_words[feature as usize];
+        }
+        self.run_tape(vals, out);
+    }
+
+    #[inline]
+    fn run_tape(&self, vals: &mut [u64], out: &mut [u64]) {
         for op in &self.tape {
             let s = vals[op.sel as usize];
             let lo = vals[op.lo as usize];

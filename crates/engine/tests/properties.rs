@@ -205,3 +205,140 @@ fn engine_predictions_are_thread_count_invariant() {
         assert_eq!(preds, reference, "threads={threads}");
     }
 }
+
+/// Tail-lane shapes through the whole engine: every batch size with
+/// `n % 64 ∈ {0, 1, 63}` around one, two and three words must match the
+/// scalar netlist eval, for single- and multi-shard runs.
+#[test]
+fn engine_handles_word_boundary_batch_sizes() {
+    let mut rng = StdRng::seed_from_u64(0x7A111);
+    let net = random_netlist(&mut rng);
+    let f = net.num_inputs();
+    for &n in &[1usize, 63, 64, 65, 127, 128, 129, 191, 192] {
+        let batch = random_batch(&mut rng, n, f);
+        for threads in [1usize, 4] {
+            let engine = Engine::from_netlist(&net).unwrap().with_threads(threads);
+            let out = engine.eval_batch(&batch);
+            for (k, col) in out.iter().enumerate() {
+                assert_eq!(col.len(), n, "n={n} k={k}: output length");
+            }
+            for e in 0..n {
+                let row: Vec<bool> = (0..f).map(|j| batch.bit(e, j)).collect();
+                let expect = net.eval(&row);
+                for (k, col) in out.iter().enumerate() {
+                    assert_eq!(col.get(e), expect[k], "n={n} threads={threads} e={e} k={k}");
+                }
+            }
+        }
+    }
+}
+
+/// The masked partial-word path: dead lanes may carry arbitrary garbage in
+/// every input word without affecting live lanes, and the mask guarantees
+/// dead lanes of every output word are zero.
+#[test]
+fn masked_eval_is_immune_to_garbage_in_dead_lanes() {
+    let mut rng = StdRng::seed_from_u64(0x7A112);
+    for case in 0..12 {
+        let net = random_netlist(&mut rng);
+        let f = net.num_inputs();
+        let engine = Engine::from_netlist(&net).unwrap();
+        let mut scratch = engine.scratch();
+        for live in [64usize, 1, 63, 29] {
+            let live_mask = if live == 64 {
+                u64::MAX
+            } else {
+                (1u64 << live) - 1
+            };
+            let clean: Vec<u64> = (0..f).map(|_| rng.random::<u64>() & live_mask).collect();
+            let dirty: Vec<u64> = clean
+                .iter()
+                .map(|&w| w | (rng.random::<u64>() & !live_mask))
+                .collect();
+            let clean_out = engine
+                .eval_word_masked(&clean, live_mask, &mut scratch)
+                .to_vec();
+            let dirty_out = engine
+                .eval_word_masked(&dirty, live_mask, &mut scratch)
+                .to_vec();
+            assert_eq!(
+                clean_out, dirty_out,
+                "case {case} live={live}: garbage leaked across lanes"
+            );
+            for (k, &w) in clean_out.iter().enumerate() {
+                assert_eq!(
+                    w & !live_mask,
+                    0,
+                    "case {case} output {k}: dead lanes not masked"
+                );
+                // Live lanes must match the batch path for the same rows.
+                let batch = FeatureMatrix::from_fn(live, f, |e, j| (clean[j] >> e) & 1 == 1);
+                let batch_out = engine.eval_batch(&batch);
+                assert_eq!(
+                    batch_out[k].as_words()[0],
+                    w,
+                    "case {case} output {k}: word path != batch path"
+                );
+            }
+        }
+    }
+}
+
+/// `predict_word_into` (the serving hot path) agrees with the batch
+/// `predict` for every tail size, with garbage injected into dead lanes.
+#[test]
+fn predict_word_matches_batch_predict_for_all_tail_sizes() {
+    let mut rng = StdRng::seed_from_u64(0x7A113);
+    for case in 0..6 {
+        let f = rng.random_range(8..24usize);
+        let clf = random_classifier(&mut rng, f);
+        let engine = ClassifierEngine::compile(&clf, f).expect("compiles");
+        let mut scratch = engine.scratch();
+        for lanes in [1usize, 63, 64, 31] {
+            let rows: Vec<BitVec> = (0..lanes)
+                .map(|_| BitVec::from_fn(f, |_| rng.random::<bool>()))
+                .collect();
+            let expected = engine.predict(&FeatureMatrix::from_rows(rows.clone()));
+            let live_mask = if lanes == 64 {
+                u64::MAX
+            } else {
+                (1u64 << lanes) - 1
+            };
+            let mut words = poetbin_bits::pack_word_rows(rows.iter(), f);
+            for w in &mut words {
+                *w |= rng.random::<u64>() & !live_mask;
+            }
+            let mut preds = vec![0usize; lanes];
+            engine.predict_word_into(&words, &mut scratch, &mut preds);
+            assert_eq!(preds, expected, "case {case} lanes={lanes}");
+        }
+    }
+}
+
+/// A scratch allocated for one plan cannot be used with another.
+#[test]
+#[should_panic(expected = "different plan")]
+fn scratch_is_plan_specific() {
+    // A two-output chain (many value slots) vs a single pass-through LUT:
+    // the value arrays cannot match.
+    let mut big = NetlistBuilder::new();
+    let inputs = big.add_inputs(4);
+    let mut sigs = inputs.clone();
+    for i in 0..6 {
+        let t = TruthTable::from_fn(2, |a| a == 1 || a == (i % 3));
+        let s = big.add_lut(vec![sigs[i % sigs.len()], sigs[(i + 1) % sigs.len()]], t);
+        sigs.push(s);
+    }
+    big.set_outputs(vec![sigs[sigs.len() - 1], sigs[sigs.len() - 2]]);
+    let big = Engine::from_netlist(&big.finish()).unwrap();
+
+    let mut tiny = NetlistBuilder::new();
+    let x = tiny.add_input();
+    let inv = tiny.add_lut(vec![x], TruthTable::from_fn(1, |i| i == 0));
+    tiny.set_outputs(vec![inv]);
+    let tiny = Engine::from_netlist(&tiny.finish()).unwrap();
+
+    let mut wrong_scratch = tiny.scratch();
+    let inputs = vec![0u64; 4];
+    big.eval_word_masked(&inputs, u64::MAX, &mut wrong_scratch);
+}

@@ -1,0 +1,239 @@
+//! The adaptive micro-batching queue between connection readers and
+//! engine workers.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use poetbin_bits::BitVec;
+
+/// One parked request: the decoded feature row plus everything needed to
+/// route the prediction back to its originating connection.
+pub(crate) struct Pending {
+    /// Client-chosen request id, echoed back in the response.
+    pub id: u64,
+    /// The decoded feature row.
+    pub row: BitVec,
+    /// The originating connection's response channel.
+    pub reply: Sender<(u64, u16)>,
+}
+
+struct QueueState {
+    queue: VecDeque<Pending>,
+    open: bool,
+}
+
+/// A lock-protected pending queue with condvar-paced adaptive draining.
+///
+/// Connection readers [`push`](BatchQueue::push) decoded rows; engine
+/// workers [`pop_batch`](BatchQueue::pop_batch) up to 64 of them at a
+/// time. A worker that wakes to a partial word lingers briefly for
+/// stragglers — under load words fill instantly and the linger never
+/// triggers, while a lone request only ever pays the configured bound.
+pub(crate) struct BatchQueue {
+    state: Mutex<QueueState>,
+    arrived: Condvar,
+}
+
+impl BatchQueue {
+    pub(crate) fn new() -> BatchQueue {
+        BatchQueue {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                open: true,
+            }),
+            arrived: Condvar::new(),
+        }
+    }
+
+    /// Parks one request for the next batch. A request pushed after
+    /// [`BatchQueue::close`] is dropped on the floor: the workers are
+    /// gone, and holding it would pin its reply `Sender` forever, keeping
+    /// the connection's writer thread blocked and wedging shutdown.
+    pub(crate) fn push(&self, pending: Pending) {
+        let mut state = self.state.lock().unwrap();
+        if !state.open {
+            return;
+        }
+        state.queue.push_back(pending);
+        drop(state);
+        self.arrived.notify_one();
+    }
+
+    /// Closes the queue: blocked and future `pop_batch` calls return any
+    /// remaining requests, then `false`.
+    pub(crate) fn close(&self) {
+        self.state.lock().unwrap().open = false;
+        self.arrived.notify_all();
+    }
+
+    /// Queue depth right now (diagnostics only — stale by the time the
+    /// caller reads it).
+    pub(crate) fn depth(&self) -> usize {
+        self.state.lock().unwrap().queue.len()
+    }
+
+    /// Blocks for the next batch, draining up to `max_batch` requests into
+    /// `out` (cleared first). Returns `false` — and drains nothing — only
+    /// once the queue is closed *and* empty.
+    ///
+    /// The adaptive part: the first request is waited for indefinitely,
+    /// but once one is in hand the worker only lingers up to `linger` for
+    /// the word to fill before serving a partial batch.
+    pub(crate) fn pop_batch(
+        &self,
+        max_batch: usize,
+        linger: Duration,
+        out: &mut Vec<Pending>,
+    ) -> bool {
+        out.clear();
+        let mut state = self.state.lock().unwrap();
+        loop {
+            while state.queue.is_empty() {
+                if !state.open {
+                    return false;
+                }
+                state = self.arrived.wait(state).unwrap();
+            }
+            if state.queue.len() >= max_batch || linger.is_zero() || !state.open {
+                break;
+            }
+            let deadline = Instant::now() + linger;
+            loop {
+                let now = Instant::now();
+                if now >= deadline || state.queue.len() >= max_batch || !state.open {
+                    break;
+                }
+                let (next, timeout) = self.arrived.wait_timeout(state, deadline - now).unwrap();
+                state = next;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            // A sibling worker may have drained the queue while we
+            // lingered; never return an empty "batch" — go back to the
+            // blocking wait instead.
+            if !state.queue.is_empty() {
+                break;
+            }
+        }
+        let take = state.queue.len().min(max_batch);
+        out.extend(state.queue.drain(..take));
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+    use std::sync::Arc;
+
+    fn pending(id: u64) -> (Pending, std::sync::mpsc::Receiver<(u64, u16)>) {
+        let (tx, rx) = channel();
+        (
+            Pending {
+                id,
+                row: BitVec::zeros(4),
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn drains_in_fifo_order_up_to_max_batch() {
+        let q = BatchQueue::new();
+        let mut rxs = Vec::new();
+        for id in 0..5 {
+            let (p, rx) = pending(id);
+            q.push(p);
+            rxs.push(rx);
+        }
+        let mut out = Vec::new();
+        assert!(q.pop_batch(3, Duration::ZERO, &mut out));
+        assert_eq!(out.iter().map(|p| p.id).collect::<Vec<_>>(), [0, 1, 2]);
+        assert!(q.pop_batch(3, Duration::ZERO, &mut out));
+        assert_eq!(out.iter().map(|p| p.id).collect::<Vec<_>>(), [3, 4]);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn close_drains_leftovers_then_reports_empty() {
+        let q = BatchQueue::new();
+        let (p, _rx) = pending(9);
+        q.push(p);
+        q.close();
+        let mut out = Vec::new();
+        assert!(q.pop_batch(64, Duration::from_millis(50), &mut out));
+        assert_eq!(out.len(), 1);
+        assert!(!q.pop_batch(64, Duration::from_millis(50), &mut out));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn linger_coalesces_requests_arriving_apart() {
+        let q = Arc::new(BatchQueue::new());
+        let (first, _rx1) = pending(1);
+        q.push(first);
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            let (late, rx) = pending(2);
+            q2.push(late);
+            rx
+        });
+        let mut out = Vec::new();
+        assert!(q.pop_batch(64, Duration::from_millis(500), &mut out));
+        // The second request arrived well inside the linger window, so one
+        // batch carries both.
+        assert_eq!(out.len(), 2);
+        drop(pusher.join().unwrap());
+    }
+
+    #[test]
+    fn full_word_skips_the_linger() {
+        let q = BatchQueue::new();
+        let mut rxs = Vec::new();
+        for id in 0..64 {
+            let (p, rx) = pending(id);
+            q.push(p);
+            rxs.push(rx);
+        }
+        let start = Instant::now();
+        let mut out = Vec::new();
+        // A pathological linger must not delay an already-full word.
+        assert!(q.pop_batch(64, Duration::from_secs(5), &mut out));
+        assert_eq!(out.len(), 64);
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn push_after_close_drops_the_request_and_its_reply_sender() {
+        let q = BatchQueue::new();
+        q.close();
+        let (p, rx) = pending(1);
+        q.push(p);
+        assert_eq!(q.depth(), 0, "closed queue must not retain requests");
+        // The reply Sender must have been dropped with the request, so a
+        // writer thread blocked on this channel disconnects instead of
+        // waiting forever.
+        assert!(rx.recv().is_err());
+        let mut out = Vec::new();
+        assert!(!q.pop_batch(64, Duration::ZERO, &mut out));
+    }
+
+    #[test]
+    fn blocked_worker_wakes_on_close() {
+        let q = Arc::new(BatchQueue::new());
+        let q2 = Arc::clone(&q);
+        let worker = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            q2.pop_batch(64, Duration::from_millis(1), &mut out)
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        q.close();
+        assert!(!worker.join().unwrap());
+    }
+}

@@ -1,0 +1,110 @@
+//! Standalone server binary: load a `POETBIN1` model, serve forever.
+//!
+//! ```text
+//! poetbin-serve MODEL.poetbin [ADDR] [--workers N] [--linger-us U] [--max-batch B] [--features F]
+//! ```
+//!
+//! `ADDR` defaults to `127.0.0.1:9009`. The process serves until killed.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use poetbin_serve::{load_engine, ServeConfig, Server};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: poetbin-serve MODEL.poetbin [ADDR] [--workers N] [--linger-us U] \
+         [--max-batch B] [--features F]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut model = None;
+    let mut addr = "127.0.0.1:9009".to_string();
+    let mut addr_given = false;
+    let mut config = ServeConfig::default();
+    let mut features = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut flag_value = |name: &str| -> Option<usize> {
+            match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => Some(v),
+                None => {
+                    eprintln!("{name} needs a numeric value");
+                    None
+                }
+            }
+        };
+        match arg.as_str() {
+            "--workers" => match flag_value("--workers") {
+                Some(v) if v > 0 => config.workers = v,
+                _ => return usage(),
+            },
+            "--linger-us" => match flag_value("--linger-us") {
+                Some(v) => config.linger = Duration::from_micros(v as u64),
+                None => return usage(),
+            },
+            "--max-batch" => match flag_value("--max-batch") {
+                Some(v) if (1..=64).contains(&v) => config.max_batch = v,
+                _ => return usage(),
+            },
+            "--features" => match flag_value("--features") {
+                Some(v) => features = Some(v),
+                None => return usage(),
+            },
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+                return usage();
+            }
+            other if model.is_none() => model = Some(other.to_string()),
+            other if !addr_given => {
+                addr = other.to_string();
+                addr_given = true;
+            }
+            other => {
+                eprintln!("unexpected argument {other}");
+                return usage();
+            }
+        }
+    }
+    let Some(model) = model else {
+        return usage();
+    };
+
+    let engine = match load_engine(&model, features) {
+        Ok(engine) => engine,
+        Err(e) => {
+            eprintln!("poetbin-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "poetbin-serve: model {} ({} features, {} classes, {} tape ops)",
+        model,
+        engine.num_features(),
+        engine.classes(),
+        engine.engine().plan().tape_len()
+    );
+    let server = match Server::start(Arc::new(engine), addr.as_str(), config.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("poetbin-serve: bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "poetbin-serve: listening on {} ({} workers, linger {:?}, max batch {})",
+        server.local_addr(),
+        config.workers,
+        config.linger,
+        config.max_batch
+    );
+    // Serve until killed: park this thread forever.
+    loop {
+        std::thread::park();
+    }
+}

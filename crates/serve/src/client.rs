@@ -1,0 +1,116 @@
+//! A small blocking client for the serving protocol, used by the load
+//! generator and the integration tests.
+
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use poetbin_bits::BitVec;
+
+use crate::protocol;
+
+/// A connected protocol client.
+///
+/// Requests may be pipelined: any number of [`Client::send`] calls may be
+/// outstanding before the matching [`Client::recv`] calls, and the server
+/// is free to answer out of order (it answers a whole batch at once).
+/// [`Client::predict`] is the simple closed-loop form.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    num_features: usize,
+    classes: usize,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects and consumes the server hello.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures; [`io::ErrorKind::InvalidData`] when
+    /// the peer is not a POETSRV1 server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        let (num_features, classes) = protocol::read_hello(&mut reader)?;
+        Ok(Client {
+            reader,
+            writer,
+            num_features: num_features as usize,
+            classes: classes as usize,
+            next_id: 0,
+        })
+    }
+
+    /// Row width the server's model expects.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Number of classes predictions range over.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Sends one request, returning the id that will come back with its
+    /// response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the server's feature count.
+    pub fn send(&mut self, row: &BitVec) -> io::Result<u64> {
+        assert_eq!(
+            row.len(),
+            self.num_features,
+            "row has {} features, server expects {}",
+            row.len(),
+            self.num_features
+        );
+        let id = self.next_id;
+        self.next_id += 1;
+        protocol::write_frame(&mut self.writer, &protocol::encode_request(id, row))?;
+        Ok(id)
+    }
+
+    /// Receives the next response as `(request_id, class)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::UnexpectedEof`] when the server closes the
+    /// connection (e.g. after a protocol violation), or
+    /// [`io::ErrorKind::InvalidData`] on a malformed response.
+    pub fn recv(&mut self) -> io::Result<(u64, usize)> {
+        let payload = protocol::read_frame(&mut self.reader, 10)?
+            .ok_or_else(|| io::Error::from(io::ErrorKind::UnexpectedEof))?;
+        let (id, class) = protocol::decode_response(&payload).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "malformed response frame")
+        })?;
+        Ok((id, class as usize))
+    }
+
+    /// Sends one row and blocks for its prediction.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::send`] / [`Client::recv`], plus
+    /// [`io::ErrorKind::InvalidData`] if the response carries a different
+    /// request id (only possible when mixed with pipelined [`Client::send`]
+    /// calls whose responses were never collected).
+    pub fn predict(&mut self, row: &BitVec) -> io::Result<usize> {
+        let id = self.send(row)?;
+        let (got, class) = self.recv()?;
+        if got != id {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response for request {got}, expected {id}"),
+            ));
+        }
+        Ok(class)
+    }
+}

@@ -1,0 +1,58 @@
+//! `poetbin-serve`: an adaptive micro-batching inference server over the
+//! compiled PoET-BiN engine.
+//!
+//! A PoET-BiN classifier collapses to pure LUT logic, and the compiled
+//! engine ([`poetbin_engine::ClassifierEngine`]) evaluates that logic 64
+//! examples per machine word. Serving *concurrent single-row requests*
+//! efficiently is therefore a lane-occupancy problem: throughput is won by
+//! keeping the 64 lanes full. This crate implements the missing piece —
+//! request coalescing:
+//!
+//! * **Connections** speak a tiny length-prefixed binary protocol
+//!   ([`protocol`]): the server announces the model shape, clients send
+//!   `(id, packed row)` request frames and receive `(id, class)`
+//!   responses, pipelined as deeply as they like.
+//! * **The adaptive micro-batcher** (internal; tuned via [`ServeConfig`])
+//!   parks decoded rows in a lock-protected queue. Worker shards drain up
+//!   to 64 of them at a time — a partial word lingers a configurable few
+//!   hundred microseconds for stragglers, so light traffic keeps its
+//!   latency while heavy traffic packs full words.
+//! * **Worker shards** share the immutable compiled plan behind an `Arc`;
+//!   each packs its batch with [`poetbin_bits::pack_word_rows`] (one 64×64
+//!   block transpose) and runs
+//!   [`poetbin_engine::ClassifierEngine::predict_word_into`] — masked
+//!   partial-word evaluation, zero allocation on the hot path — then
+//!   routes every argmax back to its originating connection.
+//!
+//! The server is std-only: no async runtime, no network dependencies.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use poetbin_serve::{load_engine, Client, ServeConfig, Server};
+//!
+//! // Load a persisted POETBIN1 model and compile it once.
+//! let engine = load_engine("model.poetbin", None).expect("valid model");
+//! let server = Server::start(Arc::new(engine), "127.0.0.1:9009", ServeConfig::default())?;
+//!
+//! let mut client = Client::connect(server.local_addr())?;
+//! let row = poetbin_bits::BitVec::zeros(client.num_features());
+//! println!("class = {}", client.predict(&row)?);
+//! server.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+//!
+//! Throughput/latency numbers come from the closed-loop load generator:
+//! `cargo run --release -p poetbin_bench --bin loadgen`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batcher;
+mod client;
+pub mod protocol;
+mod server;
+
+pub use client::Client;
+pub use server::{load_engine, LoadError, ServeConfig, Server, ServerStats};

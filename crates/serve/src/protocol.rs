@@ -1,0 +1,253 @@
+//! The wire protocol: length-prefixed binary frames over TCP.
+//!
+//! All integers are little-endian. A connection opens with a one-shot
+//! **hello** from the server:
+//!
+//! ```text
+//! "POETSRV1"  (8 bytes)   magic + protocol version
+//! num_features (u32)      row width the model expects
+//! classes      (u32)      number of classes predictions range over
+//! ```
+//!
+//! After the hello, the client sends **request frames** and the server
+//! answers with **response frames**, in any interleaving — responses carry
+//! the request id back, so a client may pipeline as deeply as it likes and
+//! the server may reorder freely (batched requests complete together):
+//!
+//! ```text
+//! frame    := payload_len (u32) ++ payload
+//! request  := request_id (u64) ++ row_bits (ceil(num_features / 8) bytes)
+//! response := request_id (u64) ++ class (u16)
+//! ```
+//!
+//! Row bits are packed LSB-first: feature `j` is bit `j % 8` of byte
+//! `j / 8`, the natural truncation of [`BitVec`]'s little-endian word
+//! layout. Padding bits past `num_features` in the last byte are ignored.
+//! A request whose payload length differs from `8 + ceil(num_features/8)`
+//! is a protocol violation and the server drops the connection.
+
+use std::io::{self, Read, Write};
+
+use poetbin_bits::BitVec;
+
+/// Magic string opening every connection; bump the trailing digit to
+/// version the protocol.
+pub const HELLO_MAGIC: &[u8; 8] = b"POETSRV1";
+
+/// Bytes a packed feature row occupies on the wire.
+pub fn row_bytes(num_features: usize) -> usize {
+    num_features.div_ceil(8)
+}
+
+/// Wire size of a request payload (id + packed row).
+pub fn request_payload_len(num_features: usize) -> usize {
+    8 + row_bytes(num_features)
+}
+
+/// Writes the server hello.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_hello(w: &mut impl Write, num_features: u32, classes: u32) -> io::Result<()> {
+    let mut buf = [0u8; 16];
+    buf[..8].copy_from_slice(HELLO_MAGIC);
+    buf[8..12].copy_from_slice(&num_features.to_le_bytes());
+    buf[12..16].copy_from_slice(&classes.to_le_bytes());
+    w.write_all(&buf)
+}
+
+/// Reads and validates the server hello, returning
+/// `(num_features, classes)`.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] when the magic does not match,
+/// or the underlying I/O error.
+pub fn read_hello(r: &mut impl Read) -> io::Result<(u32, u32)> {
+    let mut buf = [0u8; 16];
+    r.read_exact(&mut buf)?;
+    if &buf[..8] != HELLO_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a POETSRV1 endpoint",
+        ));
+    }
+    let num_features = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+    let classes = u32::from_le_bytes(buf[12..16].try_into().unwrap());
+    Ok((num_features, classes))
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+///
+/// # Panics
+///
+/// Panics if the payload exceeds `u32::MAX` bytes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len()).expect("frame payload too large");
+    // One write call per frame: tiny frames (a response is 14 bytes) must
+    // not turn into two TCP segments under TCP_NODELAY.
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` means the peer closed the
+/// connection cleanly at a frame boundary.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] when the declared payload length
+/// exceeds `max_payload` (a garbage or hostile length prefix must not
+/// trigger an allocation), [`io::ErrorKind::UnexpectedEof`] on mid-frame
+/// close, or the underlying I/O error.
+pub fn read_frame(r: &mut impl Read, max_payload: usize) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < 4 {
+        let n = r.read(&mut len_buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(io::ErrorKind::UnexpectedEof.into());
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > max_payload {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {max_payload}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Encodes a request payload for `row`.
+pub fn encode_request(id: u64, row: &BitVec) -> Vec<u8> {
+    let nbytes = row_bytes(row.len());
+    let mut out = Vec::with_capacity(8 + nbytes);
+    out.extend_from_slice(&id.to_le_bytes());
+    for word in row.as_words() {
+        out.extend_from_slice(&word.to_le_bytes());
+    }
+    out.truncate(8 + nbytes);
+    out
+}
+
+/// Decodes a request payload into `(id, row)`; `None` when the payload
+/// length does not match the model's row width.
+pub fn decode_request(payload: &[u8], num_features: usize) -> Option<(u64, BitVec)> {
+    if payload.len() != request_payload_len(num_features) {
+        return None;
+    }
+    let id = u64::from_le_bytes(payload[..8].try_into().unwrap());
+    let bits = &payload[8..];
+    let words: Vec<u64> = bits
+        .chunks(8)
+        .map(|chunk| {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            u64::from_le_bytes(w)
+        })
+        .collect();
+    // from_words clears padding bits past num_features in the last word.
+    Some((id, BitVec::from_words(words, num_features)))
+}
+
+/// Encodes a response payload.
+pub fn encode_response(id: u64, class: u16) -> [u8; 10] {
+    let mut out = [0u8; 10];
+    out[..8].copy_from_slice(&id.to_le_bytes());
+    out[8..].copy_from_slice(&class.to_le_bytes());
+    out
+}
+
+/// Decodes a response payload into `(id, class)`; `None` on a malformed
+/// length.
+pub fn decode_response(payload: &[u8]) -> Option<(u64, u16)> {
+    if payload.len() != 10 {
+        return None;
+    }
+    let id = u64::from_le_bytes(payload[..8].try_into().unwrap());
+    let class = u16::from_le_bytes(payload[8..].try_into().unwrap());
+    Some((id, class))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips_at_ragged_widths() {
+        for f in [1usize, 7, 8, 9, 63, 64, 65, 130] {
+            let row = BitVec::from_fn(f, |j| (j * 13 + f) % 3 == 0);
+            let payload = encode_request(77, &row);
+            assert_eq!(payload.len(), request_payload_len(f));
+            let (id, back) = decode_request(&payload, f).expect("well-formed");
+            assert_eq!(id, 77);
+            assert_eq!(back, row, "width {f}");
+        }
+    }
+
+    #[test]
+    fn request_with_wrong_width_is_rejected() {
+        let row = BitVec::from_fn(16, |j| j % 2 == 0);
+        let payload = encode_request(1, &row);
+        assert!(decode_request(&payload, 17).is_none());
+        assert!(decode_request(&payload[..9], 16).is_none());
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let payload = encode_response(u64::MAX, 9);
+        assert_eq!(decode_response(&payload), Some((u64::MAX, 9)));
+        assert_eq!(decode_response(&payload[..9]), None);
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"abc").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r = wire.as_slice();
+        assert_eq!(
+            read_frame(&mut r, 16).unwrap().as_deref(),
+            Some(&b"abc"[..])
+        );
+        assert_eq!(read_frame(&mut r, 16).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r, 16).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_and_truncated_frames_error() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[0u8; 100]).unwrap();
+        let err = read_frame(&mut wire.as_slice(), 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // A frame cut mid-payload (or mid-prefix) is an UnexpectedEof, not
+        // a clean end-of-stream.
+        for cut in [2usize, 7] {
+            let err = read_frame(&mut &wire[..cut], 256).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn hello_roundtrips_and_rejects_bad_magic() {
+        let mut wire = Vec::new();
+        write_hello(&mut wire, 512, 10).unwrap();
+        assert_eq!(read_hello(&mut wire.as_slice()).unwrap(), (512, 10));
+        wire[0] = b'X';
+        let err = read_hello(&mut wire.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,497 @@
+//! The multi-threaded TCP server: acceptor, per-connection reader/writer
+//! threads, and engine worker shards draining the micro-batch queue.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, BufReader};
+use std::net::{
+    IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs,
+};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use poetbin_bits::pack_word_rows_into;
+use poetbin_core::persist::{load_classifier_from, PersistError};
+use poetbin_engine::ClassifierEngine;
+use poetbin_fpga::NetlistError;
+
+use crate::batcher::{BatchQueue, Pending};
+use crate::protocol;
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Engine worker shards draining the batch queue. Each owns one
+    /// reusable [`poetbin_engine::Scratch`]; more shards overlap tape
+    /// evaluation with request decode on multi-core hosts.
+    pub workers: usize,
+    /// How long a worker holding a partial word waits for stragglers
+    /// before serving it. Zero disables coalescing entirely (every
+    /// request that finds an idle worker is served alone).
+    pub linger: Duration,
+    /// Requests per engine word, at most 64 (the lane width).
+    pub max_batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            linger: Duration::from_micros(200),
+            max_batch: 64,
+        }
+    }
+}
+
+/// Monotonic counters the server publishes; read them through
+/// [`Server::stats`].
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    received: AtomicU64,
+    served: AtomicU64,
+    batches: AtomicU64,
+    connections: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl ServerStats {
+    /// Requests decoded off connections so far.
+    pub fn received(&self) -> u64 {
+        self.received.load(Ordering::Relaxed)
+    }
+
+    /// Predictions routed back to clients so far.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Engine words evaluated so far.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Connections accepted so far.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Connections dropped for malformed frames.
+    pub fn protocol_errors(&self) -> u64 {
+        self.protocol_errors.load(Ordering::Relaxed)
+    }
+
+    /// Mean requests per evaluated word — the lane-occupancy figure the
+    /// linger setting exists to maximise.
+    pub fn mean_batch(&self) -> f64 {
+        let batches = self.batches();
+        if batches == 0 {
+            0.0
+        } else {
+            self.served() as f64 / batches as f64
+        }
+    }
+}
+
+/// Failure to turn a model file into a compiled serving engine.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The `POETBIN1` file failed to decode.
+    Persist(PersistError),
+    /// The decoded classifier's lowered netlist failed compilation.
+    Compile(NetlistError),
+    /// The requested width is narrower than some tree's feature index.
+    WidthTooNarrow {
+        /// Width the caller asked for.
+        requested: usize,
+        /// Width the model actually needs.
+        required: usize,
+    },
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Persist(e) => write!(f, "loading model: {e}"),
+            LoadError::Compile(e) => write!(f, "compiling model: {e}"),
+            LoadError::WidthTooNarrow {
+                requested,
+                required,
+            } => write!(
+                f,
+                "requested width {requested} but the model reads feature {}",
+                required - 1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Persist(e) => Some(e),
+            LoadError::Compile(e) => Some(e),
+            LoadError::WidthTooNarrow { .. } => None,
+        }
+    }
+}
+
+/// Loads a `POETBIN1` model file and compiles it once for serving.
+///
+/// `num_features` fixes the row width clients must send; `None` uses the
+/// narrowest width the model supports
+/// ([`poetbin_core::PoetBinClassifier::min_features`]).
+///
+/// # Errors
+///
+/// Returns [`LoadError`] when the file fails to decode, the width is
+/// narrower than the model needs, or netlist compilation fails.
+pub fn load_engine(
+    path: impl AsRef<Path>,
+    num_features: Option<usize>,
+) -> Result<ClassifierEngine, LoadError> {
+    let clf = load_classifier_from(path).map_err(LoadError::Persist)?;
+    let required = clf.min_features();
+    let width = num_features.unwrap_or(required);
+    if width < required {
+        return Err(LoadError::WidthTooNarrow {
+            requested: width,
+            required,
+        });
+    }
+    ClassifierEngine::compile(&clf, width).map_err(LoadError::Compile)
+}
+
+/// A running inference server; dropping or [`Server::shutdown`]ing it
+/// stops every thread.
+///
+/// One acceptor thread hands each connection a reader thread (decodes
+/// request frames into the shared batch queue) and a writer thread
+/// (owns the write half, draining an mpsc channel of responses). Worker
+/// shards blocked on the queue coalesce up to `max_batch` requests into a
+/// single packed engine word — the immutable compiled plan is shared
+/// behind an [`Arc`], so every shard evaluates the same tape with its own
+/// scratch.
+///
+/// # Example
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use poetbin_serve::{Client, ServeConfig, Server};
+/// # let engine: poetbin_engine::ClassifierEngine = unimplemented!();
+/// # let row: poetbin_bits::BitVec = unimplemented!();
+///
+/// let server = Server::start(Arc::new(engine), "127.0.0.1:0", ServeConfig::default())?;
+/// let mut client = Client::connect(server.local_addr())?;
+/// let class = client.predict(&row)?;
+/// server.shutdown();
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub struct Server {
+    addr: SocketAddr,
+    queue: Arc<BatchQueue>,
+    stats: Arc<ServerStats>,
+    stopping: Arc<AtomicBool>,
+    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    core_threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// acceptor plus `config.workers` engine shards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers == 0` or `config.max_batch` is not in
+    /// `1..=64`.
+    pub fn start(
+        engine: Arc<ClassifierEngine>,
+        addr: impl ToSocketAddrs,
+        config: ServeConfig,
+    ) -> io::Result<Server> {
+        assert!(config.workers > 0, "need at least one worker shard");
+        assert!(
+            (1..=64).contains(&config.max_batch),
+            "max_batch must be in 1..=64"
+        );
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let queue = Arc::new(BatchQueue::new());
+        let stats = Arc::new(ServerStats::default());
+        let stopping = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(Mutex::new(HashMap::new()));
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+
+        let mut core_threads = Vec::with_capacity(config.workers + 1);
+        for shard in 0..config.workers {
+            let engine = Arc::clone(&engine);
+            let queue = Arc::clone(&queue);
+            let stats = Arc::clone(&stats);
+            let (linger, max_batch) = (config.linger, config.max_batch);
+            core_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("poetbin-worker-{shard}"))
+                    .spawn(move || worker_loop(&engine, &queue, &stats, max_batch, linger))?,
+            );
+        }
+        {
+            let engine = Arc::clone(&engine);
+            let queue = Arc::clone(&queue);
+            let stats = Arc::clone(&stats);
+            let stopping = Arc::clone(&stopping);
+            let conns = Arc::clone(&conns);
+            let conn_threads = Arc::clone(&conn_threads);
+            core_threads.push(
+                std::thread::Builder::new()
+                    .name("poetbin-accept".into())
+                    .spawn(move || {
+                        accept_loop(
+                            &listener,
+                            &engine,
+                            &queue,
+                            &stats,
+                            &stopping,
+                            &conns,
+                            &conn_threads,
+                        );
+                    })?,
+            );
+        }
+
+        Ok(Server {
+            addr,
+            queue,
+            stats,
+            stopping,
+            conns,
+            conn_threads,
+            core_threads,
+        })
+    }
+
+    /// The bound address (with the real port when started on port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's monotonic counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Requests currently parked waiting for a word (diagnostics only).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// Stops accepting, drains the queue, and joins every thread.
+    /// Already-parked requests are still evaluated; their responses reach
+    /// any connection that is still open.
+    pub fn shutdown(mut self) {
+        self.stop();
+        for t in self.core_threads.drain(..) {
+            let _ = t.join();
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.conn_threads.lock().unwrap());
+        for t in handles {
+            let _ = t.join();
+        }
+    }
+
+    fn stop(&self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        self.queue.close();
+        // Unblock the acceptor with a throwaway connection, then yank every
+        // live connection so blocked readers return. A wildcard bind
+        // (0.0.0.0 / [::]) is not connectable on every platform — aim the
+        // wake-up at the loopback equivalent instead.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake {
+                SocketAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(wake);
+        for stream in self.conns.lock().unwrap().values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if !self.stopping.load(Ordering::SeqCst) {
+            self.stop();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    engine: &Arc<ClassifierEngine>,
+    queue: &Arc<BatchQueue>,
+    stats: &Arc<ServerStats>,
+    stopping: &Arc<AtomicBool>,
+    conns: &Arc<Mutex<HashMap<u64, TcpStream>>>,
+    conn_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let mut next_conn = 0u64;
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if stopping.load(Ordering::SeqCst) {
+                    return;
+                }
+                // A persistent failure (fd exhaustion, say) would
+                // otherwise busy-spin this thread at 100% exactly when
+                // the process is already resource-starved.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        stats.connections.fetch_add(1, Ordering::Relaxed);
+        let conn_id = next_conn;
+        next_conn += 1;
+        if let Ok(clone) = stream.try_clone() {
+            conns.lock().unwrap().insert(conn_id, clone);
+        }
+        let engine = Arc::clone(engine);
+        let queue = Arc::clone(queue);
+        let conn_stats = Arc::clone(stats);
+        let conns_for_cleanup = Arc::clone(conns);
+        let conn_threads_inner = Arc::clone(conn_threads);
+        let spawned = std::thread::Builder::new()
+            .name(format!("poetbin-conn-{conn_id}"))
+            .spawn(move || {
+                connection_loop(stream, &engine, &queue, &conn_stats, &conn_threads_inner);
+                conns_for_cleanup.lock().unwrap().remove(&conn_id);
+            });
+        match spawned {
+            Ok(handle) => {
+                // Reap handles of connections that have already finished
+                // (dropping a finished JoinHandle just detaches it), so
+                // the registry stays proportional to *live* connections
+                // over an arbitrarily long server lifetime.
+                let mut handles = conn_threads.lock().unwrap();
+                handles.retain(|h| !h.is_finished());
+                handles.push(handle);
+            }
+            Err(_) => {
+                // Could not spawn a thread for it (resource exhaustion):
+                // release the registry's stream clone, closing the
+                // connection rather than leaking it.
+                conns.lock().unwrap().remove(&conn_id);
+            }
+        }
+    }
+}
+
+/// Reads request frames off one connection into the batch queue; the
+/// paired writer thread (spawned here) owns the write half.
+fn connection_loop(
+    mut stream: TcpStream,
+    engine: &ClassifierEngine,
+    queue: &BatchQueue,
+    stats: &ServerStats,
+    conn_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let _ = stream.set_nodelay(true);
+    let num_features = engine.num_features();
+    if protocol::write_hello(&mut stream, num_features as u32, engine.classes() as u32).is_err() {
+        return;
+    }
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (reply_tx, reply_rx) = mpsc::channel::<(u64, u16)>();
+    let writer = std::thread::Builder::new()
+        .name("poetbin-conn-writer".into())
+        .spawn(move || writer_loop(write_half, &reply_rx));
+    if let Ok(handle) = writer {
+        conn_threads.lock().unwrap().push(handle);
+    }
+
+    let max_payload = protocol::request_payload_len(num_features);
+    let mut reader = BufReader::new(stream.try_clone().unwrap_or(stream));
+    loop {
+        match protocol::read_frame(&mut reader, max_payload) {
+            Ok(Some(payload)) => match protocol::decode_request(&payload, num_features) {
+                Some((id, row)) => {
+                    stats.received.fetch_add(1, Ordering::Relaxed);
+                    queue.push(Pending {
+                        id,
+                        row,
+                        reply: reply_tx.clone(),
+                    });
+                }
+                None => {
+                    // Wrong payload size for this model: the stream can no
+                    // longer be trusted to be frame-aligned — drop it.
+                    stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            },
+            Ok(None) => break,
+            Err(e) => {
+                if e.kind() == io::ErrorKind::InvalidData {
+                    stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                break;
+            }
+        }
+    }
+    // Close the read half; the writer keeps running until every in-flight
+    // reply for this connection has been delivered (all queue-held Sender
+    // clones dropped), then exits on channel disconnect.
+    let _ = reader.get_ref().shutdown(Shutdown::Read);
+}
+
+fn writer_loop(mut stream: TcpStream, replies: &mpsc::Receiver<(u64, u16)>) {
+    while let Ok((id, class)) = replies.recv() {
+        let payload = protocol::encode_response(id, class);
+        if protocol::write_frame(&mut stream, &payload).is_err() {
+            return;
+        }
+    }
+}
+
+/// One engine shard: drain a word's worth of requests, pack, evaluate,
+/// route each argmax back to its connection.
+fn worker_loop(
+    engine: &ClassifierEngine,
+    queue: &BatchQueue,
+    stats: &ServerStats,
+    max_batch: usize,
+    linger: Duration,
+) {
+    let num_features = engine.num_features();
+    let mut scratch = engine.scratch();
+    let mut batch: Vec<Pending> = Vec::with_capacity(max_batch);
+    let mut words: Vec<u64> = Vec::with_capacity(num_features);
+    let mut preds = vec![0usize; max_batch];
+    while queue.pop_batch(max_batch, linger, &mut batch) {
+        let lanes = batch.len();
+        pack_word_rows_into(batch.iter().map(|p| &p.row), num_features, &mut words);
+        engine.predict_word_into(&words, &mut scratch, &mut preds[..lanes]);
+        for (pending, &class) in batch.drain(..).zip(&preds) {
+            // A send error only means the connection died before its
+            // answer was ready; nothing to route the reply to.
+            let _ = pending.reply.send((pending.id, class as u16));
+        }
+        stats.batches.fetch_add(1, Ordering::Relaxed);
+        stats.served.fetch_add(lanes as u64, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,286 @@
+//! End-to-end server tests: protocol handshake, single-flight and
+//! pipelined prediction, multi-client concurrency, malformed-frame
+//! handling and the persist → engine loading path.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use poetbin_bits::{BitVec, FeatureMatrix, TruthTable};
+use poetbin_boost::{MatModule, RincModule, RincNode};
+use poetbin_core::persist::save_classifier_to;
+use poetbin_core::{PoetBinClassifier, QuantizedSparseOutput, RincBank};
+use poetbin_dt::LevelWiseTree;
+use poetbin_engine::ClassifierEngine;
+use poetbin_serve::{load_engine, Client, LoadError, ServeConfig, Server};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A deterministic, structurally complete classifier (mixed RINC depths)
+/// built directly from parts — no training, so the test is fast and the
+/// model identical on every run.
+fn test_classifier(seed: u64, num_features: usize) -> PoetBinClassifier {
+    let mut rng = StdRng::seed_from_u64(seed);
+    fn random_node(rng: &mut StdRng, num_features: usize, p: usize, level: usize) -> RincNode {
+        if level == 0 {
+            let mut features: Vec<usize> = Vec::with_capacity(p);
+            while features.len() < p {
+                let f = rng.random_range(0..num_features);
+                if !features.contains(&f) {
+                    features.push(f);
+                }
+            }
+            let table = TruthTable::from_fn(p, |_| rng.random::<bool>());
+            return RincNode::Tree(LevelWiseTree::from_parts(features, table));
+        }
+        let children: Vec<RincNode> = (0..p)
+            .map(|_| random_node(rng, num_features, p, level - 1))
+            .collect();
+        let weights: Vec<f64> = (0..p).map(|_| rng.random_range(0.05..1.0)).collect();
+        RincNode::Module(RincModule::from_parts(
+            children,
+            MatModule::new(weights),
+            level,
+        ))
+    }
+    let (classes, p) = (4usize, 3usize);
+    let modules: Vec<RincNode> = (0..classes * p)
+        .map(|i| random_node(&mut rng, num_features, p, i % 2))
+        .collect();
+    let weights: Vec<Vec<i32>> = (0..classes)
+        .map(|_| (0..p).map(|_| rng.random_range(-40..40)).collect())
+        .collect();
+    let biases: Vec<i32> = (0..classes).map(|_| rng.random_range(-20..20)).collect();
+    let min_score: i64 = weights
+        .iter()
+        .zip(&biases)
+        .map(|(row, &b)| {
+            row.iter()
+                .filter(|&&w| w < 0)
+                .map(|&w| w as i64)
+                .sum::<i64>()
+                + b as i64
+        })
+        .min()
+        .unwrap();
+    let output = QuantizedSparseOutput::from_parts(p, 8, weights, biases, min_score, 0);
+    PoetBinClassifier::new(RincBank::from_modules(modules), output)
+}
+
+fn test_row(num_features: usize, thread: usize, i: usize) -> BitVec {
+    BitVec::from_fn(num_features, |j| {
+        (thread
+            .wrapping_mul(2654435761)
+            .wrapping_add(i.wrapping_mul(40503))
+            .wrapping_add(j.wrapping_mul(9973))
+            >> 3)
+            & 1
+            == 1
+    })
+}
+
+fn start_test_server(
+    seed: u64,
+    num_features: usize,
+    config: ServeConfig,
+) -> (Server, Arc<ClassifierEngine>) {
+    let clf = test_classifier(seed, num_features);
+    let engine = Arc::new(ClassifierEngine::compile(&clf, num_features).expect("compiles"));
+    let server = Server::start(Arc::clone(&engine), "127.0.0.1:0", config).expect("bind");
+    (server, engine)
+}
+
+#[test]
+fn hello_reports_model_shape_and_predictions_match_offline_path() {
+    let f = 24;
+    let (server, engine) = start_test_server(11, f, ServeConfig::default());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    assert_eq!(client.num_features(), f);
+    assert_eq!(client.classes(), 4);
+
+    let rows: Vec<BitVec> = (0..100).map(|i| test_row(f, 0, i)).collect();
+    let expected = engine.predict(&FeatureMatrix::from_rows(rows.clone()));
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(
+            client.predict(row).expect("predict"),
+            expected[i],
+            "row {i} disagrees with the offline batch path"
+        );
+    }
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_come_back_complete_and_correctly_tagged() {
+    let f = 20;
+    let (server, engine) = start_test_server(12, f, ServeConfig::default());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let rows: Vec<BitVec> = (0..300).map(|i| test_row(f, 7, i)).collect();
+    let expected = engine.predict(&FeatureMatrix::from_rows(rows.clone()));
+    let mut want: HashMap<u64, usize> = HashMap::new();
+    for (i, row) in rows.iter().enumerate() {
+        let id = client.send(row).expect("send");
+        want.insert(id, expected[i]);
+    }
+    for _ in 0..rows.len() {
+        let (id, class) = client.recv().expect("recv");
+        let expect = want.remove(&id).expect("unknown or duplicate response id");
+        assert_eq!(class, expect, "request {id} cross-wired");
+    }
+    assert!(want.is_empty(), "{} responses dropped", want.len());
+    // Pipelined single-connection traffic must have been coalesced into
+    // multi-lane words, not served one lane at a time.
+    assert_eq!(server.stats().served(), 300);
+    assert!(
+        server.stats().mean_batch() > 1.5,
+        "mean batch {:.2} — micro-batching never engaged",
+        server.stats().mean_batch()
+    );
+    server.shutdown();
+}
+
+/// The headline concurrency property: N client threads hammer the server
+/// with interleaved pipelined requests; every response must match the
+/// offline batch-path prediction for its request id, with nothing dropped
+/// and nothing cross-wired between connections.
+#[test]
+fn concurrent_clients_never_drop_or_cross_wire() {
+    let f = 32;
+    let threads = 8;
+    let per_thread = 400;
+    let (server, engine) = start_test_server(13, f, ServeConfig::default());
+    let addr = server.local_addr();
+
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for t in 0..threads {
+            let engine = Arc::clone(&engine);
+            joins.push(scope.spawn(move || {
+                let rows: Vec<BitVec> = (0..per_thread).map(|i| test_row(f, t, i)).collect();
+                let expected = engine.predict(&FeatureMatrix::from_rows(rows.clone()));
+                let mut client = Client::connect(addr).expect("connect");
+                // Interleave: bursts of pipelined sends, then collect.
+                let mut want: HashMap<u64, usize> = HashMap::new();
+                for (chunk_start, chunk) in rows.chunks(23).enumerate() {
+                    for (k, row) in chunk.iter().enumerate() {
+                        let id = client.send(row).expect("send");
+                        want.insert(id, expected[chunk_start * 23 + k]);
+                    }
+                    for _ in 0..chunk.len() {
+                        let (id, class) = client.recv().expect("recv");
+                        let expect = want
+                            .remove(&id)
+                            .expect("response id never requested on this connection");
+                        assert_eq!(class, expect, "thread {t}: request {id} wrong class");
+                    }
+                }
+                assert!(want.is_empty(), "thread {t}: {} dropped", want.len());
+            }));
+        }
+        for j in joins {
+            j.join().expect("client thread panicked");
+        }
+    });
+
+    let stats = server.stats();
+    assert_eq!(stats.served(), (threads * per_thread) as u64);
+    assert_eq!(stats.received(), stats.served());
+    assert_eq!(stats.protocol_errors(), 0);
+    assert_eq!(stats.connections(), threads as u64);
+    server.shutdown();
+}
+
+#[test]
+fn zero_linger_and_batch_of_one_still_serve_correctly() {
+    let f = 16;
+    let config = ServeConfig {
+        workers: 1,
+        linger: Duration::ZERO,
+        max_batch: 1,
+    };
+    let (server, engine) = start_test_server(14, f, config);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let rows: Vec<BitVec> = (0..50).map(|i| test_row(f, 3, i)).collect();
+    let expected = engine.predict(&FeatureMatrix::from_rows(rows.clone()));
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(
+            client.predict(row).expect("predict"),
+            expected[i],
+            "row {i}"
+        );
+    }
+    // max_batch = 1 forces exactly one word per request.
+    assert_eq!(server.stats().batches(), 50);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_frame_drops_that_connection_only() {
+    let f = 24;
+    let (server, engine) = start_test_server(15, f, ServeConfig::default());
+    let addr = server.local_addr();
+
+    // A healthy connection before, during and after the bad one.
+    let mut good = Client::connect(addr).expect("connect");
+    let row = test_row(f, 1, 1);
+    let expected = engine.predict(&FeatureMatrix::from_rows(vec![row.clone()]))[0];
+    assert_eq!(good.predict(&row).expect("predict"), expected);
+
+    // Raw socket sending a frame whose payload length is wrong for this
+    // model: the server must drop the connection.
+    let mut bad = TcpStream::connect(addr).expect("connect");
+    let mut hello = [0u8; 16];
+    std::io::Read::read_exact(&mut bad, &mut hello).expect("hello");
+    bad.write_all(&3u32.to_le_bytes()).expect("len");
+    bad.write_all(&[1, 2, 3]).expect("payload");
+    let mut probe = [0u8; 1];
+    let n = std::io::Read::read(&mut bad, &mut probe).expect("server closes cleanly");
+    assert_eq!(n, 0, "connection should be closed after a malformed frame");
+
+    // An oversized length prefix is also rejected without allocation.
+    let mut huge = TcpStream::connect(addr).expect("connect");
+    std::io::Read::read_exact(&mut huge, &mut hello).expect("hello");
+    huge.write_all(&u32::MAX.to_le_bytes()).expect("len");
+    let n = std::io::Read::read(&mut huge, &mut probe).expect("server closes cleanly");
+    assert_eq!(n, 0);
+
+    // The good connection is unaffected.
+    assert_eq!(good.predict(&row).expect("predict"), expected);
+    assert_eq!(server.stats().protocol_errors(), 2);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_joins_with_idle_connections_open() {
+    let f = 16;
+    let (server, _engine) = start_test_server(16, f, ServeConfig::default());
+    let _idle1 = Client::connect(server.local_addr()).expect("connect");
+    let _idle2 = Client::connect(server.local_addr()).expect("connect");
+    // Must not hang despite two blocked reader threads.
+    server.shutdown();
+}
+
+#[test]
+fn load_engine_compiles_persisted_models_and_validates_width() {
+    let clf = test_classifier(17, 40);
+    let path = std::env::temp_dir().join("poetbin_serve_load_test.poetbin");
+    save_classifier_to(&path, &clf).expect("save");
+
+    let engine = load_engine(&path, None).expect("load at native width");
+    assert_eq!(engine.num_features(), clf.min_features());
+    let wide = load_engine(&path, Some(64)).expect("load wider");
+    assert_eq!(wide.num_features(), 64);
+
+    let narrow = load_engine(&path, Some(clf.min_features() - 1));
+    assert!(
+        matches!(narrow, Err(LoadError::WidthTooNarrow { .. })),
+        "narrow width must be rejected"
+    );
+    let missing = load_engine(std::env::temp_dir().join("poetbin_no_such.poetbin"), None);
+    assert!(matches!(missing, Err(LoadError::Persist(_))));
+    let _ = std::fs::remove_file(&path);
+}

@@ -16,6 +16,7 @@
 //! | [`poetbin_power`] | operation-level energy models (Tables 4–6) |
 //! | [`poetbin_baselines`] | BinaryNet, POLYBiNN-style, neural decision forest |
 //! | [`poetbin_core`] | the assembled PoET-BiN architecture and A1→A4 workflow |
+//! | [`poetbin_serve`] | adaptive micro-batching TCP inference server + client |
 //!
 //! # Quickstart
 //!
@@ -47,6 +48,7 @@ pub use poetbin_fpga;
 pub use poetbin_hdl;
 pub use poetbin_nn;
 pub use poetbin_power;
+pub use poetbin_serve;
 
 /// The most commonly used items, for `use poetbin::prelude::*`.
 pub mod prelude {
@@ -70,4 +72,5 @@ pub mod prelude {
     };
     pub use poetbin_hdl::{generate_testbench, generate_vhdl, parse_vhdl};
     pub use poetbin_power::{binary_network_energy, fc_energy, fc_ops, Precision};
+    pub use poetbin_serve::{Client, ServeConfig, Server};
 }

@@ -1,0 +1,148 @@
+//! Cross-backend conformance over checked-in `POETBIN1` fixtures.
+//!
+//! Every inference backend in the workspace must agree bit-for-bit on the
+//! same trained model: the scalar software path
+//! (`PoetBinClassifier::predict`), the compiled batch engine
+//! (`ClassifierEngine`, single- and multi-shard), the serving single-word
+//! path (`predict_word_into` over packed lane words, including partial
+//! tails), and the FPGA netlist simulator. The fixtures under
+//! `tests/fixtures/` are golden: their bytes must never drift (the model
+//! format is versioned — breaking it silently would strand deployed
+//! models), and their predictions on the deterministic probe rows are
+//! pinned below.
+//!
+//! Fixtures are regenerated deliberately with
+//! `cargo run -p poetbin_bench --bin gen_fixture`, which also prints the
+//! golden arrays to paste here.
+
+use poetbin_bits::{pack_word_rows, BitVec, FeatureMatrix};
+use poetbin_core::persist::{load_classifier, save_classifier};
+use poetbin_core::PoetBinClassifier;
+use poetbin_engine::ClassifierEngine;
+use poetbin_fpga::simulate;
+
+/// `(file name, feature width, golden predictions of the first 32 probe
+/// rows)` — printed by `gen_fixture`.
+const FIXTURES: [(&str, usize, [usize; 32]); 2] = [
+    (
+        "tiny.poetbin",
+        16,
+        [
+            1, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0, 0, 1, 0, 0, 1, 0, 0, 1, 1, 1, 1, 0, 0, 0, 1, 1, 1, 0,
+            1, 0, 1,
+        ],
+    ),
+    (
+        "deep.poetbin",
+        48,
+        [
+            1, 2, 1, 0, 3, 3, 0, 0, 0, 3, 2, 3, 3, 0, 0, 3, 0, 2, 1, 3, 0, 1, 3, 3, 3, 2, 3, 0, 3,
+            0, 1, 3,
+        ],
+    ),
+];
+
+fn fixture_bytes(name: &str) -> Vec<u8> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+fn fixture_classifier(name: &str) -> PoetBinClassifier {
+    load_classifier(&fixture_bytes(name)).expect("fixture decodes")
+}
+
+/// The deterministic probe row shared with `gen_fixture.rs` (SplitMix64
+/// finalizer over the (row, feature) pair).
+fn probe_row(num_features: usize, i: usize) -> BitVec {
+    BitVec::from_fn(num_features, |j| {
+        let mut z = (i as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(j as u64);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) & 1 == 1
+    })
+}
+
+fn probe_matrix(num_features: usize, n: usize) -> FeatureMatrix {
+    FeatureMatrix::from_rows((0..n).map(|i| probe_row(num_features, i)).collect())
+}
+
+/// The model format is load-stable and save-stable: decoding a fixture
+/// and re-encoding it must reproduce the file byte for byte. If this
+/// fails, the `POETBIN1` encoder changed shape — either restore
+/// compatibility or bump the magic and regenerate fixtures deliberately.
+#[test]
+fn fixture_bytes_never_drift() {
+    for (name, _, _) in FIXTURES {
+        let bytes = fixture_bytes(name);
+        assert_eq!(&bytes[..8], b"POETBIN1", "{name}: magic");
+        let clf = load_classifier(&bytes).expect("fixture decodes");
+        assert_eq!(
+            save_classifier(&clf),
+            bytes,
+            "{name}: save(load(fixture)) drifted from the checked-in bytes"
+        );
+    }
+}
+
+/// The scalar software path still produces the pinned golden predictions.
+#[test]
+fn golden_predictions_hold() {
+    for (name, f, golden) in FIXTURES {
+        let clf = fixture_classifier(name);
+        assert_eq!(clf.min_features(), f, "{name}: width");
+        let preds = clf.predict(&probe_matrix(f, 32));
+        assert_eq!(preds, golden, "{name}: scalar path drifted from golden");
+    }
+}
+
+/// Scalar predict, the compiled engine (1 shard and 4 shards), the
+/// serving word path and the netlist simulator agree bit-for-bit on a
+/// probe batch spanning several words plus a partial tail.
+#[test]
+fn all_backends_agree_bit_for_bit() {
+    for (name, f, _) in FIXTURES {
+        let clf = fixture_classifier(name);
+        let n = 200; // 3 full words + a 8-lane tail
+        let batch = probe_matrix(f, n);
+        let scalar = clf.predict(&batch);
+
+        let engine = ClassifierEngine::compile(&clf, f).expect("compiles");
+        assert_eq!(engine.predict(&batch), scalar, "{name}: engine(1)");
+        let sharded = ClassifierEngine::compile(&clf, f)
+            .expect("compiles")
+            .with_threads(4);
+        assert_eq!(sharded.predict(&batch), scalar, "{name}: engine(4)");
+
+        // The serving path: pack rows into lane words (full words and the
+        // partial tail) exactly as the micro-batcher does.
+        let mut scratch = engine.scratch();
+        let rows: Vec<BitVec> = (0..n).map(|i| probe_row(f, i)).collect();
+        let mut served = Vec::with_capacity(n);
+        for chunk in rows.chunks(64) {
+            let words = pack_word_rows(chunk.iter(), f);
+            let mut preds = vec![0usize; chunk.len()];
+            engine.predict_word_into(&words, &mut scratch, &mut preds);
+            served.extend(preds);
+        }
+        assert_eq!(served, scalar, "{name}: serving word path");
+
+        // The FPGA netlist simulator, decoded through the classifier's
+        // own output-bit ordering.
+        let net = clf.to_netlist(f);
+        let sim = simulate(&net, &rows);
+        for (v, &expect) in scalar.iter().enumerate() {
+            let bits: Vec<bool> = (0..net.outputs().len())
+                .map(|k| sim.outputs[k].get(v))
+                .collect();
+            assert_eq!(
+                clf.argmax_from_output_bits(&bits),
+                expect,
+                "{name}: netlist sim disagrees on vector {v}"
+            );
+        }
+    }
+}

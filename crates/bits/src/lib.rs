@@ -15,6 +15,11 @@
 //!   row-major and column-major (bit-plane) order, so decision-tree training
 //!   can stream feature columns while inference reads example rows.
 //!
+//! On top of these, the free functions [`popcount_words`],
+//! [`and2_popcount`], [`and3_popcount`] and [`split_counts`] are the
+//! masked-popcount histogram kernels the word-parallel training engine in
+//! `poetbin-dt` is built on.
+//!
 //! # Example
 //!
 //! ```
@@ -38,10 +43,12 @@
 #![warn(missing_docs)]
 
 mod bitvec;
+mod counting;
 mod matrix;
 mod truth_table;
 
 pub use bitvec::BitVec;
+pub use counting::{and2_popcount, and3_popcount, popcount_words, split_counts};
 pub use matrix::{pack_word_rows, pack_word_rows_into, FeatureMatrix};
 pub use truth_table::{TruthTable, TruthTableBytesError, MAX_LUT_INPUTS};
 

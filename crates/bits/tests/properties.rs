@@ -224,3 +224,25 @@ fn eval_words_matches_scalar_at_word_boundary_batch_sizes() {
         assert_eq!(got, expect, "n={n} k={k}");
     }
 }
+
+#[test]
+fn counting_kernels_match_bitvec_semantics() {
+    use poetbin_bits::{and2_popcount, and3_popcount, popcount_words, split_counts};
+    let mut rng = StdRng::seed_from_u64(0xC0_07);
+    for _case in 0..64 {
+        let n = rng.random_range(0..400);
+        let a = BitVec::from_bools((0..n).map(|_| rng.random::<bool>()));
+        let b = BitVec::from_bools((0..n).map(|_| rng.random::<bool>()));
+        let c = BitVec::from_bools((0..n).map(|_| rng.random::<bool>()));
+        assert_eq!(popcount_words(a.as_words()), a.count_ones());
+        assert_eq!(and2_popcount(a.as_words(), b.as_words()), a.count_and(&b));
+        let abc = a.and(&b).and(&c);
+        assert_eq!(
+            and3_popcount(a.as_words(), b.as_words(), c.as_words()),
+            abc.count_ones()
+        );
+        let (branch, branch_pos) = split_counts(a.as_words(), b.as_words(), c.as_words());
+        assert_eq!(branch, a.count_and(&b));
+        assert_eq!(branch_pos, abc.count_ones());
+    }
+}

@@ -20,10 +20,13 @@ pub enum WeightUpdate {
     #[default]
     Exact,
     /// Boosting by resampling: draw a same-sized bootstrap sample
-    /// proportional to the weights and train the learner on it with uniform
-    /// weights. Weighted error and the weight update still use the exact
-    /// distribution. This keeps the level-wise tree's inner loop
-    /// popcount-friendly and is a standard AdaBoost variant.
+    /// proportional to the weights and hand the learner the *draw counts*
+    /// as integer example weights over the original data — equivalent to
+    /// training on the materialised bootstrap with uniform weights, but
+    /// with no row cloning or matrix re-transposition, and exactly the
+    /// whole-number weight shape the level-wise tree's bit-plane popcount
+    /// path consumes. Weighted error and the weight update still use the
+    /// exact distribution. This is a standard AdaBoost variant.
     Resample {
         /// Seed for the bootstrap draws (deterministic training).
         seed: u64,
@@ -98,11 +101,17 @@ impl AdaBoost {
             let classifier = match (&self.update, rng.as_mut()) {
                 (WeightUpdate::Exact, _) => learner(data, labels, &weights, round),
                 (WeightUpdate::Resample { .. }, Some(rng)) => {
-                    let idx = sample_by_weight(&weights, n, rng);
-                    let sampled = data.select_examples(&idx);
-                    let sampled_labels = BitVec::from_fn(n, |i| labels.get(idx[i]));
-                    let uniform = vec![1.0 / n as f64; n];
-                    learner(&sampled, &sampled_labels, &uniform, round)
+                    // Integer fast path: the bootstrap is communicated as
+                    // per-example draw counts on the original data, not as
+                    // a materialised resampled matrix. Weight-proportional
+                    // learners see the identical distribution, and the
+                    // whole-number weights route the level-wise tree down
+                    // its bit-plane popcount engine.
+                    let mut counts = vec![0.0f64; n];
+                    for i in sample_by_weight(&weights, n, rng) {
+                        counts[i] += 1.0;
+                    }
+                    learner(data, labels, &counts, round)
                 }
                 (WeightUpdate::Resample { .. }, None) => unreachable!(),
             };
@@ -158,6 +167,12 @@ impl AdaBoost {
 }
 
 /// Draws `count` indices with replacement, proportional to `weights`.
+///
+/// Zero-weight examples are never drawn: the inverse-CDF inversion takes
+/// the *first* index whose cumulative weight strictly exceeds the uniform
+/// draw, so runs of duplicate CDF values (zero-weight runs) and a `u = 0`
+/// draw both resolve to a positive-weight index. (The previous
+/// `binary_search_by` landed arbitrarily inside duplicate runs.)
 fn sample_by_weight(weights: &[f64], count: usize, rng: &mut StdRng) -> Vec<usize> {
     // Inverse-CDF sampling over the cumulative weights.
     let mut cdf = Vec::with_capacity(weights.len());
@@ -167,12 +182,17 @@ fn sample_by_weight(weights: &[f64], count: usize, rng: &mut StdRng) -> Vec<usiz
         cdf.push(acc);
     }
     let total = acc.max(f64::MIN_POSITIVE);
+    // Cap at the last positive-weight index: rounding in `u = r · total`
+    // can reach `total` exactly, which would otherwise fall past the end
+    // and select a zero-weight suffix.
+    let last_positive = weights
+        .iter()
+        .rposition(|&w| w > 0.0)
+        .unwrap_or(weights.len().saturating_sub(1));
     (0..count)
         .map(|_| {
             let u: f64 = rng.random::<f64>() * total;
-            match cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
-                Ok(i) | Err(i) => i.min(weights.len() - 1),
-            }
+            cdf.partition_point(|&c| c <= u).min(last_positive)
         })
         .collect()
 }
@@ -339,6 +359,55 @@ mod tests {
         let draws = sample_by_weight(&weights, 1000, &mut rng);
         let heavy = draws.iter().filter(|&&i| i == 2).count();
         assert!(heavy > 800, "heavy example drawn only {heavy}/1000 times");
+    }
+
+    #[test]
+    fn sample_by_weight_never_draws_zero_weight_examples() {
+        // Regression: a zero-weight prefix (indices 0–1), an interior
+        // zero run (3–4) and a zero suffix (7) — the old binary search
+        // could land on any of them when the uniform draw hit a duplicated
+        // CDF value or zero exactly; the partition-point inversion never
+        // does.
+        let weights = [0.0, 0.0, 0.25, 0.0, 0.0, 0.5, 0.25, 0.0];
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for i in sample_by_weight(&weights, 2000, &mut rng) {
+                assert!(weights[i] > 0.0, "seed {seed} drew zero-weight example {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sample_by_weight_covers_all_positive_examples() {
+        // The fix must not starve legitimate examples either: every
+        // positive-weight index (including the last one) stays reachable.
+        let weights = [0.2, 0.0, 0.4, 0.0, 0.4];
+        let mut rng = StdRng::seed_from_u64(11);
+        let draws = sample_by_weight(&weights, 4000, &mut rng);
+        for expect in [0usize, 2, 4] {
+            assert!(draws.contains(&expect), "index {expect} never drawn");
+        }
+    }
+
+    #[test]
+    fn resample_hands_learner_integer_draw_counts() {
+        // The resample branch no longer materialises a bootstrap matrix:
+        // the learner must see the ORIGINAL data and labels plus
+        // whole-number draw-count weights summing to n.
+        let (data, labels) = majority_task();
+        let booster = AdaBoost::new(3).with_resampling(9);
+        let mut seen: Vec<Vec<f64>> = Vec::new();
+        let _ = booster.train(&data, &labels, &[1.0; 8], |d, l, w, round| {
+            assert!(std::ptr::eq(d, &data), "learner must get the original data");
+            assert_eq!(l, &labels, "learner must get the original labels");
+            seen.push(w.to_vec());
+            stump_learner(d, l, w, round)
+        });
+        assert!(!seen.is_empty());
+        for w in &seen {
+            assert_eq!(w.iter().sum::<f64>(), 8.0, "draw counts must sum to n");
+            assert!(w.iter().all(|x| *x >= 0.0 && x.fract() == 0.0));
+        }
     }
 
     #[test]

@@ -30,6 +30,13 @@ pub struct RincConfig {
     pub empty_leaf: EmptyLeafPolicy,
     /// Weight communication strategy forwarded to every AdaBoost stage.
     pub update: WeightUpdate,
+    /// Worker threads for each tree's per-level candidate-feature scan
+    /// (`0` = all cores). Callers that already parallelise across modules
+    /// — e.g. `RincBank::train` — cap this so the product of module and
+    /// scan threads stays near the core count; the trained module is
+    /// identical for any value.
+    #[serde(default)]
+    pub tree_threads: usize,
 }
 
 impl RincConfig {
@@ -46,6 +53,7 @@ impl RincConfig {
             top_groups: lut_inputs,
             empty_leaf: EmptyLeafPolicy::default(),
             update: WeightUpdate::Exact,
+            tree_threads: 0,
         }
     }
 
@@ -75,6 +83,13 @@ impl RincConfig {
         self
     }
 
+    /// Sets the per-tree feature-scan thread count, `0` meaning all cores
+    /// (builder style).
+    pub fn with_tree_threads(mut self, threads: usize) -> Self {
+        self.tree_threads = threads;
+        self
+    }
+
     /// Total number of trees a full module of this shape trains:
     /// `top_groups · P^(levels-1)` for `levels ≥ 1`, else 1.
     pub fn total_trees(&self) -> usize {
@@ -99,7 +114,9 @@ impl RincConfig {
     }
 
     fn tree_config(&self) -> LevelTreeConfig {
-        LevelTreeConfig::new(self.lut_inputs).with_empty_leaf(self.empty_leaf)
+        LevelTreeConfig::new(self.lut_inputs)
+            .with_empty_leaf(self.empty_leaf)
+            .with_threads(self.tree_threads)
     }
 }
 

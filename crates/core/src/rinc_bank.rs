@@ -17,6 +17,16 @@ impl RincBank {
     /// Trains one module per target column of `targets` (the intermediate
     /// bits produced by the teacher), in parallel across CPU cores.
     ///
+    /// A zero-neuron target matrix (an architecture with no intermediate
+    /// layer) yields an empty bank rather than panicking. Each module's
+    /// labels are the target's column plane, reused directly — no per-bit
+    /// rebuild. When the bank shards neurons across several threads, each
+    /// module's feature scan gets its share of the remaining cores
+    /// (`cores / bank threads`), so a 2-neuron bank on a 16-core machine
+    /// still scans 8-wide per module while a neuron-rich bank pins each
+    /// scan to one thread — never oversubscribed, and the trained bank is
+    /// identical for any split.
+    ///
     /// # Panics
     ///
     /// Panics if `features` and `targets` disagree on example count.
@@ -31,24 +41,35 @@ impl RincBank {
             "feature / target example count mismatch"
         );
         let neurons = targets.num_features();
+        if neurons == 0 {
+            return RincBank {
+                modules: Vec::new(),
+            };
+        }
         let n = features.num_examples();
         let weights = vec![1.0f64; n];
 
-        let threads = std::thread::available_parallelism()
+        let cores = std::thread::available_parallelism()
             .map(|p| p.get())
-            .unwrap_or(1)
-            .min(neurons.max(1));
+            .unwrap_or(1);
+        let threads = cores.min(neurons);
+        let base_cfg = if config.tree_threads == 0 {
+            config.clone().with_tree_threads((cores / threads).max(1))
+        } else {
+            config.clone()
+        };
         let mut modules: Vec<Option<RincNode>> = vec![None; neurons];
-        let chunk = neurons.div_ceil(threads.max(1));
+        let chunk = neurons.div_ceil(threads);
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (t, slot_chunk) in modules.chunks_mut(chunk).enumerate() {
                 let weights = &weights;
+                let base_cfg = &base_cfg;
                 let handle = scope.spawn(move || {
                     for (i, slot) in slot_chunk.iter_mut().enumerate() {
                         let neuron = t * chunk + i;
-                        let labels = BitVec::from_fn(n, |e| targets.bit(e, neuron));
-                        let mut cfg = config.clone();
+                        let labels = targets.feature(neuron);
+                        let mut cfg = base_cfg.clone();
                         // Distinct resampling streams per neuron.
                         cfg = match cfg.update {
                             poetbin_boost::WeightUpdate::Resample { seed } => {
@@ -56,7 +77,7 @@ impl RincBank {
                             }
                             poetbin_boost::WeightUpdate::Exact => cfg,
                         };
-                        *slot = Some(RincNode::train(features, &labels, weights, &cfg));
+                        *slot = Some(RincNode::train(features, labels, weights, &cfg));
                     }
                 });
                 handles.push(handle);
@@ -89,8 +110,12 @@ impl RincBank {
     }
 
     /// Predicted intermediate bits for every example: an `n × neurons`
-    /// matrix mirroring the teacher's intermediate layer.
+    /// matrix mirroring the teacher's intermediate layer. An empty bank
+    /// produces an `n × 0` matrix (the example count is preserved).
     pub fn predict_bits(&self, features: &FeatureMatrix) -> FeatureMatrix {
+        if self.modules.is_empty() {
+            return FeatureMatrix::from_fn(features.num_examples(), 0, |_, _| false);
+        }
         let cols: Vec<BitVec> = self
             .modules
             .iter()
@@ -174,6 +199,23 @@ mod tests {
         let a = RincBank::train(&features, &targets, &cfg);
         let b = RincBank::train(&features, &targets, &cfg);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_neuron_targets_yield_empty_bank() {
+        // Regression: a 0-column target matrix used to panic in
+        // `chunks_mut(0)`; it must train to an empty bank and predict an
+        // n × 0 matrix that preserves the example count.
+        let (features, _) = task(50, 16, 3, 9);
+        let targets = FeatureMatrix::from_fn(50, 0, |_, _| false);
+        let bank = RincBank::train(&features, &targets, &RincConfig::new(3, 1));
+        assert!(bank.is_empty());
+        assert_eq!(bank.len(), 0);
+        assert_eq!(bank.lut_count(), 0);
+        let bits = bank.predict_bits(&features);
+        assert_eq!(bits.num_features(), 0);
+        assert_eq!(bits.num_examples(), 50);
+        assert_eq!(bank.fidelity(&features, &targets), 1.0);
     }
 
     #[test]

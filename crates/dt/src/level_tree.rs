@@ -1,8 +1,18 @@
 //! The level-wise decision tree of PoET-BiN (Algorithm 1): RINC-0.
+//!
+//! Two trainers live here. [`LevelWiseTree::train`] is the production
+//! popcount engine: it maintains the per-level node partition as packed
+//! 64-bit masks and computes every `(node, branch, class)` histogram cell
+//! of the entropy scan as a masked popcount (uniform weights), a bit-plane
+//! sum of masked popcounts (integer weights, the boosting-by-resampling
+//! case), or a node-bucketed sequential accumulation (arbitrary `f64`
+//! weights). [`LevelWiseTree::train_scalar`] is the original one-bit-at-a-
+//! time reference implementation; the engine is pinned against it by
+//! randomized equivalence tests and the `train` benchmark.
 
 use serde::{Deserialize, Serialize};
 
-use poetbin_bits::{BitVec, FeatureMatrix, TruthTable};
+use poetbin_bits::{split_counts, BitVec, FeatureMatrix, TruthTable, WORD_BITS};
 
 use crate::entropy::weighted_binary_entropy;
 use crate::BitClassifier;
@@ -29,6 +39,11 @@ pub struct LevelTreeConfig {
     pub candidates: Option<Vec<usize>>,
     /// Label policy for leaves that receive no training examples.
     pub empty_leaf: EmptyLeafPolicy,
+    /// Worker threads for the per-level candidate-feature scan; `0` (the
+    /// default) uses all available cores. The trained tree is identical
+    /// for every thread count.
+    #[serde(default)]
+    pub threads: usize,
 }
 
 impl LevelTreeConfig {
@@ -38,6 +53,7 @@ impl LevelTreeConfig {
             inputs,
             candidates: None,
             empty_leaf: EmptyLeafPolicy::default(),
+            threads: 0,
         }
     }
 
@@ -52,6 +68,13 @@ impl LevelTreeConfig {
         self.empty_leaf = policy;
         self
     }
+
+    /// Sets the feature-scan thread count, `0` meaning all cores (builder
+    /// style).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
 }
 
 /// Diagnostics produced while training a [`LevelWiseTree`].
@@ -63,6 +86,164 @@ pub struct LevelTrainReport {
     pub empty_leaves: usize,
     /// Weighted training error of the finished tree.
     pub train_error: f64,
+}
+
+/// Tie-break margin of the greedy feature selection: a candidate must beat
+/// the incumbent by more than this to replace it, so the lowest-index
+/// feature wins exact ties deterministically.
+const TIE_MARGIN: f64 = 1e-15;
+
+/// Largest whole-number example weight the bit-plane popcount path accepts;
+/// larger (or fractional) weights fall back to the exact `f64` path. At
+/// this bound a weighted count stays exactly representable in the `u64`
+/// plane accumulators for any realistic example count.
+const MAX_INTEGER_WEIGHT: f64 = 4_294_967_296.0; // 2^32
+
+/// How [`LevelWiseTree::train`] will exploit the weight vector.
+enum WeightScheme {
+    /// Every example carries the same weight: one popcount plane of all
+    /// ones, scaled by the common weight.
+    Uniform(f64),
+    /// All weights are non-negative whole numbers (boosting by resampling
+    /// hands the trainer bootstrap draw counts): one popcount plane per bit
+    /// of the largest weight.
+    Integer,
+    /// Arbitrary non-negative weights: exact bucketed accumulation.
+    General,
+}
+
+fn classify_weights(weights: &[f64]) -> WeightScheme {
+    let Some(&w0) = weights.first() else {
+        return WeightScheme::Uniform(0.0);
+    };
+    if weights.iter().all(|&w| w == w0) {
+        return WeightScheme::Uniform(w0);
+    }
+    if weights
+        .iter()
+        .all(|&w| w.fract() == 0.0 && w <= MAX_INTEGER_WEIGHT)
+    {
+        return WeightScheme::Integer;
+    }
+    WeightScheme::General
+}
+
+/// The entropy objective of one candidate split, computed from the filled
+/// `(child, class)` histogram exactly as the reference trainer does (same
+/// summation order, so the two paths agree bit-for-bit on exact counts).
+fn entropy_of_counts(counts: &[f64], new_nodes: usize) -> f64 {
+    let total: f64 = counts.iter().sum();
+    let mut level_entropy = 0.0;
+    if total > 0.0 {
+        for node in 0..new_nodes {
+            let w0 = counts[node * 2];
+            let w1 = counts[node * 2 + 1];
+            level_entropy += (w0 + w1) / total * weighted_binary_entropy(w0, w1);
+        }
+    }
+    level_entropy
+}
+
+/// Sequential fold reproducing the reference trainer's selection rule:
+/// first candidate in pool order whose entropy undercuts the incumbent by
+/// more than [`TIE_MARGIN`].
+fn select_best(pool: &[usize], used: &[bool], entropies: &[f64]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &feat) in pool.iter().enumerate() {
+        if used[feat] {
+            continue;
+        }
+        let e = entropies[i];
+        let better = match best {
+            None => true,
+            Some((_, be)) => e < be - TIE_MARGIN,
+        };
+        if better {
+            best = Some((feat, e));
+        }
+    }
+    best
+}
+
+/// Number of feature-scan shards worth spawning for a `pool_len × n` scan.
+fn scan_shards(pool_len: usize, n: usize, configured: usize) -> usize {
+    // Below this much work the scope/spawn overhead outweighs the scan.
+    if n < 512 || pool_len < 16 {
+        return 1;
+    }
+    let hw = if configured > 0 {
+        configured
+    } else {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    };
+    hw.min(pool_len.div_ceil(8)).max(1)
+}
+
+/// Runs `eval` over every pool candidate, writing one entropy per slot
+/// (`f64::INFINITY` for already-used features), sharded across `shards`
+/// threads. The output is independent of the shard count: shards own
+/// disjoint contiguous chunks and the caller folds sequentially.
+fn scan_features<F>(pool: &[usize], used: &[bool], entropies: &mut [f64], shards: usize, eval: F)
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    if shards <= 1 {
+        for (slot, &feat) in entropies.iter_mut().zip(pool) {
+            *slot = if used[feat] {
+                f64::INFINITY
+            } else {
+                eval(feat)
+            };
+        }
+        return;
+    }
+    let chunk = pool.len().div_ceil(shards);
+    std::thread::scope(|scope| {
+        for (pc, ec) in pool.chunks(chunk).zip(entropies.chunks_mut(chunk)) {
+            let eval = &eval;
+            scope.spawn(move || {
+                for (slot, &feat) in ec.iter_mut().zip(pc) {
+                    *slot = if used[feat] {
+                        f64::INFINITY
+                    } else {
+                        eval(feat)
+                    };
+                }
+            });
+        }
+    });
+}
+
+/// One node of the current level's partition, as a packed example mask.
+struct MaskNode {
+    /// Full-length mask words (tail bits zero, like every [`BitVec`]).
+    words: Vec<u64>,
+    /// Half-open word range outside which the mask is all zero.
+    lo: usize,
+    hi: usize,
+}
+
+impl MaskNode {
+    fn from_words(words: Vec<u64>) -> MaskNode {
+        let lo = words.iter().position(|&w| w != 0).unwrap_or(words.len());
+        let hi = words.iter().rposition(|&w| w != 0).map_or(lo, |i| i + 1);
+        MaskNode { words, lo, hi }
+    }
+}
+
+/// Per-node, per-weight-plane state for one level of the popcount scan.
+struct PlaneNode {
+    /// `mask & plane_b` for each weight bit-plane `b`, restricted to the
+    /// node's non-zero word range.
+    planes: Vec<Vec<u64>>,
+    /// First word of the restriction window.
+    lo: usize,
+    /// Weighted example count of the node.
+    tot: u64,
+    /// Weighted class-1 count of the node.
+    pos: u64,
 }
 
 /// The paper's modified decision tree: `P` levels, one feature per level,
@@ -87,6 +268,19 @@ impl LevelWiseTree {
     /// feature that minimises the weighted entropy summed over all nodes of
     /// the new level; then labels every leaf with its weighted majority
     /// class (`S0 <= S1 → 1`).
+    ///
+    /// This is the word-parallel engine: with uniform or whole-number
+    /// weights every histogram cell of the scan is a masked popcount over
+    /// packed 64-example words, and arbitrary `f64` weights take a
+    /// node-bucketed exact path. The result is identical to
+    /// [`LevelWiseTree::train_scalar`]: bit-for-bit on unit-uniform and
+    /// whole-number weights and on the exact-`f64` path. On *scaled*
+    /// uniform weights (e.g. AdaBoost's `1/n`) the two trainers compute
+    /// each histogram cell with different rounding (`count · w` here versus
+    /// a folded sum of `w`s in the reference), so entropies agree only to
+    /// within floating-point noise — candidates tied closer than that
+    /// noise may in principle resolve differently, though the greedy
+    /// objective value is the same.
     ///
     /// # Panics
     ///
@@ -113,31 +307,57 @@ impl LevelWiseTree {
         weights: &[f64],
         config: &LevelTreeConfig,
     ) -> (Self, LevelTrainReport) {
-        let n = data.num_examples();
-        assert_eq!(labels.len(), n, "label / data length mismatch");
-        assert_eq!(weights.len(), n, "weight / data length mismatch");
-        assert!(weights.iter().all(|w| *w >= 0.0), "negative example weight");
-        let p = config.inputs;
-        let pool: Vec<usize> = match &config.candidates {
-            Some(c) => {
-                for &j in c {
-                    assert!(
-                        j < data.num_features(),
-                        "candidate feature {j} out of range"
-                    );
-                }
-                c.clone()
+        let pool = Self::validate(data, labels, weights, config);
+        match classify_weights(weights) {
+            WeightScheme::Uniform(w) => {
+                let ones = [BitVec::ones(labels.len())];
+                Self::train_popcount(data, labels, weights, &ones, w, pool, config)
             }
-            None => (0..data.num_features()).collect(),
-        };
-        assert!(
-            pool.len() >= p,
-            "need at least {p} candidate features, have {}",
-            pool.len()
-        );
+            WeightScheme::Integer => {
+                let planes = weight_planes(weights);
+                Self::train_popcount(data, labels, weights, &planes, 1.0, pool, config)
+            }
+            WeightScheme::General => Self::train_bucketed(data, labels, weights, pool, config),
+        }
+    }
+
+    /// The original scalar reference trainer: walks `n × F × P` examples
+    /// one bit at a time through the per-example inner loop.
+    ///
+    /// Kept as the semantic baseline the popcount engine is verified
+    /// against (randomized equivalence tests in `tests/equivalence.rs`) and
+    /// benchmarked against (`benches/train.rs`). Use
+    /// [`LevelWiseTree::train`] everywhere else.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`LevelWiseTree::train`].
+    pub fn train_scalar(
+        data: &FeatureMatrix,
+        labels: &BitVec,
+        weights: &[f64],
+        config: &LevelTreeConfig,
+    ) -> Self {
+        Self::train_scalar_with_report(data, labels, weights, config).0
+    }
+
+    /// Like [`LevelWiseTree::train_scalar`] but also returns diagnostics.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`LevelWiseTree::train`].
+    pub fn train_scalar_with_report(
+        data: &FeatureMatrix,
+        labels: &BitVec,
+        weights: &[f64],
+        config: &LevelTreeConfig,
+    ) -> (Self, LevelTrainReport) {
+        let pool = Self::validate(data, labels, weights, config);
+        let n = data.num_examples();
+        let p = config.inputs;
 
         // node_of[e] is the index of the node example e currently sits in,
-        // reading chosen features as little-endian address bits.
+        // reading chosen features as big-endian address bits.
         let mut node_of = vec![0u32; n];
         let mut used = vec![false; data.num_features()];
         let mut features = Vec::with_capacity(p);
@@ -164,18 +384,10 @@ impl LevelWiseTree {
                     let child = ((node_of[e] << 1) | bit) as usize;
                     counts[child * 2 + label_u8[e] as usize] += weights[e];
                 }
-                let total: f64 = counts.iter().sum();
-                let mut level_entropy = 0.0;
-                if total > 0.0 {
-                    for node in 0..new_nodes {
-                        let w0 = counts[node * 2];
-                        let w1 = counts[node * 2 + 1];
-                        level_entropy += (w0 + w1) / total * weighted_binary_entropy(w0, w1);
-                    }
-                }
+                let level_entropy = entropy_of_counts(&counts, new_nodes);
                 let better = match best {
                     None => true,
-                    Some((_, e)) => level_entropy < e - 1e-15,
+                    Some((_, e)) => level_entropy < e - TIE_MARGIN,
                 };
                 if better {
                     best = Some((feat, level_entropy));
@@ -203,6 +415,61 @@ impl LevelWiseTree {
             leaf_w[le * 2 + label_u8[e] as usize] += weights[e];
         }
 
+        Self::finish(
+            data,
+            labels,
+            weights,
+            config,
+            features,
+            level_entropies,
+            leaf_w,
+        )
+    }
+
+    /// Shared argument validation; returns the candidate pool.
+    fn validate(
+        data: &FeatureMatrix,
+        labels: &BitVec,
+        weights: &[f64],
+        config: &LevelTreeConfig,
+    ) -> Vec<usize> {
+        let n = data.num_examples();
+        assert_eq!(labels.len(), n, "label / data length mismatch");
+        assert_eq!(weights.len(), n, "weight / data length mismatch");
+        assert!(weights.iter().all(|w| *w >= 0.0), "negative example weight");
+        let p = config.inputs;
+        let pool: Vec<usize> = match &config.candidates {
+            Some(c) => {
+                for &j in c {
+                    assert!(
+                        j < data.num_features(),
+                        "candidate feature {j} out of range"
+                    );
+                }
+                c.clone()
+            }
+            None => (0..data.num_features()).collect(),
+        };
+        assert!(
+            pool.len() >= p,
+            "need at least {p} candidate features, have {}",
+            pool.len()
+        );
+        pool
+    }
+
+    /// Shared tail of every trainer: builds the truth table from the
+    /// little-endian leaf weight histogram and assembles the report.
+    fn finish(
+        data: &FeatureMatrix,
+        labels: &BitVec,
+        weights: &[f64],
+        config: &LevelTreeConfig,
+        features: Vec<usize>,
+        level_entropies: Vec<f64>,
+        leaf_w: Vec<f64>,
+    ) -> (LevelWiseTree, LevelTrainReport) {
+        let leaves = 1usize << config.inputs;
         let (mut total_w0, mut total_w1) = (0.0, 0.0);
         for leaf in 0..leaves {
             total_w0 += leaf_w[leaf * 2];
@@ -211,7 +478,7 @@ impl LevelWiseTree {
         let majority = total_w1 >= total_w0;
 
         let mut empty_leaves = 0;
-        let table = TruthTable::from_fn(p, |leaf| {
+        let table = TruthTable::from_fn(config.inputs, |leaf| {
             let w0 = leaf_w[leaf * 2];
             let w1 = leaf_w[leaf * 2 + 1];
             if w0 == 0.0 && w1 == 0.0 {
@@ -235,6 +502,251 @@ impl LevelWiseTree {
                 empty_leaves,
                 train_error,
             },
+        )
+    }
+
+    /// The popcount engine: per-level node partitions as packed masks,
+    /// every histogram cell a masked popcount summed over the weight
+    /// bit-planes (`planes`; a single all-ones plane scaled by `scale`
+    /// covers uniform weights, draw-count planes with `scale = 1` cover
+    /// boosting by resampling).
+    fn train_popcount(
+        data: &FeatureMatrix,
+        labels: &BitVec,
+        weights: &[f64],
+        planes: &[BitVec],
+        scale: f64,
+        pool: Vec<usize>,
+        config: &LevelTreeConfig,
+    ) -> (LevelWiseTree, LevelTrainReport) {
+        let n = data.num_examples();
+        let p = config.inputs;
+        let label_words = labels.as_words();
+        let mut used = vec![false; data.num_features()];
+        let mut features = Vec::with_capacity(p);
+        let mut level_entropies = Vec::with_capacity(p);
+        let mut entropies = vec![f64::INFINITY; pool.len()];
+        let shards = scan_shards(pool.len(), n, config.threads);
+
+        // The partition starts as one node holding every example; node ids
+        // are big-endian (level 0 = most significant address bit), matching
+        // the reference trainer's `node_of` convention.
+        let mut masks: Vec<MaskNode> =
+            vec![MaskNode::from_words(BitVec::ones(n).as_words().to_vec())];
+
+        for level in 0..p {
+            let new_nodes = 1usize << (level + 1);
+
+            // Fold the weight planes into each node once per level; the
+            // whole feature scan then reuses the masked planes.
+            let nodes: Vec<PlaneNode> = masks
+                .iter()
+                .map(|m| {
+                    let window = &m.words[m.lo..m.hi];
+                    let mut masked: Vec<Vec<u64>> = Vec::with_capacity(planes.len());
+                    let mut tot = 0u64;
+                    let mut pos = 0u64;
+                    for (b, plane) in planes.iter().enumerate() {
+                        let mp: Vec<u64> = window
+                            .iter()
+                            .zip(&plane.as_words()[m.lo..m.hi])
+                            .map(|(&mw, &pw)| mw & pw)
+                            .collect();
+                        let (t, q) = split_counts(&mp, &mp, &label_words[m.lo..m.hi]);
+                        tot += (t as u64) << b;
+                        pos += (q as u64) << b;
+                        masked.push(mp);
+                    }
+                    PlaneNode {
+                        planes: masked,
+                        lo: m.lo,
+                        tot,
+                        pos,
+                    }
+                })
+                .collect();
+
+            let eval = |feat: usize| {
+                let col_words = data.feature(feat).as_words();
+                let mut counts = vec![0.0f64; new_nodes * 2];
+                for (m, node) in nodes.iter().enumerate() {
+                    if node.tot == 0 {
+                        continue;
+                    }
+                    let mut branch = 0u64; // weighted count taking the set branch
+                    let mut branch_pos = 0u64; // … of which class 1
+                    for (b, mp) in node.planes.iter().enumerate() {
+                        let win = &col_words[node.lo..node.lo + mp.len()];
+                        let lab = &label_words[node.lo..node.lo + mp.len()];
+                        let (c1, c11) = split_counts(win, mp, lab);
+                        branch += (c1 as u64) << b;
+                        branch_pos += (c11 as u64) << b;
+                    }
+                    let child0 = 2 * m;
+                    let child1 = 2 * m + 1;
+                    counts[child1 * 2 + 1] = branch_pos as f64 * scale;
+                    counts[child1 * 2] = (branch - branch_pos) as f64 * scale;
+                    counts[child0 * 2 + 1] = (node.pos - branch_pos) as f64 * scale;
+                    counts[child0 * 2] =
+                        (node.tot - branch - (node.pos - branch_pos)) as f64 * scale;
+                }
+                entropy_of_counts(&counts, new_nodes)
+            };
+            scan_features(&pool, &used, &mut entropies, shards, eval);
+
+            let (feat, entropy) =
+                select_best(&pool, &used, &entropies).expect("candidate pool exhausted");
+            used[feat] = true;
+            features.push(feat);
+            level_entropies.push(entropy);
+
+            // Split every node on the chosen feature: child (2m | bit).
+            let col_words = data.feature(feat).as_words();
+            let mut next = Vec::with_capacity(new_nodes);
+            for m in &masks {
+                let mut zero = vec![0u64; m.words.len()];
+                let mut one = vec![0u64; m.words.len()];
+                for w in m.lo..m.hi {
+                    let mw = m.words[w];
+                    let cw = col_words[w];
+                    one[w] = mw & cw;
+                    zero[w] = mw & !cw;
+                }
+                next.push(MaskNode::from_words(zero));
+                next.push(MaskNode::from_words(one));
+            }
+            masks = next;
+        }
+
+        // Leaf statistics from the final partition, converted to the truth
+        // table's little-endian address convention.
+        let leaves = 1usize << p;
+        let mut leaf_w = vec![0.0f64; leaves * 2];
+        for (be, m) in masks.iter().enumerate() {
+            let window = &m.words[m.lo..m.hi];
+            let mut tot = 0u64;
+            let mut pos = 0u64;
+            for (b, plane) in planes.iter().enumerate() {
+                let (t, q) = split_counts(
+                    window,
+                    &plane.as_words()[m.lo..m.hi],
+                    &label_words[m.lo..m.hi],
+                );
+                tot += (t as u64) << b;
+                pos += (q as u64) << b;
+            }
+            let le = reverse_bits(be, p);
+            leaf_w[le * 2] = (tot - pos) as f64 * scale;
+            leaf_w[le * 2 + 1] = pos as f64 * scale;
+        }
+
+        Self::finish(
+            data,
+            labels,
+            weights,
+            config,
+            features,
+            level_entropies,
+            leaf_w,
+        )
+    }
+
+    /// The exact-`f64` engine: identical arithmetic to the scalar reference
+    /// (same per-cell summation order), but with examples bucketed by node
+    /// once per level so the inner loop accumulates into four register-
+    /// resident cells per node instead of scattering across the histogram,
+    /// and with the feature scan sharded across threads.
+    fn train_bucketed(
+        data: &FeatureMatrix,
+        labels: &BitVec,
+        weights: &[f64],
+        pool: Vec<usize>,
+        config: &LevelTreeConfig,
+    ) -> (LevelWiseTree, LevelTrainReport) {
+        let n = data.num_examples();
+        let p = config.inputs;
+        let mut node_of = vec![0u32; n];
+        let mut used = vec![false; data.num_features()];
+        let mut features = Vec::with_capacity(p);
+        let mut level_entropies = Vec::with_capacity(p);
+        let mut entropies = vec![f64::INFINITY; pool.len()];
+        let shards = scan_shards(pool.len(), n, config.threads);
+        let label_u8: Vec<u8> = (0..n).map(|e| u8::from(labels.get(e))).collect();
+
+        for level in 0..p {
+            let m = 1usize << level;
+            let new_nodes = m << 1;
+
+            // Stable counting sort of examples by node: within a bucket,
+            // examples stay in ascending order, so per-cell accumulation
+            // adds the same weights in the same order as the reference
+            // trainer — the histograms agree bit-for-bit. Weights and
+            // labels are gathered into bucket order once per level, so the
+            // per-feature inner loop streams them sequentially instead of
+            // gathering per feature.
+            let mut offsets = vec![0usize; m + 1];
+            for &nd in &node_of {
+                offsets[nd as usize + 1] += 1;
+            }
+            for i in 0..m {
+                offsets[i + 1] += offsets[i];
+            }
+            let mut cursor = offsets.clone();
+            let mut order = vec![0u32; n];
+            for (e, &nd) in node_of.iter().enumerate() {
+                order[cursor[nd as usize]] = e as u32;
+                cursor[nd as usize] += 1;
+            }
+            let w_sorted: Vec<f64> = order.iter().map(|&e| weights[e as usize]).collect();
+            let lab_sorted: Vec<u8> = order.iter().map(|&e| label_u8[e as usize]).collect();
+
+            let eval = |feat: usize| {
+                let col_words = data.feature(feat).as_words();
+                let mut counts = vec![0.0f64; new_nodes * 2];
+                for node in 0..m {
+                    let mut acc = [0.0f64; 4]; // [bit << 1 | class]
+                    for i in offsets[node]..offsets[node + 1] {
+                        let e = order[i] as usize;
+                        let bit = (col_words[e / WORD_BITS] >> (e % WORD_BITS)) & 1;
+                        acc[(bit as usize) << 1 | lab_sorted[i] as usize] += w_sorted[i];
+                    }
+                    counts[4 * node] = acc[0];
+                    counts[4 * node + 1] = acc[1];
+                    counts[4 * node + 2] = acc[2];
+                    counts[4 * node + 3] = acc[3];
+                }
+                entropy_of_counts(&counts, new_nodes)
+            };
+            scan_features(&pool, &used, &mut entropies, shards, eval);
+
+            let (feat, entropy) =
+                select_best(&pool, &used, &entropies).expect("candidate pool exhausted");
+            used[feat] = true;
+            features.push(feat);
+            level_entropies.push(entropy);
+            let col_words = data.feature(feat).as_words();
+            for (e, node) in node_of.iter_mut().enumerate() {
+                let bit = (col_words[e / WORD_BITS] >> (e % WORD_BITS)) & 1;
+                *node = (*node << 1) | bit as u32;
+            }
+        }
+
+        let leaves = 1usize << p;
+        let mut leaf_w = vec![0.0f64; leaves * 2];
+        for e in 0..n {
+            let be = node_of[e] as usize;
+            let le = reverse_bits(be, p);
+            leaf_w[le * 2 + label_u8[e] as usize] += weights[e];
+        }
+
+        Self::finish(
+            data,
+            labels,
+            weights,
+            config,
+            features,
+            level_entropies,
+            leaf_w,
         )
     }
 
@@ -291,6 +803,29 @@ impl LevelWiseTree {
         out.mask_tail();
         out
     }
+}
+
+/// Decomposes whole-number weights into bit-plane [`BitVec`]s: bit `e` of
+/// plane `b` is bit `b` of `weights[e] as u64`.
+fn weight_planes(weights: &[f64]) -> Vec<BitVec> {
+    let max_w = weights.iter().fold(0.0f64, |a, &b| a.max(b)) as u64;
+    let bits = (u64::BITS - max_w.leading_zeros()).max(1) as usize;
+    (0..bits)
+        .map(|b| BitVec::from_fn(weights.len(), |e| (weights[e] as u64 >> b) & 1 == 1))
+        .collect()
+}
+
+/// Reconstructs the per-example weight vector from its bit-plane
+/// decomposition (inverse of [`weight_planes`], scaled; test-only).
+#[cfg(test)]
+fn plane_weights(planes: &[BitVec], scale: f64, n: usize) -> Vec<f64> {
+    let mut weights = vec![0u64; n];
+    for (b, plane) in planes.iter().enumerate() {
+        for e in plane.iter_ones() {
+            weights[e] += 1u64 << b;
+        }
+    }
+    weights.into_iter().map(|w| w as f64 * scale).collect()
 }
 
 impl BitClassifier for LevelWiseTree {
@@ -407,24 +942,27 @@ mod tests {
 
     #[test]
     fn weights_steer_the_split_choice() {
-        // Two candidate features; feature 0 classifies the heavy examples,
-        // feature 1 the light ones. With skewed weights the tree must pick
-        // feature 0 first.
-        let data = FeatureMatrix::from_fn(4, 2, |e, j| {
-            matches!((e, j), (0, 0) | (1, 0) | (0, 1) | (2, 1))
-        });
-        let labels = BitVec::from_bools([true, true, false, false]);
-        let heavy = vec![10.0, 10.0, 10.0, 10.0];
-        let tree = LevelWiseTree::train(&data, &labels, &heavy, &LevelTreeConfig::new(1));
-        assert_eq!(tree.features(), &[0]);
+        // Four examples, two candidate features. Feature 0's set branch
+        // isolates (pure) example 0; feature 1's set branch isolates
+        // example 2; the remaining three examples are mixed either way.
+        // Under uniform weights the two splits produce *identical*
+        // histograms, so the deterministic tie-break keeps feature 0.
+        let data = FeatureMatrix::from_fn(4, 2, |e, j| matches!((e, j), (0, 0) | (2, 1)));
+        let labels = BitVec::from_bools([true, false, true, false]);
+        let uniform = vec![1.0; 4];
+        let tree = LevelWiseTree::train(&data, &labels, &uniform, &LevelTreeConfig::new(1));
+        assert_eq!(tree.features(), &[0], "uniform weights tie-break to f0");
 
-        // Invert label alignment importance by zeroing the weight of the
-        // examples feature 0 explains.
-        let skewed = vec![0.0, 0.0, 10.0, 10.0];
+        // Up-weighting examples 2 and 3 makes feature 1's split strictly
+        // better (its mixed branch is then the light one): the trainer must
+        // flip to feature 1. A weight-blind trainer would still tie-break
+        // to feature 0 — this is the regression the test guards.
+        let skewed = vec![1.0, 1.0, 4.0, 4.0];
         let tree = LevelWiseTree::train(&data, &labels, &skewed, &LevelTreeConfig::new(1));
-        // Under these weights feature 1 perfectly separates (e2 has it set,
-        // label 0 vs e3 unset, label 0 — both are class 0, so entropy is 0
-        // for any feature; tie-break keeps the lowest index).
+        assert_eq!(tree.features(), &[1], "skewed weights must flip to f1");
+        // And the mirrored skew favours feature 0 strictly.
+        let mirrored = vec![4.0, 4.0, 1.0, 1.0];
+        let tree = LevelWiseTree::train(&data, &labels, &mirrored, &LevelTreeConfig::new(1));
         assert_eq!(tree.features(), &[0]);
     }
 
@@ -530,5 +1068,96 @@ mod tests {
                 report.level_entropies
             );
         }
+    }
+
+    #[test]
+    fn weight_scheme_detection() {
+        assert!(matches!(classify_weights(&[]), WeightScheme::Uniform(_)));
+        assert!(matches!(
+            classify_weights(&[0.5, 0.5, 0.5]),
+            WeightScheme::Uniform(_)
+        ));
+        assert!(matches!(
+            classify_weights(&[1.0, 0.0, 3.0]),
+            WeightScheme::Integer
+        ));
+        assert!(matches!(
+            classify_weights(&[1.0, 0.25]),
+            WeightScheme::General
+        ));
+        assert!(matches!(
+            classify_weights(&[1.0, MAX_INTEGER_WEIGHT * 2.0]),
+            WeightScheme::General
+        ));
+    }
+
+    #[test]
+    fn weight_planes_roundtrip() {
+        let w = [0.0, 1.0, 5.0, 13.0, 64.0];
+        let planes = weight_planes(&w);
+        let back = plane_weights(&planes, 1.0, w.len());
+        assert_eq!(back, w);
+        // Scaled reconstruction.
+        let scaled = plane_weights(&planes, 0.5, w.len());
+        assert_eq!(scaled, [0.0, 0.5, 2.5, 6.5, 32.0]);
+    }
+
+    #[test]
+    fn popcount_engine_matches_scalar_on_unit_weights() {
+        let data = exhaustive(7);
+        let labels = BitVec::from_fn(128, |e| (e.wrapping_mul(2654435761) >> 5) & 3 == 0);
+        let w = vec![1.0; 128];
+        let cfg = LevelTreeConfig::new(4);
+        let (fast, fr) = LevelWiseTree::train_with_report(&data, &labels, &w, &cfg);
+        let (slow, sr) = LevelWiseTree::train_scalar_with_report(&data, &labels, &w, &cfg);
+        assert_eq!(fast, slow);
+        assert_eq!(fr.level_entropies, sr.level_entropies);
+        assert_eq!(fr.empty_leaves, sr.empty_leaves);
+        assert_eq!(fr.train_error, sr.train_error);
+    }
+
+    #[test]
+    fn integer_weights_match_scalar() {
+        let data = exhaustive(6);
+        let labels = BitVec::from_fn(64, |e| (e.wrapping_mul(97) >> 2) & 1 == 1);
+        // Resample-style draw counts, including zeros.
+        let w: Vec<f64> = (0..64).map(|e| f64::from((e * 7 % 5) as u32)).collect();
+        let cfg = LevelTreeConfig::new(3);
+        let fast = LevelWiseTree::train(&data, &labels, &w, &cfg);
+        let slow = LevelWiseTree::train_scalar(&data, &labels, &w, &cfg);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_tree() {
+        let data = FeatureMatrix::from_fn(600, 40, |e, j| {
+            (e.wrapping_mul(2654435761)
+                .wrapping_add(j.wrapping_mul(40503))
+                >> 6)
+                & 1
+                == 1
+        });
+        let labels = BitVec::from_fn(600, |e| (e.wrapping_mul(0x9E3779B9) >> 9) & 1 == 1);
+        let w: Vec<f64> = (0..600).map(|e| 0.1 + (e % 7) as f64 * 0.3).collect();
+        let cfg1 = LevelTreeConfig::new(4).with_threads(1);
+        let cfg4 = LevelTreeConfig::new(4).with_threads(4);
+        let (a, ra) = LevelWiseTree::train_with_report(&data, &labels, &w, &cfg1);
+        let (b, rb) = LevelWiseTree::train_with_report(&data, &labels, &w, &cfg4);
+        assert_eq!(a, b);
+        assert_eq!(ra.level_entropies, rb.level_entropies);
+    }
+
+    #[test]
+    fn all_zero_weights_match_scalar() {
+        // Degenerate but allowed: every leaf is weight-empty, the policy
+        // decides everything, and both engines must agree.
+        let data = exhaustive(4);
+        let labels = BitVec::from_fn(16, |e| e % 2 == 1);
+        let w = vec![0.0; 16];
+        let cfg = LevelTreeConfig::new(2);
+        let (fast, fr) = LevelWiseTree::train_with_report(&data, &labels, &w, &cfg);
+        let (slow, sr) = LevelWiseTree::train_scalar_with_report(&data, &labels, &w, &cfg);
+        assert_eq!(fast, slow);
+        assert_eq!(fr.empty_leaves, sr.empty_leaves);
     }
 }

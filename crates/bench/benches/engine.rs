@@ -1,15 +1,25 @@
-//! Batch-inference throughput: the compiled word-parallel engine against
-//! the scalar per-example netlist walk it replaced.
+//! Batch-inference throughput: the lane-blocked, opcode-specialized
+//! engine against the scalar per-example netlist walk it replaced.
 //!
-//! Three paths over the same paper-shaped (512-feature, SVHN-like)
-//! classifier netlist:
+//! Paths over the same paper-shaped (512-feature, SVHN-like) classifier
+//! netlist:
 //!
 //! * `scalar_*` — the seed path: `Netlist::eval`, one example and one bit
 //!   at a time;
-//! * `engine_1thread_*` — the compiled plan, 64 examples per word, one
-//!   core;
-//! * `engine_sharded_*` — the same plan with the word range split across
-//!   all cores via `std::thread::scope`.
+//! * `engine_b{1,4,8}_1thread_*` — the compiled specialized tape at a
+//!   pinned lane-block width (`64·B` examples per tape pass), one core;
+//! * `engine_sharded_*` — automatic block width with the block range
+//!   split across all cores via `std::thread::scope`.
+//!
+//! **Before any timing**, the bench evaluates the full batch at every
+//! block width, shard count and a ragged-tail shape and asserts the
+//! outputs are bit-identical to each other *and* to the scalar netlist
+//! walk — a run that prints timings has also proven blocked-vs-scalar
+//! equivalence (CI runs this in release mode with
+//! `POETBIN_BENCH_QUICK=1`).
+//!
+//! Results land both on stdout and in `BENCH_engine.json` at the repo
+//! root (medians, machine-readable; see `poetbin_bench::report`).
 //!
 //! Run with `cargo bench -p poetbin_bench --bench engine`.
 
@@ -21,6 +31,10 @@ use poetbin_bench::{hardware_classifier, DatasetKind};
 use poetbin_bits::FeatureMatrix;
 use poetbin_engine::Engine;
 use poetbin_fpga::Netlist;
+
+fn quick() -> bool {
+    std::env::var_os("POETBIN_BENCH_QUICK").is_some()
+}
 
 /// Deterministic pseudo-random batch, `n × f`.
 fn random_batch(n: usize, f: usize) -> FeatureMatrix {
@@ -47,21 +61,96 @@ fn scalar_eval(net: &Netlist, batch: &FeatureMatrix) -> usize {
     ones
 }
 
+/// Bit-identical-outputs gate: every block width, shard count and a
+/// ragged tail must agree with `B = 1` single-thread, which in turn must
+/// agree with the scalar netlist walk on every example.
+fn assert_equivalence(net: &Netlist, batch: &FeatureMatrix, scalar_check: bool) {
+    let reference = Engine::from_netlist(net)
+        .expect("valid netlist")
+        .with_threads(1)
+        .with_block_words(1)
+        .eval_batch(batch);
+    for block in [4usize, 8] {
+        for threads in [1usize, 4] {
+            let out = Engine::from_netlist(net)
+                .expect("valid netlist")
+                .with_threads(threads)
+                .with_block_words(block)
+                .eval_batch(batch);
+            assert_eq!(
+                out, reference,
+                "B={block} threads={threads} diverged from the single-word path"
+            );
+        }
+    }
+    let auto = Engine::from_netlist(net)
+        .expect("valid netlist")
+        .eval_batch(batch);
+    assert_eq!(auto, reference, "auto block/threads diverged");
+    if scalar_check {
+        let f = batch.num_features();
+        let mut row = vec![false; f];
+        for e in 0..batch.num_examples() {
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot = batch.bit(e, j);
+            }
+            let expect = net.eval(&row);
+            for (k, col) in reference.iter().enumerate() {
+                assert_eq!(
+                    col.get(e),
+                    expect[k],
+                    "engine diverged from Netlist::eval at example {e} output {k}"
+                );
+            }
+        }
+    }
+}
+
 fn bench_engine(c: &mut Criterion) {
+    let (n_large, samples, secs) = if quick() {
+        (4_096, 3, 2)
+    } else {
+        (60_000, 10, 8)
+    };
     let mut group = c.benchmark_group("engine_throughput");
     group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(8))
+        .sample_size(samples)
+        .measurement_time(Duration::from_secs(secs))
         .warm_up_time(Duration::from_millis(300));
 
     let (clf, _) = hardware_classifier(DatasetKind::SvhnLike, 200, 3);
     let net = clf.to_netlist(512);
-    let single = Engine::from_netlist(&net)
-        .expect("valid netlist")
-        .with_threads(1);
+    let make = |block: usize| {
+        Engine::from_netlist(&net)
+            .expect("valid netlist")
+            .with_threads(1)
+            .with_block_words(block)
+    };
+    let (b1, b4, b8) = (make(1), make(4), make(8));
     let sharded = Engine::from_netlist(&net).expect("valid netlist");
     let small = random_batch(1_000, 512);
-    let large = random_batch(60_000, 512);
+    let large = random_batch(n_large, 512);
+
+    let plan = b8.plan();
+    println!(
+        "plan: {} tape ops over {} value slots ({} logic levels, {} dead SSA ops dropped)",
+        plan.tape_len(),
+        plan.num_slots(),
+        plan.logic_levels(),
+        plan.dead_ops()
+    );
+    println!("opcode histogram: {}", plan.op_stats());
+
+    // The equivalence gate: tails 1000 % 64 = 40 lanes and
+    // n_large % 512 ∈ {0, 256} words exercise masked tail blocks; the
+    // scalar walk pins the whole stack to Netlist::eval.
+    assert_equivalence(&net, &small, true);
+    assert_equivalence(&net, &large, !quick());
+    assert_equivalence(&net, &random_batch(65, 512), true);
+    println!(
+        "equivalence: bit-identical outputs at B ∈ {{1,4,8}} x threads {{1,4}} vs Netlist::eval (n = {})",
+        large.num_examples()
+    );
 
     group.bench_function("plan_compile", |b| {
         b.iter(|| black_box(Engine::from_netlist(black_box(&net)).unwrap()))
@@ -70,8 +159,11 @@ fn bench_engine(c: &mut Criterion) {
     group.bench_function("scalar_1k", |b| {
         b.iter(|| black_box(scalar_eval(black_box(&net), &small)))
     });
-    group.bench_function("engine_1thread_1k", |b| {
-        b.iter(|| black_box(single.eval_batch(black_box(&small))))
+    group.bench_function("engine_b1_1thread_1k", |b| {
+        b.iter(|| black_box(b1.eval_batch(black_box(&small))))
+    });
+    group.bench_function("engine_b8_1thread_1k", |b| {
+        b.iter(|| black_box(b8.eval_batch(black_box(&small))))
     });
     group.bench_function("engine_sharded_1k", |b| {
         b.iter(|| black_box(sharded.eval_batch(black_box(&small))))
@@ -80,14 +172,26 @@ fn bench_engine(c: &mut Criterion) {
     group.bench_function("scalar_60k", |b| {
         b.iter(|| black_box(scalar_eval(black_box(&net), &large)))
     });
-    group.bench_function("engine_1thread_60k", |b| {
-        b.iter(|| black_box(single.eval_batch(black_box(&large))))
+    group.bench_function("engine_b1_1thread_60k", |b| {
+        b.iter(|| black_box(b1.eval_batch(black_box(&large))))
+    });
+    group.bench_function("engine_b4_1thread_60k", |b| {
+        b.iter(|| black_box(b4.eval_batch(black_box(&large))))
+    });
+    group.bench_function("engine_b8_1thread_60k", |b| {
+        b.iter(|| black_box(b8.eval_batch(black_box(&large))))
     });
     group.bench_function("engine_sharded_60k", |b| {
         b.iter(|| black_box(sharded.eval_batch(black_box(&large))))
     });
 
     group.finish();
+
+    let medians = criterion::take_recorded_medians();
+    match poetbin_bench::report::write_repo_root("engine", &medians) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => panic!("failed to write BENCH_engine.json: {e}"),
+    }
 }
 
 criterion_group!(benches, bench_engine);

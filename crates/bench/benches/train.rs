@@ -22,7 +22,8 @@
 //!
 //! Run with `cargo bench -p poetbin_bench --bench train`; set
 //! `POETBIN_BENCH_QUICK=1` (the CI smoke mode) to shrink the example
-//! count and sample counts.
+//! count and sample counts. Medians additionally land in
+//! `BENCH_train.json` at the repo root (see `poetbin_bench::report`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -238,6 +239,12 @@ fn bench_train(c: &mut Criterion) {
         b.iter(|| black_box(RincBank::train(black_box(&bank_data), &targets, &cfg)))
     });
     group.finish();
+
+    let medians = criterion::take_recorded_medians();
+    match poetbin_bench::report::write_repo_root("train", &medians) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => panic!("failed to write BENCH_train.json: {e}"),
+    }
 }
 
 criterion_group!(benches, bench_train);

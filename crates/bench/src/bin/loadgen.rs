@@ -1,25 +1,36 @@
-//! Closed-loop load generator for `poetbin-serve`.
+//! Load generator for `poetbin-serve`, closed- and open-loop.
 //!
 //! Starts an in-process server on an ephemeral port for each requested
-//! linger setting, hammers it from `--clients` closed-loop client threads
-//! (each waits for its response before sending the next request — the
-//! classic closed-loop model, so concurrency equals the client count),
-//! verifies **every** response against the offline batch-path prediction
-//! for the same row, and reports throughput, p50/p99 latency and the mean
-//! lanes-per-word the micro-batcher achieved.
+//! linger setting and hammers it from `--clients` client threads. Two
+//! traffic models:
+//!
+//! * **closed-loop** (default): each client waits for its response before
+//!   sending the next request, so concurrency equals the client count —
+//!   the model under which a linger can only add latency;
+//! * **open-loop** (`--open-loop RATE`): requests are injected at a fixed
+//!   aggregate arrival rate by timer-paced sender threads (absolute
+//!   schedule — a late sender catches up rather than silently lowering
+//!   the offered rate), with a separate receiver thread per connection
+//!   draining responses. This is the model real traffic follows, and the
+//!   one under which the linger/batch-occupancy tradeoff is measurable.
+//!
+//! Every response is verified against the offline batch-path prediction
+//! for the same row; the run reports throughput, p50/p99 latency and the
+//! mean requests-per-batch the micro-batcher achieved.
 //!
 //! ```text
 //! cargo run --release -p poetbin_bench --bin loadgen -- \
 //!     [--model PATH] [--requests N] [--clients C] [--workers W] \
-//!     [--lingers US,US,...] [--max-batch B]
+//!     [--lingers US,US,...] [--max-batch B] [--open-loop REQ_PER_S]
 //! ```
 //!
 //! Defaults: the checked-in `tests/fixtures/deep.poetbin` model, 12 000
-//! requests, 8 clients, 2 workers, lingers `0,200` µs. Exits non-zero on
-//! any prediction mismatch or transport error.
+//! requests, 8 clients, 2 workers, lingers `0,200` µs, closed-loop. Exits
+//! non-zero on any prediction mismatch or transport error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -34,6 +45,8 @@ struct Args {
     workers: usize,
     lingers_us: Vec<u64>,
     max_batch: usize,
+    /// Aggregate offered arrival rate in requests/s; `None` = closed-loop.
+    open_loop: Option<f64>,
 }
 
 impl Args {
@@ -45,7 +58,8 @@ impl Args {
             clients: 8,
             workers: 2,
             lingers_us: vec![0, 200],
-            max_batch: 64,
+            max_batch: 512,
+            open_loop: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -56,6 +70,13 @@ impl Args {
                 "--clients" => args.clients = value.parse().map_err(|_| "bad --clients")?,
                 "--workers" => args.workers = value.parse().map_err(|_| "bad --workers")?,
                 "--max-batch" => args.max_batch = value.parse().map_err(|_| "bad --max-batch")?,
+                "--open-loop" => {
+                    let rate: f64 = value.parse().map_err(|_| "bad --open-loop")?;
+                    if rate <= 0.0 || !rate.is_finite() {
+                        return Err("--open-loop rate must be positive".into());
+                    }
+                    args.open_loop = Some(rate);
+                }
                 "--lingers" => {
                     args.lingers_us = value
                         .split(',')
@@ -102,13 +123,18 @@ fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
     sorted_ns[rank] as f64 / 1_000.0
 }
 
-fn run_one(engine: &Arc<ClassifierEngine>, args: &Args, linger_us: u64) -> RunResult {
+fn start_server(engine: &Arc<ClassifierEngine>, args: &Args, linger_us: u64) -> Server {
     let config = ServeConfig {
         workers: args.workers,
         linger: Duration::from_micros(linger_us),
         max_batch: args.max_batch,
     };
-    let server = Server::start(Arc::clone(engine), "127.0.0.1:0", config).expect("bind");
+    Server::start(Arc::clone(engine), "127.0.0.1:0", config).expect("bind")
+}
+
+/// Closed-loop: each client thread ping-pongs `predict` calls.
+fn run_closed(engine: &Arc<ClassifierEngine>, args: &Args, linger_us: u64) -> RunResult {
+    let server = start_server(engine, args, linger_us);
     let addr = server.local_addr();
     let f = engine.num_features();
     let per_client = args.requests.div_ceil(args.clients);
@@ -171,6 +197,105 @@ fn run_one(engine: &Arc<ClassifierEngine>, args: &Args, linger_us: u64) -> RunRe
     }
 }
 
+/// Open-loop: per client, a timer-paced sender injects requests on an
+/// absolute schedule while a separate receiver drains responses and
+/// measures send→response latency.
+fn run_open(engine: &Arc<ClassifierEngine>, args: &Args, linger_us: u64, rate: f64) -> RunResult {
+    let server = start_server(engine, args, linger_us);
+    let addr = server.local_addr();
+    let f = engine.num_features();
+    let per_client = args.requests.div_ceil(args.clients);
+    // Global inter-arrival gap; client `c` owns arrival slots
+    // `c, c + clients, c + 2·clients, …` so the aggregate stream is
+    // evenly spaced without coordination.
+    let gap = Duration::from_secs_f64(1.0 / rate);
+
+    let mut all_latencies: Vec<u64> = Vec::with_capacity(per_client * args.clients);
+    let mut mismatches = 0u64;
+    let mut errors = 0u64;
+    let epoch = Instant::now();
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for c in 0..args.clients {
+            let engine = Arc::clone(engine);
+            joins.push(scope.spawn(move || {
+                let rows: Vec<BitVec> = (0..per_client).map(|i| load_row(f, c, i)).collect();
+                let expected = engine.predict(&FeatureMatrix::from_rows(rows.clone()));
+                let client = match Client::connect(addr) {
+                    Ok(client) => client,
+                    Err(_) => return (Vec::new(), 0, per_client as u64),
+                };
+                let (mut tx, mut rx) = client.into_split();
+                let sent_at: Vec<AtomicU64> = (0..per_client).map(|_| AtomicU64::new(0)).collect();
+
+                std::thread::scope(|s| {
+                    let sent_at = &sent_at;
+                    let rows = &rows;
+                    let send_half = s.spawn(move || {
+                        let mut sent = 0u64;
+                        for (i, row) in rows.iter().enumerate() {
+                            let target = epoch + gap * (c + i * args.clients) as u32;
+                            loop {
+                                let now = Instant::now();
+                                if now >= target {
+                                    break;
+                                }
+                                std::thread::sleep(target - now);
+                            }
+                            sent_at[i].store(epoch.elapsed().as_nanos() as u64, Ordering::Release);
+                            if tx.send(row).is_err() {
+                                break;
+                            }
+                            sent += 1;
+                        }
+                        sent
+                    });
+
+                    let mut latencies = Vec::with_capacity(per_client);
+                    let mut mismatches = 0u64;
+                    let mut errors = 0u64;
+                    for _ in 0..per_client {
+                        match rx.recv() {
+                            Ok((id, class)) => {
+                                let t0 = sent_at[id as usize].load(Ordering::Acquire);
+                                latencies.push(epoch.elapsed().as_nanos() as u64 - t0);
+                                if class != expected[id as usize] {
+                                    mismatches += 1;
+                                }
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    let sent = send_half.join().expect("sender thread");
+                    // Unsent requests and sent-but-unanswered requests both
+                    // count as transport errors.
+                    errors += (per_client as u64 - sent) + (sent - latencies.len() as u64);
+                    (latencies, mismatches, errors)
+                })
+            }));
+        }
+        for j in joins {
+            let (lat, mis, err) = j.join().expect("client thread");
+            all_latencies.extend(lat);
+            mismatches += mis;
+            errors += err;
+        }
+    });
+    let wall = epoch.elapsed();
+    let stats = server.stats();
+    let (mean_batch, served) = (stats.mean_batch(), stats.served());
+    server.shutdown();
+    all_latencies.sort_unstable();
+    RunResult {
+        latencies_ns: all_latencies,
+        wall,
+        mismatches,
+        errors,
+        mean_batch,
+        served,
+    }
+}
+
 fn main() -> ExitCode {
     let args = match Args::parse() {
         Ok(args) => args,
@@ -193,10 +318,16 @@ fn main() -> ExitCode {
         engine.classes(),
         engine.engine().plan().tape_len()
     );
-    println!(
-        "{} requests · {} closed-loop clients · {} workers · max batch {}",
-        args.requests, args.clients, args.workers, args.max_batch
-    );
+    match args.open_loop {
+        Some(rate) => println!(
+            "{} requests · {} open-loop senders at {rate:.0} req/s offered · {} workers · max batch {}",
+            args.requests, args.clients, args.workers, args.max_batch
+        ),
+        None => println!(
+            "{} requests · {} closed-loop clients · {} workers · max batch {}",
+            args.requests, args.clients, args.workers, args.max_batch
+        ),
+    }
     println!(
         "{:>10} {:>10} {:>10} {:>10} {:>10} {:>11} {:>9}",
         "linger_us", "req/s", "p50_us", "p99_us", "served", "mean_batch", "errors"
@@ -204,7 +335,10 @@ fn main() -> ExitCode {
 
     let mut failed = false;
     for &linger_us in &args.lingers_us {
-        let result = run_one(&engine, &args, linger_us);
+        let result = match args.open_loop {
+            Some(rate) => run_open(&engine, &args, linger_us, rate),
+            None => run_closed(&engine, &args, linger_us),
+        };
         let rps = result.latencies_ns.len() as f64 / result.wall.as_secs_f64();
         println!(
             "{:>10} {:>10.0} {:>10.1} {:>10.1} {:>10} {:>11.2} {:>9}",

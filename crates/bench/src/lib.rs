@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod report;
+
 use poetbin_core::arch::Architecture;
 use poetbin_core::teacher::TeacherConfig;
 use poetbin_core::workflow::{Workflow, WorkflowConfig, WorkflowResult};

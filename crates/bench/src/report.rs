@@ -1,0 +1,93 @@
+//! Machine-readable bench results: a tiny dependency-free JSON writer.
+//!
+//! Every bench binary ends by dumping its recorded medians to
+//! `BENCH_<name>.json` at the repository root, so the performance
+//! trajectory of the hot paths is tracked in-tree from run to run (CI
+//! fails the release job if the file is missing or malformed). The format
+//! is deliberately minimal:
+//!
+//! ```json
+//! {
+//!   "bench": "engine",
+//!   "results": [
+//!     {"name": "engine_throughput/scalar_60k", "median_ns": 1222000000}
+//!   ]
+//! }
+//! ```
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `(name, median)` pairs as the `BENCH_*.json` document.
+pub fn render_json(bench: &str, entries: &[(String, Duration)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{}\",\n", escape(bench)));
+    out.push_str("  \"results\": [\n");
+    for (i, (name, median)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {}}}{comma}\n",
+            escape(name),
+            median.as_nanos()
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes `BENCH_<bench>.json` at the repository root, returning the path.
+///
+/// # Errors
+///
+/// Propagates file-creation and write failures.
+pub fn write_repo_root(bench: &str, entries: &[(String, Duration)]) -> std::io::Result<PathBuf> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(format!("BENCH_{bench}.json"));
+    let mut file = std::fs::File::create(&path)?;
+    file.write_all(render_json(bench, entries).as_bytes())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_valid_minimal_json() {
+        let entries = vec![
+            ("group/fast".to_string(), Duration::from_nanos(1500)),
+            ("group/\"odd\"".to_string(), Duration::from_micros(2)),
+        ];
+        let json = render_json("engine", &entries);
+        assert!(json.contains("\"bench\": \"engine\""));
+        assert!(json.contains("{\"name\": \"group/fast\", \"median_ns\": 1500},"));
+        assert!(json.contains("{\"name\": \"group/\\\"odd\\\"\", \"median_ns\": 2000}\n"));
+        // Balanced braces/brackets — the structural sanity CI re-checks
+        // with a real JSON parser.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn renders_empty_result_list() {
+        let json = render_json("train", &[]);
+        assert!(json.contains("\"results\": [\n  ]"));
+    }
+}

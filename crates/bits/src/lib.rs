@@ -49,7 +49,9 @@ mod truth_table;
 
 pub use bitvec::BitVec;
 pub use counting::{and2_popcount, and3_popcount, popcount_words, split_counts};
-pub use matrix::{pack_word_rows, pack_word_rows_into, FeatureMatrix};
+pub use matrix::{
+    pack_block_rows, pack_block_rows_into, pack_word_rows, pack_word_rows_into, FeatureMatrix,
+};
 pub use truth_table::{TruthTable, TruthTableBytesError, MAX_LUT_INPUTS};
 
 /// Number of payload bits per storage word used throughout the crate.

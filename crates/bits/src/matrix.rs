@@ -65,32 +65,89 @@ where
     I: IntoIterator<Item = &'a BitVec>,
     I::IntoIter: Clone,
 {
+    pack_block_rows_into(rows, num_features, 1, out);
+}
+
+/// Packs up to `64 · block_words` example rows into feature-major
+/// lane-word blocks: words `j·block_words..(j+1)·block_words` of the
+/// result carry feature `j`, word `w` of the block holding rows
+/// `64·w..64·(w+1)` (row `l`'s value in bit `l % 64`) — the multi-word
+/// generalisation of [`pack_word_rows`], and the layout
+/// `poetbin_engine`'s blocked packed-evaluation path consumes.
+///
+/// This is the ingestion kernel for block-sized request coalescing: a
+/// batching server that has collected `rows.len() ≤ 64 · block_words`
+/// independent rows turns them into one engine block with a single 64×64
+/// transpose per (64-row, 64-feature) tile. Lanes `>= rows.len()` of
+/// every output word are zero.
+///
+/// # Panics
+///
+/// Panics if `rows.len() > 64 · block_words` or any row's length differs
+/// from `num_features`.
+pub fn pack_block_rows<'a, I>(rows: I, num_features: usize, block_words: usize) -> Vec<u64>
+where
+    I: IntoIterator<Item = &'a BitVec>,
+    I::IntoIter: Clone,
+{
+    let mut out = Vec::new();
+    pack_block_rows_into(rows, num_features, block_words, &mut out);
+    out
+}
+
+/// [`pack_block_rows`] into a caller-owned buffer (cleared and resized to
+/// `num_features · block_words` words), so a serving worker that packs one
+/// block per batch forever allocates nothing on its hot path. The rows
+/// iterator is walked once to validate and once per 64-row tile stripe —
+/// hence the `Clone` bound; slices and `iter().map(..)` adapters satisfy
+/// it for free.
+///
+/// # Panics
+///
+/// As for [`pack_block_rows`].
+pub fn pack_block_rows_into<'a, I>(
+    rows: I,
+    num_features: usize,
+    block_words: usize,
+    out: &mut Vec<u64>,
+) where
+    I: IntoIterator<Item = &'a BitVec>,
+    I::IntoIter: Clone,
+{
     let iter = rows.into_iter();
     out.clear();
-    out.resize(num_features, 0);
-    let mut lanes = 0usize;
+    out.resize(num_features * block_words, 0);
+    let mut count = 0usize;
     for row in iter.clone() {
-        assert!(lanes < WORD_BITS, "at most 64 rows fit one lane word");
+        assert!(
+            count < block_words * WORD_BITS,
+            "at most {} rows fit a {block_words}-word block",
+            block_words * WORD_BITS
+        );
         assert_eq!(
             row.len(),
             num_features,
-            "row {lanes} has {} features, expected {num_features}",
+            "row {count} has {} features, expected {num_features}",
             row.len()
         );
-        lanes += 1;
+        count += 1;
     }
     let mut block = [0u64; WORD_BITS];
-    for in_word in 0..num_features.div_ceil(WORD_BITS) {
-        for (l, row) in iter.clone().enumerate() {
-            block[l] = row.as_words()[in_word];
-        }
-        for w in block.iter_mut().skip(lanes) {
-            *w = 0;
-        }
-        transpose64(&mut block);
-        let start = in_word * WORD_BITS;
-        for (j, &w) in block.iter().enumerate().take(num_features - start) {
-            out[start + j] = w;
+    for (w, base) in (0..count).step_by(WORD_BITS).enumerate() {
+        let lanes = (count - base).min(WORD_BITS);
+        let stripe = iter.clone().skip(base).take(lanes);
+        for in_word in 0..num_features.div_ceil(WORD_BITS) {
+            for (l, row) in stripe.clone().enumerate() {
+                block[l] = row.as_words()[in_word];
+            }
+            for slot in block.iter_mut().skip(lanes) {
+                *slot = 0;
+            }
+            transpose64(&mut block);
+            let start = in_word * WORD_BITS;
+            for (j, &word) in block.iter().enumerate().take(num_features - start) {
+                out[(start + j) * block_words + w] = word;
+            }
         }
     }
 }
@@ -440,6 +497,51 @@ mod tests {
     fn pack_word_rows_rejects_65_rows() {
         let rows: Vec<BitVec> = (0..65).map(|_| BitVec::zeros(3)).collect();
         pack_word_rows(rows.iter(), 3);
+    }
+
+    #[test]
+    fn pack_block_rows_matches_column_planes() {
+        // Any lane count, block width and feature width must reproduce
+        // the column-plane words a FeatureMatrix over the same rows holds,
+        // feature-major with `block_words` stride.
+        for (lanes, f, bw) in [
+            (0usize, 5usize, 4usize),
+            (1, 1, 8),
+            (65, 70, 4),
+            (64, 64, 1),
+            (255, 65, 4),
+            (256, 3, 4),
+            (512, 130, 8),
+            (300, 33, 8),
+        ] {
+            let rows: Vec<BitVec> = (0..lanes)
+                .map(|e| BitVec::from_fn(f, |j| (e * 31 + j * 7) % 5 < 2))
+                .collect();
+            let words = pack_block_rows(rows.iter(), f, bw);
+            assert_eq!(words.len(), f * bw);
+            let m = FeatureMatrix::from_rows(rows);
+            for j in 0..f {
+                for w in 0..bw {
+                    let expect = if w * WORD_BITS >= lanes {
+                        0
+                    } else {
+                        m.feature(j).as_words()[w]
+                    };
+                    assert_eq!(
+                        words[j * bw + w],
+                        expect,
+                        "feature {j} word {w} of {lanes}x{f} (block {bw})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 256 rows")]
+    fn pack_block_rows_rejects_overfull_block() {
+        let rows: Vec<BitVec> = (0..257).map(|_| BitVec::zeros(3)).collect();
+        pack_block_rows(rows.iter(), 3, 4);
     }
 
     #[test]

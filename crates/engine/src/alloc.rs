@@ -1,0 +1,315 @@
+//! Liveness analysis and value-slot allocation for the specialized tape.
+//!
+//! The plan builder emits ops in SSA form — every definition gets a fresh
+//! value id, which makes complement tracking and common-subexpression
+//! elimination trivially sound. Left that way, the value array would need
+//! one word block per definition (tens of thousands on a paper-shaped
+//! netlist), far outside any cache once each slot is widened to a `B`-word
+//! lane block. This pass runs a linear scan over the tape instead: each
+//! id's live range ends at its last read, dead ranges return their slot to
+//! a free stack, and the next definition reuses the most recently freed
+//! slot (the hottest line in cache). Peak simultaneous liveness — not
+//! total definitions — bounds the blocked value array, which is what keeps
+//! it cache-resident.
+
+use crate::ops::{TapeOp, NUM_KINDS};
+
+/// Location of the constant-false lane block in the value array.
+pub(crate) const LOC_ZERO: u32 = 0;
+/// Location of the constant-true lane block in the value array.
+pub(crate) const LOC_ONE: u32 = 1;
+
+/// Reorders an SSA op stream into long same-opcode runs (kind-run list
+/// scheduling).
+///
+/// The blocked executor hoists its opcode dispatch out of the op loop and
+/// runs one specialized inner loop per *segment* of consecutive same-kind
+/// ops. Left in emission order the tape interleaves kinds almost every
+/// op, so the dispatch branch mispredicts constantly and segments
+/// degenerate to length ~1. This pass list-schedules the DAG instead:
+/// among the ops whose operands are all defined, it greedily drains the
+/// opcode with the most ready ops (newly readied ops of the same kind
+/// extend the current run) before switching. Bitwise ops are
+/// order-insensitive, so any topological order produces bit-identical
+/// results; this one turns tens of thousands of dispatches into a few
+/// hundred.
+pub(crate) fn schedule_kind_runs(ops: &[TapeOp], num_ids: usize) -> Vec<TapeOp> {
+    // `def_op[id]` = index of the op defining id, or MAX for inputs and
+    // constants (always ready).
+    let mut def_op = vec![u32::MAX; num_ids];
+    for (i, op) in ops.iter().enumerate() {
+        def_op[op.dst as usize] = i as u32;
+    }
+    let mut indegree = vec![0u32; ops.len()];
+    let mut consumers: Vec<Vec<u32>> = vec![Vec::new(); ops.len()];
+    for (i, op) in ops.iter().enumerate() {
+        let mut sources = [op.a, op.b, op.c];
+        sources.sort_unstable();
+        for (j, &src) in sources.iter().enumerate() {
+            if j > 0 && sources[j - 1] == src {
+                continue;
+            }
+            let def = def_op[src as usize];
+            if def != u32::MAX {
+                indegree[i] += 1;
+                consumers[def as usize].push(i as u32);
+            }
+        }
+    }
+
+    let mut ready: [std::collections::VecDeque<u32>; NUM_KINDS] = Default::default();
+    for (i, op) in ops.iter().enumerate() {
+        if indegree[i] == 0 {
+            ready[op.kind.index()].push_back(i as u32);
+        }
+    }
+    let pick = |ready: &[std::collections::VecDeque<u32>; NUM_KINDS]| -> usize {
+        let mut best = 0;
+        for k in 1..NUM_KINDS {
+            if ready[k].len() > ready[best].len() {
+                best = k;
+            }
+        }
+        best
+    };
+    let mut scheduled = Vec::with_capacity(ops.len());
+    let mut current = pick(&ready);
+    while scheduled.len() < ops.len() {
+        // Drain the current kind FIFO; ops readied mid-run of the same
+        // kind join the run.
+        while let Some(i) = ready[current].pop_front() {
+            let op = ops[i as usize];
+            scheduled.push(op);
+            for &c in &consumers[i as usize] {
+                indegree[c as usize] -= 1;
+                if indegree[c as usize] == 0 {
+                    ready[ops[c as usize].kind.index()].push_back(c);
+                }
+            }
+        }
+        // Switch to the kind with the most ready ops.
+        current = pick(&ready);
+    }
+    scheduled
+}
+
+/// The allocator's output: the same tape rewritten over physical slots.
+pub(crate) struct Allocation {
+    /// Tape ops with `dst`/`a`/`b`/`c` rewritten to physical slots.
+    pub(crate) ops: Vec<TapeOp>,
+    /// `(slot, primary-input index)` loads to run before the tape.
+    pub(crate) input_loads: Vec<(u32, u32)>,
+    /// Physical slot of each netlist output.
+    pub(crate) outputs: Vec<u32>,
+    /// Slots the value array must hold (constants included).
+    pub(crate) num_vals: usize,
+    /// SSA definitions dropped because nothing read them.
+    pub(crate) dead_ops: usize,
+}
+
+/// Rewrites an SSA tape onto reusable physical slots.
+///
+/// `input_defs` is `(value id, primary-input index)` in definition order
+/// (conceptually defined before op 0); `output_ids` are read after the
+/// last op, pinning their ranges to the end of the tape. Ids `0`/`1` are
+/// the constants and keep slots [`LOC_ZERO`]/[`LOC_ONE`]. Loads for inputs
+/// nothing reads are dropped along with dead ops.
+pub(crate) fn allocate(
+    ops: &[TapeOp],
+    input_defs: &[(u32, u32)],
+    output_ids: &[u32],
+    num_ids: usize,
+) -> Allocation {
+    // Dead-code sweep: an op whose destination is never read (directly or
+    // transitively towards an output) must not occupy a slot. SSA order
+    // means one reverse pass settles transitive deadness.
+    let mut used = vec![false; num_ids];
+    for &o in output_ids {
+        used[o as usize] = true;
+    }
+    let mut keep = vec![false; ops.len()];
+    for (i, op) in ops.iter().enumerate().rev() {
+        if !used[op.dst as usize] {
+            continue;
+        }
+        keep[i] = true;
+        for src in [op.a, op.b, op.c] {
+            used[src as usize] = true;
+        }
+    }
+    let kept: Vec<TapeOp> = ops
+        .iter()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|(op, _)| *op)
+        .collect();
+    let dead_ops = ops.len() - kept.len();
+
+    // Live ranges: index of the last read of each id. Outputs are read at
+    // `kept.len()`, one past the final op, so they survive the whole tape.
+    let mut last_use = vec![usize::MAX; num_ids];
+    for (i, op) in kept.iter().enumerate() {
+        for src in [op.a, op.b, op.c] {
+            last_use[src as usize] = i;
+        }
+    }
+    for &o in output_ids {
+        last_use[o as usize] = kept.len();
+    }
+
+    // Linear scan. The free list is a stack so a slot freed by this op's
+    // dying operand is immediately reused for its result.
+    let mut slot_of = vec![u32::MAX; num_ids];
+    slot_of[0] = LOC_ZERO;
+    slot_of[1] = LOC_ONE;
+    let mut free: Vec<u32> = Vec::new();
+    let mut next_slot = 2u32;
+    let mut alloc = |free: &mut Vec<u32>| -> u32 {
+        free.pop().unwrap_or_else(|| {
+            let s = next_slot;
+            next_slot += 1;
+            s
+        })
+    };
+
+    let mut input_loads = Vec::with_capacity(input_defs.len());
+    for &(id, feature) in input_defs {
+        if last_use[id as usize] == usize::MAX {
+            continue; // loaded for a LUT that never actually reads it
+        }
+        let slot = alloc(&mut free);
+        slot_of[id as usize] = slot;
+        input_loads.push((slot, feature));
+    }
+
+    let mut remapped = Vec::with_capacity(kept.len());
+    for (i, op) in kept.iter().enumerate() {
+        let a = slot_of[op.a as usize];
+        let b = slot_of[op.b as usize];
+        let c = slot_of[op.c as usize];
+        debug_assert!(
+            a != u32::MAX && b != u32::MAX && c != u32::MAX,
+            "operand read before definition"
+        );
+        // Free dying operands before allocating the destination: reading
+        // each lane strictly precedes writing it, so in-place reuse is
+        // sound even for the three-operand mux. Dedup so `x op x` cannot
+        // free one slot twice (double-allocation would alias two live
+        // values).
+        let mut sources = [op.a, op.b, op.c];
+        sources.sort_unstable();
+        for (j, &src) in sources.iter().enumerate() {
+            if src <= 1 || (j > 0 && sources[j - 1] == src) {
+                continue;
+            }
+            if last_use[src as usize] == i {
+                free.push(slot_of[src as usize]);
+            }
+        }
+        let dst = alloc(&mut free);
+        slot_of[op.dst as usize] = dst;
+        remapped.push(TapeOp {
+            kind: op.kind,
+            dst,
+            a,
+            b,
+            c,
+        });
+    }
+
+    let outputs = output_ids
+        .iter()
+        .map(|&o| {
+            debug_assert!(slot_of[o as usize] != u32::MAX, "output never defined");
+            slot_of[o as usize]
+        })
+        .collect();
+
+    Allocation {
+        ops: remapped,
+        input_loads,
+        outputs,
+        num_vals: next_slot as usize,
+        dead_ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::OpKind;
+
+    fn op(kind: OpKind, dst: u32, a: u32, b: u32, c: u32) -> TapeOp {
+        TapeOp { kind, dst, a, b, c }
+    }
+
+    /// ids: 0/1 consts, 2/3 inputs, 4..=6 ops. Op 5 is dead.
+    #[test]
+    fn dead_ops_are_dropped_and_slots_reused() {
+        let ops = vec![
+            op(OpKind::And, 4, 2, 3, 2),
+            op(OpKind::Not, 5, 2, 2, 2), // dead: nothing reads 5
+            op(OpKind::Xor, 6, 4, 3, 4),
+        ];
+        let a = allocate(&ops, &[(2, 0), (3, 1)], &[6], 7);
+        assert_eq!(a.dead_ops, 1);
+        assert_eq!(a.ops.len(), 2);
+        // Inputs take slots 2 and 3; the And result takes slot 4 (nothing
+        // died yet: 2 is read again by nothing, but 3 is read by the Xor).
+        // At the Xor both 4 and 3 die, so its result reuses one of them.
+        assert!(a.num_vals <= 5);
+        assert_eq!(a.outputs.len(), 1);
+        assert!(a.outputs[0] >= 2);
+    }
+
+    #[test]
+    fn same_operand_twice_frees_once() {
+        // Xor(x, x) kills id 2 — the free list must grow by one slot, not
+        // two, or the next two definitions would share a slot.
+        let ops = vec![
+            op(OpKind::Xor, 3, 2, 2, 2),
+            op(OpKind::Not, 4, 3, 3, 3),
+            op(OpKind::Or, 5, 4, 1, 4),
+        ];
+        let a = allocate(&ops, &[(2, 0)], &[5], 6);
+        assert_eq!(a.dead_ops, 0);
+        let slots: Vec<u32> = a.ops.iter().map(|o| o.dst).collect();
+        // Each dst must differ from every slot still live at that point;
+        // with perfect reuse all three results share the input's slot 2.
+        assert_eq!(slots, vec![2, 2, 2]);
+        assert_eq!(a.num_vals, 3);
+    }
+
+    #[test]
+    fn outputs_survive_to_the_end() {
+        // id 3 is an output and must keep its slot even though its last op
+        // read is early.
+        let ops = vec![
+            op(OpKind::Not, 3, 2, 2, 2),
+            op(OpKind::Not, 4, 3, 3, 3),
+            op(OpKind::Not, 5, 4, 4, 4),
+        ];
+        let a = allocate(&ops, &[(2, 0)], &[3, 5], 6);
+        let s3 = a.ops[0].dst;
+        // Neither later definition may reuse the output's slot.
+        assert_ne!(a.ops[1].dst, s3);
+        assert_ne!(a.ops[2].dst, s3);
+        assert_eq!(a.outputs[0], s3);
+        assert_eq!(a.outputs[1], a.ops[2].dst);
+    }
+
+    #[test]
+    fn unused_input_loads_are_dropped() {
+        let ops = vec![op(OpKind::Not, 4, 2, 2, 2)];
+        let a = allocate(&ops, &[(2, 0), (3, 1)], &[4], 5);
+        assert_eq!(a.input_loads.len(), 1);
+        assert_eq!(a.input_loads[0].1, 0);
+    }
+
+    #[test]
+    fn constant_output_maps_to_const_slot() {
+        let a = allocate(&[], &[(2, 0)], &[1, 0], 3);
+        assert_eq!(a.outputs, vec![LOC_ONE, LOC_ZERO]);
+        assert!(a.input_loads.is_empty(), "unused input load kept");
+    }
+}

@@ -1,24 +1,39 @@
-//! Batch evaluation of a compiled plan, with multi-core sharding.
+//! Batch evaluation of a compiled plan: lane-blocked tape passes with
+//! multi-core sharding.
 
 use poetbin_bits::{BitVec, FeatureMatrix};
 use poetbin_core::PoetBinClassifier;
 use poetbin_fpga::{Netlist, NetlistError};
 
-use crate::plan::EvalPlan;
+use crate::plan::{EvalPlan, MAX_BLOCK_WORDS};
 
 /// Minimum words (64-example blocks) a shard must receive before the
 /// engine bothers spawning threads: below this the per-thread setup costs
 /// more than the parallelism recovers.
 pub const MIN_WORDS_PER_SHARD: usize = 8;
 
-/// A word-parallel batch evaluator over a compiled [`EvalPlan`].
+/// Smallest supported block width `B ∈ {1, 4, 8}` covering `words`.
+fn block_for_words(words: usize) -> usize {
+    match words {
+        0..=1 => 1,
+        2..=4 => 4,
+        _ => MAX_BLOCK_WORDS,
+    }
+}
+
+/// A lane-blocked batch evaluator over a compiled [`EvalPlan`].
 ///
-/// The engine runs the compiled mux tape 64 examples per word and, for
+/// The engine runs the compiled tape over blocks of `B ∈ {1, 4, 8}` lane
+/// words — 64·B examples per pass — through inner loops monomorphized per
+/// block width, so op-stream decode cost is amortised `B×` and each op's
+/// fixed-width block loop auto-vectorizes. By default the widest block
+/// covering the batch is chosen; [`Engine::with_block_words`] pins it. For
 /// batches large enough to amortise thread startup
-/// ([`MIN_WORDS_PER_SHARD`] words per shard), splits the word range across
-/// scoped threads (`std::thread::scope`); each shard owns one reusable
-/// value array for the entire run, so the hot loop performs no allocation
-/// and no per-op dispatch.
+/// ([`MIN_WORDS_PER_SHARD`] words per shard) the word range is split in
+/// whole blocks across scoped threads (`std::thread::scope`); each shard
+/// owns one reusable blocked value array for the entire run, so the hot
+/// loop performs no allocation. Outputs are bit-identical at every block
+/// width, shard count and tail shape.
 ///
 /// # Example
 ///
@@ -45,14 +60,17 @@ pub const MIN_WORDS_PER_SHARD: usize = 8;
 pub struct Engine {
     plan: EvalPlan,
     threads: Option<usize>,
+    block: Option<usize>,
 }
 
 impl Engine {
-    /// Wraps an already-compiled plan with automatic thread selection.
+    /// Wraps an already-compiled plan with automatic thread and block
+    /// selection.
     pub fn new(plan: EvalPlan) -> Engine {
         Engine {
             plan,
             threads: None,
+            block: None,
         }
     }
 
@@ -79,6 +97,24 @@ impl Engine {
     pub fn with_threads(mut self, threads: usize) -> Engine {
         assert!(threads > 0, "thread count must be positive");
         self.threads = Some(threads);
+        self
+    }
+
+    /// Fixes the lane-block width (builder style): every tape pass then
+    /// evaluates exactly `block` 64-example words (`64 · block` lanes),
+    /// with partial tails masked. Without this call the engine picks the
+    /// widest block covering the batch. Outputs are bit-identical at
+    /// every width; this knob exists for benchmarking and tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is not one of `1`, `4`, `8`.
+    pub fn with_block_words(mut self, block: usize) -> Engine {
+        assert!(
+            matches!(block, 1 | 4 | 8),
+            "block width must be 1, 4 or 8 words"
+        );
+        self.block = Some(block);
         self
     }
 
@@ -119,58 +155,90 @@ impl Engine {
         let n = batch.num_examples();
         let num_words = n.div_ceil(64);
         let k = self.plan.num_outputs();
+        if k == 0 {
+            return Vec::new();
+        }
         // Word-major flat output buffer: words are contiguous per shard, so
         // `chunks_mut` hands each thread an exclusive, contiguous slice.
         let mut flat = vec![0u64; num_words * k];
+        let block = self.block.unwrap_or_else(|| block_for_words(num_words));
         let shards = self.shard_count(num_words);
 
         if shards <= 1 {
-            self.run_shard(batch, 0, &mut flat);
+            self.run_shard(batch, 0, &mut flat, block);
         } else {
-            let words_per_shard = num_words.div_ceil(shards);
+            // Shards split on block boundaries so only the final shard
+            // ever runs a partial tail block.
+            let words_per_shard = num_words.div_ceil(shards).next_multiple_of(block);
             std::thread::scope(|scope| {
-                for (s, chunk) in flat.chunks_mut(words_per_shard * k.max(1)).enumerate() {
+                for (s, chunk) in flat.chunks_mut(words_per_shard * k).enumerate() {
                     let this = &self;
-                    scope.spawn(move || this.run_shard(batch, s * words_per_shard, chunk));
+                    scope.spawn(move || this.run_shard(batch, s * words_per_shard, chunk, block));
                 }
             });
         }
 
-        (0..k)
-            .map(|o| {
-                let words: Vec<u64> = (0..num_words).map(|w| flat[w * k + o]).collect();
-                // Tail lanes past `n` may hold garbage (constants evaluate
-                // to all-ones there); from_words clears them.
-                BitVec::from_words(words, n)
-            })
+        // Epilogue gather: one word-major pass over `flat`, distributing
+        // each word's `k`-chunk to its output column — every cache line of
+        // `flat` is touched exactly once, instead of `k` strided
+        // re-reads per output.
+        let mut cols: Vec<Vec<u64>> = (0..k).map(|_| vec![0u64; num_words]).collect();
+        for (w, chunk) in flat.chunks_exact(k).enumerate() {
+            for (col, &word) in cols.iter_mut().zip(chunk) {
+                col[w] = word;
+            }
+        }
+        // Tail lanes past `n` may hold garbage (constants evaluate to
+        // all-ones there); from_words clears them.
+        cols.into_iter()
+            .map(|words| BitVec::from_words(words, n))
             .collect()
     }
 
     /// Evaluates a contiguous run of words starting at `first_word`,
     /// writing into the word-major `out` slice (`num_outputs` words per
-    /// batch word).
-    fn run_shard(&self, batch: &FeatureMatrix, first_word: usize, out: &mut [u64]) {
+    /// batch word), in blocks of `block` words.
+    fn run_shard(&self, batch: &FeatureMatrix, first_word: usize, out: &mut [u64], block: usize) {
+        match block {
+            1 => self.run_shard_blocked::<1>(batch, first_word, out),
+            4 => self.run_shard_blocked::<4>(batch, first_word, out),
+            _ => self.run_shard_blocked::<8>(batch, first_word, out),
+        }
+    }
+
+    fn run_shard_blocked<const B: usize>(
+        &self,
+        batch: &FeatureMatrix,
+        first_word: usize,
+        out: &mut [u64],
+    ) {
         let k = self.plan.num_outputs();
         if k == 0 {
             return;
         }
-        let mut vals = vec![0u64; self.plan.num_vals()];
-        vals[1] = u64::MAX; // the constant-true lane word
-        for (i, out_word) in out.chunks_mut(k).enumerate() {
-            self.plan
-                .eval_word(batch, first_word + i, &mut vals, out_word);
+        let mut vals = vec![0u64; self.plan.vals_len(B)];
+        self.plan.init_consts::<B>(&mut vals);
+        let words = out.len() / k;
+        let mut w = 0;
+        while w < words {
+            let valid = (words - w).min(B);
+            self.plan.eval_block::<B>(
+                batch,
+                first_word + w,
+                valid,
+                &mut vals,
+                &mut out[w * k..(w + valid) * k],
+            );
+            w += valid;
         }
     }
 
-    /// Allocates a reusable [`Scratch`] sized for this engine's plan.
+    /// Allocates a reusable [`Scratch`] sized for this engine's plan at
+    /// the widest block.
     pub fn scratch(&self) -> Scratch {
-        let mut vals = vec![0u64; self.plan.num_vals()];
-        if vals.len() > 1 {
-            vals[1] = u64::MAX; // the constant-true lane word
-        }
         Scratch {
-            vals,
-            out: vec![0u64; self.plan.num_outputs()],
+            vals: vec![0u64; self.plan.vals_len(MAX_BLOCK_WORDS)],
+            out: vec![0u64; self.plan.num_outputs() * MAX_BLOCK_WORDS],
         }
     }
 
@@ -183,8 +251,8 @@ impl Engine {
     /// is clear may hold arbitrary garbage in every operand; the mask is
     /// applied to each output word, so garbage never escapes into results.
     /// Returns one masked word per netlist output, borrowed from
-    /// `scratch` — the partial-word tail path a request batcher uses when
-    /// fewer than 64 requests have arrived.
+    /// `scratch`. This is the one-word case of
+    /// [`Engine::eval_blocks_masked`].
     ///
     /// # Panics
     ///
@@ -196,35 +264,89 @@ impl Engine {
         lane_mask: u64,
         scratch: &'s mut Scratch,
     ) -> &'s [u64] {
+        self.eval_blocks_masked(feature_words, 1, lane_mask, scratch)
+    }
+
+    /// Evaluates up to [`MAX_BLOCK_WORDS`] packed lane words in one tape
+    /// pass, masking the final word to its valid lanes.
+    ///
+    /// `feature_blocks` is the [`poetbin_bits::pack_block_rows`] layout:
+    /// `feature_blocks[j * words + w]` carries word `w` of feature `j`.
+    /// All words but the last are taken as fully live; lanes of the last
+    /// word where `tail_mask` is clear may hold arbitrary garbage in every
+    /// operand without affecting live lanes, and are zero in every output
+    /// word. Returns the outputs output-major with the same stride
+    /// (`result[o * words + w]`), borrowed from `scratch` — the
+    /// partial-block tail path a request batcher uses when fewer than
+    /// `64 · words` requests have arrived.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is not in `1..=`[`MAX_BLOCK_WORDS`],
+    /// `feature_blocks.len()` differs from `num_inputs · words`, or
+    /// `scratch` was allocated for a different plan shape.
+    pub fn eval_blocks_masked<'s>(
+        &self,
+        feature_blocks: &[u64],
+        words: usize,
+        tail_mask: u64,
+        scratch: &'s mut Scratch,
+    ) -> &'s [u64] {
+        assert!(
+            (1..=MAX_BLOCK_WORDS).contains(&words),
+            "block of {words} words outside 1..={MAX_BLOCK_WORDS}"
+        );
         assert_eq!(
-            feature_words.len(),
-            self.plan.num_inputs(),
-            "packed word has {} features, plan expects {}",
-            feature_words.len(),
+            feature_blocks.len(),
+            self.plan.num_inputs() * words,
+            "packed block has {} words, plan expects {} features x {words}",
+            feature_blocks.len(),
             self.plan.num_inputs()
         );
         assert!(
-            scratch.vals.len() == self.plan.num_vals()
-                && scratch.out.len() == self.plan.num_outputs(),
+            scratch.vals.len() == self.plan.vals_len(MAX_BLOCK_WORDS)
+                && scratch.out.len() == self.plan.num_outputs() * MAX_BLOCK_WORDS,
             "scratch was allocated for a different plan"
         );
-        self.plan
-            .eval_packed(feature_words, &mut scratch.vals, &mut scratch.out);
-        for w in &mut scratch.out {
-            *w &= lane_mask;
+        let k = self.plan.num_outputs();
+        let out = &mut scratch.out[..k * words];
+        // The scratch value array serves every block width: constants are
+        // re-laid-out for the chosen width, and every other slot is
+        // written before it is read.
+        match block_for_words(words) {
+            1 => {
+                self.plan.init_consts::<1>(&mut scratch.vals);
+                self.plan
+                    .eval_packed_block::<1>(feature_blocks, words, &mut scratch.vals, out);
+            }
+            4 => {
+                self.plan.init_consts::<4>(&mut scratch.vals);
+                self.plan
+                    .eval_packed_block::<4>(feature_blocks, words, &mut scratch.vals, out);
+            }
+            _ => {
+                self.plan.init_consts::<8>(&mut scratch.vals);
+                self.plan
+                    .eval_packed_block::<8>(feature_blocks, words, &mut scratch.vals, out);
+            }
         }
-        &scratch.out
+        for o in 0..k {
+            out[o * words + words - 1] &= tail_mask;
+        }
+        &scratch.out[..k * words]
     }
 }
 
-/// Reusable working memory for the single-word evaluation path
-/// ([`Engine::eval_word_masked`] / [`ClassifierEngine::predict_word_into`]).
+/// Reusable working memory for the packed evaluation paths
+/// ([`Engine::eval_blocks_masked`] /
+/// [`ClassifierEngine::predict_block_into`] and their one-word forms).
 ///
-/// Holds the plan's value array and an output-word buffer, so a worker
-/// shard serving a stream of micro-batches allocates once and re-evaluates
-/// forever. Obtain one from [`Engine::scratch`] or
-/// [`ClassifierEngine::scratch`]; a scratch is only valid for the engine
-/// that created it (enforced by size assertions).
+/// Holds the plan's value array sized for the widest block plus an
+/// output buffer, so a worker shard serving a stream of micro-batches
+/// allocates once and re-evaluates forever, at any block width. Obtain
+/// one from [`Engine::scratch`] or [`ClassifierEngine::scratch`]; a
+/// scratch is only valid for the engine that created it (enforced by size
+/// assertions).
 #[derive(Clone, Debug)]
 pub struct Scratch {
     vals: Vec<u64>,
@@ -273,6 +395,17 @@ impl ClassifierEngine {
         self
     }
 
+    /// Fixes the lane-block width (builder style); see
+    /// [`Engine::with_block_words`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is not one of `1`, `4`, `8`.
+    pub fn with_block_words(mut self, block: usize) -> ClassifierEngine {
+        self.engine = self.engine.with_block_words(block);
+        self
+    }
+
     /// The underlying netlist engine.
     pub fn engine(&self) -> &Engine {
         &self.engine
@@ -288,25 +421,15 @@ impl ClassifierEngine {
         self.classes
     }
 
-    /// Allocates a reusable [`Scratch`] for the single-word predict path.
+    /// Allocates a reusable [`Scratch`] for the packed predict paths.
     pub fn scratch(&self) -> Scratch {
         self.engine.scratch()
     }
 
     /// Predicts up to 64 examples packed into one lane word, writing one
-    /// class index per lane into `preds`.
-    ///
-    /// `feature_words` is the [`poetbin_bits::pack_word_rows`] layout:
-    /// word `j` carries feature `j`, lane `l` is example `l`. Exactly
-    /// `preds.len()` lanes are decoded; higher lanes may hold garbage (the
-    /// evaluation is masked to the live lanes, see
-    /// [`Engine::eval_word_masked`]). Predictions are bit-identical to
-    /// [`ClassifierEngine::predict`] on the same rows — same q-bit scores,
-    /// same smallest-index tie-breaking.
-    ///
-    /// This is the serving hot path: a micro-batcher that has coalesced
-    /// `preds.len() ≤ 64` concurrent requests runs them all in one tape
-    /// pass with zero allocation (`scratch` is reused across calls).
+    /// class index per lane into `preds`. The one-word case of
+    /// [`ClassifierEngine::predict_block_into`]; `feature_words` is the
+    /// [`poetbin_bits::pack_word_rows`] layout.
     ///
     /// # Panics
     ///
@@ -318,23 +441,65 @@ impl ClassifierEngine {
         scratch: &mut Scratch,
         preds: &mut [usize],
     ) {
+        assert!(preds.len() <= 64, "at most 64 lanes fit one word");
+        self.predict_block_into(feature_words, scratch, preds);
+    }
+
+    /// Predicts up to `64 ·` [`MAX_BLOCK_WORDS`] examples packed into one
+    /// lane-word block, writing one class index per lane into `preds`.
+    ///
+    /// `feature_blocks` is the [`poetbin_bits::pack_block_rows`] layout
+    /// over `preds.len().div_ceil(64)` words: word `j·words + w` carries
+    /// lanes `64·w..64·(w+1)` of feature `j`. Exactly
+    /// `preds.len()` lanes are decoded; higher lanes of the final word may
+    /// hold garbage (the evaluation is masked, see
+    /// [`Engine::eval_blocks_masked`]). Predictions are bit-identical to
+    /// [`ClassifierEngine::predict`] on the same rows — same q-bit scores,
+    /// same smallest-index tie-breaking.
+    ///
+    /// This is the serving hot path: a micro-batcher that has coalesced up
+    /// to `64 · 8` concurrent requests runs them all in one tape pass with
+    /// zero allocation (`scratch` is reused across calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `preds.len() > 64 ·` [`MAX_BLOCK_WORDS`],
+    /// `feature_blocks.len()` differs from `num_features ·
+    /// preds.len().div_ceil(64)`, or `scratch` belongs to another engine.
+    pub fn predict_block_into(
+        &self,
+        feature_blocks: &[u64],
+        scratch: &mut Scratch,
+        preds: &mut [usize],
+    ) {
         let lanes = preds.len();
-        assert!(lanes <= 64, "at most 64 lanes fit one word");
-        let lane_mask = if lanes == 64 {
+        if lanes == 0 {
+            return;
+        }
+        assert!(
+            lanes <= 64 * MAX_BLOCK_WORDS,
+            "at most {} lanes fit one block",
+            64 * MAX_BLOCK_WORDS
+        );
+        let words = lanes.div_ceil(64);
+        let tail = lanes % 64;
+        let tail_mask = if tail == 0 {
             u64::MAX
         } else {
-            (1u64 << lanes) - 1
+            (1u64 << tail) - 1
         };
         let q = self.q_bits;
         let outs = self
             .engine
-            .eval_word_masked(feature_words, lane_mask, scratch);
-        let mut best = [0u64; 64];
+            .eval_blocks_masked(feature_blocks, words, tail_mask, scratch);
+        let mut best = [0u64; 64 * MAX_BLOCK_WORDS];
         for c in 0..self.classes {
+            let class_outs = &outs[c * q * words..(c + 1) * q * words];
             for (l, pred) in preds.iter_mut().enumerate() {
+                let (w, bit) = (l / 64, l % 64);
                 let mut score = 0u64;
-                for (b, &word) in outs[c * q..(c + 1) * q].iter().enumerate() {
-                    score |= ((word >> l) & 1) << b;
+                for b in 0..q {
+                    score |= ((class_outs[b * words + w] >> bit) & 1) << b;
                 }
                 if c == 0 || score > best[l] {
                     best[l] = score;

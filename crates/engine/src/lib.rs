@@ -8,19 +8,25 @@
 //!
 //! * [`EvalPlan`] — compiles a [`poetbin_fpga::Netlist`] once: a
 //!   topo-sorted schedule over live nodes only, every truth table lowered
-//!   to a subtable-deduplicated mux DAG, and the whole design flattened
-//!   into one branch-free mux tape over a flat value array (plus
-//!   levelization stats).
-//! * [`Engine`] — evaluates a batch against the plan, 64 examples per
-//!   word, sharding the word range across scoped threads when the batch is
-//!   big enough to pay for them.
+//!   to a subtable-deduplicated mux DAG, each structural mux classified
+//!   into a specialized opcode (`and`/`andnot`/`or`/`ornot`/`xor`/`xnor`/
+//!   `not`/`mux`, see [`EvalPlan::op_stats`]), complements and common
+//!   subexpressions deduplicated globally, and the SSA stream
+//!   linear-scanned onto reusable value slots so the working set is peak
+//!   liveness, not total signals (plus levelization stats).
+//! * [`Engine`] — evaluates a batch against the plan in lane blocks of
+//!   `B ∈ {1, 4, 8}` words (64–512 examples per tape pass, monomorphized
+//!   per width), sharding the block range across scoped threads when the
+//!   batch is big enough to pay for them. Outputs are bit-identical at
+//!   every block width, shard count and tail shape.
 //! * [`ClassifierEngine`] — an [`Engine`] over a trained
 //!   [`poetbin_core::PoetBinClassifier`]'s lowered netlist plus the q-bit
 //!   argmax decode, bit-identical to `PoetBinClassifier::predict`.
-//! * [`Scratch`] and the masked single-word path
-//!   ([`Engine::eval_word_masked`] /
-//!   [`ClassifierEngine::predict_word_into`]) — allocation-free evaluation
-//!   of one packed 64-lane word with dead lanes masked out, the substrate
+//! * [`Scratch`] and the masked packed paths
+//!   ([`Engine::eval_blocks_masked`] /
+//!   [`ClassifierEngine::predict_block_into`] and their one-word forms) —
+//!   allocation-free evaluation of up to [`MAX_BLOCK_WORDS`] packed lane
+//!   words with dead tail lanes masked out, the substrate
 //!   `poetbin-serve`'s request micro-batcher runs on.
 //!
 //! # Example
@@ -40,12 +46,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod alloc;
 mod engine;
 mod kernel;
+mod ops;
 mod plan;
 
 pub use engine::{ClassifierEngine, Engine, Scratch, MIN_WORDS_PER_SHARD};
-pub use plan::EvalPlan;
+pub use ops::OpStats;
+pub use plan::{EvalPlan, MAX_BLOCK_WORDS};
 
 #[cfg(test)]
 mod tests {
@@ -76,12 +85,21 @@ mod tests {
         let net = xor_chain_net();
         let plan = EvalPlan::compile(&net).expect("valid netlist");
         assert_eq!(plan.dead_nodes(), 1, "the unused LUT must be dropped");
-        // Live non-constant signals: 2 inputs + xor + 5 inverters + mux.
-        assert_eq!(plan.num_slots(), 9);
-        // Two ops for the xor (complement + mux), one NOT per inverter,
-        // one for the netlist mux — the constant and the dead LUT cost
-        // nothing.
-        assert_eq!(plan.tape_len(), 8);
+        // One specialized `xor`; the 5-inverter chain folds to a single
+        // `not` through the complement memo (`!!x = x`); one `ornot` for
+        // the netlist mux (its lo operand is constant true). The constant
+        // and the dead LUT cost nothing.
+        assert_eq!(plan.tape_len(), 3);
+        let stats = plan.op_stats();
+        assert_eq!(stats.total(), 3);
+        assert_eq!(stats.muxes(), 0, "every mux must specialize here");
+        let hist: std::collections::HashMap<&str, usize> = stats.histogram().into_iter().collect();
+        assert_eq!(hist["xor"], 1);
+        assert_eq!(hist["not"], 1);
+        assert_eq!(hist["ornot"], 1);
+        // Peak liveness: 2 constants + the xor/chain value + one in
+        // flight — the inverter chain runs in place.
+        assert_eq!(plan.num_slots(), 4);
         // xor at level 1, 5 inverters after it, then the mux.
         assert_eq!(plan.logic_levels(), 7);
         assert_eq!(plan.num_inputs(), 2);

@@ -1,28 +1,23 @@
-//! Compilation of a [`Netlist`] into a levelized, branch-free evaluation
-//! tape.
+//! Compilation of a [`Netlist`] into a levelized, opcode-specialized,
+//! branch-free evaluation tape.
+
+use std::collections::HashMap;
 
 use poetbin_bits::FeatureMatrix;
 use poetbin_fpga::{Netlist, NetlistError, Node};
 
+use crate::alloc::{allocate, schedule_kind_runs, LOC_ONE, LOC_ZERO};
 use crate::kernel::{KRef, LutKernel};
+use crate::ops::{classify, Classified, OpKind, OpStats, TapeOp};
 
-/// Location of the constant-false lane word in the value array.
-const LOC_ZERO: u32 = 0;
-/// Location of the constant-true lane word in the value array.
-const LOC_ONE: u32 = 1;
+/// SSA id of the constant-false value.
+const ID_ZERO: u32 = 0;
+/// SSA id of the constant-true value.
+const ID_ONE: u32 = 1;
 
-/// One tape entry: the universal lane-parallel mux
-/// `vals[dst] = if vals[sel] { vals[hi] } else { vals[lo] }`, computed
-/// branch-free as `lo ^ (sel & (lo ^ hi))`. Every primitive lowers to this
-/// one op (a NOT is `mux(x, 1, 0)`), so the hot loop is a single
-/// straight-line stream with no per-op dispatch.
-#[derive(Clone, Copy, Debug)]
-struct TapeOp {
-    dst: u32,
-    sel: u32,
-    lo: u32,
-    hi: u32,
-}
+/// Lane-word blocks evaluated per tape pass; the compiled inner loops are
+/// monomorphized for `B ∈ {1, 4, 8}` (see [`crate::Engine`]).
+pub const MAX_BLOCK_WORDS: usize = 8;
 
 /// A netlist compiled for repeated word-parallel batch evaluation.
 ///
@@ -33,33 +28,170 @@ struct TapeOp {
 ///   fan-in of the outputs (dead nodes are dropped entirely);
 /// * **compiled LUT kernels** — every truth table is Shannon-decomposed
 ///   into a subtable-deduplicated mux DAG once (see `kernel.rs`),
-///   then flattened into the tape, so the hot loop runs a short
-///   straight-line program per LUT instead of reducing the full
-///   `2^k`-entry table per word;
-/// * **alias and constant propagation** — LUTs and muxes that collapse to
-///   a constant, a copy or a complement don't occupy full kernels; their
-///   readers are rewired at compile time;
-/// * one **flat value array** (constants, live signals, reusable kernel
-///   scratch) indexed by the tape, so evaluation is branch-free and
-///   allocation-free per word;
+///   then flattened into the tape;
+/// * **opcode specialization** — each structural mux is classified at
+///   compile time (`ops.rs`): a constant, repeated or complemented operand
+///   collapses the generic `lo ^ (sel & (lo ^ hi))` into a one- or
+///   two-input word op (`and`, `andnot`, `or`, `ornot`, `xor`, `xnor`,
+///   `not`), complements are materialised at most once per signal, and
+///   identical ops are deduplicated across kernels
+///   ([`EvalPlan::op_stats`] reports the histogram);
+/// * a **liveness pass** (`alloc.rs`) — the tape is emitted in SSA form
+///   and then linear-scanned onto reusable value slots, so the value
+///   array is bounded by *peak* liveness, not total definitions, and the
+///   lane-blocked array stays cache-resident;
 /// * the **logic depth** (levelization), reported via
 ///   [`EvalPlan::logic_levels`].
 ///
-/// Evaluation itself lives in [`crate::Engine`], which runs the tape 64
-/// examples per word and shards word ranges across threads.
+/// Evaluation itself lives in [`crate::Engine`], which runs the tape over
+/// blocks of `B ∈ {1, 4, 8}` lane words (64–512 examples per pass) and
+/// shards block ranges across threads.
 #[derive(Clone, Debug)]
 pub struct EvalPlan {
-    /// `(value location, primary-input index)` loads run before the tape.
+    /// `(value slot, primary-input index)` loads run before the tape.
     input_loads: Vec<(u32, u32)>,
     tape: Vec<TapeOp>,
-    /// Value location of each netlist output (possibly a constant or an
+    /// Run-length encoding of the tape's opcode sequence: the executor
+    /// dispatches once per `(kind, count)` segment, not once per op.
+    segments: Vec<(OpKind, u32)>,
+    /// Value slot of each netlist output (possibly a constant or an
     /// aliased signal).
     outputs: Vec<u32>,
     num_inputs: usize,
     num_vals: usize,
-    num_slots: usize,
     logic_levels: usize,
     dead_nodes: usize,
+    dead_ops: usize,
+    stats: OpStats,
+}
+
+/// SSA op builder: fresh ids per definition, a global complement memo (one
+/// materialised `not` per signal, ever), and cross-kernel
+/// common-subexpression elimination.
+struct Emitter {
+    ops: Vec<TapeOp>,
+    next_id: u32,
+    comp: HashMap<u32, u32>,
+    cse: HashMap<(OpKind, u32, u32, u32), u32>,
+}
+
+impl Emitter {
+    fn new() -> Emitter {
+        Emitter {
+            ops: Vec::new(),
+            next_id: 2, // 0 and 1 are the constants
+            comp: HashMap::new(),
+            cse: HashMap::new(),
+        }
+    }
+
+    fn fresh_value(&mut self) -> u32 {
+        let v = self.next_id;
+        self.next_id += 1;
+        v
+    }
+
+    /// Emits one op (or returns the id of an identical earlier one).
+    fn push(&mut self, kind: OpKind, a: u32, b: u32, c: u32) -> u32 {
+        let (a, b) = if kind.commutative() && b < a {
+            (b, a)
+        } else {
+            (a, b)
+        };
+        // `c` only matters for Mux; pin it for the others so the CSE key
+        // is canonical.
+        let c = if kind == OpKind::Mux { c } else { a };
+        let key = (kind, a, b, c);
+        if let Some(&v) = self.cse.get(&key) {
+            return v;
+        }
+        let dst = self.fresh_value();
+        self.ops.push(TapeOp { kind, dst, a, b, c });
+        self.cse.insert(key, dst);
+        if kind == OpKind::Not {
+            self.comp.insert(dst, a);
+            self.comp.entry(a).or_insert(dst);
+        }
+        dst
+    }
+
+    /// The complement of `x`, materialising at most one `not` per signal.
+    fn not(&mut self, x: u32) -> u32 {
+        if x == ID_ZERO {
+            return ID_ONE;
+        }
+        if x == ID_ONE {
+            return ID_ZERO;
+        }
+        if let Some(&n) = self.comp.get(&x) {
+            return n;
+        }
+        self.push(OpKind::Not, x, x, x)
+    }
+
+    /// Emits the structural mux `sel ? hi : lo`, specialized.
+    fn mux(&mut self, sel: u32, lo: u32, hi: u32) -> u32 {
+        let comp = &self.comp;
+        let classified = classify(sel, lo, hi, ID_ZERO, ID_ONE, |v| comp.get(&v).copied());
+        match classified {
+            Classified::Alias(v) => v,
+            // Route complements through the memo so a signal whose
+            // complement already exists never gets a second `not`.
+            Classified::Op(OpKind::Not, a, _, _) => self.not(a),
+            Classified::Op(kind, a, b, c) => self.push(kind, a, b, c),
+        }
+    }
+}
+
+/// Resolves a kernel reference to an SSA id, materialising complements
+/// through the emitter's global memo.
+fn resolve(em: &mut Emitter, operand_ids: &[u32], node_ids: &[u32], r: KRef) -> u32 {
+    match r {
+        KRef::Zero => ID_ZERO,
+        KRef::One => ID_ONE,
+        KRef::Var(v) => operand_ids[v as usize],
+        KRef::NotVar(v) => em.not(operand_ids[v as usize]),
+        KRef::Node(i) => node_ids[i as usize],
+    }
+}
+
+/// Appends a compiled LUT kernel to the SSA stream, returning the id of
+/// its result.
+///
+/// Complemented-branch shapes are classified at the [`KRef`] level first —
+/// `mux(s, v, !v)` is a plain `xor` and never needs `!v` materialised —
+/// everything else resolves operands and goes through the generic mux
+/// classifier.
+fn flatten_kernel(em: &mut Emitter, kernel: &LutKernel, operand_ids: &[u32]) -> u32 {
+    let mut node_ids: Vec<u32> = Vec::with_capacity(kernel.ops().len());
+    for op in kernel.ops() {
+        let sel = operand_ids[op.sel as usize];
+        let id = match (op.lo, op.hi) {
+            (KRef::Var(v), KRef::NotVar(w)) if v == w => {
+                let x = operand_ids[v as usize];
+                em.push(OpKind::Xor, x, sel, x)
+            }
+            (KRef::NotVar(v), KRef::Var(w)) if v == w => {
+                let x = operand_ids[v as usize];
+                em.push(OpKind::Xnor, x, sel, x)
+            }
+            (KRef::Zero, KRef::NotVar(v)) => {
+                let x = operand_ids[v as usize];
+                em.push(OpKind::AndNot, sel, x, sel)
+            }
+            (KRef::NotVar(v), KRef::One) => {
+                let x = operand_ids[v as usize];
+                em.push(OpKind::OrNot, sel, x, sel)
+            }
+            (lo, hi) => {
+                let l = resolve(em, operand_ids, &node_ids, lo);
+                let h = resolve(em, operand_ids, &node_ids, hi);
+                em.mux(sel, l, h)
+            }
+        };
+        node_ids.push(id);
+    }
+    resolve(em, operand_ids, &node_ids, kernel.result())
 }
 
 impl EvalPlan {
@@ -76,9 +208,9 @@ impl EvalPlan {
         net.validate()?;
         let nodes = net.nodes();
 
-        // Liveness: only nodes in some output's transitive fan-in are
-        // scheduled. Nodes are topologically ordered, so one reverse sweep
-        // suffices.
+        // Liveness over netlist nodes: only nodes in some output's
+        // transitive fan-in are scheduled. Nodes are topologically ordered,
+        // so one reverse sweep suffices.
         let mut live = vec![false; nodes.len()];
         for &o in net.outputs() {
             live[o] = true;
@@ -103,26 +235,12 @@ impl EvalPlan {
         }
         let num_live = live.iter().filter(|&&l| l).count();
 
-        // Signal slots: one per live non-constant node (aliasing below may
-        // leave a few unused — that only costs buffer words, never
-        // correctness). The shared kernel scratch sits right after them.
-        let num_slots = nodes
-            .iter()
-            .enumerate()
-            .filter(|(id, n)| live[*id] && !matches!(n, Node::Const { .. }))
-            .count();
-        let scratch_base = 2 + num_slots as u32;
-
-        // Schedule. `loc_of[id]` is where node id's value lives in the
-        // value array: its own slot, or an alias after constant/copy
-        // propagation. Kernel intermediates go to the scratch region,
-        // which every LUT reuses.
+        // Emit the SSA stream. `loc_of[id]` is node id's value id after
+        // alias/constant propagation, complement memoisation and CSE.
+        let mut em = Emitter::new();
         let mut loc_of = vec![u32::MAX; nodes.len()];
         let mut level_of = vec![0usize; nodes.len()];
-        let mut input_loads = Vec::new();
-        let mut tape: Vec<TapeOp> = Vec::new();
-        let mut next_slot = 2u32;
-        let mut max_scratch = 0usize;
+        let mut input_defs = Vec::new();
         let mut logic_levels = 0usize;
         for (id, node) in nodes.iter().enumerate() {
             if !live[id] {
@@ -130,58 +248,54 @@ impl EvalPlan {
             }
             match node {
                 Node::Input { index } => {
-                    loc_of[id] = next_slot;
-                    next_slot += 1;
-                    input_loads.push((loc_of[id], *index as u32));
+                    let v = em.fresh_value();
+                    loc_of[id] = v;
+                    input_defs.push((v, *index as u32));
                 }
                 Node::Const { value } => {
-                    loc_of[id] = if *value { LOC_ONE } else { LOC_ZERO };
+                    loc_of[id] = if *value { ID_ONE } else { ID_ZERO };
                 }
                 Node::Mux { sel, lo, hi } => {
                     level_of[id] = 1 + [sel, lo, hi].iter().map(|&&s| level_of[s]).max().unwrap();
-                    let (s, l, h) = (loc_of[*sel], loc_of[*lo], loc_of[*hi]);
-                    loc_of[id] = if s == LOC_ZERO || l == h {
-                        l
-                    } else if s == LOC_ONE {
-                        h
-                    } else {
-                        let slot = next_slot;
-                        next_slot += 1;
-                        tape.push(TapeOp {
-                            dst: slot,
-                            sel: s,
-                            lo: l,
-                            hi: h,
-                        });
-                        slot
-                    };
+                    loc_of[id] = em.mux(loc_of[*sel], loc_of[*lo], loc_of[*hi]);
                 }
                 Node::Lut { inputs, table } => {
                     level_of[id] = 1 + inputs.iter().map(|&s| level_of[s]).max().unwrap_or(0);
-                    let operand_locs: Vec<u32> = inputs.iter().map(|&s| loc_of[s]).collect();
+                    let operand_ids: Vec<u32> = inputs.iter().map(|&s| loc_of[s]).collect();
                     let kernel = LutKernel::compile(table);
-                    let slot = next_slot;
-                    let (result_loc, used) =
-                        flatten_kernel(&kernel, &operand_locs, slot, scratch_base, &mut tape);
-                    max_scratch = max_scratch.max(used);
-                    loc_of[id] = result_loc;
-                    if result_loc == slot {
-                        next_slot += 1;
-                    }
+                    loc_of[id] = flatten_kernel(&mut em, &kernel, &operand_ids);
                 }
             }
             logic_levels = logic_levels.max(level_of[id]);
         }
 
+        // Kind-run scheduling (long same-opcode segments for the hoisted
+        // dispatch), then liveness-driven slot assignment: SSA ids
+        // collapse onto reusable physical slots, bounded by peak liveness.
+        let output_ids: Vec<u32> = net.outputs().iter().map(|&o| loc_of[o]).collect();
+        let scheduled = schedule_kind_runs(&em.ops, em.next_id as usize);
+        let alloc = allocate(&scheduled, &input_defs, &output_ids, em.next_id as usize);
+        let mut stats = OpStats::default();
+        let mut segments: Vec<(OpKind, u32)> = Vec::new();
+        for op in &alloc.ops {
+            stats.record(op.kind);
+            match segments.last_mut() {
+                Some((kind, count)) if *kind == op.kind => *count += 1,
+                _ => segments.push((op.kind, 1)),
+            }
+        }
+
         Ok(EvalPlan {
-            input_loads,
-            outputs: net.outputs().iter().map(|&o| loc_of[o]).collect(),
+            input_loads: alloc.input_loads,
+            tape: alloc.ops,
+            segments,
+            outputs: alloc.outputs,
             num_inputs: net.num_inputs(),
-            num_vals: scratch_base as usize + max_scratch,
-            num_slots,
-            tape,
+            num_vals: alloc.num_vals,
             logic_levels,
             dead_nodes: nodes.len() - num_live,
+            dead_ops: alloc.dead_ops,
+            stats,
         })
     }
 
@@ -195,15 +309,29 @@ impl EvalPlan {
         self.outputs.len()
     }
 
-    /// Signal slots in the value array (one per live non-constant signal).
+    /// Peak value-array slots after liveness reuse, the two constant slots
+    /// included — the per-lane-block working-set bound.
     pub fn num_slots(&self) -> usize {
-        self.num_slots
+        self.num_vals
     }
 
-    /// Total mux ops on the tape — the per-word work left after kernel
-    /// deduplication and alias propagation.
+    /// Total ops on the tape — the per-word work left after kernel
+    /// deduplication, opcode specialization, CSE and alias propagation.
     pub fn tape_len(&self) -> usize {
         self.tape.len()
+    }
+
+    /// Per-opcode composition of the tape: how many muxes collapsed into
+    /// one- and two-input word ops at compile time.
+    pub fn op_stats(&self) -> &OpStats {
+        &self.stats
+    }
+
+    /// Same-opcode segments the kind-run scheduler produced — the number
+    /// of dispatches one tape pass performs (versus [`EvalPlan::tape_len`]
+    /// for an unscheduled stream).
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
     }
 
     /// LUT/mux levels on the critical path of the schedule.
@@ -216,116 +344,158 @@ impl EvalPlan {
         self.dead_nodes
     }
 
-    /// Size of the value array a shard must allocate.
-    pub(crate) fn num_vals(&self) -> usize {
-        self.num_vals
+    /// Emitted SSA ops dropped by the liveness pass because nothing read
+    /// their result.
+    pub fn dead_ops(&self) -> usize {
+        self.dead_ops
     }
 
-    /// Executes the tape for one 64-example word.
+    /// Word slots a value array must hold for block width `B`
+    /// (`num_slots() * B`).
+    pub(crate) fn vals_len(&self, block: usize) -> usize {
+        self.num_vals * block
+    }
+
+    /// Initialises the constant blocks of a value array laid out for block
+    /// width `B`. Every other slot is written before it is read, so this
+    /// is the only per-layout setup a value array needs.
+    pub(crate) fn init_consts<const B: usize>(&self, vals: &mut [u64]) {
+        vals[LOC_ZERO as usize * B..LOC_ZERO as usize * B + B].fill(0);
+        vals[LOC_ONE as usize * B..LOC_ONE as usize * B + B].fill(u64::MAX);
+    }
+
+    /// Executes the tape for one block of up to `B` consecutive 64-example
+    /// words of `batch`, starting at `first_word`.
     ///
-    /// `vals` must hold `num_vals()` words with `vals[1] == u64::MAX` (see
-    /// `Engine::run_shard`); it is caller-owned so a shard reuses it
-    /// across its whole word range. `out` receives one word per output.
+    /// `vals` must hold [`EvalPlan::vals_len`]`(B)` words with the
+    /// constant blocks initialised ([`EvalPlan::init_consts`]); it is
+    /// caller-owned so a shard reuses it across its whole range. Only the
+    /// first `valid ≤ B` words of each slot block are loaded and stored:
+    /// trailing lanes run on stale garbage that never escapes. `out`
+    /// receives the valid words word-major (`out[j * num_outputs + o]`).
     #[inline]
-    pub(crate) fn eval_word(
+    pub(crate) fn eval_block<const B: usize>(
         &self,
         batch: &FeatureMatrix,
-        word: usize,
+        first_word: usize,
+        valid: usize,
         vals: &mut [u64],
         out: &mut [u64],
     ) {
-        for &(loc, feature) in &self.input_loads {
-            vals[loc as usize] = batch.feature(feature as usize).as_words()[word];
+        debug_assert!(valid >= 1 && valid <= B);
+        for &(slot, feature) in &self.input_loads {
+            let col = batch.feature(feature as usize).as_words();
+            let base = slot as usize * B;
+            vals[base..base + valid].copy_from_slice(&col[first_word..first_word + valid]);
         }
-        self.run_tape(vals, out);
+        self.run_tape_block::<B>(vals);
+        let k = self.outputs.len();
+        for (o, &loc) in self.outputs.iter().enumerate() {
+            let base = loc as usize * B;
+            for j in 0..valid {
+                out[j * k + o] = vals[base + j];
+            }
+        }
     }
 
-    /// Executes the tape for one 64-example word whose inputs arrive
-    /// already packed feature-major (`feature_words[j]` carries feature `j`
-    /// for all 64 lanes) — the layout [`poetbin_bits::pack_word_rows`]
-    /// produces. Same contract on `vals`/`out` as [`EvalPlan::eval_word`].
+    /// Executes the tape for one block of up to `B` words whose inputs
+    /// arrive already packed feature-major with stride `valid`
+    /// (`feature_blocks[j * valid + w]` carries word `w` of feature `j`) —
+    /// the layout [`poetbin_bits::pack_block_rows`] produces. `out`
+    /// receives the outputs output-major with the same stride
+    /// (`out[o * valid + w]`). Same contract on `vals` as
+    /// [`EvalPlan::eval_block`].
     #[inline]
-    pub(crate) fn eval_packed(&self, feature_words: &[u64], vals: &mut [u64], out: &mut [u64]) {
-        for &(loc, feature) in &self.input_loads {
-            vals[loc as usize] = feature_words[feature as usize];
+    pub(crate) fn eval_packed_block<const B: usize>(
+        &self,
+        feature_blocks: &[u64],
+        valid: usize,
+        vals: &mut [u64],
+        out: &mut [u64],
+    ) {
+        debug_assert!(valid >= 1 && valid <= B);
+        for &(slot, feature) in &self.input_loads {
+            let base = slot as usize * B;
+            let src = feature as usize * valid;
+            vals[base..base + valid].copy_from_slice(&feature_blocks[src..src + valid]);
         }
-        self.run_tape(vals, out);
+        self.run_tape_block::<B>(vals);
+        for (o, &loc) in self.outputs.iter().enumerate() {
+            let base = loc as usize * B;
+            for j in 0..valid {
+                out[o * valid + j] = vals[base + j];
+            }
+        }
     }
 
+    /// The hot loop: one pass over the op stream applies every op to a
+    /// whole `B`-word lane block (64·B examples), so decode cost is
+    /// amortised `B×` and the fixed-width inner loops vectorize. Opcode
+    /// dispatch is hoisted out of the op loop: the kind-run scheduler
+    /// (`alloc.rs`) groups the tape into a few hundred same-kind
+    /// segments, and each segment runs a branchless specialized inner
+    /// loop over its ops.
     #[inline]
-    fn run_tape(&self, vals: &mut [u64], out: &mut [u64]) {
-        for op in &self.tape {
-            let s = vals[op.sel as usize];
-            let lo = vals[op.lo as usize];
-            let hi = vals[op.hi as usize];
-            vals[op.dst as usize] = lo ^ (s & (lo ^ hi));
+    fn run_tape_block<const B: usize>(&self, vals: &mut [u64]) {
+        #[inline(always)]
+        fn blk<const B: usize>(vals: &[u64], loc: u32) -> [u64; B] {
+            let base = loc as usize * B;
+            vals[base..base + B].try_into().unwrap()
         }
-        for (o, &loc) in out.iter_mut().zip(&self.outputs) {
-            *o = vals[loc as usize];
+        /// One segment of two-operand ops, `f` applied lane-word-wise.
+        #[inline(always)]
+        fn run_bin<const B: usize>(run: &[TapeOp], vals: &mut [u64], f: impl Fn(u64, u64) -> u64) {
+            for op in run {
+                let (a, b) = (blk::<B>(vals, op.a), blk::<B>(vals, op.b));
+                let mut r = [0u64; B];
+                for j in 0..B {
+                    r[j] = f(a[j], b[j]);
+                }
+                let d = op.dst as usize * B;
+                vals[d..d + B].copy_from_slice(&r);
+            }
         }
-    }
-}
-
-/// Appends a compiled LUT kernel to the tape.
-///
-/// Kernel node `i` writes scratch slot `scratch_base + 2 + i`; the first
-/// two scratch slots hold materialised operand complements (one for `lo`,
-/// one for `hi`, rewritten immediately before the op that reads them, so
-/// any mix of `NotVar` operands stays correct). The kernel root lands in
-/// `result_slot`; a kernel that collapses to a constant or a copy aliases
-/// instead. Returns `(result location, scratch words used)`.
-fn flatten_kernel(
-    kernel: &LutKernel,
-    operand_locs: &[u32],
-    result_slot: u32,
-    scratch_base: u32,
-    tape: &mut Vec<TapeOp>,
-) -> (u32, usize) {
-    let emit_not = |var: u8, dst: u32, tape: &mut Vec<TapeOp>| -> u32 {
-        tape.push(TapeOp {
-            dst,
-            sel: operand_locs[var as usize],
-            lo: LOC_ONE,
-            hi: LOC_ZERO,
-        });
-        dst
-    };
-    let resolve = |r: KRef, not_slot: u32, tape: &mut Vec<TapeOp>| -> u32 {
-        match r {
-            KRef::Zero => LOC_ZERO,
-            KRef::One => LOC_ONE,
-            KRef::Var(v) => operand_locs[v as usize],
-            KRef::NotVar(v) => emit_not(v, not_slot, tape),
-            KRef::Node(i) => scratch_base + 2 + i,
+        /// One segment of one-operand ops.
+        #[inline(always)]
+        fn run_un<const B: usize>(run: &[TapeOp], vals: &mut [u64], f: impl Fn(u64) -> u64) {
+            for op in run {
+                let a = blk::<B>(vals, op.a);
+                let mut r = [0u64; B];
+                for j in 0..B {
+                    r[j] = f(a[j]);
+                }
+                let d = op.dst as usize * B;
+                vals[d..d + B].copy_from_slice(&r);
+            }
         }
-    };
-    let ops = kernel.ops();
-    for (i, op) in ops.iter().enumerate() {
-        let sel = operand_locs[op.sel as usize];
-        let lo = resolve(op.lo, scratch_base, tape);
-        let hi = resolve(op.hi, scratch_base + 1, tape);
-        // The kernel root is always the last op (kernel.rs invariant); it
-        // writes the signal's own slot so the scratch region can be
-        // reused by the next LUT.
-        let dst = if i + 1 == ops.len() {
-            result_slot
-        } else {
-            scratch_base + 2 + i as u32
-        };
-        tape.push(TapeOp { dst, sel, lo, hi });
-    }
-    match kernel.result() {
-        KRef::Node(i) => {
-            debug_assert_eq!(i as usize + 1, ops.len(), "kernel root must be last");
-            (result_slot, 2 + ops.len())
+        let mut ops = self.tape.as_slice();
+        for &(kind, count) in &self.segments {
+            let (run, rest) = ops.split_at(count as usize);
+            ops = rest;
+            match kind {
+                OpKind::And => run_bin::<B>(run, vals, |a, b| a & b),
+                OpKind::AndNot => run_bin::<B>(run, vals, |a, b| a & !b),
+                OpKind::Or => run_bin::<B>(run, vals, |a, b| a | b),
+                OpKind::OrNot => run_bin::<B>(run, vals, |a, b| a | !b),
+                OpKind::Xor => run_bin::<B>(run, vals, |a, b| a ^ b),
+                OpKind::Xnor => run_bin::<B>(run, vals, |a, b| !(a ^ b)),
+                OpKind::Not => run_un::<B>(run, vals, |a| !a),
+                OpKind::Mux => {
+                    for op in run {
+                        let (s, lo, hi) = (
+                            blk::<B>(vals, op.a),
+                            blk::<B>(vals, op.b),
+                            blk::<B>(vals, op.c),
+                        );
+                        let mut r = [0u64; B];
+                        for j in 0..B {
+                            r[j] = lo[j] ^ (s[j] & (lo[j] ^ hi[j]));
+                        }
+                        let d = op.dst as usize * B;
+                        vals[d..d + B].copy_from_slice(&r);
+                    }
+                }
+            }
         }
-        KRef::NotVar(v) => {
-            // A pure complement: materialise it into the signal slot.
-            emit_not(v, result_slot, tape);
-            (result_slot, 0)
-        }
-        KRef::Zero => (LOC_ZERO, 0),
-        KRef::One => (LOC_ONE, 0),
-        KRef::Var(v) => (operand_locs[v as usize], 0),
     }
 }

@@ -1,0 +1,373 @@
+//! Blocked-execution equivalence: every lane-block width `B ∈ {1, 4, 8}`
+//! must produce bit-identical results to the single-word path, on random
+//! netlists and classifiers, at every tail shape `n % (64·B)`, with
+//! garbage-immune masked tail blocks and at any thread count.
+//!
+//! Written as seeded deterministic property loops (the workspace's
+//! offline stand-in for proptest): each iteration draws a random
+//! structure from a seeded RNG, so failures reproduce exactly.
+
+use poetbin_bits::{pack_block_rows, BitVec, FeatureMatrix, TruthTable};
+use poetbin_boost::{MatModule, RincModule, RincNode};
+use poetbin_core::{PoetBinClassifier, QuantizedSparseOutput, RincBank};
+use poetbin_dt::LevelWiseTree;
+use poetbin_engine::{ClassifierEngine, Engine, MAX_BLOCK_WORDS};
+use poetbin_fpga::{Netlist, NetlistBuilder};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A random topologically valid netlist mixing LUTs, muxes and constants.
+fn random_netlist(rng: &mut StdRng) -> Netlist {
+    let mut b = NetlistBuilder::new();
+    let num_inputs = rng.random_range(2..8usize);
+    let mut signals = b.add_inputs(num_inputs);
+    signals.push(b.add_const(rng.random::<bool>()));
+    for _ in 0..rng.random_range(4..40usize) {
+        if rng.random_range(0..4usize) == 0 {
+            let pick = |rng: &mut StdRng, s: &[usize]| s[rng.random_range(0..s.len())];
+            let (sel, lo, hi) = (
+                pick(rng, &signals),
+                pick(rng, &signals),
+                pick(rng, &signals),
+            );
+            let m = b.add_mux(sel, lo, hi);
+            signals.push(m);
+        } else {
+            let arity = rng.random_range(1..5usize).min(signals.len());
+            let inputs: Vec<usize> = (0..arity)
+                .map(|_| signals[rng.random_range(0..signals.len())])
+                .collect();
+            let table = TruthTable::from_fn(arity, |_| rng.random::<bool>());
+            let l = b.add_lut(inputs, table);
+            signals.push(l);
+        }
+    }
+    let outputs: Vec<usize> = (0..rng.random_range(1..4usize))
+        .map(|_| signals[rng.random_range(0..signals.len())])
+        .collect();
+    b.set_outputs(outputs);
+    b.finish()
+}
+
+/// A random but structurally valid classifier (trees and one-level
+/// modules over `num_features` binary inputs).
+fn random_classifier(rng: &mut StdRng, num_features: usize) -> PoetBinClassifier {
+    let classes = rng.random_range(2..4usize);
+    let p = rng.random_range(2..4usize);
+    let tree = |rng: &mut StdRng| -> RincNode {
+        let mut features: Vec<usize> = Vec::with_capacity(p);
+        while features.len() < p {
+            let f = rng.random_range(0..num_features);
+            if !features.contains(&f) {
+                features.push(f);
+            }
+        }
+        let table = TruthTable::from_fn(p, |_| rng.random::<bool>());
+        RincNode::Tree(LevelWiseTree::from_parts(features, table))
+    };
+    let modules: Vec<RincNode> = (0..classes * p)
+        .map(|i| {
+            if i % 2 == 0 {
+                tree(rng)
+            } else {
+                let children: Vec<RincNode> = (0..p).map(|_| tree(rng)).collect();
+                let weights: Vec<f64> = (0..p).map(|_| rng.random_range(0.05..1.0)).collect();
+                RincNode::Module(RincModule::from_parts(children, MatModule::new(weights), 1))
+            }
+        })
+        .collect();
+    let q_bits = [1u8, 4, 8][rng.random_range(0..3usize)];
+    let weights: Vec<Vec<i32>> = (0..classes)
+        .map(|_| (0..p).map(|_| rng.random_range(-40..40)).collect())
+        .collect();
+    let biases: Vec<i32> = (0..classes).map(|_| rng.random_range(-20..20)).collect();
+    let min_score: i64 = weights
+        .iter()
+        .zip(&biases)
+        .map(|(row, &b)| {
+            row.iter()
+                .filter(|&&w| w < 0)
+                .map(|&w| w as i64)
+                .sum::<i64>()
+                + b as i64
+        })
+        .min()
+        .unwrap();
+    let output = QuantizedSparseOutput::from_parts(
+        p,
+        q_bits,
+        weights,
+        biases,
+        min_score,
+        rng.random_range(0..3u32),
+    );
+    PoetBinClassifier::new(RincBank::from_modules(modules), output)
+}
+
+fn random_batch(rng: &mut StdRng, n: usize, f: usize) -> FeatureMatrix {
+    let rows: Vec<BitVec> = (0..n)
+        .map(|_| BitVec::from_fn(f, |_| rng.random::<bool>()))
+        .collect();
+    FeatureMatrix::from_rows(rows)
+}
+
+/// Batch sizes straddling the `64·B` block boundary for every supported
+/// block width: `n % (64·B) ∈ {0, 1, 63, 64, 65}` around one and two
+/// blocks (`0` included via exact multiples; `n = 0` is covered too).
+fn tail_sizes(block: usize) -> Vec<usize> {
+    let span = 64 * block;
+    let mut sizes = vec![0, 1, 63, 64, 65];
+    for base in [span, 2 * span] {
+        for tail in [0usize, 1, 63, 64, 65] {
+            sizes.push(base + tail);
+            if base > tail {
+                sizes.push(base - tail - 1);
+            }
+        }
+    }
+    sizes.sort_unstable();
+    sizes.dedup();
+    sizes
+}
+
+/// Blocked netlist evaluation is bit-identical to the single-word path at
+/// every block width and tail shape.
+#[test]
+fn blocked_eval_matches_single_word_on_random_netlists() {
+    let mut rng = StdRng::seed_from_u64(0xB10C_0001);
+    for case in 0..8 {
+        let net = random_netlist(&mut rng);
+        let f = net.num_inputs();
+        for block in [4usize, 8] {
+            for &n in &tail_sizes(block) {
+                let batch = random_batch(&mut rng, n, f);
+                let reference = Engine::from_netlist(&net)
+                    .unwrap()
+                    .with_threads(1)
+                    .with_block_words(1)
+                    .eval_batch(&batch);
+                let blocked = Engine::from_netlist(&net)
+                    .unwrap()
+                    .with_threads(1)
+                    .with_block_words(block)
+                    .eval_batch(&batch);
+                assert_eq!(blocked, reference, "case {case} B={block} n={n}");
+            }
+        }
+    }
+}
+
+/// Blocked evaluation agrees with the scalar netlist walk (not just with
+/// itself) on ragged shapes.
+#[test]
+fn blocked_eval_matches_scalar_netlist_eval() {
+    let mut rng = StdRng::seed_from_u64(0xB10C_0002);
+    for case in 0..8 {
+        let net = random_netlist(&mut rng);
+        let f = net.num_inputs();
+        let n = rng.random_range(1..700usize);
+        let batch = random_batch(&mut rng, n, f);
+        for block in [1usize, 4, 8] {
+            let out = Engine::from_netlist(&net)
+                .unwrap()
+                .with_block_words(block)
+                .eval_batch(&batch);
+            for e in 0..n {
+                let row: Vec<bool> = (0..f).map(|j| batch.bit(e, j)).collect();
+                let expect = net.eval(&row);
+                for (k, col) in out.iter().enumerate() {
+                    assert_eq!(
+                        col.get(e),
+                        expect[k],
+                        "case {case} B={block} example {e} output {k}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Classifier predictions are invariant across block widths and thread
+/// counts simultaneously.
+#[test]
+fn blocked_classifier_predictions_are_block_and_thread_invariant() {
+    let mut rng = StdRng::seed_from_u64(0xB10C_0003);
+    for case in 0..6 {
+        let f = rng.random_range(8..24usize);
+        let clf = random_classifier(&mut rng, f);
+        let n = rng.random_range(1..1200usize);
+        let batch = random_batch(&mut rng, n, f);
+        let reference = ClassifierEngine::compile(&clf, f)
+            .unwrap()
+            .with_threads(1)
+            .with_block_words(1)
+            .predict(&batch);
+        for block in [1usize, 4, 8] {
+            for threads in [1usize, 2, 3, 8, 32] {
+                let preds = ClassifierEngine::compile(&clf, f)
+                    .unwrap()
+                    .with_threads(threads)
+                    .with_block_words(block)
+                    .predict(&batch);
+                assert_eq!(
+                    preds, reference,
+                    "case {case} B={block} threads={threads} n={n}"
+                );
+            }
+        }
+    }
+}
+
+/// The masked multi-word path: dead lanes of the tail word may carry
+/// arbitrary garbage in every input word without affecting live lanes,
+/// and the mask guarantees dead output lanes are zero.
+#[test]
+fn masked_block_eval_is_immune_to_garbage_in_dead_lanes() {
+    let mut rng = StdRng::seed_from_u64(0xB10C_0004);
+    for case in 0..8 {
+        let net = random_netlist(&mut rng);
+        let f = net.num_inputs();
+        let engine = Engine::from_netlist(&net).unwrap();
+        let mut scratch = engine.scratch();
+        for words in [1usize, 2, 3, 4, 5, 7, 8] {
+            for tail_live in [64usize, 1, 63, 29] {
+                let tail_mask = if tail_live == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << tail_live) - 1
+                };
+                let clean: Vec<u64> = (0..f * words)
+                    .map(|i| {
+                        let w = rng.random::<u64>();
+                        if i % words == words - 1 {
+                            w & tail_mask
+                        } else {
+                            w
+                        }
+                    })
+                    .collect();
+                let dirty: Vec<u64> = clean
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &w)| {
+                        if i % words == words - 1 {
+                            w | (rng.random::<u64>() & !tail_mask)
+                        } else {
+                            w
+                        }
+                    })
+                    .collect();
+                let clean_out = engine
+                    .eval_blocks_masked(&clean, words, tail_mask, &mut scratch)
+                    .to_vec();
+                let dirty_out = engine
+                    .eval_blocks_masked(&dirty, words, tail_mask, &mut scratch)
+                    .to_vec();
+                assert_eq!(
+                    clean_out, dirty_out,
+                    "case {case} words={words} live={tail_live}: garbage leaked"
+                );
+                let lanes = (words - 1) * 64 + tail_live;
+                let batch = FeatureMatrix::from_fn(lanes, f, |e, j| {
+                    (clean[j * words + e / 64] >> (e % 64)) & 1 == 1
+                });
+                let batch_out = engine.eval_batch(&batch);
+                for (k, out_words) in clean_out.chunks(words).enumerate() {
+                    assert_eq!(
+                        out_words[words - 1] & !tail_mask,
+                        0,
+                        "case {case} words={words} output {k}: dead lanes not masked"
+                    );
+                    assert_eq!(
+                        out_words,
+                        batch_out[k].as_words(),
+                        "case {case} words={words} live={tail_live} output {k}: \
+                         block path != batch path"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `predict_block_into` (the serving hot path) agrees with the batch
+/// `predict` for every lane count up to a full 8-word block, with garbage
+/// injected into dead tail lanes.
+#[test]
+fn predict_block_matches_batch_predict_for_all_lane_counts() {
+    let mut rng = StdRng::seed_from_u64(0xB10C_0005);
+    for case in 0..4 {
+        let f = rng.random_range(8..24usize);
+        let clf = random_classifier(&mut rng, f);
+        let engine = ClassifierEngine::compile(&clf, f).expect("compiles");
+        let mut scratch = engine.scratch();
+        for lanes in [
+            1usize,
+            63,
+            64,
+            65,
+            127,
+            128,
+            129,
+            255,
+            256,
+            257,
+            300,
+            64 * MAX_BLOCK_WORDS - 1,
+            64 * MAX_BLOCK_WORDS,
+        ] {
+            let rows: Vec<BitVec> = (0..lanes)
+                .map(|_| BitVec::from_fn(f, |_| rng.random::<bool>()))
+                .collect();
+            let expected = engine.predict(&FeatureMatrix::from_rows(rows.clone()));
+            let words = lanes.div_ceil(64);
+            let tail = lanes % 64;
+            let tail_mask = if tail == 0 {
+                u64::MAX
+            } else {
+                (1u64 << tail) - 1
+            };
+            let mut blocks = pack_block_rows(rows.iter(), f, words);
+            for (i, w) in blocks.iter_mut().enumerate() {
+                if i % words == words - 1 {
+                    *w |= rng.random::<u64>() & !tail_mask;
+                }
+            }
+            let mut preds = vec![0usize; lanes];
+            engine.predict_block_into(&blocks, &mut scratch, &mut preds);
+            assert_eq!(preds, expected, "case {case} lanes={lanes}");
+        }
+    }
+}
+
+/// One scratch serves interleaved calls at different block widths: a wide
+/// call leaving stale state must not corrupt a later narrow call and vice
+/// versa.
+#[test]
+fn scratch_survives_interleaved_block_widths() {
+    let mut rng = StdRng::seed_from_u64(0xB10C_0006);
+    let net = random_netlist(&mut rng);
+    let f = net.num_inputs();
+    let engine = Engine::from_netlist(&net).unwrap();
+    let mut scratch = engine.scratch();
+    let mut reference: Vec<Vec<u64>> = Vec::new();
+    let shapes = [3usize, 1, 8, 2, 1, 5, 8, 1];
+    let inputs: Vec<Vec<u64>> = shapes
+        .iter()
+        .map(|&words| (0..f * words).map(|_| rng.random::<u64>()).collect())
+        .collect();
+    // First pass with a fresh scratch per call = ground truth.
+    for (&words, feature_blocks) in shapes.iter().zip(&inputs) {
+        let mut fresh = engine.scratch();
+        reference.push(
+            engine
+                .eval_blocks_masked(feature_blocks, words, u64::MAX, &mut fresh)
+                .to_vec(),
+        );
+    }
+    // Second pass reusing one scratch across widths.
+    for ((&words, feature_blocks), expect) in shapes.iter().zip(&inputs).zip(&reference) {
+        let got = engine.eval_blocks_masked(feature_blocks, words, u64::MAX, &mut scratch);
+        assert_eq!(got, expect.as_slice(), "stale scratch state leaked");
+    }
+}

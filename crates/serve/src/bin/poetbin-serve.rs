@@ -49,7 +49,7 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--max-batch" => match flag_value("--max-batch") {
-                Some(v) if (1..=64).contains(&v) => config.max_batch = v,
+                Some(v) if (1..=512).contains(&v) => config.max_batch = v,
                 _ => return usage(),
             },
             "--features" => match flag_value("--features") {

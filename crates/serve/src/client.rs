@@ -13,13 +13,13 @@ use crate::protocol;
 /// Requests may be pipelined: any number of [`Client::send`] calls may be
 /// outstanding before the matching [`Client::recv`] calls, and the server
 /// is free to answer out of order (it answers a whole batch at once).
-/// [`Client::predict`] is the simple closed-loop form.
+/// [`Client::predict`] is the simple closed-loop form; an open-loop
+/// caller splits the client into independently owned halves with
+/// [`Client::into_split`].
 pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
-    num_features: usize,
+    sender: ClientSender,
+    receiver: ClientReceiver,
     classes: usize,
-    next_id: u64,
 }
 
 impl Client {
@@ -36,17 +36,19 @@ impl Client {
         let mut reader = BufReader::new(stream);
         let (num_features, classes) = protocol::read_hello(&mut reader)?;
         Ok(Client {
-            reader,
-            writer,
-            num_features: num_features as usize,
+            sender: ClientSender {
+                writer,
+                num_features: num_features as usize,
+                next_id: 0,
+            },
+            receiver: ClientReceiver { reader },
             classes: classes as usize,
-            next_id: 0,
         })
     }
 
     /// Row width the server's model expects.
     pub fn num_features(&self) -> usize {
-        self.num_features
+        self.sender.num_features
     }
 
     /// Number of classes predictions range over.
@@ -54,6 +56,68 @@ impl Client {
         self.classes
     }
 
+    /// Sends one request, returning the id that will come back with its
+    /// response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the server's feature count.
+    pub fn send(&mut self, row: &BitVec) -> io::Result<u64> {
+        self.sender.send(row)
+    }
+
+    /// Receives the next response as `(request_id, class)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::UnexpectedEof`] when the server closes the
+    /// connection (e.g. after a protocol violation), or
+    /// [`io::ErrorKind::InvalidData`] on a malformed response.
+    pub fn recv(&mut self) -> io::Result<(u64, usize)> {
+        self.receiver.recv()
+    }
+
+    /// Sends one row and blocks for its prediction.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::send`] / [`Client::recv`], plus
+    /// [`io::ErrorKind::InvalidData`] if the response carries a different
+    /// request id (only possible when mixed with pipelined [`Client::send`]
+    /// calls whose responses were never collected).
+    pub fn predict(&mut self, row: &BitVec) -> io::Result<usize> {
+        let id = self.send(row)?;
+        let (got, class) = self.recv()?;
+        if got != id {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response for request {got}, expected {id}"),
+            ));
+        }
+        Ok(class)
+    }
+
+    /// Splits the client into independently owned send and receive
+    /// halves, so one thread can pace requests onto the wire while
+    /// another drains responses — the shape an *open-loop* load generator
+    /// needs (a closed-loop caller can just keep using [`Client::predict`]).
+    pub fn into_split(self) -> (ClientSender, ClientReceiver) {
+        (self.sender, self.receiver)
+    }
+}
+
+/// The sending half of a [`Client`]; see [`Client::into_split`].
+pub struct ClientSender {
+    writer: TcpStream,
+    num_features: usize,
+    next_id: u64,
+}
+
+impl ClientSender {
     /// Sends one request, returning the id that will come back with its
     /// response.
     ///
@@ -77,7 +141,14 @@ impl Client {
         protocol::write_frame(&mut self.writer, &protocol::encode_request(id, row))?;
         Ok(id)
     }
+}
 
+/// The receiving half of a [`Client`]; see [`Client::into_split`].
+pub struct ClientReceiver {
+    reader: BufReader<TcpStream>,
+}
+
+impl ClientReceiver {
     /// Receives the next response as `(request_id, class)`.
     ///
     /// # Errors
@@ -92,25 +163,5 @@ impl Client {
             io::Error::new(io::ErrorKind::InvalidData, "malformed response frame")
         })?;
         Ok((id, class as usize))
-    }
-
-    /// Sends one row and blocks for its prediction.
-    ///
-    /// # Errors
-    ///
-    /// As for [`Client::send`] / [`Client::recv`], plus
-    /// [`io::ErrorKind::InvalidData`] if the response carries a different
-    /// request id (only possible when mixed with pipelined [`Client::send`]
-    /// calls whose responses were never collected).
-    pub fn predict(&mut self, row: &BitVec) -> io::Result<usize> {
-        let id = self.send(row)?;
-        let (got, class) = self.recv()?;
-        if got != id {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("response for request {got}, expected {id}"),
-            ));
-        }
-        Ok(class)
     }
 }

@@ -2,11 +2,11 @@
 //! compiled PoET-BiN engine.
 //!
 //! A PoET-BiN classifier collapses to pure LUT logic, and the compiled
-//! engine ([`poetbin_engine::ClassifierEngine`]) evaluates that logic 64
-//! examples per machine word. Serving *concurrent single-row requests*
-//! efficiently is therefore a lane-occupancy problem: throughput is won by
-//! keeping the 64 lanes full. This crate implements the missing piece —
-//! request coalescing:
+//! engine ([`poetbin_engine::ClassifierEngine`]) evaluates that logic over
+//! lane-word blocks — up to 512 examples per tape pass. Serving
+//! *concurrent single-row requests* efficiently is therefore a
+//! lane-occupancy problem: throughput is won by keeping the lanes full.
+//! This crate implements the missing piece — request coalescing:
 //!
 //! * **Connections** speak a tiny length-prefixed binary protocol
 //!   ([`protocol`]): the server announces the model shape, clients send
@@ -14,14 +14,14 @@
 //!   responses, pipelined as deeply as they like.
 //! * **The adaptive micro-batcher** (internal; tuned via [`ServeConfig`])
 //!   parks decoded rows in a lock-protected queue. Worker shards drain up
-//!   to 64 of them at a time — a partial word lingers a configurable few
-//!   hundred microseconds for stragglers, so light traffic keeps its
-//!   latency while heavy traffic packs full words.
+//!   to `64 · 8` of them at a time — a partial batch lingers a
+//!   configurable few hundred microseconds for stragglers, so light
+//!   traffic keeps its latency while heavy traffic packs full blocks.
 //! * **Worker shards** share the immutable compiled plan behind an `Arc`;
-//!   each packs its batch with [`poetbin_bits::pack_word_rows`] (one 64×64
-//!   block transpose) and runs
-//!   [`poetbin_engine::ClassifierEngine::predict_word_into`] — masked
-//!   partial-word evaluation, zero allocation on the hot path — then
+//!   each packs its batch with [`poetbin_bits::pack_block_rows`] (one
+//!   64×64 transpose per tile) and runs
+//!   [`poetbin_engine::ClassifierEngine::predict_block_into`] — masked
+//!   partial-word tail evaluation, zero allocation on the hot path — then
 //!   routes every argmax back to its originating connection.
 //!
 //! The server is std-only: no async runtime, no network dependencies.
@@ -54,5 +54,5 @@ mod client;
 pub mod protocol;
 mod server;
 
-pub use client::Client;
+pub use client::{Client, ClientReceiver, ClientSender};
 pub use server::{load_engine, LoadError, ServeConfig, Server, ServerStats};

@@ -13,9 +13,9 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use poetbin_bits::pack_word_rows_into;
+use poetbin_bits::pack_block_rows_into;
 use poetbin_core::persist::{load_classifier_from, PersistError};
-use poetbin_engine::ClassifierEngine;
+use poetbin_engine::{ClassifierEngine, MAX_BLOCK_WORDS};
 use poetbin_fpga::NetlistError;
 
 use crate::batcher::{BatchQueue, Pending};
@@ -28,11 +28,15 @@ pub struct ServeConfig {
     /// reusable [`poetbin_engine::Scratch`]; more shards overlap tape
     /// evaluation with request decode on multi-core hosts.
     pub workers: usize,
-    /// How long a worker holding a partial word waits for stragglers
+    /// How long a worker holding a partial batch waits for stragglers
     /// before serving it. Zero disables coalescing entirely (every
     /// request that finds an idle worker is served alone).
     pub linger: Duration,
-    /// Requests per engine word, at most 64 (the lane width).
+    /// Requests per tape pass, at most 512 (64 lanes × the engine's
+    /// 8-word lane blocks). A worker drains up to this many requests,
+    /// packs them into a lane-word block and evaluates them all in one
+    /// blocked pass ([`ClassifierEngine::predict_block_into`]), the final
+    /// partial word masked.
     pub max_batch: usize,
 }
 
@@ -41,7 +45,7 @@ impl Default for ServeConfig {
         ServeConfig {
             workers: 2,
             linger: Duration::from_micros(200),
-            max_batch: 64,
+            max_batch: 64 * MAX_BLOCK_WORDS,
         }
     }
 }
@@ -68,7 +72,7 @@ impl ServerStats {
         self.served.load(Ordering::Relaxed)
     }
 
-    /// Engine words evaluated so far.
+    /// Engine tape passes (batches) evaluated so far.
     pub fn batches(&self) -> u64 {
         self.batches.load(Ordering::Relaxed)
     }
@@ -83,7 +87,7 @@ impl ServerStats {
         self.protocol_errors.load(Ordering::Relaxed)
     }
 
-    /// Mean requests per evaluated word — the lane-occupancy figure the
+    /// Mean requests per evaluated batch — the lane-occupancy figure the
     /// linger setting exists to maximise.
     pub fn mean_batch(&self) -> f64 {
         let batches = self.batches();
@@ -170,10 +174,10 @@ pub fn load_engine(
 /// One acceptor thread hands each connection a reader thread (decodes
 /// request frames into the shared batch queue) and a writer thread
 /// (owns the write half, draining an mpsc channel of responses). Worker
-/// shards blocked on the queue coalesce up to `max_batch` requests into a
-/// single packed engine word — the immutable compiled plan is shared
-/// behind an [`Arc`], so every shard evaluates the same tape with its own
-/// scratch.
+/// shards blocked on the queue coalesce up to `max_batch ≤ 512` requests
+/// into a single packed lane-word block evaluated in one blocked tape
+/// pass — the immutable compiled plan is shared behind an [`Arc`], so
+/// every shard evaluates the same tape with its own scratch.
 ///
 /// # Example
 ///
@@ -210,7 +214,7 @@ impl Server {
     /// # Panics
     ///
     /// Panics if `config.workers == 0` or `config.max_batch` is not in
-    /// `1..=64`.
+    /// `1..=512`.
     pub fn start(
         engine: Arc<ClassifierEngine>,
         addr: impl ToSocketAddrs,
@@ -218,8 +222,9 @@ impl Server {
     ) -> io::Result<Server> {
         assert!(config.workers > 0, "need at least one worker shard");
         assert!(
-            (1..=64).contains(&config.max_batch),
-            "max_batch must be in 1..=64"
+            (1..=64 * MAX_BLOCK_WORDS).contains(&config.max_batch),
+            "max_batch must be in 1..={}",
+            64 * MAX_BLOCK_WORDS
         );
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
@@ -468,8 +473,9 @@ fn writer_loop(mut stream: TcpStream, replies: &mpsc::Receiver<(u64, u16)>) {
     }
 }
 
-/// One engine shard: drain a word's worth of requests, pack, evaluate,
-/// route each argmax back to its connection.
+/// One engine shard: drain up to a lane block's worth of requests
+/// (`64 · B`), pack, evaluate in one blocked tape pass, route each argmax
+/// back to its connection.
 fn worker_loop(
     engine: &ClassifierEngine,
     queue: &BatchQueue,
@@ -480,12 +486,18 @@ fn worker_loop(
     let num_features = engine.num_features();
     let mut scratch = engine.scratch();
     let mut batch: Vec<Pending> = Vec::with_capacity(max_batch);
-    let mut words: Vec<u64> = Vec::with_capacity(num_features);
+    let mut blocks: Vec<u64> = Vec::with_capacity(num_features * max_batch.div_ceil(64));
     let mut preds = vec![0usize; max_batch];
     while queue.pop_batch(max_batch, linger, &mut batch) {
         let lanes = batch.len();
-        pack_word_rows_into(batch.iter().map(|p| &p.row), num_features, &mut words);
-        engine.predict_word_into(&words, &mut scratch, &mut preds[..lanes]);
+        let words = lanes.div_ceil(64);
+        pack_block_rows_into(
+            batch.iter().map(|p| &p.row),
+            num_features,
+            words,
+            &mut blocks,
+        );
+        engine.predict_block_into(&blocks, &mut scratch, &mut preds[..lanes]);
         for (pending, &class) in batch.drain(..).zip(&preds) {
             // A send error only means the connection died before its
             // answer was ready; nothing to route the reply to.

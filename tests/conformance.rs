@@ -3,8 +3,9 @@
 //! Every inference backend in the workspace must agree bit-for-bit on the
 //! same trained model: the scalar software path
 //! (`PoetBinClassifier::predict`), the compiled batch engine
-//! (`ClassifierEngine`, single- and multi-shard), the serving single-word
-//! path (`predict_word_into` over packed lane words, including partial
+//! (`ClassifierEngine`, single- and multi-shard, every lane-block width
+//! `B ∈ {1, 4, 8}`), the serving packed paths (`predict_word_into` /
+//! `predict_block_into` over packed lane words, including partial
 //! tails), and the FPGA netlist simulator. The fixtures under
 //! `tests/fixtures/` are golden: their bytes must never drift (the model
 //! format is versioned — breaking it silently would strand deployed
@@ -15,7 +16,7 @@
 //! `cargo run -p poetbin_bench --bin gen_fixture`, which also prints the
 //! golden arrays to paste here.
 
-use poetbin_bits::{pack_word_rows, BitVec, FeatureMatrix};
+use poetbin_bits::{pack_block_rows, pack_word_rows, BitVec, FeatureMatrix};
 use poetbin_core::persist::{load_classifier, save_classifier};
 use poetbin_core::PoetBinClassifier;
 use poetbin_engine::ClassifierEngine;
@@ -116,6 +117,12 @@ fn all_backends_agree_bit_for_bit() {
             .expect("compiles")
             .with_threads(4);
         assert_eq!(sharded.predict(&batch), scalar, "{name}: engine(4)");
+        for block in [1usize, 4, 8] {
+            let blocked = ClassifierEngine::compile(&clf, f)
+                .expect("compiles")
+                .with_block_words(block);
+            assert_eq!(blocked.predict(&batch), scalar, "{name}: engine B={block}");
+        }
 
         // The serving path: pack rows into lane words (full words and the
         // partial tail) exactly as the micro-batcher does.
@@ -129,6 +136,13 @@ fn all_backends_agree_bit_for_bit() {
             served.extend(preds);
         }
         assert_eq!(served, scalar, "{name}: serving word path");
+
+        // The blocked serving path: all 200 rows (3 full words + a
+        // partial tail) coalesced into a single 4-word masked block.
+        let blocks = pack_block_rows(rows.iter(), f, n.div_ceil(64));
+        let mut preds = vec![0usize; n];
+        engine.predict_block_into(&blocks, &mut scratch, &mut preds);
+        assert_eq!(preds, scalar, "{name}: serving block path");
 
         // The FPGA netlist simulator, decoded through the classifier's
         // own output-bit ordering.

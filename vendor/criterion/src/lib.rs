@@ -12,7 +12,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Registry of `(group/name, median)` pairs recorded by every
+/// [`BenchmarkGroup::bench_function`] run in this process, so bench
+/// binaries can export machine-readable results (the real criterion
+/// writes these to `target/criterion`; this shim hands them back to the
+/// caller instead).
+fn registry() -> &'static Mutex<Vec<(String, Duration)>> {
+    static REGISTRY: OnceLock<Mutex<Vec<(String, Duration)>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Drains and returns every `(group/name, median iteration time)` pair
+/// recorded so far, in execution order.
+pub fn take_recorded_medians() -> Vec<(String, Duration)> {
+    std::mem::take(&mut *registry().lock().unwrap())
+}
 
 /// Entry point handed to every bench function. Mirrors `criterion::Criterion`.
 #[derive(Debug)]
@@ -37,6 +54,7 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("\nbench group: {name}");
         BenchmarkGroup {
+            name: name.to_string(),
             sample_size: self.sample_size,
             measurement_time: self.measurement_time,
             warm_up_time: self.warm_up_time,
@@ -48,6 +66,7 @@ impl Criterion {
 /// A named group of benchmarks sharing sampling settings.
 #[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
+    name: String,
     sample_size: usize,
     measurement_time: Duration,
     warm_up_time: Duration,
@@ -85,7 +104,7 @@ impl BenchmarkGroup<'_> {
             samples: Vec::new(),
         };
         f(&mut bencher);
-        bencher.report(name);
+        bencher.report(&self.name, name);
         self
     }
 
@@ -122,7 +141,7 @@ impl Bencher {
         }
     }
 
-    fn report(&self, name: &str) {
+    fn report(&self, group: &str, name: &str) {
         if self.samples.is_empty() {
             println!("  {name}: no samples collected");
             return;
@@ -136,6 +155,10 @@ impl Bencher {
             "  {name}: min {min:?} / median {median:?} / mean {mean:?} over {} samples",
             sorted.len()
         );
+        registry()
+            .lock()
+            .unwrap()
+            .push((format!("{group}/{name}"), median));
     }
 }
 

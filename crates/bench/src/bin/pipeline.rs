@@ -1,0 +1,248 @@
+//! The A1→A4 scenario harness: trains full RINC-2 hierarchies end to end
+//! on MNIST/CIFAR/SVHN-shaped tasks and emits the paper-table artifacts
+//! (staged accuracies, RINC fidelity, and the Tables 3–7 energy/LUT grid)
+//! into `BENCH_pipeline.json` at the repository root.
+//!
+//! * default — the paper-scale runs: all three scenarios at 60k/10k.
+//!   Hours of CPU time; intended for workstations with real IDX data
+//!   dropped under `data/<name>/`.
+//! * `POETBIN_PIPELINE_QUICK=1` — the CI smoke variant: MNIST- and
+//!   SVHN-shaped scenarios at 1200/400 with reduced budgets, minutes in
+//!   release mode.
+//!
+//! Every scenario trains its RINC bank once per shard count in
+//! `{1, 2, 4}` and asserts the banks bit-identical before any shard
+//! timing is reported (the `Scenario::run` contract).
+
+use poetbin_bench::report::{write_named_root, Json};
+use poetbin_bench::{print_header, sci};
+use poetbin_bits::BitVec;
+use poetbin_boost::RincNode;
+use poetbin_core::scenarios::{Scenario, ScenarioKind, ScenarioReport};
+use poetbin_fpga::{map_to_lut6, prune, simulate, PowerModel, TimingModel};
+use poetbin_power::{energy_grid, BankGrid, EnergyGrid, ModuleGrid, PAPER_CLASSIFIERS};
+
+/// Per-module resource grid of the trained bank (Table 7's structural
+/// account): a bare tree is one LUT, a hierarchy reports its own stats.
+fn bank_grid(report: &ScenarioReport) -> BankGrid {
+    report
+        .classifier
+        .bank()
+        .modules()
+        .iter()
+        .map(|node| match node {
+            RincNode::Tree(_) => ModuleGrid {
+                luts: 1,
+                trees: 1,
+                mats: 0,
+            },
+            RincNode::Module(m) => {
+                let s = m.stats();
+                ModuleGrid {
+                    luts: s.luts,
+                    trees: s.trees,
+                    mats: s.mats,
+                }
+            }
+        })
+        .collect()
+}
+
+/// The hardware-side figures for one trained scenario: netlist mapping,
+/// pruning, simulated power, timing, and the Table 6 energy comparison.
+struct HardwareFigures {
+    logical_luts: usize,
+    mapped_luts: usize,
+    pruned_luts: usize,
+    prune_reduction: f64,
+    critical_path_ns: f64,
+    grid: BankGrid,
+    energy: EnergyGrid,
+    grid_energy_j: f64,
+}
+
+fn hardware_figures(report: &ScenarioReport, clock_mhz: f64) -> HardwareFigures {
+    let net = report.classifier.to_netlist(512);
+    let (mapped, _) = map_to_lut6(&net);
+    let (pruned, prune_report) = prune(&mapped);
+    let vectors: Vec<BitVec> = report
+        .test_features
+        .iter_rows()
+        .take(256)
+        .cloned()
+        .collect();
+    let sim = simulate(&pruned, &vectors);
+    let power = PowerModel::default().estimate(&pruned, &sim, clock_mhz);
+    let timing = TimingModel::default().analyze(&pruned);
+
+    let grid = bank_grid(report);
+    let widths = PAPER_CLASSIFIERS
+        .iter()
+        .find(|(name, _)| *name == report.paper_name)
+        .map(|(_, w)| *w)
+        .expect("every scenario maps to a paper classifier row");
+    let poetbin_j = power.energy_per_inference_j(clock_mhz);
+    HardwareFigures {
+        logical_luts: report.classifier.lut_count(),
+        mapped_luts: mapped.area().luts,
+        pruned_luts: pruned.area().luts,
+        prune_reduction: prune_report.lut_reduction(),
+        critical_path_ns: timing.critical_path_ns,
+        grid_energy_j: grid.energy_j(clock_mhz),
+        grid,
+        energy: energy_grid(widths, clock_mhz, poetbin_j),
+    }
+}
+
+fn scenario_json(report: &ScenarioReport, hw: &HardwareFigures) -> Json {
+    let totals = hw.grid.totals();
+    Json::obj([
+        ("name", Json::str(report.name.clone())),
+        ("paper_name", Json::str(report.paper_name.clone())),
+        ("arch", Json::str(report.arch.clone())),
+        ("source", Json::str(report.source.label())),
+        ("train_examples", Json::Int(report.train_examples as i64)),
+        ("test_examples", Json::Int(report.test_examples as i64)),
+        (
+            "accuracy",
+            Json::obj([
+                ("a1", Json::Float(report.a1)),
+                ("a2", Json::Float(report.a2)),
+                ("a3", Json::Float(report.a3)),
+                ("a4", Json::Float(report.a4)),
+                ("rinc_fidelity", Json::Float(report.rinc_fidelity)),
+            ]),
+        ),
+        (
+            "sharding",
+            Json::obj([
+                ("bit_identical", Json::Bool(true)),
+                (
+                    "verified_counts",
+                    Json::Arr(
+                        report
+                            .verified_shard_counts()
+                            .iter()
+                            .map(|&s| Json::Int(s as i64))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "bank_ms",
+                    Json::Arr(
+                        report
+                            .bank_ms
+                            .iter()
+                            .map(|&(shards, ms)| {
+                                Json::obj([
+                                    ("shards", Json::Int(shards as i64)),
+                                    ("ms", Json::Int(ms as i64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "timing_ms",
+            Json::obj([
+                ("teacher", Json::Int(report.teacher_ms as i64)),
+                ("output", Json::Int(report.output_ms as i64)),
+            ]),
+        ),
+        (
+            "resources",
+            Json::obj([
+                ("logical_luts", Json::Int(hw.logical_luts as i64)),
+                ("mapped_luts", Json::Int(hw.mapped_luts as i64)),
+                ("pruned_luts", Json::Int(hw.pruned_luts as i64)),
+                ("prune_reduction", Json::Float(hw.prune_reduction)),
+                ("critical_path_ns", Json::Float(hw.critical_path_ns)),
+                (
+                    "grid",
+                    Json::obj([
+                        ("modules", Json::Int(hw.grid.modules.len() as i64)),
+                        ("luts", Json::Int(totals.luts as i64)),
+                        ("trees", Json::Int(totals.trees as i64)),
+                        ("mats", Json::Int(totals.mats as i64)),
+                        ("power_w", Json::Float(hw.grid.power_w())),
+                        ("energy_j", Json::Float(hw.grid_energy_j)),
+                    ]),
+                ),
+            ]),
+        ),
+        (
+            "energy",
+            Json::obj([
+                ("clock_mhz", Json::Float(hw.energy.clock_mhz)),
+                ("vanilla_j", Json::Float(hw.energy.vanilla_j)),
+                ("int16_j", Json::Float(hw.energy.int16_j)),
+                ("int32_j", Json::Float(hw.energy.int32_j)),
+                ("binary_j", Json::Float(hw.energy.binary_j)),
+                ("poetbin_j", Json::Float(hw.energy.poetbin_j)),
+                ("poetbin_wins", Json::Bool(hw.energy.poetbin_wins())),
+            ]),
+        ),
+    ])
+}
+
+fn main() {
+    let quick = std::env::var("POETBIN_PIPELINE_QUICK").is_ok();
+    let kinds: &[ScenarioKind] = if quick {
+        &[ScenarioKind::Mnist, ScenarioKind::Svhn]
+    } else {
+        &ScenarioKind::ALL
+    };
+
+    print_header(
+        if quick {
+            "Pipeline scenarios (quick)"
+        } else {
+            "Pipeline scenarios (paper scale)"
+        },
+        &[
+            "SCENARIO", "SRC", "A1", "A2", "A3", "A4", "FID", "LUTS", "E(J)",
+        ],
+    );
+
+    let mut docs = Vec::new();
+    for &kind in kinds {
+        let scenario = if quick {
+            Scenario::quick(kind)
+        } else {
+            Scenario::full(kind)
+        };
+        let report = scenario.run();
+        let hw = hardware_figures(&report, kind.clock_mhz());
+        println!(
+            "{:<9} {:<9} {:.3}  {:.3}  {:.3}  {:.3}  {:.3}  {:>6} {}",
+            report.name,
+            report.source.label(),
+            report.a1,
+            report.a2,
+            report.a3,
+            report.a4,
+            report.rinc_fidelity,
+            hw.pruned_luts,
+            sci(hw.energy.poetbin_j),
+        );
+        for &(shards, ms) in &report.bank_ms {
+            println!("          bank x{shards} shard(s): {ms} ms (bit-identical)");
+        }
+        docs.push(scenario_json(&report, &hw));
+    }
+
+    let doc = Json::obj([
+        ("bench", Json::str("pipeline")),
+        ("mode", Json::str(if quick { "quick" } else { "full" })),
+        ("scenarios", Json::Arr(docs)),
+    ]);
+    match write_named_root("pipeline", &doc) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write BENCH_pipeline.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}

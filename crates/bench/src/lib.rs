@@ -133,6 +133,7 @@ impl Scale {
             q_bits: 8,
             output_epochs: 30,
             resample_seed: Some(17),
+            bank_shards: 0,
         }
     }
 

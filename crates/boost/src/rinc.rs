@@ -37,6 +37,14 @@ pub struct RincConfig {
     /// identical for any value.
     #[serde(default)]
     pub tree_threads: usize,
+    /// Worker shards `RincBank::train` splits its modules across
+    /// (`0` = one shard per core). Every neuron's module is trained from
+    /// state derived only from the neuron index and this config, and the
+    /// results are folded into slots in neuron order, so the trained bank
+    /// is **bit-identical at any shard count** — sharding is purely a
+    /// throughput knob.
+    #[serde(default)]
+    pub bank_shards: usize,
 }
 
 impl RincConfig {
@@ -54,6 +62,7 @@ impl RincConfig {
             empty_leaf: EmptyLeafPolicy::default(),
             update: WeightUpdate::Exact,
             tree_threads: 0,
+            bank_shards: 0,
         }
     }
 
@@ -87,6 +96,14 @@ impl RincConfig {
     /// (builder style).
     pub fn with_tree_threads(mut self, threads: usize) -> Self {
         self.tree_threads = threads;
+        self
+    }
+
+    /// Sets the module-shard count used by `RincBank::train`, `0` meaning
+    /// one shard per core (builder style). The trained bank is identical
+    /// for any value; see [`RincConfig::bank_shards`].
+    pub fn with_bank_shards(mut self, shards: usize) -> Self {
+        self.bank_shards = shards;
         self
     }
 

@@ -19,6 +19,9 @@
 //!   offline serde shim is a no-op, so models carry their own format).
 //! * [`workflow`] — the end-to-end A1→A4 pipeline reproducing Table 2
 //!   rows.
+//! * [`scenarios`] — the paper-scale scenario harness: configured
+//!   MNIST/CIFAR/SVHN-shaped runs (real IDX data or synthetic stand-ins)
+//!   with shard-verified bank training and per-stage timings.
 //!
 //! # Example
 //!
@@ -40,6 +43,7 @@ pub mod classifier;
 pub mod output_layer;
 pub mod persist;
 pub mod rinc_bank;
+pub mod scenarios;
 pub mod teacher;
 pub mod workflow;
 
@@ -48,5 +52,6 @@ pub use classifier::PoetBinClassifier;
 pub use output_layer::QuantizedSparseOutput;
 pub use persist::{load_classifier, save_classifier, PersistError};
 pub use rinc_bank::RincBank;
+pub use scenarios::{Scenario, ScenarioKind, ScenarioReport};
 pub use teacher::{Teacher, TeacherConfig};
-pub use workflow::{Workflow, WorkflowConfig, WorkflowResult};
+pub use workflow::{TeacherArtifacts, Workflow, WorkflowConfig, WorkflowResult};

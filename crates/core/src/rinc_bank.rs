@@ -15,16 +15,25 @@ pub struct RincBank {
 
 impl RincBank {
     /// Trains one module per target column of `targets` (the intermediate
-    /// bits produced by the teacher), in parallel across CPU cores.
+    /// bits produced by the teacher), in parallel across module shards.
+    ///
+    /// The shard count comes from [`RincConfig::bank_shards`] (`0` = one
+    /// shard per core). Sharding is **bit-exact**: each neuron's module is
+    /// trained from state derived only from the neuron index (its
+    /// resampling stream is salted with the index) and the results are
+    /// folded into a slot vector in neuron order, so any shard count —
+    /// including counts above the core or neuron count — produces a
+    /// byte-identical bank (`crates/core/tests/sharding.rs` pins this
+    /// through `POETBIN1` dumps).
     ///
     /// A zero-neuron target matrix (an architecture with no intermediate
     /// layer) yields an empty bank rather than panicking. Each module's
     /// labels are the target's column plane, reused directly — no per-bit
     /// rebuild. When the bank shards neurons across several threads, each
     /// module's feature scan gets its share of the remaining cores
-    /// (`cores / bank threads`), so a 2-neuron bank on a 16-core machine
-    /// still scans 8-wide per module while a neuron-rich bank pins each
-    /// scan to one thread — never oversubscribed, and the trained bank is
+    /// (`cores / shards`), so a 2-neuron bank on a 16-core machine still
+    /// scans 8-wide per module while a neuron-rich bank pins each scan to
+    /// one thread — never oversubscribed, and the trained bank is
     /// identical for any split.
     ///
     /// # Panics
@@ -52,14 +61,18 @@ impl RincBank {
         let cores = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1);
-        let threads = cores.min(neurons);
+        let shards = if config.bank_shards == 0 {
+            cores.min(neurons)
+        } else {
+            config.bank_shards.min(neurons)
+        };
         let base_cfg = if config.tree_threads == 0 {
-            config.clone().with_tree_threads((cores / threads).max(1))
+            config.clone().with_tree_threads((cores / shards).max(1))
         } else {
             config.clone()
         };
         let mut modules: Vec<Option<RincNode>> = vec![None; neurons];
-        let chunk = neurons.div_ceil(threads);
+        let chunk = neurons.div_ceil(shards);
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (t, slot_chunk) in modules.chunks_mut(chunk).enumerate() {

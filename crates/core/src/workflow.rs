@@ -22,6 +22,10 @@ pub struct WorkflowConfig {
     pub output_epochs: usize,
     /// Boosting-by-resampling seed; `None` uses exact weighted boosting.
     pub resample_seed: Option<u64>,
+    /// Worker shards for `RincBank::train` (`0` = one shard per core).
+    /// The trained bank is bit-identical at any value; see
+    /// [`RincConfig::bank_shards`].
+    pub bank_shards: usize,
 }
 
 impl WorkflowConfig {
@@ -40,6 +44,7 @@ impl WorkflowConfig {
             q_bits: 8,
             output_epochs: 30,
             resample_seed: Some(17),
+            bank_shards: 0,
         }
     }
 
@@ -52,10 +57,16 @@ impl WorkflowConfig {
             q_bits: 8,
             output_epochs: 30,
             resample_seed: Some(17),
+            bank_shards: 0,
         }
     }
 
-    fn rinc_config(&self) -> RincConfig {
+    /// The RINC configuration the workflow derives from the architecture:
+    /// LUT-input width and hierarchy depth from the Table 1 row, the
+    /// majority empty-leaf policy, optional resampling, and the bank shard
+    /// count. Exposed so harnesses (the scenario runner, benchmarks) can
+    /// train banks outside [`Workflow::run`] under identical settings.
+    pub fn rinc_config(&self) -> RincConfig {
         // GlobalMajority empty-leaf labels: with resampled training data a
         // P-input tree leaves many of its 2^P leaves unvisited, and the
         // paper's literal S0<=S1 rule marks them all class 1, injecting
@@ -67,7 +78,7 @@ impl WorkflowConfig {
         if let Some(seed) = self.resample_seed {
             cfg = cfg.with_resampling(seed);
         }
-        cfg
+        cfg.with_bank_shards(self.bank_shards)
     }
 }
 
@@ -92,6 +103,24 @@ pub struct WorkflowResult {
     pub train_features: poetbin_bits::FeatureMatrix,
 }
 
+/// Everything the teacher stage (A1–A3) produces: the trained teacher and
+/// the binary feature / intermediate-bit matrices the distillation stages
+/// consume. Produced by [`Workflow::teacher_stage`]; harnesses that want
+/// to train several RINC banks against one teacher (shard-invariance
+/// checks, ablations) reuse one of these instead of retraining.
+pub struct TeacherArtifacts {
+    /// The trained teacher network (holds the A1–A3 accuracies).
+    pub teacher: Teacher,
+    /// Binary features of the training set (`n × 512`).
+    pub train_features: poetbin_bits::FeatureMatrix,
+    /// Teacher intermediate bits on the training set — the RINC targets.
+    pub train_inter: poetbin_bits::FeatureMatrix,
+    /// Binary features of the test set.
+    pub test_features: poetbin_bits::FeatureMatrix,
+    /// Teacher intermediate bits on the test set (for fidelity).
+    pub test_inter: poetbin_bits::FeatureMatrix,
+}
+
 /// Drives the full pipeline.
 pub struct Workflow {
     config: WorkflowConfig,
@@ -103,45 +132,80 @@ impl Workflow {
         Workflow { config }
     }
 
-    /// Runs A1→A4 and returns the staged accuracies and classifier.
-    pub fn run(&self, train: &ImageDataset, test: &ImageDataset) -> WorkflowResult {
+    /// The workflow's configuration.
+    pub fn config(&self) -> &WorkflowConfig {
+        &self.config
+    }
+
+    /// Stages A1–A3: trains the teacher and extracts the binary features
+    /// and intermediate bits for both splits.
+    pub fn teacher_stage(&self, train: &ImageDataset, test: &ImageDataset) -> TeacherArtifacts {
         let cfg = &self.config;
-
-        // Stages A1–A3: the teacher.
         let mut teacher = Teacher::train(&cfg.arch, train, test, &cfg.teacher);
-
-        // Distillation targets.
         let train_features = teacher.binary_features(train);
         let train_inter = teacher.intermediate_bits(train);
         let test_features = teacher.binary_features(test);
         let test_inter = teacher.intermediate_bits(test);
+        TeacherArtifacts {
+            teacher,
+            train_features,
+            train_inter,
+            test_features,
+            test_inter,
+        }
+    }
 
-        // Stage A4a: one RINC module per intermediate neuron.
-        let bank = RincBank::train(&train_features, &train_inter, &cfg.rinc_config());
-        let rinc_fidelity = bank.fidelity(&test_features, &test_inter);
+    /// Stage A4a: trains one RINC module per intermediate neuron against
+    /// the teacher's bits, using the configured shard count.
+    pub fn rinc_stage(&self, art: &TeacherArtifacts) -> RincBank {
+        self.rinc_stage_with_shards(art, self.config.bank_shards)
+    }
 
-        // Stage A4b: retrain the sparse output layer on RINC outputs and
-        // quantise.
-        let rinc_train_bits = bank.predict_bits(&train_features);
+    /// [`Workflow::rinc_stage`] with an explicit shard-count override —
+    /// the trained bank is bit-identical for every value (the scenario
+    /// harness asserts this before reporting shard timings).
+    pub fn rinc_stage_with_shards(&self, art: &TeacherArtifacts, shards: usize) -> RincBank {
+        let cfg = self.config.rinc_config().with_bank_shards(shards);
+        RincBank::train(&art.train_features, &art.train_inter, &cfg)
+    }
+
+    /// Stage A4b: retrains the sparse output layer on the bank's outputs,
+    /// quantises it, and assembles the final classifier.
+    pub fn output_stage(
+        &self,
+        bank: RincBank,
+        art: &TeacherArtifacts,
+        train_labels: &[usize],
+    ) -> PoetBinClassifier {
+        let cfg = &self.config;
+        let rinc_train_bits = bank.predict_bits(&art.train_features);
         let output = QuantizedSparseOutput::train(
             &rinc_train_bits,
-            &train.labels,
+            train_labels,
             cfg.arch.classes,
             cfg.q_bits,
             cfg.output_epochs,
         );
-        let classifier = PoetBinClassifier::new(bank, output);
-        let a4 = classifier.accuracy(&test_features, &test.labels);
+        PoetBinClassifier::new(bank, output)
+    }
+
+    /// Runs A1→A4 and returns the staged accuracies and classifier.
+    pub fn run(&self, train: &ImageDataset, test: &ImageDataset) -> WorkflowResult {
+        let art = self.teacher_stage(train, test);
+        let bank = self.rinc_stage(&art);
+        let rinc_fidelity = bank.fidelity(&art.test_features, &art.test_inter);
+        let classifier = self.output_stage(bank, &art, &train.labels);
+        let a4 = classifier.accuracy(&art.test_features, &test.labels);
 
         WorkflowResult {
-            a1: teacher.a1,
-            a2: teacher.a2,
-            a3: teacher.a3,
+            a1: art.teacher.a1,
+            a2: art.teacher.a2,
+            a3: art.teacher.a3,
             a4,
             rinc_fidelity,
             classifier,
-            test_features,
-            train_features,
+            test_features: art.test_features,
+            train_features: art.train_features,
         }
     }
 }

@@ -1,0 +1,109 @@
+//! Shard-count invariance for `RincBank::train`: the trained bank — and
+//! any classifier built on it — must be byte-identical through POETBIN1
+//! persistence for every shard count. Mirrors the thread-invariance suite
+//! in `crates/dt/tests/equivalence.rs` one layer up, at the bank.
+
+use poetbin_bits::{BitVec, FeatureMatrix};
+use poetbin_boost::RincConfig;
+use poetbin_core::persist::save_classifier;
+use poetbin_core::{PoetBinClassifier, QuantizedSparseOutput, RincBank};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A seeded random task: noisy window-majority targets over random
+/// features, `classes × p` neurons wide so the bank can back a classifier.
+fn task(
+    n: usize,
+    f: usize,
+    classes: usize,
+    p: usize,
+    seed: u64,
+) -> (FeatureMatrix, FeatureMatrix, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<BitVec> = (0..n)
+        .map(|_| BitVec::from_fn(f, |_| rng.random::<bool>()))
+        .collect();
+    let features = FeatureMatrix::from_rows(rows);
+    let neurons = classes * p;
+    let targets = FeatureMatrix::from_fn(n, neurons, |e, j| {
+        let base = (j * 11) % (f - 5);
+        (base..base + 5).filter(|&k| features.bit(e, k)).count() >= 3
+    });
+    let labels: Vec<usize> = (0..n)
+        .map(|e| (0..24).filter(|&k| features.bit(e, k)).count() % classes)
+        .collect();
+    (features, targets, labels)
+}
+
+fn train_bank(features: &FeatureMatrix, targets: &FeatureMatrix, shards: usize) -> RincBank {
+    // RINC-2 with resampling: the configuration where per-neuron seed
+    // derivation actually matters (exact boosting is trivially invariant).
+    let cfg = RincConfig::new(3, 2)
+        .with_top_groups(2)
+        .with_resampling(4242)
+        .with_bank_shards(shards);
+    RincBank::train(features, targets, &cfg)
+}
+
+#[test]
+fn shard_counts_produce_byte_identical_dumps() {
+    let (features, targets, labels) = task(400, 64, 2, 3, 7);
+    let mut dumps = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let bank = train_bank(&features, &targets, shards);
+        // Persist through the full POETBIN1 classifier format so every
+        // trained byte (truth tables, boosting weights, wiring) is
+        // compared, not just `PartialEq`'s view.
+        let bits = bank.predict_bits(&features);
+        let output = QuantizedSparseOutput::train(&bits, &labels, 2, 8, 5);
+        let clf = PoetBinClassifier::new(bank, output);
+        dumps.push((shards, save_classifier(&clf)));
+    }
+    let (ref_shards, reference) = &dumps[0];
+    for (shards, dump) in &dumps[1..] {
+        assert_eq!(
+            dump, reference,
+            "{shards}-shard dump differs from {ref_shards}-shard reference"
+        );
+    }
+}
+
+#[test]
+fn auto_and_oversubscribed_shards_match_explicit() {
+    let (features, targets, _) = task(220, 48, 2, 2, 19);
+    let reference = train_bank(&features, &targets, 1);
+    // 0 = auto (one shard per core), and a count far above both the
+    // neuron count and the core count: all must fold identically.
+    for shards in [0usize, 3, 64] {
+        let bank = train_bank(&features, &targets, shards);
+        assert_eq!(bank, reference, "shards={shards}");
+    }
+}
+
+#[test]
+fn sharding_respects_explicit_tree_threads() {
+    // A pinned per-module scan width must not change results either.
+    let (features, targets, _) = task(200, 48, 2, 2, 23);
+    let base = RincConfig::new(3, 2)
+        .with_top_groups(2)
+        .with_resampling(99)
+        .with_bank_shards(2);
+    let a = RincBank::train(&features, &targets, &base);
+    let b = RincBank::train(
+        &features,
+        &targets,
+        &base.clone().with_tree_threads(3).with_bank_shards(4),
+    );
+    assert_eq!(a, b);
+}
+
+#[test]
+fn zero_neurons_train_under_any_shard_count() {
+    let (features, _, _) = task(60, 32, 2, 2, 31);
+    let targets = FeatureMatrix::from_fn(60, 0, |_, _| false);
+    for shards in [0usize, 1, 4] {
+        let cfg = RincConfig::new(3, 1).with_bank_shards(shards);
+        let bank = RincBank::train(&features, &targets, &cfg);
+        assert!(bank.is_empty(), "shards={shards}");
+    }
+}

@@ -12,6 +12,9 @@
 //!   the identical code path.
 //! * [`idx`] — a loader for the original IDX file format, so real MNIST
 //!   files can be dropped in when available.
+//! * [`scenario`] — IDX-or-synthetic dataset resolution for the pipeline
+//!   scenario harness (`data/<name>/` directories holding the standard
+//!   four MNIST-style files).
 //! * [`binary`] — boolean-function tasks over [`FeatureMatrix`] used to
 //!   exercise the tree/boosting layers directly.
 //!
@@ -22,6 +25,7 @@
 
 pub mod binary;
 pub mod idx;
+pub mod scenario;
 pub mod synthetic;
 
 use poetbin_nn::Tensor;

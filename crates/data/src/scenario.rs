@@ -1,0 +1,124 @@
+//! Dataset resolution for the pipeline scenario harness.
+//!
+//! A scenario names a directory (e.g. `data/mnist`) that may hold the
+//! four standard IDX files of the original MNIST distribution. When all
+//! four are present they are loaded as the real train/test split; when
+//! the directory or any file is absent the harness falls back to the
+//! seeded synthetic generators, so the same binary runs with or without
+//! the non-redistributable corpora.
+
+use std::path::Path;
+
+use crate::idx::{self, IdxError};
+use crate::ImageDataset;
+
+/// Where a scenario's examples came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DataSource {
+    /// Real IDX files found under the scenario's data directory.
+    Idx,
+    /// Seeded synthetic stand-ins with the same shape and class count.
+    Synthetic,
+}
+
+impl DataSource {
+    /// Stable lowercase label used in report JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            DataSource::Idx => "idx",
+            DataSource::Synthetic => "synthetic",
+        }
+    }
+}
+
+/// The four files of the original MNIST distribution, in
+/// (train images, train labels, test images, test labels) order. A
+/// scenario directory must contain all four to be used.
+pub const IDX_FILES: [&str; 4] = [
+    "train-images-idx3-ubyte",
+    "train-labels-idx1-ubyte",
+    "t10k-images-idx3-ubyte",
+    "t10k-labels-idx1-ubyte",
+];
+
+/// Loads the standard IDX train/test split from `dir` if all four
+/// [`IDX_FILES`] are present; returns `Ok(None)` when any is missing
+/// (the caller falls back to synthetic data).
+///
+/// # Errors
+///
+/// Returns [`IdxError`] only when the files exist but are malformed —
+/// a present-but-broken corpus is a configuration error worth surfacing,
+/// not something to silently paper over with synthetic data.
+pub fn load_idx_split(dir: &Path) -> Result<Option<(ImageDataset, ImageDataset)>, IdxError> {
+    let paths: Vec<_> = IDX_FILES.iter().map(|f| dir.join(f)).collect();
+    if !paths.iter().all(|p| p.is_file()) {
+        return Ok(None);
+    }
+    let train = idx::load_dataset(&paths[0], &paths[1])?;
+    let test = idx::load_dataset(&paths[2], &paths[3])?;
+    Ok(Some((train, test)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic;
+
+    fn write_split(dir: &Path, train: &ImageDataset, test: &ImageDataset) {
+        std::fs::create_dir_all(dir).unwrap();
+        std::fs::write(dir.join(IDX_FILES[0]), idx::encode_images(&train.images)).unwrap();
+        std::fs::write(dir.join(IDX_FILES[1]), idx::encode_labels(&train.labels)).unwrap();
+        std::fs::write(dir.join(IDX_FILES[2]), idx::encode_images(&test.images)).unwrap();
+        std::fs::write(dir.join(IDX_FILES[3]), idx::encode_labels(&test.labels)).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_is_not_an_error() {
+        let dir = std::env::temp_dir().join("poetbin_scenario_missing");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(load_idx_split(&dir).unwrap().is_none());
+    }
+
+    #[test]
+    fn partial_file_set_falls_back() {
+        let dir = std::env::temp_dir().join("poetbin_scenario_partial");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let ds = synthetic::digits(3, 7);
+        std::fs::write(dir.join(IDX_FILES[0]), idx::encode_images(&ds.images)).unwrap();
+        assert!(load_idx_split(&dir).unwrap().is_none());
+    }
+
+    #[test]
+    fn complete_file_set_loads_both_splits() {
+        let dir = std::env::temp_dir().join("poetbin_scenario_full");
+        let _ = std::fs::remove_dir_all(&dir);
+        let data = synthetic::digits(10, 3);
+        let (train, test) = data.split(7);
+        write_split(&dir, &train, &test);
+        let (ltrain, ltest) = load_idx_split(&dir).unwrap().expect("all files present");
+        assert_eq!(ltrain.len(), 7);
+        assert_eq!(ltest.len(), 3);
+        assert_eq!(ltrain.labels, train.labels);
+        assert_eq!(ltest.labels, test.labels);
+        assert_eq!(ltrain.image_shape(), (1, 28, 28));
+    }
+
+    #[test]
+    fn corrupt_files_surface_an_error() {
+        let dir = std::env::temp_dir().join("poetbin_scenario_corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let data = synthetic::digits(6, 5);
+        let (train, test) = data.split(4);
+        write_split(&dir, &train, &test);
+        std::fs::write(dir.join(IDX_FILES[0]), b"not idx at all").unwrap();
+        assert!(load_idx_split(&dir).is_err());
+    }
+
+    #[test]
+    fn source_labels_are_stable() {
+        assert_eq!(DataSource::Idx.label(), "idx");
+        assert_eq!(DataSource::Synthetic.label(), "synthetic");
+    }
+}

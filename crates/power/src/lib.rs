@@ -10,14 +10,19 @@
 //! * [`ops`] — the measured per-operation power table (Table 4).
 //! * [`counting`] — MAC counting for FC classifier stacks (Table 5).
 //! * [`energy`] — the composed per-inference energy comparison (Table 6).
+//! * [`grid`] — per-module LUT/energy accounting for trained RINC banks
+//!   and the assembled Table 6 comparison grid the scenario harness
+//!   emits.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod counting;
 pub mod energy;
+pub mod grid;
 pub mod ops;
 
 pub use counting::{fc_ops, OpCounts, PAPER_CLASSIFIERS};
 pub use energy::{binary_network_energy, fc_energy, EnergyRow, Precision};
+pub use grid::{energy_grid, BankGrid, EnergyGrid, ModuleGrid, LUT_COMPUTE_W};
 pub use ops::{OpKind, OpPower, OP_TABLE};

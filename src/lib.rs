@@ -59,8 +59,8 @@ pub mod prelude {
     pub use poetbin_bits::{BitVec, FeatureMatrix, TruthTable};
     pub use poetbin_boost::{AdaBoost, MatModule, RincConfig, RincModule, RincNode};
     pub use poetbin_core::{
-        Architecture, PoetBinClassifier, QuantizedSparseOutput, RincBank, Teacher, TeacherConfig,
-        Workflow, WorkflowConfig, WorkflowResult,
+        Architecture, PoetBinClassifier, QuantizedSparseOutput, RincBank, Scenario, ScenarioKind,
+        ScenarioReport, Teacher, TeacherConfig, Workflow, WorkflowConfig, WorkflowResult,
     };
     pub use poetbin_data::ImageDataset;
     pub use poetbin_dt::{

@@ -1,0 +1,102 @@
+//! Pipeline-level regression suite: seeded reproducibility of the whole
+//! A1→A4 workflow, shard-count invariance through the workflow, and the
+//! first coverage of `WorkflowConfig::paper_m1`.
+
+use poetbin::prelude::*;
+use poetbin_core::persist::save_classifier;
+use poetbin_core::teacher::TeacherConfig;
+
+fn small_config() -> WorkflowConfig {
+    let mut config = WorkflowConfig::fast();
+    config.teacher = TeacherConfig {
+        epochs: 3,
+        ..TeacherConfig::default()
+    };
+    config.arch.trees_per_module = 6;
+    config.output_epochs = 5;
+    config
+}
+
+#[test]
+fn workflow_is_reproducible_bit_for_bit() {
+    let data = poetbin_data::synthetic::digits(720, 43);
+    let (train, test) = data.split(600);
+
+    let first = Workflow::new(small_config()).run(&train, &test);
+    let second = Workflow::new(small_config()).run(&train, &test);
+
+    // Same config + same seed: every staged accuracy is equal, not merely
+    // close — the whole pipeline is deterministic.
+    assert_eq!(first.a1, second.a1);
+    assert_eq!(first.a2, second.a2);
+    assert_eq!(first.a3, second.a3);
+    assert_eq!(first.a4, second.a4);
+    assert_eq!(first.rinc_fidelity, second.rinc_fidelity);
+
+    // And the persisted classifiers are byte-identical.
+    assert_eq!(
+        save_classifier(&first.classifier),
+        save_classifier(&second.classifier),
+        "two seeded runs persisted different POETBIN1 bytes"
+    );
+}
+
+#[test]
+fn workflow_is_invariant_to_bank_shards() {
+    let data = poetbin_data::synthetic::digits(720, 47);
+    let (train, test) = data.split(600);
+
+    let reference = Workflow::new(small_config()).run(&train, &test);
+    for shards in [1usize, 3] {
+        let mut config = small_config();
+        config.bank_shards = shards;
+        let run = Workflow::new(config).run(&train, &test);
+        assert_eq!(run.a4, reference.a4, "shards={shards}");
+        assert_eq!(
+            save_classifier(&run.classifier),
+            save_classifier(&reference.classifier),
+            "shards={shards} changed the trained classifier"
+        );
+    }
+}
+
+#[test]
+fn paper_m1_trains_within_budget_and_beats_chance() {
+    // First-ever exercise of the paper's M1 configuration: full P=8 /
+    // 32-tree / RINC-2 shape, scaled only in teacher budget and data.
+    let data = poetbin_data::synthetic::digits(900, 53);
+    let (train, test) = data.split(750);
+
+    let mut config = WorkflowConfig::paper_m1();
+    assert_eq!(config.arch.lut_inputs, 8);
+    assert_eq!(config.arch.trees_per_module, 32);
+    assert_eq!(config.arch.rinc_levels, 2);
+    config.teacher.epochs = 3;
+    config.output_epochs = 10;
+    let result = Workflow::new(config).run(&train, &test);
+
+    // Ten classes: chance is 0.1. Every stage must clear it.
+    for (stage, acc) in [
+        ("A1", result.a1),
+        ("A2", result.a2),
+        ("A3", result.a3),
+        ("A4", result.a4),
+    ] {
+        assert!(acc > 0.12, "{stage} at chance: {acc}");
+    }
+    assert!(
+        result.rinc_fidelity > 0.5,
+        "fidelity {}",
+        result.rinc_fidelity
+    );
+
+    // The M1 bank is one module per intermediate neuron (10 classes × 8).
+    let bank = result.classifier.bank();
+    assert_eq!(bank.len(), 80);
+
+    // LUT budget: each RINC-2 module is at most 32 trees + 4 subgroup
+    // MATs + 1 top MAT = 37 LUTs; with 8 output LUTs per class the
+    // classifier cannot exceed 80 × 37 + 80 = 3040.
+    let luts = result.classifier.lut_count();
+    assert!(luts > 0 && luts <= 3040, "LUTs {luts}");
+}

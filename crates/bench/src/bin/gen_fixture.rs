@@ -1,6 +1,7 @@
-//! Regenerates the checked-in `POETBIN1` conformance fixtures under
-//! `tests/fixtures/` and prints the golden predictions embedded in
-//! `tests/conformance.rs`.
+//! Regenerates the checked-in conformance fixtures under
+//! `tests/fixtures/` — each model in both formats (`<name>.poetbin` is
+//! `POETBIN1`, `<name>.poetbin2` its `POETBIN2` twin) — and prints the
+//! golden predictions embedded in `tests/conformance.rs`.
 //!
 //! Construction is fully deterministic (seeded [`StdRng`], no training),
 //! so re-running this binary after a model-format or classifier change
@@ -18,7 +19,7 @@ use std::path::Path;
 
 use poetbin_bits::{BitVec, TruthTable};
 use poetbin_boost::{MatModule, RincModule, RincNode};
-use poetbin_core::persist::save_classifier_to;
+use poetbin_core::persist::{load_classifier, save_classifier, ModelFormat};
 use poetbin_core::{PoetBinClassifier, QuantizedSparseOutput, RincBank};
 use poetbin_dt::LevelWiseTree;
 use rand::prelude::*;
@@ -109,23 +110,31 @@ fn probe_row(num_features: usize, i: usize) -> BitVec {
 }
 
 fn emit(dir: &Path, name: &str, clf: &PoetBinClassifier, num_features: usize) {
-    let path = dir.join(name);
-    save_classifier_to(&path, clf).expect("write fixture");
     assert_eq!(
         clf.min_features(),
         num_features,
         "{name}: pinned tree lost — loaders would infer the wrong width"
     );
+    let v1 = save_classifier(clf, ModelFormat::PoetBin1);
+    let v2 = save_classifier(clf, ModelFormat::PoetBin2);
+    // Both encodings must decode back to this exact classifier before
+    // they are allowed to become golden bytes.
+    assert_eq!(&load_classifier(&v1).expect("v1 decodes"), clf, "{name}");
+    assert_eq!(&load_classifier(&v2).expect("v2 decodes"), clf, "{name}");
+    std::fs::write(dir.join(format!("{name}.poetbin")), &v1).expect("write v1 fixture");
+    std::fs::write(dir.join(format!("{name}.poetbin2")), &v2).expect("write v2 fixture");
     let probes = poetbin_bits::FeatureMatrix::from_rows(
         (0..32).map(|i| probe_row(num_features, i)).collect(),
     );
     let golden = clf.predict(&probes);
     println!(
-        "{name}: {} features, {} classes, {} modules, {} bytes",
+        "{name}: {} features, {} classes, {} modules; POETBIN1 {} bytes, POETBIN2 {} bytes ({:.0}%)",
         num_features,
         clf.classes(),
         clf.bank().len(),
-        std::fs::metadata(&path).expect("stat").len()
+        v1.len(),
+        v2.len(),
+        100.0 * v2.len() as f64 / v1.len() as f64
     );
     println!("  golden predictions: {golden:?}");
 }
@@ -136,7 +145,7 @@ fn main() {
     // Seeds chosen so the golden probes exercise several classes rather
     // than collapsing to one dominant prediction.
     let tiny = fixture_classifier(29, 16, 2, 2, 1, 4);
-    emit(&dir, "tiny.poetbin", &tiny, 16);
+    emit(&dir, "tiny", &tiny, 16);
     let deep = fixture_classifier(1029, 48, 4, 3, 2, 8);
-    emit(&dir, "deep.poetbin", &deep, 48);
+    emit(&dir, "deep", &deep, 48);
 }

@@ -1,8 +1,11 @@
-//! Load generator for `poetbin-serve`, closed- and open-loop.
+//! Load generator for `poetbin-serve`, closed- and open-loop, sweeping
+//! one or more models behind a single server.
 //!
-//! Starts an in-process server on an ephemeral port for each requested
-//! linger setting and hammers it from `--clients` client threads. Two
-//! traffic models:
+//! Starts an in-process multi-model server on an ephemeral port for each
+//! requested linger setting and hammers it from `--clients` client
+//! threads, each interleaving its requests round-robin across every
+//! loaded model (request `i` targets model `i mod M`), so the worker
+//! shards exercise their per-model batch grouping. Two traffic models:
 //!
 //! * **closed-loop** (default): each client waits for its response before
 //!   sending the next request, so concurrency equals the client count —
@@ -15,18 +18,20 @@
 //!   one under which the linger/batch-occupancy tradeoff is measurable.
 //!
 //! Every response is verified against the offline batch-path prediction
-//! for the same row; the run reports throughput, p50/p99 latency and the
-//! mean requests-per-batch the micro-batcher achieved.
+//! of the model it targeted; the run reports throughput, p50/p99 latency
+//! and the mean requests-per-batch the micro-batcher achieved.
 //!
 //! ```text
 //! cargo run --release -p poetbin_bench --bin loadgen -- \
-//!     [--model PATH] [--requests N] [--clients C] [--workers W] \
+//!     [--models PATH,PATH,...] [--requests N] [--clients C] [--workers W] \
 //!     [--lingers US,US,...] [--max-batch B] [--open-loop REQ_PER_S]
 //! ```
 //!
-//! Defaults: the checked-in `tests/fixtures/deep.poetbin` model, 12 000
+//! Defaults: the checked-in `deep.poetbin2` and `tiny.poetbin2` fixtures
+//! (`--model PATH` is still accepted for a single model), 12 000
 //! requests, 8 clients, 2 workers, lingers `0,200` µs, closed-loop. Exits
-//! non-zero on any prediction mismatch or transport error.
+//! non-zero on any prediction mismatch, typed rejection or transport
+//! error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -36,10 +41,10 @@ use std::time::{Duration, Instant};
 
 use poetbin_bits::{BitVec, FeatureMatrix};
 use poetbin_engine::ClassifierEngine;
-use poetbin_serve::{load_engine, Client, ServeConfig, Server};
+use poetbin_serve::{load_engine, Client, ModelRegistry, Response, ServeConfig, Server};
 
 struct Args {
-    model: PathBuf,
+    models: Vec<PathBuf>,
     requests: usize,
     clients: usize,
     workers: usize,
@@ -51,9 +56,12 @@ struct Args {
 
 impl Args {
     fn parse() -> Result<Args, String> {
+        let fixtures = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures");
         let mut args = Args {
-            model: PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-                .join("../../tests/fixtures/deep.poetbin"),
+            models: vec![
+                fixtures.join("deep.poetbin2"),
+                fixtures.join("tiny.poetbin2"),
+            ],
             requests: 12_000,
             clients: 8,
             workers: 2,
@@ -65,7 +73,10 @@ impl Args {
         while let Some(flag) = it.next() {
             let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
             match flag.as_str() {
-                "--model" => args.model = PathBuf::from(value),
+                "--model" => args.models = vec![PathBuf::from(value)],
+                "--models" => {
+                    args.models = value.split(',').map(|p| PathBuf::from(p.trim())).collect();
+                }
                 "--requests" => args.requests = value.parse().map_err(|_| "bad --requests")?,
                 "--clients" => args.clients = value.parse().map_err(|_| "bad --clients")?,
                 "--workers" => args.workers = value.parse().map_err(|_| "bad --workers")?,
@@ -86,8 +97,12 @@ impl Args {
                 other => return Err(format!("unknown flag {other}")),
             }
         }
-        if args.requests == 0 || args.clients == 0 || args.lingers_us.is_empty() {
-            return Err("requests, clients and lingers must be non-empty".into());
+        if args.requests == 0
+            || args.clients == 0
+            || args.lingers_us.is_empty()
+            || args.models.is_empty()
+        {
+            return Err("models, requests, clients and lingers must be non-empty".into());
         }
         Ok(args)
     }
@@ -104,6 +119,43 @@ fn load_row(num_features: usize, client: usize, i: usize) -> BitVec {
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         (z ^ (z >> 27)) & 1 == 1
     })
+}
+
+/// One planned request: its target model, row, and the offline
+/// ground-truth prediction the response is checked against.
+struct Target {
+    model_id: u16,
+    row: BitVec,
+    expected: usize,
+}
+
+/// The full request sequence for one client: request `i` targets model
+/// `i mod M`, each group batch-predicted offline for ground truth.
+fn client_plan(engines: &[Arc<ClassifierEngine>], client: usize, per_client: usize) -> Vec<Target> {
+    let m = engines.len();
+    let mut by_model: Vec<Vec<(usize, BitVec)>> = (0..m).map(|_| Vec::new()).collect();
+    for i in 0..per_client {
+        let k = i % m;
+        by_model[k].push((i, load_row(engines[k].num_features(), client, i)));
+    }
+    let mut plan: Vec<Option<Target>> = (0..per_client).map(|_| None).collect();
+    for (k, items) in by_model.into_iter().enumerate() {
+        if items.is_empty() {
+            continue;
+        }
+        let rows: Vec<BitVec> = items.iter().map(|(_, r)| r.clone()).collect();
+        let expected = engines[k].predict(&FeatureMatrix::from_rows(rows));
+        for ((i, row), expected) in items.into_iter().zip(expected) {
+            plan[i] = Some(Target {
+                model_id: k as u16,
+                row,
+                expected,
+            });
+        }
+    }
+    plan.into_iter()
+        .map(|t| t.expect("every slot planned"))
+        .collect()
 }
 
 struct RunResult {
@@ -123,20 +175,23 @@ fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
     sorted_ns[rank] as f64 / 1_000.0
 }
 
-fn start_server(engine: &Arc<ClassifierEngine>, args: &Args, linger_us: u64) -> Server {
+fn start_server(engines: &[Arc<ClassifierEngine>], args: &Args, linger_us: u64) -> Server {
+    let mut registry = ModelRegistry::new();
+    for (k, engine) in engines.iter().enumerate() {
+        registry.register(format!("m{k}"), Arc::clone(engine));
+    }
     let config = ServeConfig {
         workers: args.workers,
         linger: Duration::from_micros(linger_us),
         max_batch: args.max_batch,
     };
-    Server::start(Arc::clone(engine), "127.0.0.1:0", config).expect("bind")
+    Server::start(Arc::new(registry), "127.0.0.1:0", config).expect("bind")
 }
 
-/// Closed-loop: each client thread ping-pongs `predict` calls.
-fn run_closed(engine: &Arc<ClassifierEngine>, args: &Args, linger_us: u64) -> RunResult {
-    let server = start_server(engine, args, linger_us);
+/// Closed-loop: each client thread ping-pongs `predict_on` calls.
+fn run_closed(engines: &[Arc<ClassifierEngine>], args: &Args, linger_us: u64) -> RunResult {
+    let server = start_server(engines, args, linger_us);
     let addr = server.local_addr();
-    let f = engine.num_features();
     let per_client = args.requests.div_ceil(args.clients);
 
     let start = Instant::now();
@@ -146,23 +201,19 @@ fn run_closed(engine: &Arc<ClassifierEngine>, args: &Args, linger_us: u64) -> Ru
     std::thread::scope(|scope| {
         let mut joins = Vec::new();
         for c in 0..args.clients {
-            let engine = Arc::clone(engine);
             joins.push(scope.spawn(move || {
-                let rows: Vec<BitVec> = (0..per_client).map(|i| load_row(f, c, i)).collect();
-                // The offline batch path is the ground truth every served
-                // answer is checked against.
-                let expected = engine.predict(&FeatureMatrix::from_rows(rows.clone()));
+                let plan = client_plan(engines, c, per_client);
                 let mut latencies = Vec::with_capacity(per_client);
                 let mut mismatches = 0u64;
                 let mut errors = 0u64;
                 match Client::connect(addr) {
                     Ok(mut client) => {
-                        for (i, row) in rows.iter().enumerate() {
+                        for target in &plan {
                             let t0 = Instant::now();
-                            match client.predict(row) {
+                            match client.predict_on(target.model_id, &target.row) {
                                 Ok(class) => {
                                     latencies.push(t0.elapsed().as_nanos() as u64);
-                                    if class != expected[i] {
+                                    if class != target.expected {
                                         mismatches += 1;
                                     }
                                 }
@@ -200,10 +251,14 @@ fn run_closed(engine: &Arc<ClassifierEngine>, args: &Args, linger_us: u64) -> Ru
 /// Open-loop: per client, a timer-paced sender injects requests on an
 /// absolute schedule while a separate receiver drains responses and
 /// measures send→response latency.
-fn run_open(engine: &Arc<ClassifierEngine>, args: &Args, linger_us: u64, rate: f64) -> RunResult {
-    let server = start_server(engine, args, linger_us);
+fn run_open(
+    engines: &[Arc<ClassifierEngine>],
+    args: &Args,
+    linger_us: u64,
+    rate: f64,
+) -> RunResult {
+    let server = start_server(engines, args, linger_us);
     let addr = server.local_addr();
-    let f = engine.num_features();
     let per_client = args.requests.div_ceil(args.clients);
     // Global inter-arrival gap; client `c` owns arrival slots
     // `c, c + clients, c + 2·clients, …` so the aggregate stream is
@@ -217,10 +272,8 @@ fn run_open(engine: &Arc<ClassifierEngine>, args: &Args, linger_us: u64, rate: f
     std::thread::scope(|scope| {
         let mut joins = Vec::new();
         for c in 0..args.clients {
-            let engine = Arc::clone(engine);
             joins.push(scope.spawn(move || {
-                let rows: Vec<BitVec> = (0..per_client).map(|i| load_row(f, c, i)).collect();
-                let expected = engine.predict(&FeatureMatrix::from_rows(rows.clone()));
+                let plan = client_plan(engines, c, per_client);
                 let client = match Client::connect(addr) {
                     Ok(client) => client,
                     Err(_) => return (Vec::new(), 0, per_client as u64),
@@ -230,20 +283,20 @@ fn run_open(engine: &Arc<ClassifierEngine>, args: &Args, linger_us: u64, rate: f
 
                 std::thread::scope(|s| {
                     let sent_at = &sent_at;
-                    let rows = &rows;
+                    let plan = &plan;
                     let send_half = s.spawn(move || {
                         let mut sent = 0u64;
-                        for (i, row) in rows.iter().enumerate() {
-                            let target = epoch + gap * (c + i * args.clients) as u32;
+                        for (i, target) in plan.iter().enumerate() {
+                            let target_at = epoch + gap * (c + i * args.clients) as u32;
                             loop {
                                 let now = Instant::now();
-                                if now >= target {
+                                if now >= target_at {
                                     break;
                                 }
-                                std::thread::sleep(target - now);
+                                std::thread::sleep(target_at - now);
                             }
                             sent_at[i].store(epoch.elapsed().as_nanos() as u64, Ordering::Release);
-                            if tx.send(row).is_err() {
+                            if tx.send_to(target.model_id, &target.row).is_err() {
                                 break;
                             }
                             sent += 1;
@@ -252,16 +305,24 @@ fn run_open(engine: &Arc<ClassifierEngine>, args: &Args, linger_us: u64, rate: f
                     });
 
                     let mut latencies = Vec::with_capacity(per_client);
+                    let mut answered = 0u64;
                     let mut mismatches = 0u64;
                     let mut errors = 0u64;
                     for _ in 0..per_client {
                         match rx.recv() {
-                            Ok((id, class)) => {
+                            Ok((id, Response::Class(class))) => {
+                                answered += 1;
                                 let t0 = sent_at[id as usize].load(Ordering::Acquire);
                                 latencies.push(epoch.elapsed().as_nanos() as u64 - t0);
-                                if class != expected[id as usize] {
+                                if class != plan[id as usize].expected {
                                     mismatches += 1;
                                 }
+                            }
+                            // A typed rejection should be impossible for
+                            // well-formed traffic; count it as a mismatch.
+                            Ok((_, _)) => {
+                                answered += 1;
+                                mismatches += 1;
                             }
                             Err(_) => break,
                         }
@@ -269,7 +330,7 @@ fn run_open(engine: &Arc<ClassifierEngine>, args: &Args, linger_us: u64, rate: f
                     let sent = send_half.join().expect("sender thread");
                     // Unsent requests and sent-but-unanswered requests both
                     // count as transport errors.
-                    errors += (per_client as u64 - sent) + (sent - latencies.len() as u64);
+                    errors += (per_client as u64 - sent) + sent.saturating_sub(answered);
                     (latencies, mismatches, errors)
                 })
             }));
@@ -304,28 +365,44 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let engine = match load_engine(&args.model, None) {
-        Ok(engine) => Arc::new(engine),
-        Err(e) => {
-            eprintln!("loadgen: {e}");
-            return ExitCode::FAILURE;
+    let mut engines: Vec<Arc<ClassifierEngine>> = Vec::with_capacity(args.models.len());
+    for path in &args.models {
+        match load_engine(path, None) {
+            Ok(engine) => {
+                println!(
+                    "model {} = {} · {} features · {} classes · {} tape ops",
+                    engines.len(),
+                    path.display(),
+                    engine.num_features(),
+                    engine.classes(),
+                    engine.engine().plan().tape_len()
+                );
+                engines.push(Arc::new(engine));
+            }
+            Err(e) => {
+                eprintln!("loadgen: {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
         }
-    };
-    println!(
-        "model {} · {} features · {} classes · {} tape ops",
-        args.model.display(),
-        engine.num_features(),
-        engine.classes(),
-        engine.engine().plan().tape_len()
-    );
+    }
     match args.open_loop {
         Some(rate) => println!(
-            "{} requests · {} open-loop senders at {rate:.0} req/s offered · {} workers · max batch {}",
-            args.requests, args.clients, args.workers, args.max_batch
+            "{} requests round-robin over {} models · {} open-loop senders at {rate:.0} req/s \
+             offered · {} workers · max batch {}",
+            args.requests,
+            engines.len(),
+            args.clients,
+            args.workers,
+            args.max_batch
         ),
         None => println!(
-            "{} requests · {} closed-loop clients · {} workers · max batch {}",
-            args.requests, args.clients, args.workers, args.max_batch
+            "{} requests round-robin over {} models · {} closed-loop clients · {} workers · \
+             max batch {}",
+            args.requests,
+            engines.len(),
+            args.clients,
+            args.workers,
+            args.max_batch
         ),
     }
     println!(
@@ -336,8 +413,8 @@ fn main() -> ExitCode {
     let mut failed = false;
     for &linger_us in &args.lingers_us {
         let result = match args.open_loop {
-            Some(rate) => run_open(&engine, &args, linger_us, rate),
-            None => run_closed(&engine, &args, linger_us),
+            Some(rate) => run_open(&engines, &args, linger_us, rate),
+            None => run_closed(&engines, &args, linger_us),
         };
         let rps = result.latencies_ns.len() as f64 / result.wall.as_secs_f64();
         println!(
@@ -361,7 +438,7 @@ fn main() -> ExitCode {
     if failed {
         ExitCode::FAILURE
     } else {
-        println!("all responses matched the offline batch path");
+        println!("all responses matched the offline batch path of their target model");
         ExitCode::SUCCESS
     }
 }

@@ -1,0 +1,140 @@
+//! Converts a persisted model between the `POETBIN1` and `POETBIN2`
+//! on-disk formats, with a mandatory round-trip self-check.
+//!
+//! ```text
+//! poetbin-convert INPUT OUTPUT [--format poetbin1|poetbin2]
+//! ```
+//!
+//! The input format is sniffed from its magic. The output format is taken
+//! from `--format`, or inferred from `OUTPUT`'s extension (`.poetbin` →
+//! `POETBIN1`, `.poetbin2` → `POETBIN2`). Before anything is written, the
+//! converted bytes are decoded again and checked two ways: the decoded
+//! classifier must equal the input's bit for bit, and re-encoding it must
+//! reproduce the converted bytes exactly (the save/load pair is a lossless
+//! involution). A conversion that fails either check writes nothing and
+//! exits non-zero — a corrupt model store is strictly worse than no
+//! conversion.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use poetbin_core::persist::{load_classifier, save_classifier, ModelFormat};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: poetbin-convert INPUT OUTPUT [--format poetbin1|poetbin2]");
+    ExitCode::from(2)
+}
+
+fn format_from_extension(path: &Path) -> Option<ModelFormat> {
+    match path.extension()?.to_str()? {
+        "poetbin" => Some(ModelFormat::PoetBin1),
+        "poetbin2" => Some(ModelFormat::PoetBin2),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut format: Option<ModelFormat> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("poetbin1") => format = Some(ModelFormat::PoetBin1),
+                Some("poetbin2") => format = Some(ModelFormat::PoetBin2),
+                Some(other) => {
+                    eprintln!("poetbin-convert: unknown format {other:?}");
+                    return usage();
+                }
+                None => return usage(),
+            },
+            other if other.starts_with("--") => {
+                eprintln!("poetbin-convert: unknown flag {other}");
+                return usage();
+            }
+            other => positional.push(other),
+        }
+    }
+    let [input, output] = positional[..] else {
+        return usage();
+    };
+    let (input, output) = (Path::new(input), Path::new(output));
+    let Some(format) = format.or_else(|| format_from_extension(output)) else {
+        eprintln!(
+            "poetbin-convert: cannot infer the output format from {:?}; pass --format",
+            output.display()
+        );
+        return usage();
+    };
+
+    let input_bytes = match std::fs::read(input) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            eprintln!("poetbin-convert: reading {}: {e}", input.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let clf = match load_classifier(&input_bytes) {
+        Ok(clf) => clf,
+        Err(e) => {
+            eprintln!("poetbin-convert: decoding {}: {e}", input.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let converted = save_classifier(&clf, format);
+    // Self-check before touching the filesystem: the converted bytes must
+    // decode back to the identical classifier, and re-encoding that
+    // decode must be byte-exact.
+    match load_classifier(&converted) {
+        Ok(back) if back == clf => {
+            let reencoded = save_classifier(&back, format);
+            if reencoded != converted {
+                eprintln!(
+                    "poetbin-convert: self-check failed: re-encoding the converted model \
+                     drifted by {} bytes — nothing written",
+                    reencoded
+                        .iter()
+                        .zip(&converted)
+                        .filter(|(a, b)| a != b)
+                        .count()
+                        .max(reencoded.len().abs_diff(converted.len()))
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        Ok(_) => {
+            eprintln!(
+                "poetbin-convert: self-check failed: converted model decodes to a \
+                 different classifier — nothing written"
+            );
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!(
+                "poetbin-convert: self-check failed: converted model does not decode \
+                 ({e}) — nothing written"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Err(e) = std::fs::write(output, &converted) {
+        eprintln!("poetbin-convert: writing {}: {e}", output.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{} ({} bytes, {}) -> {} ({} bytes, {}) · {:.0}% of input · self-check passed",
+        input.display(),
+        input_bytes.len(),
+        ModelFormat::sniff(&input_bytes)
+            .map(|f| f.to_string())
+            .unwrap_or_else(|| "unknown".into()),
+        output.display(),
+        converted.len(),
+        format,
+        100.0 * converted.len() as f64 / input_bytes.len() as f64
+    );
+    ExitCode::SUCCESS
+}

@@ -18,7 +18,9 @@
 //! On top of these, the free functions [`popcount_words`],
 //! [`and2_popcount`], [`and3_popcount`] and [`split_counts`] are the
 //! masked-popcount histogram kernels the word-parallel training engine in
-//! `poetbin-dt` is built on.
+//! `poetbin-dt` is built on, and the [`BitWriter`] / [`BitReader`] pair is
+//! the varlen bit-stream codec the compact `POETBIN2` model format is
+//! serialized with.
 //!
 //! # Example
 //!
@@ -46,6 +48,7 @@ mod bitvec;
 mod counting;
 mod matrix;
 mod truth_table;
+mod varlen;
 
 pub use bitvec::BitVec;
 pub use counting::{and2_popcount, and3_popcount, popcount_words, split_counts};
@@ -53,6 +56,7 @@ pub use matrix::{
     pack_block_rows, pack_block_rows_into, pack_word_rows, pack_word_rows_into, FeatureMatrix,
 };
 pub use truth_table::{TruthTable, TruthTableBytesError, MAX_LUT_INPUTS};
+pub use varlen::{BitReadError, BitReader, BitWriter};
 
 /// Number of payload bits per storage word used throughout the crate.
 pub const WORD_BITS: usize = 64;

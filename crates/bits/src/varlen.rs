@@ -1,0 +1,469 @@
+//! Variable-length bit-stream encoding: the codec primitive under the
+//! `POETBIN2` compact model format.
+//!
+//! A [`BitWriter`] packs values into a byte buffer LSB-first (bit `i` of
+//! the stream is bit `i % 8` of byte `i / 8` — the same layout as
+//! [`crate::BitVec`]), and a [`BitReader`] walks it back. Three encodings
+//! are provided:
+//!
+//! * **fixed-width fields** ([`BitWriter::write_bits`]) — exactly `n`
+//!   bits, for payloads whose width the reader already knows (truth-table
+//!   contents, raw `f64` bit patterns);
+//! * **LEB-style varints** ([`BitWriter::write_varint`]) — the value is
+//!   cut into 4-bit groups, low group first, each followed by one
+//!   continuation bit. Values below 16 cost 5 bits, below 256 cost
+//!   10 bits: tree arities, feature indices and sparse weights are
+//!   mostly-small integers, which is exactly what a flat fixed-width
+//!   format wastes whole bytes on;
+//! * **zigzag-signed varints** ([`BitWriter::write_signed_varint`]) —
+//!   small-magnitude signed values (quantised output weights) map to
+//!   small unsigned varints.
+//!
+//! [`BitWriter::align_byte`] pads the stream to a byte boundary with zero
+//! bits, so independently checksummed sections can start on whole bytes
+//! and a reader can jump straight to a section offset.
+//!
+//! # Example
+//!
+//! ```
+//! use poetbin_bits::{BitReader, BitWriter};
+//!
+//! let mut w = BitWriter::new();
+//! w.write_varint(7);
+//! w.write_signed_varint(-300);
+//! w.write_bits(0b1011, 4);
+//! let bytes = w.finish();
+//!
+//! let mut r = BitReader::new(&bytes);
+//! assert_eq!(r.read_varint().unwrap(), 7);
+//! assert_eq!(r.read_signed_varint().unwrap(), -300);
+//! assert_eq!(r.read_bits(4).unwrap(), 0b1011);
+//! ```
+
+use std::fmt;
+
+/// Payload bits per varint group; each group costs one extra
+/// continuation bit on the wire.
+const GROUP_BITS: usize = 4;
+
+/// Errors raised while decoding a bit stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BitReadError {
+    /// The stream ended before the value it promised.
+    UnexpectedEnd,
+    /// A varint kept its continuation bit set past 64 payload bits.
+    VarintOverflow,
+}
+
+impl fmt::Display for BitReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BitReadError::UnexpectedEnd => write!(f, "bit stream truncated"),
+            BitReadError::VarintOverflow => {
+                write!(f, "varint does not terminate within 64 bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BitReadError {}
+
+/// An LSB-first bit-stream encoder over a growable byte buffer.
+#[derive(Clone, Debug, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already filled in the final byte of `bytes` (`0` when the
+    /// stream is byte-aligned; the final byte then does not exist yet).
+    fill: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> BitWriter {
+        BitWriter::default()
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.fill == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + self.fill
+        }
+    }
+
+    /// Appends one bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        if self.fill == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            *self.bytes.last_mut().expect("byte just ensured") |= 1 << self.fill;
+        }
+        self.fill = (self.fill + 1) % 8;
+    }
+
+    /// Appends the low `width` bits of `value`, LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or `value` has bits set above `width`.
+    pub fn write_bits(&mut self, value: u64, width: usize) {
+        assert!(width <= 64, "bit fields are at most 64 bits wide");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value:#x} does not fit {width} bits"
+        );
+        for i in 0..width {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Appends `value` as an LEB-style varint: 4-bit groups, low group
+    /// first, each followed by a continuation bit.
+    pub fn write_varint(&mut self, value: u64) {
+        let mut rest = value;
+        loop {
+            let group = rest & ((1 << GROUP_BITS) - 1);
+            rest >>= GROUP_BITS;
+            self.write_bits(group, GROUP_BITS);
+            self.write_bit(rest != 0);
+            if rest == 0 {
+                return;
+            }
+        }
+    }
+
+    /// Appends a signed value as a zigzag-mapped varint
+    /// (`0, -1, 1, -2, …` → `0, 1, 2, 3, …`).
+    pub fn write_signed_varint(&mut self, value: i64) {
+        self.write_varint(((value << 1) ^ (value >> 63)) as u64);
+    }
+
+    /// Pads the stream with zero bits up to the next byte boundary; a
+    /// no-op when already aligned. Section boundaries in `POETBIN2` are
+    /// byte-aligned so sections can be sliced, checksummed and skipped
+    /// without bit arithmetic.
+    pub fn align_byte(&mut self) {
+        self.fill = 0;
+    }
+
+    /// Byte-aligns and returns the encoded buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.align_byte();
+        self.bytes
+    }
+}
+
+/// An LSB-first bit-stream decoder over a byte slice.
+#[derive(Clone, Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Cursor position in bits from the start of `bytes`.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`, positioned at bit 0.
+    pub fn new(bytes: &'a [u8]) -> BitReader<'a> {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Bits left before the end of the buffer.
+    pub fn bits_left(&self) -> usize {
+        self.bytes.len() * 8 - self.pos
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    ///
+    /// [`BitReadError::UnexpectedEnd`] past the end of the buffer.
+    pub fn read_bit(&mut self) -> Result<bool, BitReadError> {
+        let byte = self
+            .bytes
+            .get(self.pos / 8)
+            .ok_or(BitReadError::UnexpectedEnd)?;
+        let bit = (byte >> (self.pos % 8)) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Reads a `width`-bit field written by [`BitWriter::write_bits`].
+    ///
+    /// # Errors
+    ///
+    /// [`BitReadError::UnexpectedEnd`] when fewer than `width` bits remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
+    pub fn read_bits(&mut self, width: usize) -> Result<u64, BitReadError> {
+        assert!(width <= 64, "bit fields are at most 64 bits wide");
+        if self.bits_left() < width {
+            // Leave the cursor untouched on failure so the error is
+            // reported against the start of the malformed value.
+            return Err(BitReadError::UnexpectedEnd);
+        }
+        let mut value = 0u64;
+        for i in 0..width {
+            if self.read_bit()? {
+                value |= 1 << i;
+            }
+        }
+        Ok(value)
+    }
+
+    /// Reads a varint written by [`BitWriter::write_varint`].
+    ///
+    /// # Errors
+    ///
+    /// [`BitReadError::UnexpectedEnd`] on truncation,
+    /// [`BitReadError::VarintOverflow`] when the continuation bit stays
+    /// set past 64 payload bits.
+    pub fn read_varint(&mut self) -> Result<u64, BitReadError> {
+        let mut value = 0u64;
+        let mut shift = 0usize;
+        loop {
+            let group = self.read_bits(GROUP_BITS)?;
+            value |= group << shift;
+            if !self.read_bit()? {
+                return Ok(value);
+            }
+            shift += GROUP_BITS;
+            if shift >= 64 {
+                return Err(BitReadError::VarintOverflow);
+            }
+        }
+    }
+
+    /// Reads a zigzag-signed varint written by
+    /// [`BitWriter::write_signed_varint`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`BitReader::read_varint`].
+    pub fn read_signed_varint(&mut self) -> Result<i64, BitReadError> {
+        let z = self.read_varint()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    /// Advances the cursor to the next byte boundary; a no-op when
+    /// already aligned. The skipped padding bits are *not* checked — use
+    /// [`BitReader::align_byte_checked`] when zero padding is an
+    /// invariant.
+    pub fn align_byte(&mut self) {
+        self.pos = self.pos.div_ceil(8) * 8;
+    }
+
+    /// Advances to the next byte boundary, verifying every skipped
+    /// padding bit is zero (a flipped padding bit means corruption even
+    /// though no value reads it).
+    ///
+    /// # Errors
+    ///
+    /// [`BitReadError::UnexpectedEnd`] when a padding bit is set — the
+    /// stream does not hold the alignment it promised.
+    pub fn align_byte_checked(&mut self) -> Result<(), BitReadError> {
+        while !self.pos.is_multiple_of(8) {
+            if self.read_bit()? {
+                return Err(BitReadError::UnexpectedEnd);
+            }
+        }
+        Ok(())
+    }
+
+    /// True when only zero padding (less than one byte of it) remains —
+    /// the whole stream has been consumed.
+    pub fn is_spent(&self) -> bool {
+        let mut probe = self.clone();
+        probe.align_byte_checked().is_ok() && probe.bits_left() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_width_fields_roundtrip() {
+        let mut w = BitWriter::new();
+        let values: Vec<(u64, usize)> = vec![
+            (0, 1),
+            (1, 1),
+            (0b101, 3),
+            (0xFFFF_FFFF_FFFF_FFFF, 64),
+            (0x1234_5678, 32),
+            (63, 6),
+        ];
+        for &(v, n) in &values {
+            w.write_bits(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &values {
+            assert_eq!(r.read_bits(n).unwrap(), v, "{v:#x}/{n}");
+        }
+        assert!(r.is_spent());
+    }
+
+    #[test]
+    fn varints_roundtrip_across_magnitudes() {
+        let values: Vec<u64> = vec![
+            0,
+            1,
+            15,
+            16,
+            255,
+            256,
+            4095,
+            4096,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.write_varint(v);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(r.read_varint().unwrap(), v);
+        }
+        assert!(r.is_spent());
+    }
+
+    #[test]
+    fn small_values_are_small_on_the_wire() {
+        // The whole point: a value below 16 costs 5 bits, not a byte.
+        let mut w = BitWriter::new();
+        w.write_varint(7);
+        assert_eq!(w.bit_len(), 5);
+        w.write_varint(300); // 3 groups of 5 bits
+        assert_eq!(w.bit_len(), 20);
+    }
+
+    #[test]
+    fn signed_varints_roundtrip() {
+        let values: Vec<i64> = vec![0, -1, 1, -40, 40, i32::MIN as i64, i64::MAX, i64::MIN];
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.write_signed_varint(v);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(r.read_signed_varint().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn alignment_pads_with_zeros_and_reader_checks_them() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1);
+        w.align_byte();
+        w.write_bits(0xAB, 8);
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), 2);
+        assert_eq!(bytes[1], 0xAB);
+
+        let mut r = BitReader::new(&bytes);
+        assert!(r.read_bit().unwrap());
+        r.align_byte_checked().expect("zero padding");
+        assert_eq!(r.read_bits(8).unwrap(), 0xAB);
+        assert!(r.is_spent());
+
+        // A flipped padding bit is corruption.
+        let mut bad = bytes.clone();
+        bad[0] |= 0b100;
+        let mut r = BitReader::new(&bad);
+        assert!(r.read_bit().unwrap());
+        assert_eq!(
+            r.align_byte_checked(),
+            Err(BitReadError::UnexpectedEnd),
+            "set padding bit must be rejected"
+        );
+    }
+
+    #[test]
+    fn truncation_and_overflow_are_typed_errors() {
+        let mut w = BitWriter::new();
+        w.write_varint(u64::MAX);
+        let bytes = w.finish();
+        for cut in 0..bytes.len() {
+            let mut r = BitReader::new(&bytes[..cut]);
+            assert_eq!(r.read_varint(), Err(BitReadError::UnexpectedEnd), "{cut}");
+        }
+
+        // 16 groups of 0xF with the continuation bit still set after the
+        // 64th payload bit: an unterminated varint.
+        let mut w = BitWriter::new();
+        for _ in 0..17 {
+            w.write_bits(0xF, GROUP_BITS);
+            w.write_bit(true);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_varint(), Err(BitReadError::VarintOverflow));
+
+        let mut r = BitReader::new(&[0x0F]);
+        assert_eq!(r.read_bits(16), Err(BitReadError::UnexpectedEnd));
+        // The cursor did not move on failure.
+        assert_eq!(r.read_bits(8).unwrap(), 0x0F);
+    }
+
+    #[test]
+    fn mixed_stream_roundtrips_bit_exactly() {
+        // A deterministic pseudo-random mixed workload, the shape the
+        // POETBIN2 encoder produces: varints, signed varints, raw fields
+        // and alignment points interleaved.
+        let mut state = 0x9E37_79B9u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut w = BitWriter::new();
+        let mut script: Vec<(u8, u64, usize)> = Vec::new();
+        for i in 0..500 {
+            match i % 4 {
+                0 => {
+                    let v = next() >> (next() % 60);
+                    w.write_varint(v);
+                    script.push((0, v, 0));
+                }
+                1 => {
+                    let v = (next() >> (next() % 60)) as i64 - 8;
+                    w.write_signed_varint(v);
+                    script.push((1, v as u64, 0));
+                }
+                2 => {
+                    let width = (next() % 64 + 1) as usize;
+                    let v = if width == 64 {
+                        next()
+                    } else {
+                        next() & ((1 << width) - 1)
+                    };
+                    w.write_bits(v, width);
+                    script.push((2, v, width));
+                }
+                _ => {
+                    w.align_byte();
+                    script.push((3, 0, 0));
+                }
+            }
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(kind, v, width) in &script {
+            match kind {
+                0 => assert_eq!(r.read_varint().unwrap(), v),
+                1 => assert_eq!(r.read_signed_varint().unwrap(), v as i64),
+                2 => assert_eq!(r.read_bits(width).unwrap(), v),
+                _ => r.align_byte_checked().unwrap(),
+            }
+        }
+        assert!(r.is_spent());
+    }
+}

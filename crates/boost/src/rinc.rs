@@ -188,6 +188,25 @@ impl RincNode {
         }
     }
 
+    /// Smallest feature-row width this node can evaluate on: one past the
+    /// highest feature index any tree in the subtree reads.
+    ///
+    /// This is the single source of truth for model-width inference —
+    /// `RincBank::min_features`, `PoetBinClassifier::min_features` and
+    /// `poetbin-serve`'s persist → engine loader all fold over it rather
+    /// than re-deriving the walk.
+    pub fn min_features(&self) -> usize {
+        match self {
+            RincNode::Tree(t) => t.features().iter().map(|&f| f + 1).max().unwrap_or(0),
+            RincNode::Module(m) => m
+                .children
+                .iter()
+                .map(RincNode::min_features)
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
     /// Collects statistics over the subtree.
     fn collect_stats(&self, stats: &mut RincStats) {
         match self {

@@ -56,18 +56,16 @@ impl PoetBinClassifier {
     /// Smallest feature-vector width the classifier can run on: one past
     /// the highest feature index any RINC tree reads.
     ///
-    /// A persisted `POETBIN1` model does not record the width of the rows
-    /// it was trained on (trees store only the indices they use), so a
-    /// loader that must compile the model without out-of-band metadata —
+    /// A persisted model does not record the width of the rows it was
+    /// trained on (trees store only the indices they use), so a loader
+    /// that must compile the model without out-of-band metadata —
     /// `poetbin-serve`'s persist → engine path — lowers it at this width.
+    ///
+    /// Delegates to [`RincBank::min_features`] (itself a fold over
+    /// [`RincNode::min_features`]), the single source of truth for width
+    /// inference.
     pub fn min_features(&self) -> usize {
-        fn walk(node: &RincNode) -> usize {
-            match node {
-                RincNode::Tree(tree) => tree.features().iter().map(|&f| f + 1).max().unwrap_or(0),
-                RincNode::Module(module) => module.children().iter().map(walk).max().unwrap_or(0),
-            }
-        }
-        self.bank.modules().iter().map(walk).max().unwrap_or(0)
+        self.bank.min_features()
     }
 
     /// Predicts classes for a batch of binary feature rows.

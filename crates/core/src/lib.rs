@@ -16,7 +16,8 @@
 //! * [`classifier`] — [`PoetBinClassifier`]: the complete LUT classifier
 //!   with software inference, netlist export and VHDL generation.
 //! * [`persist`] — bespoke binary save/load for trained classifiers (the
-//!   offline serde shim is a no-op, so models carry their own format).
+//!   offline serde shim is a no-op, so models carry their own format):
+//!   the flat `POETBIN1` and the compact sectioned `POETBIN2`.
 //! * [`workflow`] — the end-to-end A1→A4 pipeline reproducing Table 2
 //!   rows.
 //! * [`scenarios`] — the paper-scale scenario harness: configured
@@ -50,7 +51,7 @@ pub mod workflow;
 pub use arch::{Architecture, FeatureExtractor};
 pub use classifier::PoetBinClassifier;
 pub use output_layer::QuantizedSparseOutput;
-pub use persist::{load_classifier, save_classifier, PersistError};
+pub use persist::{load_classifier, save_classifier, ModelFormat, PersistError};
 pub use rinc_bank::RincBank;
 pub use scenarios::{Scenario, ScenarioKind, ScenarioReport};
 pub use teacher::{Teacher, TeacherConfig};

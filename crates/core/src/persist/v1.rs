@@ -1,0 +1,249 @@
+//! The legacy `POETBIN1` codec: a flat, fixed-width little-endian dump.
+//!
+//! Kept loadable forever (deployed models must never strand) and still
+//! writable through [`super::save_classifier`] with
+//! [`super::ModelFormat::PoetBin1`] — the conformance fixtures pin its
+//! bytes. New models should prefer `POETBIN2` ([`super::v2`]), which
+//! encodes the same structure as a sectioned varlen bit stream at a
+//! fraction of the size.
+
+use poetbin_bits::TruthTable;
+use poetbin_boost::{MatModule, RincModule, RincNode};
+use poetbin_dt::LevelWiseTree;
+
+use super::{validate_mat, validate_output_header, validate_tree, PersistError};
+use crate::classifier::PoetBinClassifier;
+use crate::output_layer::QuantizedSparseOutput;
+use crate::rinc_bank::RincBank;
+
+/// Magic string identifying the `POETBIN1` format.
+pub const MAGIC_V1: &[u8; 8] = b"POETBIN1";
+
+/// Node tag for a RINC-0 tree.
+pub(super) const TAG_TREE: u8 = 0;
+/// Node tag for a boosted RINC module.
+pub(super) const TAG_MODULE: u8 = 1;
+
+/// Little-endian byte cursor over the encoded model.
+struct Reader<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        if self.bytes.len() < n {
+            return Err(PersistError::UnexpectedEof);
+        }
+        let (head, rest) = self.bytes.split_at(n);
+        self.bytes = rest;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i32(&mut self) -> Result<i32, PersistError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, PersistError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn table(&mut self) -> Result<TruthTable, PersistError> {
+        let len = self.u32()? as usize;
+        Ok(TruthTable::from_bytes(self.take(len)?)?)
+    }
+}
+
+fn write_table(out: &mut Vec<u8>, table: &TruthTable) {
+    let bytes = table.to_bytes();
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(&bytes);
+}
+
+fn write_node(out: &mut Vec<u8>, node: &RincNode) {
+    match node {
+        RincNode::Tree(tree) => {
+            out.push(TAG_TREE);
+            out.extend_from_slice(&(tree.features().len() as u32).to_le_bytes());
+            for &f in tree.features() {
+                out.extend_from_slice(&(f as u64).to_le_bytes());
+            }
+            write_table(out, tree.table());
+        }
+        RincNode::Module(module) => {
+            out.push(TAG_MODULE);
+            out.extend_from_slice(&(module.level() as u64).to_le_bytes());
+            out.extend_from_slice(&(module.children().len() as u32).to_le_bytes());
+            for child in module.children() {
+                write_node(out, child);
+            }
+            let mat = module.mat();
+            out.extend_from_slice(&(mat.weights().len() as u32).to_le_bytes());
+            for &w in mat.weights() {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+            out.extend_from_slice(&mat.threshold().to_le_bytes());
+        }
+    }
+}
+
+fn read_node(r: &mut Reader<'_>) -> Result<RincNode, PersistError> {
+    match r.u8()? {
+        TAG_TREE => {
+            let nfeat = r.u32()? as usize;
+            let features: Vec<usize> = (0..nfeat)
+                .map(|_| r.u64().map(|v| v as usize))
+                .collect::<Result<_, _>>()?;
+            let table = r.table()?;
+            validate_tree(&features, &table)?;
+            Ok(RincNode::Tree(LevelWiseTree::from_parts(features, table)))
+        }
+        TAG_MODULE => {
+            let level = r.u64()? as usize;
+            if level == 0 {
+                return Err(PersistError::Invalid("module with level 0".into()));
+            }
+            let nchildren = r.u32()? as usize;
+            let children: Vec<RincNode> = (0..nchildren)
+                .map(|_| read_node(r))
+                .collect::<Result<_, _>>()?;
+            let k = r.u32()? as usize;
+            let weights: Vec<f64> = (0..k).map(|_| r.f64()).collect::<Result<_, _>>()?;
+            let threshold = r.f64()?;
+            validate_mat(&weights, threshold, children.len())?;
+            let mat = MatModule::with_threshold(weights, threshold);
+            Ok(RincNode::Module(RincModule::from_parts(
+                children, mat, level,
+            )))
+        }
+        tag => Err(PersistError::BadTag(tag)),
+    }
+}
+
+/// Serialises a trained classifier into the `POETBIN1` byte format.
+pub(super) fn save(clf: &PoetBinClassifier) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC_V1);
+    out.extend_from_slice(&(clf.bank().len() as u32).to_le_bytes());
+    for module in clf.bank().modules() {
+        write_node(&mut out, module);
+    }
+    let layer = clf.output();
+    out.extend_from_slice(&(layer.classes() as u32).to_le_bytes());
+    out.extend_from_slice(&(layer.lut_inputs() as u32).to_le_bytes());
+    out.push(layer.q_bits());
+    for row in layer.weights() {
+        for &w in row {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+    for &b in layer.biases() {
+        out.extend_from_slice(&b.to_le_bytes());
+    }
+    out.extend_from_slice(&layer.score_offset().to_le_bytes());
+    out.extend_from_slice(&layer.score_shift().to_le_bytes());
+    out
+}
+
+/// Decodes a `POETBIN1` classifier (magic verified here too, so the
+/// function stands alone in tests).
+pub(super) fn load(bytes: &[u8]) -> Result<PoetBinClassifier, PersistError> {
+    let mut r = Reader { bytes };
+    if r.take(MAGIC_V1.len())? != MAGIC_V1 {
+        return Err(PersistError::BadMagic);
+    }
+    let nmodules = r.u32()? as usize;
+    let modules: Vec<RincNode> = (0..nmodules)
+        .map(|_| read_node(&mut r))
+        .collect::<Result<_, _>>()?;
+    let classes = r.u32()? as usize;
+    let p = r.u32()? as usize;
+    let q_bits = r.u8()?;
+    validate_output_header(classes, q_bits)?;
+    let weights: Vec<Vec<i32>> = (0..classes)
+        .map(|_| (0..p).map(|_| r.i32()).collect::<Result<_, _>>())
+        .collect::<Result<_, _>>()?;
+    let biases: Vec<i32> = (0..classes).map(|_| r.i32()).collect::<Result<_, _>>()?;
+    let score_offset = r.i64()?;
+    let score_shift = r.u32()?;
+    if !r.bytes.is_empty() {
+        return Err(PersistError::Invalid(format!(
+            "{} trailing bytes after the model",
+            r.bytes.len()
+        )));
+    }
+    if modules.len() != classes * p {
+        return Err(PersistError::Invalid(format!(
+            "bank has {} modules but the output layer expects {classes} × {p}",
+            modules.len()
+        )));
+    }
+    let output =
+        QuantizedSparseOutput::from_parts(p, q_bits, weights, biases, score_offset, score_shift);
+    Ok(PoetBinClassifier::new(
+        RincBank::from_modules(modules),
+        output,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::trained_classifier;
+    use super::*;
+
+    #[test]
+    fn rejects_bad_tag_and_trailing_bytes() {
+        let (clf, _) = trained_classifier();
+        let mut bytes = save(&clf);
+        let mut bad_tag = bytes.clone();
+        bad_tag[MAGIC_V1.len() + 4] = 9; // first node tag
+        assert!(matches!(load(&bad_tag), Err(PersistError::BadTag(9))));
+        bytes.push(0);
+        assert!(matches!(load(&bytes), Err(PersistError::Invalid(_))));
+    }
+
+    #[test]
+    fn rejects_oversized_mat_fanin_without_panicking() {
+        // A crafted module with 25 trivial children and 25 finite MAT
+        // weights passes the shape checks but must not reach the LUT
+        // folder (which asserts fan-in ≤ 24).
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC_V1);
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // one bank module
+        bytes.push(TAG_MODULE);
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // level
+        bytes.extend_from_slice(&25u32.to_le_bytes()); // children
+        for _ in 0..25 {
+            bytes.push(TAG_TREE);
+            bytes.extend_from_slice(&0u32.to_le_bytes()); // zero features
+            let table = TruthTable::from_fn(0, |_| true).to_bytes();
+            bytes.extend_from_slice(&(table.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&table);
+        }
+        bytes.extend_from_slice(&25u32.to_le_bytes()); // MAT fan-in
+        for _ in 0..25 {
+            bytes.extend_from_slice(&1.0f64.to_le_bytes());
+        }
+        bytes.extend_from_slice(&0.0f64.to_le_bytes()); // threshold
+        let err = load(&bytes).unwrap_err();
+        assert!(
+            matches!(&err, PersistError::Invalid(msg) if msg.contains("fan-in 25")),
+            "{err}"
+        );
+    }
+}

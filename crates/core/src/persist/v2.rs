@@ -1,0 +1,462 @@
+//! The compact `POETBIN2` codec: sectioned, checksummed, varlen.
+//!
+//! # Layout
+//!
+//! ```text
+//! "POETBIN2"                                  8-byte magic
+//! count: u8                                   section-table entries
+//! count × { kind: u8, offset: u32le,          section table
+//!           len: u32le, crc32: u32le }
+//! section bytes…                              contiguous, ascending kind
+//! ```
+//!
+//! Offsets are absolute file offsets, so a reader can seek straight to
+//! one section without touching the others; each section carries its own
+//! CRC-32, so corruption is reported against the section it hit. Unknown
+//! section kinds are tolerated (skipped), which leaves room for future
+//! side-car sections without a format bump.
+//!
+//! The four required sections:
+//!
+//! * **header** ([`SEC_HEADER`]) — varints: module count, classes, `P`,
+//!   `q` bits.
+//! * **rinc-bank** ([`SEC_RINC`]) — the bank's *structure*: per node one
+//!   tag bit (`0` = tree, `1` = module); a tree is its arity, feature
+//!   indices (varints — the 8-byte-per-index cost of `POETBIN1` is the
+//!   single biggest saving) and raw `2^k` truth-table bits; a module is
+//!   its level, child count and children, recursively.
+//! * **mat-units** ([`SEC_MAT`]) — every module's MAT weights and
+//!   threshold as raw 64-bit `f64` patterns, in pre-order over the same
+//!   structure (counts come from the rinc-bank section, so nothing is
+//!   repeated).
+//! * **output-layer** ([`SEC_OUTPUT`]) — per weight one sparsity bit plus
+//!   a zigzag varint when nonzero (trained output layers are mostly
+//!   zeros), then biases, score offset and shift.
+
+use poetbin_bits::{BitReader, BitVec, BitWriter, TruthTable, MAX_LUT_INPUTS};
+use poetbin_boost::{MatModule, RincModule, RincNode};
+use poetbin_dt::LevelWiseTree;
+
+use super::{section_crc, validate_mat, validate_output_header, PersistError};
+use crate::classifier::PoetBinClassifier;
+use crate::output_layer::QuantizedSparseOutput;
+use crate::rinc_bank::RincBank;
+
+/// Magic string identifying the `POETBIN2` format.
+pub const MAGIC_V2: &[u8; 8] = b"POETBIN2";
+
+/// Section kind: model-wide counts (varint stream).
+pub const SEC_HEADER: u8 = 1;
+/// Section kind: RINC bank structure and truth tables (bit stream).
+pub const SEC_RINC: u8 = 2;
+/// Section kind: MAT weights and thresholds (raw `f64` bit patterns).
+pub const SEC_MAT: u8 = 3;
+/// Section kind: quantised sparse output layer (bit stream).
+pub const SEC_OUTPUT: u8 = 4;
+
+/// Bytes per section-table entry: kind + offset + len + crc.
+const TABLE_ENTRY_LEN: usize = 13;
+
+// ---------------------------------------------------------------- encode
+
+fn encode_header(clf: &PoetBinClassifier) -> Vec<u8> {
+    let layer = clf.output();
+    let mut w = BitWriter::new();
+    w.write_varint(clf.bank().len() as u64);
+    w.write_varint(layer.classes() as u64);
+    w.write_varint(layer.lut_inputs() as u64);
+    w.write_varint(u64::from(layer.q_bits()));
+    w.finish()
+}
+
+fn write_table_bits(w: &mut BitWriter, table: &TruthTable) {
+    let bits = table.as_bits();
+    let mut left = bits.len();
+    for &word in bits.as_words() {
+        let take = left.min(64);
+        let masked = if take == 64 {
+            word
+        } else {
+            word & ((1u64 << take) - 1)
+        };
+        w.write_bits(masked, take);
+        left -= take;
+    }
+}
+
+fn write_node_structure(w: &mut BitWriter, node: &RincNode) {
+    match node {
+        RincNode::Tree(tree) => {
+            w.write_bit(false);
+            w.write_varint(tree.features().len() as u64);
+            for &f in tree.features() {
+                w.write_varint(f as u64);
+            }
+            write_table_bits(w, tree.table());
+        }
+        RincNode::Module(module) => {
+            w.write_bit(true);
+            w.write_varint(module.level() as u64);
+            w.write_varint(module.children().len() as u64);
+            for child in module.children() {
+                write_node_structure(w, child);
+            }
+        }
+    }
+}
+
+fn encode_rinc(bank: &RincBank) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    for module in bank.modules() {
+        write_node_structure(&mut w, module);
+    }
+    w.finish()
+}
+
+fn write_node_mats(w: &mut BitWriter, node: &RincNode) {
+    if let RincNode::Module(module) = node {
+        for &weight in module.mat().weights() {
+            w.write_bits(weight.to_bits(), 64);
+        }
+        w.write_bits(module.mat().threshold().to_bits(), 64);
+        for child in module.children() {
+            write_node_mats(w, child);
+        }
+    }
+}
+
+fn encode_mats(bank: &RincBank) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    for module in bank.modules() {
+        write_node_mats(&mut w, module);
+    }
+    w.finish()
+}
+
+fn encode_output(layer: &QuantizedSparseOutput) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    for row in layer.weights() {
+        for &weight in row {
+            if weight == 0 {
+                w.write_bit(false);
+            } else {
+                w.write_bit(true);
+                w.write_signed_varint(i64::from(weight));
+            }
+        }
+    }
+    for &bias in layer.biases() {
+        w.write_signed_varint(i64::from(bias));
+    }
+    w.write_signed_varint(layer.score_offset());
+    w.write_varint(u64::from(layer.score_shift()));
+    w.finish()
+}
+
+/// Serialises a trained classifier into the `POETBIN2` byte format.
+pub(super) fn save(clf: &PoetBinClassifier) -> Vec<u8> {
+    let sections = [
+        (SEC_HEADER, encode_header(clf)),
+        (SEC_RINC, encode_rinc(clf.bank())),
+        (SEC_MAT, encode_mats(clf.bank())),
+        (SEC_OUTPUT, encode_output(clf.output())),
+    ];
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC_V2);
+    out.push(sections.len() as u8);
+    let mut offset = MAGIC_V2.len() + 1 + sections.len() * TABLE_ENTRY_LEN;
+    for (kind, payload) in &sections {
+        out.push(*kind);
+        out.extend_from_slice(&(offset as u32).to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&section_crc(payload).to_le_bytes());
+        offset += payload.len();
+    }
+    for (_, payload) in &sections {
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+// ---------------------------------------------------------------- decode
+
+/// The bank structure decoded from [`SEC_RINC`], before the MAT section
+/// fills in weights.
+enum Skeleton {
+    Tree(LevelWiseTree),
+    Module {
+        level: usize,
+        children: Vec<Skeleton>,
+    },
+}
+
+fn section_err(kind: u8, reason: impl Into<String>) -> PersistError {
+    PersistError::Section {
+        kind,
+        reason: reason.into(),
+    }
+}
+
+fn read_table_bits(r: &mut BitReader<'_>, inputs: usize) -> Result<TruthTable, PersistError> {
+    let len = 1usize << inputs;
+    let mut words = Vec::with_capacity(len.div_ceil(64));
+    let mut left = len;
+    while left > 0 {
+        let take = left.min(64);
+        words.push(r.read_bits(take)?);
+        left -= take;
+    }
+    Ok(TruthTable::from_bits(
+        inputs,
+        BitVec::from_words(words, len),
+    ))
+}
+
+fn read_node_structure(r: &mut BitReader<'_>) -> Result<Skeleton, PersistError> {
+    if !r.read_bit()? {
+        let nfeat = r.read_varint()?;
+        // Reject before `1 << nfeat` can overflow or allocate the moon.
+        if nfeat > MAX_LUT_INPUTS as u64 {
+            return Err(PersistError::Invalid(format!(
+                "tree arity {nfeat} exceeds the {MAX_LUT_INPUTS}-input LUT limit"
+            )));
+        }
+        let nfeat = nfeat as usize;
+        let features: Vec<usize> = (0..nfeat)
+            .map(|_| r.read_varint().map(|v| v as usize))
+            .collect::<Result<_, _>>()?;
+        let table = read_table_bits(r, nfeat)?;
+        Ok(Skeleton::Tree(LevelWiseTree::from_parts(features, table)))
+    } else {
+        let level = r.read_varint()? as usize;
+        if level == 0 {
+            return Err(PersistError::Invalid("module with level 0".into()));
+        }
+        let nchildren = r.read_varint()? as usize;
+        let mut children = Vec::new();
+        for _ in 0..nchildren {
+            children.push(read_node_structure(r)?);
+        }
+        Ok(Skeleton::Module { level, children })
+    }
+}
+
+/// Walks the skeleton in the same pre-order the encoder used, consuming
+/// one `(weights, threshold)` group per module from the MAT stream.
+fn fill_mats(skel: Skeleton, r: &mut BitReader<'_>) -> Result<RincNode, PersistError> {
+    match skel {
+        Skeleton::Tree(tree) => Ok(RincNode::Tree(tree)),
+        Skeleton::Module { level, children } => {
+            let weights: Vec<f64> = (0..children.len())
+                .map(|_| r.read_bits(64).map(f64::from_bits))
+                .collect::<Result<_, _>>()?;
+            let threshold = f64::from_bits(r.read_bits(64)?);
+            validate_mat(&weights, threshold, children.len())?;
+            let nodes: Vec<RincNode> = children
+                .into_iter()
+                .map(|c| fill_mats(c, r))
+                .collect::<Result<_, _>>()?;
+            Ok(RincNode::Module(RincModule::from_parts(
+                nodes,
+                MatModule::with_threshold(weights, threshold),
+                level,
+            )))
+        }
+    }
+}
+
+fn read_i32_varint(r: &mut BitReader<'_>, what: &str) -> Result<i32, PersistError> {
+    let v = r.read_signed_varint()?;
+    i32::try_from(v).map_err(|_| PersistError::Invalid(format!("{what} {v} does not fit 32 bits")))
+}
+
+/// Ensures a section's bit stream was consumed exactly (only zero
+/// padding, less than a byte of it, may remain).
+fn expect_spent(r: &BitReader<'_>, kind: u8) -> Result<(), PersistError> {
+    if r.is_spent() {
+        Ok(())
+    } else {
+        Err(section_err(kind, "trailing data after the last value"))
+    }
+}
+
+/// Decodes a `POETBIN2` classifier.
+pub(super) fn load(bytes: &[u8]) -> Result<PoetBinClassifier, PersistError> {
+    if bytes.len() < MAGIC_V2.len() + 1 {
+        return Err(PersistError::UnexpectedEof);
+    }
+    if &bytes[..MAGIC_V2.len()] != MAGIC_V2 {
+        return Err(PersistError::BadMagic);
+    }
+    let count = bytes[MAGIC_V2.len()] as usize;
+    let table_end = MAGIC_V2.len() + 1 + count * TABLE_ENTRY_LEN;
+    if bytes.len() < table_end {
+        return Err(PersistError::UnexpectedEof);
+    }
+
+    // Walk the section table; remember the four required sections, skip
+    // unknown kinds (their table entries must still be in range).
+    let mut sections: [Option<&[u8]>; 4] = [None; 4];
+    for i in 0..count {
+        let entry = &bytes[MAGIC_V2.len() + 1 + i * TABLE_ENTRY_LEN..][..TABLE_ENTRY_LEN];
+        let kind = entry[0];
+        let offset = u32::from_le_bytes(entry[1..5].try_into().unwrap()) as usize;
+        let len = u32::from_le_bytes(entry[5..9].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(entry[9..13].try_into().unwrap());
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| section_err(kind, "offset + length overflows"))?;
+        if offset < table_end || end > bytes.len() {
+            return Err(section_err(
+                kind,
+                format!("byte range {offset}..{end} falls outside the file"),
+            ));
+        }
+        if (SEC_HEADER..=SEC_OUTPUT).contains(&kind) {
+            let payload = &bytes[offset..end];
+            if section_crc(payload) != crc {
+                return Err(PersistError::ChecksumMismatch { kind });
+            }
+            let slot = &mut sections[(kind - 1) as usize];
+            if slot.is_some() {
+                return Err(section_err(kind, "duplicate section"));
+            }
+            *slot = Some(payload);
+        }
+    }
+    let section =
+        |kind: u8| sections[(kind - 1) as usize].ok_or(PersistError::MissingSection { kind });
+
+    // Header: model-wide counts.
+    let mut r = BitReader::new(section(SEC_HEADER)?);
+    let module_count = r.read_varint()? as usize;
+    let classes = r.read_varint()? as usize;
+    let p = r.read_varint()? as usize;
+    let q_raw = r.read_varint()?;
+    expect_spent(&r, SEC_HEADER)?;
+    let q_bits = u8::try_from(q_raw)
+        .map_err(|_| PersistError::Invalid(format!("q={q_raw} does not fit a byte")))?;
+    validate_output_header(classes, q_bits)?;
+    let expected_modules = classes
+        .checked_mul(p)
+        .ok_or_else(|| PersistError::Invalid("classes × P overflows".into()))?;
+    if module_count != expected_modules {
+        return Err(PersistError::Invalid(format!(
+            "bank has {module_count} modules but the output layer expects {classes} × {p}"
+        )));
+    }
+
+    // RINC bank structure, then its MAT weights.
+    let mut r = BitReader::new(section(SEC_RINC)?);
+    let skeletons: Vec<Skeleton> = (0..module_count)
+        .map(|_| read_node_structure(&mut r))
+        .collect::<Result<_, _>>()?;
+    expect_spent(&r, SEC_RINC)?;
+
+    let mut r = BitReader::new(section(SEC_MAT)?);
+    let modules: Vec<RincNode> = skeletons
+        .into_iter()
+        .map(|s| fill_mats(s, &mut r))
+        .collect::<Result<_, _>>()?;
+    expect_spent(&r, SEC_MAT)?;
+
+    // Output layer.
+    let mut r = BitReader::new(section(SEC_OUTPUT)?);
+    let weights: Vec<Vec<i32>> = (0..classes)
+        .map(|_| {
+            (0..p)
+                .map(|_| {
+                    if r.read_bit()? {
+                        read_i32_varint(&mut r, "output weight")
+                    } else {
+                        Ok(0)
+                    }
+                })
+                .collect::<Result<_, _>>()
+        })
+        .collect::<Result<_, _>>()?;
+    let biases: Vec<i32> = (0..classes)
+        .map(|_| read_i32_varint(&mut r, "output bias"))
+        .collect::<Result<_, _>>()?;
+    let score_offset = r.read_signed_varint()?;
+    let shift_raw = r.read_varint()?;
+    expect_spent(&r, SEC_OUTPUT)?;
+    let score_shift = u32::try_from(shift_raw)
+        .map_err(|_| PersistError::Invalid(format!("score shift {shift_raw} out of range")))?;
+
+    let output =
+        QuantizedSparseOutput::from_parts(p, q_bits, weights, biases, score_offset, score_shift);
+    Ok(PoetBinClassifier::new(
+        RincBank::from_modules(modules),
+        output,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::trained_classifier;
+    use super::*;
+
+    #[test]
+    fn section_table_is_well_formed() {
+        let (clf, _) = trained_classifier();
+        let bytes = save(&clf);
+        assert_eq!(&bytes[..8], MAGIC_V2);
+        let count = bytes[8] as usize;
+        assert_eq!(count, 4);
+        let mut expected_offset = 9 + count * TABLE_ENTRY_LEN;
+        for i in 0..count {
+            let entry = &bytes[9 + i * TABLE_ENTRY_LEN..][..TABLE_ENTRY_LEN];
+            let kind = entry[0];
+            let offset = u32::from_le_bytes(entry[1..5].try_into().unwrap()) as usize;
+            let len = u32::from_le_bytes(entry[5..9].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(entry[9..13].try_into().unwrap());
+            assert_eq!(kind, (i + 1) as u8, "kinds ascend");
+            assert_eq!(offset, expected_offset, "sections are contiguous");
+            assert_eq!(crc, section_crc(&bytes[offset..offset + len]));
+            expected_offset += len;
+        }
+        assert_eq!(expected_offset, bytes.len(), "no trailing bytes");
+    }
+
+    #[test]
+    fn reencode_is_byte_identical() {
+        let (clf, _) = trained_classifier();
+        let bytes = save(&clf);
+        let back = load(&bytes).expect("load");
+        assert_eq!(save(&back), bytes);
+    }
+
+    #[test]
+    fn unknown_sections_are_tolerated() {
+        let (clf, _) = trained_classifier();
+        let bytes = save(&clf);
+        // Rebuild the file with a fifth section of unknown kind 0xEE
+        // appended: table entries shift by one, offsets by one entry
+        // length plus nothing (the new payload goes at the end).
+        let count = bytes[8] as usize;
+        let old_table_end = 9 + count * TABLE_ENTRY_LEN;
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC_V2);
+        out.push((count + 1) as u8);
+        let shift = TABLE_ENTRY_LEN;
+        for i in 0..count {
+            let entry = &bytes[9 + i * TABLE_ENTRY_LEN..][..TABLE_ENTRY_LEN];
+            let offset = u32::from_le_bytes(entry[1..5].try_into().unwrap()) + shift as u32;
+            out.push(entry[0]);
+            out.extend_from_slice(&offset.to_le_bytes());
+            out.extend_from_slice(&entry[5..13]);
+        }
+        let side_car = b"future";
+        let side_car_offset = (bytes.len() + shift) as u32;
+        out.push(0xEE);
+        out.extend_from_slice(&side_car_offset.to_le_bytes());
+        out.extend_from_slice(&(side_car.len() as u32).to_le_bytes());
+        out.extend_from_slice(&section_crc(side_car).to_le_bytes());
+        out.extend_from_slice(&bytes[old_table_end..]);
+        out.extend_from_slice(side_car);
+
+        let back = load(&out).expect("unknown section tolerated");
+        assert_eq!(back, clf);
+    }
+}

@@ -162,6 +162,17 @@ impl RincBank {
     pub fn lut_count(&self) -> usize {
         self.modules.iter().map(RincNode::lut_count).sum()
     }
+
+    /// Smallest feature-row width every module in the bank can evaluate
+    /// on: one past the highest feature index any tree reads
+    /// ([`RincNode::min_features`] folded over the bank).
+    pub fn min_features(&self) -> usize {
+        self.modules
+            .iter()
+            .map(RincNode::min_features)
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,323 @@
+//! Corrupt-input hardening for the `POETBIN2` decoder.
+//!
+//! A model file arrives over the network or from disk; every way it can
+//! be damaged must surface as a typed [`PersistError`] — never a panic,
+//! never a silently wrong classifier. The suite drives the decoder
+//! through:
+//!
+//! * truncation at *every* byte length, with section boundaries (where
+//!   the failure mode changes) checked explicitly;
+//! * a bit flip in every section payload, which the per-section CRC must
+//!   localise to that section;
+//! * section-table corruption: out-of-range offsets, overflowing
+//!   lengths, duplicate kinds, missing required sections;
+//! * unknown section kinds, which must be *tolerated* (forward
+//!   compatibility), except when their table entries point outside the
+//!   file;
+//! * exhaustive random bit flips over the whole file, which must always
+//!   produce `Err` or a loadable (possibly different) model — never a
+//!   panic.
+
+use poetbin_bits::{BitVec, FeatureMatrix, TruthTable};
+use poetbin_boost::{MatModule, RincModule, RincNode};
+use poetbin_core::persist::{
+    load_classifier, save_classifier, section_crc, ModelFormat, PersistError, SEC_HEADER, SEC_MAT,
+    SEC_OUTPUT, SEC_RINC,
+};
+use poetbin_core::{PoetBinClassifier, QuantizedSparseOutput, RincBank};
+use poetbin_dt::LevelWiseTree;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+const TABLE_ENTRY_LEN: usize = 13;
+
+/// A deterministic hand-built classifier with every structural feature
+/// the format covers: trees, a nested RINC-2 module, sparse output
+/// weights (including zeros).
+fn subject() -> PoetBinClassifier {
+    let mut rng = StdRng::seed_from_u64(4242);
+    let (classes, p) = (2usize, 2usize);
+    let mut node = |level: usize| -> RincNode {
+        fn build(rng: &mut StdRng, level: usize, p: usize) -> RincNode {
+            if level == 0 {
+                let mut features: Vec<usize> = Vec::new();
+                while features.len() < p {
+                    let f = rng.random_range(0..24);
+                    if !features.contains(&f) {
+                        features.push(f);
+                    }
+                }
+                let table = TruthTable::from_fn(p, |_| rng.random::<bool>());
+                return RincNode::Tree(LevelWiseTree::from_parts(features, table));
+            }
+            let children: Vec<RincNode> = (0..p).map(|_| build(rng, level - 1, p)).collect();
+            let weights: Vec<f64> = (0..p).map(|_| rng.random_range(0.1..1.0)).collect();
+            RincNode::Module(RincModule::from_parts(
+                children,
+                MatModule::new(weights),
+                level,
+            ))
+        }
+        build(&mut rng, level, p)
+    };
+    let modules: Vec<RincNode> = (0..classes * p).map(|i| node(i % 3)).collect();
+    let weights = vec![vec![7, 0], vec![-13, 2]];
+    let biases = vec![3, -5];
+    let output = QuantizedSparseOutput::from_parts(p, 6, weights, biases, -20, 1);
+    PoetBinClassifier::new(RincBank::from_modules(modules), output)
+}
+
+fn encoded() -> (PoetBinClassifier, Vec<u8>) {
+    let clf = subject();
+    let bytes = save_classifier(&clf, ModelFormat::PoetBin2);
+    (clf, bytes)
+}
+
+/// Parses the section table of a well-formed file:
+/// `kind -> (entry_index, offset, len)`.
+fn section_table(bytes: &[u8]) -> Vec<(u8, usize, usize, usize)> {
+    let count = bytes[8] as usize;
+    (0..count)
+        .map(|i| {
+            let at = 9 + i * TABLE_ENTRY_LEN;
+            let entry = &bytes[at..at + TABLE_ENTRY_LEN];
+            let offset = u32::from_le_bytes(entry[1..5].try_into().unwrap()) as usize;
+            let len = u32::from_le_bytes(entry[5..9].try_into().unwrap()) as usize;
+            (entry[0], at, offset, len)
+        })
+        .collect()
+}
+
+/// Re-seals one section's CRC in the table so deliberate payload edits
+/// test the *decoder*, not just the checksum.
+fn reseal(bytes: &mut [u8], kind: u8) {
+    let table = section_table(bytes);
+    let &(_, at, offset, len) = table
+        .iter()
+        .find(|&&(k, ..)| k == kind)
+        .expect("section present");
+    let crc = section_crc(&bytes[offset..offset + len]);
+    bytes[at + 9..at + 13].copy_from_slice(&crc.to_le_bytes());
+}
+
+#[test]
+fn truncation_at_every_length_is_a_typed_error() {
+    let (_, bytes) = encoded();
+    for cut in 0..bytes.len() {
+        let err = load_classifier(&bytes[..cut]).expect_err("truncated prefix decoded");
+        // Any typed variant is acceptable; reaching here at all proves no
+        // panic. Exercise Display too — it must never panic either.
+        let _ = err.to_string();
+    }
+}
+
+#[test]
+fn truncation_at_section_boundaries_reports_the_right_stage() {
+    let (_, bytes) = encoded();
+    // Cut exactly at the start of each section: everything before the cut
+    // is intact, so the error must be about reaching, not decoding.
+    for &(kind, _, offset, len) in &section_table(&bytes) {
+        for cut in [offset, offset + len.saturating_sub(1)] {
+            let err = load_classifier(&bytes[..cut]).expect_err("boundary cut decoded");
+            assert!(
+                matches!(
+                    err,
+                    PersistError::Section { .. }
+                        | PersistError::UnexpectedEof
+                        | PersistError::ChecksumMismatch { .. }
+                ),
+                "cut at {cut} (section {kind}): unexpected error {err}"
+            );
+        }
+    }
+    // Cutting inside the table itself is plain truncation.
+    assert!(matches!(
+        load_classifier(&bytes[..9 + TABLE_ENTRY_LEN]),
+        Err(PersistError::UnexpectedEof)
+    ));
+}
+
+#[test]
+fn a_bit_flip_in_any_section_is_localised_by_its_checksum() {
+    let (_, bytes) = encoded();
+    for &(kind, _, offset, len) in &section_table(&bytes) {
+        assert!(len > 0, "section {kind} unexpectedly empty");
+        // Flip the first, middle and last byte of the payload.
+        for at in [offset, offset + len / 2, offset + len - 1] {
+            for bit in [0u8, 4, 7] {
+                let mut bad = bytes.clone();
+                bad[at] ^= 1 << bit;
+                let err = load_classifier(&bad).expect_err("corrupt payload decoded");
+                assert!(
+                    matches!(err, PersistError::ChecksumMismatch { kind: k } if k == kind),
+                    "flip at {at} bit {bit}: expected checksum mismatch in section \
+                     {kind}, got {err}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn out_of_range_and_overflowing_section_offsets_are_rejected() {
+    let (_, bytes) = encoded();
+    for &(kind, at, ..) in &section_table(&bytes) {
+        // Offset far past the end of the file.
+        let mut bad = bytes.clone();
+        bad[at + 1..at + 5].copy_from_slice(&(bytes.len() as u32 + 17).to_le_bytes());
+        assert!(
+            matches!(
+                load_classifier(&bad),
+                Err(PersistError::Section { kind: k, .. }) if k == kind
+            ),
+            "section {kind}: far offset accepted"
+        );
+        // Offset + length overflowing u32 arithmetic into the file.
+        let mut bad = bytes.clone();
+        bad[at + 1..at + 5].copy_from_slice(&u32::MAX.to_le_bytes());
+        bad[at + 5..at + 9].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(
+            matches!(
+                load_classifier(&bad),
+                Err(PersistError::Section { kind: k, .. }) if k == kind
+            ),
+            "section {kind}: overflowing range accepted"
+        );
+        // Offset pointing backwards into the section table.
+        let mut bad = bytes.clone();
+        bad[at + 1..at + 5].copy_from_slice(&4u32.to_le_bytes());
+        assert!(
+            load_classifier(&bad).is_err(),
+            "section {kind}: offset into the table accepted"
+        );
+    }
+}
+
+#[test]
+fn duplicate_and_missing_sections_are_rejected() {
+    let (_, bytes) = encoded();
+    let table = section_table(&bytes);
+    // Duplicate: relabel the MAT entry as a second RINC entry.
+    let &(_, mat_at, ..) = table.iter().find(|&&(k, ..)| k == SEC_MAT).unwrap();
+    let mut bad = bytes.clone();
+    bad[mat_at] = SEC_RINC;
+    reseal(&mut bad, SEC_RINC); // first RINC entry still sealed; the
+                                // relabelled one carries MAT's crc
+    let err = load_classifier(&bad).expect_err("duplicate section decoded");
+    assert!(
+        matches!(
+            &err,
+            PersistError::Section { kind, .. } if *kind == SEC_RINC
+        ) || matches!(err, PersistError::ChecksumMismatch { kind } if kind == SEC_RINC),
+        "{err}"
+    );
+    // Missing: relabel each required section as an unknown kind in turn.
+    for required in [SEC_HEADER, SEC_RINC, SEC_MAT, SEC_OUTPUT] {
+        let &(_, at, ..) = table.iter().find(|&&(k, ..)| k == required).unwrap();
+        let mut bad = bytes.clone();
+        bad[at] = 0x77; // unknown kind: entry is skipped, section vanishes
+        assert!(
+            matches!(
+                load_classifier(&bad),
+                Err(PersistError::MissingSection { kind }) if kind == required
+            ),
+            "required section {required} not reported missing"
+        );
+    }
+}
+
+#[test]
+fn unknown_sections_are_tolerated_but_must_stay_in_range() {
+    let (clf, bytes) = encoded();
+    let count = bytes[8] as usize;
+    let old_table_end = 9 + count * TABLE_ENTRY_LEN;
+
+    // Append a fifth section of unknown kind 0xEE: shift existing offsets
+    // by one table entry, park the new payload at the end.
+    let side_car = b"sidecar-payload";
+    let mut out = Vec::new();
+    out.extend_from_slice(&bytes[..8]);
+    out.push((count + 1) as u8);
+    for i in 0..count {
+        let entry = &bytes[9 + i * TABLE_ENTRY_LEN..][..TABLE_ENTRY_LEN];
+        let offset = u32::from_le_bytes(entry[1..5].try_into().unwrap()) + TABLE_ENTRY_LEN as u32;
+        out.push(entry[0]);
+        out.extend_from_slice(&offset.to_le_bytes());
+        out.extend_from_slice(&entry[5..13]);
+    }
+    out.push(0xEE);
+    out.extend_from_slice(&((bytes.len() + TABLE_ENTRY_LEN) as u32).to_le_bytes());
+    out.extend_from_slice(&(side_car.len() as u32).to_le_bytes());
+    out.extend_from_slice(&section_crc(side_car).to_le_bytes());
+    out.extend_from_slice(&bytes[old_table_end..]);
+    out.extend_from_slice(side_car);
+
+    let back = load_classifier(&out).expect("unknown section must be skipped");
+    assert_eq!(back, clf);
+
+    // …but an unknown section whose table entry points outside the file
+    // is still structural corruption.
+    let unknown_at = 9 + count * TABLE_ENTRY_LEN;
+    let mut bad = out.clone();
+    bad[unknown_at + 1..unknown_at + 5].copy_from_slice(&(out.len() as u32 + 99).to_le_bytes());
+    assert!(
+        matches!(
+            load_classifier(&bad),
+            Err(PersistError::Section { kind: 0xEE, .. })
+        ),
+        "out-of-range unknown section accepted"
+    );
+}
+
+#[test]
+fn decoder_survives_random_bit_flips_without_panicking() {
+    let (_, bytes) = encoded();
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..4000 {
+        let mut bad = bytes.clone();
+        let flips = rng.random_range(1..=4);
+        for _ in 0..flips {
+            let at = rng.random_range(0..bad.len());
+            bad[at] ^= 1 << rng.random_range(0..8);
+        }
+        // Either a typed error or a structurally valid (if different)
+        // model; never a panic. Exercising predict on survivors catches
+        // models that decoded into an inconsistent state.
+        if let Ok(clf) = load_classifier(&bad) {
+            let probes = FeatureMatrix::from_rows(
+                (0..4)
+                    .map(|i| BitVec::from_fn(clf.min_features().max(1), |j| (i + j) % 3 == 0))
+                    .collect(),
+            );
+            let _ = clf.predict(&probes);
+        }
+    }
+}
+
+#[test]
+fn truncated_varint_payload_surfaces_as_bits_error() {
+    // Shrink the output section by one byte (re-sealed CRC): the stream
+    // now ends inside a value, which must surface as the typed bit-stream
+    // error rather than a checksum failure.
+    let (_, bytes) = encoded();
+    let table = section_table(&bytes);
+    let &(_, at, offset, len) = table.iter().find(|&&(k, ..)| k == SEC_OUTPUT).unwrap();
+    // The output section is last; drop its final byte.
+    assert_eq!(offset + len, bytes.len(), "output section is last");
+    let mut bad = bytes[..bytes.len() - 1].to_vec();
+    bad[at + 5..at + 9].copy_from_slice(&((len - 1) as u32).to_le_bytes());
+    let crc = section_crc(&bad[offset..offset + len - 1]);
+    bad[at + 9..at + 13].copy_from_slice(&crc.to_le_bytes());
+    let err = load_classifier(&bad).expect_err("shortened section decoded");
+    assert!(
+        matches!(
+            err,
+            PersistError::Bits(_)
+                | PersistError::Section {
+                    kind: SEC_OUTPUT,
+                    ..
+                }
+        ),
+        "{err}"
+    );
+}

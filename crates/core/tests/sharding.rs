@@ -1,11 +1,11 @@
 //! Shard-count invariance for `RincBank::train`: the trained bank — and
-//! any classifier built on it — must be byte-identical through POETBIN1
+//! any classifier built on it — must be byte-identical through POETBIN2
 //! persistence for every shard count. Mirrors the thread-invariance suite
 //! in `crates/dt/tests/equivalence.rs` one layer up, at the bank.
 
 use poetbin_bits::{BitVec, FeatureMatrix};
 use poetbin_boost::RincConfig;
-use poetbin_core::persist::save_classifier;
+use poetbin_core::persist::{save_classifier, ModelFormat};
 use poetbin_core::{PoetBinClassifier, QuantizedSparseOutput, RincBank};
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -51,13 +51,13 @@ fn shard_counts_produce_byte_identical_dumps() {
     let mut dumps = Vec::new();
     for shards in [1usize, 2, 4] {
         let bank = train_bank(&features, &targets, shards);
-        // Persist through the full POETBIN1 classifier format so every
+        // Persist through the full POETBIN2 classifier format so every
         // trained byte (truth tables, boosting weights, wiring) is
         // compared, not just `PartialEq`'s view.
         let bits = bank.predict_bits(&features);
         let output = QuantizedSparseOutput::train(&bits, &labels, 2, 8, 5);
         let clf = PoetBinClassifier::new(bank, output);
-        dumps.push((shards, save_classifier(&clf)));
+        dumps.push((shards, save_classifier(&clf, ModelFormat::PoetBin2)));
     }
     let (ref_shards, reference) = &dumps[0];
     for (shards, dump) in &dumps[1..] {

@@ -11,12 +11,15 @@ use poetbin_bits::BitVec;
 /// One parked request: the decoded feature row plus everything needed to
 /// route the prediction back to its originating connection.
 pub(crate) struct Pending {
+    /// Registry id of the model this request is aimed at.
+    pub model_id: u16,
     /// Client-chosen request id, echoed back in the response.
     pub id: u64,
     /// The decoded feature row.
     pub row: BitVec,
-    /// The originating connection's response channel.
-    pub reply: Sender<(u64, u16)>,
+    /// The originating connection's response channel:
+    /// `(request id, status, class)`.
+    pub reply: Sender<(u64, u8, u16)>,
 }
 
 struct QueueState {
@@ -130,10 +133,11 @@ mod tests {
     use std::sync::mpsc::channel;
     use std::sync::Arc;
 
-    fn pending(id: u64) -> (Pending, std::sync::mpsc::Receiver<(u64, u16)>) {
+    fn pending(id: u64) -> (Pending, std::sync::mpsc::Receiver<(u64, u8, u16)>) {
         let (tx, rx) = channel();
         (
             Pending {
+                model_id: 0,
                 id,
                 row: BitVec::zeros(4),
                 reply: tx,

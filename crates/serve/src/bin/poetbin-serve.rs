@@ -1,28 +1,50 @@
-//! Standalone server binary: load a `POETBIN1` model, serve forever.
+//! Standalone server binary: load one or more persisted models (either
+//! `POETBIN` format), serve them all forever.
 //!
 //! ```text
-//! poetbin-serve MODEL.poetbin [ADDR] [--workers N] [--linger-us U] [--max-batch B] [--features F]
+//! poetbin-serve MODEL... [--addr ADDR] [--workers N] [--linger-us U] \
+//!               [--max-batch B] [--features F]
 //! ```
 //!
-//! `ADDR` defaults to `127.0.0.1:9009`. The process serves until killed.
+//! Each `MODEL` path is registered under its file stem (`deep.poetbin2`
+//! serves as model `deep`), with wire ids assigned in argument order —
+//! the first model is id 0, the one plain clients address by default.
+//! `--addr` defaults to `127.0.0.1:9009`; a bare positional address after
+//! the first model is still accepted for compatibility. `--features`
+//! applies to every model (each model's own minimum width is used when
+//! absent). The process serves until killed.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use poetbin_serve::{load_engine, ServeConfig, Server};
+use poetbin_serve::{load_engine, ModelRegistry, ServeConfig, Server};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: poetbin-serve MODEL.poetbin [ADDR] [--workers N] [--linger-us U] \
+        "usage: poetbin-serve MODEL... [--addr ADDR] [--workers N] [--linger-us U] \
          [--max-batch B] [--features F]"
     );
     ExitCode::from(2)
 }
 
+/// The registry name for a model path: its file stem.
+fn model_name(path: &str) -> String {
+    std::path::Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string())
+}
+
+/// A positional that looks like `host:port` rather than a model path.
+fn looks_like_addr(arg: &str) -> bool {
+    use std::net::ToSocketAddrs;
+    !std::path::Path::new(arg).exists() && arg.to_socket_addrs().is_ok()
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut model = None;
+    let mut models: Vec<String> = Vec::new();
     let mut addr = "127.0.0.1:9009".to_string();
     let mut addr_given = false;
     let mut config = ServeConfig::default();
@@ -40,6 +62,16 @@ fn main() -> ExitCode {
             }
         };
         match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => {
+                    addr = v.clone();
+                    addr_given = true;
+                }
+                None => {
+                    eprintln!("--addr needs a value");
+                    return usage();
+                }
+            },
             "--workers" => match flag_value("--workers") {
                 Some(v) if v > 0 => config.workers = v,
                 _ => return usage(),
@@ -60,36 +92,43 @@ fn main() -> ExitCode {
                 eprintln!("unknown flag {other}");
                 return usage();
             }
-            other if model.is_none() => model = Some(other.to_string()),
-            other if !addr_given => {
+            other if !models.is_empty() && !addr_given && looks_like_addr(other) => {
                 addr = other.to_string();
                 addr_given = true;
             }
-            other => {
-                eprintln!("unexpected argument {other}");
-                return usage();
-            }
+            other => models.push(other.to_string()),
         }
     }
-    let Some(model) = model else {
+    if models.is_empty() {
         return usage();
-    };
+    }
 
-    let engine = match load_engine(&model, features) {
-        Ok(engine) => engine,
-        Err(e) => {
-            eprintln!("poetbin-serve: {e}");
+    let mut registry = ModelRegistry::new();
+    for path in &models {
+        let engine = match load_engine(path, features) {
+            Ok(engine) => engine,
+            Err(e) => {
+                eprintln!("poetbin-serve: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let name = model_name(path);
+        if registry.id_of(&name).is_some() {
+            eprintln!("poetbin-serve: duplicate model name {name:?} (from {path})");
             return ExitCode::FAILURE;
         }
-    };
-    eprintln!(
-        "poetbin-serve: model {} ({} features, {} classes, {} tape ops)",
-        model,
-        engine.num_features(),
-        engine.classes(),
-        engine.engine().plan().tape_len()
-    );
-    let server = match Server::start(Arc::new(engine), addr.as_str(), config.clone()) {
+        eprintln!(
+            "poetbin-serve: model {} = {} ({} features, {} classes, {} tape ops)",
+            registry.len(),
+            path,
+            engine.num_features(),
+            engine.classes(),
+            engine.engine().plan().tape_len()
+        );
+        registry.register(name, Arc::new(engine));
+    }
+
+    let server = match Server::start(Arc::new(registry), addr.as_str(), config.clone()) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("poetbin-serve: bind {addr}: {e}");
@@ -97,8 +136,9 @@ fn main() -> ExitCode {
         }
     };
     eprintln!(
-        "poetbin-serve: listening on {} ({} workers, linger {:?}, max batch {})",
+        "poetbin-serve: listening on {} ({} models, {} workers, linger {:?}, max batch {})",
         server.local_addr(),
+        server.registry().len(),
         config.workers,
         config.linger,
         config.max_batch

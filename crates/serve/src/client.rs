@@ -6,9 +6,28 @@ use std::net::{TcpStream, ToSocketAddrs};
 
 use poetbin_bits::BitVec;
 
-use crate::protocol;
+use crate::protocol::{self, ModelInfo, STATUS_BAD_REQUEST, STATUS_OK, STATUS_UNKNOWN_MODEL};
+
+/// The server's answer to one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// The model's prediction.
+    Class(usize),
+    /// The request named a model id the server does not serve.
+    UnknownModel,
+    /// The request was malformed for its model (wrong row width, or too
+    /// short to parse).
+    BadRequest,
+}
 
 /// A connected protocol client.
+///
+/// The server may serve several models; the hello advertises all of them
+/// (see [`Client::models`]) and every request names its target. The
+/// un-suffixed methods ([`Client::send`], [`Client::predict`],
+/// [`Client::num_features`], …) address model 0 — the common
+/// single-model case — while the `_to`/`_on` variants take an explicit
+/// model id.
 ///
 /// Requests may be pipelined: any number of [`Client::send`] calls may be
 /// outstanding before the matching [`Client::recv`] calls, and the server
@@ -19,7 +38,6 @@ use crate::protocol;
 pub struct Client {
     sender: ClientSender,
     receiver: ClientReceiver,
-    classes: usize,
 }
 
 impl Client {
@@ -28,36 +46,51 @@ impl Client {
     /// # Errors
     ///
     /// Propagates connection failures; [`io::ErrorKind::InvalidData`] when
-    /// the peer is not a POETSRV1 server.
+    /// the peer is not a POETSRV2 server or advertises no models.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         let mut reader = BufReader::new(stream);
-        let (num_features, classes) = protocol::read_hello(&mut reader)?;
+        let models = protocol::read_hello(&mut reader)?;
+        if models.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "server advertises no models",
+            ));
+        }
         Ok(Client {
             sender: ClientSender {
                 writer,
-                num_features: num_features as usize,
+                models,
                 next_id: 0,
             },
             receiver: ClientReceiver { reader },
-            classes: classes as usize,
         })
     }
 
-    /// Row width the server's model expects.
+    /// Every model the server advertised, in hello order.
+    pub fn models(&self) -> &[ModelInfo] {
+        &self.sender.models
+    }
+
+    /// The advertised model with the given name, if any.
+    pub fn model(&self, name: &str) -> Option<&ModelInfo> {
+        self.sender.models.iter().find(|m| m.name == name)
+    }
+
+    /// Row width model 0 expects.
     pub fn num_features(&self) -> usize {
-        self.sender.num_features
+        self.sender.models[0].num_features
     }
 
-    /// Number of classes predictions range over.
+    /// Number of classes model 0's predictions range over.
     pub fn classes(&self) -> usize {
-        self.classes
+        self.sender.models[0].classes
     }
 
-    /// Sends one request, returning the id that will come back with its
-    /// response.
+    /// Sends one request to model 0, returning the id that will come back
+    /// with its response.
     ///
     /// # Errors
     ///
@@ -65,40 +98,77 @@ impl Client {
     ///
     /// # Panics
     ///
-    /// Panics if `row.len()` differs from the server's feature count.
+    /// Panics if `row.len()` differs from model 0's feature count.
     pub fn send(&mut self, row: &BitVec) -> io::Result<u64> {
         self.sender.send(row)
     }
 
-    /// Receives the next response as `(request_id, class)`.
+    /// Sends one request to `model_id`, returning the id that will come
+    /// back with its response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server never advertised `model_id`, or if
+    /// `row.len()` differs from that model's feature count. To probe the
+    /// server's own rejection path, use
+    /// [`ClientSender::send_raw`](ClientSender::send_raw).
+    pub fn send_to(&mut self, model_id: u16, row: &BitVec) -> io::Result<u64> {
+        self.sender.send_to(model_id, row)
+    }
+
+    /// Receives the next response as `(request_id, response)`.
     ///
     /// # Errors
     ///
     /// Returns [`io::ErrorKind::UnexpectedEof`] when the server closes the
-    /// connection (e.g. after a protocol violation), or
+    /// connection (e.g. after an unparseable frame), or
     /// [`io::ErrorKind::InvalidData`] on a malformed response.
-    pub fn recv(&mut self) -> io::Result<(u64, usize)> {
+    pub fn recv(&mut self) -> io::Result<(u64, Response)> {
         self.receiver.recv()
     }
 
-    /// Sends one row and blocks for its prediction.
+    /// Sends one row to model 0 and blocks for its prediction.
     ///
     /// # Errors
     ///
-    /// As for [`Client::send`] / [`Client::recv`], plus
-    /// [`io::ErrorKind::InvalidData`] if the response carries a different
-    /// request id (only possible when mixed with pipelined [`Client::send`]
-    /// calls whose responses were never collected).
+    /// As for [`Client::predict_on`].
     pub fn predict(&mut self, row: &BitVec) -> io::Result<usize> {
-        let id = self.send(row)?;
-        let (got, class) = self.recv()?;
+        self.predict_on(0, row)
+    }
+
+    /// Sends one row to `model_id` and blocks for its prediction.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::send_to`] / [`Client::recv`], plus
+    /// [`io::ErrorKind::InvalidData`] if the server rejects the request
+    /// or the response carries a different request id (only possible when
+    /// mixed with pipelined [`Client::send`] calls whose responses were
+    /// never collected).
+    pub fn predict_on(&mut self, model_id: u16, row: &BitVec) -> io::Result<usize> {
+        let id = self.send_to(model_id, row)?;
+        let (got, response) = self.recv()?;
         if got != id {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("response for request {got}, expected {id}"),
             ));
         }
-        Ok(class)
+        match response {
+            Response::Class(class) => Ok(class),
+            Response::UnknownModel => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("server rejected request {id}: unknown model {model_id}"),
+            )),
+            Response::BadRequest => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("server rejected request {id} as malformed"),
+            )),
+        }
     }
 
     /// Splits the client into independently owned send and receive
@@ -113,13 +183,17 @@ impl Client {
 /// The sending half of a [`Client`]; see [`Client::into_split`].
 pub struct ClientSender {
     writer: TcpStream,
-    num_features: usize,
+    models: Vec<ModelInfo>,
     next_id: u64,
 }
 
 impl ClientSender {
-    /// Sends one request, returning the id that will come back with its
-    /// response.
+    /// Every model the server advertised, in hello order.
+    pub fn models(&self) -> &[ModelInfo] {
+        &self.models
+    }
+
+    /// Sends one request to model 0; see [`Client::send`].
     ///
     /// # Errors
     ///
@@ -127,18 +201,53 @@ impl ClientSender {
     ///
     /// # Panics
     ///
-    /// Panics if `row.len()` differs from the server's feature count.
+    /// Panics if `row.len()` differs from model 0's feature count.
     pub fn send(&mut self, row: &BitVec) -> io::Result<u64> {
+        let model_id = self.models[0].id;
+        self.send_to(model_id, row)
+    }
+
+    /// Sends one request to `model_id`; see [`Client::send_to`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server never advertised `model_id` or the row width
+    /// does not match it.
+    pub fn send_to(&mut self, model_id: u16, row: &BitVec) -> io::Result<u64> {
+        let model = self
+            .models
+            .iter()
+            .find(|m| m.id == model_id)
+            .unwrap_or_else(|| panic!("server never advertised model {model_id}"));
         assert_eq!(
             row.len(),
-            self.num_features,
-            "row has {} features, server expects {}",
+            model.num_features,
+            "row has {} features, model {} expects {}",
             row.len(),
-            self.num_features
+            model_id,
+            model.num_features
         );
+        self.send_raw(model_id, row)
+    }
+
+    /// Sends a request without validating the model id or row width
+    /// against the hello — deliberately, so tests and diagnostics can
+    /// exercise the server's typed rejection path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn send_raw(&mut self, model_id: u16, row: &BitVec) -> io::Result<u64> {
         let id = self.next_id;
         self.next_id += 1;
-        protocol::write_frame(&mut self.writer, &protocol::encode_request(id, row))?;
+        protocol::write_frame(
+            &mut self.writer,
+            &protocol::encode_request(model_id, id, row),
+        )?;
         Ok(id)
     }
 }
@@ -149,19 +258,31 @@ pub struct ClientReceiver {
 }
 
 impl ClientReceiver {
-    /// Receives the next response as `(request_id, class)`.
+    /// Receives the next response as `(request_id, response)`.
     ///
     /// # Errors
     ///
     /// Returns [`io::ErrorKind::UnexpectedEof`] when the server closes the
-    /// connection (e.g. after a protocol violation), or
-    /// [`io::ErrorKind::InvalidData`] on a malformed response.
-    pub fn recv(&mut self) -> io::Result<(u64, usize)> {
-        let payload = protocol::read_frame(&mut self.reader, 10)?
+    /// connection (e.g. after an unparseable frame), or
+    /// [`io::ErrorKind::InvalidData`] on a malformed response or unknown
+    /// status code.
+    pub fn recv(&mut self) -> io::Result<(u64, Response)> {
+        let payload = protocol::read_frame(&mut self.reader, protocol::RESPONSE_LEN)?
             .ok_or_else(|| io::Error::from(io::ErrorKind::UnexpectedEof))?;
-        let (id, class) = protocol::decode_response(&payload).ok_or_else(|| {
+        let (id, status, class) = protocol::decode_response(&payload).ok_or_else(|| {
             io::Error::new(io::ErrorKind::InvalidData, "malformed response frame")
         })?;
-        Ok((id, class as usize))
+        let response = match status {
+            STATUS_OK => Response::Class(class as usize),
+            STATUS_UNKNOWN_MODEL => Response::UnknownModel,
+            STATUS_BAD_REQUEST => Response::BadRequest,
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown response status {other}"),
+                ))
+            }
+        };
+        Ok((id, response))
     }
 }

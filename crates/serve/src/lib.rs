@@ -9,20 +9,26 @@
 //! This crate implements the missing piece — request coalescing:
 //!
 //! * **Connections** speak a tiny length-prefixed binary protocol
-//!   ([`protocol`]): the server announces the model shape, clients send
-//!   `(id, packed row)` request frames and receive `(id, class)`
-//!   responses, pipelined as deeply as they like.
+//!   ([`protocol`]): the server opens with a hello advertising every
+//!   model it serves (a [`ModelRegistry`] of named, hot-swappable
+//!   engines), clients send `(model_id, request_id, packed row)` request
+//!   frames and receive `(request_id, status, class)` responses,
+//!   pipelined as deeply as they like. Malformed requests get typed
+//!   error responses; the connection lives on.
 //! * **The adaptive micro-batcher** (internal; tuned via [`ServeConfig`])
 //!   parks decoded rows in a lock-protected queue. Worker shards drain up
 //!   to `64 · 8` of them at a time — a partial batch lingers a
 //!   configurable few hundred microseconds for stragglers, so light
 //!   traffic keeps its latency while heavy traffic packs full blocks.
-//! * **Worker shards** share the immutable compiled plan behind an `Arc`;
-//!   each packs its batch with [`poetbin_bits::pack_block_rows`] (one
-//!   64×64 transpose per tile) and runs
+//! * **Worker shards** group each drained batch by model and share every
+//!   model's immutable compiled plan behind an `Arc`; each group is
+//!   packed with [`poetbin_bits::pack_block_rows`] (one 64×64 transpose
+//!   per tile) and evaluated with
 //!   [`poetbin_engine::ClassifierEngine::predict_block_into`] — masked
 //!   partial-word tail evaluation, zero allocation on the hot path — then
-//!   routes every argmax back to its originating connection.
+//!   every argmax is routed back to its originating connection. Engines
+//!   swapped through the registry take effect between batches, never
+//!   inside one.
 //!
 //! The server is std-only: no async runtime, no network dependencies.
 //!
@@ -30,15 +36,24 @@
 //!
 //! ```no_run
 //! use std::sync::Arc;
-//! use poetbin_serve::{load_engine, Client, ServeConfig, Server};
+//! use poetbin_serve::{load_engine, Client, ModelRegistry, ServeConfig, Server};
 //!
-//! // Load a persisted POETBIN1 model and compile it once.
-//! let engine = load_engine("model.poetbin", None).expect("valid model");
-//! let server = Server::start(Arc::new(engine), "127.0.0.1:9009", ServeConfig::default())?;
+//! // Load persisted models (either POETBIN format) and compile each once.
+//! let mut registry = ModelRegistry::new();
+//! registry.register("tiny", Arc::new(load_engine("tiny.poetbin2", None).expect("valid")));
+//! registry.register("deep", Arc::new(load_engine("deep.poetbin2", None).expect("valid")));
+//! let registry = Arc::new(registry);
+//! let server = Server::start(Arc::clone(&registry), "127.0.0.1:9009", ServeConfig::default())?;
 //!
 //! let mut client = Client::connect(server.local_addr())?;
-//! let row = poetbin_bits::BitVec::zeros(client.num_features());
-//! println!("class = {}", client.predict(&row)?);
+//! let deep = client.model("deep").expect("advertised").id;
+//! let row = poetbin_bits::BitVec::zeros(client.models()[deep as usize].num_features);
+//! println!("class = {}", client.predict_on(deep, &row)?);
+//!
+//! // Hot-swap an engine while the server runs; in-flight batches finish
+//! // on the old engine, later ones use the new.
+//! registry.swap(deep, Arc::new(load_engine("deep-v2.poetbin2", None).expect("valid")))
+//!     .expect("same wire shape");
 //! server.shutdown();
 //! # Ok::<(), std::io::Error>(())
 //! ```
@@ -52,7 +67,9 @@
 mod batcher;
 mod client;
 pub mod protocol;
+mod registry;
 mod server;
 
-pub use client::{Client, ClientReceiver, ClientSender};
+pub use client::{Client, ClientReceiver, ClientSender, Response};
+pub use registry::{ModelRegistry, ModelStats, SwapError};
 pub use server::{load_engine, LoadError, ServeConfig, Server, ServerStats};

@@ -1,12 +1,17 @@
 //! The wire protocol: length-prefixed binary frames over TCP.
 //!
 //! All integers are little-endian. A connection opens with a one-shot
-//! **hello** from the server:
+//! **hello** from the server advertising every model it serves:
 //!
 //! ```text
-//! "POETSRV1"  (8 bytes)   magic + protocol version
-//! num_features (u32)      row width the model expects
-//! classes      (u32)      number of classes predictions range over
+//! "POETSRV2"   (8 bytes)   magic + protocol version
+//! model_count  (u16)
+//! model_count × {
+//!     model_id     (u16)   request routing key
+//!     num_features (u32)   row width this model expects
+//!     classes      (u32)   number of classes its predictions range over
+//!     name_len     (u8)    ++ name (UTF-8, ≤ 255 bytes)
+//! }
 //! ```
 //!
 //! After the hello, the client sends **request frames** and the server
@@ -16,15 +21,24 @@
 //!
 //! ```text
 //! frame    := payload_len (u32) ++ payload
-//! request  := request_id (u64) ++ row_bits (ceil(num_features / 8) bytes)
-//! response := request_id (u64) ++ class (u16)
+//! request  := model_id (u16) ++ request_id (u64)
+//!             ++ row_bits (ceil(num_features / 8) bytes)
+//! response := request_id (u64) ++ status (u8) ++ class (u16)
 //! ```
 //!
 //! Row bits are packed LSB-first: feature `j` is bit `j % 8` of byte
 //! `j / 8`, the natural truncation of [`BitVec`]'s little-endian word
 //! layout. Padding bits past `num_features` in the last byte are ignored.
-//! A request whose payload length differs from `8 + ceil(num_features/8)`
-//! is a protocol violation and the server drops the connection.
+//!
+//! Unlike `POETSRV1`, a malformed request no longer silently kills the
+//! connection: the length prefix keeps the stream frame-aligned, so the
+//! server answers with a typed error status and keeps serving —
+//! [`STATUS_UNKNOWN_MODEL`] when `model_id` is not in the hello table,
+//! [`STATUS_BAD_REQUEST`] when the row width does not match that model
+//! (or the payload is shorter than a request header; the echoed id is
+//! then [`BAD_FRAME_ID`]). Only an unparseable *frame* — a length prefix
+//! past the server's limit — still drops the connection, because the
+//! stream can no longer be resynchronised.
 
 use std::io::{self, Read, Write};
 
@@ -32,50 +46,116 @@ use poetbin_bits::BitVec;
 
 /// Magic string opening every connection; bump the trailing digit to
 /// version the protocol.
-pub const HELLO_MAGIC: &[u8; 8] = b"POETSRV1";
+pub const HELLO_MAGIC: &[u8; 8] = b"POETSRV2";
+
+/// Response status: `class` carries the model's prediction.
+pub const STATUS_OK: u8 = 0;
+/// Response status: the request named a `model_id` the hello never
+/// advertised; `class` is meaningless.
+pub const STATUS_UNKNOWN_MODEL: u8 = 1;
+/// Response status: the request payload was malformed for its model
+/// (wrong row width, or too short to carry a request header).
+pub const STATUS_BAD_REQUEST: u8 = 2;
+
+/// The request id echoed on a [`STATUS_BAD_REQUEST`] response to a
+/// payload too short to carry a real id.
+pub const BAD_FRAME_ID: u64 = u64::MAX;
+
+/// One served model as advertised in the hello.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelInfo {
+    /// Routing key requests name the model by.
+    pub id: u16,
+    /// Row width the model expects.
+    pub num_features: usize,
+    /// Number of classes its predictions range over.
+    pub classes: usize,
+    /// Human-readable model name (file stem by convention).
+    pub name: String,
+}
 
 /// Bytes a packed feature row occupies on the wire.
 pub fn row_bytes(num_features: usize) -> usize {
     num_features.div_ceil(8)
 }
 
-/// Wire size of a request payload (id + packed row).
+/// Wire size of a request payload (model id + request id + packed row).
 pub fn request_payload_len(num_features: usize) -> usize {
-    8 + row_bytes(num_features)
+    REQUEST_HEADER_LEN + row_bytes(num_features)
 }
 
-/// Writes the server hello.
+/// Bytes of a request payload before the packed row: model id + request
+/// id.
+pub const REQUEST_HEADER_LEN: usize = 10;
+
+/// Wire size of a response payload.
+pub const RESPONSE_LEN: usize = 11;
+
+/// Writes the server hello advertising `models`.
 ///
 /// # Errors
 ///
 /// Propagates the underlying I/O error.
-pub fn write_hello(w: &mut impl Write, num_features: u32, classes: u32) -> io::Result<()> {
-    let mut buf = [0u8; 16];
-    buf[..8].copy_from_slice(HELLO_MAGIC);
-    buf[8..12].copy_from_slice(&num_features.to_le_bytes());
-    buf[12..16].copy_from_slice(&classes.to_le_bytes());
+///
+/// # Panics
+///
+/// Panics when a model name exceeds 255 UTF-8 bytes, a width or class
+/// count exceeds `u32`, or there are more than `u16::MAX` models.
+pub fn write_hello(w: &mut impl Write, models: &[ModelInfo]) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(10 + models.len() * 16);
+    buf.extend_from_slice(HELLO_MAGIC);
+    let count = u16::try_from(models.len()).expect("too many models for one hello");
+    buf.extend_from_slice(&count.to_le_bytes());
+    for m in models {
+        let name = m.name.as_bytes();
+        let name_len = u8::try_from(name.len()).expect("model name over 255 bytes");
+        buf.extend_from_slice(&m.id.to_le_bytes());
+        let width = u32::try_from(m.num_features).expect("model width exceeds u32");
+        let classes = u32::try_from(m.classes).expect("class count exceeds u32");
+        buf.extend_from_slice(&width.to_le_bytes());
+        buf.extend_from_slice(&classes.to_le_bytes());
+        buf.push(name_len);
+        buf.extend_from_slice(name);
+    }
     w.write_all(&buf)
 }
 
-/// Reads and validates the server hello, returning
-/// `(num_features, classes)`.
+/// Reads and validates the server hello, returning the advertised model
+/// table.
 ///
 /// # Errors
 ///
-/// Returns [`io::ErrorKind::InvalidData`] when the magic does not match,
-/// or the underlying I/O error.
-pub fn read_hello(r: &mut impl Read) -> io::Result<(u32, u32)> {
-    let mut buf = [0u8; 16];
-    r.read_exact(&mut buf)?;
-    if &buf[..8] != HELLO_MAGIC {
+/// Returns [`io::ErrorKind::InvalidData`] when the magic does not match
+/// or a model name is not UTF-8, or the underlying I/O error.
+pub fn read_hello(r: &mut impl Read) -> io::Result<Vec<ModelInfo>> {
+    let mut head = [0u8; 10];
+    r.read_exact(&mut head)?;
+    if &head[..8] != HELLO_MAGIC {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            "not a POETSRV1 endpoint",
+            "not a POETSRV2 endpoint",
         ));
     }
-    let num_features = u32::from_le_bytes(buf[8..12].try_into().unwrap());
-    let classes = u32::from_le_bytes(buf[12..16].try_into().unwrap());
-    Ok((num_features, classes))
+    let count = u16::from_le_bytes(head[8..10].try_into().unwrap()) as usize;
+    let mut models = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut fixed = [0u8; 11];
+        r.read_exact(&mut fixed)?;
+        let id = u16::from_le_bytes(fixed[..2].try_into().unwrap());
+        let num_features = u32::from_le_bytes(fixed[2..6].try_into().unwrap()) as usize;
+        let classes = u32::from_le_bytes(fixed[6..10].try_into().unwrap()) as usize;
+        let mut name = vec![0u8; fixed[10] as usize];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "model name is not UTF-8"))?;
+        models.push(ModelInfo {
+            id,
+            num_features,
+            classes,
+            name,
+        });
+    }
+    Ok(models)
 }
 
 /// Writes one length-prefixed frame.
@@ -89,7 +169,7 @@ pub fn read_hello(r: &mut impl Read) -> io::Result<(u32, u32)> {
 /// Panics if the payload exceeds `u32::MAX` bytes.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     let len = u32::try_from(payload.len()).expect("frame payload too large");
-    // One write call per frame: tiny frames (a response is 14 bytes) must
+    // One write call per frame: tiny frames (a response is 15 bytes) must
     // not turn into two TCP segments under TCP_NODELAY.
     let mut buf = Vec::with_capacity(4 + payload.len());
     buf.extend_from_slice(&len.to_le_bytes());
@@ -131,26 +211,38 @@ pub fn read_frame(r: &mut impl Read, max_payload: usize) -> io::Result<Option<Ve
     Ok(Some(payload))
 }
 
-/// Encodes a request payload for `row`.
-pub fn encode_request(id: u64, row: &BitVec) -> Vec<u8> {
+/// Encodes a request payload for `row` aimed at `model_id`.
+pub fn encode_request(model_id: u16, id: u64, row: &BitVec) -> Vec<u8> {
     let nbytes = row_bytes(row.len());
-    let mut out = Vec::with_capacity(8 + nbytes);
+    let mut out = Vec::with_capacity(REQUEST_HEADER_LEN + nbytes);
+    out.extend_from_slice(&model_id.to_le_bytes());
     out.extend_from_slice(&id.to_le_bytes());
     for word in row.as_words() {
         out.extend_from_slice(&word.to_le_bytes());
     }
-    out.truncate(8 + nbytes);
+    out.truncate(REQUEST_HEADER_LEN + nbytes);
     out
 }
 
-/// Decodes a request payload into `(id, row)`; `None` when the payload
-/// length does not match the model's row width.
-pub fn decode_request(payload: &[u8], num_features: usize) -> Option<(u64, BitVec)> {
-    if payload.len() != request_payload_len(num_features) {
+/// Splits a request payload into `(model_id, request_id, row_bits)`;
+/// `None` when the payload cannot even carry a request header. The row
+/// is *not* validated here — its expected width depends on the model the
+/// header names; pass the bits to [`decode_row`] once the model is known.
+pub fn decode_request(payload: &[u8]) -> Option<(u16, u64, &[u8])> {
+    if payload.len() < REQUEST_HEADER_LEN {
         return None;
     }
-    let id = u64::from_le_bytes(payload[..8].try_into().unwrap());
-    let bits = &payload[8..];
+    let model_id = u16::from_le_bytes(payload[..2].try_into().unwrap());
+    let id = u64::from_le_bytes(payload[2..10].try_into().unwrap());
+    Some((model_id, id, &payload[REQUEST_HEADER_LEN..]))
+}
+
+/// Decodes packed row bits against a model's width; `None` when the byte
+/// count does not match.
+pub fn decode_row(bits: &[u8], num_features: usize) -> Option<BitVec> {
+    if bits.len() != row_bytes(num_features) {
+        return None;
+    }
     let words: Vec<u64> = bits
         .chunks(8)
         .map(|chunk| {
@@ -160,26 +252,28 @@ pub fn decode_request(payload: &[u8], num_features: usize) -> Option<(u64, BitVe
         })
         .collect();
     // from_words clears padding bits past num_features in the last word.
-    Some((id, BitVec::from_words(words, num_features)))
+    Some(BitVec::from_words(words, num_features))
 }
 
 /// Encodes a response payload.
-pub fn encode_response(id: u64, class: u16) -> [u8; 10] {
-    let mut out = [0u8; 10];
+pub fn encode_response(id: u64, status: u8, class: u16) -> [u8; RESPONSE_LEN] {
+    let mut out = [0u8; RESPONSE_LEN];
     out[..8].copy_from_slice(&id.to_le_bytes());
-    out[8..].copy_from_slice(&class.to_le_bytes());
+    out[8] = status;
+    out[9..].copy_from_slice(&class.to_le_bytes());
     out
 }
 
-/// Decodes a response payload into `(id, class)`; `None` on a malformed
-/// length.
-pub fn decode_response(payload: &[u8]) -> Option<(u64, u16)> {
-    if payload.len() != 10 {
+/// Decodes a response payload into `(id, status, class)`; `None` on a
+/// malformed length.
+pub fn decode_response(payload: &[u8]) -> Option<(u64, u8, u16)> {
+    if payload.len() != RESPONSE_LEN {
         return None;
     }
     let id = u64::from_le_bytes(payload[..8].try_into().unwrap());
-    let class = u16::from_le_bytes(payload[8..].try_into().unwrap());
-    Some((id, class))
+    let status = payload[8];
+    let class = u16::from_le_bytes(payload[9..].try_into().unwrap());
+    Some((id, status, class))
 }
 
 #[cfg(test)]
@@ -190,26 +284,38 @@ mod tests {
     fn request_roundtrips_at_ragged_widths() {
         for f in [1usize, 7, 8, 9, 63, 64, 65, 130] {
             let row = BitVec::from_fn(f, |j| (j * 13 + f) % 3 == 0);
-            let payload = encode_request(77, &row);
+            let payload = encode_request(3, 77, &row);
             assert_eq!(payload.len(), request_payload_len(f));
-            let (id, back) = decode_request(&payload, f).expect("well-formed");
-            assert_eq!(id, 77);
-            assert_eq!(back, row, "width {f}");
+            let (model, id, bits) = decode_request(&payload).expect("well-formed");
+            assert_eq!((model, id), (3, 77));
+            assert_eq!(
+                decode_row(bits, f).expect("width matches"),
+                row,
+                "width {f}"
+            );
         }
     }
 
     #[test]
-    fn request_with_wrong_width_is_rejected() {
+    fn short_requests_and_wrong_widths_are_rejected() {
         let row = BitVec::from_fn(16, |j| j % 2 == 0);
-        let payload = encode_request(1, &row);
-        assert!(decode_request(&payload, 17).is_none());
-        assert!(decode_request(&payload[..9], 16).is_none());
+        let payload = encode_request(0, 1, &row);
+        assert!(decode_request(&payload[..9]).is_none(), "header cut short");
+        let (_, _, bits) = decode_request(&payload).unwrap();
+        assert!(decode_row(bits, 17).is_none(), "17 features need 3 bytes");
+        assert!(decode_row(bits, 24).is_none());
+        assert!(decode_row(bits, 16).is_some());
     }
 
     #[test]
     fn response_roundtrips() {
-        let payload = encode_response(u64::MAX, 9);
-        assert_eq!(decode_response(&payload), Some((u64::MAX, 9)));
+        let payload = encode_response(u64::MAX, STATUS_OK, 9);
+        assert_eq!(decode_response(&payload), Some((u64::MAX, STATUS_OK, 9)));
+        let payload = encode_response(7, STATUS_UNKNOWN_MODEL, 0);
+        assert_eq!(
+            decode_response(&payload),
+            Some((7, STATUS_UNKNOWN_MODEL, 0))
+        );
         assert_eq!(decode_response(&payload[..9]), None);
     }
 
@@ -242,12 +348,34 @@ mod tests {
     }
 
     #[test]
-    fn hello_roundtrips_and_rejects_bad_magic() {
+    fn hello_roundtrips_a_model_table() {
+        let models = vec![
+            ModelInfo {
+                id: 0,
+                num_features: 512,
+                classes: 10,
+                name: "mnist".into(),
+            },
+            ModelInfo {
+                id: 1,
+                num_features: 48,
+                classes: 4,
+                name: "deep".into(),
+            },
+        ];
         let mut wire = Vec::new();
-        write_hello(&mut wire, 512, 10).unwrap();
-        assert_eq!(read_hello(&mut wire.as_slice()).unwrap(), (512, 10));
+        write_hello(&mut wire, &models).unwrap();
+        assert_eq!(read_hello(&mut wire.as_slice()).unwrap(), models);
+
         wire[0] = b'X';
         let err = read_hello(&mut wire.as_slice()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn hello_with_no_models_is_legal() {
+        let mut wire = Vec::new();
+        write_hello(&mut wire, &[]).unwrap();
+        assert_eq!(read_hello(&mut wire.as_slice()).unwrap(), Vec::new());
     }
 }

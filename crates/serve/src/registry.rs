@@ -1,0 +1,356 @@
+//! The model registry: N named engines served concurrently, each behind
+//! an atomically swappable slot.
+//!
+//! A [`ModelRegistry`] is built once (models registered in order; a
+//! model's id is its registration index) and then shared immutably with
+//! the server. What *does* change at runtime is the engine inside each
+//! slot: [`ModelRegistry::swap`] replaces a model's compiled engine with
+//! a freshly trained or re-compiled one while requests are in flight.
+//! The swap is a single `Arc` store under a short write lock — in-flight
+//! batches keep the engine they snapshotted, new batches see the new one,
+//! and no request ever observes a half-updated model.
+//!
+//! A swap must preserve the model's wire shape (`num_features`,
+//! `classes`): clients size their request rows from the hello, which is
+//! sent once per connection, so a shape change would silently corrupt
+//! every connected client. Shape-changing updates are a new model, not a
+//! swap.
+//!
+//! Each slot carries a monotonically increasing **version**, read and
+//! written atomically with the engine (same lock). Workers cache
+//! per-model scratch buffers keyed by this version; engine scratch is
+//! sized by the engine's compiled plan, so a swapped-in engine (same
+//! wire shape, possibly different internal plan) invalidates the cache
+//! by version rather than by `Arc` pointer identity (which could ABA
+//! through the allocator).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use poetbin_engine::ClassifierEngine;
+
+use crate::protocol::{self, ModelInfo};
+
+/// Per-model serving counters; monotonically increasing, lock-free reads.
+#[derive(Debug, Default)]
+pub struct ModelStats {
+    received: AtomicU64,
+    served: AtomicU64,
+    batches: AtomicU64,
+    swaps: AtomicU64,
+}
+
+impl ModelStats {
+    /// Requests accepted off the wire for this model.
+    pub fn received(&self) -> u64 {
+        self.received.load(Ordering::Relaxed)
+    }
+
+    /// Predictions returned for this model.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Engine batches that included this model.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Successful engine swaps on this slot.
+    pub fn swaps(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+
+    /// Mean predictions per engine batch.
+    pub fn mean_batch(&self) -> f64 {
+        let batches = self.batches();
+        if batches == 0 {
+            return 0.0;
+        }
+        self.served() as f64 / batches as f64
+    }
+
+    pub(crate) fn add_received(&self, n: u64) {
+        self.received.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_served_batch(&self, n: u64) {
+        self.served.fetch_add(n, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The swappable part of a model entry: the engine and the version that
+/// names it. Kept in one lock so a snapshot can never pair an engine
+/// with another engine's version (which would let a worker reuse scratch
+/// sized for the wrong compiled plan).
+struct Slot {
+    engine: Arc<ClassifierEngine>,
+    version: u64,
+}
+
+/// One registered model: its fixed wire shape plus the swappable engine.
+struct ModelEntry {
+    name: String,
+    /// Wire shape, fixed for the lifetime of the registry (swaps must
+    /// match it).
+    num_features: usize,
+    classes: usize,
+    slot: RwLock<Slot>,
+    stats: ModelStats,
+}
+
+/// Why a [`ModelRegistry::swap`] was refused.
+#[derive(Debug)]
+pub enum SwapError {
+    /// No model with the given id is registered.
+    UnknownModel(u16),
+    /// The replacement engine's wire shape differs from the slot's.
+    ShapeMismatch {
+        /// The slot's fixed `(num_features, classes)`.
+        expected: (usize, usize),
+        /// The replacement engine's `(num_features, classes)`.
+        found: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for SwapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwapError::UnknownModel(id) => write!(f, "no model with id {id} is registered"),
+            SwapError::ShapeMismatch { expected, found } => write!(
+                f,
+                "replacement engine is {}×{} but the slot serves {}×{} \
+                 (features × classes); a shape change is a new model, not a swap",
+                found.0, found.1, expected.0, expected.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SwapError {}
+
+/// A fixed table of named models with hot-swappable engines.
+#[derive(Default)]
+pub struct ModelRegistry {
+    models: Vec<ModelEntry>,
+}
+
+impl ModelRegistry {
+    /// An empty registry; add models with [`register`](Self::register)
+    /// before starting a server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `engine` under `name` and returns its wire id (the
+    /// registration index).
+    ///
+    /// # Panics
+    ///
+    /// Panics past `u16::MAX` models or when `name` exceeds the hello's
+    /// 255-byte field.
+    pub fn register(&mut self, name: impl Into<String>, engine: Arc<ClassifierEngine>) -> u16 {
+        let name = name.into();
+        assert!(name.len() <= 255, "model name over 255 bytes");
+        let id = u16::try_from(self.models.len()).expect("too many models");
+        self.models.push(ModelEntry {
+            name,
+            num_features: engine.num_features(),
+            classes: engine.classes(),
+            slot: RwLock::new(Slot { engine, version: 0 }),
+            stats: ModelStats::default(),
+        });
+        id
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether no model is registered.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// The id of the model registered under `name`, if any.
+    pub fn id_of(&self, name: &str) -> Option<u16> {
+        self.models
+            .iter()
+            .position(|m| m.name == name)
+            .map(|i| i as u16)
+    }
+
+    /// The model table as advertised in the connection hello.
+    pub fn infos(&self) -> Vec<ModelInfo> {
+        self.models
+            .iter()
+            .enumerate()
+            .map(|(id, m)| ModelInfo {
+                id: id as u16,
+                num_features: m.num_features,
+                classes: m.classes,
+                name: m.name.clone(),
+            })
+            .collect()
+    }
+
+    /// Per-model serving counters.
+    pub fn stats(&self, id: u16) -> Option<&ModelStats> {
+        self.models.get(id as usize).map(|m| &m.stats)
+    }
+
+    /// The wire width a request for `id` must pack its row to.
+    pub fn num_features(&self, id: u16) -> Option<usize> {
+        self.models.get(id as usize).map(|m| m.num_features)
+    }
+
+    /// The largest request payload any registered model can legally
+    /// produce — the frame-read limit for server connections.
+    pub fn max_request_payload(&self) -> usize {
+        self.models
+            .iter()
+            .map(|m| protocol::request_payload_len(m.num_features))
+            .max()
+            .unwrap_or(protocol::REQUEST_HEADER_LEN)
+    }
+
+    /// The current engine for `id` plus its slot version (for scratch
+    /// caching); `None` for an unknown id. The returned `Arc` stays valid
+    /// across concurrent swaps — it just becomes the *old* engine.
+    pub fn snapshot(&self, id: u16) -> Option<(Arc<ClassifierEngine>, u64)> {
+        let m = self.models.get(id as usize)?;
+        let slot = m.slot.read().expect("slot lock poisoned");
+        Some((Arc::clone(&slot.engine), slot.version))
+    }
+
+    /// Atomically replaces the engine in slot `id`. In-flight batches
+    /// finish on the engine they snapshotted; later snapshots see the
+    /// replacement.
+    ///
+    /// # Errors
+    ///
+    /// [`SwapError::UnknownModel`] for an unregistered id;
+    /// [`SwapError::ShapeMismatch`] when the replacement's
+    /// `(num_features, classes)` differ from the slot's — connected
+    /// clients sized their requests from the hello, so the wire shape is
+    /// frozen.
+    pub fn swap(&self, id: u16, engine: Arc<ClassifierEngine>) -> Result<(), SwapError> {
+        let m = self
+            .models
+            .get(id as usize)
+            .ok_or(SwapError::UnknownModel(id))?;
+        let found = (engine.num_features(), engine.classes());
+        let expected = (m.num_features, m.classes);
+        if found != expected {
+            return Err(SwapError::ShapeMismatch { expected, found });
+        }
+        {
+            let mut slot = m.slot.write().expect("slot lock poisoned");
+            slot.engine = engine;
+            slot.version += 1;
+        }
+        m.stats.swaps.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poetbin_bits::TruthTable;
+    use poetbin_boost::{MatModule, RincModule, RincNode};
+    use poetbin_core::{PoetBinClassifier, QuantizedSparseOutput, RincBank};
+    use poetbin_dt::LevelWiseTree;
+
+    fn engine(num_features: usize, classes: usize, flip: bool) -> Arc<ClassifierEngine> {
+        let p = 2;
+        let modules: Vec<RincNode> = (0..classes * p)
+            .map(|i| {
+                if i % 2 == 0 {
+                    RincNode::Tree(LevelWiseTree::from_parts(
+                        vec![i % num_features, (i + 1) % num_features],
+                        TruthTable::from_fn(p, |v| (v % 2 == 0) ^ flip),
+                    ))
+                } else {
+                    RincNode::Module(RincModule::from_parts(
+                        vec![
+                            RincNode::Tree(LevelWiseTree::from_parts(
+                                vec![(i + 2) % num_features, (i + 3) % num_features],
+                                TruthTable::from_fn(p, |v| v == 3),
+                            )),
+                            RincNode::Tree(LevelWiseTree::from_parts(
+                                vec![(i + 4) % num_features, (i + 5) % num_features],
+                                TruthTable::from_fn(p, |v| v != 0),
+                            )),
+                        ],
+                        MatModule::new(vec![0.6, 0.7]),
+                        1,
+                    ))
+                }
+            })
+            .collect();
+        let weights = (0..classes).map(|c| vec![3 + c as i32, -2]).collect();
+        let biases = (0..classes).map(|c| c as i32 - 1).collect();
+        let output = QuantizedSparseOutput::from_parts(p, 6, weights, biases, -8, 0);
+        let clf = PoetBinClassifier::new(RincBank::from_modules(modules), output);
+        Arc::new(ClassifierEngine::compile(&clf, num_features).expect("compiles"))
+    }
+
+    #[test]
+    fn register_assigns_sequential_ids_and_infos_mirror_them() {
+        let mut reg = ModelRegistry::new();
+        assert!(reg.is_empty());
+        assert_eq!(reg.register("alpha", engine(16, 2, false)), 0);
+        assert_eq!(reg.register("beta", engine(24, 3, false)), 1);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.id_of("beta"), Some(1));
+        assert_eq!(reg.id_of("gamma"), None);
+        let infos = reg.infos();
+        assert_eq!(infos[0].id, 0);
+        assert_eq!(infos[0].name, "alpha");
+        assert_eq!(infos[0].num_features, 16);
+        assert_eq!(infos[1].classes, 3);
+        assert_eq!(reg.max_request_payload(), protocol::request_payload_len(24));
+    }
+
+    #[test]
+    fn swap_replaces_the_engine_and_bumps_the_version() {
+        let mut reg = ModelRegistry::new();
+        let id = reg.register("m", engine(16, 2, false));
+        let (before, v0) = reg.snapshot(id).unwrap();
+        let replacement = engine(16, 2, true);
+        reg.swap(id, Arc::clone(&replacement)).expect("same shape");
+        let (after, v1) = reg.snapshot(id).unwrap();
+        assert!(Arc::ptr_eq(&after, &replacement));
+        assert!(!Arc::ptr_eq(&after, &before));
+        assert_eq!(v1, v0 + 1);
+        assert_eq!(reg.stats(id).unwrap().swaps(), 1);
+        // The old snapshot stays usable for in-flight work.
+        assert_eq!(before.num_features(), 16);
+    }
+
+    #[test]
+    fn swap_rejects_unknown_ids_and_shape_changes() {
+        let mut reg = ModelRegistry::new();
+        let id = reg.register("m", engine(16, 2, false));
+        assert!(matches!(
+            reg.swap(99, engine(16, 2, false)),
+            Err(SwapError::UnknownModel(99))
+        ));
+        assert!(matches!(
+            reg.swap(id, engine(24, 2, false)),
+            Err(SwapError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            reg.swap(id, engine(16, 3, false)),
+            Err(SwapError::ShapeMismatch { .. })
+        ));
+        // The failed swaps left the slot untouched.
+        let (eng, v) = reg.snapshot(id).unwrap();
+        assert_eq!(eng.num_features(), 16);
+        assert_eq!(v, 0);
+        assert_eq!(reg.stats(id).unwrap().swaps(), 0);
+    }
+}

@@ -1,5 +1,6 @@
 //! The multi-threaded TCP server: acceptor, per-connection reader/writer
-//! threads, and engine worker shards draining the micro-batch queue.
+//! threads, and engine worker shards draining the micro-batch queue
+//! across every registered model.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -15,28 +16,30 @@ use std::time::Duration;
 
 use poetbin_bits::pack_block_rows_into;
 use poetbin_core::persist::{load_classifier_from, PersistError};
-use poetbin_engine::{ClassifierEngine, MAX_BLOCK_WORDS};
+use poetbin_engine::{ClassifierEngine, Scratch, MAX_BLOCK_WORDS};
 use poetbin_fpga::NetlistError;
 
 use crate::batcher::{BatchQueue, Pending};
-use crate::protocol;
+use crate::protocol::{self, BAD_FRAME_ID, STATUS_BAD_REQUEST, STATUS_OK, STATUS_UNKNOWN_MODEL};
+use crate::registry::ModelRegistry;
 
 /// Tuning knobs for [`Server::start`].
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Engine worker shards draining the batch queue. Each owns one
-    /// reusable [`poetbin_engine::Scratch`]; more shards overlap tape
-    /// evaluation with request decode on multi-core hosts.
+    /// reusable [`poetbin_engine::Scratch`] per model; more shards overlap
+    /// tape evaluation with request decode on multi-core hosts.
     pub workers: usize,
     /// How long a worker holding a partial batch waits for stragglers
     /// before serving it. Zero disables coalescing entirely (every
     /// request that finds an idle worker is served alone).
     pub linger: Duration,
-    /// Requests per tape pass, at most 512 (64 lanes × the engine's
+    /// Requests per queue drain, at most 512 (64 lanes × the engine's
     /// 8-word lane blocks). A worker drains up to this many requests,
-    /// packs them into a lane-word block and evaluates them all in one
-    /// blocked pass ([`ClassifierEngine::predict_block_into`]), the final
-    /// partial word masked.
+    /// groups them by model, packs each group into a lane-word block and
+    /// evaluates it in one blocked pass
+    /// ([`ClassifierEngine::predict_block_into`]), the final partial word
+    /// masked.
     pub max_batch: usize,
 }
 
@@ -50,8 +53,9 @@ impl Default for ServeConfig {
     }
 }
 
-/// Monotonic counters the server publishes; read them through
-/// [`Server::stats`].
+/// Monotonic whole-server counters; read them through [`Server::stats`].
+/// Per-model counters live in the registry
+/// ([`ModelRegistry::stats`](crate::ModelRegistry::stats)).
 #[derive(Debug, Default)]
 pub struct ServerStats {
     received: AtomicU64,
@@ -59,20 +63,21 @@ pub struct ServerStats {
     batches: AtomicU64,
     connections: AtomicU64,
     protocol_errors: AtomicU64,
+    rejected: AtomicU64,
 }
 
 impl ServerStats {
-    /// Requests decoded off connections so far.
+    /// Requests decoded off connections so far (all models).
     pub fn received(&self) -> u64 {
         self.received.load(Ordering::Relaxed)
     }
 
-    /// Predictions routed back to clients so far.
+    /// Predictions routed back to clients so far (all models).
     pub fn served(&self) -> u64 {
         self.served.load(Ordering::Relaxed)
     }
 
-    /// Engine tape passes (batches) evaluated so far.
+    /// Engine tape passes (per-model batch groups) evaluated so far.
     pub fn batches(&self) -> u64 {
         self.batches.load(Ordering::Relaxed)
     }
@@ -82,9 +87,18 @@ impl ServerStats {
         self.connections.load(Ordering::Relaxed)
     }
 
-    /// Connections dropped for malformed frames.
+    /// Connections dropped because the *stream* became unparseable (a
+    /// length prefix past the server's frame limit). Malformed but
+    /// well-framed requests are answered, not dropped — see
+    /// [`rejected`](Self::rejected).
     pub fn protocol_errors(&self) -> u64 {
         self.protocol_errors.load(Ordering::Relaxed)
+    }
+
+    /// Typed error responses sent (unknown model id, wrong row width,
+    /// short request payload). The connection survives these.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
     }
 
     /// Mean requests per evaluated batch — the lane-occupancy figure the
@@ -102,7 +116,7 @@ impl ServerStats {
 /// Failure to turn a model file into a compiled serving engine.
 #[derive(Debug)]
 pub enum LoadError {
-    /// The `POETBIN1` file failed to decode.
+    /// The model file (either `POETBIN` format) failed to decode.
     Persist(PersistError),
     /// The decoded classifier's lowered netlist failed compilation.
     Compile(NetlistError),
@@ -142,7 +156,8 @@ impl std::error::Error for LoadError {
     }
 }
 
-/// Loads a `POETBIN1` model file and compiles it once for serving.
+/// Loads a model file (`POETBIN1` or `POETBIN2`, sniffed from the magic)
+/// and compiles it once for serving.
 ///
 /// `num_features` fixes the row width clients must send; `None` uses the
 /// narrowest width the model supports
@@ -174,20 +189,27 @@ pub fn load_engine(
 /// One acceptor thread hands each connection a reader thread (decodes
 /// request frames into the shared batch queue) and a writer thread
 /// (owns the write half, draining an mpsc channel of responses). Worker
-/// shards blocked on the queue coalesce up to `max_batch ≤ 512` requests
-/// into a single packed lane-word block evaluated in one blocked tape
-/// pass — the immutable compiled plan is shared behind an [`Arc`], so
-/// every shard evaluates the same tape with its own scratch.
+/// shards blocked on the queue coalesce up to `max_batch ≤ 512` requests,
+/// group them by model, and evaluate each group as a single packed
+/// lane-word block in one blocked tape pass — each model's immutable
+/// compiled plan is shared behind an [`Arc`], so every shard evaluates
+/// the same tape with its own scratch.
+///
+/// Engines can be hot-swapped through the shared [`ModelRegistry`] while
+/// the server runs: batches in flight finish on the engine they
+/// snapshotted, later batches use the replacement.
 ///
 /// # Example
 ///
 /// ```no_run
 /// use std::sync::Arc;
-/// use poetbin_serve::{Client, ServeConfig, Server};
+/// use poetbin_serve::{Client, ModelRegistry, ServeConfig, Server};
 /// # let engine: poetbin_engine::ClassifierEngine = unimplemented!();
 /// # let row: poetbin_bits::BitVec = unimplemented!();
 ///
-/// let server = Server::start(Arc::new(engine), "127.0.0.1:0", ServeConfig::default())?;
+/// let mut registry = ModelRegistry::new();
+/// registry.register("default", Arc::new(engine));
+/// let server = Server::start(Arc::new(registry), "127.0.0.1:0", ServeConfig::default())?;
 /// let mut client = Client::connect(server.local_addr())?;
 /// let class = client.predict(&row)?;
 /// server.shutdown();
@@ -195,6 +217,7 @@ pub fn load_engine(
 /// ```
 pub struct Server {
     addr: SocketAddr,
+    registry: Arc<ModelRegistry>,
     queue: Arc<BatchQueue>,
     stats: Arc<ServerStats>,
     stopping: Arc<AtomicBool>,
@@ -205,7 +228,8 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts the
-    /// acceptor plus `config.workers` engine shards.
+    /// acceptor plus `config.workers` engine shards serving every model
+    /// in `registry`.
     ///
     /// # Errors
     ///
@@ -213,13 +237,14 @@ impl Server {
     ///
     /// # Panics
     ///
-    /// Panics if `config.workers == 0` or `config.max_batch` is not in
-    /// `1..=512`.
+    /// Panics if the registry is empty, `config.workers == 0`, or
+    /// `config.max_batch` is not in `1..=512`.
     pub fn start(
-        engine: Arc<ClassifierEngine>,
+        registry: Arc<ModelRegistry>,
         addr: impl ToSocketAddrs,
         config: ServeConfig,
     ) -> io::Result<Server> {
+        assert!(!registry.is_empty(), "registry has no models to serve");
         assert!(config.workers > 0, "need at least one worker shard");
         assert!(
             (1..=64 * MAX_BLOCK_WORDS).contains(&config.max_batch),
@@ -236,18 +261,18 @@ impl Server {
 
         let mut core_threads = Vec::with_capacity(config.workers + 1);
         for shard in 0..config.workers {
-            let engine = Arc::clone(&engine);
+            let registry = Arc::clone(&registry);
             let queue = Arc::clone(&queue);
             let stats = Arc::clone(&stats);
             let (linger, max_batch) = (config.linger, config.max_batch);
             core_threads.push(
                 std::thread::Builder::new()
                     .name(format!("poetbin-worker-{shard}"))
-                    .spawn(move || worker_loop(&engine, &queue, &stats, max_batch, linger))?,
+                    .spawn(move || worker_loop(&registry, &queue, &stats, max_batch, linger))?,
             );
         }
         {
-            let engine = Arc::clone(&engine);
+            let registry = Arc::clone(&registry);
             let queue = Arc::clone(&queue);
             let stats = Arc::clone(&stats);
             let stopping = Arc::clone(&stopping);
@@ -259,7 +284,7 @@ impl Server {
                     .spawn(move || {
                         accept_loop(
                             &listener,
-                            &engine,
+                            &registry,
                             &queue,
                             &stats,
                             &stopping,
@@ -272,6 +297,7 @@ impl Server {
 
         Ok(Server {
             addr,
+            registry,
             queue,
             stats,
             stopping,
@@ -284,6 +310,12 @@ impl Server {
     /// The bound address (with the real port when started on port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The registry this server routes requests through — the handle for
+    /// hot-swapping engines and reading per-model stats.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
     }
 
     /// The server's monotonic counters.
@@ -341,7 +373,7 @@ impl Drop for Server {
 
 fn accept_loop(
     listener: &TcpListener,
-    engine: &Arc<ClassifierEngine>,
+    registry: &Arc<ModelRegistry>,
     queue: &Arc<BatchQueue>,
     stats: &Arc<ServerStats>,
     stopping: &Arc<AtomicBool>,
@@ -372,7 +404,7 @@ fn accept_loop(
         if let Ok(clone) = stream.try_clone() {
             conns.lock().unwrap().insert(conn_id, clone);
         }
-        let engine = Arc::clone(engine);
+        let registry = Arc::clone(registry);
         let queue = Arc::clone(queue);
         let conn_stats = Arc::clone(stats);
         let conns_for_cleanup = Arc::clone(conns);
@@ -380,7 +412,7 @@ fn accept_loop(
         let spawned = std::thread::Builder::new()
             .name(format!("poetbin-conn-{conn_id}"))
             .spawn(move || {
-                connection_loop(stream, &engine, &queue, &conn_stats, &conn_threads_inner);
+                connection_loop(stream, &registry, &queue, &conn_stats, &conn_threads_inner);
                 conns_for_cleanup.lock().unwrap().remove(&conn_id);
             });
         match spawned {
@@ -405,23 +437,28 @@ fn accept_loop(
 
 /// Reads request frames off one connection into the batch queue; the
 /// paired writer thread (spawned here) owns the write half.
+///
+/// The length prefix keeps the stream frame-aligned through malformed
+/// *payloads*, so those are answered with typed error responses and the
+/// connection lives on. Only an unparseable frame — a length prefix past
+/// the largest request any registered model can produce — still drops
+/// the connection: the bytes after it cannot be resynchronised.
 fn connection_loop(
     mut stream: TcpStream,
-    engine: &ClassifierEngine,
+    registry: &ModelRegistry,
     queue: &BatchQueue,
     stats: &ServerStats,
     conn_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) {
     let _ = stream.set_nodelay(true);
-    let num_features = engine.num_features();
-    if protocol::write_hello(&mut stream, num_features as u32, engine.classes() as u32).is_err() {
+    if protocol::write_hello(&mut stream, &registry.infos()).is_err() {
         return;
     }
     let write_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     };
-    let (reply_tx, reply_rx) = mpsc::channel::<(u64, u16)>();
+    let (reply_tx, reply_rx) = mpsc::channel::<(u64, u8, u16)>();
     let writer = std::thread::Builder::new()
         .name("poetbin-conn-writer".into())
         .spawn(move || writer_loop(write_half, &reply_rx));
@@ -429,26 +466,40 @@ fn connection_loop(
         conn_threads.lock().unwrap().push(handle);
     }
 
-    let max_payload = protocol::request_payload_len(num_features);
+    let max_payload = registry.max_request_payload();
     let mut reader = BufReader::new(stream.try_clone().unwrap_or(stream));
     loop {
         match protocol::read_frame(&mut reader, max_payload) {
-            Ok(Some(payload)) => match protocol::decode_request(&payload, num_features) {
-                Some((id, row)) => {
-                    stats.received.fetch_add(1, Ordering::Relaxed);
-                    queue.push(Pending {
-                        id,
-                        row,
-                        reply: reply_tx.clone(),
-                    });
+            Ok(Some(payload)) => {
+                let reject = |id: u64, status: u8| {
+                    stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    let _ = reply_tx.send((id, status, 0));
+                };
+                let Some((model_id, id, bits)) = protocol::decode_request(&payload) else {
+                    // Too short to even carry a request id; echo the
+                    // sentinel so the client can at least count it.
+                    reject(BAD_FRAME_ID, STATUS_BAD_REQUEST);
+                    continue;
+                };
+                let Some(num_features) = registry.num_features(model_id) else {
+                    reject(id, STATUS_UNKNOWN_MODEL);
+                    continue;
+                };
+                let Some(row) = protocol::decode_row(bits, num_features) else {
+                    reject(id, STATUS_BAD_REQUEST);
+                    continue;
+                };
+                stats.received.fetch_add(1, Ordering::Relaxed);
+                if let Some(model_stats) = registry.stats(model_id) {
+                    model_stats.add_received(1);
                 }
-                None => {
-                    // Wrong payload size for this model: the stream can no
-                    // longer be trusted to be frame-aligned — drop it.
-                    stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                    break;
-                }
-            },
+                queue.push(Pending {
+                    model_id,
+                    id,
+                    row,
+                    reply: reply_tx.clone(),
+                });
+            }
             Ok(None) => break,
             Err(e) => {
                 if e.kind() == io::ErrorKind::InvalidData {
@@ -464,9 +515,9 @@ fn connection_loop(
     let _ = reader.get_ref().shutdown(Shutdown::Read);
 }
 
-fn writer_loop(mut stream: TcpStream, replies: &mpsc::Receiver<(u64, u16)>) {
-    while let Ok((id, class)) = replies.recv() {
-        let payload = protocol::encode_response(id, class);
+fn writer_loop(mut stream: TcpStream, replies: &mpsc::Receiver<(u64, u8, u16)>) {
+    while let Ok((id, status, class)) = replies.recv() {
+        let payload = protocol::encode_response(id, status, class);
         if protocol::write_frame(&mut stream, &payload).is_err() {
             return;
         }
@@ -474,36 +525,65 @@ fn writer_loop(mut stream: TcpStream, replies: &mpsc::Receiver<(u64, u16)>) {
 }
 
 /// One engine shard: drain up to a lane block's worth of requests
-/// (`64 · B`), pack, evaluate in one blocked tape pass, route each argmax
-/// back to its connection.
+/// (`64 · B`), group them by model, pack each group and evaluate it in
+/// one blocked tape pass, route each argmax back to its connection.
+///
+/// Scratch buffers are cached per model and invalidated by the slot
+/// version, so a hot-swapped engine (whose compiled plan may differ in
+/// size) never sees scratch sized for its predecessor.
 fn worker_loop(
-    engine: &ClassifierEngine,
+    registry: &ModelRegistry,
     queue: &BatchQueue,
     stats: &ServerStats,
     max_batch: usize,
     linger: Duration,
 ) {
-    let num_features = engine.num_features();
-    let mut scratch = engine.scratch();
+    let mut scratch_cache: HashMap<u16, (u64, Scratch)> = HashMap::new();
     let mut batch: Vec<Pending> = Vec::with_capacity(max_batch);
-    let mut blocks: Vec<u64> = Vec::with_capacity(num_features * max_batch.div_ceil(64));
+    let mut blocks: Vec<u64> = Vec::new();
     let mut preds = vec![0usize; max_batch];
     while queue.pop_batch(max_batch, linger, &mut batch) {
-        let lanes = batch.len();
-        let words = lanes.div_ceil(64);
-        pack_block_rows_into(
-            batch.iter().map(|p| &p.row),
-            num_features,
-            words,
-            &mut blocks,
-        );
-        engine.predict_block_into(&blocks, &mut scratch, &mut preds[..lanes]);
-        for (pending, &class) in batch.drain(..).zip(&preds) {
-            // A send error only means the connection died before its
-            // answer was ready; nothing to route the reply to.
-            let _ = pending.reply.send((pending.id, class as u16));
+        // Group by model; stable, so FIFO order survives within a model.
+        batch.sort_by_key(|p| p.model_id);
+        let mut rest = std::mem::take(&mut batch);
+        while !rest.is_empty() {
+            let model_id = rest[0].model_id;
+            let split = rest.partition_point(|p| p.model_id == model_id);
+            let group: Vec<Pending> = rest.drain(..split).collect();
+            let Some((engine, version)) = registry.snapshot(model_id) else {
+                // Connection readers validate ids against the registry, and
+                // registered models are never removed — defensive only.
+                for p in group {
+                    let _ = p.reply.send((p.id, STATUS_UNKNOWN_MODEL, 0));
+                }
+                continue;
+            };
+            // First visit or the slot was swapped: (re)build the scratch
+            // for the engine actually in hand.
+            let stale = !matches!(scratch_cache.get(&model_id), Some((v, _)) if *v == version);
+            if stale {
+                scratch_cache.insert(model_id, (version, engine.scratch()));
+            }
+            let (_, scratch) = scratch_cache.get_mut(&model_id).expect("just inserted");
+            let lanes = group.len();
+            let words = lanes.div_ceil(64);
+            pack_block_rows_into(
+                group.iter().map(|p| &p.row),
+                engine.num_features(),
+                words,
+                &mut blocks,
+            );
+            engine.predict_block_into(&blocks, scratch, &mut preds[..lanes]);
+            for (pending, &class) in group.into_iter().zip(&preds) {
+                // A send error only means the connection died before its
+                // answer was ready; nothing to route the reply to.
+                let _ = pending.reply.send((pending.id, STATUS_OK, class as u16));
+            }
+            stats.batches.fetch_add(1, Ordering::Relaxed);
+            stats.served.fetch_add(lanes as u64, Ordering::Relaxed);
+            if let Some(model_stats) = registry.stats(model_id) {
+                model_stats.add_served_batch(lanes as u64);
+            }
         }
-        stats.batches.fetch_add(1, Ordering::Relaxed);
-        stats.served.fetch_add(lanes as u64, Ordering::Relaxed);
     }
 }

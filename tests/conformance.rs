@@ -1,4 +1,5 @@
-//! Cross-backend conformance over checked-in `POETBIN1` fixtures.
+//! Cross-backend conformance over checked-in model fixtures, in both
+//! formats.
 //!
 //! Every inference backend in the workspace must agree bit-for-bit on the
 //! same trained model: the scalar software path
@@ -7,26 +8,30 @@
 //! `B ∈ {1, 4, 8}`), the serving packed paths (`predict_word_into` /
 //! `predict_block_into` over packed lane words, including partial
 //! tails), and the FPGA netlist simulator. The fixtures under
-//! `tests/fixtures/` are golden: their bytes must never drift (the model
-//! format is versioned — breaking it silently would strand deployed
-//! models), and their predictions on the deterministic probe rows are
-//! pinned below.
+//! `tests/fixtures/` are golden — each model checked in twice,
+//! `<name>.poetbin` (`POETBIN1`) beside `<name>.poetbin2` (`POETBIN2`).
+//! Their bytes must never drift (the model format is versioned — breaking
+//! it silently would strand deployed models), both formats must decode to
+//! the identical classifier, and their predictions on the deterministic
+//! probe rows are pinned below. The compact format must also *stay*
+//! compact: the `deep` twin is gated at ≤ 70% of its `POETBIN1` size.
 //!
 //! Fixtures are regenerated deliberately with
 //! `cargo run -p poetbin_bench --bin gen_fixture`, which also prints the
 //! golden arrays to paste here.
 
 use poetbin_bits::{pack_block_rows, pack_word_rows, BitVec, FeatureMatrix};
-use poetbin_core::persist::{load_classifier, save_classifier};
+use poetbin_core::persist::{load_classifier, save_classifier, ModelFormat};
 use poetbin_core::PoetBinClassifier;
 use poetbin_engine::ClassifierEngine;
 use poetbin_fpga::simulate;
 
-/// `(file name, feature width, golden predictions of the first 32 probe
-/// rows)` — printed by `gen_fixture`.
+/// `(fixture name, feature width, golden predictions of the first 32
+/// probe rows)` — printed by `gen_fixture`. Each name exists on disk in
+/// both formats; the goldens apply to both (they decode identically).
 const FIXTURES: [(&str, usize, [usize; 32]); 2] = [
     (
-        "tiny.poetbin",
+        "tiny",
         16,
         [
             1, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0, 0, 1, 0, 0, 1, 0, 0, 1, 1, 1, 1, 0, 0, 0, 1, 1, 1, 0,
@@ -34,13 +39,19 @@ const FIXTURES: [(&str, usize, [usize; 32]); 2] = [
         ],
     ),
     (
-        "deep.poetbin",
+        "deep",
         48,
         [
             1, 2, 1, 0, 3, 3, 0, 0, 0, 3, 2, 3, 3, 0, 0, 3, 0, 2, 1, 3, 0, 1, 3, 3, 3, 2, 3, 0, 3,
             0, 1, 3,
         ],
     ),
+];
+
+/// Fixture file extension and magic for each on-disk format.
+const FORMATS: [(ModelFormat, &str, &[u8; 8]); 2] = [
+    (ModelFormat::PoetBin1, "poetbin", b"POETBIN1"),
+    (ModelFormat::PoetBin2, "poetbin2", b"POETBIN2"),
 ];
 
 fn fixture_bytes(name: &str) -> Vec<u8> {
@@ -50,8 +61,11 @@ fn fixture_bytes(name: &str) -> Vec<u8> {
     std::fs::read(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
 }
 
+/// Loads a fixture through its `POETBIN2` file (the format equality test
+/// pins that the `POETBIN1` twin decodes identically, so every backend
+/// check below transitively covers both).
 fn fixture_classifier(name: &str) -> PoetBinClassifier {
-    load_classifier(&fixture_bytes(name)).expect("fixture decodes")
+    load_classifier(&fixture_bytes(&format!("{name}.poetbin2"))).expect("fixture decodes")
 }
 
 /// The deterministic probe row shared with `gen_fixture.rs` (SplitMix64
@@ -71,20 +85,48 @@ fn probe_matrix(num_features: usize, n: usize) -> FeatureMatrix {
     FeatureMatrix::from_rows((0..n).map(|i| probe_row(num_features, i)).collect())
 }
 
-/// The model format is load-stable and save-stable: decoding a fixture
-/// and re-encoding it must reproduce the file byte for byte. If this
-/// fails, the `POETBIN1` encoder changed shape — either restore
+/// Both model formats are load-stable and save-stable: decoding a fixture
+/// and re-encoding it in the same format must reproduce the file byte for
+/// byte. If this fails, an encoder changed shape — either restore
 /// compatibility or bump the magic and regenerate fixtures deliberately.
 #[test]
 fn fixture_bytes_never_drift() {
     for (name, _, _) in FIXTURES {
-        let bytes = fixture_bytes(name);
-        assert_eq!(&bytes[..8], b"POETBIN1", "{name}: magic");
-        let clf = load_classifier(&bytes).expect("fixture decodes");
-        assert_eq!(
-            save_classifier(&clf),
-            bytes,
-            "{name}: save(load(fixture)) drifted from the checked-in bytes"
+        for (format, ext, magic) in FORMATS {
+            let bytes = fixture_bytes(&format!("{name}.{ext}"));
+            assert_eq!(&bytes[..8], magic, "{name}.{ext}: magic");
+            let clf = load_classifier(&bytes).expect("fixture decodes");
+            assert_eq!(
+                save_classifier(&clf, format),
+                bytes,
+                "{name}.{ext}: save(load(fixture)) drifted from the checked-in bytes"
+            );
+        }
+    }
+}
+
+/// The two on-disk formats are twins: they decode to the identical
+/// classifier, bit for bit.
+#[test]
+fn formats_decode_identically() {
+    for (name, _, _) in FIXTURES {
+        let v1 = load_classifier(&fixture_bytes(&format!("{name}.poetbin"))).expect("v1");
+        let v2 = load_classifier(&fixture_bytes(&format!("{name}.poetbin2"))).expect("v2");
+        assert_eq!(v1, v2, "{name}: formats disagree");
+    }
+}
+
+/// The size-regression gate: `POETBIN2` must stay substantially smaller
+/// than `POETBIN1` on the `deep` fixture (the realistic multi-level
+/// model). A refactor that bloats the compact encoding fails here.
+#[test]
+fn poetbin2_fixture_is_substantially_smaller() {
+    for (name, _, _) in FIXTURES {
+        let v1 = fixture_bytes(&format!("{name}.poetbin")).len();
+        let v2 = fixture_bytes(&format!("{name}.poetbin2")).len();
+        assert!(
+            (v2 as f64) < 0.7 * v1 as f64,
+            "{name}: POETBIN2 is {v2} bytes, POETBIN1 {v1} — compact format regressed"
         );
     }
 }

@@ -3,7 +3,7 @@
 //! first coverage of `WorkflowConfig::paper_m1`.
 
 use poetbin::prelude::*;
-use poetbin_core::persist::save_classifier;
+use poetbin_core::persist::{save_classifier, ModelFormat};
 use poetbin_core::teacher::TeacherConfig;
 
 fn small_config() -> WorkflowConfig {
@@ -35,9 +35,9 @@ fn workflow_is_reproducible_bit_for_bit() {
 
     // And the persisted classifiers are byte-identical.
     assert_eq!(
-        save_classifier(&first.classifier),
-        save_classifier(&second.classifier),
-        "two seeded runs persisted different POETBIN1 bytes"
+        save_classifier(&first.classifier, ModelFormat::PoetBin2),
+        save_classifier(&second.classifier, ModelFormat::PoetBin2),
+        "two seeded runs persisted different POETBIN2 bytes"
     );
 }
 
@@ -53,8 +53,8 @@ fn workflow_is_invariant_to_bank_shards() {
         let run = Workflow::new(config).run(&train, &test);
         assert_eq!(run.a4, reference.a4, "shards={shards}");
         assert_eq!(
-            save_classifier(&run.classifier),
-            save_classifier(&reference.classifier),
+            save_classifier(&run.classifier, ModelFormat::PoetBin2),
+            save_classifier(&reference.classifier, ModelFormat::PoetBin2),
             "shards={shards} changed the trained classifier"
         );
     }

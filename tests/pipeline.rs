@@ -53,11 +53,17 @@ fn fast_workflow_smoke() {
         .with_threads(4);
     assert_eq!(sharded.predict(&result.test_features), soft);
 
-    let restored =
-        poetbin_core::persist::load_classifier(&poetbin_core::persist::save_classifier(clf))
-            .expect("model round-trip");
-    assert_eq!(&restored, clf);
-    assert_eq!(restored.predict(&result.test_features), soft);
+    for format in [
+        poetbin_core::ModelFormat::PoetBin1,
+        poetbin_core::ModelFormat::PoetBin2,
+    ] {
+        let restored = poetbin_core::persist::load_classifier(
+            &poetbin_core::persist::save_classifier(clf, format),
+        )
+        .expect("model round-trip");
+        assert_eq!(&restored, clf, "{format}");
+        assert_eq!(restored.predict(&result.test_features), soft, "{format}");
+    }
 }
 
 #[test]

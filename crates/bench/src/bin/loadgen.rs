@@ -1,11 +1,12 @@
-//! Load generator for `poetbin-serve`, closed- and open-loop, sweeping
-//! one or more models behind a single server.
+//! Load generator and SLO harness for `poetbin-serve`: closed-loop,
+//! open-loop, and a rate-sweeping benchmark mode that writes
+//! `BENCH_serve.json`.
 //!
 //! Starts an in-process multi-model server on an ephemeral port for each
-//! requested linger setting and hammers it from `--clients` client
-//! threads, each interleaving its requests round-robin across every
-//! loaded model (request `i` targets model `i mod M`), so the worker
-//! shards exercise their per-model batch grouping. Two traffic models:
+//! run and hammers it from `--clients` client threads, each interleaving
+//! its requests round-robin across every loaded model (request `i`
+//! targets model `i mod M`), so the worker shards exercise their
+//! per-model batch grouping. Three modes:
 //!
 //! * **closed-loop** (default): each client waits for its response before
 //!   sending the next request, so concurrency equals the client count —
@@ -15,30 +16,63 @@
 //!   schedule — a late sender catches up rather than silently lowering
 //!   the offered rate), with a separate receiver thread per connection
 //!   draining responses. This is the model real traffic follows, and the
-//!   one under which the linger/batch-occupancy tradeoff is measurable.
+//!   one under which the linger/batch-occupancy tradeoff is measurable;
+//! * **SLO harness** (`--slo`): an open-loop rate sweep (p50/p99/p999
+//!   send→response latency per offered rate, queue depth sampled
+//!   throughout) plus a deliberate overload probe against a tiny bounded
+//!   queue, written to `BENCH_serve.json` at the repository root.
+//!   `POETBIN_SERVE_QUICK=1` shrinks the sweep for CI smoke runs.
 //!
-//! Every response is verified against the offline batch-path prediction
-//! of the model it targeted; the run reports throughput, p50/p99 latency
-//! and the mean requests-per-batch the micro-batcher achieved.
+//! Every prediction is verified against the offline batch-path result of
+//! the model it targeted. Typed `STATUS_OVERLOADED` sheds are counted
+//! separately — they are the backpressure contract working, not errors —
+//! but any mismatch, typed rejection, or transport error fails the run.
+//!
+//! `BENCH_serve.json` schema (all latencies are send→response, accepted
+//! requests only):
+//!
+//! ```json
+//! {
+//!   "bench": "serve",
+//!   "quick": false,
+//!   "config": {"models": 2, "requests": 12000, "clients": 8, "workers": 2,
+//!              "linger_us": 0, "max_batch": 512, "queue_cap": 4096},
+//!   "sweep": [
+//!     {"offered_rps": 10000.0, "achieved_rps": 9992.4,
+//!      "p50_us": 23.4, "p99_us": 387.0, "p999_us": 900.5,
+//!      "served": 12000, "overloaded": 0, "max_queue_depth": 12,
+//!      "mean_batch": 1.03, "mismatches": 0, "errors": 0}
+//!   ],
+//!   "overload": {"offered_rps": 60000.0, "queue_cap": 16, "linger_us": 2000,
+//!                "requests": 8000, "served": 992, "overloaded": 7008,
+//!                "max_queue_depth": 16, "p99_accepted_us": 2781.4,
+//!                "mismatches": 0, "errors": 0}
+//! }
+//! ```
+//!
+//! CI's release job gates on this file: non-empty sweep, ordered
+//! percentiles, zero mismatches/errors everywhere, `overloaded > 0` and
+//! `max_queue_depth <= queue_cap` in the probe, and a bounded
+//! `p99_accepted_us`.
 //!
 //! ```text
 //! cargo run --release -p poetbin_bench --bin loadgen -- \
 //!     [--models PATH,PATH,...] [--requests N] [--clients C] [--workers W] \
-//!     [--lingers US,US,...] [--max-batch B] [--open-loop REQ_PER_S]
+//!     [--lingers US,US,...] [--max-batch B] [--queue-cap Q] \
+//!     [--open-loop REQ_PER_S] [--slo] [--sweep RPS,RPS,...]
 //! ```
 //!
 //! Defaults: the checked-in `deep.poetbin2` and `tiny.poetbin2` fixtures
 //! (`--model PATH` is still accepted for a single model), 12 000
-//! requests, 8 clients, 2 workers, lingers `0,200` µs, closed-loop. Exits
-//! non-zero on any prediction mismatch, typed rejection or transport
-//! error.
+//! requests, 8 clients, 2 workers, lingers `0,200` µs, closed-loop.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use poetbin_bench::report::{self, Json};
 use poetbin_bits::{BitVec, FeatureMatrix};
 use poetbin_engine::ClassifierEngine;
 use poetbin_serve::{load_engine, Client, ModelRegistry, Response, ServeConfig, Server};
@@ -50,8 +84,13 @@ struct Args {
     workers: usize,
     lingers_us: Vec<u64>,
     max_batch: usize,
+    queue_cap: usize,
     /// Aggregate offered arrival rate in requests/s; `None` = closed-loop.
     open_loop: Option<f64>,
+    /// Run the SLO harness (rate sweep + overload probe + JSON artifact).
+    slo: bool,
+    /// Offered rates for the `--slo` sweep; empty = built-in defaults.
+    sweep: Vec<f64>,
 }
 
 impl Args {
@@ -67,10 +106,17 @@ impl Args {
             workers: 2,
             lingers_us: vec![0, 200],
             max_batch: 512,
+            queue_cap: 4096,
             open_loop: None,
+            slo: false,
+            sweep: Vec::new(),
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
+            if flag == "--slo" {
+                args.slo = true;
+                continue;
+            }
             let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
             match flag.as_str() {
                 "--model" => args.models = vec![PathBuf::from(value)],
@@ -81,12 +127,22 @@ impl Args {
                 "--clients" => args.clients = value.parse().map_err(|_| "bad --clients")?,
                 "--workers" => args.workers = value.parse().map_err(|_| "bad --workers")?,
                 "--max-batch" => args.max_batch = value.parse().map_err(|_| "bad --max-batch")?,
+                "--queue-cap" => args.queue_cap = value.parse().map_err(|_| "bad --queue-cap")?,
                 "--open-loop" => {
                     let rate: f64 = value.parse().map_err(|_| "bad --open-loop")?;
                     if rate <= 0.0 || !rate.is_finite() {
                         return Err("--open-loop rate must be positive".into());
                     }
                     args.open_loop = Some(rate);
+                }
+                "--sweep" => {
+                    args.sweep = value
+                        .split(',')
+                        .map(|v| v.trim().parse().map_err(|_| "bad --sweep"))
+                        .collect::<Result<_, _>>()?;
+                    if args.sweep.iter().any(|r: &f64| *r <= 0.0 || !r.is_finite()) {
+                        return Err("--sweep rates must be positive".into());
+                    }
                 }
                 "--lingers" => {
                     args.lingers_us = value
@@ -101,8 +157,11 @@ impl Args {
             || args.clients == 0
             || args.lingers_us.is_empty()
             || args.models.is_empty()
+            || args.queue_cap == 0
         {
-            return Err("models, requests, clients and lingers must be non-empty".into());
+            return Err(
+                "models, requests, clients, queue-cap and lingers must be non-empty".into(),
+            );
         }
         Ok(args)
     }
@@ -159,10 +218,15 @@ fn client_plan(engines: &[Arc<ClassifierEngine>], client: usize, per_client: usi
 }
 
 struct RunResult {
+    /// Send→response latencies of *accepted* (predicted) requests only.
     latencies_ns: Vec<u64>,
     wall: Duration,
     mismatches: u64,
     errors: u64,
+    /// Typed `STATUS_OVERLOADED` sheds observed by the clients.
+    overloaded: u64,
+    /// Highest total queue depth any sample saw during the run.
+    max_queue_depth: usize,
     mean_batch: f64,
     served: u64,
 }
@@ -175,32 +239,42 @@ fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
     sorted_ns[rank] as f64 / 1_000.0
 }
 
-fn start_server(engines: &[Arc<ClassifierEngine>], args: &Args, linger_us: u64) -> Server {
+fn build_config(args: &Args, linger_us: u64) -> ServeConfig {
+    ServeConfig {
+        workers: args.workers,
+        linger: Duration::from_micros(linger_us),
+        max_batch: args.max_batch,
+        queue_cap: args.queue_cap,
+        ..ServeConfig::default()
+    }
+}
+
+fn start_server(engines: &[Arc<ClassifierEngine>], config: ServeConfig) -> Server {
     let mut registry = ModelRegistry::new();
     for (k, engine) in engines.iter().enumerate() {
         registry.register(format!("m{k}"), Arc::clone(engine));
     }
-    let config = ServeConfig {
-        workers: args.workers,
-        linger: Duration::from_micros(linger_us),
-        max_batch: args.max_batch,
-    };
     Server::start(Arc::new(registry), "127.0.0.1:0", config).expect("bind")
 }
 
 /// Closed-loop: each client thread ping-pongs `predict_on` calls.
-fn run_closed(engines: &[Arc<ClassifierEngine>], args: &Args, linger_us: u64) -> RunResult {
-    let server = start_server(engines, args, linger_us);
+fn run_closed(
+    engines: &[Arc<ClassifierEngine>],
+    clients: usize,
+    requests: usize,
+    config: ServeConfig,
+) -> RunResult {
+    let server = start_server(engines, config);
     let addr = server.local_addr();
-    let per_client = args.requests.div_ceil(args.clients);
+    let per_client = requests.div_ceil(clients);
 
     let start = Instant::now();
-    let mut all_latencies: Vec<u64> = Vec::with_capacity(per_client * args.clients);
+    let mut all_latencies: Vec<u64> = Vec::with_capacity(per_client * clients);
     let mut mismatches = 0u64;
     let mut errors = 0u64;
     std::thread::scope(|scope| {
         let mut joins = Vec::new();
-        for c in 0..args.clients {
+        for c in 0..clients {
             joins.push(scope.spawn(move || {
                 let plan = client_plan(engines, c, per_client);
                 let mut latencies = Vec::with_capacity(per_client);
@@ -243,6 +317,8 @@ fn run_closed(engines: &[Arc<ClassifierEngine>], args: &Args, linger_us: u64) ->
         wall,
         mismatches,
         errors,
+        overloaded: 0,
+        max_queue_depth: 0,
         mean_batch,
         served,
     }
@@ -250,33 +326,48 @@ fn run_closed(engines: &[Arc<ClassifierEngine>], args: &Args, linger_us: u64) ->
 
 /// Open-loop: per client, a timer-paced sender injects requests on an
 /// absolute schedule while a separate receiver drains responses and
-/// measures send→response latency.
+/// measures send→response latency. A sampler thread polls the server's
+/// total queue depth throughout, so the artifact records the worst
+/// backlog the bounded queues ever reached.
 fn run_open(
     engines: &[Arc<ClassifierEngine>],
-    args: &Args,
-    linger_us: u64,
+    clients: usize,
+    requests: usize,
+    config: ServeConfig,
     rate: f64,
 ) -> RunResult {
-    let server = start_server(engines, args, linger_us);
+    let server = start_server(engines, config);
     let addr = server.local_addr();
-    let per_client = args.requests.div_ceil(args.clients);
+    let per_client = requests.div_ceil(clients);
     // Global inter-arrival gap; client `c` owns arrival slots
     // `c, c + clients, c + 2·clients, …` so the aggregate stream is
     // evenly spaced without coordination.
     let gap = Duration::from_secs_f64(1.0 / rate);
 
-    let mut all_latencies: Vec<u64> = Vec::with_capacity(per_client * args.clients);
+    let mut all_latencies: Vec<u64> = Vec::with_capacity(per_client * clients);
     let mut mismatches = 0u64;
     let mut errors = 0u64;
+    let mut overloaded = 0u64;
+    let sampling = AtomicBool::new(true);
+    let max_depth = AtomicUsize::new(0);
     let epoch = Instant::now();
     std::thread::scope(|scope| {
+        let server = &server;
+        let sampling = &sampling;
+        let max_depth = &max_depth;
+        let sampler = scope.spawn(move || {
+            while sampling.load(Ordering::Relaxed) {
+                max_depth.fetch_max(server.queue_depth(), Ordering::Relaxed);
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        });
         let mut joins = Vec::new();
-        for c in 0..args.clients {
+        for c in 0..clients {
             joins.push(scope.spawn(move || {
                 let plan = client_plan(engines, c, per_client);
                 let client = match Client::connect(addr) {
                     Ok(client) => client,
-                    Err(_) => return (Vec::new(), 0, per_client as u64),
+                    Err(_) => return (Vec::new(), 0, per_client as u64, 0),
                 };
                 let (mut tx, mut rx) = client.into_split();
                 let sent_at: Vec<AtomicU64> = (0..per_client).map(|_| AtomicU64::new(0)).collect();
@@ -287,7 +378,7 @@ fn run_open(
                     let send_half = s.spawn(move || {
                         let mut sent = 0u64;
                         for (i, target) in plan.iter().enumerate() {
-                            let target_at = epoch + gap * (c + i * args.clients) as u32;
+                            let target_at = epoch + gap * (c + i * clients) as u32;
                             loop {
                                 let now = Instant::now();
                                 if now >= target_at {
@@ -308,6 +399,7 @@ fn run_open(
                     let mut answered = 0u64;
                     let mut mismatches = 0u64;
                     let mut errors = 0u64;
+                    let mut overloaded = 0u64;
                     for _ in 0..per_client {
                         match rx.recv() {
                             Ok((id, Response::Class(class))) => {
@@ -318,7 +410,14 @@ fn run_open(
                                     mismatches += 1;
                                 }
                             }
-                            // A typed rejection should be impossible for
+                            // A typed shed is the backpressure contract
+                            // working; tallied, not an error. Latency is
+                            // only recorded for accepted requests.
+                            Ok((_, Response::Overloaded)) => {
+                                answered += 1;
+                                overloaded += 1;
+                            }
+                            // Any other typed rejection is impossible for
                             // well-formed traffic; count it as a mismatch.
                             Ok((_, _)) => {
                                 answered += 1;
@@ -331,16 +430,19 @@ fn run_open(
                     // Unsent requests and sent-but-unanswered requests both
                     // count as transport errors.
                     errors += (per_client as u64 - sent) + sent.saturating_sub(answered);
-                    (latencies, mismatches, errors)
+                    (latencies, mismatches, errors, overloaded)
                 })
             }));
         }
         for j in joins {
-            let (lat, mis, err) = j.join().expect("client thread");
+            let (lat, mis, err, ovl) = j.join().expect("client thread");
             all_latencies.extend(lat);
             mismatches += mis;
             errors += err;
+            overloaded += ovl;
         }
+        sampling.store(false, Ordering::Relaxed);
+        sampler.join().expect("sampler thread");
     });
     let wall = epoch.elapsed();
     let stats = server.stats();
@@ -352,8 +454,207 @@ fn run_open(
         wall,
         mismatches,
         errors,
+        overloaded,
+        max_queue_depth: max_depth.load(Ordering::Relaxed),
         mean_batch,
         served,
+    }
+}
+
+fn print_header() {
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>11} {:>9}",
+        "rate", "req/s", "p50_us", "p99_us", "p999_us", "served", "shed", "mean_batch", "errors"
+    );
+}
+
+fn print_row(label: &str, result: &RunResult) {
+    let rps = result.latencies_ns.len() as f64 / result.wall.as_secs_f64();
+    println!(
+        "{label:>10} {:>10.0} {:>10.1} {:>10.1} {:>10.1} {:>10} {:>10} {:>11.2} {:>9}",
+        rps,
+        percentile(&result.latencies_ns, 0.50),
+        percentile(&result.latencies_ns, 0.99),
+        percentile(&result.latencies_ns, 0.999),
+        result.served,
+        result.overloaded,
+        result.mean_batch,
+        result.mismatches + result.errors
+    );
+}
+
+/// One sweep entry of the `BENCH_serve.json` artifact.
+fn sweep_entry(offered_rps: f64, result: &RunResult) -> Json {
+    let achieved = result.latencies_ns.len() as f64 / result.wall.as_secs_f64();
+    Json::obj([
+        ("offered_rps", Json::Float(offered_rps)),
+        ("achieved_rps", Json::Float(achieved)),
+        (
+            "p50_us",
+            Json::Float(percentile(&result.latencies_ns, 0.50)),
+        ),
+        (
+            "p99_us",
+            Json::Float(percentile(&result.latencies_ns, 0.99)),
+        ),
+        (
+            "p999_us",
+            Json::Float(percentile(&result.latencies_ns, 0.999)),
+        ),
+        ("served", Json::Int(result.served as i64)),
+        ("overloaded", Json::Int(result.overloaded as i64)),
+        ("max_queue_depth", Json::Int(result.max_queue_depth as i64)),
+        ("mean_batch", Json::Float(result.mean_batch)),
+        ("mismatches", Json::Int(result.mismatches as i64)),
+        ("errors", Json::Int(result.errors as i64)),
+    ])
+}
+
+/// The SLO harness: an open-loop rate sweep at the first configured
+/// linger, then a deliberate overload probe (single worker, tiny queue,
+/// long linger) that must shed — demonstrating bounded queue depth and a
+/// bounded accepted-request tail while the server is saturated. Results
+/// land in `BENCH_serve.json`.
+fn run_slo(engines: &[Arc<ClassifierEngine>], args: &Args) -> ExitCode {
+    let quick = std::env::var("POETBIN_SERVE_QUICK").is_ok_and(|v| v == "1");
+    let rates: Vec<f64> = if !args.sweep.is_empty() {
+        args.sweep.clone()
+    } else if quick {
+        vec![10_000.0, 40_000.0]
+    } else {
+        vec![10_000.0, 40_000.0, 120_000.0]
+    };
+    let requests = if quick {
+        args.requests.min(4_000)
+    } else {
+        args.requests
+    };
+    let linger_us = args.lingers_us[0];
+
+    println!(
+        "SLO sweep: {requests} requests round-robin over {} models · {} senders · \
+         {} workers · linger {linger_us} µs · queue cap {} · rates {rates:?}",
+        engines.len(),
+        args.clients,
+        args.workers,
+        args.queue_cap,
+    );
+    print_header();
+    let mut failed = false;
+    let mut sweep_rows: Vec<Json> = Vec::new();
+    for &rate in &rates {
+        let result = run_open(
+            engines,
+            args.clients,
+            requests,
+            build_config(args, linger_us),
+            rate,
+        );
+        print_row(&format!("{rate:.0}"), &result);
+        if result.mismatches > 0 || result.errors > 0 {
+            eprintln!(
+                "loadgen: rate {rate:.0}: {} mismatches, {} transport errors",
+                result.mismatches, result.errors
+            );
+            failed = true;
+        }
+        sweep_rows.push(sweep_entry(rate, &result));
+    }
+
+    // Overload probe: one worker, a 16-slot queue, and a 2 ms linger
+    // throttle the server far below the offered rate, so the bounded
+    // queue must shed. Accepted requests still clear in ~one linger, so
+    // their p99 stays bounded even though the server is saturated.
+    let probe_rate = if quick { 30_000.0 } else { 60_000.0 };
+    let probe_requests = if quick { 2_000 } else { 8_000 };
+    let probe_queue_cap = 16usize;
+    let probe_linger_us = 2_000u64;
+    let probe_config = ServeConfig {
+        workers: 1,
+        linger: Duration::from_micros(probe_linger_us),
+        max_batch: args.max_batch,
+        queue_cap: probe_queue_cap,
+        ..ServeConfig::default()
+    };
+    println!(
+        "overload probe: {probe_requests} requests at {probe_rate:.0} req/s offered · \
+         1 worker · queue cap {probe_queue_cap} · linger {probe_linger_us} µs"
+    );
+    print_header();
+    let probe = run_open(
+        engines,
+        args.clients,
+        probe_requests,
+        probe_config,
+        probe_rate,
+    );
+    print_row("overload", &probe);
+    if probe.mismatches > 0 || probe.errors > 0 {
+        eprintln!(
+            "loadgen: overload probe: {} mismatches, {} transport errors",
+            probe.mismatches, probe.errors
+        );
+        failed = true;
+    }
+    if probe.overloaded == 0 {
+        eprintln!("loadgen: overload probe shed nothing — backpressure untested");
+        failed = true;
+    }
+    if probe.max_queue_depth > probe_queue_cap {
+        eprintln!(
+            "loadgen: overload probe queue depth {} exceeded its bound",
+            probe.max_queue_depth
+        );
+        failed = true;
+    }
+
+    let doc = Json::obj([
+        ("bench", Json::str("serve")),
+        ("quick", Json::Bool(quick)),
+        (
+            "config",
+            Json::obj([
+                ("models", Json::Int(engines.len() as i64)),
+                ("requests", Json::Int(requests as i64)),
+                ("clients", Json::Int(args.clients as i64)),
+                ("workers", Json::Int(args.workers as i64)),
+                ("linger_us", Json::Int(linger_us as i64)),
+                ("max_batch", Json::Int(args.max_batch as i64)),
+                ("queue_cap", Json::Int(args.queue_cap as i64)),
+            ]),
+        ),
+        ("sweep", Json::Arr(sweep_rows)),
+        (
+            "overload",
+            Json::obj([
+                ("offered_rps", Json::Float(probe_rate)),
+                ("queue_cap", Json::Int(probe_queue_cap as i64)),
+                ("linger_us", Json::Int(probe_linger_us as i64)),
+                ("requests", Json::Int(probe_requests as i64)),
+                ("served", Json::Int(probe.served as i64)),
+                ("overloaded", Json::Int(probe.overloaded as i64)),
+                ("max_queue_depth", Json::Int(probe.max_queue_depth as i64)),
+                (
+                    "p99_accepted_us",
+                    Json::Float(percentile(&probe.latencies_ns, 0.99)),
+                ),
+                ("mismatches", Json::Int(probe.mismatches as i64)),
+                ("errors", Json::Int(probe.errors as i64)),
+            ]),
+        ),
+    ]);
+    match report::write_named_root("serve", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("loadgen: writing BENCH_serve.json: {e}");
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("all accepted responses matched the offline batch path of their target model");
+        ExitCode::SUCCESS
     }
 }
 
@@ -385,6 +686,9 @@ fn main() -> ExitCode {
             }
         }
     }
+    if args.slo {
+        return run_slo(&engines, &args);
+    }
     match args.open_loop {
         Some(rate) => println!(
             "{} requests round-robin over {} models · {} open-loop senders at {rate:.0} req/s \
@@ -405,28 +709,16 @@ fn main() -> ExitCode {
             args.max_batch
         ),
     }
-    println!(
-        "{:>10} {:>10} {:>10} {:>10} {:>10} {:>11} {:>9}",
-        "linger_us", "req/s", "p50_us", "p99_us", "served", "mean_batch", "errors"
-    );
+    print_header();
 
     let mut failed = false;
     for &linger_us in &args.lingers_us {
+        let config = build_config(&args, linger_us);
         let result = match args.open_loop {
-            Some(rate) => run_open(&engines, &args, linger_us, rate),
-            None => run_closed(&engines, &args, linger_us),
+            Some(rate) => run_open(&engines, args.clients, args.requests, config, rate),
+            None => run_closed(&engines, args.clients, args.requests, config),
         };
-        let rps = result.latencies_ns.len() as f64 / result.wall.as_secs_f64();
-        println!(
-            "{:>10} {:>10.0} {:>10.1} {:>10.1} {:>10} {:>11.2} {:>9}",
-            linger_us,
-            rps,
-            percentile(&result.latencies_ns, 0.50),
-            percentile(&result.latencies_ns, 0.99),
-            result.served,
-            result.mean_batch,
-            result.mismatches + result.errors
-        );
+        print_row(&format!("{linger_us}us"), &result);
         if result.mismatches > 0 || result.errors > 0 {
             eprintln!(
                 "loadgen: linger {linger_us} µs: {} mismatches, {} transport errors",
@@ -438,7 +730,7 @@ fn main() -> ExitCode {
     if failed {
         ExitCode::FAILURE
     } else {
-        println!("all responses matched the offline batch path of their target model");
+        println!("all accepted responses matched the offline batch path of their target model");
         ExitCode::SUCCESS
     }
 }

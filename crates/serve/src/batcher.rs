@@ -1,8 +1,16 @@
-//! The adaptive micro-batching queue between connection readers and
-//! engine workers.
+//! The bounded, sharded micro-batching queues between the event loop and
+//! the engine workers.
+//!
+//! Each worker owns exactly one [`Shard`]. The poller thread distributes
+//! decoded requests round-robin with [`Shard::try_push`] — which **never
+//! blocks and never grows past the shard's capacity**: a push into a
+//! full (or closed) shard hands the request back, and the caller answers
+//! `STATUS_OVERLOADED` instead of queueing unbounded memory. Keeping one
+//! producer-side syscall thread and N single-consumer shards means the
+//! mutexes are uncontended in the common case; the condvar exists only
+//! to park an idle worker.
 
 use std::collections::VecDeque;
-use std::sync::mpsc::Sender;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -10,80 +18,90 @@ use poetbin_bits::BitVec;
 
 /// One parked request: the decoded feature row plus everything needed to
 /// route the prediction back to its originating connection.
+#[derive(Debug)]
 pub(crate) struct Pending {
     /// Registry id of the model this request is aimed at.
     pub model_id: u16,
     /// Client-chosen request id, echoed back in the response.
     pub id: u64,
+    /// Event-loop token of the originating connection.
+    pub conn: u64,
     /// The decoded feature row.
     pub row: BitVec,
-    /// The originating connection's response channel:
-    /// `(request id, status, class)`.
-    pub reply: Sender<(u64, u8, u16)>,
+    /// When the event loop decoded the request — the anchor for the
+    /// deadline-aware linger.
+    pub arrived: Instant,
 }
 
-struct QueueState {
+struct ShardState {
     queue: VecDeque<Pending>,
     open: bool,
 }
 
-/// A lock-protected pending queue with condvar-paced adaptive draining.
+/// One worker's bounded pending queue with deadline-aware adaptive
+/// draining.
 ///
-/// Connection readers [`push`](BatchQueue::push) decoded rows; engine
-/// workers [`pop_batch`](BatchQueue::pop_batch) up to 64 of them at a
-/// time. A worker that wakes to a partial word lingers briefly for
-/// stragglers — under load words fill instantly and the linger never
-/// triggers, while a lone request only ever pays the configured bound.
-pub(crate) struct BatchQueue {
-    state: Mutex<QueueState>,
+/// The linger in [`Shard::pop_batch`] is anchored to the **oldest queued
+/// request's arrival time**, not to the moment the worker woke: a worker
+/// that was busy evaluating the previous batch has already "spent" its
+/// linger and serves the backlog immediately, while a lone request on an
+/// idle worker waits out the full window for lane-mates. No request is
+/// ever held in the queue longer than the linger bound by batching
+/// alone.
+pub(crate) struct Shard {
+    state: Mutex<ShardState>,
     arrived: Condvar,
+    cap: usize,
 }
 
-impl BatchQueue {
-    pub(crate) fn new() -> BatchQueue {
-        BatchQueue {
-            state: Mutex::new(QueueState {
-                queue: VecDeque::new(),
+impl Shard {
+    /// An open shard holding at most `cap` requests.
+    pub(crate) fn new(cap: usize) -> Shard {
+        assert!(cap > 0, "a shard must hold at least one request");
+        Shard {
+            state: Mutex::new(ShardState {
+                queue: VecDeque::with_capacity(cap.min(4096)),
                 open: true,
             }),
             arrived: Condvar::new(),
+            cap,
         }
     }
 
-    /// Parks one request for the next batch. A request pushed after
-    /// [`BatchQueue::close`] is dropped on the floor: the workers are
-    /// gone, and holding it would pin its reply `Sender` forever, keeping
-    /// the connection's writer thread blocked and wedging shutdown.
-    pub(crate) fn push(&self, pending: Pending) {
+    /// Parks one request for the owning worker's next batch, or hands it
+    /// back when the shard is full or closed — the caller sheds it with
+    /// a typed `STATUS_OVERLOADED` response. Never blocks.
+    pub(crate) fn try_push(&self, pending: Pending) -> Result<(), Pending> {
         let mut state = self.state.lock().unwrap();
-        if !state.open {
-            return;
+        if !state.open || state.queue.len() >= self.cap {
+            return Err(pending);
         }
         state.queue.push_back(pending);
         drop(state);
         self.arrived.notify_one();
+        Ok(())
     }
 
-    /// Closes the queue: blocked and future `pop_batch` calls return any
-    /// remaining requests, then `false`.
+    /// Closes the shard: blocked and future `pop_batch` calls drain any
+    /// remaining requests, then return `false`; pushes bounce.
     pub(crate) fn close(&self) {
         self.state.lock().unwrap().open = false;
         self.arrived.notify_all();
     }
 
-    /// Queue depth right now (diagnostics only — stale by the time the
-    /// caller reads it).
+    /// Queue depth right now (stats/diagnostics only — stale by the time
+    /// the caller reads it).
     pub(crate) fn depth(&self) -> usize {
         self.state.lock().unwrap().queue.len()
     }
 
-    /// Blocks for the next batch, draining up to `max_batch` requests into
-    /// `out` (cleared first). Returns `false` — and drains nothing — only
-    /// once the queue is closed *and* empty.
+    /// Blocks for the next batch, draining up to `max_batch` requests
+    /// into `out` (cleared first). Returns `false` — and drains nothing —
+    /// only once the shard is closed *and* empty.
     ///
-    /// The adaptive part: the first request is waited for indefinitely,
-    /// but once one is in hand the worker only lingers up to `linger` for
-    /// the word to fill before serving a partial batch.
+    /// The first request is waited for indefinitely; once one is in hand
+    /// the worker lingers only until `oldest.arrived + linger` for the
+    /// block to fill before serving a partial batch.
     pub(crate) fn pop_batch(
         &self,
         max_batch: usize,
@@ -102,7 +120,10 @@ impl BatchQueue {
             if state.queue.len() >= max_batch || linger.is_zero() || !state.open {
                 break;
             }
-            let deadline = Instant::now() + linger;
+            // Deadline-aware: the window is measured from when the head
+            // request arrived, so queue time from batching is bounded by
+            // `linger` no matter how late the worker got here.
+            let deadline = state.queue.front().expect("non-empty").arrived + linger;
             loop {
                 let now = Instant::now();
                 if now >= deadline || state.queue.len() >= max_batch || !state.open {
@@ -114,9 +135,9 @@ impl BatchQueue {
                     break;
                 }
             }
-            // A sibling worker may have drained the queue while we
-            // lingered; never return an empty "batch" — go back to the
-            // blocking wait instead.
+            // Defensive: never return an empty "batch" (the queue cannot
+            // drain under a single-consumer shard, but the invariant is
+            // cheap to keep).
             if !state.queue.is_empty() {
                 break;
             }
@@ -130,30 +151,23 @@ impl BatchQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::mpsc::channel;
     use std::sync::Arc;
 
-    fn pending(id: u64) -> (Pending, std::sync::mpsc::Receiver<(u64, u8, u16)>) {
-        let (tx, rx) = channel();
-        (
-            Pending {
-                model_id: 0,
-                id,
-                row: BitVec::zeros(4),
-                reply: tx,
-            },
-            rx,
-        )
+    fn pending(id: u64) -> Pending {
+        Pending {
+            model_id: 0,
+            id,
+            conn: 0,
+            row: BitVec::zeros(4),
+            arrived: Instant::now(),
+        }
     }
 
     #[test]
     fn drains_in_fifo_order_up_to_max_batch() {
-        let q = BatchQueue::new();
-        let mut rxs = Vec::new();
+        let q = Shard::new(64);
         for id in 0..5 {
-            let (p, rx) = pending(id);
-            q.push(p);
-            rxs.push(rx);
+            q.try_push(pending(id)).expect("open and not full");
         }
         let mut out = Vec::new();
         assert!(q.pop_batch(3, Duration::ZERO, &mut out));
@@ -164,11 +178,30 @@ mod tests {
     }
 
     #[test]
-    fn close_drains_leftovers_then_reports_empty() {
-        let q = BatchQueue::new();
-        let (p, _rx) = pending(9);
-        q.push(p);
+    fn full_shard_bounces_the_push_back() {
+        let q = Shard::new(3);
+        for id in 0..3 {
+            q.try_push(pending(id)).expect("under capacity");
+        }
+        let bounced = q.try_push(pending(99)).expect_err("full shard must bounce");
+        assert_eq!(bounced.id, 99, "the rejected request comes back intact");
+        assert_eq!(q.depth(), 3, "a bounced push must not grow the queue");
+        // Draining frees capacity again.
+        let mut out = Vec::new();
+        assert!(q.pop_batch(64, Duration::ZERO, &mut out));
+        assert_eq!(out.len(), 3);
+        q.try_push(pending(100)).expect("space after drain");
+    }
+
+    #[test]
+    fn close_drains_leftovers_then_reports_empty_and_bounces_pushes() {
+        let q = Shard::new(64);
+        q.try_push(pending(9)).expect("open");
         q.close();
+        assert!(
+            q.try_push(pending(10)).is_err(),
+            "a closed shard must hand the request back, not drop it silently"
+        );
         let mut out = Vec::new();
         assert!(q.pop_batch(64, Duration::from_millis(50), &mut out));
         assert_eq!(out.len(), 1);
@@ -178,59 +211,57 @@ mod tests {
 
     #[test]
     fn linger_coalesces_requests_arriving_apart() {
-        let q = Arc::new(BatchQueue::new());
-        let (first, _rx1) = pending(1);
-        q.push(first);
+        let q = Arc::new(Shard::new(64));
+        q.try_push(pending(1)).expect("open");
         let q2 = Arc::clone(&q);
         let pusher = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(5));
-            let (late, rx) = pending(2);
-            q2.push(late);
-            rx
+            q2.try_push(pending(2)).expect("open");
         });
         let mut out = Vec::new();
         assert!(q.pop_batch(64, Duration::from_millis(500), &mut out));
         // The second request arrived well inside the linger window, so one
         // batch carries both.
         assert_eq!(out.len(), 2);
-        drop(pusher.join().unwrap());
+        pusher.join().unwrap();
     }
 
     #[test]
-    fn full_word_skips_the_linger() {
-        let q = BatchQueue::new();
-        let mut rxs = Vec::new();
+    fn linger_is_anchored_to_arrival_not_to_the_pop() {
+        let q = Shard::new(64);
+        q.try_push(pending(1)).expect("open");
+        // Simulate a worker that was busy past the linger window: the
+        // deadline (arrival + 20ms) is already behind us, so the pop must
+        // not wait at all.
+        std::thread::sleep(Duration::from_millis(25));
+        let start = Instant::now();
+        let mut out = Vec::new();
+        assert!(q.pop_batch(64, Duration::from_millis(20), &mut out));
+        assert_eq!(out.len(), 1);
+        assert!(
+            start.elapsed() < Duration::from_millis(15),
+            "an already-expired linger must serve immediately, waited {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn full_block_skips_the_linger() {
+        let q = Shard::new(128);
         for id in 0..64 {
-            let (p, rx) = pending(id);
-            q.push(p);
-            rxs.push(rx);
+            q.try_push(pending(id)).expect("open");
         }
         let start = Instant::now();
         let mut out = Vec::new();
-        // A pathological linger must not delay an already-full word.
+        // A pathological linger must not delay an already-full block.
         assert!(q.pop_batch(64, Duration::from_secs(5), &mut out));
         assert_eq!(out.len(), 64);
         assert!(start.elapsed() < Duration::from_secs(1));
     }
 
     #[test]
-    fn push_after_close_drops_the_request_and_its_reply_sender() {
-        let q = BatchQueue::new();
-        q.close();
-        let (p, rx) = pending(1);
-        q.push(p);
-        assert_eq!(q.depth(), 0, "closed queue must not retain requests");
-        // The reply Sender must have been dropped with the request, so a
-        // writer thread blocked on this channel disconnects instead of
-        // waiting forever.
-        assert!(rx.recv().is_err());
-        let mut out = Vec::new();
-        assert!(!q.pop_batch(64, Duration::ZERO, &mut out));
-    }
-
-    #[test]
     fn blocked_worker_wakes_on_close() {
-        let q = Arc::new(BatchQueue::new());
+        let q = Arc::new(Shard::new(64));
         let q2 = Arc::clone(&q);
         let worker = std::thread::spawn(move || {
             let mut out = Vec::new();

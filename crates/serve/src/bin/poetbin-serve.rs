@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! poetbin-serve MODEL... [--addr ADDR] [--workers N] [--linger-us U] \
-//!               [--max-batch B] [--features F]
+//!               [--max-batch B] [--features F] [--queue-cap Q] \
+//!               [--stats-addr ADDR]
 //! ```
 //!
 //! Each `MODEL` path is registered under its file stem (`deep.poetbin2`
@@ -12,7 +13,11 @@
 //! `--addr` defaults to `127.0.0.1:9009`; a bare positional address after
 //! the first model is still accepted for compatibility. `--features`
 //! applies to every model (each model's own minimum width is used when
-//! absent). The process serves until killed.
+//! absent). `--queue-cap` bounds each worker's pending queue (full ⇒
+//! requests are shed with `STATUS_OVERLOADED`); `--stats-addr` pins the
+//! plain-text stats/health listener (an ephemeral port on the data
+//! address otherwise — the chosen port is printed at startup). The
+//! process serves until killed.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -23,7 +28,7 @@ use poetbin_serve::{load_engine, ModelRegistry, ServeConfig, Server};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: poetbin-serve MODEL... [--addr ADDR] [--workers N] [--linger-us U] \
-         [--max-batch B] [--features F]"
+         [--max-batch B] [--features F] [--queue-cap Q] [--stats-addr ADDR]"
     );
     ExitCode::from(2)
 }
@@ -88,6 +93,17 @@ fn main() -> ExitCode {
                 Some(v) => features = Some(v),
                 None => return usage(),
             },
+            "--queue-cap" => match flag_value("--queue-cap") {
+                Some(v) if v > 0 => config.queue_cap = v,
+                _ => return usage(),
+            },
+            "--stats-addr" => match it.next().map(|v| v.parse()) {
+                Some(Ok(v)) => config.stats_addr = Some(v),
+                _ => {
+                    eprintln!("--stats-addr needs an IP:PORT value");
+                    return usage();
+                }
+            },
             other if other.starts_with("--") => {
                 eprintln!("unknown flag {other}");
                 return usage();
@@ -136,12 +152,15 @@ fn main() -> ExitCode {
         }
     };
     eprintln!(
-        "poetbin-serve: listening on {} ({} models, {} workers, linger {:?}, max batch {})",
+        "poetbin-serve: listening on {} ({} models, {} workers, linger {:?}, max batch {}, \
+         queue cap {}/worker), stats on {}",
         server.local_addr(),
         server.registry().len(),
         config.workers,
         config.linger,
-        config.max_batch
+        config.max_batch,
+        config.queue_cap,
+        server.stats_addr()
     );
     // Serve until killed: park this thread forever.
     loop {

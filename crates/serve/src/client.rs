@@ -6,7 +6,9 @@ use std::net::{TcpStream, ToSocketAddrs};
 
 use poetbin_bits::BitVec;
 
-use crate::protocol::{self, ModelInfo, STATUS_BAD_REQUEST, STATUS_OK, STATUS_UNKNOWN_MODEL};
+use crate::protocol::{
+    self, ModelInfo, STATUS_BAD_REQUEST, STATUS_OK, STATUS_OVERLOADED, STATUS_UNKNOWN_MODEL,
+};
 
 /// The server's answer to one request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -18,6 +20,9 @@ pub enum Response {
     /// The request was malformed for its model (wrong row width, or too
     /// short to parse).
     BadRequest,
+    /// The server shed the request because every bounded pending queue
+    /// was full; retry with backoff. The connection is still good.
+    Overloaded,
 }
 
 /// A connected protocol client.
@@ -148,7 +153,9 @@ impl Client {
     /// [`io::ErrorKind::InvalidData`] if the server rejects the request
     /// or the response carries a different request id (only possible when
     /// mixed with pipelined [`Client::send`] calls whose responses were
-    /// never collected).
+    /// never collected), and [`io::ErrorKind::WouldBlock`] if the server
+    /// shed the request as [`Response::Overloaded`] — the connection is
+    /// still usable; retry with backoff.
     pub fn predict_on(&mut self, model_id: u16, row: &BitVec) -> io::Result<usize> {
         let id = self.send_to(model_id, row)?;
         let (got, response) = self.recv()?;
@@ -167,6 +174,10 @@ impl Client {
             Response::BadRequest => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("server rejected request {id} as malformed"),
+            )),
+            Response::Overloaded => Err(io::Error::new(
+                io::ErrorKind::WouldBlock,
+                format!("server shed request {id}: every queue shard is full"),
             )),
         }
     }
@@ -276,6 +287,7 @@ impl ClientReceiver {
             STATUS_OK => Response::Class(class as usize),
             STATUS_UNKNOWN_MODEL => Response::UnknownModel,
             STATUS_BAD_REQUEST => Response::BadRequest,
+            STATUS_OVERLOADED => Response::Overloaded,
             other => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,

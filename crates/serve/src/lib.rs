@@ -15,22 +15,40 @@
 //!   frames and receive `(request_id, status, class)` responses,
 //!   pipelined as deeply as they like. Malformed requests get typed
 //!   error responses; the connection lives on.
-//! * **The adaptive micro-batcher** (internal; tuned via [`ServeConfig`])
-//!   parks decoded rows in a lock-protected queue. Worker shards drain up
-//!   to `64 · 8` of them at a time — a partial batch lingers a
-//!   configurable few hundred microseconds for stragglers, so light
-//!   traffic keeps its latency while heavy traffic packs full blocks.
-//! * **Worker shards** group each drained batch by model and share every
-//!   model's immutable compiled plan behind an `Arc`; each group is
-//!   packed with [`poetbin_bits::pack_block_rows`] (one 64×64 transpose
-//!   per tile) and evaluated with
+//! * **The event loop** (internal): a single poller thread owns every
+//!   socket through a vendored epoll shim — nonblocking accept, reads
+//!   into per-connection buffers with frame reassembly across split
+//!   reads, buffered writes with flow control. A connection whose peer
+//!   stops draining responses has its *reads* paused once the write
+//!   backlog passes [`ServeConfig::write_buf_cap`], so a slow reader
+//!   throttles itself instead of the server; a dead peer tears down both
+//!   halves at once.
+//! * **Bounded micro-batch queues** (tuned via [`ServeConfig`]): decoded
+//!   rows go round-robin into per-worker shards of capacity
+//!   [`ServeConfig::queue_cap`]. When every shard is full the request is
+//!   shed immediately with a typed
+//!   [`protocol::STATUS_OVERLOADED`] response — queue memory and the
+//!   queueing delay of *accepted* requests stay bounded no matter the
+//!   offered load. A partial batch lingers a configurable few hundred
+//!   microseconds (measured from the oldest request's arrival) for
+//!   stragglers, so light traffic keeps its latency while heavy traffic
+//!   packs full blocks.
+//! * **Engine workers** drain up to `64 · 8` requests from their shard,
+//!   group them by model, and share every model's immutable compiled
+//!   plan behind an `Arc`; each group is packed with
+//!   [`poetbin_bits::pack_block_rows`] (one 64×64 transpose per tile)
+//!   and evaluated with
 //!   [`poetbin_engine::ClassifierEngine::predict_block_into`] — masked
 //!   partial-word tail evaluation, zero allocation on the hot path — then
-//!   every argmax is routed back to its originating connection. Engines
-//!   swapped through the registry take effect between batches, never
-//!   inside one.
+//!   every argmax is routed back through the poller to its originating
+//!   connection. Engines swapped through the registry take effect
+//!   between batches, never inside one.
+//! * **Observability**: a second plain-text listener
+//!   ([`Server::stats_addr`]) reports the global counters, per-shard
+//!   queue depths, and per-model lines to anything that connects.
 //!
-//! The server is std-only: no async runtime, no network dependencies.
+//! The server is std-only: no async runtime, no network dependencies
+//! (the epoll surface is a vendored in-tree shim, like `rand`/`serde`).
 //!
 //! # Quickstart
 //!
@@ -58,14 +76,16 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 //!
-//! Throughput/latency numbers come from the closed-loop load generator:
-//! `cargo run --release -p poetbin_bench --bin loadgen`.
+//! Throughput/latency numbers come from the load generator
+//! (`cargo run --release -p poetbin_bench --bin loadgen`): closed-loop
+//! for capacity, `--open-loop` rate sweeps for the latency SLO curves.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod batcher;
 mod client;
+mod event_loop;
 pub mod protocol;
 mod registry;
 mod server;

@@ -39,6 +39,19 @@
 //! then [`BAD_FRAME_ID`]). Only an unparseable *frame* — a length prefix
 //! past the server's limit — still drops the connection, because the
 //! stream can no longer be resynchronised.
+//!
+//! # Load shedding
+//!
+//! The server's pending queues are **bounded**. A well-formed request
+//! that arrives while every queue is full is *shed*: it is answered
+//! immediately with [`STATUS_OVERLOADED`] (the request id echoed,
+//! `class` meaningless) and never reaches the engine. The connection
+//! survives — overload is a property of the server's current load, not
+//! of the client's stream — and the client should retry with backoff.
+//! Shedding is what keeps server memory and the queueing delay of
+//! *accepted* requests bounded under open-loop overload: without it, an
+//! arrival rate above engine capacity grows the pending queue (and every
+//! latency percentile) without bound.
 
 use std::io::{self, Read, Write};
 
@@ -56,6 +69,10 @@ pub const STATUS_UNKNOWN_MODEL: u8 = 1;
 /// Response status: the request payload was malformed for its model
 /// (wrong row width, or too short to carry a request header).
 pub const STATUS_BAD_REQUEST: u8 = 2;
+/// Response status: the request was well-formed but every bounded
+/// pending queue was full, so the server shed it before evaluation;
+/// `class` is meaningless. The connection survives — retry with backoff.
+pub const STATUS_OVERLOADED: u8 = 3;
 
 /// The request id echoed on a [`STATUS_BAD_REQUEST`] response to a
 /// payload too short to carry a real id.
@@ -316,6 +333,8 @@ mod tests {
             decode_response(&payload),
             Some((7, STATUS_UNKNOWN_MODEL, 0))
         );
+        let payload = encode_response(8, STATUS_OVERLOADED, 0);
+        assert_eq!(decode_response(&payload), Some((8, STATUS_OVERLOADED, 0)));
         assert_eq!(decode_response(&payload[..9]), None);
     }
 

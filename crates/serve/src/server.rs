@@ -1,38 +1,60 @@
-//! The multi-threaded TCP server: acceptor, per-connection reader/writer
-//! threads, and engine worker shards draining the micro-batch queue
-//! across every registered model.
+//! The serving core: one epoll poller thread owning every socket, N
+//! engine worker threads draining bounded per-worker queues, and the
+//! orchestration (startup, stats, two-phase shutdown) tying them
+//! together.
+//!
+//! Thread layout (contrast with the old thread-per-connection design,
+//! which spent two threads on every socket):
+//!
+//! * **`poetbin-poller`** — the event loop
+//!   ([`event_loop`](crate::event_loop) module): nonblocking accept,
+//!   read, frame reassembly, request decode, shard dispatch (or typed
+//!   shed when every queue is full), response writes, and the stats
+//!   endpoint. The only thread that touches a socket.
+//! * **`poetbin-worker-{i}`** — one per [`ServeConfig::workers`]; each
+//!   owns one bounded [`Shard`], blocks on it for the next micro-batch
+//!   (deadline-aware linger), evaluates it on the compiled engine, and
+//!   hands completions back to the poller through a channel + waker.
+//!
+//! Shutdown is two-phase so no response is dropped: `stop` closes the
+//! shards (workers drain what is queued, then exit) and stops the poller
+//! accepting/parsing; once the workers are joined, `finishing` lets the
+//! poller route the last completions, flush every socket, and exit.
 
 use std::collections::HashMap;
 use std::fmt;
-use std::io::{self, BufReader};
-use std::net::{
-    IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs,
-};
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use epoll::Waker;
 use poetbin_bits::pack_block_rows_into;
 use poetbin_core::persist::{load_classifier_from, PersistError};
 use poetbin_engine::{ClassifierEngine, Scratch, MAX_BLOCK_WORDS};
 use poetbin_fpga::NetlistError;
 
-use crate::batcher::{BatchQueue, Pending};
-use crate::protocol::{self, BAD_FRAME_ID, STATUS_BAD_REQUEST, STATUS_OK, STATUS_UNKNOWN_MODEL};
+use crate::batcher::{Pending, Shard};
+use crate::event_loop::{Completion, EventLoop, EventLoopParts};
+use crate::protocol::{STATUS_OK, STATUS_UNKNOWN_MODEL};
 use crate::registry::ModelRegistry;
 
 /// Tuning knobs for [`Server::start`].
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
-    /// Engine worker shards draining the batch queue. Each owns one
-    /// reusable [`poetbin_engine::Scratch`] per model; more shards overlap
-    /// tape evaluation with request decode on multi-core hosts.
+    /// Engine worker threads, each draining its own bounded queue shard.
+    /// Each owns one reusable [`poetbin_engine::Scratch`] per model; more
+    /// workers overlap tape evaluation with request decode on multi-core
+    /// hosts.
     pub workers: usize,
     /// How long a worker holding a partial batch waits for stragglers
-    /// before serving it. Zero disables coalescing entirely (every
-    /// request that finds an idle worker is served alone).
+    /// before serving it, measured **from the oldest queued request's
+    /// arrival** (a worker that was busy has already spent its linger and
+    /// serves the backlog immediately). Zero disables coalescing entirely
+    /// (every request that finds an idle worker is served alone).
     pub linger: Duration,
     /// Requests per queue drain, at most 512 (64 lanes × the engine's
     /// 8-word lane blocks). A worker drains up to this many requests,
@@ -41,6 +63,28 @@ pub struct ServeConfig {
     /// ([`ClassifierEngine::predict_block_into`]), the final partial word
     /// masked.
     pub max_batch: usize,
+    /// Capacity of each worker's pending queue. A request arriving while
+    /// **every** shard is full is shed with
+    /// [`STATUS_OVERLOADED`](crate::protocol::STATUS_OVERLOADED) instead
+    /// of queueing — this is what bounds server memory and the queueing
+    /// delay of accepted requests under open-loop overload.
+    pub queue_cap: usize,
+    /// Per-connection write backlog (bytes) past which the server stops
+    /// *reading* that connection until the backlog halves. A peer that
+    /// does not consume its responses therefore stops generating engine
+    /// work instead of growing an unbounded buffer.
+    pub write_buf_cap: usize,
+    /// Where to bind the plain-text stats/health listener. `None` binds
+    /// an ephemeral port on the data listener's address (see
+    /// [`Server::stats_addr`]).
+    pub stats_addr: Option<SocketAddr>,
+    /// Kernel socket buffer clamp (`SO_SNDBUF`/`SO_RCVBUF`, bytes) for
+    /// accepted data connections; `None` keeps the kernel defaults.
+    /// Bounding these caps the kernel-side memory a slow or dead peer
+    /// can pin, and makes the [`write_buf_cap`](Self::write_buf_cap)
+    /// read-pausing backpressure engage promptly instead of after
+    /// megabytes of kernel buffering.
+    pub sock_buf: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -49,6 +93,10 @@ impl Default for ServeConfig {
             workers: 2,
             linger: Duration::from_micros(200),
             max_batch: 64 * MAX_BLOCK_WORDS,
+            queue_cap: 4096,
+            write_buf_cap: 256 * 1024,
+            stats_addr: None,
+            sock_buf: None,
         }
     }
 }
@@ -56,23 +104,33 @@ impl Default for ServeConfig {
 /// Monotonic whole-server counters; read them through [`Server::stats`].
 /// Per-model counters live in the registry
 /// ([`ModelRegistry::stats`](crate::ModelRegistry::stats)).
+///
+/// The counters reconcile: every well-formed request is counted exactly
+/// once, as `received` (accepted into a queue, later `served`),
+/// `overloaded` (shed), or `rejected` (typed error) — so at quiescence
+/// `received == served` holds even across a shutdown that sheds its
+/// tail.
 #[derive(Debug, Default)]
 pub struct ServerStats {
-    received: AtomicU64,
-    served: AtomicU64,
-    batches: AtomicU64,
-    connections: AtomicU64,
-    protocol_errors: AtomicU64,
-    rejected: AtomicU64,
+    pub(crate) received: AtomicU64,
+    pub(crate) served: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) connections: AtomicU64,
+    pub(crate) protocol_errors: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) overloaded: AtomicU64,
 }
 
 impl ServerStats {
-    /// Requests decoded off connections so far (all models).
+    /// Requests accepted into a pending queue so far (all models). Shed
+    /// and rejected requests are *not* counted here — see
+    /// [`overloaded`](Self::overloaded) and [`rejected`](Self::rejected)
+    /// — so this reconciles with [`served`](Self::served) at quiescence.
     pub fn received(&self) -> u64 {
         self.received.load(Ordering::Relaxed)
     }
 
-    /// Predictions routed back to clients so far (all models).
+    /// Predictions routed back toward clients so far (all models).
     pub fn served(&self) -> u64 {
         self.served.load(Ordering::Relaxed)
     }
@@ -87,10 +145,10 @@ impl ServerStats {
         self.connections.load(Ordering::Relaxed)
     }
 
-    /// Connections dropped because the *stream* became unparseable (a
-    /// length prefix past the server's frame limit). Malformed but
-    /// well-framed requests are answered, not dropped — see
-    /// [`rejected`](Self::rejected).
+    /// Connections whose *stream* became unparseable (a length prefix
+    /// past the server's frame limit) and were therefore closed.
+    /// Malformed but well-framed requests are answered, not dropped —
+    /// see [`rejected`](Self::rejected).
     pub fn protocol_errors(&self) -> u64 {
         self.protocol_errors.load(Ordering::Relaxed)
     }
@@ -99,6 +157,13 @@ impl ServerStats {
     /// short request payload). The connection survives these.
     pub fn rejected(&self) -> u64 {
         self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Well-formed requests shed with
+    /// [`STATUS_OVERLOADED`](crate::protocol::STATUS_OVERLOADED) because
+    /// every bounded queue shard was full (or closing under shutdown).
+    pub fn overloaded(&self) -> u64 {
+        self.overloaded.load(Ordering::Relaxed)
     }
 
     /// Mean requests per evaluated batch — the lane-occupancy figure the
@@ -186,14 +251,27 @@ pub fn load_engine(
 /// A running inference server; dropping or [`Server::shutdown`]ing it
 /// stops every thread.
 ///
-/// One acceptor thread hands each connection a reader thread (decodes
-/// request frames into the shared batch queue) and a writer thread
-/// (owns the write half, draining an mpsc channel of responses). Worker
-/// shards blocked on the queue coalesce up to `max_batch ≤ 512` requests,
-/// group them by model, and evaluate each group as a single packed
-/// lane-word block in one blocked tape pass — each model's immutable
-/// compiled plan is shared behind an [`Arc`], so every shard evaluates
-/// the same tape with its own scratch.
+/// A single poller thread owns every socket: it accepts nonblocking
+/// connections, reassembles request frames from per-connection read
+/// buffers, and dispatches decoded requests round-robin into the
+/// workers' **bounded** queue shards — answering
+/// [`STATUS_OVERLOADED`](crate::protocol::STATUS_OVERLOADED) immediately
+/// when every shard is full, so neither queue memory nor the queueing
+/// delay of accepted requests grows without bound. Worker threads
+/// blocked on their shard coalesce up to `max_batch ≤ 512` requests
+/// (linger measured from the oldest request's arrival), group them by
+/// model, and evaluate each group as a single packed lane-word block in
+/// one blocked tape pass — each model's immutable compiled plan is
+/// shared behind an [`Arc`], so every worker evaluates the same tape
+/// with its own scratch. Completions flow back to the poller over a
+/// channel (an `eventfd` waker interrupts its `epoll_wait`), which
+/// writes responses as far as each socket allows and buffers the rest —
+/// pausing reads on any connection whose peer stops draining its
+/// responses.
+///
+/// A second, plain-text listener ([`Server::stats_addr`]) answers every
+/// connection with a `key value` health report (counters, queue depths,
+/// per-model lines) and closes.
 ///
 /// Engines can be hot-swapped through the shared [`ModelRegistry`] while
 /// the server runs: batches in flight finish on the engine they
@@ -217,99 +295,138 @@ pub fn load_engine(
 /// ```
 pub struct Server {
     addr: SocketAddr,
+    stats_addr: SocketAddr,
     registry: Arc<ModelRegistry>,
-    queue: Arc<BatchQueue>,
+    shards: Arc<Vec<Shard>>,
     stats: Arc<ServerStats>,
     stopping: Arc<AtomicBool>,
-    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
-    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    core_threads: Vec<JoinHandle<()>>,
+    finishing: Arc<AtomicBool>,
+    waker: Arc<Waker>,
+    worker_threads: Vec<JoinHandle<()>>,
+    poller_thread: Option<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
-    /// acceptor plus `config.workers` engine shards serving every model
-    /// in `registry`.
+    /// Binds `addr` (use port 0 for an ephemeral port) plus the stats
+    /// listener, and starts the poller and `config.workers` engine
+    /// workers serving every model in `registry`.
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// Propagates bind, epoll/eventfd setup, or thread-spawn failure.
     ///
     /// # Panics
     ///
-    /// Panics if the registry is empty, `config.workers == 0`, or
-    /// `config.max_batch` is not in `1..=512`.
+    /// Panics if the registry is empty, `config.workers == 0`,
+    /// `config.max_batch` is not in `1..=512`, or a capacity is zero.
     pub fn start(
         registry: Arc<ModelRegistry>,
         addr: impl ToSocketAddrs,
         config: ServeConfig,
     ) -> io::Result<Server> {
         assert!(!registry.is_empty(), "registry has no models to serve");
-        assert!(config.workers > 0, "need at least one worker shard");
+        assert!(config.workers > 0, "need at least one worker");
         assert!(
             (1..=64 * MAX_BLOCK_WORDS).contains(&config.max_batch),
             "max_batch must be in 1..={}",
             64 * MAX_BLOCK_WORDS
         );
+        assert!(config.queue_cap > 0, "queue_cap must be positive");
+        assert!(config.write_buf_cap > 0, "write_buf_cap must be positive");
+
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let queue = Arc::new(BatchQueue::new());
+        let stats_listener = TcpListener::bind(
+            config
+                .stats_addr
+                .unwrap_or_else(|| SocketAddr::new(addr.ip(), 0)),
+        )?;
+        let stats_addr = stats_listener.local_addr()?;
+
+        let shards: Arc<Vec<Shard>> = Arc::new(
+            (0..config.workers)
+                .map(|_| Shard::new(config.queue_cap))
+                .collect(),
+        );
         let stats = Arc::new(ServerStats::default());
         let stopping = Arc::new(AtomicBool::new(false));
-        let conns = Arc::new(Mutex::new(HashMap::new()));
-        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let finishing = Arc::new(AtomicBool::new(false));
+        let waker = Arc::new(Waker::new()?);
+        let (completion_tx, completion_rx) = mpsc::channel::<Completion>();
 
-        let mut core_threads = Vec::with_capacity(config.workers + 1);
-        for shard in 0..config.workers {
+        // Build the event loop up front so fd registration failures
+        // surface here instead of inside a silent thread.
+        let event_loop = EventLoop::new(EventLoopParts {
+            listener,
+            stats_listener,
+            registry: Arc::clone(&registry),
+            shards: Arc::clone(&shards),
+            stats: Arc::clone(&stats),
+            waker: Arc::clone(&waker),
+            completions: completion_rx,
+            stopping: Arc::clone(&stopping),
+            finishing: Arc::clone(&finishing),
+            write_buf_cap: config.write_buf_cap,
+            sock_buf: config.sock_buf,
+        })?;
+
+        let mut worker_threads = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
             let registry = Arc::clone(&registry);
-            let queue = Arc::clone(&queue);
+            let shards = Arc::clone(&shards);
             let stats = Arc::clone(&stats);
+            let completions = completion_tx.clone();
+            let waker = Arc::clone(&waker);
             let (linger, max_batch) = (config.linger, config.max_batch);
-            core_threads.push(
+            worker_threads.push(
                 std::thread::Builder::new()
-                    .name(format!("poetbin-worker-{shard}"))
-                    .spawn(move || worker_loop(&registry, &queue, &stats, max_batch, linger))?,
-            );
-        }
-        {
-            let registry = Arc::clone(&registry);
-            let queue = Arc::clone(&queue);
-            let stats = Arc::clone(&stats);
-            let stopping = Arc::clone(&stopping);
-            let conns = Arc::clone(&conns);
-            let conn_threads = Arc::clone(&conn_threads);
-            core_threads.push(
-                std::thread::Builder::new()
-                    .name("poetbin-accept".into())
+                    .name(format!("poetbin-worker-{i}"))
                     .spawn(move || {
-                        accept_loop(
-                            &listener,
+                        worker_loop(
                             &registry,
-                            &queue,
+                            &shards[i],
                             &stats,
-                            &stopping,
-                            &conns,
-                            &conn_threads,
+                            &completions,
+                            &waker,
+                            max_batch,
+                            linger,
                         );
                     })?,
             );
         }
+        // Only workers hold senders now: once they exit, the poller's
+        // drain sees the disconnect and knows nothing more is coming.
+        drop(completion_tx);
+
+        let poller_thread = std::thread::Builder::new()
+            .name("poetbin-poller".into())
+            .spawn(move || event_loop.run())?;
 
         Ok(Server {
             addr,
+            stats_addr,
             registry,
-            queue,
+            shards,
             stats,
             stopping,
-            conns,
-            conn_threads,
-            core_threads,
+            finishing,
+            waker,
+            worker_threads,
+            poller_thread: Some(poller_thread),
         })
     }
 
-    /// The bound address (with the real port when started on port 0).
+    /// The bound data address (with the real port when started on port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The stats/health listener's address. Any connection to it is
+    /// answered with a plain-text `key value` report (global counters,
+    /// per-shard queue depths, per-model lines) behind a minimal HTTP
+    /// response header, then closed.
+    pub fn stats_addr(&self) -> SocketAddr {
+        self.stats_addr
     }
 
     /// The registry this server routes requests through — the handle for
@@ -323,218 +440,75 @@ impl Server {
         &self.stats
     }
 
-    /// Requests currently parked waiting for a word (diagnostics only).
-    pub fn queue_depth(&self) -> usize {
-        self.queue.depth()
+    /// An owned handle to the counters that outlives the server — for
+    /// reading the final tallies after [`shutdown`](Self::shutdown)
+    /// consumes it.
+    pub fn stats_handle(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.stats)
     }
 
-    /// Stops accepting, drains the queue, and joins every thread.
-    /// Already-parked requests are still evaluated; their responses reach
-    /// any connection that is still open.
+    /// Requests currently parked across all queue shards (diagnostics
+    /// only — stale by the time the caller reads it). Bounded by
+    /// `workers × queue_cap` by construction.
+    pub fn queue_depth(&self) -> usize {
+        self.shards.iter().map(|s| s.depth()).sum()
+    }
+
+    /// Stops accepting, drains the queues, flushes every response, and
+    /// joins every thread. Already-queued requests are still evaluated;
+    /// their responses reach any connection that is still open.
     pub fn shutdown(mut self) {
         self.stop();
-        for t in self.core_threads.drain(..) {
+        // Workers drain their closed shards, push the last completions,
+        // and exit.
+        for t in self.worker_threads.drain(..) {
             let _ = t.join();
         }
-        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.conn_threads.lock().unwrap());
-        for t in handles {
+        // Now every completion is in the channel: let the poller route
+        // and flush them, then exit.
+        self.finishing.store(true, Ordering::SeqCst);
+        let _ = self.waker.wake();
+        if let Some(t) = self.poller_thread.take() {
             let _ = t.join();
         }
     }
 
     fn stop(&self) {
         self.stopping.store(true, Ordering::SeqCst);
-        self.queue.close();
-        // Unblock the acceptor with a throwaway connection, then yank every
-        // live connection so blocked readers return. A wildcard bind
-        // (0.0.0.0 / [::]) is not connectable on every platform — aim the
-        // wake-up at the loopback equivalent instead.
-        let mut wake = self.addr;
-        if wake.ip().is_unspecified() {
-            wake.set_ip(match wake {
-                SocketAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
-                SocketAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
-            });
+        for shard in self.shards.iter() {
+            shard.close();
         }
-        let _ = TcpStream::connect(wake);
-        for stream in self.conns.lock().unwrap().values() {
-            let _ = stream.shutdown(Shutdown::Both);
-        }
+        let _ = self.waker.wake();
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
+        // `shutdown` consumed-and-dropped lands here too; both flags are
+        // already set then and the extra wake is harmless. A bare drop
+        // stops every thread without joining it.
         if !self.stopping.load(Ordering::SeqCst) {
             self.stop();
         }
+        self.finishing.store(true, Ordering::SeqCst);
+        let _ = self.waker.wake();
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    registry: &Arc<ModelRegistry>,
-    queue: &Arc<BatchQueue>,
-    stats: &Arc<ServerStats>,
-    stopping: &Arc<AtomicBool>,
-    conns: &Arc<Mutex<HashMap<u64, TcpStream>>>,
-    conn_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
-    let mut next_conn = 0u64;
-    loop {
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => {
-                if stopping.load(Ordering::SeqCst) {
-                    return;
-                }
-                // A persistent failure (fd exhaustion, say) would
-                // otherwise busy-spin this thread at 100% exactly when
-                // the process is already resource-starved.
-                std::thread::sleep(Duration::from_millis(10));
-                continue;
-            }
-        };
-        if stopping.load(Ordering::SeqCst) {
-            return;
-        }
-        stats.connections.fetch_add(1, Ordering::Relaxed);
-        let conn_id = next_conn;
-        next_conn += 1;
-        if let Ok(clone) = stream.try_clone() {
-            conns.lock().unwrap().insert(conn_id, clone);
-        }
-        let registry = Arc::clone(registry);
-        let queue = Arc::clone(queue);
-        let conn_stats = Arc::clone(stats);
-        let conns_for_cleanup = Arc::clone(conns);
-        let conn_threads_inner = Arc::clone(conn_threads);
-        let spawned = std::thread::Builder::new()
-            .name(format!("poetbin-conn-{conn_id}"))
-            .spawn(move || {
-                connection_loop(stream, &registry, &queue, &conn_stats, &conn_threads_inner);
-                conns_for_cleanup.lock().unwrap().remove(&conn_id);
-            });
-        match spawned {
-            Ok(handle) => {
-                // Reap handles of connections that have already finished
-                // (dropping a finished JoinHandle just detaches it), so
-                // the registry stays proportional to *live* connections
-                // over an arbitrarily long server lifetime.
-                let mut handles = conn_threads.lock().unwrap();
-                handles.retain(|h| !h.is_finished());
-                handles.push(handle);
-            }
-            Err(_) => {
-                // Could not spawn a thread for it (resource exhaustion):
-                // release the registry's stream clone, closing the
-                // connection rather than leaking it.
-                conns.lock().unwrap().remove(&conn_id);
-            }
-        }
-    }
-}
-
-/// Reads request frames off one connection into the batch queue; the
-/// paired writer thread (spawned here) owns the write half.
-///
-/// The length prefix keeps the stream frame-aligned through malformed
-/// *payloads*, so those are answered with typed error responses and the
-/// connection lives on. Only an unparseable frame — a length prefix past
-/// the largest request any registered model can produce — still drops
-/// the connection: the bytes after it cannot be resynchronised.
-fn connection_loop(
-    mut stream: TcpStream,
-    registry: &ModelRegistry,
-    queue: &BatchQueue,
-    stats: &ServerStats,
-    conn_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
-    let _ = stream.set_nodelay(true);
-    if protocol::write_hello(&mut stream, &registry.infos()).is_err() {
-        return;
-    }
-    let write_half = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    let (reply_tx, reply_rx) = mpsc::channel::<(u64, u8, u16)>();
-    let writer = std::thread::Builder::new()
-        .name("poetbin-conn-writer".into())
-        .spawn(move || writer_loop(write_half, &reply_rx));
-    if let Ok(handle) = writer {
-        conn_threads.lock().unwrap().push(handle);
-    }
-
-    let max_payload = registry.max_request_payload();
-    let mut reader = BufReader::new(stream.try_clone().unwrap_or(stream));
-    loop {
-        match protocol::read_frame(&mut reader, max_payload) {
-            Ok(Some(payload)) => {
-                let reject = |id: u64, status: u8| {
-                    stats.rejected.fetch_add(1, Ordering::Relaxed);
-                    let _ = reply_tx.send((id, status, 0));
-                };
-                let Some((model_id, id, bits)) = protocol::decode_request(&payload) else {
-                    // Too short to even carry a request id; echo the
-                    // sentinel so the client can at least count it.
-                    reject(BAD_FRAME_ID, STATUS_BAD_REQUEST);
-                    continue;
-                };
-                let Some(num_features) = registry.num_features(model_id) else {
-                    reject(id, STATUS_UNKNOWN_MODEL);
-                    continue;
-                };
-                let Some(row) = protocol::decode_row(bits, num_features) else {
-                    reject(id, STATUS_BAD_REQUEST);
-                    continue;
-                };
-                stats.received.fetch_add(1, Ordering::Relaxed);
-                if let Some(model_stats) = registry.stats(model_id) {
-                    model_stats.add_received(1);
-                }
-                queue.push(Pending {
-                    model_id,
-                    id,
-                    row,
-                    reply: reply_tx.clone(),
-                });
-            }
-            Ok(None) => break,
-            Err(e) => {
-                if e.kind() == io::ErrorKind::InvalidData {
-                    stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                }
-                break;
-            }
-        }
-    }
-    // Close the read half; the writer keeps running until every in-flight
-    // reply for this connection has been delivered (all queue-held Sender
-    // clones dropped), then exits on channel disconnect.
-    let _ = reader.get_ref().shutdown(Shutdown::Read);
-}
-
-fn writer_loop(mut stream: TcpStream, replies: &mpsc::Receiver<(u64, u8, u16)>) {
-    while let Ok((id, status, class)) = replies.recv() {
-        let payload = protocol::encode_response(id, status, class);
-        if protocol::write_frame(&mut stream, &payload).is_err() {
-            return;
-        }
-    }
-}
-
-/// One engine shard: drain up to a lane block's worth of requests
-/// (`64 · B`), group them by model, pack each group and evaluate it in
-/// one blocked tape pass, route each argmax back to its connection.
+/// One engine worker: block on this worker's shard for up to a lane
+/// block's worth of requests (`64 · B`), group them by model, pack each
+/// group and evaluate it in one blocked tape pass, hand each argmax to
+/// the poller as a [`Completion`] and ring the waker.
 ///
 /// Scratch buffers are cached per model and invalidated by the slot
 /// version, so a hot-swapped engine (whose compiled plan may differ in
 /// size) never sees scratch sized for its predecessor.
 fn worker_loop(
     registry: &ModelRegistry,
-    queue: &BatchQueue,
+    shard: &Shard,
     stats: &ServerStats,
+    completions: &mpsc::Sender<Completion>,
+    waker: &Waker,
     max_batch: usize,
     linger: Duration,
 ) {
@@ -542,7 +516,7 @@ fn worker_loop(
     let mut batch: Vec<Pending> = Vec::with_capacity(max_batch);
     let mut blocks: Vec<u64> = Vec::new();
     let mut preds = vec![0usize; max_batch];
-    while queue.pop_batch(max_batch, linger, &mut batch) {
+    while shard.pop_batch(max_batch, linger, &mut batch) {
         // Group by model; stable, so FIFO order survives within a model.
         batch.sort_by_key(|p| p.model_id);
         let mut rest = std::mem::take(&mut batch);
@@ -551,11 +525,17 @@ fn worker_loop(
             let split = rest.partition_point(|p| p.model_id == model_id);
             let group: Vec<Pending> = rest.drain(..split).collect();
             let Some((engine, version)) = registry.snapshot(model_id) else {
-                // Connection readers validate ids against the registry, and
+                // The poller validates ids against the registry, and
                 // registered models are never removed — defensive only.
                 for p in group {
-                    let _ = p.reply.send((p.id, STATUS_UNKNOWN_MODEL, 0));
+                    let _ = completions.send(Completion {
+                        conn: p.conn,
+                        id: p.id,
+                        status: STATUS_UNKNOWN_MODEL,
+                        class: 0,
+                    });
                 }
+                let _ = waker.wake();
                 continue;
             };
             // First visit or the slot was swapped: (re)build the scratch
@@ -574,16 +554,28 @@ fn worker_loop(
                 &mut blocks,
             );
             engine.predict_block_into(&blocks, scratch, &mut preds[..lanes]);
-            for (pending, &class) in group.into_iter().zip(&preds) {
-                // A send error only means the connection died before its
-                // answer was ready; nothing to route the reply to.
-                let _ = pending.reply.send((pending.id, STATUS_OK, class as u16));
-            }
+            // Account the batch BEFORE sending its completions: once a
+            // response is observable by a client, the counters must
+            // already cover it, so `received == served` holds at any
+            // externally-visible quiescent point.
             stats.batches.fetch_add(1, Ordering::Relaxed);
             stats.served.fetch_add(lanes as u64, Ordering::Relaxed);
             if let Some(model_stats) = registry.stats(model_id) {
                 model_stats.add_served_batch(lanes as u64);
             }
+            for (pending, &class) in group.into_iter().zip(&preds) {
+                // A send error only means the poller is already gone
+                // (abandoned drop); nothing to route the reply to.
+                let _ = completions.send(Completion {
+                    conn: pending.conn,
+                    id: pending.id,
+                    status: STATUS_OK,
+                    class: class as u16,
+                });
+            }
+            let _ = waker.wake();
         }
+        // Hand the drained allocation back for the next pop.
+        batch = rest;
     }
 }

@@ -1,0 +1,111 @@
+//! Helpers shared by the serve integration tests: a deterministic test
+//! classifier, row generation, the offline ground-truth path, and server
+//! bring-up.
+
+// Each integration-test binary compiles this module independently and
+// uses a different subset of it.
+#![allow(dead_code)]
+
+use std::sync::Arc;
+
+use poetbin_bits::{BitVec, FeatureMatrix, TruthTable};
+use poetbin_boost::{MatModule, RincModule, RincNode};
+use poetbin_core::{PoetBinClassifier, QuantizedSparseOutput, RincBank};
+use poetbin_dt::LevelWiseTree;
+use poetbin_engine::ClassifierEngine;
+use poetbin_serve::{ModelRegistry, Response, ServeConfig, Server};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A deterministic, structurally complete classifier (mixed RINC depths)
+/// built directly from parts — no training, so the tests are fast and the
+/// model identical on every run.
+pub fn test_classifier(seed: u64, num_features: usize) -> PoetBinClassifier {
+    let mut rng = StdRng::seed_from_u64(seed);
+    fn random_node(rng: &mut StdRng, num_features: usize, p: usize, level: usize) -> RincNode {
+        if level == 0 {
+            let mut features: Vec<usize> = Vec::with_capacity(p);
+            while features.len() < p {
+                let f = rng.random_range(0..num_features);
+                if !features.contains(&f) {
+                    features.push(f);
+                }
+            }
+            let table = TruthTable::from_fn(p, |_| rng.random::<bool>());
+            return RincNode::Tree(LevelWiseTree::from_parts(features, table));
+        }
+        let children: Vec<RincNode> = (0..p)
+            .map(|_| random_node(rng, num_features, p, level - 1))
+            .collect();
+        let weights: Vec<f64> = (0..p).map(|_| rng.random_range(0.05..1.0)).collect();
+        RincNode::Module(RincModule::from_parts(
+            children,
+            MatModule::new(weights),
+            level,
+        ))
+    }
+    let (classes, p) = (4usize, 3usize);
+    let modules: Vec<RincNode> = (0..classes * p)
+        .map(|i| random_node(&mut rng, num_features, p, i % 2))
+        .collect();
+    let weights: Vec<Vec<i32>> = (0..classes)
+        .map(|_| (0..p).map(|_| rng.random_range(-40..40)).collect())
+        .collect();
+    let biases: Vec<i32> = (0..classes).map(|_| rng.random_range(-20..20)).collect();
+    let min_score: i64 = weights
+        .iter()
+        .zip(&biases)
+        .map(|(row, &b)| {
+            row.iter()
+                .filter(|&&w| w < 0)
+                .map(|&w| w as i64)
+                .sum::<i64>()
+                + b as i64
+        })
+        .min()
+        .unwrap();
+    let output = QuantizedSparseOutput::from_parts(p, 8, weights, biases, min_score, 0);
+    PoetBinClassifier::new(RincBank::from_modules(modules), output)
+}
+
+pub fn test_engine(seed: u64, num_features: usize) -> Arc<ClassifierEngine> {
+    let clf = test_classifier(seed, num_features);
+    Arc::new(ClassifierEngine::compile(&clf, num_features).expect("compiles"))
+}
+
+pub fn test_row(num_features: usize, thread: usize, i: usize) -> BitVec {
+    BitVec::from_fn(num_features, |j| {
+        (thread
+            .wrapping_mul(2654435761)
+            .wrapping_add(i.wrapping_mul(40503))
+            .wrapping_add(j.wrapping_mul(9973))
+            >> 3)
+            & 1
+            == 1
+    })
+}
+
+/// Offline ground truth for a set of rows on one engine.
+pub fn offline(engine: &ClassifierEngine, rows: &[BitVec]) -> Vec<usize> {
+    engine.predict(&FeatureMatrix::from_rows(rows.to_vec()))
+}
+
+pub fn start_test_server(
+    seed: u64,
+    num_features: usize,
+    config: ServeConfig,
+) -> (Server, Arc<ClassifierEngine>) {
+    let engine = test_engine(seed, num_features);
+    let mut registry = ModelRegistry::new();
+    registry.register("m0", Arc::clone(&engine));
+    let server = Server::start(Arc::new(registry), "127.0.0.1:0", config).expect("bind");
+    (server, engine)
+}
+
+/// Unwraps a response that must carry a prediction.
+pub fn class_of(response: Response) -> usize {
+    match response {
+        Response::Class(c) => c,
+        other => panic!("expected a prediction, got {other:?}"),
+    }
+}

@@ -3,114 +3,18 @@
 //! live engine hot-swap, typed rejection of malformed requests and the
 //! persist → engine loading path.
 
+mod common;
+
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
-use poetbin_bits::{BitVec, FeatureMatrix, TruthTable};
-use poetbin_boost::{MatModule, RincModule, RincNode};
+use common::{class_of, offline, start_test_server, test_classifier, test_engine, test_row};
+use poetbin_bits::BitVec;
 use poetbin_core::persist::{save_classifier_to, ModelFormat};
-use poetbin_core::{PoetBinClassifier, QuantizedSparseOutput, RincBank};
-use poetbin_dt::LevelWiseTree;
-use poetbin_engine::ClassifierEngine;
 use poetbin_serve::{load_engine, Client, LoadError, ModelRegistry, Response, ServeConfig, Server};
-use rand::prelude::*;
-use rand::rngs::StdRng;
-
-/// A deterministic, structurally complete classifier (mixed RINC depths)
-/// built directly from parts — no training, so the test is fast and the
-/// model identical on every run.
-fn test_classifier(seed: u64, num_features: usize) -> PoetBinClassifier {
-    let mut rng = StdRng::seed_from_u64(seed);
-    fn random_node(rng: &mut StdRng, num_features: usize, p: usize, level: usize) -> RincNode {
-        if level == 0 {
-            let mut features: Vec<usize> = Vec::with_capacity(p);
-            while features.len() < p {
-                let f = rng.random_range(0..num_features);
-                if !features.contains(&f) {
-                    features.push(f);
-                }
-            }
-            let table = TruthTable::from_fn(p, |_| rng.random::<bool>());
-            return RincNode::Tree(LevelWiseTree::from_parts(features, table));
-        }
-        let children: Vec<RincNode> = (0..p)
-            .map(|_| random_node(rng, num_features, p, level - 1))
-            .collect();
-        let weights: Vec<f64> = (0..p).map(|_| rng.random_range(0.05..1.0)).collect();
-        RincNode::Module(RincModule::from_parts(
-            children,
-            MatModule::new(weights),
-            level,
-        ))
-    }
-    let (classes, p) = (4usize, 3usize);
-    let modules: Vec<RincNode> = (0..classes * p)
-        .map(|i| random_node(&mut rng, num_features, p, i % 2))
-        .collect();
-    let weights: Vec<Vec<i32>> = (0..classes)
-        .map(|_| (0..p).map(|_| rng.random_range(-40..40)).collect())
-        .collect();
-    let biases: Vec<i32> = (0..classes).map(|_| rng.random_range(-20..20)).collect();
-    let min_score: i64 = weights
-        .iter()
-        .zip(&biases)
-        .map(|(row, &b)| {
-            row.iter()
-                .filter(|&&w| w < 0)
-                .map(|&w| w as i64)
-                .sum::<i64>()
-                + b as i64
-        })
-        .min()
-        .unwrap();
-    let output = QuantizedSparseOutput::from_parts(p, 8, weights, biases, min_score, 0);
-    PoetBinClassifier::new(RincBank::from_modules(modules), output)
-}
-
-fn test_engine(seed: u64, num_features: usize) -> Arc<ClassifierEngine> {
-    let clf = test_classifier(seed, num_features);
-    Arc::new(ClassifierEngine::compile(&clf, num_features).expect("compiles"))
-}
-
-fn test_row(num_features: usize, thread: usize, i: usize) -> BitVec {
-    BitVec::from_fn(num_features, |j| {
-        (thread
-            .wrapping_mul(2654435761)
-            .wrapping_add(i.wrapping_mul(40503))
-            .wrapping_add(j.wrapping_mul(9973))
-            >> 3)
-            & 1
-            == 1
-    })
-}
-
-/// Offline ground truth for a set of rows on one engine.
-fn offline(engine: &ClassifierEngine, rows: &[BitVec]) -> Vec<usize> {
-    engine.predict(&FeatureMatrix::from_rows(rows.to_vec()))
-}
-
-fn start_test_server(
-    seed: u64,
-    num_features: usize,
-    config: ServeConfig,
-) -> (Server, Arc<ClassifierEngine>) {
-    let engine = test_engine(seed, num_features);
-    let mut registry = ModelRegistry::new();
-    registry.register("m0", Arc::clone(&engine));
-    let server = Server::start(Arc::new(registry), "127.0.0.1:0", config).expect("bind");
-    (server, engine)
-}
-
-/// Unwraps a response that must carry a prediction.
-fn class_of(response: Response) -> usize {
-    match response {
-        Response::Class(c) => c,
-        other => panic!("expected a prediction, got {other:?}"),
-    }
-}
 
 #[test]
 fn hello_reports_model_table_and_predictions_match_offline_path() {
@@ -229,6 +133,7 @@ fn zero_linger_and_batch_of_one_still_serve_correctly() {
         workers: 1,
         linger: Duration::ZERO,
         max_batch: 1,
+        ..ServeConfig::default()
     };
     let (server, engine) = start_test_server(14, f, config);
     let mut client = Client::connect(server.local_addr()).expect("connect");

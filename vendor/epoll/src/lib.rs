@@ -1,0 +1,483 @@
+//! Offline stand-in for the readiness-polling slice of `libc`/`mio`.
+//!
+//! The build container has no network access, so — like the `rand` /
+//! `serde` / `criterion` shims next door — this crate vendors the narrow
+//! system-call surface `poetbin_serve`'s event loop actually needs:
+//! Linux `epoll` (level-triggered readiness on any file descriptor) and
+//! `eventfd` (a cross-thread wake-up fd). Everything is wrapped in a
+//! *safe* API ([`Poller`], [`Waker`], [`Interest`], [`Event`]), so this
+//! crate is the only place in the workspace that contains `unsafe` code:
+//! raw `extern "C"` declarations against the host libc that `std`
+//! already links, and the calls into them.
+//!
+//! Design notes:
+//!
+//! * **Level-triggered only.** Edge-triggered epoll saves syscalls but
+//!   moves the starvation bugs into the caller; the serving loop re-arms
+//!   interest explicitly instead, which is easy to reason about and
+//!   test.
+//! * **The caller owns every fd.** [`Poller::add`] borrows a raw fd; the
+//!   kernel drops the registration automatically when the fd is closed,
+//!   and [`Poller::delete`] exists for the orderly path. Nothing here
+//!   duplicates or retains descriptors.
+//! * **Tokens are plain `u64`s** carried in `epoll_event.data` — the
+//!   caller's map key, not an index this crate interprets.
+//!
+//! Swapping this for the real `libc`/`mio` crates once the environment
+//! has network access is a localised change: only `poetbin_serve::event_loop`
+//! consumes this API.
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::Duration;
+
+/// The raw libc surface. Kernel ABI constants are from the Linux UAPI
+/// headers; `std` already links libc, so the symbols resolve without any
+/// build script.
+mod sys {
+    use std::os::raw::{c_int, c_uint, c_void};
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+
+    /// `EPOLL_CLOEXEC` / `EFD_CLOEXEC` (== `O_CLOEXEC`, octal `02000000`).
+    pub const CLOEXEC: c_int = 0x8_0000;
+    /// `EFD_NONBLOCK` (== `O_NONBLOCK`, octal `04000`).
+    pub const EFD_NONBLOCK: c_int = 0x800;
+
+    /// `struct epoll_event`. The kernel declares it packed on x86, with
+    /// natural alignment elsewhere — the `cfg_attr` mirrors glibc's
+    /// `__EPOLL_PACKED`.
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    /// `SOL_SOCKET`.
+    pub const SOL_SOCKET: c_int = 1;
+    /// `SO_SNDBUF`.
+    pub const SO_SNDBUF: c_int = 7;
+    /// `SO_RCVBUF`.
+    pub const SO_RCVBUF: c_int = 8;
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn setsockopt(
+            fd: c_int,
+            level: c_int,
+            optname: c_int,
+            optval: *const c_void,
+            optlen: u32,
+        ) -> c_int;
+    }
+}
+
+/// Which readiness classes a registration asks for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub read: bool,
+    /// Wake when the fd is writable.
+    pub write: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest {
+        read: true,
+        write: false,
+    };
+    /// Write-only interest.
+    pub const WRITE: Interest = Interest {
+        read: false,
+        write: true,
+    };
+    /// Both directions.
+    pub const BOTH: Interest = Interest {
+        read: true,
+        write: true,
+    };
+
+    fn mask(self) -> u32 {
+        // RDHUP rides with read interest only: a caller that suspended
+        // reads (e.g. for write backpressure) must not spin on a
+        // level-triggered half-close it is deliberately not consuming.
+        let mut m = 0;
+        if self.read {
+            m |= sys::EPOLLIN | sys::EPOLLRDHUP;
+        }
+        if self.write {
+            m |= sys::EPOLLOUT;
+        }
+        m
+    }
+}
+
+/// One readiness notification out of [`Poller::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// The fd has data to read, or the peer closed its write half (a
+    /// read will observe the EOF).
+    pub readable: bool,
+    /// The fd can accept writes.
+    pub writable: bool,
+    /// The fd is in an error or hang-up state; reads/writes will surface
+    /// the concrete error. Reported even when not subscribed.
+    pub error: bool,
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Clamps a socket's kernel buffer sizes (`SO_SNDBUF` / `SO_RCVBUF`;
+/// `None` leaves that direction at the kernel default). The kernel
+/// doubles the requested value for bookkeeping and enforces a floor of a
+/// few KiB. Bounding these limits how much data the kernel absorbs on
+/// behalf of a peer that has stopped consuming — it turns "the network
+/// buffers it" into visible backpressure, which servers (and
+/// backpressure tests) rely on.
+///
+/// # Errors
+///
+/// Propagates `setsockopt` failure.
+pub fn set_socket_buffers(fd: RawFd, send: Option<usize>, recv: Option<usize>) -> io::Result<()> {
+    for (opt, bytes) in [(sys::SO_SNDBUF, send), (sys::SO_RCVBUF, recv)] {
+        let Some(bytes) = bytes else { continue };
+        let val: i32 = i32::try_from(bytes).unwrap_or(i32::MAX);
+        // SAFETY: passes a valid i32 and its exact size; the kernel
+        // copies the value before returning.
+        cvt(unsafe {
+            sys::setsockopt(
+                fd,
+                sys::SOL_SOCKET,
+                opt,
+                (&val as *const i32).cast(),
+                std::mem::size_of::<i32>() as u32,
+            )
+        })?;
+    }
+    Ok(())
+}
+
+/// A level-triggered readiness queue over `epoll(7)`.
+#[derive(Debug)]
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    /// Creates the epoll instance (close-on-exec).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_create1` failure (fd exhaustion, mostly).
+    pub fn new() -> io::Result<Poller> {
+        // SAFETY: no pointers involved; an invalid flag would just error.
+        let epfd = cvt(unsafe { sys::epoll_create1(sys::CLOEXEC) })?;
+        Ok(Poller { epfd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events: interest.mask(),
+            data: token,
+        };
+        // SAFETY: `ev` is a valid epoll_event for the duration of the
+        // call; the kernel copies it out before returning.
+        cvt(unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Registers `fd` under `token` with the given interest. The caller
+    /// keeps ownership of the fd and must keep it open while registered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failure (`EEXIST` for a double add,
+    /// `EBADF` for a closed fd, …).
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    /// Replaces the interest (and token) of an already-registered fd.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failure (`ENOENT` when never added).
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    /// Unregisters an fd. Closing the fd deregisters it implicitly; this
+    /// is the orderly path for fds that stay open.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failure.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        let mut ev = sys::EpollEvent { events: 0, data: 0 };
+        // SAFETY: a non-null event pointer keeps pre-2.6.9 kernels happy;
+        // the kernel ignores its contents for EPOLL_CTL_DEL.
+        cvt(unsafe { sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_DEL, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Blocks until at least one registered fd is ready (or `timeout`
+    /// elapses), appending the notifications to `out` (cleared first).
+    /// `None` blocks indefinitely. `EINTR` is retried internally.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_wait` failure.
+    pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        out.clear();
+        let mut buf = [sys::EpollEvent { events: 0, data: 0 }; 256];
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            // Round up so a 100µs timeout does not spin at zero.
+            Some(t) => i32::try_from(t.as_millis().max(u128::from(u32::from(!t.is_zero()))))
+                .unwrap_or(i32::MAX),
+        };
+        let n = loop {
+            // SAFETY: `buf` is valid writable storage for `buf.len()`
+            // epoll_event records for the duration of the call.
+            match cvt(unsafe {
+                sys::epoll_wait(self.epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms)
+            }) {
+                Ok(n) => break n as usize,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        };
+        for ev in &buf[..n] {
+            let bits = ev.events;
+            out.push(Event {
+                token: ev.data,
+                readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP) != 0,
+                writable: bits & sys::EPOLLOUT != 0,
+                error: bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        // SAFETY: `epfd` is a descriptor this struct owns exclusively.
+        unsafe { sys::close(self.epfd) };
+    }
+}
+
+/// A cross-thread wake-up for a [`Poller`], backed by a nonblocking
+/// `eventfd(2)`. Register it read-interested under a reserved token;
+/// [`Waker::wake`] from any thread makes the poller's `wait` return.
+#[derive(Debug)]
+pub struct Waker {
+    fd: RawFd,
+}
+
+// SAFETY: the wrapped fd is just an integer; eventfd reads/writes are
+// atomic and thread-safe by kernel contract.
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+impl Waker {
+    /// Creates the eventfd (close-on-exec, nonblocking).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `eventfd` failure.
+    pub fn new() -> io::Result<Waker> {
+        // SAFETY: no pointers involved.
+        let fd = cvt(unsafe { sys::eventfd(0, sys::CLOEXEC | sys::EFD_NONBLOCK) })?;
+        Ok(Waker { fd })
+    }
+
+    /// Makes the registered poller's `wait` return. Wake-ups coalesce:
+    /// any number of calls before the next [`Waker::drain`] produce one
+    /// readable state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write failure (practically impossible: the
+    /// counter saturates long past any realistic wake count).
+    pub fn wake(&self) -> io::Result<()> {
+        let one: u64 = 1;
+        // SAFETY: writes 8 bytes from a valid local; eventfd consumes
+        // exactly u64-sized writes.
+        let n = unsafe { sys::write(self.fd, (&one as *const u64).cast(), 8) };
+        if n == 8 {
+            Ok(())
+        } else {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::WouldBlock {
+                // Counter saturated — the poller is awake regardless.
+                Ok(())
+            } else {
+                Err(e)
+            }
+        }
+    }
+
+    /// Clears the pending wake-up state so a level-triggered poller does
+    /// not spin. Call on every notification for the waker's token.
+    pub fn drain(&self) {
+        let mut buf = 0u64;
+        // SAFETY: reads at most 8 bytes into a valid local.
+        unsafe { sys::read(self.fd, (&mut buf as *mut u64).cast(), 8) };
+    }
+}
+
+impl AsRawFd for Waker {
+    fn as_raw_fd(&self) -> RawFd {
+        self.fd
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        // SAFETY: `fd` is a descriptor this struct owns exclusively.
+        unsafe { sys::close(self.fd) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    const T_LISTEN: u64 = 1;
+    const T_CONN: u64 = 2;
+    const T_WAKE: u64 = 3;
+
+    #[test]
+    fn waker_wakes_and_drains() {
+        let poller = Poller::new().expect("epoll");
+        let waker = Waker::new().expect("eventfd");
+        poller
+            .add(waker.as_raw_fd(), T_WAKE, Interest::READ)
+            .expect("add");
+
+        let mut events = Vec::new();
+        // Nothing pending: a bounded wait times out empty.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(5)))
+            .expect("wait");
+        assert!(events.is_empty());
+
+        waker.wake().expect("wake");
+        waker.wake().expect("coalesced wake");
+        poller.wait(&mut events, None).expect("wait");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, T_WAKE);
+        assert!(events[0].readable);
+
+        waker.drain();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(5)))
+            .expect("wait");
+        assert!(events.is_empty(), "drain must clear the wake state");
+    }
+
+    #[test]
+    fn socket_readiness_and_interest_modification() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.set_nonblocking(true).expect("nonblocking");
+        let poller = Poller::new().expect("epoll");
+        poller
+            .add(listener.as_raw_fd(), T_LISTEN, Interest::READ)
+            .expect("add listener");
+
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).expect("connect");
+        let mut events = Vec::new();
+        poller.wait(&mut events, None).expect("wait");
+        assert!(events.iter().any(|e| e.token == T_LISTEN && e.readable));
+
+        let (server_side, _) = listener.accept().expect("accept");
+        server_side.set_nonblocking(true).expect("nonblocking");
+        poller
+            .add(server_side.as_raw_fd(), T_CONN, Interest::BOTH)
+            .expect("add conn");
+
+        // A fresh socket with an empty send buffer is writable at once.
+        poller.wait(&mut events, None).expect("wait");
+        assert!(events.iter().any(|e| e.token == T_CONN && e.writable));
+
+        // Drop write interest, send data: only readability remains.
+        poller
+            .modify(server_side.as_raw_fd(), T_CONN, Interest::READ)
+            .expect("modify");
+        client.write_all(b"ping").expect("write");
+        poller.wait(&mut events, None).expect("wait");
+        let ev = events
+            .iter()
+            .find(|e| e.token == T_CONN)
+            .expect("conn event");
+        assert!(ev.readable);
+        assert!(!ev.writable);
+        let mut buf = [0u8; 8];
+        let n = (&server_side).read(&mut buf).expect("read");
+        assert_eq!(&buf[..n], b"ping");
+
+        // Peer hang-up surfaces as readable (EOF on read).
+        drop(client);
+        poller.wait(&mut events, None).expect("wait");
+        assert!(events.iter().any(|e| e.token == T_CONN && e.readable));
+        assert_eq!((&server_side).read(&mut buf).expect("eof"), 0);
+
+        poller.delete(server_side.as_raw_fd()).expect("delete");
+        poller.delete(listener.as_raw_fd()).expect("delete");
+    }
+
+    #[test]
+    fn delete_then_close_is_orderly_and_double_add_errors() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let poller = Poller::new().expect("epoll");
+        poller
+            .add(listener.as_raw_fd(), T_LISTEN, Interest::READ)
+            .expect("add");
+        assert!(
+            poller
+                .add(listener.as_raw_fd(), T_LISTEN, Interest::READ)
+                .is_err(),
+            "double add must be rejected"
+        );
+        poller.delete(listener.as_raw_fd()).expect("delete");
+        assert!(
+            poller.delete(listener.as_raw_fd()).is_err(),
+            "double delete must be rejected"
+        );
+    }
+}

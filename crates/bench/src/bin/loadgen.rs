@@ -59,12 +59,15 @@
 //! cargo run --release -p poetbin_bench --bin loadgen -- \
 //!     [--models PATH,PATH,...] [--requests N] [--clients C] [--workers W] \
 //!     [--lingers US,US,...] [--max-batch B] [--queue-cap Q] \
-//!     [--open-loop REQ_PER_S] [--slo] [--sweep RPS,RPS,...]
+//!     [--open-loop REQ_PER_S] [--slo] [--sweep RPS,RPS,...] \
+//!     [--backend interp|jit|auto]
 //! ```
 //!
 //! Defaults: the checked-in `deep.poetbin2` and `tiny.poetbin2` fixtures
 //! (`--model PATH` is still accepted for a single model), 12 000
-//! requests, 8 clients, 2 workers, lingers `0,200` µs, closed-loop.
+//! requests, 8 clients, 2 workers, lingers `0,200` µs, closed-loop,
+//! `auto` backend (`--backend` pins the served engines to one; the
+//! offline ground truth runs on the same engines either way).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -74,8 +77,8 @@ use std::time::{Duration, Instant};
 
 use poetbin_bench::report::{self, Json};
 use poetbin_bits::{BitVec, FeatureMatrix};
-use poetbin_engine::ClassifierEngine;
-use poetbin_serve::{load_engine, Client, ModelRegistry, Response, ServeConfig, Server};
+use poetbin_engine::{Backend, ClassifierEngine};
+use poetbin_serve::{load_engine_with, Client, ModelRegistry, Response, ServeConfig, Server};
 
 struct Args {
     models: Vec<PathBuf>,
@@ -91,6 +94,9 @@ struct Args {
     slo: bool,
     /// Offered rates for the `--slo` sweep; empty = built-in defaults.
     sweep: Vec<f64>,
+    /// Engine backend for the served models (and the offline ground
+    /// truth, which is computed on the same engines).
+    backend: Backend,
 }
 
 impl Args {
@@ -110,6 +116,7 @@ impl Args {
             open_loop: None,
             slo: false,
             sweep: Vec::new(),
+            backend: Backend::default(),
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -149,6 +156,11 @@ impl Args {
                         .split(',')
                         .map(|v| v.trim().parse().map_err(|_| "bad --lingers"))
                         .collect::<Result<_, _>>()?;
+                }
+                "--backend" => {
+                    args.backend = value
+                        .parse()
+                        .map_err(|_| "--backend must be one of interp, jit, auto")?;
                 }
                 other => return Err(format!("unknown flag {other}")),
             }
@@ -668,15 +680,16 @@ fn main() -> ExitCode {
     };
     let mut engines: Vec<Arc<ClassifierEngine>> = Vec::with_capacity(args.models.len());
     for path in &args.models {
-        match load_engine(path, None) {
+        match load_engine_with(path, None, args.backend) {
             Ok(engine) => {
                 println!(
-                    "model {} = {} · {} features · {} classes · {} tape ops",
+                    "model {} = {} · {} features · {} classes · {} tape ops · {} backend",
                     engines.len(),
                     path.display(),
                     engine.num_features(),
                     engine.classes(),
-                    engine.engine().plan().tape_len()
+                    engine.engine().plan().tape_len(),
+                    engine.backend_name()
                 );
                 engines.push(Arc::new(engine));
             }

@@ -16,9 +16,10 @@
 
 use poetbin_bench::report::{write_named_root, Json};
 use poetbin_bench::{print_header, sci};
-use poetbin_bits::BitVec;
+use poetbin_bits::{BitVec, FeatureMatrix};
 use poetbin_boost::RincNode;
 use poetbin_core::scenarios::{Scenario, ScenarioKind, ScenarioReport};
+use poetbin_engine::{Backend, Engine};
 use poetbin_fpga::{map_to_lut6, prune, simulate, PowerModel, TimingModel};
 use poetbin_power::{energy_grid, BankGrid, EnergyGrid, ModuleGrid, PAPER_CLASSIFIERS};
 
@@ -59,9 +60,11 @@ struct HardwareFigures {
     grid: BankGrid,
     energy: EnergyGrid,
     grid_energy_j: f64,
+    /// The engine backend the simulate cross-check resolved to.
+    sim_backend: &'static str,
 }
 
-fn hardware_figures(report: &ScenarioReport, clock_mhz: f64) -> HardwareFigures {
+fn hardware_figures(report: &ScenarioReport, clock_mhz: f64, backend: Backend) -> HardwareFigures {
     let net = report.classifier.to_netlist(512);
     let (mapped, _) = map_to_lut6(&net);
     let (pruned, prune_report) = prune(&mapped);
@@ -72,6 +75,19 @@ fn hardware_figures(report: &ScenarioReport, clock_mhz: f64) -> HardwareFigures 
         .cloned()
         .collect();
     let sim = simulate(&pruned, &vectors);
+    // Cross-check the gate-level activity simulation against the blocked
+    // engine on the requested backend: both walk the same pruned netlist,
+    // so their outputs must be bit-identical on every vector.
+    let engine = Engine::from_netlist(&pruned)
+        .expect("pruned netlist compiles")
+        .with_backend(backend);
+    let engine_out = engine.eval_batch(&FeatureMatrix::from_rows(vectors.clone()));
+    assert_eq!(
+        engine_out,
+        sim.outputs,
+        "engine backend {} diverged from gate-level simulation",
+        engine.backend_name()
+    );
     let power = PowerModel::default().estimate(&pruned, &sim, clock_mhz);
     let timing = TimingModel::default().analyze(&pruned);
 
@@ -91,6 +107,7 @@ fn hardware_figures(report: &ScenarioReport, clock_mhz: f64) -> HardwareFigures 
         grid_energy_j: grid.energy_j(clock_mhz),
         grid,
         energy: energy_grid(widths, clock_mhz, poetbin_j),
+        sim_backend: engine.backend_name(),
     }
 }
 
@@ -152,6 +169,13 @@ fn scenario_json(report: &ScenarioReport, hw: &HardwareFigures) -> Json {
             ]),
         ),
         (
+            "simulate",
+            Json::obj([
+                ("backend", Json::str(hw.sim_backend)),
+                ("engine_matches_sim", Json::Bool(true)),
+            ]),
+        ),
+        (
             "resources",
             Json::obj([
                 ("logical_luts", Json::Int(hw.logical_luts as i64)),
@@ -189,6 +213,25 @@ fn scenario_json(report: &ScenarioReport, hw: &HardwareFigures) -> Json {
 
 fn main() {
     let quick = std::env::var("POETBIN_PIPELINE_QUICK").is_ok();
+    // `--backend interp|jit|auto` pins the engine backend used for the
+    // simulate cross-check (auto when absent).
+    let mut backend = Backend::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--backend" => match args.next().map(|v| v.parse()) {
+                Some(Ok(b)) => backend = b,
+                _ => {
+                    eprintln!("pipeline: --backend must be one of interp, jit, auto");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("pipeline: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
     let kinds: &[ScenarioKind] = if quick {
         &[ScenarioKind::Mnist, ScenarioKind::Svhn]
     } else {
@@ -214,7 +257,7 @@ fn main() {
             Scenario::full(kind)
         };
         let report = scenario.run();
-        let hw = hardware_figures(&report, kind.clock_mhz());
+        let hw = hardware_figures(&report, kind.clock_mhz(), backend);
         println!(
             "{:<9} {:<9} {:.3}  {:.3}  {:.3}  {:.3}  {:.3}  {:>6} {}",
             report.name,

@@ -3,9 +3,10 @@
 //!
 //! A [`Scenario`] bundles a dataset shape ([`ScenarioKind`]), a
 //! [`WorkflowConfig`], split sizes, and the list of `RincBank` shard
-//! counts to exercise. [`Scenario::run`] resolves the dataset (real IDX
-//! files under the scenario's data directory when present, seeded
-//! synthetic stand-ins otherwise), drives the staged workflow, trains the
+//! counts to exercise. [`Scenario::run`] resolves the dataset (real
+//! CIFAR-binary or IDX files under the scenario's data directory when
+//! present, seeded synthetic stand-ins otherwise), drives the staged
+//! workflow, trains the
 //! bank once per shard count, **asserts every bank is bit-identical to
 //! the first** before any timing is trusted, and returns a
 //! [`ScenarioReport`] carrying the Table 2 staged accuracies, RINC
@@ -17,7 +18,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use poetbin_bits::FeatureMatrix;
-use poetbin_data::scenario::{load_idx_split, DataSource};
+use poetbin_data::scenario::{load_cifar_split, load_idx_split, DataSource};
 use poetbin_data::{synthetic, ImageDataset};
 
 use crate::arch::Architecture;
@@ -146,18 +147,50 @@ impl Scenario {
         scenario
     }
 
-    /// Resolves the dataset: the real IDX split when all four files are
-    /// present under [`Scenario::data_dir`] *and* its image shape matches
-    /// the architecture's input, the seeded synthetic stand-in otherwise.
-    /// Both paths are truncated to the configured split sizes.
+    /// Resolves the dataset, preferring real corpora under
+    /// [`Scenario::data_dir`] over the seeded synthetic stand-in: first
+    /// the CIFAR-10 binary batch layout (the native drop for
+    /// `data/cifar/` and for SVHN converted to the same record format
+    /// under `data/svhn/`), then the four-file IDX layout (MNIST's
+    /// native format) — in either case only when the image shape matches
+    /// the architecture's input. Both paths are truncated to the
+    /// configured split sizes.
     pub fn load_data(&self) -> (ImageDataset, ImageDataset, DataSource) {
         let expect = self.config.arch.feature_extractor.input_shape();
+        let truncate = |train: ImageDataset, test: ImageDataset| {
+            let train_n = self.train_examples.min(train.len());
+            let test_n = self.test_examples.min(test.len());
+            (
+                train.subset(&(0..train_n).collect::<Vec<_>>()),
+                test.subset(&(0..test_n).collect::<Vec<_>>()),
+            )
+        };
+        match load_cifar_split(&self.data_dir) {
+            Ok(Some((train, test))) if train.image_shape() == expect => {
+                let (train, test) = truncate(train, test);
+                return (train, test, DataSource::Cifar);
+            }
+            Ok(Some((train, _))) => {
+                eprintln!(
+                    "[{}] cifar batches in {} have shape {:?}, expected {:?}; ignoring them",
+                    self.kind.name(),
+                    self.data_dir.display(),
+                    train.image_shape(),
+                    expect
+                );
+            }
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!(
+                    "[{}] cifar batches in {} are unreadable ({e}); ignoring them",
+                    self.kind.name(),
+                    self.data_dir.display()
+                );
+            }
+        }
         match load_idx_split(&self.data_dir) {
             Ok(Some((train, test))) if train.image_shape() == expect => {
-                let train_n = self.train_examples.min(train.len());
-                let test_n = self.test_examples.min(test.len());
-                let train = train.subset(&(0..train_n).collect::<Vec<_>>());
-                let test = test.subset(&(0..test_n).collect::<Vec<_>>());
+                let (train, test) = truncate(train, test);
                 return (train, test, DataSource::Idx);
             }
             Ok(Some((train, _))) => {
@@ -371,6 +404,34 @@ mod tests {
         assert_eq!(ltrain.len(), 20);
         assert_eq!(ltest.len(), 5);
         assert_eq!(ltrain.labels, train.labels[..20]);
+    }
+
+    #[test]
+    fn cifar_batches_are_preferred_and_truncated() {
+        use poetbin_data::cifar;
+        use poetbin_data::scenario::CIFAR_FILES;
+        let dir = std::env::temp_dir().join("poetbin_scenarios_cifar");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = poetbin_data::synthetic::objects(25, 11);
+        let (train, test) = data.split(20);
+        let per = 4; // 5 batches × 4 records
+        for (i, name) in CIFAR_FILES[..5].iter().enumerate() {
+            let part = train.subset(&(i * per..(i + 1) * per).collect::<Vec<_>>());
+            std::fs::write(dir.join(name), cifar::encode_batch(&part)).unwrap();
+        }
+        std::fs::write(dir.join(CIFAR_FILES[5]), cifar::encode_batch(&test)).unwrap();
+
+        let mut s = Scenario::quick(ScenarioKind::Cifar);
+        s.data_dir = dir;
+        s.train_examples = 12;
+        s.test_examples = 3;
+        let (ltrain, ltest, source) = s.load_data();
+        assert_eq!(source, DataSource::Cifar);
+        assert_eq!(ltrain.len(), 12);
+        assert_eq!(ltest.len(), 3);
+        assert_eq!(ltrain.labels, train.labels[..12]);
+        assert_eq!(ltrain.image_shape(), (3, 32, 32));
     }
 
     #[test]

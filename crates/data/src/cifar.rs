@@ -1,0 +1,265 @@
+//! Loader for the CIFAR-10 **binary version** as distributed upstream
+//! (`cifar-10-batches-bin`): headerless files of fixed 3073-byte records,
+//! one label byte followed by a 3072-byte `3×32×32` channel-major image
+//! (the 1024-byte red plane, then green, then blue, each row-major).
+//!
+//! That record layout is exactly the `[c, h, w]` order of
+//! [`ImageDataset::images`], so decoding is a straight byte-to-float
+//! scale with no shuffling. The same record format doubles as the
+//! drop-in container for SVHN-shaped corpora (also `3×32×32`, ten
+//! classes) converted offline — the scenario harness probes both
+//! `data/cifar/` and `data/svhn/` with this loader.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use poetbin_nn::Tensor;
+
+use crate::ImageDataset;
+
+/// Image channels, height and width fixed by the format.
+pub const CIFAR_SHAPE: (usize, usize, usize) = (3, 32, 32);
+
+/// Bytes per record: one label byte plus the `3·32·32` image payload.
+pub const RECORD_BYTES: usize = 1 + 3 * 32 * 32;
+
+/// Number of classes in CIFAR-10 (labels `0..=9`).
+pub const NUM_CLASSES: usize = 10;
+
+/// Errors raised while decoding CIFAR binary data.
+#[derive(Debug)]
+pub enum CifarError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The byte length is not a whole number of 3073-byte records.
+    Ragged {
+        /// Total bytes presented.
+        len: usize,
+        /// Bytes left over after the last whole record.
+        remainder: usize,
+    },
+    /// A record's label byte is outside `0..=9`.
+    BadLabel {
+        /// Zero-based record index within the decoded buffer.
+        record: usize,
+        /// The offending label byte.
+        label: u8,
+    },
+}
+
+impl fmt::Display for CifarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CifarError::Io(e) => write!(f, "i/o error reading cifar data: {e}"),
+            CifarError::Ragged { len, remainder } => write!(
+                f,
+                "cifar payload ragged: {len} bytes is not a multiple of \
+                 {RECORD_BYTES}-byte records ({remainder} bytes left over)"
+            ),
+            CifarError::BadLabel { record, label } => write!(
+                f,
+                "cifar record {record} has label {label}, outside 0..={}",
+                NUM_CLASSES - 1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CifarError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CifarError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CifarError {
+    fn from(e: io::Error) -> Self {
+        CifarError::Io(e)
+    }
+}
+
+/// Decodes one binary batch file from memory into an [`ImageDataset`]
+/// with `[n, 3, 32, 32]` images scaled to `[0, 1]`.
+///
+/// An empty buffer decodes to an empty dataset (zero records is a valid
+/// batch; the *split* loaders are where emptiness becomes an error).
+///
+/// # Errors
+///
+/// Returns [`CifarError`] if the length is not a whole number of records
+/// or any label byte is outside `0..=9`.
+pub fn decode_batch(bytes: &[u8]) -> Result<ImageDataset, CifarError> {
+    if !bytes.len().is_multiple_of(RECORD_BYTES) {
+        return Err(CifarError::Ragged {
+            len: bytes.len(),
+            remainder: bytes.len() % RECORD_BYTES,
+        });
+    }
+    let n = bytes.len() / RECORD_BYTES;
+    let (c, h, w) = CIFAR_SHAPE;
+    let mut data = Vec::with_capacity(n * c * h * w);
+    let mut labels = Vec::with_capacity(n);
+    for (record, chunk) in bytes.chunks_exact(RECORD_BYTES).enumerate() {
+        let label = chunk[0];
+        if label as usize >= NUM_CLASSES {
+            return Err(CifarError::BadLabel { record, label });
+        }
+        labels.push(label as usize);
+        data.extend(chunk[1..].iter().map(|&b| b as f32 / 255.0));
+    }
+    Ok(ImageDataset {
+        images: Tensor::from_vec(data, vec![n, c, h, w]),
+        labels,
+        num_classes: NUM_CLASSES,
+    })
+}
+
+/// Loads one binary batch file from disk.
+///
+/// # Errors
+///
+/// Returns [`CifarError`] on I/O failure or malformed content.
+pub fn load_batch(path: impl AsRef<Path>) -> Result<ImageDataset, CifarError> {
+    decode_batch(&fs::read(path)?)
+}
+
+/// Loads and concatenates several batch files (the upstream train split
+/// is five of them).
+///
+/// # Errors
+///
+/// Returns [`CifarError`] on I/O failure or malformed content in any
+/// file.
+pub fn load_batches(
+    paths: impl IntoIterator<Item = impl AsRef<Path>>,
+) -> Result<ImageDataset, CifarError> {
+    let (c, h, w) = CIFAR_SHAPE;
+    let mut data = Vec::new();
+    let mut labels = Vec::new();
+    for path in paths {
+        let batch = load_batch(path)?;
+        data.extend_from_slice(batch.images.data());
+        labels.extend_from_slice(&batch.labels);
+    }
+    Ok(ImageDataset {
+        images: Tensor::from_vec(data, vec![labels.len(), c, h, w]),
+        labels,
+        num_classes: NUM_CLASSES,
+    })
+}
+
+/// Encodes a `[n, 3, 32, 32]` dataset back into binary records
+/// (round-trip support for tests and for exporting converted corpora).
+///
+/// # Panics
+///
+/// Panics unless the tensor is `[n, 3, 32, 32]` and every label is below
+/// [`NUM_CLASSES`].
+pub fn encode_batch(ds: &ImageDataset) -> Vec<u8> {
+    let (c, h, w) = CIFAR_SHAPE;
+    assert_eq!(
+        ds.images.shape(),
+        &[ds.len(), c, h, w],
+        "expected [n, 3, 32, 32]"
+    );
+    let mut out = Vec::with_capacity(ds.len() * RECORD_BYTES);
+    let plane = c * h * w;
+    for (i, &label) in ds.labels.iter().enumerate() {
+        assert!(label < NUM_CLASSES, "label {label} out of range");
+        out.push(label as u8);
+        out.extend(
+            ds.images.data()[i * plane..(i + 1) * plane]
+                .iter()
+                .map(|&p| (p * 255.0).round().clamp(0.0, 255.0) as u8),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic;
+
+    #[test]
+    fn batch_roundtrip() {
+        let ds = synthetic::objects(5, 33);
+        let bytes = encode_batch(&ds);
+        assert_eq!(bytes.len(), 5 * RECORD_BYTES);
+        let back = decode_batch(&bytes).unwrap();
+        assert_eq!(back.labels, ds.labels);
+        assert_eq!(back.images.shape(), ds.images.shape());
+        // 8-bit quantisation error only.
+        for (a, b) in back.images.data().iter().zip(ds.images.data()) {
+            assert!((a - b).abs() <= 1.0 / 255.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_buffer_is_an_empty_batch() {
+        let ds = decode_batch(&[]).unwrap();
+        assert!(ds.is_empty());
+        assert_eq!(ds.num_classes, NUM_CLASSES);
+    }
+
+    #[test]
+    fn rejects_ragged_length() {
+        let ds = synthetic::objects(2, 1);
+        let mut bytes = encode_batch(&ds);
+        bytes.truncate(bytes.len() - 10);
+        let err = decode_batch(&bytes).unwrap_err();
+        assert!(
+            matches!(err, CifarError::Ragged { remainder, .. } if remainder == RECORD_BYTES - 10),
+            "{err}"
+        );
+        assert!(err.to_string().contains("3073"), "{err}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_label() {
+        let ds = synthetic::objects(3, 2);
+        let mut bytes = encode_batch(&ds);
+        bytes[RECORD_BYTES] = 10; // second record's label byte
+        let err = decode_batch(&bytes).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CifarError::BadLabel {
+                    record: 1,
+                    label: 10
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn batches_concatenate_in_order() {
+        let dir = std::env::temp_dir().join("poetbin_cifar_concat");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = synthetic::objects(3, 4);
+        let b = synthetic::objects(2, 5);
+        let pa = dir.join("a.bin");
+        let pb = dir.join("b.bin");
+        std::fs::write(&pa, encode_batch(&a)).unwrap();
+        std::fs::write(&pb, encode_batch(&b)).unwrap();
+        let joined = load_batches([&pa, &pb]).unwrap();
+        assert_eq!(joined.len(), 5);
+        assert_eq!(joined.labels[..3], a.labels[..]);
+        assert_eq!(joined.labels[3..], b.labels[..]);
+        assert_eq!(joined.image_shape(), CIFAR_SHAPE);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CifarError::BadLabel {
+            record: 7,
+            label: 211,
+        };
+        assert!(e.to_string().contains('7') && e.to_string().contains("211"));
+    }
+}

@@ -12,9 +12,12 @@
 //!   the identical code path.
 //! * [`idx`] — a loader for the original IDX file format, so real MNIST
 //!   files can be dropped in when available.
-//! * [`scenario`] — IDX-or-synthetic dataset resolution for the pipeline
-//!   scenario harness (`data/<name>/` directories holding the standard
-//!   four MNIST-style files).
+//! * [`cifar`] — a loader for the CIFAR-10 binary batch format
+//!   (`cifar-10-batches-bin`), covering real CIFAR-10 and SVHN-shaped
+//!   corpora converted to the same 3073-byte record layout.
+//! * [`scenario`] — real-or-synthetic dataset resolution for the pipeline
+//!   scenario harness (`data/<name>/` directories holding either the
+//!   CIFAR binary batches or the standard four MNIST-style IDX files).
 //! * [`binary`] — boolean-function tasks over [`FeatureMatrix`] used to
 //!   exercise the tree/boosting layers directly.
 //!
@@ -24,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod binary;
+pub mod cifar;
 pub mod idx;
 pub mod scenario;
 pub mod synthetic;

@@ -1,20 +1,27 @@
 //! Dataset resolution for the pipeline scenario harness.
 //!
-//! A scenario names a directory (e.g. `data/mnist`) that may hold the
-//! four standard IDX files of the original MNIST distribution. When all
-//! four are present they are loaded as the real train/test split; when
-//! the directory or any file is absent the harness falls back to the
-//! seeded synthetic generators, so the same binary runs with or without
-//! the non-redistributable corpora.
+//! A scenario names a directory (e.g. `data/mnist`, `data/cifar`,
+//! `data/svhn`) that may hold a real corpus in one of two on-disk
+//! layouts: the CIFAR-10 binary batches (`data_batch_1.bin` …
+//! `test_batch.bin`, also the drop-in container for converted SVHN) or
+//! the four standard IDX files of the original MNIST distribution. When
+//! a complete file set is present it is loaded as the real train/test
+//! split; when the directory or any file is absent the harness falls
+//! back to the seeded synthetic generators, so the same binary runs with
+//! or without the non-redistributable corpora.
 
 use std::path::Path;
 
+use crate::cifar::{self, CifarError};
 use crate::idx::{self, IdxError};
 use crate::ImageDataset;
 
 /// Where a scenario's examples came from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DataSource {
+    /// Real CIFAR-10 binary batch files found under the scenario's data
+    /// directory.
+    Cifar,
     /// Real IDX files found under the scenario's data directory.
     Idx,
     /// Seeded synthetic stand-ins with the same shape and class count.
@@ -25,6 +32,7 @@ impl DataSource {
     /// Stable lowercase label used in report JSON.
     pub fn label(self) -> &'static str {
         match self {
+            DataSource::Cifar => "cifar-bin",
             DataSource::Idx => "idx",
             DataSource::Synthetic => "synthetic",
         }
@@ -57,6 +65,44 @@ pub fn load_idx_split(dir: &Path) -> Result<Option<(ImageDataset, ImageDataset)>
     }
     let train = idx::load_dataset(&paths[0], &paths[1])?;
     let test = idx::load_dataset(&paths[2], &paths[3])?;
+    Ok(Some((train, test)))
+}
+
+/// The six files of the upstream CIFAR-10 binary distribution: five
+/// train batches plus the test batch. A scenario directory must contain
+/// all six to be used.
+pub const CIFAR_FILES: [&str; 6] = [
+    "data_batch_1.bin",
+    "data_batch_2.bin",
+    "data_batch_3.bin",
+    "data_batch_4.bin",
+    "data_batch_5.bin",
+    "test_batch.bin",
+];
+
+/// Loads the CIFAR binary train/test split from `dir` if all six
+/// [`CIFAR_FILES`] are present; returns `Ok(None)` when any is missing
+/// (the caller tries the IDX layout, then synthetic data).
+///
+/// # Errors
+///
+/// Returns [`CifarError`] only when the files exist but are malformed,
+/// or when a complete file set decodes to an empty split — a
+/// present-but-broken corpus is a configuration error worth surfacing,
+/// not something to silently paper over with synthetic data.
+pub fn load_cifar_split(dir: &Path) -> Result<Option<(ImageDataset, ImageDataset)>, CifarError> {
+    let paths: Vec<_> = CIFAR_FILES.iter().map(|f| dir.join(f)).collect();
+    if !paths.iter().all(|p| p.is_file()) {
+        return Ok(None);
+    }
+    let train = cifar::load_batches(&paths[..5])?;
+    let test = cifar::load_batch(&paths[5])?;
+    if train.is_empty() || test.is_empty() {
+        return Err(CifarError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "cifar split present but empty",
+        )));
+    }
     Ok(Some((train, test)))
 }
 
@@ -118,7 +164,78 @@ mod tests {
 
     #[test]
     fn source_labels_are_stable() {
+        assert_eq!(DataSource::Cifar.label(), "cifar-bin");
         assert_eq!(DataSource::Idx.label(), "idx");
         assert_eq!(DataSource::Synthetic.label(), "synthetic");
+    }
+
+    fn write_cifar_split(dir: &Path, train: &ImageDataset, test: &ImageDataset) {
+        std::fs::create_dir_all(dir).unwrap();
+        // Spread the train set over the five upstream batch files
+        // (uneven splits are fine — the loader concatenates).
+        let per = train.len().div_ceil(5).max(1);
+        for (i, name) in CIFAR_FILES[..5].iter().enumerate() {
+            let lo = (i * per).min(train.len());
+            let hi = ((i + 1) * per).min(train.len());
+            let part = train.subset(&(lo..hi).collect::<Vec<_>>());
+            std::fs::write(dir.join(name), cifar::encode_batch(&part)).unwrap();
+        }
+        std::fs::write(dir.join(CIFAR_FILES[5]), cifar::encode_batch(test)).unwrap();
+    }
+
+    #[test]
+    fn missing_cifar_directory_is_not_an_error() {
+        let dir = std::env::temp_dir().join("poetbin_scenario_cifar_missing");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(load_cifar_split(&dir).unwrap().is_none());
+    }
+
+    #[test]
+    fn partial_cifar_file_set_falls_back() {
+        let dir = std::env::temp_dir().join("poetbin_scenario_cifar_partial");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let ds = synthetic::objects(3, 7);
+        std::fs::write(dir.join(CIFAR_FILES[0]), cifar::encode_batch(&ds)).unwrap();
+        assert!(load_cifar_split(&dir).unwrap().is_none());
+    }
+
+    #[test]
+    fn complete_cifar_file_set_loads_both_splits() {
+        let dir = std::env::temp_dir().join("poetbin_scenario_cifar_full");
+        let _ = std::fs::remove_dir_all(&dir);
+        let data = synthetic::objects(13, 3);
+        let (train, test) = data.split(9);
+        write_cifar_split(&dir, &train, &test);
+        let (ltrain, ltest) = load_cifar_split(&dir).unwrap().expect("all files present");
+        assert_eq!(ltrain.len(), 9);
+        assert_eq!(ltest.len(), 4);
+        assert_eq!(ltrain.labels, train.labels);
+        assert_eq!(ltest.labels, test.labels);
+        assert_eq!(ltrain.image_shape(), cifar::CIFAR_SHAPE);
+    }
+
+    #[test]
+    fn corrupt_cifar_files_surface_an_error() {
+        let dir = std::env::temp_dir().join("poetbin_scenario_cifar_corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let data = synthetic::objects(8, 5);
+        let (train, test) = data.split(6);
+        write_cifar_split(&dir, &train, &test);
+        std::fs::write(dir.join(CIFAR_FILES[2]), b"not cifar records").unwrap();
+        assert!(load_cifar_split(&dir).is_err());
+    }
+
+    #[test]
+    fn empty_cifar_split_is_an_error_not_a_fallback() {
+        // All six files present but zero records: a complete-looking
+        // corpus that decodes empty is a configuration error.
+        let dir = std::env::temp_dir().join("poetbin_scenario_cifar_empty");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in CIFAR_FILES {
+            std::fs::write(dir.join(name), b"").unwrap();
+        }
+        assert!(load_cifar_split(&dir).is_err());
     }
 }

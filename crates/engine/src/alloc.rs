@@ -40,20 +40,48 @@ pub(crate) fn schedule_kind_runs(ops: &[TapeOp], num_ids: usize) -> Vec<TapeOp> 
     for (i, op) in ops.iter().enumerate() {
         def_op[op.dst as usize] = i as u32;
     }
-    let mut indegree = vec![0u32; ops.len()];
-    let mut consumers: Vec<Vec<u32>> = vec![Vec::new(); ops.len()];
-    for (i, op) in ops.iter().enumerate() {
+    // An op's defining dependencies: the indices of the ops computing its
+    // distinct operands (constants and inputs excluded).
+    let deps = |op: &TapeOp| -> ([u32; 3], usize) {
         let mut sources = [op.a, op.b, op.c];
         sources.sort_unstable();
+        let mut out = [0u32; 3];
+        let mut n = 0;
         for (j, &src) in sources.iter().enumerate() {
             if j > 0 && sources[j - 1] == src {
                 continue;
             }
             let def = def_op[src as usize];
             if def != u32::MAX {
-                indegree[i] += 1;
-                consumers[def as usize].push(i as u32);
+                out[n] = def;
+                n += 1;
             }
+        }
+        (out, n)
+    };
+    // Dependency edges in CSR form: a per-op `Vec<Vec<u32>>` here costs
+    // one allocation per op (tens of thousands per compile) and scatters
+    // the edge lists across the heap; two counting passes over the tape
+    // build the same adjacency in two flat arrays instead.
+    let mut indegree = vec![0u32; ops.len()];
+    let mut edge_start = vec![0u32; ops.len() + 1];
+    for op in ops {
+        let (defs, n) = deps(op);
+        for &def in &defs[..n] {
+            edge_start[def as usize + 1] += 1;
+        }
+    }
+    for i in 0..ops.len() {
+        edge_start[i + 1] += edge_start[i];
+    }
+    let mut consumers = vec![0u32; edge_start[ops.len()] as usize];
+    let mut cursor = edge_start.clone();
+    for (i, op) in ops.iter().enumerate() {
+        let (defs, n) = deps(op);
+        indegree[i] = n as u32;
+        for &def in &defs[..n] {
+            consumers[cursor[def as usize] as usize] = i as u32;
+            cursor[def as usize] += 1;
         }
     }
 
@@ -80,7 +108,8 @@ pub(crate) fn schedule_kind_runs(ops: &[TapeOp], num_ids: usize) -> Vec<TapeOp> 
         while let Some(i) = ready[current].pop_front() {
             let op = ops[i as usize];
             scheduled.push(op);
-            for &c in &consumers[i as usize] {
+            let edges = edge_start[i as usize] as usize..edge_start[i as usize + 1] as usize;
+            for &c in &consumers[edges] {
                 indegree[c as usize] -= 1;
                 if indegree[c as usize] == 0 {
                     ready[ops[c as usize].kind.index()].push_back(c);

@@ -1,10 +1,13 @@
 //! Batch evaluation of a compiled plan: lane-blocked tape passes with
 //! multi-core sharding.
 
+use std::sync::Arc;
+
 use poetbin_bits::{BitVec, FeatureMatrix};
 use poetbin_core::PoetBinClassifier;
 use poetbin_fpga::{Netlist, NetlistError};
 
+use crate::exec::{Backend, Executor};
 use crate::plan::{EvalPlan, MAX_BLOCK_WORDS};
 
 /// Minimum words (64-example blocks) a shard must receive before the
@@ -35,6 +38,13 @@ fn block_for_words(words: usize) -> usize {
 /// loop performs no allocation. Outputs are bit-identical at every block
 /// width, shard count and tail shape.
 ///
+/// The tape itself runs on an [`Executor`] backend selected at
+/// construction ([`Engine::with_backend`]): by default
+/// [`Backend::Auto`] picks the in-process x86-64 JIT where available and
+/// the kind-run interpreter everywhere else; outputs are bit-identical
+/// across backends too. Cloning an engine shares the backend (and any
+/// JIT-compiled code) with the clone.
+///
 /// # Example
 ///
 /// ```
@@ -58,17 +68,24 @@ fn block_for_words(words: usize) -> usize {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Engine {
-    plan: EvalPlan,
+    plan: Arc<EvalPlan>,
+    exec: Arc<dyn Executor>,
+    backend: Backend,
     threads: Option<usize>,
     block: Option<usize>,
 }
 
 impl Engine {
-    /// Wraps an already-compiled plan with automatic thread and block
-    /// selection.
+    /// Wraps an already-compiled plan with automatic thread, block and
+    /// backend selection.
     pub fn new(plan: EvalPlan) -> Engine {
+        let plan = Arc::new(plan);
+        let backend = Backend::default();
+        let exec = backend.build(&plan);
         Engine {
             plan,
+            exec,
+            backend,
             threads: None,
             block: None,
         }
@@ -118,9 +135,44 @@ impl Engine {
         self
     }
 
+    /// Selects the tape execution backend (builder style). The default is
+    /// [`Backend::Auto`]. Requesting [`Backend::Jit`] on a host without
+    /// JIT support quietly resolves to the interpreter —
+    /// [`Engine::backend_name`] reports what actually runs.
+    pub fn with_backend(mut self, backend: Backend) -> Engine {
+        self.backend = backend;
+        self.exec = backend.build(&self.plan);
+        self
+    }
+
+    /// The backend that was *requested* at construction.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The backend that actually runs after availability fallback:
+    /// `"jit"` or `"interp"`.
+    pub fn backend_name(&self) -> &'static str {
+        self.exec.name()
+    }
+
+    /// Forces any deferred backend compilation for block width `block`
+    /// (the JIT assembles each width lazily on first use). A no-op on the
+    /// interpreter. Exists so benchmarks and latency-sensitive callers can
+    /// pay codegen outside the serving path.
+    pub fn prepare(&self, block: usize) {
+        self.exec.prepare(block);
+    }
+
     /// The compiled plan.
     pub fn plan(&self) -> &EvalPlan {
         &self.plan
+    }
+
+    /// The compiled plan, shared — for building additional executors
+    /// (e.g. [`crate::JitExecutor`]) against the same plan.
+    pub fn plan_arc(&self) -> std::sync::Arc<EvalPlan> {
+        std::sync::Arc::clone(&self.plan)
     }
 
     /// Shards actually used for a batch of `num_words` words.
@@ -216,17 +268,19 @@ impl Engine {
         if k == 0 {
             return;
         }
-        let mut vals = vec![0u64; self.plan.vals_len(B)];
-        self.plan.init_consts::<B>(&mut vals);
+        let mut vals = AlignedVals::new(self.plan.vals_len(B));
+        let vals = vals.slice_mut(self.plan.vals_len(B));
+        self.plan.init_consts::<B>(vals);
         let words = out.len() / k;
         let mut w = 0;
         while w < words {
             let valid = (words - w).min(B);
             self.plan.eval_block::<B>(
+                &*self.exec,
                 batch,
                 first_word + w,
                 valid,
-                &mut vals,
+                vals,
                 &mut out[w * k..(w + valid) * k],
             );
             w += valid;
@@ -237,7 +291,7 @@ impl Engine {
     /// the widest block.
     pub fn scratch(&self) -> Scratch {
         Scratch {
-            vals: vec![0u64; self.plan.vals_len(MAX_BLOCK_WORDS)],
+            vals: AlignedVals::new(self.plan.vals_len(MAX_BLOCK_WORDS)),
             out: vec![0u64; self.plan.num_outputs() * MAX_BLOCK_WORDS],
         }
     }
@@ -310,30 +364,86 @@ impl Engine {
         );
         let k = self.plan.num_outputs();
         let out = &mut scratch.out[..k * words];
-        // The scratch value array serves every block width: constants are
-        // re-laid-out for the chosen width, and every other slot is
+        // The scratch value array serves every block width: a narrower
+        // block uses a prefix of it (slot `s` at words `s·B..s·B+B`),
+        // re-laid-out per call — constants rewritten, every other slot
         // written before it is read.
         match block_for_words(words) {
             1 => {
-                self.plan.init_consts::<1>(&mut scratch.vals);
+                let vals = scratch.vals.slice_mut(self.plan.vals_len(1));
+                self.plan.init_consts::<1>(vals);
                 self.plan
-                    .eval_packed_block::<1>(feature_blocks, words, &mut scratch.vals, out);
+                    .eval_packed_block::<1>(&*self.exec, feature_blocks, words, vals, out);
             }
             4 => {
-                self.plan.init_consts::<4>(&mut scratch.vals);
+                let vals = scratch.vals.slice_mut(self.plan.vals_len(4));
+                self.plan.init_consts::<4>(vals);
                 self.plan
-                    .eval_packed_block::<4>(feature_blocks, words, &mut scratch.vals, out);
+                    .eval_packed_block::<4>(&*self.exec, feature_blocks, words, vals, out);
             }
             _ => {
-                self.plan.init_consts::<8>(&mut scratch.vals);
+                let vals = scratch.vals.slice_mut(self.plan.vals_len(8));
+                self.plan.init_consts::<8>(vals);
                 self.plan
-                    .eval_packed_block::<8>(feature_blocks, words, &mut scratch.vals, out);
+                    .eval_packed_block::<8>(&*self.exec, feature_blocks, words, vals, out);
             }
         }
         for o in 0..k {
             out[o * words + words - 1] &= tail_mask;
         }
         &scratch.out[..k * words]
+    }
+}
+
+/// A value array whose payload starts on a 64-byte boundary.
+///
+/// At `B = 8` every slot is one 64-byte lane block and the JIT touches
+/// it with full-width `zmm` accesses; on a plain `Vec<u64>` (8-byte
+/// aligned) nearly all of those straddle two cache lines. Over-allocate
+/// by up to 7 words and start the payload at the first aligned element
+/// — safe code, no custom allocator — and every `B = 8` access is
+/// single-line (`B = 4` gets 32-byte alignment for free).
+#[derive(Debug)]
+struct AlignedVals {
+    buf: Vec<u64>,
+    /// Elements skipped so `buf[off]` sits on a 64-byte boundary.
+    off: usize,
+    /// Logical payload length.
+    len: usize,
+}
+
+impl AlignedVals {
+    fn new(len: usize) -> AlignedVals {
+        let buf = vec![0u64; len + 7];
+        let off = match buf.as_ptr().align_offset(64) {
+            // `align_offset` is in elements; 64 is a multiple of the
+            // element size, so at most 7 — but its contract permits a
+            // "cannot align" answer, for which index 0 is still sound
+            // (just unaligned).
+            o if o <= 7 => o,
+            _ => 0,
+        };
+        AlignedVals { buf, off, len }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The first `n` payload words, mutably.
+    fn slice_mut(&mut self, n: usize) -> &mut [u64] {
+        &mut self.buf[self.off..self.off + n]
+    }
+}
+
+impl Clone for AlignedVals {
+    fn clone(&self) -> AlignedVals {
+        // A byte-wise clone would inherit the source's `off`, but the new
+        // buffer has its own alignment — recompute instead of copying.
+        let mut c = AlignedVals::new(self.len);
+        c.slice_mut(self.len)
+            .copy_from_slice(&self.buf[self.off..self.off + self.len]);
+        c
     }
 }
 
@@ -349,7 +459,7 @@ impl Engine {
 /// assertions).
 #[derive(Clone, Debug)]
 pub struct Scratch {
-    vals: Vec<u64>,
+    vals: AlignedVals,
     out: Vec<u64>,
 }
 
@@ -404,6 +514,29 @@ impl ClassifierEngine {
     pub fn with_block_words(mut self, block: usize) -> ClassifierEngine {
         self.engine = self.engine.with_block_words(block);
         self
+    }
+
+    /// Selects the tape execution backend (builder style); see
+    /// [`Engine::with_backend`].
+    pub fn with_backend(mut self, backend: Backend) -> ClassifierEngine {
+        self.engine = self.engine.with_backend(backend);
+        self
+    }
+
+    /// The backend that actually runs after availability fallback; see
+    /// [`Engine::backend_name`].
+    pub fn backend_name(&self) -> &'static str {
+        self.engine.backend_name()
+    }
+
+    /// Forces any deferred backend compilation for every block width the
+    /// packed predict paths can select; see [`Engine::prepare`]. Serving
+    /// setups call this before taking traffic so no request ever waits
+    /// on codegen.
+    pub fn prepare_all(&self) {
+        for block in [1usize, 4, MAX_BLOCK_WORDS] {
+            self.engine.prepare(block);
+        }
     }
 
     /// The underlying netlist engine.

@@ -1,0 +1,212 @@
+//! The executor boundary: backends that run a compiled tape over a
+//! lane-blocked value array.
+//!
+//! [`EvalPlan`] fixes *what* to compute — the specialized, scheduled,
+//! slot-allocated op stream. *How* those ops are applied to the value
+//! array is the [`Executor`]'s business, and two implementations exist:
+//!
+//! * [`InterpExecutor`] — the kind-run interpreter: one Rust dispatch per
+//!   same-opcode segment, monomorphized inner loops per block width.
+//!   Portable, `unsafe`-free, and the differential-testing oracle every
+//!   other backend must match bit for bit.
+//! * [`JitExecutor`](crate::JitExecutor) — an in-process x86-64 JIT that
+//!   assembles the scheduled kind-runs into native counted loops over a
+//!   packed operand table (no per-op dispatch, SIMD up to AVX-512 — the
+//!   netlist becomes machine code, the software analogue of the paper's
+//!   LUT fabric).
+//!
+//! [`Backend`] is the user-facing selector threaded through every layer
+//! that owns an engine: `Auto` picks the JIT when the host supports it
+//! (x86-64, not disabled via `POETBIN_NO_JIT=1`) and falls back to the
+//! interpreter otherwise, so the same binary runs everywhere.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+use crate::plan::EvalPlan;
+
+/// A backend that can run a compiled tape.
+///
+/// The contract mirrors `EvalPlan::run_tape_block`: `vals` is a value
+/// array laid out for lane-block width `block ∈ {1, 4, 8}` (slot `s`
+/// occupies words `s·block .. (s+1)·block`), with the constant blocks
+/// initialised and every input slot loaded. The executor applies every
+/// tape op to its whole slot block; the caller reads the output slots
+/// back afterwards. Implementations must be **bit-identical** to the
+/// interpreter on every op stream — the blocked-equivalence and JIT
+/// differential suites enforce this.
+pub trait Executor: fmt::Debug + Send + Sync {
+    /// Stable lowercase backend label (`"interp"` / `"jit"`), surfaced
+    /// through stats endpoints and bench rows.
+    fn name(&self) -> &'static str;
+
+    /// Runs the whole tape once over a `block`-word-blocked value array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is not one of `1`, `4`, `8` or `vals` is not
+    /// exactly `num_slots() · block` words.
+    fn run_tape(&self, block: usize, vals: &mut [u64]);
+
+    /// Forces any deferred per-width compilation (the JIT assembles each
+    /// block width lazily on first use); a no-op for backends with
+    /// nothing to prepare. After this call, `run_tape(block, ..)` does no
+    /// codegen work.
+    fn prepare(&self, block: usize) {
+        let _ = block;
+    }
+}
+
+/// Which [`Executor`] an engine should run its tape on.
+///
+/// Parse from the CLI strings `"interp"` / `"jit"` / `"auto"` via
+/// [`FromStr`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// The kind-run interpreter — portable, the differential oracle.
+    Interp,
+    /// The in-process x86-64 JIT. On hosts where the JIT is unavailable
+    /// (non-x86-64, or `POETBIN_NO_JIT=1`) this silently degrades to the
+    /// interpreter — the choice is a performance hint, never a
+    /// correctness or availability switch; check
+    /// [`Engine::backend_name`](crate::Engine::backend_name) for what
+    /// actually runs.
+    Jit,
+    /// [`Backend::Jit`] when available, [`Backend::Interp`] otherwise.
+    #[default]
+    Auto,
+}
+
+impl Backend {
+    /// Whether the JIT backend can run here: x86-64 with SSE2 (always
+    /// present on x86-64, probed anyway) and not disabled through the
+    /// `POETBIN_NO_JIT=1` environment escape hatch.
+    pub fn jit_available() -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            !no_jit_requested() && std::arch::is_x86_feature_detected!("sse2")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    }
+
+    /// Stable lowercase label for this *requested* backend (`"interp"`,
+    /// `"jit"`, `"auto"`); what actually runs after fallback is
+    /// [`Executor::name`].
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Interp => "interp",
+            Backend::Jit => "jit",
+            Backend::Auto => "auto",
+        }
+    }
+
+    /// Builds the executor this backend resolves to on the current host.
+    pub(crate) fn build(self, plan: &Arc<EvalPlan>) -> Arc<dyn Executor> {
+        match self {
+            Backend::Interp => Arc::new(InterpExecutor::new(Arc::clone(plan))),
+            Backend::Jit | Backend::Auto => {
+                if Backend::jit_available() {
+                    crate::jit::executor(Arc::clone(plan))
+                } else {
+                    Arc::new(InterpExecutor::new(Arc::clone(plan)))
+                }
+            }
+        }
+    }
+}
+
+/// `POETBIN_NO_JIT` is set to something other than empty or `0`.
+fn no_jit_requested() -> bool {
+    std::env::var_os("POETBIN_NO_JIT").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The error [`Backend::from_str`] returns for an unrecognised name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseBackendError(String);
+
+impl fmt::Display for ParseBackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown backend {:?} (expected interp, jit or auto)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseBackendError {}
+
+impl FromStr for Backend {
+    type Err = ParseBackendError;
+
+    fn from_str(s: &str) -> Result<Backend, ParseBackendError> {
+        match s {
+            "interp" | "interpreter" => Ok(Backend::Interp),
+            "jit" => Ok(Backend::Jit),
+            "auto" => Ok(Backend::Auto),
+            other => Err(ParseBackendError(other.to_string())),
+        }
+    }
+}
+
+/// The kind-run interpreter behind the [`Executor`] boundary — the
+/// PR 5 execution engine, unchanged semantics: per-segment opcode
+/// dispatch into monomorphized fixed-width inner loops.
+#[derive(Debug)]
+pub struct InterpExecutor {
+    plan: Arc<EvalPlan>,
+}
+
+impl InterpExecutor {
+    /// Wraps a compiled plan.
+    pub fn new(plan: Arc<EvalPlan>) -> InterpExecutor {
+        InterpExecutor { plan }
+    }
+}
+
+impl Executor for InterpExecutor {
+    fn name(&self) -> &'static str {
+        "interp"
+    }
+
+    fn run_tape(&self, block: usize, vals: &mut [u64]) {
+        assert_eq!(
+            vals.len(),
+            self.plan.num_slots() * block,
+            "value array sized for a different plan or block width"
+        );
+        match block {
+            1 => self.plan.run_tape_block::<1>(vals),
+            4 => self.plan.run_tape_block::<4>(vals),
+            8 => self.plan.run_tape_block::<8>(vals),
+            other => panic!("block width {other} not one of 1, 4, 8"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_parses_cli_names() {
+        assert_eq!("interp".parse(), Ok(Backend::Interp));
+        assert_eq!("jit".parse(), Ok(Backend::Jit));
+        assert_eq!("auto".parse(), Ok(Backend::Auto));
+        let err = "fast".parse::<Backend>().unwrap_err();
+        assert!(err.to_string().contains("fast"));
+        assert_eq!(Backend::default(), Backend::Auto);
+        assert_eq!(Backend::Jit.label(), "jit");
+        assert_eq!(format!("{}", Backend::Auto), "auto");
+    }
+}

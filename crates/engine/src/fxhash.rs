@@ -1,0 +1,120 @@
+//! A dependency-free Fx-style hasher for the plan compiler's hot maps.
+//!
+//! Plan compilation is dominated by hash-map traffic: the kernel
+//! builder's structural-dedup maps and the emitter's CSE/complement
+//! memos each see one probe-or-insert per SSA op, hundreds of thousands
+//! of lookups on a paper-shaped netlist, every key a few machine words
+//! of small integers. `std`'s default SipHash is DoS-resistant at the
+//! cost of ~2 ns per word — real money at this volume for keys an
+//! attacker never controls (they derive from the caller's own netlist).
+//! This is the classic multiply-rotate word hash the Rust compiler
+//! itself uses for the same shape of workload: one rotate, one xor, one
+//! multiply per word.
+//!
+//! Not exported: anything facing untrusted keys should stay on `std`'s
+//! default hasher.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A [`std::collections::HashMap`] keyed through [`FxHasher`].
+pub(crate) type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// Multiply-rotate hasher over machine words; see the module docs for
+/// when (not) to use it.
+#[derive(Default)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+/// The golden-ratio multiplier (2^64 / φ), the usual Fibonacci-hashing
+/// constant: odd, and with bits spread evenly so multiplication mixes
+/// every input bit toward the high end.
+const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+impl FxHasher {
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Derived `Hash` impls for the compiler's key tuples hit the
+        // fixed-width paths below; this handles stragglers like `&str`.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_small_keys_hash_apart() {
+        // The maps key on tuples of small integers; the bare minimum is
+        // that nearby keys don't collide into the same bucket pattern.
+        let mut seen = std::collections::HashSet::new();
+        for a in 0u32..64 {
+            for b in 0u32..64 {
+                let mut h = FxHasher::default();
+                h.write_u32(a);
+                h.write_u32(b);
+                assert!(seen.insert(h.finish()), "collision at ({a}, {b})");
+            }
+        }
+    }
+
+    #[test]
+    fn byte_stream_matches_word_writes_for_aligned_input() {
+        // `write` must chunk little-endian so derived impls and manual
+        // word writes agree on 8-byte-aligned data.
+        let mut a = FxHasher::default();
+        a.write(&0xDEAD_BEEF_u64.to_le_bytes());
+        let mut b = FxHasher::default();
+        b.write_u64(0xDEAD_BEEF);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_roundtrips() {
+        let mut m: FxHashMap<(u8, u64), u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i as u8, (i as u64) << 32), i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&(7, 7u64 << 32)], 7);
+    }
+}

@@ -1,0 +1,627 @@
+//! The tape → x86-64 emitter: safe code in, machine code plus a packed
+//! operand table out.
+//!
+//! # Shape of the generated program
+//!
+//! A compiled tape is one `extern "sysv64" fn(*mut u64, *const u32)`:
+//! `rdi` carries the value-array base and `rsi` a packed table of
+//! **pre-scaled byte offsets** (`slot · B · 8`, validated in bounds at
+//! emission). The function is the scheduled kind-run sequence made
+//! flesh: one *specialized loop per kind run*, laid out back to back
+//! with an immediate trip count each — no opcode dispatch, no bounds
+//! checks, no multiplies, and no calls anywhere; the epilogue is a bare
+//! `ret`.
+//!
+//! A first cut of this backend emitted fully straight-line code — every
+//! op unrolled against `[rdi + disp32]` — and lost to the interpreter
+//! 8× on paper-shaped netlists: ~120 bytes of machine code per op
+//! turned a 45k-op tape into megabytes of instruction stream, and the
+//! front end became the bottleneck. The kind-run-loop form keeps the
+//! executable bytes in the tens of kilobytes (I-cache resident at any
+//! tape size) and streams 8–16 bytes of offsets per op instead — less
+//! than the interpreter's own 20-byte `TapeOp` records — so the win
+//! comes from what the loop bodies *don't* do, plus wider vectors:
+//!
+//! * **AVX-512** (detected at run time): one `zmm` register holds an
+//!   entire `B = 8` lane block, and `vpternlogq` evaluates *any*
+//!   three-input boolean in a single instruction — every two-operand op
+//!   becomes load / ternlog-with-memory / store covering all 8 words,
+//!   and even the general mux is one ternlog. `B = 4` uses the `ymm`
+//!   forms under AVX-512VL. This is the JIT's structural edge: the
+//!   statically-compiled interpreter targets baseline x86-64 (SSE2) and
+//!   cannot use these encodings.
+//! * **SSE2** (guaranteed on x86-64): two lane words per `xmm`, the
+//!   same loop structure, complements via an all-ones `xmm7` and
+//!   `pandn`. The portable floor, and what `B = 1` avoids entirely by
+//!   using 64-bit GPR forms.
+//!
+//! The emitter's contract with [`super::sys::ExecPage`]: generated code
+//! reads exactly `table[0 .. table_len]` (sequentially, once), touches
+//! memory only at `rdi + off .. rdi + off + 8·B` for table offsets
+//! `off` (all emitted offsets satisfy `off ≤ 8·(vals_len − B)`),
+//! clobbers only caller-saved registers, and returns.
+
+use crate::ops::OpKind;
+use crate::plan::EvalPlan;
+
+/// A compiled tape: machine code plus the operand table it walks.
+pub(crate) struct Compiled {
+    /// The function body (`extern "sysv64" fn(*mut u64, *const u32)`).
+    pub(crate) code: Vec<u8>,
+    /// Packed pre-scaled byte offsets, one entry group per tape op in
+    /// scheduled order: `[dst, a]` for `not`, `[dst, a, b]` for the
+    /// two-operand kinds, `[dst, a, b, c]` for `mux`.
+    pub(crate) table: Vec<u32>,
+}
+
+/// Dwords one op contributes to the operand table.
+fn entry_dwords(kind: OpKind) -> usize {
+    match kind {
+        OpKind::Not => 2,
+        OpKind::Mux => 4,
+        _ => 3,
+    }
+}
+
+/// Which vector tier a width's loops run on.
+#[derive(Clone, Copy, PartialEq)]
+enum Isa {
+    /// 64-bit GPR forms — `B = 1` only.
+    Gpr,
+    /// `xmm`, two words per register.
+    Sse2,
+    /// `ymm`/`zmm` + `vpternlogq`, `B/ymm_or_zmm` words per register.
+    Avx512 {
+        /// EVEX `L'L` field: 1 = 256-bit (`B = 4`), 2 = 512-bit (`B = 8`).
+        ll: u8,
+    },
+}
+
+/// Picks the best available tier for a block width on this CPU.
+fn isa_for(block: usize) -> Isa {
+    match block {
+        1 => Isa::Gpr,
+        4 => {
+            if std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512vl")
+            {
+                Isa::Avx512 { ll: 1 }
+            } else {
+                Isa::Sse2
+            }
+        }
+        8 => {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                Isa::Avx512 { ll: 2 }
+            } else {
+                Isa::Sse2
+            }
+        }
+        other => panic!("block width {other} not one of 1, 4, 8"),
+    }
+}
+
+/// `vpternlogq` immediate for each two-operand kind, with the loaded
+/// register as input `A` (and `B`, which is ignored: the emitter passes
+/// the same register twice) and the memory operand as input `C`. Bit
+/// `4·a + 2·b + c` of the immediate is the function's output for that
+/// input combination.
+fn ternlog_imm(kind: OpKind) -> u8 {
+    match kind {
+        OpKind::And => 0xA0,    // a & c
+        OpKind::AndNot => 0x50, // a & !c
+        OpKind::Or => 0xFA,     // a | c
+        OpKind::OrNot => 0xF5,  // a | !c
+        OpKind::Xor => 0x5A,    // a ^ c
+        OpKind::Xnor => 0xA5,   // !(a ^ c)
+        OpKind::Not | OpKind::Mux => unreachable!("not a two-operand kind"),
+    }
+}
+
+/// `vpternlogq` immediate for the mux `a ? c : b` with `A` = sel (first
+/// register), `B` = lo (second register), `C` = hi (memory).
+const TERNLOG_MUX: u8 = 0xAC;
+/// `vpternlogq` immediate for `!a` with all three inputs the same
+/// register (only rows `000` and `111` are reachable).
+const TERNLOG_NOT: u8 = 0x0F;
+
+// Register numbers (low 3 bits of ModRM/SIB fields).
+const RAX: u8 = 0;
+const RCX: u8 = 1;
+const RDX: u8 = 2;
+/// `rdi`, the value-array base.
+const BASE_RDI: u8 = 7;
+/// The all-ones SSE register (SSE2 tier only).
+const XMM_ONES: u8 = 7;
+
+/// SSE2 opcode bytes (66 0F-prefixed).
+const PAND: u8 = 0xDB;
+const PANDN: u8 = 0xDF;
+const POR: u8 = 0xEB;
+const PXOR: u8 = 0xEF;
+const PCMPEQD: u8 = 0x76;
+
+/// A growing machine-code buffer with just the encodings the loops need.
+struct Asm {
+    code: Vec<u8>,
+}
+
+impl Asm {
+    fn byte(&mut self, b: u8) {
+        self.code.push(b);
+    }
+
+    fn bytes(&mut self, bs: &[u8]) {
+        self.code.extend_from_slice(bs);
+    }
+
+    /// ModRM + SIB (+ disp8) for `[rdi + index + disp]`, `reg` in the
+    /// reg field. `index` may be 0–7 (no REX handling here: callers
+    /// needing `r8` emit their own REX prefix first and pass `0`).
+    fn modrm_sib(&mut self, reg: u8, index: u8, disp: u8) {
+        debug_assert!(reg < 8 && index < 8);
+        if disp == 0 {
+            self.byte((reg << 3) | 0b100); // mod = 00, SIB follows
+        } else {
+            self.byte(0x40 | (reg << 3) | 0b100); // mod = 01, disp8
+        }
+        self.byte((index << 3) | BASE_RDI); // scale = 1
+        if disp != 0 {
+            self.byte(disp);
+        }
+    }
+
+    /// ModRM for a register-register form, `reg` op `rm`.
+    fn modrm_rr(&mut self, reg: u8, rm: u8) {
+        debug_assert!(reg < 8 && rm < 8);
+        self.byte(0xC0 | (reg << 3) | rm);
+    }
+
+    // ---- offset fetches from the operand table ----
+
+    /// `mov e<reg>, dword [rsi + disp8]` — loads one table offset,
+    /// zero-extended.
+    fn mov_off(&mut self, reg: u8, disp: u8) {
+        self.byte(0x8B);
+        if disp == 0 {
+            self.byte((reg << 3) | 0b110); // mod = 00, rm = rsi
+        } else {
+            self.byte(0x40 | (reg << 3) | 0b110);
+            self.byte(disp);
+        }
+    }
+
+    /// `mov r8d, dword [rsi + disp8]`.
+    fn mov_off_r8d(&mut self, disp: u8) {
+        self.byte(0x44); // REX.R
+        self.mov_off(0, disp);
+    }
+
+    // ---- loop scaffolding ----
+
+    /// `mov r9d, imm32` — the segment trip count.
+    fn mov_r9d_imm(&mut self, imm: u32) {
+        self.bytes(&[0x41, 0xB9]);
+        self.bytes(&imm.to_le_bytes());
+    }
+
+    /// `add rsi, imm8` — advance the table cursor one entry group.
+    fn add_rsi_imm8(&mut self, imm: u8) {
+        self.bytes(&[0x48, 0x83, 0xC6, imm]);
+    }
+
+    /// `dec r9`.
+    fn dec_r9(&mut self) {
+        self.bytes(&[0x49, 0xFF, 0xC9]);
+    }
+
+    /// `jnz` back to absolute code position `target`.
+    fn jnz_back(&mut self, target: usize) {
+        self.bytes(&[0x0F, 0x85]);
+        let rel = target as i64 - (self.code.len() as i64 + 4);
+        self.bytes(&(i32::try_from(rel).expect("loop body exceeds i32 range")).to_le_bytes());
+    }
+
+    /// `ret`.
+    fn ret(&mut self) {
+        self.byte(0xC3);
+    }
+
+    // ---- 64-bit GPR forms ----
+
+    /// `mov <reg>, qword [rdi + <index>]`.
+    fn gpr_load(&mut self, reg: u8, index: u8) {
+        self.bytes(&[0x48, 0x8B]);
+        self.modrm_sib(reg, index, 0);
+    }
+
+    /// `<op> <reg>, qword [rdi + <index>]` — `op` ∈ and (0x23),
+    /// or (0x0B), xor (0x33).
+    fn gpr_op_load(&mut self, opcode: u8, reg: u8, index: u8) {
+        self.bytes(&[0x48, opcode]);
+        self.modrm_sib(reg, index, 0);
+    }
+
+    /// `mov qword [rdi + <index>], <reg>`.
+    fn gpr_store(&mut self, reg: u8, index: u8) {
+        self.bytes(&[0x48, 0x89]);
+        self.modrm_sib(reg, index, 0);
+    }
+
+    /// `not <reg>` (64-bit).
+    fn gpr_not(&mut self, reg: u8) {
+        self.bytes(&[0x48, 0xF7]);
+        self.modrm_rr(2, reg); // /2 = NOT
+    }
+
+    /// `xor <dst>, <src>` (registers, 64-bit).
+    fn gpr_xor_rr(&mut self, dst: u8, src: u8) {
+        self.bytes(&[0x48, 0x31]);
+        self.modrm_rr(src, dst);
+    }
+
+    // ---- SSE2 forms ----
+
+    /// `movdqu xmm, [rdi + index + disp]` (load) or the reverse (store).
+    /// `index` 0–7, or 8 for `r8` (REX.X emitted).
+    fn movdqu(&mut self, store: bool, xmm: u8, index: u8, disp: u8) {
+        self.byte(0xF3);
+        if index >= 8 {
+            self.byte(0x42); // REX.X
+        }
+        self.bytes(&[0x0F, if store { 0x7F } else { 0x6F }]);
+        self.modrm_sib(xmm, index & 7, disp);
+    }
+
+    /// A 66 0F-prefixed packed op `dst, src` (both registers).
+    fn sse_rr(&mut self, opcode: u8, dst: u8, src: u8) {
+        self.bytes(&[0x66, 0x0F, opcode]);
+        self.modrm_rr(dst, src);
+    }
+
+    // ---- EVEX (AVX-512) forms; all operand registers are 0–2 and all
+    // index registers 0–7, so every extension bit stays in its inverted
+    // "unused" state ----
+
+    /// The four-byte EVEX prefix. `map`: 1 = 0F, 3 = 0F3A; `pp`: 1 = 66,
+    /// 2 = F3; `vvvv` is the *uninverted* first-source register; `ll`:
+    /// 1 = 256-bit, 2 = 512-bit.
+    fn evex(&mut self, map: u8, pp: u8, vvvv: u8, ll: u8) {
+        debug_assert!(vvvv < 16);
+        self.byte(0x62);
+        self.byte(0xF0 | map); // R̄ X̄ B̄ R̄' = 1111
+        self.byte(0x80 | ((!vvvv & 0xF) << 3) | 0b100 | pp); // W = 1
+        self.byte((ll << 5) | 0b1000); // z = 0, b = 0, V̄' = 1, aaa = 000
+    }
+
+    /// `vmovdqu64 zmm/ymm, [rdi + index]` (load) or the reverse (store).
+    fn vmovdqu64(&mut self, store: bool, reg: u8, index: u8, ll: u8) {
+        self.evex(1, 2, 0, ll);
+        self.byte(if store { 0x7F } else { 0x6F });
+        self.modrm_sib(reg, index, 0);
+    }
+
+    /// `vpternlogq dst, src1, [rdi + index], imm`.
+    fn vpternlogq_mem(&mut self, dst: u8, src1: u8, index: u8, imm: u8, ll: u8) {
+        self.evex(3, 1, src1, ll);
+        self.byte(0x25);
+        self.modrm_sib(dst, index, 0);
+        self.byte(imm);
+    }
+
+    /// `vpternlogq dst, src1, src2, imm` (all registers).
+    fn vpternlogq_rr(&mut self, dst: u8, src1: u8, src2: u8, imm: u8, ll: u8) {
+        self.evex(3, 1, src1, ll);
+        self.byte(0x25);
+        self.modrm_rr(dst, src2);
+        self.byte(imm);
+    }
+
+    /// `vzeroupper` — leave the clean-upper state for any legacy SSE
+    /// code that runs after us.
+    fn vzeroupper(&mut self) {
+        self.bytes(&[0xC5, 0xF8, 0x77]);
+    }
+}
+
+/// Assembles the whole tape for block width `block ∈ {1, 4, 8}`.
+pub(crate) fn assemble(plan: &EvalPlan, block: usize) -> Compiled {
+    let isa = isa_for(block);
+
+    // The operand table: per-op byte offsets, pre-scaled and bounds-
+    // checked here so the generated code needs neither multiplies nor
+    // checks. `slot < num_slots` (allocator invariant), hence
+    // `off + 8·B ≤ 8·vals_len`.
+    let off = |slot: u32| -> u32 {
+        let byte_off = slot as usize * block * 8;
+        assert!(
+            byte_off + block * 8 <= plan.vals_len(block) * 8,
+            "slot outside the value array"
+        );
+        u32::try_from(byte_off).expect("value array exceeds 4 GiB — unsupported plan size")
+    };
+    let mut table: Vec<u32> = Vec::new();
+    for op in plan.tape() {
+        table.push(off(op.dst));
+        table.push(off(op.a));
+        if entry_dwords(op.kind) >= 3 {
+            table.push(off(op.b));
+        }
+        if entry_dwords(op.kind) == 4 {
+            table.push(off(op.c));
+        }
+    }
+
+    let mut a = Asm {
+        code: Vec::with_capacity(plan.kind_runs().len() * 64 + 16),
+    };
+    if isa == Isa::Sse2 {
+        // xmm7 = all-ones, the complement mask for OrNot / Xnor / Not.
+        a.sse_rr(PCMPEQD, XMM_ONES, XMM_ONES);
+    }
+    for &(kind, count) in plan.kind_runs() {
+        a.mov_r9d_imm(count);
+        let body = a.code.len();
+        match isa {
+            Isa::Gpr => emit_gpr_body(&mut a, kind),
+            Isa::Sse2 => emit_sse_body(&mut a, kind, block),
+            Isa::Avx512 { ll } => emit_avx512_body(&mut a, kind, ll),
+        }
+        a.add_rsi_imm8((entry_dwords(kind) * 4) as u8);
+        a.dec_r9();
+        a.jnz_back(body);
+    }
+    if matches!(isa, Isa::Avx512 { .. }) {
+        a.vzeroupper();
+    }
+    a.ret();
+    Compiled {
+        code: a.code,
+        table,
+    }
+}
+
+/// One-op loop body, `B = 1`: 64-bit GPR forms. Offset registers double
+/// as value registers once consumed (`mov rax, [rdi + rax]`).
+fn emit_gpr_body(a: &mut Asm, kind: OpKind) {
+    match kind {
+        OpKind::And | OpKind::Or | OpKind::Xor | OpKind::Xnor => {
+            let opcode = match kind {
+                OpKind::And => 0x23,
+                OpKind::Or => 0x0B,
+                _ => 0x33,
+            };
+            a.mov_off(RAX, 4);
+            a.gpr_load(RAX, RAX);
+            a.mov_off(RCX, 8);
+            a.gpr_op_load(opcode, RAX, RCX);
+            if kind == OpKind::Xnor {
+                a.gpr_not(RAX);
+            }
+            a.mov_off(RDX, 0);
+            a.gpr_store(RAX, RDX);
+        }
+        OpKind::AndNot | OpKind::OrNot => {
+            // a OP !b: complement b first, then fold a in from memory.
+            a.mov_off(RCX, 8);
+            a.gpr_load(RCX, RCX);
+            a.gpr_not(RCX);
+            a.mov_off(RAX, 4);
+            a.gpr_op_load(if kind == OpKind::AndNot { 0x23 } else { 0x0B }, RCX, RAX);
+            a.mov_off(RDX, 0);
+            a.gpr_store(RCX, RDX);
+        }
+        OpKind::Not => {
+            a.mov_off(RAX, 4);
+            a.gpr_load(RAX, RAX);
+            a.gpr_not(RAX);
+            a.mov_off(RDX, 0);
+            a.gpr_store(RAX, RDX);
+        }
+        OpKind::Mux => {
+            // dst = lo ^ (sel & (lo ^ hi)); entries [dst, sel, lo, hi].
+            a.mov_off(RCX, 8);
+            a.gpr_load(RCX, RCX); // rcx = lo
+            a.mov_off(RDX, 12);
+            a.gpr_load(RDX, RDX); // rdx = hi
+            a.gpr_xor_rr(RDX, RCX); // rdx = lo ^ hi
+            a.mov_off(RAX, 4);
+            a.gpr_op_load(0x23, RDX, RAX); // rdx &= sel
+            a.gpr_xor_rr(RCX, RDX); // rcx = result
+            a.mov_off(RAX, 0);
+            a.gpr_store(RCX, RAX);
+        }
+    }
+}
+
+/// One-op loop body, SSE2 tier: `block/2` two-word chunks per op, with
+/// offsets held in `eax`/`ecx`/`edx` (and `r8d` for the mux destination)
+/// across chunks.
+fn emit_sse_body(a: &mut Asm, kind: OpKind, block: usize) {
+    let chunks = (block / 2) as u8;
+    match kind {
+        OpKind::Not => {
+            a.mov_off(RAX, 4);
+            a.mov_off(RDX, 0);
+            for w in 0..chunks {
+                a.movdqu(false, 0, RAX, w * 16);
+                a.sse_rr(PXOR, 0, XMM_ONES);
+                a.movdqu(true, 0, RDX, w * 16);
+            }
+        }
+        OpKind::Mux => {
+            // Entries [dst, sel, lo, hi]; dst rides in r8d because the
+            // three operand offsets stay live across every chunk.
+            a.mov_off(RAX, 4); // sel
+            a.mov_off(RCX, 8); // lo
+            a.mov_off(RDX, 12); // hi
+            a.mov_off_r8d(0); // dst
+            for w in 0..chunks {
+                a.movdqu(false, 0, RCX, w * 16); // xmm0 = lo
+                a.movdqu(false, 1, RDX, w * 16); // xmm1 = hi
+                a.sse_rr(PXOR, 1, 0); // xmm1 = lo ^ hi
+                a.movdqu(false, 2, RAX, w * 16); // xmm2 = sel
+                a.sse_rr(PAND, 1, 2);
+                a.sse_rr(PXOR, 0, 1);
+                a.movdqu(true, 0, 8, w * 16); // [rdi + r8]
+            }
+        }
+        two_op => {
+            a.mov_off(RAX, 4);
+            a.mov_off(RCX, 8);
+            a.mov_off(RDX, 0);
+            for w in 0..chunks {
+                match two_op {
+                    OpKind::And | OpKind::Or | OpKind::Xor | OpKind::Xnor => {
+                        a.movdqu(false, 0, RAX, w * 16);
+                        a.movdqu(false, 1, RCX, w * 16);
+                        a.sse_rr(
+                            match two_op {
+                                OpKind::And => PAND,
+                                OpKind::Or => POR,
+                                _ => PXOR,
+                            },
+                            0,
+                            1,
+                        );
+                        if two_op == OpKind::Xnor {
+                            a.sse_rr(PXOR, 0, XMM_ONES);
+                        }
+                    }
+                    OpKind::AndNot => {
+                        // pandn computes !dst & src: load b as dst.
+                        a.movdqu(false, 0, RCX, w * 16);
+                        a.movdqu(false, 1, RAX, w * 16);
+                        a.sse_rr(PANDN, 0, 1);
+                    }
+                    OpKind::OrNot => {
+                        a.movdqu(false, 0, RCX, w * 16);
+                        a.sse_rr(PXOR, 0, XMM_ONES);
+                        a.movdqu(false, 1, RAX, w * 16);
+                        a.sse_rr(POR, 0, 1);
+                    }
+                    _ => unreachable!(),
+                }
+                a.movdqu(true, 0, RDX, w * 16);
+            }
+        }
+    }
+}
+
+/// One-op loop body, AVX-512 tier: a whole lane block per register and
+/// one `vpternlogq` per boolean function.
+fn emit_avx512_body(a: &mut Asm, kind: OpKind, ll: u8) {
+    match kind {
+        OpKind::Not => {
+            a.mov_off(RAX, 4);
+            a.vmovdqu64(false, 0, RAX, ll);
+            a.vpternlogq_rr(0, 0, 0, TERNLOG_NOT, ll);
+            a.mov_off(RDX, 0);
+            a.vmovdqu64(true, 0, RDX, ll);
+        }
+        OpKind::Mux => {
+            a.mov_off(RAX, 4); // sel
+            a.vmovdqu64(false, 0, RAX, ll);
+            a.mov_off(RCX, 8); // lo
+            a.vmovdqu64(false, 1, RCX, ll);
+            a.mov_off(RDX, 12); // hi (memory operand)
+            a.vpternlogq_mem(0, 1, RDX, TERNLOG_MUX, ll);
+            a.mov_off(RAX, 0);
+            a.vmovdqu64(true, 0, RAX, ll);
+        }
+        two_op => {
+            a.mov_off(RAX, 4);
+            a.vmovdqu64(false, 0, RAX, ll);
+            a.mov_off(RCX, 8);
+            a.vpternlogq_mem(0, 0, RCX, ternlog_imm(two_op), ll);
+            a.mov_off(RDX, 0);
+            a.vmovdqu64(true, 0, RDX, ll);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ternlog_immediates_match_the_boolean_functions() {
+        // Recompute every immediate from the op semantics: bit
+        // 4a + 2b + c must be f(a, c) (b is the ignored duplicate).
+        for (kind, f) in [
+            (OpKind::And, (|a, c| a & c) as fn(bool, bool) -> bool),
+            (OpKind::AndNot, |a, c| a & !c),
+            (OpKind::Or, |a, c| a | c),
+            (OpKind::OrNot, |a, c| a | !c),
+            (OpKind::Xor, |a, c| a ^ c),
+            (OpKind::Xnor, |a, c| !(a ^ c)),
+        ] {
+            let mut imm = 0u8;
+            for idx in 0..8 {
+                let (a, c) = ((idx >> 2) & 1 == 1, idx & 1 == 1);
+                if f(a, c) {
+                    imm |= 1 << idx;
+                }
+            }
+            assert_eq!(imm, ternlog_imm(kind), "{}", kind.name());
+        }
+        // Mux: A = sel, B = lo, C = hi, f = sel ? hi : lo.
+        let mut imm = 0u8;
+        for idx in 0..8u8 {
+            let (a, b, c) = ((idx >> 2) & 1 == 1, (idx >> 1) & 1 == 1, idx & 1 == 1);
+            if if a { c } else { b } {
+                imm |= 1 << idx;
+            }
+        }
+        assert_eq!(imm, TERNLOG_MUX);
+        // Not with A = B = C: row 000 must give 1, row 111 must give 0.
+        assert_eq!(TERNLOG_NOT & 1, 1);
+        assert_eq!(TERNLOG_NOT >> 7, 0);
+    }
+
+    #[test]
+    fn scaffold_encodings_are_stable() {
+        let mut a = Asm { code: Vec::new() };
+        a.mov_r9d_imm(7);
+        assert_eq!(a.code, [0x41, 0xB9, 7, 0, 0, 0]);
+        a.code.clear();
+        a.mov_off(RAX, 4);
+        assert_eq!(a.code, [0x8B, 0x46, 0x04]);
+        a.code.clear();
+        a.mov_off(RDX, 0);
+        assert_eq!(a.code, [0x8B, 0x16]);
+        a.code.clear();
+        a.gpr_load(RAX, RAX);
+        assert_eq!(a.code, [0x48, 0x8B, 0x04, 0x07]);
+        a.code.clear();
+        a.gpr_store(RCX, RDX);
+        assert_eq!(a.code, [0x48, 0x89, 0x0C, 0x17]);
+        a.code.clear();
+        a.add_rsi_imm8(12);
+        a.dec_r9();
+        let body = 0usize;
+        a.jnz_back(body);
+        // jnz rel32 back to 0: rel = -(len of all bytes emitted so far + 6).
+        assert_eq!(&a.code[..4], &[0x48, 0x83, 0xC6, 12]);
+        assert_eq!(&a.code[4..7], &[0x49, 0xFF, 0xC9]);
+        assert_eq!(a.code[7..9], [0x0F, 0x85]);
+        let rel = i32::from_le_bytes(a.code[9..13].try_into().unwrap());
+        assert_eq!(rel, -13);
+    }
+
+    #[test]
+    fn evex_prefix_matches_hand_assembled_forms() {
+        let mut a = Asm { code: Vec::new() };
+        // vmovdqu64 zmm0, [rdi + rax]
+        a.vmovdqu64(false, 0, RAX, 2);
+        assert_eq!(a.code, [0x62, 0xF1, 0xFE, 0x48, 0x6F, 0x04, 0x07]);
+        a.code.clear();
+        // vpternlogq zmm0, zmm0, [rdi + rcx], 0xA0
+        a.vpternlogq_mem(0, 0, RCX, 0xA0, 2);
+        assert_eq!(a.code, [0x62, 0xF3, 0xFD, 0x48, 0x25, 0x04, 0x0F, 0xA0]);
+        a.code.clear();
+        // vpternlogq ymm0, ymm1, [rdi + rdx], 0xAC
+        a.vpternlogq_mem(0, 1, RDX, 0xAC, 1);
+        assert_eq!(a.code, [0x62, 0xF3, 0xF5, 0x28, 0x25, 0x04, 0x17, 0xAC]);
+    }
+}

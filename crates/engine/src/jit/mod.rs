@@ -1,0 +1,243 @@
+//! The in-process x86-64 JIT backend: the scheduled tape assembled into
+//! native kind-run loops over a packed operand table.
+//!
+//! Submodules split the subsystem along its trust boundary:
+//!
+//! * [`asm`] — the safe emitter: tape in, x86-64 bytes out;
+//! * [`sys`] — the `unsafe` island: `mmap`/`mprotect` page management
+//!   behind the W^X-enforcing `ExecPage` type.
+//!
+//! [`JitExecutor`] glues them together with a lazy per-width code
+//! cache: each block width `B ∈ {1, 4, 8}` is assembled at most once,
+//! on first use (or eagerly via [`Executor::prepare`]), so engines that
+//! only ever run one width never pay for the others and plan
+//! compilation itself stays codegen-free. On a host without JIT support
+//! — a non-x86-64 build, or an executable mapping the kernel refuses —
+//! every call transparently runs the interpreter loop instead, so the
+//! backend is a performance choice, never a correctness hazard.
+
+#[cfg(target_arch = "x86_64")]
+mod asm;
+#[cfg(target_arch = "x86_64")]
+mod sys;
+
+use std::sync::Arc;
+#[cfg(target_arch = "x86_64")]
+use std::sync::OnceLock;
+
+use crate::exec::Executor;
+use crate::plan::EvalPlan;
+
+/// Maps a block width to its slot in the per-width code cache.
+#[cfg(target_arch = "x86_64")]
+fn width_index(block: usize) -> usize {
+    match block {
+        1 => 0,
+        4 => 1,
+        8 => 2,
+        other => panic!("block width {other} not one of 1, 4, 8"),
+    }
+}
+
+/// One width's finished artifact: the mapped code plus the operand
+/// offset table it streams.
+#[cfg(target_arch = "x86_64")]
+#[derive(Debug)]
+struct CompiledTape {
+    page: sys::ExecPage,
+    table: Vec<u32>,
+}
+
+/// An [`Executor`] that runs the tape as native x86-64 code.
+///
+/// Construction is cheap: machine code for each block width is
+/// assembled lazily on first use and cached for the executor's lifetime
+/// (clones made through [`crate::Engine`] share the cache via `Arc`).
+/// Outputs are bit-identical to [`crate::InterpExecutor`] on every op
+/// stream — the differential suite in `tests/jit.rs` enforces this.
+#[derive(Debug)]
+pub struct JitExecutor {
+    plan: Arc<EvalPlan>,
+    /// One lazily-built compilation per block width (1, 4, 8); `None`
+    /// inside means codegen or mapping failed and this width runs
+    /// interpreted.
+    #[cfg(target_arch = "x86_64")]
+    widths: [OnceLock<Option<CompiledTape>>; 3],
+}
+
+impl JitExecutor {
+    /// Wraps a compiled plan; no machine code is generated yet.
+    pub fn new(plan: Arc<EvalPlan>) -> JitExecutor {
+        JitExecutor {
+            plan,
+            #[cfg(target_arch = "x86_64")]
+            widths: [OnceLock::new(), OnceLock::new(), OnceLock::new()],
+        }
+    }
+
+    /// Whether native code for `block` is mapped and will be used (after
+    /// [`Executor::prepare`] or a first `run_tape` at that width).
+    /// `false` before codegen, on non-x86-64 hosts, and when mapping an
+    /// executable page failed.
+    pub fn is_native(&self, block: usize) -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            self.widths[width_index(block)]
+                .get()
+                .is_some_and(|compiled| compiled.is_some())
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = block;
+            false
+        }
+    }
+
+    /// Bytes of mapped machine code across all compiled widths.
+    pub fn code_bytes(&self) -> usize {
+        #[cfg(target_arch = "x86_64")]
+        {
+            self.widths
+                .iter()
+                .filter_map(|w| w.get().and_then(|c| c.as_ref()))
+                .map(|c| c.page.map_len())
+                .sum()
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            0
+        }
+    }
+
+    /// The compilation for `block`, assembling and mapping it on first
+    /// use.
+    #[cfg(target_arch = "x86_64")]
+    fn compiled(&self, block: usize) -> Option<&CompiledTape> {
+        self.widths[width_index(block)]
+            .get_or_init(|| {
+                let compiled = asm::assemble(&self.plan, block);
+                sys::ExecPage::new(
+                    &compiled.code,
+                    self.plan.vals_len(block),
+                    compiled.table.len(),
+                )
+                .ok()
+                .map(|page| CompiledTape {
+                    page,
+                    table: compiled.table,
+                })
+            })
+            .as_ref()
+    }
+}
+
+impl Executor for JitExecutor {
+    fn name(&self) -> &'static str {
+        "jit"
+    }
+
+    fn prepare(&self, block: usize) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let _ = self.compiled(block);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = block;
+        }
+    }
+
+    fn run_tape(&self, block: usize, vals: &mut [u64]) {
+        assert_eq!(
+            vals.len(),
+            self.plan.num_slots() * block,
+            "value array sized for a different plan or block width"
+        );
+        #[cfg(target_arch = "x86_64")]
+        if let Some(compiled) = self.compiled(block) {
+            compiled.page.call(vals, &compiled.table);
+            return;
+        }
+        // Interpreter fallback: non-x86-64, or the executable mapping
+        // failed (hardened kernel, memory pressure).
+        match block {
+            1 => self.plan.run_tape_block::<1>(vals),
+            4 => self.plan.run_tape_block::<4>(vals),
+            8 => self.plan.run_tape_block::<8>(vals),
+            other => panic!("block width {other} not one of 1, 4, 8"),
+        }
+    }
+}
+
+/// Builds the JIT executor [`crate::Backend`] resolution uses.
+pub(crate) fn executor(plan: Arc<EvalPlan>) -> Arc<dyn Executor> {
+    Arc::new(JitExecutor::new(plan))
+}
+
+#[cfg(all(test, target_arch = "x86_64"))]
+mod tests {
+    use super::*;
+    use poetbin_bits::TruthTable;
+    use poetbin_fpga::NetlistBuilder;
+
+    /// A tiny netlist exercising several opcodes: out0 = x ^ y,
+    /// out1 = !(x & y).
+    fn tiny_plan() -> Arc<EvalPlan> {
+        let mut b = NetlistBuilder::new();
+        let x = b.add_input();
+        let y = b.add_input();
+        let xor = b.add_lut(vec![x, y], TruthTable::from_fn(2, |i| i == 1 || i == 2));
+        let nand = b.add_lut(vec![x, y], TruthTable::from_fn(2, |i| i != 3));
+        b.set_outputs(vec![xor, nand]);
+        Arc::new(EvalPlan::compile(&b.finish()).unwrap())
+    }
+
+    #[test]
+    fn jit_matches_interpreter_on_all_widths() {
+        let plan = tiny_plan();
+        let jit = JitExecutor::new(Arc::clone(&plan));
+        assert!(!jit.is_native(8), "codegen must be lazy");
+        for block in [1usize, 4, 8] {
+            let mut vals = vec![0u64; plan.vals_len(block)];
+            let mut expect = vec![0u64; plan.vals_len(block)];
+            for (i, (v, e)) in vals.iter_mut().zip(expect.iter_mut()).enumerate() {
+                let word = (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                *v = word;
+                *e = word;
+            }
+            // Lay out constants per width on both copies.
+            match block {
+                1 => {
+                    plan.init_consts::<1>(&mut vals);
+                    plan.init_consts::<1>(&mut expect);
+                }
+                4 => {
+                    plan.init_consts::<4>(&mut vals);
+                    plan.init_consts::<4>(&mut expect);
+                }
+                _ => {
+                    plan.init_consts::<8>(&mut vals);
+                    plan.init_consts::<8>(&mut expect);
+                }
+            }
+            jit.run_tape(block, &mut vals);
+            assert!(jit.is_native(block), "x86-64 must run native code");
+            match block {
+                1 => plan.run_tape_block::<1>(&mut expect),
+                4 => plan.run_tape_block::<4>(&mut expect),
+                _ => plan.run_tape_block::<8>(&mut expect),
+            }
+            assert_eq!(vals, expect, "JIT diverged from interpreter at B={block}");
+        }
+        assert!(jit.code_bytes() >= 3 * 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "different plan or block width")]
+    fn run_tape_rejects_misshapen_vals() {
+        let plan = tiny_plan();
+        let jit = JitExecutor::new(Arc::clone(&plan));
+        let mut vals = vec![0u64; plan.vals_len(8) + 1];
+        jit.run_tape(8, &mut vals);
+    }
+}

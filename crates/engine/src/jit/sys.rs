@@ -1,0 +1,220 @@
+//! Executable-page management for the JIT — the engine crate's one
+//! `unsafe` island, in the same raw-shim style as `vendor/epoll`: a
+//! narrow `extern "C"` surface against the libc `std` already links
+//! (`mmap` / `mprotect` / `munmap`), wrapped in a safe [`ExecPage`] type
+//! that owns the mapping and upholds W^X.
+//!
+//! The lifecycle is strict write-xor-execute: a page is mapped
+//! read-write and anonymous, the generated code is copied in, the
+//! protection is flipped to read-execute (never writable and executable
+//! at once), and only then is the entry point callable. x86-64 has a
+//! coherent instruction cache, so no explicit flush is needed between
+//! the copy and the first call; the `mprotect` itself is a full
+//! serialization point for the protection change.
+//!
+//! Safety of *calling* the page rests on two walls:
+//!
+//! * the emitter contract ([`crate::jit::asm`]): generated code is a
+//!   complete `extern "sysv64" fn(*mut u64, *const u32)` that reads and
+//!   writes only `rdi .. rdi + 8·vals_len`, reads only
+//!   `rsi .. rsi + 4·table_len`, clobbers only caller-saved registers,
+//!   and returns; and
+//! * the length checks here: [`ExecPage::call`] takes both slices and
+//!   refuses any whose length differs from what the page was built for,
+//!   so a misused page cannot read or write out of bounds.
+
+#![allow(unsafe_code)]
+
+use std::io;
+
+/// The raw libc surface. Constants are from the Linux UAPI headers;
+/// `std` already links libc, so the symbols resolve without any build
+/// script.
+mod raw {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 0x1;
+    pub const PROT_WRITE: c_int = 0x2;
+    pub const PROT_EXEC: c_int = 0x4;
+
+    pub const MAP_PRIVATE: c_int = 0x02;
+    pub const MAP_ANONYMOUS: c_int = 0x20;
+    /// `mmap`'s error return, `(void *)-1`.
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn mprotect(addr: *mut c_void, length: usize, prot: c_int) -> c_int;
+        pub fn munmap(addr: *mut c_void, length: usize) -> c_int;
+    }
+}
+
+/// An owned read-execute mapping holding one compiled tape function.
+///
+/// Created by [`ExecPage::new`] from finished machine code; unmapped on
+/// drop. The contained function has signature
+/// `extern "sysv64" fn(*mut u64, *const u32)` — the value array and the
+/// operand offset table the code streams — and operates on exactly the
+/// `vals_len` / `table_len` the page was built with.
+#[derive(Debug)]
+pub(crate) struct ExecPage {
+    base: *mut std::os::raw::c_void,
+    /// Mapping length: code length rounded up to the page size.
+    map_len: usize,
+    /// Words of the value array the compiled function reads and writes.
+    vals_len: usize,
+    /// Dwords of the operand table the compiled function streams.
+    table_len: usize,
+}
+
+// SAFETY: the mapping is immutable after construction (RX, never written
+// again) and `call` takes `&self` plus a caller-exclusive value slice, so
+// sharing or moving a page across threads races on nothing. The raw
+// pointer is only freed in `Drop`, which Rust runs exactly once.
+unsafe impl Send for ExecPage {}
+// SAFETY: as above — concurrent `call`s only share the read-only code.
+unsafe impl Sync for ExecPage {}
+
+impl ExecPage {
+    /// Maps `code` into an executable page for a function built against
+    /// a `vals_len`-word value array and a `table_len`-dword operand
+    /// table.
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error if the map or the W→X protection flip fails
+    /// (typically memory exhaustion, or a hardened kernel refusing
+    /// anonymous executable mappings — callers fall back to the
+    /// interpreter).
+    pub(crate) fn new(code: &[u8], vals_len: usize, table_len: usize) -> io::Result<ExecPage> {
+        assert!(!code.is_empty(), "refusing to map an empty function");
+        // Page-align the length; 4 KiB is the smallest page size on
+        // every x86-64 Linux configuration, and `mmap` rounds internally
+        // for larger ones.
+        let map_len = code.len().div_ceil(4096) * 4096;
+        // SAFETY: a fresh anonymous private mapping overlaps nothing and
+        // is ours alone; passing addr = null lets the kernel choose.
+        let base = unsafe {
+            raw::mmap(
+                std::ptr::null_mut(),
+                map_len,
+                raw::PROT_READ | raw::PROT_WRITE,
+                raw::MAP_PRIVATE | raw::MAP_ANONYMOUS,
+                -1,
+                0,
+            )
+        };
+        if base == raw::MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: `base` is a valid, writable, page-aligned allocation of
+        // `map_len ≥ code.len()` bytes that nothing else references yet.
+        unsafe {
+            std::ptr::copy_nonoverlapping(code.as_ptr(), base.cast::<u8>(), code.len());
+        }
+        // W^X flip: from here on the page is never writable again.
+        // SAFETY: `base`/`map_len` delimit exactly the mapping above.
+        let rc = unsafe { raw::mprotect(base, map_len, raw::PROT_READ | raw::PROT_EXEC) };
+        if rc != 0 {
+            let err = io::Error::last_os_error();
+            // SAFETY: unmapping the mapping we just created; `base` is
+            // not returned on this path so no dangling handle survives.
+            unsafe {
+                raw::munmap(base, map_len);
+            }
+            return Err(err);
+        }
+        Ok(ExecPage {
+            base,
+            map_len,
+            vals_len,
+            table_len,
+        })
+    }
+
+    /// Bytes of machine code capacity the mapping holds (page-rounded).
+    pub(crate) fn map_len(&self) -> usize {
+        self.map_len
+    }
+
+    /// Runs the compiled tape function over `vals`, streaming `table`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice is not exactly the length the page was
+    /// built for — the length checks are the safe API's bounds wall.
+    pub(crate) fn call(&self, vals: &mut [u64], table: &[u32]) {
+        assert_eq!(
+            vals.len(),
+            self.vals_len,
+            "value array sized for a different compiled tape"
+        );
+        assert_eq!(
+            table.len(),
+            self.table_len,
+            "operand table sized for a different compiled tape"
+        );
+        // SAFETY: `base` points at a live RX mapping containing a
+        // complete `extern "sysv64" fn(*mut u64, *const u32)` (emitter
+        // contract), and the asserts above guarantee both pointees cover
+        // every byte the code addresses. The value slice is exclusive
+        // (`&mut`), so the writes race with nothing; the table is only
+        // read.
+        unsafe {
+            let entry: extern "sysv64" fn(*mut u64, *const u32) = std::mem::transmute(self.base);
+            entry(vals.as_mut_ptr(), table.as_ptr());
+        }
+    }
+}
+
+impl Drop for ExecPage {
+    fn drop(&mut self) {
+        // SAFETY: `base`/`map_len` delimit the mapping made in `new`;
+        // after drop no `call` can run (the page is owned).
+        unsafe {
+            raw::munmap(self.base, self.map_len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `mov eax, [rsi]` / `mov rcx, [rdi + rax]` / `add rcx, rcx` /
+    /// `mov [rdi + rax], rcx` / `ret`: doubles the word whose byte
+    /// offset is the table's first entry.
+    const DOUBLER: &[u8] = &[
+        0x8B, 0x06, // mov eax, [rsi]
+        0x48, 0x8B, 0x0C, 0x07, // mov rcx, [rdi + rax]
+        0x48, 0x01, 0xC9, // add rcx, rcx
+        0x48, 0x89, 0x0C, 0x07, // mov [rdi + rax], rcx
+        0xC3, // ret
+    ];
+
+    #[test]
+    fn maps_and_runs_a_trivial_function() {
+        let page = ExecPage::new(DOUBLER, 2, 1).expect("anonymous RX mapping");
+        assert_eq!(page.map_len(), 4096);
+        let mut vals = [0u64, 21];
+        page.call(&mut vals, &[8]);
+        assert_eq!(vals, [0, 42]);
+        // The page survives repeated calls.
+        page.call(&mut vals, &[8]);
+        assert_eq!(vals, [0, 84]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different compiled tape")]
+    fn call_rejects_wrong_length() {
+        let page = ExecPage::new(DOUBLER, 2, 1).unwrap();
+        page.call(&mut [0u64], &[0]);
+    }
+}

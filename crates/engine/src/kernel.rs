@@ -11,9 +11,9 @@
 //! tree LUT shrinks from 63 structural muxes to a couple dozen ops, and
 //! threshold (MAT) tables collapse much further.
 
-use std::collections::HashMap;
-
 use poetbin_bits::TruthTable;
+
+use crate::fxhash::FxHashMap;
 
 /// A value available while a kernel runs: constants and operand literals
 /// are free; `Node` reads an earlier mux result from the scratch buffer.
@@ -50,8 +50,8 @@ pub(crate) struct LutKernel {
 /// structural memo for wider merge nodes.
 struct Builder {
     ops: Vec<KOp>,
-    by_content: HashMap<(u8, u64), KRef>,
-    by_shape: HashMap<(u8, KRef, KRef), KRef>,
+    by_content: FxHashMap<(u8, u64), KRef>,
+    by_shape: FxHashMap<(u8, KRef, KRef), KRef>,
 }
 
 impl Builder {
@@ -119,8 +119,8 @@ impl LutKernel {
     pub(crate) fn compile(table: &TruthTable) -> LutKernel {
         let mut b = Builder {
             ops: Vec::new(),
-            by_content: HashMap::new(),
-            by_shape: HashMap::new(),
+            by_content: FxHashMap::default(),
+            by_shape: FxHashMap::default(),
         };
         let result = b.build(table.as_bits().as_words(), table.inputs(), 0);
         LutKernel { ops: b.ops, result }

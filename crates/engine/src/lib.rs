@@ -43,16 +43,24 @@
 //! Throughput numbers live in `crates/bench/benches/engine.rs`
 //! (`cargo bench -p poetbin_bench --bench engine`).
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the JIT's page-management shim
+// (`jit/sys.rs`) is the crate's one sanctioned `unsafe` island and
+// opts back in with a scoped `allow` — everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod alloc;
 mod engine;
+mod exec;
+mod fxhash;
+mod jit;
 mod kernel;
 mod ops;
 mod plan;
 
 pub use engine::{ClassifierEngine, Engine, Scratch, MIN_WORDS_PER_SHARD};
+pub use exec::{Backend, Executor, InterpExecutor, ParseBackendError};
+pub use jit::JitExecutor;
 pub use ops::OpStats;
 pub use plan::{EvalPlan, MAX_BLOCK_WORDS};
 

@@ -1,12 +1,12 @@
 //! Compilation of a [`Netlist`] into a levelized, opcode-specialized,
 //! branch-free evaluation tape.
 
-use std::collections::HashMap;
-
 use poetbin_bits::FeatureMatrix;
 use poetbin_fpga::{Netlist, NetlistError, Node};
 
 use crate::alloc::{allocate, schedule_kind_runs, LOC_ONE, LOC_ZERO};
+use crate::exec::Executor;
+use crate::fxhash::FxHashMap;
 use crate::kernel::{KRef, LutKernel};
 use crate::ops::{classify, Classified, OpKind, OpStats, TapeOp};
 
@@ -71,8 +71,8 @@ pub struct EvalPlan {
 struct Emitter {
     ops: Vec<TapeOp>,
     next_id: u32,
-    comp: HashMap<u32, u32>,
-    cse: HashMap<(OpKind, u32, u32, u32), u32>,
+    comp: FxHashMap<u32, u32>,
+    cse: FxHashMap<(OpKind, u32, u32, u32), u32>,
 }
 
 impl Emitter {
@@ -80,8 +80,8 @@ impl Emitter {
         Emitter {
             ops: Vec::new(),
             next_id: 2, // 0 and 1 are the constants
-            comp: HashMap::new(),
-            cse: HashMap::new(),
+            comp: FxHashMap::default(),
+            cse: FxHashMap::default(),
         }
     }
 
@@ -356,6 +356,17 @@ impl EvalPlan {
         self.num_vals * block
     }
 
+    /// The scheduled op stream, for backends that compile it further.
+    pub(crate) fn tape(&self) -> &[TapeOp] {
+        &self.tape
+    }
+
+    /// The kind-run segments over [`EvalPlan::tape`], for backends that
+    /// specialize per run.
+    pub(crate) fn kind_runs(&self) -> &[(OpKind, u32)] {
+        &self.segments
+    }
+
     /// Initialises the constant blocks of a value array laid out for block
     /// width `B`. Every other slot is written before it is read, so this
     /// is the only per-layout setup a value array needs.
@@ -373,9 +384,12 @@ impl EvalPlan {
     /// first `valid ≤ B` words of each slot block are loaded and stored:
     /// trailing lanes run on stale garbage that never escapes. `out`
     /// receives the valid words word-major (`out[j * num_outputs + o]`).
+    /// The tape itself runs on `exec`, which must have been built for this
+    /// plan.
     #[inline]
     pub(crate) fn eval_block<const B: usize>(
         &self,
+        exec: &dyn Executor,
         batch: &FeatureMatrix,
         first_word: usize,
         valid: usize,
@@ -388,7 +402,7 @@ impl EvalPlan {
             let base = slot as usize * B;
             vals[base..base + valid].copy_from_slice(&col[first_word..first_word + valid]);
         }
-        self.run_tape_block::<B>(vals);
+        exec.run_tape(B, vals);
         let k = self.outputs.len();
         for (o, &loc) in self.outputs.iter().enumerate() {
             let base = loc as usize * B;
@@ -403,11 +417,12 @@ impl EvalPlan {
     /// (`feature_blocks[j * valid + w]` carries word `w` of feature `j`) —
     /// the layout [`poetbin_bits::pack_block_rows`] produces. `out`
     /// receives the outputs output-major with the same stride
-    /// (`out[o * valid + w]`). Same contract on `vals` as
+    /// (`out[o * valid + w]`). Same contract on `vals` and `exec` as
     /// [`EvalPlan::eval_block`].
     #[inline]
     pub(crate) fn eval_packed_block<const B: usize>(
         &self,
+        exec: &dyn Executor,
         feature_blocks: &[u64],
         valid: usize,
         vals: &mut [u64],
@@ -419,7 +434,7 @@ impl EvalPlan {
             let src = feature as usize * valid;
             vals[base..base + valid].copy_from_slice(&feature_blocks[src..src + valid]);
         }
-        self.run_tape_block::<B>(vals);
+        exec.run_tape(B, vals);
         for (o, &loc) in self.outputs.iter().enumerate() {
             let base = loc as usize * B;
             for j in 0..valid {
@@ -428,15 +443,15 @@ impl EvalPlan {
         }
     }
 
-    /// The hot loop: one pass over the op stream applies every op to a
-    /// whole `B`-word lane block (64·B examples), so decode cost is
-    /// amortised `B×` and the fixed-width inner loops vectorize. Opcode
-    /// dispatch is hoisted out of the op loop: the kind-run scheduler
-    /// (`alloc.rs`) groups the tape into a few hundred same-kind
-    /// segments, and each segment runs a branchless specialized inner
-    /// loop over its ops.
+    /// The interpreter hot loop ([`crate::InterpExecutor`]): one pass over
+    /// the op stream applies every op to a whole `B`-word lane block
+    /// (64·B examples), so decode cost is amortised `B×` and the
+    /// fixed-width inner loops vectorize. Opcode dispatch is hoisted out
+    /// of the op loop: the kind-run scheduler (`alloc.rs`) groups the
+    /// tape into a few hundred same-kind segments, and each segment runs
+    /// a branchless specialized inner loop over its ops.
     #[inline]
-    fn run_tape_block<const B: usize>(&self, vals: &mut [u64]) {
+    pub(crate) fn run_tape_block<const B: usize>(&self, vals: &mut [u64]) {
         #[inline(always)]
         fn blk<const B: usize>(vals: &[u64], loc: u32) -> [u64; B] {
             let base = loc as usize * B;

@@ -7,128 +7,13 @@
 //! offline stand-in for proptest): each iteration draws a random
 //! structure from a seeded RNG, so failures reproduce exactly.
 
-use poetbin_bits::{pack_block_rows, BitVec, FeatureMatrix, TruthTable};
-use poetbin_boost::{MatModule, RincModule, RincNode};
-use poetbin_core::{PoetBinClassifier, QuantizedSparseOutput, RincBank};
-use poetbin_dt::LevelWiseTree;
+mod common;
+
+use common::{random_batch, random_classifier, random_netlist, tail_sizes};
+use poetbin_bits::{pack_block_rows, BitVec, FeatureMatrix};
 use poetbin_engine::{ClassifierEngine, Engine, MAX_BLOCK_WORDS};
-use poetbin_fpga::{Netlist, NetlistBuilder};
 use rand::prelude::*;
 use rand::rngs::StdRng;
-
-/// A random topologically valid netlist mixing LUTs, muxes and constants.
-fn random_netlist(rng: &mut StdRng) -> Netlist {
-    let mut b = NetlistBuilder::new();
-    let num_inputs = rng.random_range(2..8usize);
-    let mut signals = b.add_inputs(num_inputs);
-    signals.push(b.add_const(rng.random::<bool>()));
-    for _ in 0..rng.random_range(4..40usize) {
-        if rng.random_range(0..4usize) == 0 {
-            let pick = |rng: &mut StdRng, s: &[usize]| s[rng.random_range(0..s.len())];
-            let (sel, lo, hi) = (
-                pick(rng, &signals),
-                pick(rng, &signals),
-                pick(rng, &signals),
-            );
-            let m = b.add_mux(sel, lo, hi);
-            signals.push(m);
-        } else {
-            let arity = rng.random_range(1..5usize).min(signals.len());
-            let inputs: Vec<usize> = (0..arity)
-                .map(|_| signals[rng.random_range(0..signals.len())])
-                .collect();
-            let table = TruthTable::from_fn(arity, |_| rng.random::<bool>());
-            let l = b.add_lut(inputs, table);
-            signals.push(l);
-        }
-    }
-    let outputs: Vec<usize> = (0..rng.random_range(1..4usize))
-        .map(|_| signals[rng.random_range(0..signals.len())])
-        .collect();
-    b.set_outputs(outputs);
-    b.finish()
-}
-
-/// A random but structurally valid classifier (trees and one-level
-/// modules over `num_features` binary inputs).
-fn random_classifier(rng: &mut StdRng, num_features: usize) -> PoetBinClassifier {
-    let classes = rng.random_range(2..4usize);
-    let p = rng.random_range(2..4usize);
-    let tree = |rng: &mut StdRng| -> RincNode {
-        let mut features: Vec<usize> = Vec::with_capacity(p);
-        while features.len() < p {
-            let f = rng.random_range(0..num_features);
-            if !features.contains(&f) {
-                features.push(f);
-            }
-        }
-        let table = TruthTable::from_fn(p, |_| rng.random::<bool>());
-        RincNode::Tree(LevelWiseTree::from_parts(features, table))
-    };
-    let modules: Vec<RincNode> = (0..classes * p)
-        .map(|i| {
-            if i % 2 == 0 {
-                tree(rng)
-            } else {
-                let children: Vec<RincNode> = (0..p).map(|_| tree(rng)).collect();
-                let weights: Vec<f64> = (0..p).map(|_| rng.random_range(0.05..1.0)).collect();
-                RincNode::Module(RincModule::from_parts(children, MatModule::new(weights), 1))
-            }
-        })
-        .collect();
-    let q_bits = [1u8, 4, 8][rng.random_range(0..3usize)];
-    let weights: Vec<Vec<i32>> = (0..classes)
-        .map(|_| (0..p).map(|_| rng.random_range(-40..40)).collect())
-        .collect();
-    let biases: Vec<i32> = (0..classes).map(|_| rng.random_range(-20..20)).collect();
-    let min_score: i64 = weights
-        .iter()
-        .zip(&biases)
-        .map(|(row, &b)| {
-            row.iter()
-                .filter(|&&w| w < 0)
-                .map(|&w| w as i64)
-                .sum::<i64>()
-                + b as i64
-        })
-        .min()
-        .unwrap();
-    let output = QuantizedSparseOutput::from_parts(
-        p,
-        q_bits,
-        weights,
-        biases,
-        min_score,
-        rng.random_range(0..3u32),
-    );
-    PoetBinClassifier::new(RincBank::from_modules(modules), output)
-}
-
-fn random_batch(rng: &mut StdRng, n: usize, f: usize) -> FeatureMatrix {
-    let rows: Vec<BitVec> = (0..n)
-        .map(|_| BitVec::from_fn(f, |_| rng.random::<bool>()))
-        .collect();
-    FeatureMatrix::from_rows(rows)
-}
-
-/// Batch sizes straddling the `64·B` block boundary for every supported
-/// block width: `n % (64·B) ∈ {0, 1, 63, 64, 65}` around one and two
-/// blocks (`0` included via exact multiples; `n = 0` is covered too).
-fn tail_sizes(block: usize) -> Vec<usize> {
-    let span = 64 * block;
-    let mut sizes = vec![0, 1, 63, 64, 65];
-    for base in [span, 2 * span] {
-        for tail in [0usize, 1, 63, 64, 65] {
-            sizes.push(base + tail);
-            if base > tail {
-                sizes.push(base - tail - 1);
-            }
-        }
-    }
-    sizes.sort_unstable();
-    sizes.dedup();
-    sizes
-}
 
 /// Blocked netlist evaluation is bit-identical to the single-word path at
 /// every block width and tail shape.

@@ -1,0 +1,262 @@
+//! JIT differential fuzz: the x86-64 JIT backend must be **bit-identical**
+//! to the interpreter — the portable oracle — on every structure it can
+//! run. Random netlists and classifiers, every block width
+//! `B ∈ {1, 4, 8}`, batch tails straddling the `64·B` boundary
+//! (`{0, 1, 63, 64, 65}` around zero, one and two blocks), garbage in
+//! masked dead lanes, and every shard count are all driven through both
+//! backends and compared; the `POETBIN_NO_JIT` escape hatch is exercised
+//! for forced fallback.
+//!
+//! On non-x86-64 hosts `Backend::Jit` silently resolves to the
+//! interpreter, so the whole suite degrades to interp-vs-interp and still
+//! passes — the native assertions are `cfg`-gated to x86-64.
+
+mod common;
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use common::{random_batch, random_classifier, random_netlist, tail_sizes};
+use poetbin_engine::{Backend, ClassifierEngine, Engine};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Integration tests share one process, and `Backend::jit_available`
+/// reads `POETBIN_NO_JIT` at engine construction — so every test that
+/// either mutates the variable or requires a *native* JIT engine holds
+/// this lock. The guard scrubs the variable so ambient environment can't
+/// turn the differential suite into interp-vs-interp silently.
+fn env_guard() -> MutexGuard<'static, ()> {
+    static ENV_LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = ENV_LOCK
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    std::env::remove_var("POETBIN_NO_JIT");
+    guard
+}
+
+/// On x86-64 the suite must actually be differential: a requested JIT
+/// engine reports `"jit"`, not a silent interpreter fallback.
+fn assert_native(engine: &Engine) {
+    if cfg!(target_arch = "x86_64") {
+        assert_eq!(engine.backend_name(), "jit", "JIT expected on x86-64");
+    }
+}
+
+/// JIT netlist evaluation is bit-identical to the interpreter at every
+/// block width, shard count and tail shape.
+#[test]
+fn jit_matches_interpreter_on_random_netlists() {
+    let _env = env_guard();
+    let mut rng = StdRng::seed_from_u64(0x71D0_0001);
+    for case in 0..10 {
+        let net = random_netlist(&mut rng);
+        let f = net.num_inputs();
+        let interp = Engine::from_netlist(&net)
+            .unwrap()
+            .with_backend(Backend::Interp)
+            .with_threads(1)
+            .with_block_words(1);
+        assert_eq!(interp.backend_name(), "interp");
+        for block in [1usize, 4, 8] {
+            for threads in [1usize, 3] {
+                let jit = Engine::from_netlist(&net)
+                    .unwrap()
+                    .with_backend(Backend::Jit)
+                    .with_threads(threads)
+                    .with_block_words(block);
+                assert_native(&jit);
+                for &n in &tail_sizes(block) {
+                    let batch = random_batch(&mut rng, n, f);
+                    assert_eq!(
+                        jit.eval_batch(&batch),
+                        interp.eval_batch(&batch),
+                        "case {case} B={block} threads={threads} n={n}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// JIT classifier predictions match the interpreter's across block
+/// widths and shard counts on ragged batch sizes.
+#[test]
+fn jit_matches_interpreter_on_random_classifiers() {
+    let _env = env_guard();
+    let mut rng = StdRng::seed_from_u64(0x71D0_0002);
+    for case in 0..6 {
+        let f = rng.random_range(8..24usize);
+        let clf = random_classifier(&mut rng, f);
+        for &n in &[1usize, 63, 257, 1037] {
+            let batch = random_batch(&mut rng, n, f);
+            let reference = ClassifierEngine::compile(&clf, f)
+                .unwrap()
+                .with_backend(Backend::Interp)
+                .with_threads(1)
+                .with_block_words(1)
+                .predict(&batch);
+            for block in [1usize, 4, 8] {
+                for threads in [1usize, 2, 8] {
+                    let jit = ClassifierEngine::compile(&clf, f)
+                        .unwrap()
+                        .with_backend(Backend::Jit)
+                        .with_threads(threads)
+                        .with_block_words(block);
+                    assert_native(jit.engine());
+                    assert_eq!(
+                        jit.predict(&batch),
+                        reference,
+                        "case {case} B={block} threads={threads} n={n}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The masked multi-word path under the JIT: garbage in dead tail lanes
+/// never reaches live lanes, dead output lanes come back zeroed, and the
+/// clean outputs equal the interpreter's on the same blocks.
+#[test]
+fn jit_masked_blocks_ignore_garbage_lanes() {
+    let _env = env_guard();
+    let mut rng = StdRng::seed_from_u64(0x71D0_0003);
+    for case in 0..8 {
+        let net = random_netlist(&mut rng);
+        let f = net.num_inputs();
+        let interp = Engine::from_netlist(&net)
+            .unwrap()
+            .with_backend(Backend::Interp);
+        let jit = Engine::from_netlist(&net)
+            .unwrap()
+            .with_backend(Backend::Jit);
+        assert_native(&jit);
+        let mut interp_scratch = interp.scratch();
+        let mut jit_scratch = jit.scratch();
+        for words in [1usize, 2, 3, 4, 5, 7, 8] {
+            for tail_live in [64usize, 1, 63, 29] {
+                let tail_mask = if tail_live == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << tail_live) - 1
+                };
+                let clean: Vec<u64> = (0..f * words)
+                    .map(|i| {
+                        let w = rng.random::<u64>();
+                        if i % words == words - 1 {
+                            w & tail_mask
+                        } else {
+                            w
+                        }
+                    })
+                    .collect();
+                let dirty: Vec<u64> = clean
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &w)| {
+                        if i % words == words - 1 {
+                            w | (rng.random::<u64>() & !tail_mask)
+                        } else {
+                            w
+                        }
+                    })
+                    .collect();
+                let clean_jit = jit
+                    .eval_blocks_masked(&clean, words, tail_mask, &mut jit_scratch)
+                    .to_vec();
+                let dirty_jit = jit
+                    .eval_blocks_masked(&dirty, words, tail_mask, &mut jit_scratch)
+                    .to_vec();
+                assert_eq!(
+                    clean_jit, dirty_jit,
+                    "case {case} words={words} live={tail_live}: garbage leaked"
+                );
+                let clean_interp = interp
+                    .eval_blocks_masked(&clean, words, tail_mask, &mut interp_scratch)
+                    .to_vec();
+                assert_eq!(
+                    clean_jit, clean_interp,
+                    "case {case} words={words} live={tail_live}: jit != interp"
+                );
+                for (k, out_words) in clean_jit.chunks(words).enumerate() {
+                    assert_eq!(
+                        out_words[words - 1] & !tail_mask,
+                        0,
+                        "case {case} words={words} output {k}: dead lanes not masked"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `POETBIN_NO_JIT` forces the interpreter even when the JIT is
+/// explicitly requested — and the fallback engine still computes the same
+/// answers. `POETBIN_NO_JIT=0` and empty both mean *enabled*.
+#[test]
+fn no_jit_env_forces_interpreter_fallback() {
+    let _env = env_guard();
+    let mut rng = StdRng::seed_from_u64(0x71D0_0004);
+    let net = random_netlist(&mut rng);
+    let batch = random_batch(&mut rng, 517, net.num_inputs());
+    let reference = Engine::from_netlist(&net)
+        .unwrap()
+        .with_backend(Backend::Interp)
+        .eval_batch(&batch);
+
+    std::env::set_var("POETBIN_NO_JIT", "1");
+    assert!(!Backend::jit_available());
+    for backend in [Backend::Jit, Backend::Auto] {
+        let engine = Engine::from_netlist(&net).unwrap().with_backend(backend);
+        assert_eq!(
+            engine.backend_name(),
+            "interp",
+            "{backend:?} must fall back under POETBIN_NO_JIT=1"
+        );
+        assert_eq!(engine.eval_batch(&batch), reference);
+    }
+
+    // "0" and the empty string are *not* disable requests.
+    for enabled in ["0", ""] {
+        std::env::set_var("POETBIN_NO_JIT", enabled);
+        let engine = Engine::from_netlist(&net)
+            .unwrap()
+            .with_backend(Backend::Auto);
+        assert_native(&engine);
+        assert_eq!(engine.eval_batch(&batch), reference);
+    }
+    std::env::remove_var("POETBIN_NO_JIT");
+}
+
+/// The requested-vs-resolved split: `backend()` echoes the request,
+/// `backend_name()` reports what actually runs, and `prepare` is
+/// idempotent codegen.
+#[test]
+fn backend_request_and_resolution_are_reported_separately() {
+    let _env = env_guard();
+    let mut rng = StdRng::seed_from_u64(0x71D0_0005);
+    let net = random_netlist(&mut rng);
+    for backend in [Backend::Interp, Backend::Jit, Backend::Auto] {
+        let engine = Engine::from_netlist(&net).unwrap().with_backend(backend);
+        assert_eq!(engine.backend(), backend);
+        match backend {
+            Backend::Interp => assert_eq!(engine.backend_name(), "interp"),
+            Backend::Jit | Backend::Auto => assert_native(&engine),
+        }
+        for block in [1usize, 4, 8] {
+            engine.prepare(block);
+            engine.prepare(block); // idempotent
+        }
+        let batch = random_batch(&mut rng, 130, net.num_inputs());
+        // Post-prepare evaluation still works on every width.
+        for block in [1usize, 4, 8] {
+            let blocked = Engine::from_netlist(&net)
+                .unwrap()
+                .with_backend(backend)
+                .with_block_words(block);
+            blocked.prepare(block);
+            assert_eq!(blocked.eval_batch(&batch), engine.eval_batch(&batch));
+        }
+    }
+}

@@ -4,7 +4,7 @@
 //! ```text
 //! poetbin-serve MODEL... [--addr ADDR] [--workers N] [--linger-us U] \
 //!               [--max-batch B] [--features F] [--queue-cap Q] \
-//!               [--stats-addr ADDR]
+//!               [--stats-addr ADDR] [--backend interp|jit|auto]
 //! ```
 //!
 //! Each `MODEL` path is registered under its file stem (`deep.poetbin2`
@@ -16,19 +16,26 @@
 //! absent). `--queue-cap` bounds each worker's pending queue (full ⇒
 //! requests are shed with `STATUS_OVERLOADED`); `--stats-addr` pins the
 //! plain-text stats/health listener (an ephemeral port on the data
-//! address otherwise — the chosen port is printed at startup). The
+//! address otherwise — the chosen port is printed at startup).
+//! `--backend` selects the tape execution backend for every model:
+//! `auto` (default) runs the in-process JIT where available and falls
+//! back to the interpreter, `jit`/`interp` pin one (a pinned `jit` still
+//! falls back on hosts without JIT support; each model's resolved
+//! backend is printed at load and reported in the stats listener). The
 //! process serves until killed.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use poetbin_serve::{load_engine, ModelRegistry, ServeConfig, Server};
+use poetbin_engine::Backend;
+use poetbin_serve::{load_engine_with, ModelRegistry, ServeConfig, Server};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: poetbin-serve MODEL... [--addr ADDR] [--workers N] [--linger-us U] \
-         [--max-batch B] [--features F] [--queue-cap Q] [--stats-addr ADDR]"
+         [--max-batch B] [--features F] [--queue-cap Q] [--stats-addr ADDR] \
+         [--backend interp|jit|auto]"
     );
     ExitCode::from(2)
 }
@@ -54,6 +61,7 @@ fn main() -> ExitCode {
     let mut addr_given = false;
     let mut config = ServeConfig::default();
     let mut features = None;
+    let mut backend = Backend::default();
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -104,6 +112,13 @@ fn main() -> ExitCode {
                     return usage();
                 }
             },
+            "--backend" => match it.next().map(|v| v.parse()) {
+                Some(Ok(v)) => backend = v,
+                _ => {
+                    eprintln!("--backend must be one of interp, jit, auto");
+                    return usage();
+                }
+            },
             other if other.starts_with("--") => {
                 eprintln!("unknown flag {other}");
                 return usage();
@@ -121,7 +136,7 @@ fn main() -> ExitCode {
 
     let mut registry = ModelRegistry::new();
     for path in &models {
-        let engine = match load_engine(path, features) {
+        let engine = match load_engine_with(path, features, backend) {
             Ok(engine) => engine,
             Err(e) => {
                 eprintln!("poetbin-serve: {path}: {e}");
@@ -134,12 +149,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!(
-            "poetbin-serve: model {} = {} ({} features, {} classes, {} tape ops)",
+            "poetbin-serve: model {} = {} ({} features, {} classes, {} tape ops, {} backend)",
             registry.len(),
             path,
             engine.num_features(),
             engine.classes(),
-            engine.engine().plan().tape_len()
+            engine.engine().plan().tape_len(),
+            engine.backend_name()
         );
         registry.register(name, Arc::new(engine));
     }

@@ -628,9 +628,10 @@ impl EventLoop {
             if let Some(m) = self.registry.stats(info.id) {
                 let _ = writeln!(
                     out,
-                    "model_{} name={} received={} served={} batches={} swaps={}",
+                    "model_{} name={} backend={} received={} served={} batches={} swaps={}",
                     info.id,
                     info.name,
+                    self.registry.backend_name(info.id).unwrap_or("unknown"),
                     m.received(),
                     m.served(),
                     m.batches(),

@@ -92,4 +92,4 @@ mod server;
 
 pub use client::{Client, ClientReceiver, ClientSender, Response};
 pub use registry::{ModelRegistry, ModelStats, SwapError};
-pub use server::{load_engine, LoadError, ServeConfig, Server, ServerStats};
+pub use server::{load_engine, load_engine_with, LoadError, ServeConfig, Server, ServerStats};

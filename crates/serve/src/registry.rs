@@ -154,6 +154,9 @@ impl ModelRegistry {
         let name = name.into();
         assert!(name.len() <= 255, "model name over 255 bytes");
         let id = u16::try_from(self.models.len()).expect("too many models");
+        // Pay any deferred backend codegen (the JIT assembles per block
+        // width on first use) now, not on the first request batch.
+        engine.prepare_all();
         self.models.push(ModelEntry {
             name,
             num_features: engine.num_features(),
@@ -216,6 +219,16 @@ impl ModelRegistry {
             .unwrap_or(protocol::REQUEST_HEADER_LEN)
     }
 
+    /// The execution backend the current engine in slot `id` actually
+    /// runs on (`"jit"` or `"interp"`, after availability fallback);
+    /// `None` for an unknown id. Surfaced per model in the stats
+    /// listener.
+    pub fn backend_name(&self, id: u16) -> Option<&'static str> {
+        let m = self.models.get(id as usize)?;
+        let slot = m.slot.read().expect("slot lock poisoned");
+        Some(slot.engine.backend_name())
+    }
+
     /// The current engine for `id` plus its slot version (for scratch
     /// caching); `None` for an unknown id. The returned `Arc` stays valid
     /// across concurrent swaps — it just becomes the *old* engine.
@@ -246,6 +259,8 @@ impl ModelRegistry {
         if found != expected {
             return Err(SwapError::ShapeMismatch { expected, found });
         }
+        // As in `register`: codegen happens swap-side, never request-side.
+        engine.prepare_all();
         {
             let mut slot = m.slot.write().expect("slot lock poisoned");
             slot.engine = engine;

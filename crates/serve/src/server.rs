@@ -34,7 +34,7 @@ use std::time::Duration;
 use epoll::Waker;
 use poetbin_bits::pack_block_rows_into;
 use poetbin_core::persist::{load_classifier_from, PersistError};
-use poetbin_engine::{ClassifierEngine, Scratch, MAX_BLOCK_WORDS};
+use poetbin_engine::{Backend, ClassifierEngine, Scratch, MAX_BLOCK_WORDS};
 use poetbin_fpga::NetlistError;
 
 use crate::batcher::{Pending, Shard};
@@ -222,7 +222,9 @@ impl std::error::Error for LoadError {
 }
 
 /// Loads a model file (`POETBIN1` or `POETBIN2`, sniffed from the magic)
-/// and compiles it once for serving.
+/// and compiles it once for serving, on the default
+/// (auto-selected) execution backend. Use [`load_engine_with`] to pin
+/// one.
 ///
 /// `num_features` fixes the row width clients must send; `None` uses the
 /// narrowest width the model supports
@@ -236,6 +238,25 @@ pub fn load_engine(
     path: impl AsRef<Path>,
     num_features: Option<usize>,
 ) -> Result<ClassifierEngine, LoadError> {
+    load_engine_with(path, num_features, Backend::default())
+}
+
+/// [`load_engine`] with an explicit execution backend.
+///
+/// The worker loop eagerly compiles ([`poetbin_engine::Engine::prepare`])
+/// every width the batcher can produce before taking traffic, so a JIT
+/// backend never pays codegen on a request path. What actually runs
+/// after availability fallback is reported per model in the stats
+/// listener's `model.*.backend` lines.
+///
+/// # Errors
+///
+/// As [`load_engine`].
+pub fn load_engine_with(
+    path: impl AsRef<Path>,
+    num_features: Option<usize>,
+    backend: Backend,
+) -> Result<ClassifierEngine, LoadError> {
     let clf = load_classifier_from(path).map_err(LoadError::Persist)?;
     let required = clf.min_features();
     let width = num_features.unwrap_or(required);
@@ -245,7 +266,9 @@ pub fn load_engine(
             required,
         });
     }
-    ClassifierEngine::compile(&clf, width).map_err(LoadError::Compile)
+    ClassifierEngine::compile(&clf, width)
+        .map(|engine| engine.with_backend(backend))
+        .map_err(LoadError::Compile)
 }
 
 /// A running inference server; dropping or [`Server::shutdown`]ing it

@@ -24,12 +24,18 @@
 //!   `POETBIN_SERVE_QUICK=1` shrinks the sweep for CI smoke runs.
 //!
 //! Every prediction is verified against the offline batch-path result of
-//! the model it targeted. Typed `STATUS_OVERLOADED` sheds are counted
-//! separately — they are the backpressure contract working, not errors —
-//! but any mismatch, typed rejection, or transport error fails the run.
+//! the model it targeted. Transient sheds (typed `STATUS_OVERLOADED` /
+//! `STATUS_DEADLINE_EXCEEDED`) are retried with jittered backoff
+//! ([`RetryPolicy`]) and the retries reported separately — they are the
+//! backpressure contract working, not errors — but any mismatch, typed
+//! rejection, or transport error fails the run. Closed-loop clients
+//! retry inline via [`Client::predict_with_backoff`]; open-loop
+//! receivers hand sheds back to their paced sender over a retry channel,
+//! so a resend is a new timed arrival rather than a stalled schedule.
 //!
 //! `BENCH_serve.json` schema (all latencies are send→response, accepted
-//! requests only):
+//! requests only; `overloaded`/`deadline_expired` count requests still
+//! shed after every retry):
 //!
 //! ```json
 //! {
@@ -40,18 +46,21 @@
 //!   "sweep": [
 //!     {"offered_rps": 10000.0, "achieved_rps": 9992.4,
 //!      "p50_us": 23.4, "p99_us": 387.0, "p999_us": 900.5,
-//!      "served": 12000, "overloaded": 0, "max_queue_depth": 12,
-//!      "mean_batch": 1.03, "mismatches": 0, "errors": 0}
+//!      "served": 12000, "overloaded": 0, "deadline_expired": 0,
+//!      "retries": 0, "max_queue_depth": 12, "mean_batch": 1.03,
+//!      "mismatches": 0, "errors": 0}
 //!   ],
 //!   "overload": {"offered_rps": 60000.0, "queue_cap": 16, "linger_us": 2000,
 //!                "requests": 8000, "served": 992, "overloaded": 7008,
+//!                "deadline_expired": 0, "retries": 4831,
 //!                "max_queue_depth": 16, "p99_accepted_us": 2781.4,
 //!                "mismatches": 0, "errors": 0}
 //! }
 //! ```
 //!
 //! CI's release job gates on this file: non-empty sweep, ordered
-//! percentiles, zero mismatches/errors everywhere, `overloaded > 0` and
+//! percentiles, zero mismatches/errors everywhere, present and sane
+//! `deadline_expired`/`retries` counters, `overloaded > 0` and
 //! `max_queue_depth <= queue_cap` in the probe, and a bounded
 //! `p99_accepted_us`.
 //!
@@ -69,16 +78,20 @@
 //! `auto` backend (`--backend` pins the served engines to one; the
 //! offline ground truth runs on the same engines either way).
 
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use poetbin_bench::report::{self, Json};
 use poetbin_bits::{BitVec, FeatureMatrix};
 use poetbin_engine::{Backend, ClassifierEngine};
-use poetbin_serve::{load_engine_with, Client, ModelRegistry, Response, ServeConfig, Server};
+use poetbin_serve::{
+    load_engine_with, Client, ClientSender, ModelRegistry, Response, RetryPolicy, ServeConfig,
+    Server,
+};
 
 struct Args {
     models: Vec<PathBuf>,
@@ -235,8 +248,12 @@ struct RunResult {
     wall: Duration,
     mismatches: u64,
     errors: u64,
-    /// Typed `STATUS_OVERLOADED` sheds observed by the clients.
+    /// Requests still shed `STATUS_OVERLOADED` after every retry.
     overloaded: u64,
+    /// Requests still shed `STATUS_DEADLINE_EXCEEDED` after every retry.
+    deadline_expired: u64,
+    /// Backoff resends the clients performed on transient sheds.
+    retries: u64,
     /// Highest total queue depth any sample saw during the run.
     max_queue_depth: usize,
     mean_batch: f64,
@@ -269,7 +286,10 @@ fn start_server(engines: &[Arc<ClassifierEngine>], config: ServeConfig) -> Serve
     Server::start(Arc::new(registry), "127.0.0.1:0", config).expect("bind")
 }
 
-/// Closed-loop: each client thread ping-pongs `predict_on` calls.
+/// Closed-loop: each client thread ping-pongs `predict_with_backoff`
+/// calls — a transient shed sleeps the jittered backoff and resends
+/// inline (the next planned request waits behind it, which is exactly
+/// what closed-loop means). Latency includes any backoff sleeps.
 fn run_closed(
     engines: &[Arc<ClassifierEngine>],
     clients: usize,
@@ -284,21 +304,29 @@ fn run_closed(
     let mut all_latencies: Vec<u64> = Vec::with_capacity(per_client * clients);
     let mut mismatches = 0u64;
     let mut errors = 0u64;
+    let mut retries = 0u64;
     std::thread::scope(|scope| {
         let mut joins = Vec::new();
         for c in 0..clients {
             joins.push(scope.spawn(move || {
                 let plan = client_plan(engines, c, per_client);
+                let policy = RetryPolicy {
+                    seed: c as u64,
+                    ..RetryPolicy::default()
+                };
                 let mut latencies = Vec::with_capacity(per_client);
                 let mut mismatches = 0u64;
                 let mut errors = 0u64;
+                let mut retries = 0u64;
                 match Client::connect(addr) {
                     Ok(mut client) => {
                         for target in &plan {
                             let t0 = Instant::now();
-                            match client.predict_on(target.model_id, &target.row) {
-                                Ok(class) => {
+                            match client.predict_with_backoff(target.model_id, &target.row, &policy)
+                            {
+                                Ok((class, attempts)) => {
                                     latencies.push(t0.elapsed().as_nanos() as u64);
+                                    retries += u64::from(attempts);
                                     if class != target.expected {
                                         mismatches += 1;
                                     }
@@ -309,14 +337,15 @@ fn run_closed(
                     }
                     Err(_) => errors += per_client as u64,
                 }
-                (latencies, mismatches, errors)
+                (latencies, mismatches, errors, retries)
             }));
         }
         for j in joins {
-            let (lat, mis, err) = j.join().expect("client thread");
+            let (lat, mis, err, rtr) = j.join().expect("client thread");
             all_latencies.extend(lat);
             mismatches += mis;
             errors += err;
+            retries += rtr;
         }
     });
     let wall = start.elapsed();
@@ -330,17 +359,46 @@ fn run_closed(
         mismatches,
         errors,
         overloaded: 0,
+        deadline_expired: 0,
+        retries,
         max_queue_depth: 0,
         mean_batch,
         served,
     }
 }
 
+/// Sends one planned request, recording `id → (plan index, attempt)`
+/// under the map lock held *across* the send — the response cannot
+/// outrun the mapping, because the receiver must take the same lock to
+/// resolve it. Stamps the send time for the latency measurement.
+fn send_tracked(
+    tx: &mut ClientSender,
+    id_map: &Mutex<HashMap<u64, (usize, u32)>>,
+    sent_at: &[AtomicU64],
+    epoch: Instant,
+    target: &Target,
+    idx: usize,
+    attempt: u32,
+) -> bool {
+    let mut map = id_map.lock().expect("id map lock");
+    sent_at[idx].store(epoch.elapsed().as_nanos() as u64, Ordering::Release);
+    match tx.send_to(target.model_id, &target.row) {
+        Ok(id) => {
+            map.insert(id, (idx, attempt));
+            true
+        }
+        Err(_) => false,
+    }
+}
+
 /// Open-loop: per client, a timer-paced sender injects requests on an
 /// absolute schedule while a separate receiver drains responses and
-/// measures send→response latency. A sampler thread polls the server's
-/// total queue depth throughout, so the artifact records the worst
-/// backlog the bounded queues ever reached.
+/// measures send→response latency. A transient shed travels back to the
+/// sender over a retry channel and is resent after its jittered backoff
+/// — a new timed arrival, so retries add offered load instead of
+/// stalling the schedule. A sampler thread polls the server's total
+/// queue depth throughout, so the artifact records the worst backlog the
+/// bounded queues ever reached.
 fn run_open(
     engines: &[Arc<ClassifierEngine>],
     clients: usize,
@@ -360,6 +418,8 @@ fn run_open(
     let mut mismatches = 0u64;
     let mut errors = 0u64;
     let mut overloaded = 0u64;
+    let mut deadline_expired = 0u64;
+    let mut retries = 0u64;
     let sampling = AtomicBool::new(true);
     let max_depth = AtomicUsize::new(0);
     let epoch = Instant::now();
@@ -379,17 +439,36 @@ fn run_open(
                 let plan = client_plan(engines, c, per_client);
                 let client = match Client::connect(addr) {
                     Ok(client) => client,
-                    Err(_) => return (Vec::new(), 0, per_client as u64, 0),
+                    Err(_) => return (Vec::new(), 0, per_client as u64, 0, 0, 0),
                 };
                 let (mut tx, mut rx) = client.into_split();
                 let sent_at: Vec<AtomicU64> = (0..per_client).map(|_| AtomicU64::new(0)).collect();
+                let policy = RetryPolicy {
+                    seed: c as u64,
+                    ..RetryPolicy::default()
+                };
+                let id_map: Mutex<HashMap<u64, (usize, u32)>> = Mutex::new(HashMap::new());
+                let (retry_tx, retry_rx) = mpsc::channel::<(usize, u32)>();
 
                 std::thread::scope(|s| {
                     let sent_at = &sent_at;
                     let plan = &plan;
+                    let id_map = &id_map;
+                    let policy = &policy;
                     let send_half = s.spawn(move || {
-                        let mut sent = 0u64;
-                        for (i, target) in plan.iter().enumerate() {
+                        let mut retries = 0u64;
+                        'plan: for (i, target) in plan.iter().enumerate() {
+                            // Serve any due retries before pacing the
+                            // next planned arrival.
+                            while let Ok((idx, attempt)) = retry_rx.try_recv() {
+                                retries += 1;
+                                std::thread::sleep(policy.backoff(attempt - 1, idx as u64));
+                                if !send_tracked(
+                                    &mut tx, id_map, sent_at, epoch, &plan[idx], idx, attempt,
+                                ) {
+                                    break 'plan;
+                                }
+                            }
                             let target_at = epoch + gap * (c + i * clients) as u32;
                             loop {
                                 let now = Instant::now();
@@ -398,60 +477,105 @@ fn run_open(
                                 }
                                 std::thread::sleep(target_at - now);
                             }
-                            sent_at[i].store(epoch.elapsed().as_nanos() as u64, Ordering::Release);
-                            if tx.send_to(target.model_id, &target.row).is_err() {
+                            if !send_tracked(&mut tx, id_map, sent_at, epoch, target, i, 0) {
                                 break;
                             }
-                            sent += 1;
                         }
-                        sent
+                        // The schedule is done; keep resending sheds
+                        // until the receiver settles every request and
+                        // drops its end of the channel.
+                        while let Ok((idx, attempt)) = retry_rx.recv() {
+                            retries += 1;
+                            std::thread::sleep(policy.backoff(attempt - 1, idx as u64));
+                            if !send_tracked(
+                                &mut tx, id_map, sent_at, epoch, &plan[idx], idx, attempt,
+                            ) {
+                                break;
+                            }
+                        }
+                        retries
                     });
 
                     let mut latencies = Vec::with_capacity(per_client);
-                    let mut answered = 0u64;
+                    let mut finals = 0u64;
                     let mut mismatches = 0u64;
-                    let mut errors = 0u64;
                     let mut overloaded = 0u64;
-                    for _ in 0..per_client {
+                    let mut deadline_expired = 0u64;
+                    while finals < per_client as u64 {
                         match rx.recv() {
-                            Ok((id, Response::Class(class))) => {
-                                answered += 1;
-                                let t0 = sent_at[id as usize].load(Ordering::Acquire);
-                                latencies.push(epoch.elapsed().as_nanos() as u64 - t0);
-                                if class != plan[id as usize].expected {
+                            Ok((id, response)) => {
+                                let resolved = id_map.lock().expect("id map lock").remove(&id);
+                                let Some((idx, attempt)) = resolved else {
+                                    // An id this client never sent; settle
+                                    // it so the run terminates — the
+                                    // mismatch fails the run anyway.
                                     mismatches += 1;
+                                    finals += 1;
+                                    continue;
+                                };
+                                match response {
+                                    Response::Class(class) => {
+                                        finals += 1;
+                                        let t0 = sent_at[idx].load(Ordering::Acquire);
+                                        latencies.push(epoch.elapsed().as_nanos() as u64 - t0);
+                                        if class != plan[idx].expected {
+                                            mismatches += 1;
+                                        }
+                                    }
+                                    // A transient shed goes back to the
+                                    // sender for a jittered resend; it only
+                                    // settles as shed once the retry budget
+                                    // is spent (or the sender is gone).
+                                    Response::Overloaded | Response::DeadlineExceeded => {
+                                        if attempt < policy.max_retries
+                                            && retry_tx.send((idx, attempt + 1)).is_ok()
+                                        {
+                                            continue;
+                                        }
+                                        finals += 1;
+                                        if response == Response::Overloaded {
+                                            overloaded += 1;
+                                        } else {
+                                            deadline_expired += 1;
+                                        }
+                                    }
+                                    // Any other typed rejection is impossible
+                                    // for well-formed traffic; count it as a
+                                    // mismatch.
+                                    _ => {
+                                        finals += 1;
+                                        mismatches += 1;
+                                    }
                                 }
-                            }
-                            // A typed shed is the backpressure contract
-                            // working; tallied, not an error. Latency is
-                            // only recorded for accepted requests.
-                            Ok((_, Response::Overloaded)) => {
-                                answered += 1;
-                                overloaded += 1;
-                            }
-                            // Any other typed rejection is impossible for
-                            // well-formed traffic; count it as a mismatch.
-                            Ok((_, _)) => {
-                                answered += 1;
-                                mismatches += 1;
                             }
                             Err(_) => break,
                         }
                     }
-                    let sent = send_half.join().expect("sender thread");
-                    // Unsent requests and sent-but-unanswered requests both
-                    // count as transport errors.
-                    errors += (per_client as u64 - sent) + sent.saturating_sub(answered);
-                    (latencies, mismatches, errors, overloaded)
+                    // Unblocks the sender's retry wait.
+                    drop(retry_tx);
+                    let retries = send_half.join().expect("sender thread");
+                    // Requests that never settled (unsent, or sent but
+                    // never answered) are transport errors.
+                    let errors = (per_client as u64).saturating_sub(finals);
+                    (
+                        latencies,
+                        mismatches,
+                        errors,
+                        overloaded,
+                        deadline_expired,
+                        retries,
+                    )
                 })
             }));
         }
         for j in joins {
-            let (lat, mis, err, ovl) = j.join().expect("client thread");
+            let (lat, mis, err, ovl, ddl, rtr) = j.join().expect("client thread");
             all_latencies.extend(lat);
             mismatches += mis;
             errors += err;
             overloaded += ovl;
+            deadline_expired += ddl;
+            retries += rtr;
         }
         sampling.store(false, Ordering::Relaxed);
         sampler.join().expect("sampler thread");
@@ -467,6 +591,8 @@ fn run_open(
         mismatches,
         errors,
         overloaded,
+        deadline_expired,
+        retries,
         max_queue_depth: max_depth.load(Ordering::Relaxed),
         mean_batch,
         served,
@@ -475,21 +601,33 @@ fn run_open(
 
 fn print_header() {
     println!(
-        "{:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>11} {:>9}",
-        "rate", "req/s", "p50_us", "p99_us", "p999_us", "served", "shed", "mean_batch", "errors"
+        "{:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8} {:>11} {:>9}",
+        "rate",
+        "req/s",
+        "p50_us",
+        "p99_us",
+        "p999_us",
+        "served",
+        "shed",
+        "expired",
+        "retries",
+        "mean_batch",
+        "errors"
     );
 }
 
 fn print_row(label: &str, result: &RunResult) {
     let rps = result.latencies_ns.len() as f64 / result.wall.as_secs_f64();
     println!(
-        "{label:>10} {:>10.0} {:>10.1} {:>10.1} {:>10.1} {:>10} {:>10} {:>11.2} {:>9}",
+        "{label:>10} {:>10.0} {:>10.1} {:>10.1} {:>10.1} {:>10} {:>8} {:>8} {:>8} {:>11.2} {:>9}",
         rps,
         percentile(&result.latencies_ns, 0.50),
         percentile(&result.latencies_ns, 0.99),
         percentile(&result.latencies_ns, 0.999),
         result.served,
         result.overloaded,
+        result.deadline_expired,
+        result.retries,
         result.mean_batch,
         result.mismatches + result.errors
     );
@@ -515,6 +653,11 @@ fn sweep_entry(offered_rps: f64, result: &RunResult) -> Json {
         ),
         ("served", Json::Int(result.served as i64)),
         ("overloaded", Json::Int(result.overloaded as i64)),
+        (
+            "deadline_expired",
+            Json::Int(result.deadline_expired as i64),
+        ),
+        ("retries", Json::Int(result.retries as i64)),
         ("max_queue_depth", Json::Int(result.max_queue_depth as i64)),
         ("mean_batch", Json::Float(result.mean_batch)),
         ("mismatches", Json::Int(result.mismatches as i64)),
@@ -645,6 +788,8 @@ fn run_slo(engines: &[Arc<ClassifierEngine>], args: &Args) -> ExitCode {
                 ("requests", Json::Int(probe_requests as i64)),
                 ("served", Json::Int(probe.served as i64)),
                 ("overloaded", Json::Int(probe.overloaded as i64)),
+                ("deadline_expired", Json::Int(probe.deadline_expired as i64)),
+                ("retries", Json::Int(probe.retries as i64)),
                 ("max_queue_depth", Json::Int(probe.max_queue_depth as i64)),
                 (
                     "p99_accepted_us",

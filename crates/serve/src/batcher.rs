@@ -102,13 +102,23 @@ impl Shard {
     /// The first request is waited for indefinitely; once one is in hand
     /// the worker lingers only until `oldest.arrived + linger` for the
     /// block to fill before serving a partial batch.
+    ///
+    /// With a per-request `deadline`, drained requests that have already
+    /// aged past `arrived + deadline` are diverted into `expired`
+    /// (cleared first) instead of `out`: the caller sheds them with
+    /// `STATUS_DEADLINE_EXCEEDED` rather than spending engine time on
+    /// answers nobody is still waiting for. A `true` return can therefore
+    /// leave `out` empty while `expired` is not.
     pub(crate) fn pop_batch(
         &self,
         max_batch: usize,
         linger: Duration,
+        deadline: Option<Duration>,
         out: &mut Vec<Pending>,
+        expired: &mut Vec<Pending>,
     ) -> bool {
         out.clear();
+        expired.clear();
         let mut state = self.state.lock().unwrap();
         loop {
             while state.queue.is_empty() {
@@ -123,13 +133,13 @@ impl Shard {
             // Deadline-aware: the window is measured from when the head
             // request arrived, so queue time from batching is bounded by
             // `linger` no matter how late the worker got here.
-            let deadline = state.queue.front().expect("non-empty").arrived + linger;
+            let fill_by = state.queue.front().expect("non-empty").arrived + linger;
             loop {
                 let now = Instant::now();
-                if now >= deadline || state.queue.len() >= max_batch || !state.open {
+                if now >= fill_by || state.queue.len() >= max_batch || !state.open {
                     break;
                 }
-                let (next, timeout) = self.arrived.wait_timeout(state, deadline - now).unwrap();
+                let (next, timeout) = self.arrived.wait_timeout(state, fill_by - now).unwrap();
                 state = next;
                 if timeout.timed_out() {
                     break;
@@ -143,7 +153,19 @@ impl Shard {
             }
         }
         let take = state.queue.len().min(max_batch);
-        out.extend(state.queue.drain(..take));
+        match deadline {
+            None => out.extend(state.queue.drain(..take)),
+            Some(limit) => {
+                let now = Instant::now();
+                for p in state.queue.drain(..take) {
+                    if now.saturating_duration_since(p.arrived) > limit {
+                        expired.push(p);
+                    } else {
+                        out.push(p);
+                    }
+                }
+            }
+        }
         true
     }
 }
@@ -170,9 +192,9 @@ mod tests {
             q.try_push(pending(id)).expect("open and not full");
         }
         let mut out = Vec::new();
-        assert!(q.pop_batch(3, Duration::ZERO, &mut out));
+        assert!(q.pop_batch(3, Duration::ZERO, None, &mut out, &mut Vec::new()));
         assert_eq!(out.iter().map(|p| p.id).collect::<Vec<_>>(), [0, 1, 2]);
-        assert!(q.pop_batch(3, Duration::ZERO, &mut out));
+        assert!(q.pop_batch(3, Duration::ZERO, None, &mut out, &mut Vec::new()));
         assert_eq!(out.iter().map(|p| p.id).collect::<Vec<_>>(), [3, 4]);
         assert_eq!(q.depth(), 0);
     }
@@ -188,7 +210,7 @@ mod tests {
         assert_eq!(q.depth(), 3, "a bounced push must not grow the queue");
         // Draining frees capacity again.
         let mut out = Vec::new();
-        assert!(q.pop_batch(64, Duration::ZERO, &mut out));
+        assert!(q.pop_batch(64, Duration::ZERO, None, &mut out, &mut Vec::new()));
         assert_eq!(out.len(), 3);
         q.try_push(pending(100)).expect("space after drain");
     }
@@ -203,9 +225,21 @@ mod tests {
             "a closed shard must hand the request back, not drop it silently"
         );
         let mut out = Vec::new();
-        assert!(q.pop_batch(64, Duration::from_millis(50), &mut out));
+        assert!(q.pop_batch(
+            64,
+            Duration::from_millis(50),
+            None,
+            &mut out,
+            &mut Vec::new()
+        ));
         assert_eq!(out.len(), 1);
-        assert!(!q.pop_batch(64, Duration::from_millis(50), &mut out));
+        assert!(!q.pop_batch(
+            64,
+            Duration::from_millis(50),
+            None,
+            &mut out,
+            &mut Vec::new()
+        ));
         assert!(out.is_empty());
     }
 
@@ -219,7 +253,13 @@ mod tests {
             q2.try_push(pending(2)).expect("open");
         });
         let mut out = Vec::new();
-        assert!(q.pop_batch(64, Duration::from_millis(500), &mut out));
+        assert!(q.pop_batch(
+            64,
+            Duration::from_millis(500),
+            None,
+            &mut out,
+            &mut Vec::new()
+        ));
         // The second request arrived well inside the linger window, so one
         // batch carries both.
         assert_eq!(out.len(), 2);
@@ -236,7 +276,13 @@ mod tests {
         std::thread::sleep(Duration::from_millis(25));
         let start = Instant::now();
         let mut out = Vec::new();
-        assert!(q.pop_batch(64, Duration::from_millis(20), &mut out));
+        assert!(q.pop_batch(
+            64,
+            Duration::from_millis(20),
+            None,
+            &mut out,
+            &mut Vec::new()
+        ));
         assert_eq!(out.len(), 1);
         assert!(
             start.elapsed() < Duration::from_millis(15),
@@ -254,9 +300,76 @@ mod tests {
         let start = Instant::now();
         let mut out = Vec::new();
         // A pathological linger must not delay an already-full block.
-        assert!(q.pop_batch(64, Duration::from_secs(5), &mut out));
+        assert!(q.pop_batch(64, Duration::from_secs(5), None, &mut out, &mut Vec::new()));
         assert_eq!(out.len(), 64);
         assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn deadline_partitions_stale_requests_into_expired() {
+        let q = Shard::new(64);
+        // Two stale requests, then two fresh ones.
+        for id in 0..2 {
+            let mut p = pending(id);
+            p.arrived = Instant::now() - Duration::from_millis(50);
+            q.try_push(p).expect("open");
+        }
+        for id in 2..4 {
+            q.try_push(pending(id)).expect("open");
+        }
+        let (mut out, mut expired) = (Vec::new(), Vec::new());
+        assert!(q.pop_batch(
+            64,
+            Duration::ZERO,
+            Some(Duration::from_millis(10)),
+            &mut out,
+            &mut expired,
+        ));
+        assert_eq!(
+            expired.iter().map(|p| p.id).collect::<Vec<_>>(),
+            [0, 1],
+            "aged-out requests divert to expired"
+        );
+        assert_eq!(
+            out.iter().map(|p| p.id).collect::<Vec<_>>(),
+            [2, 3],
+            "fresh requests still batch"
+        );
+    }
+
+    #[test]
+    fn all_expired_returns_true_with_empty_batch() {
+        let q = Shard::new(64);
+        let mut p = pending(7);
+        p.arrived = Instant::now() - Duration::from_secs(1);
+        q.try_push(p).expect("open");
+        let (mut out, mut expired) = (Vec::new(), Vec::new());
+        assert!(q.pop_batch(
+            64,
+            Duration::ZERO,
+            Some(Duration::from_millis(1)),
+            &mut out,
+            &mut expired,
+        ));
+        assert!(out.is_empty());
+        assert_eq!(expired.len(), 1);
+        assert_eq!(q.depth(), 0, "expired requests leave the queue");
+    }
+
+    #[test]
+    fn generous_deadline_expires_nothing() {
+        let q = Shard::new(64);
+        q.try_push(pending(1)).expect("open");
+        let (mut out, mut expired) = (Vec::new(), Vec::new());
+        assert!(q.pop_batch(
+            64,
+            Duration::ZERO,
+            Some(Duration::from_secs(60)),
+            &mut out,
+            &mut expired,
+        ));
+        assert_eq!(out.len(), 1);
+        assert!(expired.is_empty());
     }
 
     #[test]
@@ -265,7 +378,13 @@ mod tests {
         let q2 = Arc::clone(&q);
         let worker = std::thread::spawn(move || {
             let mut out = Vec::new();
-            q2.pop_batch(64, Duration::from_millis(1), &mut out)
+            q2.pop_batch(
+                64,
+                Duration::from_millis(1),
+                None,
+                &mut out,
+                &mut Vec::new(),
+            )
         });
         std::thread::sleep(Duration::from_millis(5));
         q.close();

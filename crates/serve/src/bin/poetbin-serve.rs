@@ -4,7 +4,8 @@
 //! ```text
 //! poetbin-serve MODEL... [--addr ADDR] [--workers N] [--linger-us U] \
 //!               [--max-batch B] [--features F] [--queue-cap Q] \
-//!               [--stats-addr ADDR] [--backend interp|jit|auto]
+//!               [--stats-addr ADDR] [--backend interp|jit|auto] \
+//!               [--deadline-us U] [--idle-timeout-ms MS] [--fault-plan SEED]
 //! ```
 //!
 //! Each `MODEL` path is registered under its file stem (`deep.poetbin2`
@@ -21,21 +22,37 @@
 //! `auto` (default) runs the in-process JIT where available and falls
 //! back to the interpreter, `jit`/`interp` pin one (a pinned `jit` still
 //! falls back on hosts without JIT support; each model's resolved
-//! backend is printed at load and reported in the stats listener). The
-//! process serves until killed.
+//! backend is printed at load and reported in the stats listener).
+//!
+//! Robustness knobs: `--deadline-us` sheds requests that wait longer
+//! than the budget with `STATUS_DEADLINE_EXCEEDED`; `--idle-timeout-ms`
+//! reaps connections with nothing in flight and no complete frame inside
+//! the window (slow-loris defence). `--fault-plan SEED` (or the
+//! `POETBIN_FAULT_SEED` environment variable, flag wins) arms the
+//! deterministic fault injector with the schedule derived from SEED —
+//! short reads/writes, spurious `EAGAIN`/`EINTR`, delayed poller
+//! wakeups, injected worker panics — for chaos drills against a real
+//! process. On `SIGINT`/`SIGTERM` the server drains gracefully: it stops
+//! accepting, flushes in-flight work, and exits 0 if the drain finishes
+//! inside its watchdog (exit 1 if the watchdog expires).
 
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
 use poetbin_engine::Backend;
-use poetbin_serve::{load_engine_with, ModelRegistry, ServeConfig, Server};
+use poetbin_serve::{load_engine_with, FaultPlan, ModelRegistry, ServeConfig, Server};
+
+/// Grace budget for the signal-triggered drain before the process gives
+/// up and reports failure.
+const DRAIN_GRACE: Duration = Duration::from_secs(10);
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: poetbin-serve MODEL... [--addr ADDR] [--workers N] [--linger-us U] \
          [--max-batch B] [--features F] [--queue-cap Q] [--stats-addr ADDR] \
-         [--backend interp|jit|auto]"
+         [--backend interp|jit|auto] [--deadline-us U] [--idle-timeout-ms MS] \
+         [--fault-plan SEED]"
     );
     ExitCode::from(2)
 }
@@ -119,6 +136,21 @@ fn main() -> ExitCode {
                     return usage();
                 }
             },
+            "--deadline-us" => match flag_value("--deadline-us") {
+                Some(v) if v > 0 => config.deadline = Some(Duration::from_micros(v as u64)),
+                _ => return usage(),
+            },
+            "--idle-timeout-ms" => match flag_value("--idle-timeout-ms") {
+                Some(v) if v > 0 => config.idle_timeout = Some(Duration::from_millis(v as u64)),
+                _ => return usage(),
+            },
+            "--fault-plan" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(seed) => config.fault = Some(FaultPlan::from_seed(seed)),
+                None => {
+                    eprintln!("--fault-plan needs a numeric seed");
+                    return usage();
+                }
+            },
             other if other.starts_with("--") => {
                 eprintln!("unknown flag {other}");
                 return usage();
@@ -132,6 +164,25 @@ fn main() -> ExitCode {
     }
     if models.is_empty() {
         return usage();
+    }
+    // Environment fallback for chaos drills on an unmodified command
+    // line; an explicit --fault-plan wins.
+    if config.fault.is_none() {
+        if let Ok(value) = std::env::var("POETBIN_FAULT_SEED") {
+            match value.parse() {
+                Ok(seed) => config.fault = Some(FaultPlan::from_seed(seed)),
+                Err(_) => {
+                    eprintln!("POETBIN_FAULT_SEED must be a numeric seed, got {value:?}");
+                    return usage();
+                }
+            }
+        }
+    }
+    if let Some(plan) = &config.fault {
+        eprintln!(
+            "poetbin-serve: FAULT INJECTION ARMED (seed {}) — not for production",
+            plan.seed
+        );
     }
 
     let mut registry = ModelRegistry::new();
@@ -178,8 +229,32 @@ fn main() -> ExitCode {
         config.queue_cap,
         server.stats_addr()
     );
-    // Serve until killed: park this thread forever.
-    loop {
-        std::thread::park();
+    // Serve until SIGINT/SIGTERM, then drain gracefully: stop accepting,
+    // flush the in-flight work, and exit under a bounded watchdog.
+    if let Err(e) = epoll::install_shutdown_flag() {
+        eprintln!("poetbin-serve: cannot install signal handlers: {e}");
+        return ExitCode::FAILURE;
+    }
+    while !epoll::shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let stats = server.stats_handle();
+    eprintln!("poetbin-serve: shutdown requested, draining (grace {DRAIN_GRACE:?})");
+    let drained = server.shutdown_within(DRAIN_GRACE);
+    eprintln!(
+        "poetbin-serve: drained — received {} served {} overloaded {} deadline_expired {} \
+         rejected {} protocol_errors {}",
+        stats.received(),
+        stats.served(),
+        stats.overloaded(),
+        stats.deadline_expired(),
+        stats.rejected(),
+        stats.protocol_errors()
+    );
+    if drained {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("poetbin-serve: drain watchdog expired; exiting with in-flight work lost");
+        ExitCode::FAILURE
     }
 }

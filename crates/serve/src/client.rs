@@ -3,11 +3,13 @@
 
 use std::io::{self, BufReader};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use poetbin_bits::BitVec;
 
 use crate::protocol::{
-    self, ModelInfo, STATUS_BAD_REQUEST, STATUS_OK, STATUS_OVERLOADED, STATUS_UNKNOWN_MODEL,
+    self, ModelInfo, STATUS_BAD_REQUEST, STATUS_DEADLINE_EXCEEDED, STATUS_OK, STATUS_OVERLOADED,
+    STATUS_UNKNOWN_MODEL,
 };
 
 /// The server's answer to one request.
@@ -21,8 +23,78 @@ pub enum Response {
     /// short to parse).
     BadRequest,
     /// The server shed the request because every bounded pending queue
-    /// was full; retry with backoff. The connection is still good.
+    /// was full; retry with backoff ([`Client::predict_with_backoff`]).
+    /// The connection is still good.
     Overloaded,
+    /// The server shed the request because it aged past the per-request
+    /// deadline while queued; retry with backoff
+    /// ([`Client::predict_with_backoff`]). The connection is still good.
+    DeadlineExceeded,
+}
+
+impl Response {
+    /// Whether this response is a transient shed
+    /// ([`Overloaded`](Self::Overloaded) /
+    /// [`DeadlineExceeded`](Self::DeadlineExceeded)) that a client may
+    /// retry with backoff on the same connection.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, Response::Overloaded | Response::DeadlineExceeded)
+    }
+}
+
+/// Jittered-exponential-backoff schedule for retrying transient sheds
+/// ([`Response::Overloaded`] / [`Response::DeadlineExceeded`]).
+///
+/// Attempt `k` (0-based) sleeps a uniformly random ("full jitter")
+/// duration in `[0, min(cap, base · 2^k)]`, drawn from a deterministic
+/// stream seeded by [`seed`](Self::seed) — so a seeded load run retries
+/// on a reproducible schedule. Full jitter decorrelates retrying
+/// clients: after a shared overload spike, their retries spread over the
+/// window instead of arriving as a synchronized second spike.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (`0` disables retrying).
+    pub max_retries: u32,
+    /// Backoff cap base: attempt `k` draws from `[0, base · 2^k]`.
+    pub base: Duration,
+    /// Upper bound on any single sleep, whatever the attempt number.
+    pub cap: Duration,
+    /// Seed for the jitter stream (deterministic per policy value).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 5,
+            base: Duration::from_micros(500),
+            cap: Duration::from_millis(20),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered sleep before retry attempt `attempt` (0-based).
+    /// `salt` decorrelates streams that share a policy value (pass a
+    /// request id or client index). Deterministic in
+    /// `(seed, salt, attempt)`.
+    pub fn backoff(&self, attempt: u32, salt: u64) -> Duration {
+        let ceiling = self
+            .base
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.cap);
+        let span = ceiling.as_nanos().max(1) as u64;
+        // splitmix64 over (seed, salt, attempt): full jitter in [0, ceiling].
+        let mut z = self
+            .seed
+            .wrapping_add(salt.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .wrapping_add(u64::from(attempt).wrapping_mul(0xbf58_476d_1ce4_e5b9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        Duration::from_nanos(z % span)
+    }
 }
 
 /// A connected protocol client.
@@ -153,9 +225,11 @@ impl Client {
     /// [`io::ErrorKind::InvalidData`] if the server rejects the request
     /// or the response carries a different request id (only possible when
     /// mixed with pipelined [`Client::send`] calls whose responses were
-    /// never collected), and [`io::ErrorKind::WouldBlock`] if the server
-    /// shed the request as [`Response::Overloaded`] — the connection is
-    /// still usable; retry with backoff.
+    /// never collected), [`io::ErrorKind::WouldBlock`] if the server
+    /// shed the request as [`Response::Overloaded`], and
+    /// [`io::ErrorKind::TimedOut`] for [`Response::DeadlineExceeded`] —
+    /// for both sheds the connection is still usable; retry with backoff
+    /// ([`Client::predict_with_backoff`]).
     pub fn predict_on(&mut self, model_id: u16, row: &BitVec) -> io::Result<usize> {
         let id = self.send_to(model_id, row)?;
         let (got, response) = self.recv()?;
@@ -179,6 +253,48 @@ impl Client {
                 io::ErrorKind::WouldBlock,
                 format!("server shed request {id}: every queue shard is full"),
             )),
+            Response::DeadlineExceeded => Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("server shed request {id}: deadline exceeded while queued"),
+            )),
+        }
+    }
+
+    /// [`Client::predict_on`] with retry-with-jittered-backoff on
+    /// transient sheds ([`Response::Overloaded`] /
+    /// [`Response::DeadlineExceeded`]): on a shed, sleeps
+    /// [`RetryPolicy::backoff`] and resends, up to
+    /// [`RetryPolicy::max_retries`] times. Returns the prediction plus
+    /// how many retries it took, so load reports can account retries
+    /// separately from failures.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::predict_on`]; a shed that survives every retry
+    /// surfaces as the final attempt's error
+    /// ([`io::ErrorKind::WouldBlock`] / [`io::ErrorKind::TimedOut`]).
+    pub fn predict_with_backoff(
+        &mut self,
+        model_id: u16,
+        row: &BitVec,
+        policy: &RetryPolicy,
+    ) -> io::Result<(usize, u32)> {
+        let mut attempt = 0u32;
+        loop {
+            match self.predict_on(model_id, row) {
+                Ok(class) => return Ok((class, attempt)),
+                Err(e)
+                    if attempt < policy.max_retries
+                        && matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                        ) =>
+                {
+                    std::thread::sleep(policy.backoff(attempt, self.sender.next_id));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
 
@@ -288,6 +404,7 @@ impl ClientReceiver {
             STATUS_UNKNOWN_MODEL => Response::UnknownModel,
             STATUS_BAD_REQUEST => Response::BadRequest,
             STATUS_OVERLOADED => Response::Overloaded,
+            STATUS_DEADLINE_EXCEEDED => Response::DeadlineExceeded,
             other => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,

@@ -36,6 +36,7 @@ use std::time::{Duration, Instant};
 use epoll::{Event, Interest, Poller, Waker};
 
 use crate::batcher::{Pending, Shard};
+use crate::fault::{FaultInjector, IoFault};
 use crate::protocol::{
     self, BAD_FRAME_ID, RESPONSE_LEN, STATUS_BAD_REQUEST, STATUS_OVERLOADED, STATUS_UNKNOWN_MODEL,
 };
@@ -124,6 +125,10 @@ struct Conn {
     inflight: usize,
     /// `false` for stats/health connections (write-report-and-close).
     data_plane: bool,
+    /// Last *productive* moment: a complete frame parsed, or forward
+    /// progress flushing responses. The idle reaper's clock — partial
+    /// frames dripped by a slow-loris peer deliberately do not count.
+    last_activity: Instant,
 }
 
 /// Everything [`EventLoop::new`] needs, bundled (it crosses a thread
@@ -140,6 +145,8 @@ pub(crate) struct EventLoopParts {
     pub finishing: Arc<AtomicBool>,
     pub write_buf_cap: usize,
     pub sock_buf: Option<usize>,
+    pub idle_timeout: Option<Duration>,
+    pub fault: Option<Arc<FaultInjector>>,
 }
 
 pub(crate) struct EventLoop {
@@ -160,6 +167,8 @@ pub(crate) struct EventLoop {
     max_payload: usize,
     write_buf_cap: usize,
     sock_buf: Option<usize>,
+    idle_timeout: Option<Duration>,
+    fault: Option<Arc<FaultInjector>>,
     hello: Vec<u8>,
     started: Instant,
     /// Listeners torn down (the `stopping` transition ran).
@@ -179,6 +188,15 @@ impl EventLoop {
             Interest::READ,
         )?;
         poller.add(parts.waker.as_raw_fd(), TOKEN_WAKER, Interest::READ)?;
+        if let Some(fault) = &parts.fault {
+            // Delayed-wakeup injection rides the shim's wait hook; when
+            // no plan is set the hook is never installed and the wait
+            // path costs one relaxed atomic load.
+            let fault = Arc::clone(fault);
+            poller.set_wait_hook(Box::new(move || {
+                fault.wait_fault().map(epoll::WaitFault::Delay)
+            }));
+        }
         let mut hello = Vec::new();
         protocol::write_hello(&mut hello, &parts.registry.infos())
             .expect("writing a hello to a Vec cannot fail");
@@ -200,6 +218,8 @@ impl EventLoop {
             max_payload,
             write_buf_cap: parts.write_buf_cap,
             sock_buf: parts.sock_buf,
+            idle_timeout: parts.idle_timeout,
+            fault: parts.fault,
             hello,
             started: Instant::now(),
             stopped: false,
@@ -210,8 +230,14 @@ impl EventLoop {
     /// `finishing` is set and the completion channel is drained.
     pub(crate) fn run(mut self) {
         let mut events: Vec<Event> = Vec::new();
+        // With idle reaping on, bound the wait so the sweep runs even
+        // when no fd ever becomes ready (the defining property of an
+        // idle connection is that it generates no events).
+        let wait_timeout = self
+            .idle_timeout
+            .map(|t| (t / 2).max(Duration::from_millis(1)));
         loop {
-            if self.poller.wait(&mut events, None).is_err() {
+            if self.poller.wait(&mut events, wait_timeout).is_err() {
                 // Persistent wait failure would spin; back off and keep
                 // checking the shutdown flags.
                 std::thread::sleep(Duration::from_millis(1));
@@ -225,6 +251,7 @@ impl EventLoop {
                 }
             }
             self.drain_completions();
+            self.reap_idle();
             if self.stopping.load(Ordering::SeqCst) && !self.stopped {
                 self.enter_stopping();
             }
@@ -282,6 +309,7 @@ impl EventLoop {
             closing: !data_plane,
             inflight: 0,
             data_plane,
+            last_activity: Instant::now(),
         };
         if data_plane {
             conn.wbuf.extend(&self.hello);
@@ -324,17 +352,26 @@ impl EventLoop {
     }
 
     /// Reads until the socket would block (or the connection pauses /
-    /// starts closing), parsing frames as they complete.
+    /// starts closing), parsing frames as they complete. Injected faults
+    /// shrink reads to one byte (`Short`), end the pass early (`Again` —
+    /// the level trigger re-reports the readiness), or retry (`Intr`),
+    /// exactly like their kernel-born counterparts.
     fn read_ready(&mut self, token: u64) {
         let mut chunk = [0u8; 16 * 1024];
         loop {
+            let limit = match self.fault.as_ref().and_then(|f| f.on_read()) {
+                Some(IoFault::Again) => break,
+                Some(IoFault::Intr) => continue,
+                Some(IoFault::Short) => 1,
+                None => chunk.len(),
+            };
             let Some(conn) = self.conns.get_mut(&token) else {
                 return;
             };
             if conn.paused || conn.closing || !conn.data_plane {
                 break;
             }
-            match conn.stream.read(&mut chunk) {
+            match conn.stream.read(&mut chunk[..limit]) {
                 Ok(0) => {
                     conn.closing = true;
                     break;
@@ -373,9 +410,13 @@ impl EventLoop {
                 let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
                 if len > self.max_payload {
                     // The stream cannot be resynchronised past a garbage
-                    // length prefix; stop reading, flush, close.
+                    // length prefix; stop reading, flush, close. The
+                    // poisoned tail counts as one final received unit so
+                    // `protocol_errors` reconciles in the global
+                    // equation.
                     conn.closing = true;
                     conn.rbuf.clear();
+                    self.stats.received.fetch_add(1, Ordering::Relaxed);
                     self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
                     return;
                 }
@@ -384,6 +425,9 @@ impl EventLoop {
                 }
                 let payload = buf[4..4 + len].to_vec();
                 conn.rbuf.consume(4 + len);
+                // A complete frame is productive activity; a slow-loris
+                // drip of partial bytes deliberately is not.
+                conn.last_activity = Instant::now();
                 payload
             };
             self.handle_request(token, &payload);
@@ -393,6 +437,11 @@ impl EventLoop {
     /// Decodes one request payload: typed rejections are answered
     /// inline, well-formed requests go to a bounded shard or get shed.
     fn handle_request(&mut self, token: u64, payload: &[u8]) {
+        // `received` counts every complete frame taken off the wire —
+        // each lands in exactly one outcome counter below (served /
+        // overloaded / deadline_expired / rejected), so the global
+        // equation reconciles at quiescence.
+        self.stats.received.fetch_add(1, Ordering::Relaxed);
         let Some((model_id, id, bits)) = protocol::decode_request(payload) else {
             self.stats.rejected.fetch_add(1, Ordering::Relaxed);
             self.push_response(token, BAD_FRAME_ID, STATUS_BAD_REQUEST, 0);
@@ -421,11 +470,8 @@ impl EventLoop {
         for k in 0..n {
             match self.shards[(start + k) % n].try_push(pending) {
                 Ok(()) => {
-                    // `received` counts only requests that actually made
-                    // it into a queue, so it reconciles with `served`
-                    // (plus nothing) at quiescence — shed and rejected
-                    // requests have their own counters.
-                    self.stats.received.fetch_add(1, Ordering::Relaxed);
+                    // Per-model `received` keeps acceptance semantics:
+                    // only requests that actually entered a queue.
                     if let Some(model_stats) = self.registry.stats(model_id) {
                         model_stats.add_received(1);
                     }
@@ -460,19 +506,37 @@ impl EventLoop {
 
     /// Writes as much of the buffered output as the socket takes.
     /// Returns `false` when the connection was torn down (a dead write
-    /// half kills the read half too).
+    /// half kills the read half too). Injected faults shrink writes to
+    /// one byte (`Short`), end the pass early (`Again` — `EPOLLOUT`
+    /// interest re-arms it), or retry (`Intr`).
     fn flush_writes(&mut self, token: u64) -> bool {
-        let Some(conn) = self.conns.get_mut(&token) else {
-            return false;
-        };
         let mut dead = false;
-        while !conn.wbuf.is_empty() {
-            match conn.stream.write(conn.wbuf.bytes()) {
+        loop {
+            let limit = match self.fault.as_ref().and_then(|f| f.on_write()) {
+                Some(IoFault::Again) => break,
+                Some(IoFault::Intr) => continue,
+                Some(IoFault::Short) => 1,
+                None => usize::MAX,
+            };
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return false;
+            };
+            if conn.wbuf.is_empty() {
+                break;
+            }
+            let bytes = conn.wbuf.bytes();
+            let bytes = &bytes[..bytes.len().min(limit)];
+            match conn.stream.write(bytes) {
                 Ok(0) => {
                     dead = true;
                     break;
                 }
-                Ok(n) => conn.wbuf.consume(n),
+                Ok(n) => {
+                    conn.wbuf.consume(n);
+                    // Forward flush progress means the peer is draining
+                    // its responses — productive activity.
+                    conn.last_activity = Instant::now();
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => {
@@ -485,7 +549,7 @@ impl EventLoop {
             self.drop_conn(token);
             return false;
         }
-        true
+        self.conns.contains_key(&token)
     }
 
     /// Flush, resume paused reads when the backlog has halved, re-arm
@@ -557,6 +621,32 @@ impl EventLoop {
         }
     }
 
+    /// Closes data connections whose last productive activity is older
+    /// than the idle timeout and that have nothing in flight: slow-loris
+    /// peers dripping partial frames, clients that never read their
+    /// responses (no flush progress), and plain idle sockets. No-op
+    /// without [`ServeConfig::idle_timeout`](crate::ServeConfig).
+    fn reap_idle(&mut self) {
+        let Some(limit) = self.idle_timeout else {
+            return;
+        };
+        let now = Instant::now();
+        let stale: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                c.data_plane
+                    && c.inflight == 0
+                    && now.saturating_duration_since(c.last_activity) > limit
+            })
+            .map(|(&t, _)| t)
+            .collect();
+        for token in stale {
+            self.stats.reaped.fetch_add(1, Ordering::Relaxed);
+            self.drop_conn(token);
+        }
+    }
+
     fn drop_conn(&mut self, token: u64) {
         if let Some(conn) = self.conns.remove(&token) {
             let _ = self.poller.delete(conn.stream.as_raw_fd());
@@ -616,7 +706,10 @@ impl EventLoop {
         let _ = writeln!(out, "served {}", self.stats.served());
         let _ = writeln!(out, "rejected {}", self.stats.rejected());
         let _ = writeln!(out, "overloaded {}", self.stats.overloaded());
+        let _ = writeln!(out, "deadline_expired {}", self.stats.deadline_expired());
         let _ = writeln!(out, "protocol_errors {}", self.stats.protocol_errors());
+        let _ = writeln!(out, "worker_panics {}", self.stats.worker_panics());
+        let _ = writeln!(out, "reaped {}", self.stats.reaped());
         let _ = writeln!(out, "batches {}", self.stats.batches());
         let _ = writeln!(out, "mean_batch {:.2}", self.stats.mean_batch());
         let depths: Vec<usize> = self.shards.iter().map(|s| s.depth()).collect();
@@ -628,14 +721,16 @@ impl EventLoop {
             if let Some(m) = self.registry.stats(info.id) {
                 let _ = writeln!(
                     out,
-                    "model_{} name={} backend={} received={} served={} batches={} swaps={}",
+                    "model_{} name={} backend={} received={} served={} batches={} swaps={} \
+                     deadline_expired={}",
                     info.id,
                     info.name,
                     self.registry.backend_name(info.id).unwrap_or("unknown"),
                     m.received(),
                     m.served(),
                     m.batches(),
-                    m.swaps()
+                    m.swaps(),
+                    m.deadline_expired()
                 );
             }
         }

@@ -1,0 +1,271 @@
+//! Deterministic, seeded fault injection for the serving stack.
+//!
+//! A [`FaultPlan`] describes a reproducible schedule of I/O misbehaviour:
+//! short reads/writes, spurious `EAGAIN`/`EINTR`, delayed poller wakeups,
+//! and injected worker panics. The plan is pure configuration; the
+//! [`FaultInjector`] built from it owns a deterministic splitmix64 stream,
+//! so the same seed always yields the same fault sequence for the same
+//! sequence of injection-point visits on a single thread — and a bounded,
+//! seed-stable distribution under concurrency.
+//!
+//! Zero-cost-when-off: the server holds an `Option<Arc<FaultInjector>>`;
+//! with `None` every injection point is a single branch on a niche-encoded
+//! pointer, and the `vendor/epoll` wait hook is never installed (one
+//! relaxed atomic load per wait).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A seeded, deterministic schedule of injected faults.
+///
+/// Rates are expressed as "one in N" (`0` disables that fault class).
+/// Build a varied mix straight from a seed with [`FaultPlan::from_seed`],
+/// or construct the struct literally for a targeted test.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Seed for the injector's deterministic random stream.
+    pub seed: u64,
+    /// One in N reads is truncated to a single byte (`0` = never).
+    pub short_read: u32,
+    /// One in N writes is truncated to a single byte (`0` = never).
+    pub short_write: u32,
+    /// One in N reads/writes fails with spurious `EAGAIN` (`0` = never).
+    pub eagain: u32,
+    /// One in N reads/writes fails with `EINTR` (`0` = never).
+    pub eintr: u32,
+    /// One in N poller wakeups is delayed (`0` = never).
+    pub delay: u32,
+    /// Upper bound on an injected wakeup delay.
+    pub max_delay: Duration,
+    /// One in N worker batches panics after evaluation (`0` = never).
+    pub panic: u32,
+}
+
+impl FaultPlan {
+    /// Derives a varied fault mix from a single seed: every fault class
+    /// is enabled with a seed-dependent rate, so a sweep over seeds
+    /// exercises storms of each class alone and in combination.
+    pub fn from_seed(seed: u64) -> FaultPlan {
+        let mut s = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut next = move || {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            splitmix64(s)
+        };
+        // Rates land in [3, 18]: frequent enough to bite within a short
+        // chaos run, rare enough that every run still makes progress.
+        let mut rate = |enabled_one_in: u64| -> u32 {
+            if next() % enabled_one_in == 0 {
+                0 // this class is off for this seed
+            } else {
+                3 + (next() % 16) as u32
+            }
+        };
+        FaultPlan {
+            seed,
+            short_read: rate(5),
+            short_write: rate(5),
+            eagain: rate(4),
+            eintr: rate(4),
+            delay: rate(3),
+            max_delay: Duration::from_micros(200 + next() % 2_800),
+            panic: if next() % 3 == 0 {
+                0
+            } else {
+                40 + (next() % 60) as u32
+            },
+        }
+    }
+
+    /// A plan that injects nothing — useful as a baseline control.
+    pub fn quiet(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            short_read: 0,
+            short_write: 0,
+            eagain: 0,
+            eintr: 0,
+            delay: 0,
+            max_delay: Duration::ZERO,
+            panic: 0,
+        }
+    }
+}
+
+/// What an injection point on the byte-I/O path should do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum IoFault {
+    /// Truncate the transfer to one byte.
+    Short,
+    /// Fail with spurious `WouldBlock` before touching the fd.
+    Again,
+    /// Fail with `Interrupted` before touching the fd.
+    Intr,
+}
+
+/// Live fault source built from a [`FaultPlan`]. Shared (`Arc`) between
+/// the poller thread and workers; the splitmix64 state is a relaxed
+/// atomic, so concurrent rolls stay deterministic per seed in aggregate
+/// without any locking on the hot path.
+#[derive(Debug)]
+pub(crate) struct FaultInjector {
+    plan: FaultPlan,
+    state: AtomicU64,
+}
+
+impl FaultInjector {
+    pub(crate) fn new(plan: FaultPlan) -> FaultInjector {
+        let state = AtomicU64::new(plan.seed.wrapping_mul(0x2545_f491_4f6c_dd1d) | 1);
+        FaultInjector { plan, state }
+    }
+
+    /// One pseudo-random draw from the deterministic stream.
+    fn draw(&self) -> u64 {
+        let prev = self
+            .state
+            .fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed);
+        splitmix64(prev)
+    }
+
+    /// True roughly one time in `one_in` (never for `one_in == 0`).
+    fn roll(&self, one_in: u32) -> bool {
+        one_in != 0 && self.draw().is_multiple_of(u64::from(one_in))
+    }
+
+    /// Fault decision for a socket read, if any.
+    pub(crate) fn on_read(&self) -> Option<IoFault> {
+        if self.roll(self.plan.eagain) {
+            Some(IoFault::Again)
+        } else if self.roll(self.plan.eintr) {
+            Some(IoFault::Intr)
+        } else if self.roll(self.plan.short_read) {
+            Some(IoFault::Short)
+        } else {
+            None
+        }
+    }
+
+    /// Fault decision for a socket write, if any.
+    pub(crate) fn on_write(&self) -> Option<IoFault> {
+        if self.roll(self.plan.eagain) {
+            Some(IoFault::Again)
+        } else if self.roll(self.plan.eintr) {
+            Some(IoFault::Intr)
+        } else if self.roll(self.plan.short_write) {
+            Some(IoFault::Short)
+        } else {
+            None
+        }
+    }
+
+    /// Delay to impose on the next poller wakeup, if any. Bounded by the
+    /// plan's `max_delay` so chaos runs always make forward progress.
+    pub(crate) fn wait_fault(&self) -> Option<Duration> {
+        if self.roll(self.plan.delay) {
+            let span = self.plan.max_delay.as_micros().max(1) as u64;
+            Some(Duration::from_micros(self.draw() % span))
+        } else {
+            None
+        }
+    }
+
+    /// Whether the current worker batch should panic after evaluation.
+    pub(crate) fn should_panic(&self) -> bool {
+        self.roll(self.plan.panic)
+    }
+}
+
+/// Marker payload carried by injected worker panics, so the chaos suite's
+/// panic hook can tell deliberate crashes from real bugs.
+#[derive(Debug)]
+pub struct InjectedPanic;
+
+/// splitmix64 finalizer — the same mixing constant set the vendored
+/// `rand` shim uses; good avalanche behaviour, trivially deterministic.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Produces `n` torn copies of a model file: each copy is truncated at a
+/// seed-derived offset and, for odd indices, additionally has one byte
+/// flipped before the cut. Used by hot-swap robustness tests to simulate
+/// a partially-written model artifact.
+pub fn torn_copies(bytes: &[u8], seed: u64, n: usize) -> Vec<Vec<u8>> {
+    let mut out = Vec::with_capacity(n);
+    let mut s = seed;
+    for i in 0..n {
+        s = splitmix64(s.wrapping_add(i as u64));
+        // Cut somewhere strictly inside the file (never empty, never whole).
+        let cut = 1 + (s as usize) % bytes.len().saturating_sub(1).max(1);
+        let mut torn = bytes[..cut].to_vec();
+        if i % 2 == 1 && !torn.is_empty() {
+            let pos = (splitmix64(s) as usize) % torn.len();
+            torn[pos] ^= 1 << (s % 8);
+        }
+        out.push(torn);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a = FaultInjector::new(FaultPlan::from_seed(7));
+        let b = FaultInjector::new(FaultPlan::from_seed(7));
+        for _ in 0..256 {
+            assert_eq!(a.draw(), b.draw());
+        }
+    }
+
+    #[test]
+    fn quiet_plan_never_fires() {
+        let inj = FaultInjector::new(FaultPlan::quiet(3));
+        for _ in 0..1024 {
+            assert_eq!(inj.on_read(), None);
+            assert_eq!(inj.on_write(), None);
+            assert!(inj.wait_fault().is_none());
+            assert!(!inj.should_panic());
+        }
+    }
+
+    #[test]
+    fn from_seed_varies_mixes_and_fires() {
+        // Across a seed sweep, every fault class must be enabled somewhere
+        // and actually fire, and delays must respect the plan bound.
+        let mut fired = [false; 4];
+        for seed in 0..32u64 {
+            let plan = FaultPlan::from_seed(seed);
+            let inj = FaultInjector::new(plan.clone());
+            for _ in 0..512 {
+                match inj.on_read() {
+                    Some(IoFault::Short) => fired[0] = true,
+                    Some(IoFault::Again) => fired[1] = true,
+                    Some(IoFault::Intr) => fired[2] = true,
+                    None => {}
+                }
+                if let Some(d) = inj.wait_fault() {
+                    fired[3] = true;
+                    assert!(d <= plan.max_delay);
+                }
+            }
+        }
+        assert_eq!(fired, [true; 4], "every fault class fires in the sweep");
+    }
+
+    #[test]
+    fn torn_copies_are_strict_prefixes_or_corrupted() {
+        let original: Vec<u8> = (0..251u32).map(|i| (i * 7) as u8).collect();
+        let torn = torn_copies(&original, 99, 16);
+        assert_eq!(torn.len(), 16);
+        for t in &torn {
+            assert!(!t.is_empty() && t.len() < original.len());
+        }
+        // Determinism: same seed, same tears.
+        assert_eq!(torn, torn_copies(&original, 99, 16));
+    }
+}

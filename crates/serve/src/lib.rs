@@ -46,6 +46,19 @@
 //! * **Observability**: a second plain-text listener
 //!   ([`Server::stats_addr`]) reports the global counters, per-shard
 //!   queue depths, and per-model lines to anything that connects.
+//! * **Graceful degradation**: per-request deadlines
+//!   ([`ServeConfig::deadline`]) shed stale queued work with
+//!   [`protocol::STATUS_DEADLINE_EXCEEDED`]; worker panics are contained
+//!   to the batch in hand (the unanswered requests are shed, the worker
+//!   keeps serving); idle and slow-loris connections are reaped
+//!   ([`ServeConfig::idle_timeout`]); [`Server::shutdown_within`] drains
+//!   under a watchdog; and [`ModelRegistry::swap_validated`] canary-checks
+//!   a replacement model before the atomic swap, so a corrupt artifact
+//!   can never disturb live traffic. The counters reconcile exactly —
+//!   `received == served + overloaded + deadline_expired + rejected +
+//!   protocol_errors` at quiescence — and a deterministic seeded
+//!   fault-injection layer ([`FaultPlan`]) replays I/O fault schedules
+//!   against that invariant in the chaos suite.
 //!
 //! The server is std-only: no async runtime, no network dependencies
 //! (the epoll surface is a vendored in-tree shim, like `rand`/`serde`).
@@ -86,10 +99,12 @@
 mod batcher;
 mod client;
 mod event_loop;
+mod fault;
 pub mod protocol;
 mod registry;
 mod server;
 
-pub use client::{Client, ClientReceiver, ClientSender, Response};
+pub use client::{Client, ClientReceiver, ClientSender, Response, RetryPolicy};
+pub use fault::{torn_copies, FaultPlan, InjectedPanic};
 pub use registry::{ModelRegistry, ModelStats, SwapError};
 pub use server::{load_engine, load_engine_with, LoadError, ServeConfig, Server, ServerStats};

@@ -52,6 +52,12 @@
 //! *accepted* requests bounded under open-loop overload: without it, an
 //! arrival rate above engine capacity grows the pending queue (and every
 //! latency percentile) without bound.
+//!
+//! When the server is configured with a per-request deadline, an
+//! *accepted* request that waits in its queue longer than the deadline is
+//! shed with [`STATUS_DEADLINE_EXCEEDED`] instead of being evaluated:
+//! under transient overload the server sheds stale work rather than
+//! burning engine time on answers nobody is still waiting for.
 
 use std::io::{self, Read, Write};
 
@@ -73,6 +79,12 @@ pub const STATUS_BAD_REQUEST: u8 = 2;
 /// pending queue was full, so the server shed it before evaluation;
 /// `class` is meaningless. The connection survives — retry with backoff.
 pub const STATUS_OVERLOADED: u8 = 3;
+/// Response status: the request was accepted but aged past the server's
+/// per-request deadline while queued, so it was shed before evaluation;
+/// `class` is meaningless. The connection survives — the answer would
+/// have arrived too late to be useful, so the server spent no engine
+/// time on it. Retry with backoff if the result is still wanted.
+pub const STATUS_DEADLINE_EXCEEDED: u8 = 4;
 
 /// The request id echoed on a [`STATUS_BAD_REQUEST`] response to a
 /// payload too short to carry a real id.

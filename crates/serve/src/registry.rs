@@ -24,10 +24,14 @@
 //! by version rather than by `Arc` pointer identity (which could ABA
 //! through the allocator).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-use poetbin_engine::ClassifierEngine;
+use poetbin_bits::{BitVec, FeatureMatrix};
+use poetbin_core::persist::{load_classifier, PersistError};
+use poetbin_engine::{Backend, ClassifierEngine};
+use poetbin_fpga::NetlistError;
 
 use crate::protocol::{self, ModelInfo};
 
@@ -38,10 +42,15 @@ pub struct ModelStats {
     served: AtomicU64,
     batches: AtomicU64,
     swaps: AtomicU64,
+    deadline_expired: AtomicU64,
 }
 
 impl ModelStats {
-    /// Requests accepted off the wire for this model.
+    /// Requests accepted off the wire for this model. A request counted
+    /// here is normally later [`served`](Self::served) or
+    /// [`deadline_expired`](Self::deadline_expired); the exception is a
+    /// request shed by worker panic containment, which counts only in
+    /// the global `overloaded` tally.
     pub fn received(&self) -> u64 {
         self.received.load(Ordering::Relaxed)
     }
@@ -61,6 +70,12 @@ impl ModelStats {
         self.swaps.load(Ordering::Relaxed)
     }
 
+    /// Requests for this model shed with `STATUS_DEADLINE_EXCEEDED`
+    /// after aging past the server's per-request deadline while queued.
+    pub fn deadline_expired(&self) -> u64 {
+        self.deadline_expired.load(Ordering::Relaxed)
+    }
+
     /// Mean predictions per engine batch.
     pub fn mean_batch(&self) -> f64 {
         let batches = self.batches();
@@ -77,6 +92,10 @@ impl ModelStats {
     pub(crate) fn add_served_batch(&self, n: u64) {
         self.served.fetch_add(n, Ordering::Relaxed);
         self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_deadline_expired(&self, n: u64) {
+        self.deadline_expired.fetch_add(n, Ordering::Relaxed);
     }
 }
 
@@ -100,7 +119,9 @@ struct ModelEntry {
     stats: ModelStats,
 }
 
-/// Why a [`ModelRegistry::swap`] was refused.
+/// Why a [`ModelRegistry::swap`] / [`ModelRegistry::swap_validated`] was
+/// refused. Every variant leaves the slot — and live traffic — exactly
+/// as it was: validation happens entirely before the commit.
 #[derive(Debug)]
 pub enum SwapError {
     /// No model with the given id is registered.
@@ -112,6 +133,22 @@ pub enum SwapError {
         /// The replacement engine's `(num_features, classes)`.
         found: (usize, usize),
     },
+    /// The replacement model bytes failed to decode (corrupt, truncated,
+    /// bad checksum, wrong magic, …).
+    Decode(PersistError),
+    /// The decoded replacement's lowered netlist failed compilation.
+    Compile(NetlistError),
+    /// The replacement reads features past the slot's fixed wire width.
+    WidthTooNarrow {
+        /// The slot's fixed row width.
+        slot: usize,
+        /// The width the replacement model actually needs.
+        required: usize,
+    },
+    /// The compiled replacement failed the pre-commit canary: its
+    /// spot-check predictions were out of range, non-deterministic, or
+    /// it panicked during evaluation.
+    Canary(String),
 }
 
 impl std::fmt::Display for SwapError {
@@ -124,11 +161,27 @@ impl std::fmt::Display for SwapError {
                  (features × classes); a shape change is a new model, not a swap",
                 found.0, found.1, expected.0, expected.1
             ),
+            SwapError::Decode(e) => write!(f, "replacement model failed to decode: {e}"),
+            SwapError::Compile(e) => write!(f, "replacement model failed to compile: {e}"),
+            SwapError::WidthTooNarrow { slot, required } => write!(
+                f,
+                "slot serves {slot}-feature rows but the replacement reads feature {}",
+                required - 1
+            ),
+            SwapError::Canary(msg) => write!(f, "replacement failed canary validation: {msg}"),
         }
     }
 }
 
-impl std::error::Error for SwapError {}
+impl std::error::Error for SwapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SwapError::Decode(e) => Some(e),
+            SwapError::Compile(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// A fixed table of named models with hot-swappable engines.
 #[derive(Default)]
@@ -269,6 +322,101 @@ impl ModelRegistry {
         m.stats.swaps.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
+
+    /// Canary-validated hot-swap straight from model-file bytes: fully
+    /// decodes the `POETBIN` payload, compiles it at the slot's fixed
+    /// wire width on `backend`, checks its wire shape, pays all deferred
+    /// codegen, and spot-checks it on seeded canary rows (predictions in
+    /// class range, deterministic across two evaluations, no panic) —
+    /// all **before** the atomic commit. Any failure returns a typed
+    /// [`SwapError`] with the live engine untouched, so "rollback" is
+    /// simply never having committed: a corrupt or torn model artifact
+    /// can never disturb live traffic.
+    ///
+    /// # Errors
+    ///
+    /// [`SwapError::Decode`] / [`SwapError::Compile`] /
+    /// [`SwapError::WidthTooNarrow`] / [`SwapError::ShapeMismatch`] /
+    /// [`SwapError::Canary`] per the stage that refused, or
+    /// [`SwapError::UnknownModel`] for an unregistered id.
+    pub fn swap_validated(&self, id: u16, bytes: &[u8], backend: Backend) -> Result<(), SwapError> {
+        let m = self
+            .models
+            .get(id as usize)
+            .ok_or(SwapError::UnknownModel(id))?;
+        let clf = load_classifier(bytes).map_err(SwapError::Decode)?;
+        let required = clf.min_features();
+        if m.num_features < required {
+            return Err(SwapError::WidthTooNarrow {
+                slot: m.num_features,
+                required,
+            });
+        }
+        let engine = ClassifierEngine::compile(&clf, m.num_features)
+            .map(|e| e.with_backend(backend))
+            .map_err(SwapError::Compile)?;
+        let found = (engine.num_features(), engine.classes());
+        let expected = (m.num_features, m.classes);
+        if found != expected {
+            return Err(SwapError::ShapeMismatch { expected, found });
+        }
+        let engine = Arc::new(engine);
+        // Codegen and spot-check happen swap-side, pre-commit: a broken
+        // replacement fails here, never on a request path.
+        match catch_unwind(AssertUnwindSafe(|| {
+            engine.prepare_all();
+            canary_check(&engine)
+        })) {
+            Ok(Ok(())) => {}
+            Ok(Err(msg)) => return Err(SwapError::Canary(msg)),
+            Err(_) => {
+                return Err(SwapError::Canary(
+                    "replacement panicked during canary evaluation".into(),
+                ))
+            }
+        }
+        {
+            let mut slot = m.slot.write().expect("slot lock poisoned");
+            slot.engine = engine;
+            slot.version += 1;
+        }
+        m.stats.swaps.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Spot-checks a compiled replacement on seeded pseudo-random rows:
+/// every prediction must land in class range and repeat bit-identically
+/// on a second evaluation (the engine is a pure function of its inputs).
+fn canary_check(engine: &ClassifierEngine) -> Result<(), String> {
+    const CANARIES: usize = 8;
+    let width = engine.num_features();
+    let classes = engine.classes();
+    let mut state = 0x6a09_e667_f3bc_c908u64; // fixed seed: canaries are reproducible
+    let rows: Vec<BitVec> = (0..CANARIES)
+        .map(|_| {
+            let mut row = BitVec::zeros(width);
+            for j in 0..width {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                row.set(j, (state >> 33) & 1 == 1);
+            }
+            row
+        })
+        .collect();
+    let matrix = FeatureMatrix::from_rows(rows);
+    let first = engine.predict(&matrix);
+    if let Some(bad) = first.iter().find(|&&c| c >= classes) {
+        return Err(format!(
+            "canary prediction {bad} out of range for {classes} classes"
+        ));
+    }
+    let second = engine.predict(&matrix);
+    if first != second {
+        return Err("canary predictions differ across evaluations".into());
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -280,12 +428,19 @@ mod tests {
     use poetbin_dt::LevelWiseTree;
 
     fn engine(num_features: usize, classes: usize, flip: bool) -> Arc<ClassifierEngine> {
+        let clf = classifier(num_features, classes, flip);
+        Arc::new(ClassifierEngine::compile(&clf, num_features).expect("compiles"))
+    }
+
+    fn classifier(num_features: usize, classes: usize, flip: bool) -> PoetBinClassifier {
         let p = 2;
         let modules: Vec<RincNode> = (0..classes * p)
             .map(|i| {
                 if i % 2 == 0 {
+                    // Reads the last feature, pinning min_features to the
+                    // full width (the WidthTooNarrow test depends on it).
                     RincNode::Tree(LevelWiseTree::from_parts(
-                        vec![i % num_features, (i + 1) % num_features],
+                        vec![i % num_features, num_features - 1],
                         TruthTable::from_fn(p, |v| (v % 2 == 0) ^ flip),
                     ))
                 } else {
@@ -309,8 +464,7 @@ mod tests {
         let weights = (0..classes).map(|c| vec![3 + c as i32, -2]).collect();
         let biases = (0..classes).map(|c| c as i32 - 1).collect();
         let output = QuantizedSparseOutput::from_parts(p, 6, weights, biases, -8, 0);
-        let clf = PoetBinClassifier::new(RincBank::from_modules(modules), output);
-        Arc::new(ClassifierEngine::compile(&clf, num_features).expect("compiles"))
+        PoetBinClassifier::new(RincBank::from_modules(modules), output)
     }
 
     #[test]
@@ -344,6 +498,62 @@ mod tests {
         assert_eq!(reg.stats(id).unwrap().swaps(), 1);
         // The old snapshot stays usable for in-flight work.
         assert_eq!(before.num_features(), 16);
+    }
+
+    #[test]
+    fn swap_validated_commits_a_good_model_from_bytes() {
+        use poetbin_core::persist::{save_classifier, ModelFormat};
+        let mut reg = ModelRegistry::new();
+        let id = reg.register("m", engine(16, 2, false));
+        let bytes = save_classifier(&classifier(16, 2, true), ModelFormat::PoetBin2);
+        reg.swap_validated(id, &bytes, Backend::default())
+            .expect("valid replacement commits");
+        let (_, v) = reg.snapshot(id).unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(reg.stats(id).unwrap().swaps(), 1);
+    }
+
+    #[test]
+    fn swap_validated_refuses_torn_bytes_without_touching_the_slot() {
+        use poetbin_core::persist::{save_classifier, ModelFormat};
+        let mut reg = ModelRegistry::new();
+        let id = reg.register("m", engine(16, 2, false));
+        let (live, v0) = reg.snapshot(id).unwrap();
+        let good = save_classifier(&classifier(16, 2, true), ModelFormat::PoetBin2);
+        for torn in crate::fault::torn_copies(&good, 0xc0ffee, 24) {
+            let err = reg
+                .swap_validated(id, &torn, Backend::default())
+                .expect_err("torn bytes must be refused");
+            assert!(
+                matches!(err, SwapError::Decode(_)),
+                "torn input should fail decode, got: {err}"
+            );
+        }
+        let (after, v1) = reg.snapshot(id).unwrap();
+        assert!(Arc::ptr_eq(&after, &live), "live engine untouched");
+        assert_eq!(v1, v0, "version untouched");
+        assert_eq!(reg.stats(id).unwrap().swaps(), 0);
+    }
+
+    #[test]
+    fn swap_validated_refuses_shape_and_width_mismatches() {
+        use poetbin_core::persist::{save_classifier, ModelFormat};
+        let mut reg = ModelRegistry::new();
+        let id = reg.register("m", engine(16, 2, false));
+        // Needs more features than the slot's width.
+        let wide = save_classifier(&classifier(32, 2, false), ModelFormat::PoetBin2);
+        assert!(matches!(
+            reg.swap_validated(id, &wide, Backend::default()),
+            Err(SwapError::WidthTooNarrow { slot: 16, .. })
+        ));
+        // Same width, different class count.
+        let reshaped = save_classifier(&classifier(16, 3, false), ModelFormat::PoetBin2);
+        assert!(matches!(
+            reg.swap_validated(id, &reshaped, Backend::default()),
+            Err(SwapError::ShapeMismatch { .. })
+        ));
+        let (_, v) = reg.snapshot(id).unwrap();
+        assert_eq!(v, 0, "every refusal leaves the slot untouched");
     }
 
     #[test]

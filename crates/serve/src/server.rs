@@ -25,11 +25,12 @@ use std::collections::HashMap;
 use std::fmt;
 use std::io;
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use epoll::Waker;
 use poetbin_bits::pack_block_rows_into;
@@ -39,7 +40,10 @@ use poetbin_fpga::NetlistError;
 
 use crate::batcher::{Pending, Shard};
 use crate::event_loop::{Completion, EventLoop, EventLoopParts};
-use crate::protocol::{STATUS_OK, STATUS_UNKNOWN_MODEL};
+use crate::fault::{FaultInjector, FaultPlan, InjectedPanic};
+use crate::protocol::{
+    STATUS_DEADLINE_EXCEEDED, STATUS_OK, STATUS_OVERLOADED, STATUS_UNKNOWN_MODEL,
+};
 use crate::registry::ModelRegistry;
 
 /// Tuning knobs for [`Server::start`].
@@ -85,6 +89,24 @@ pub struct ServeConfig {
     /// read-pausing backpressure engage promptly instead of after
     /// megabytes of kernel buffering.
     pub sock_buf: Option<usize>,
+    /// Per-request deadline, measured from the moment the event loop
+    /// decoded the request. A request still queued past its deadline is
+    /// shed with
+    /// [`STATUS_DEADLINE_EXCEEDED`](crate::protocol::STATUS_DEADLINE_EXCEEDED)
+    /// instead of evaluated — under transient overload the server sheds
+    /// stale work rather than burning engine time on answers nobody is
+    /// still waiting for. `None` (the default) disables deadlines.
+    pub deadline: Option<Duration>,
+    /// Idle-connection reaping. A data connection with no in-flight
+    /// requests whose last *productive* activity (a complete parsed
+    /// frame, or forward progress flushing its responses) is older than
+    /// this is closed — which evicts slow-loris peers dripping partial
+    /// frames, clients that never read their responses, and plain idle
+    /// sockets. `None` (the default) never reaps.
+    pub idle_timeout: Option<Duration>,
+    /// Deterministic fault-injection plan for chaos testing; `None` (the
+    /// default) injects nothing and costs one branch per I/O call.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for ServeConfig {
@@ -97,6 +119,9 @@ impl Default for ServeConfig {
             write_buf_cap: 256 * 1024,
             stats_addr: None,
             sock_buf: None,
+            deadline: None,
+            idle_timeout: None,
+            fault: None,
         }
     }
 }
@@ -105,11 +130,17 @@ impl Default for ServeConfig {
 /// Per-model counters live in the registry
 /// ([`ModelRegistry::stats`](crate::ModelRegistry::stats)).
 ///
-/// The counters reconcile: every well-formed request is counted exactly
-/// once, as `received` (accepted into a queue, later `served`),
-/// `overloaded` (shed), or `rejected` (typed error) — so at quiescence
-/// `received == served` holds even across a shutdown that sheds its
-/// tail.
+/// The counters reconcile: every request frame taken off the wire is
+/// counted exactly once on the outcome side, so at quiescence
+///
+/// ```text
+/// received == served + overloaded + deadline_expired
+///           + rejected + protocol_errors
+/// ```
+///
+/// holds — even across worker panics, injected faults, and a shutdown
+/// that sheds its tail. The chaos suite replays seeded fault schedules
+/// against exactly this equation.
 #[derive(Debug, Default)]
 pub struct ServerStats {
     pub(crate) received: AtomicU64,
@@ -119,13 +150,21 @@ pub struct ServerStats {
     pub(crate) protocol_errors: AtomicU64,
     pub(crate) rejected: AtomicU64,
     pub(crate) overloaded: AtomicU64,
+    pub(crate) deadline_expired: AtomicU64,
+    pub(crate) worker_panics: AtomicU64,
+    pub(crate) reaped: AtomicU64,
 }
 
 impl ServerStats {
-    /// Requests accepted into a pending queue so far (all models). Shed
-    /// and rejected requests are *not* counted here — see
-    /// [`overloaded`](Self::overloaded) and [`rejected`](Self::rejected)
-    /// — so this reconciles with [`served`](Self::served) at quiescence.
+    /// Complete request frames consumed off the wire so far (all
+    /// models), plus one for each connection whose stream became
+    /// unparseable — the poisoned tail counts as a single final unit so
+    /// [`protocol_errors`](Self::protocol_errors) reconciles. Every unit
+    /// counted here later lands in exactly one of
+    /// [`served`](Self::served), [`overloaded`](Self::overloaded),
+    /// [`deadline_expired`](Self::deadline_expired),
+    /// [`rejected`](Self::rejected), or
+    /// [`protocol_errors`](Self::protocol_errors).
     pub fn received(&self) -> u64 {
         self.received.load(Ordering::Relaxed)
     }
@@ -161,9 +200,32 @@ impl ServerStats {
 
     /// Well-formed requests shed with
     /// [`STATUS_OVERLOADED`](crate::protocol::STATUS_OVERLOADED) because
-    /// every bounded queue shard was full (or closing under shutdown).
+    /// every bounded queue shard was full (or closing under shutdown),
+    /// or because a worker panic shed the requests it was holding.
     pub fn overloaded(&self) -> u64 {
         self.overloaded.load(Ordering::Relaxed)
+    }
+
+    /// Accepted requests shed with
+    /// [`STATUS_DEADLINE_EXCEEDED`](crate::protocol::STATUS_DEADLINE_EXCEEDED)
+    /// because they aged past [`ServeConfig::deadline`] while queued.
+    pub fn deadline_expired(&self) -> u64 {
+        self.deadline_expired.load(Ordering::Relaxed)
+    }
+
+    /// Worker batch evaluations that panicked and were contained: the
+    /// worker shed the requests it was holding (they count under
+    /// [`overloaded`](Self::overloaded)) and kept running instead of
+    /// wedging the poller.
+    pub fn worker_panics(&self) -> u64 {
+        self.worker_panics.load(Ordering::Relaxed)
+    }
+
+    /// Idle data connections closed by the reaper
+    /// ([`ServeConfig::idle_timeout`]): slow-loris peers, clients that
+    /// never read responses, and plain idle sockets.
+    pub fn reaped(&self) -> u64 {
+        self.reaped.load(Ordering::Relaxed)
     }
 
     /// Mean requests per evaluated batch — the lane-occupancy figure the
@@ -375,6 +437,10 @@ impl Server {
         let stopping = Arc::new(AtomicBool::new(false));
         let finishing = Arc::new(AtomicBool::new(false));
         let waker = Arc::new(Waker::new()?);
+        let fault = config
+            .fault
+            .clone()
+            .map(|plan| Arc::new(FaultInjector::new(plan)));
         let (completion_tx, completion_rx) = mpsc::channel::<Completion>();
 
         // Build the event loop up front so fd registration failures
@@ -391,30 +457,27 @@ impl Server {
             finishing: Arc::clone(&finishing),
             write_buf_cap: config.write_buf_cap,
             sock_buf: config.sock_buf,
+            idle_timeout: config.idle_timeout,
+            fault: fault.clone(),
         })?;
 
         let mut worker_threads = Vec::with_capacity(config.workers);
         for i in 0..config.workers {
-            let registry = Arc::clone(&registry);
             let shards = Arc::clone(&shards);
-            let stats = Arc::clone(&stats);
-            let completions = completion_tx.clone();
-            let waker = Arc::clone(&waker);
-            let (linger, max_batch) = (config.linger, config.max_batch);
+            let worker = Worker {
+                registry: Arc::clone(&registry),
+                stats: Arc::clone(&stats),
+                completions: completion_tx.clone(),
+                waker: Arc::clone(&waker),
+                max_batch: config.max_batch,
+                linger: config.linger,
+                deadline: config.deadline,
+                fault: fault.clone(),
+            };
             worker_threads.push(
                 std::thread::Builder::new()
                     .name(format!("poetbin-worker-{i}"))
-                    .spawn(move || {
-                        worker_loop(
-                            &registry,
-                            &shards[i],
-                            &stats,
-                            &completions,
-                            &waker,
-                            max_batch,
-                            linger,
-                        );
-                    })?,
+                    .spawn(move || worker.run(&shards[i]))?,
             );
         }
         // Only workers hold senders now: once they exit, the poller's
@@ -496,12 +559,59 @@ impl Server {
         }
     }
 
+    /// Graceful drain with a watchdog: like [`shutdown`](Self::shutdown)
+    /// — stop accepting, evaluate what is queued, flush every response —
+    /// but bounded by `grace`. Returns `true` when every thread joined
+    /// within the budget; `false` abandons whatever is still wedged
+    /// (those detached threads die with the process — the watchdog
+    /// guarantees the *caller* makes progress, not that a stuck thread
+    /// is reclaimed).
+    pub fn shutdown_within(mut self, grace: Duration) -> bool {
+        let deadline = Instant::now() + grace;
+        self.stop();
+        let mut workers = std::mem::take(&mut self.worker_threads);
+        let workers_done = join_all_within(&mut workers, deadline);
+        // Even with a wedged worker, let the poller flush what it has:
+        // `finishing` drives its exit without waiting on the channel.
+        self.finishing.store(true, Ordering::SeqCst);
+        let _ = self.waker.wake();
+        let mut poller: Vec<JoinHandle<()>> = self.poller_thread.take().into_iter().collect();
+        // Give the poller at least a tick even when the workers ate the
+        // whole grace budget.
+        let poller_by = deadline.max(Instant::now() + Duration::from_millis(10));
+        let poller_done = join_all_within(&mut poller, poller_by);
+        workers_done && poller_done
+    }
+
     fn stop(&self) {
         self.stopping.store(true, Ordering::SeqCst);
         for shard in self.shards.iter() {
             shard.close();
         }
         let _ = self.waker.wake();
+    }
+}
+
+/// Joins every handle that finishes before `deadline`; handles still
+/// running then are dropped (detached). Returns whether all joined.
+fn join_all_within(handles: &mut Vec<JoinHandle<()>>, deadline: Instant) -> bool {
+    loop {
+        let mut i = 0;
+        while i < handles.len() {
+            if handles[i].is_finished() {
+                let _ = handles.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
+        }
+        if handles.is_empty() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            handles.clear();
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(1));
     }
 }
 
@@ -518,87 +628,208 @@ impl Drop for Server {
     }
 }
 
+/// How one model group's evaluation ended (inside the panic boundary).
+enum GroupEval {
+    /// `preds[..lanes]` holds the argmaxes; account and send `STATUS_OK`.
+    Served,
+    /// The registry had no such model (defensive — the poller validates
+    /// ids, and registered models are never removed).
+    UnknownModel,
+}
+
 /// One engine worker: block on this worker's shard for up to a lane
-/// block's worth of requests (`64 · B`), group them by model, pack each
-/// group and evaluate it in one blocked tape pass, hand each argmax to
-/// the poller as a [`Completion`] and ring the waker.
+/// block's worth of requests (`64 · B`), shed anything that aged past
+/// the deadline, group the rest by model, pack each group and evaluate
+/// it in one blocked tape pass, hand each argmax to the poller as a
+/// [`Completion`] and ring the waker.
+///
+/// Each group is evaluated inside a panic boundary: a panic (engine bug,
+/// or an injected chaos fault) is contained to the batch in hand — the
+/// worker sheds the unanswered requests with `STATUS_OVERLOADED`, drops
+/// its scratch cache, and keeps serving instead of wedging the poller.
+/// Completions are only sent *after* the boundary, so a panicked group
+/// never double-answers: every request is answered exactly once, as a
+/// prediction or as a typed shed.
 ///
 /// Scratch buffers are cached per model and invalidated by the slot
 /// version, so a hot-swapped engine (whose compiled plan may differ in
 /// size) never sees scratch sized for its predecessor.
-fn worker_loop(
-    registry: &ModelRegistry,
-    shard: &Shard,
-    stats: &ServerStats,
-    completions: &mpsc::Sender<Completion>,
-    waker: &Waker,
+struct Worker {
+    registry: Arc<ModelRegistry>,
+    stats: Arc<ServerStats>,
+    completions: mpsc::Sender<Completion>,
+    waker: Arc<Waker>,
     max_batch: usize,
     linger: Duration,
-) {
-    let mut scratch_cache: HashMap<u16, (u64, Scratch)> = HashMap::new();
-    let mut batch: Vec<Pending> = Vec::with_capacity(max_batch);
-    let mut blocks: Vec<u64> = Vec::new();
-    let mut preds = vec![0usize; max_batch];
-    while shard.pop_batch(max_batch, linger, &mut batch) {
-        // Group by model; stable, so FIFO order survives within a model.
-        batch.sort_by_key(|p| p.model_id);
-        let mut rest = std::mem::take(&mut batch);
-        while !rest.is_empty() {
-            let model_id = rest[0].model_id;
-            let split = rest.partition_point(|p| p.model_id == model_id);
-            let group: Vec<Pending> = rest.drain(..split).collect();
-            let Some((engine, version)) = registry.snapshot(model_id) else {
-                // The poller validates ids against the registry, and
-                // registered models are never removed — defensive only.
-                for p in group {
-                    let _ = completions.send(Completion {
-                        conn: p.conn,
-                        id: p.id,
-                        status: STATUS_UNKNOWN_MODEL,
-                        class: 0,
-                    });
-                }
-                let _ = waker.wake();
+    deadline: Option<Duration>,
+    fault: Option<Arc<FaultInjector>>,
+}
+
+impl Worker {
+    fn run(&self, shard: &Shard) {
+        let mut scratch_cache: HashMap<u16, (u64, Scratch)> = HashMap::new();
+        let mut batch: Vec<Pending> = Vec::with_capacity(self.max_batch);
+        let mut expired: Vec<Pending> = Vec::new();
+        let mut blocks: Vec<u64> = Vec::new();
+        let mut preds = vec![0usize; self.max_batch];
+        while shard.pop_batch(
+            self.max_batch,
+            self.linger,
+            self.deadline,
+            &mut batch,
+            &mut expired,
+        ) {
+            if !expired.is_empty() {
+                self.shed(&expired, STATUS_DEADLINE_EXCEEDED);
+            }
+            if batch.is_empty() {
                 continue;
-            };
-            // First visit or the slot was swapped: (re)build the scratch
-            // for the engine actually in hand.
-            let stale = !matches!(scratch_cache.get(&model_id), Some((v, _)) if *v == version);
-            if stale {
-                scratch_cache.insert(model_id, (version, engine.scratch()));
             }
-            let (_, scratch) = scratch_cache.get_mut(&model_id).expect("just inserted");
-            let lanes = group.len();
-            let words = lanes.div_ceil(64);
-            pack_block_rows_into(
-                group.iter().map(|p| &p.row),
-                engine.num_features(),
-                words,
-                &mut blocks,
-            );
-            engine.predict_block_into(&blocks, scratch, &mut preds[..lanes]);
-            // Account the batch BEFORE sending its completions: once a
-            // response is observable by a client, the counters must
-            // already cover it, so `received == served` holds at any
-            // externally-visible quiescent point.
-            stats.batches.fetch_add(1, Ordering::Relaxed);
-            stats.served.fetch_add(lanes as u64, Ordering::Relaxed);
-            if let Some(model_stats) = registry.stats(model_id) {
-                model_stats.add_served_batch(lanes as u64);
+            // Group by model; stable, so FIFO order survives within a model.
+            batch.sort_by_key(|p| p.model_id);
+            let mut idx = 0;
+            while idx < batch.len() {
+                let model_id = batch[idx].model_id;
+                let split = batch[idx..].partition_point(|p| p.model_id == model_id);
+                let group = &batch[idx..idx + split];
+                // The panic boundary. `AssertUnwindSafe` is sound here:
+                // on unwind the scratch cache is discarded wholesale and
+                // `blocks`/`preds` are fully overwritten before any
+                // later read, so no torn state is ever observed.
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    self.eval_group(model_id, group, &mut scratch_cache, &mut blocks, &mut preds)
+                }));
+                match outcome {
+                    Ok(GroupEval::Served) => {
+                        let lanes = group.len();
+                        // Account the batch BEFORE sending its
+                        // completions: once a response is observable by
+                        // a client, the counters must already cover it,
+                        // so the reconciliation invariant holds at any
+                        // externally-visible quiescent point.
+                        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+                        self.stats.served.fetch_add(lanes as u64, Ordering::Relaxed);
+                        if let Some(model_stats) = self.registry.stats(model_id) {
+                            model_stats.add_served_batch(lanes as u64);
+                        }
+                        for (pending, &class) in group.iter().zip(&preds) {
+                            // A send error only means the poller is
+                            // already gone (abandoned drop); nothing to
+                            // route the reply to.
+                            let _ = self.completions.send(Completion {
+                                conn: pending.conn,
+                                id: pending.id,
+                                status: STATUS_OK,
+                                class: class as u16,
+                            });
+                        }
+                        let _ = self.waker.wake();
+                        idx += split;
+                    }
+                    Ok(GroupEval::UnknownModel) => {
+                        // Counted as rejected so the global equation
+                        // still reconciles on this (unreachable) path.
+                        self.stats
+                            .rejected
+                            .fetch_add(group.len() as u64, Ordering::Relaxed);
+                        for p in group {
+                            let _ = self.completions.send(Completion {
+                                conn: p.conn,
+                                id: p.id,
+                                status: STATUS_UNKNOWN_MODEL,
+                                class: 0,
+                            });
+                        }
+                        let _ = self.waker.wake();
+                        idx += split;
+                    }
+                    Err(_panic) => {
+                        // Contain the crash: no completion was sent for
+                        // this group, so shedding the whole tail answers
+                        // every outstanding request exactly once. The
+                        // scratch cache may hold torn state — rebuild.
+                        self.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+                        scratch_cache.clear();
+                        self.shed(&batch[idx..], STATUS_OVERLOADED);
+                        idx = batch.len();
+                    }
+                }
             }
-            for (pending, &class) in group.into_iter().zip(&preds) {
-                // A send error only means the poller is already gone
-                // (abandoned drop); nothing to route the reply to.
-                let _ = completions.send(Completion {
-                    conn: pending.conn,
-                    id: pending.id,
-                    status: STATUS_OK,
-                    class: class as u16,
-                });
-            }
-            let _ = waker.wake();
+            batch.clear();
         }
-        // Hand the drained allocation back for the next pop.
-        batch = rest;
+    }
+
+    /// Evaluates one same-model group into `preds[..group.len()]`.
+    /// Runs inside the worker's panic boundary.
+    fn eval_group(
+        &self,
+        model_id: u16,
+        group: &[Pending],
+        scratch_cache: &mut HashMap<u16, (u64, Scratch)>,
+        blocks: &mut Vec<u64>,
+        preds: &mut [usize],
+    ) -> GroupEval {
+        let Some((engine, version)) = self.registry.snapshot(model_id) else {
+            return GroupEval::UnknownModel;
+        };
+        // First visit or the slot was swapped: (re)build the scratch
+        // for the engine actually in hand.
+        let stale = !matches!(scratch_cache.get(&model_id), Some((v, _)) if *v == version);
+        if stale {
+            scratch_cache.insert(model_id, (version, engine.scratch()));
+        }
+        let (_, scratch) = scratch_cache.get_mut(&model_id).expect("just inserted");
+        let lanes = group.len();
+        let words = lanes.div_ceil(64);
+        pack_block_rows_into(
+            group.iter().map(|p| &p.row),
+            engine.num_features(),
+            words,
+            blocks,
+        );
+        engine.predict_block_into(blocks, scratch, &mut preds[..lanes]);
+        if let Some(fault) = &self.fault {
+            if fault.should_panic() {
+                // After evaluation, before accounting: the worst spot —
+                // work done, nothing recorded yet.
+                std::panic::panic_any(InjectedPanic);
+            }
+        }
+        GroupEval::Served
+    }
+
+    /// Answers every request in `group` with a typed shed status and
+    /// accounts them (globally, and per-model for deadline sheds).
+    fn shed(&self, group: &[Pending], status: u8) {
+        if group.is_empty() {
+            return;
+        }
+        if status == STATUS_DEADLINE_EXCEEDED {
+            self.stats
+                .deadline_expired
+                .fetch_add(group.len() as u64, Ordering::Relaxed);
+            let mut by_model: HashMap<u16, u64> = HashMap::new();
+            for p in group {
+                *by_model.entry(p.model_id).or_default() += 1;
+            }
+            for (model_id, n) in by_model {
+                if let Some(model_stats) = self.registry.stats(model_id) {
+                    model_stats.add_deadline_expired(n);
+                }
+            }
+        } else {
+            self.stats
+                .overloaded
+                .fetch_add(group.len() as u64, Ordering::Relaxed);
+        }
+        for p in group {
+            let _ = self.completions.send(Completion {
+                conn: p.conn,
+                id: p.id,
+                status,
+                class: 0,
+            });
+        }
+        let _ = self.waker.wake();
     }
 }

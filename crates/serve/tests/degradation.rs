@@ -1,0 +1,250 @@
+//! Graceful-degradation behaviour end to end: per-request deadline
+//! shedding, worker-panic containment, retry-with-jittered-backoff, and
+//! the bounded graceful drain — each checked against the accounting
+//! invariant.
+
+mod common;
+
+use std::collections::HashSet;
+use std::sync::Once;
+use std::time::{Duration, Instant};
+
+use common::{offline, start_test_server, test_row};
+use poetbin_bits::BitVec;
+use poetbin_serve::{Client, FaultPlan, InjectedPanic, Response, RetryPolicy, ServeConfig};
+
+/// Keeps deliberate injected panics out of the test output (real panics
+/// stay visible). Installed once per process.
+fn silence_injected_panics() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedPanic>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// With the linger far past the deadline, every queued request ages out
+/// before a batch forms: all of them come back typed
+/// `DeadlineExceeded`, none are served, and both the global and the
+/// per-model expiry counters account for every one.
+#[test]
+fn deadline_shorter_than_linger_sheds_every_request_typed() {
+    let f = 24;
+    let total = 20usize;
+    let config = ServeConfig {
+        workers: 1,
+        linger: Duration::from_millis(60),
+        deadline: Some(Duration::from_millis(5)),
+        ..ServeConfig::default()
+    };
+    let (server, _engine) = start_test_server(61, f, config);
+    let client = Client::connect(server.local_addr()).expect("connect");
+    let (mut tx, mut rx) = client.into_split();
+
+    let mut sent: HashSet<u64> = HashSet::new();
+    for i in 0..total {
+        sent.insert(tx.send(&test_row(f, 1, i)).expect("send"));
+    }
+    for _ in 0..total {
+        let (id, response) = rx.recv().expect("recv");
+        assert!(sent.remove(&id), "unknown or duplicate response {id}");
+        assert_eq!(response, Response::DeadlineExceeded);
+        assert!(response.is_retryable());
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.deadline_expired(), total as u64);
+    assert_eq!(stats.served(), 0);
+    assert_eq!(
+        stats.received(),
+        stats.served() + stats.overloaded() + stats.deadline_expired() + stats.rejected()
+    );
+    let per_model = server.registry().stats(0).expect("model 0");
+    assert_eq!(per_model.deadline_expired(), total as u64);
+    server.shutdown();
+}
+
+/// A generous deadline never fires: everything is served and matches the
+/// offline path, and the expiry counters stay at zero.
+#[test]
+fn generous_deadline_expires_nothing() {
+    let f = 24;
+    let config = ServeConfig {
+        deadline: Some(Duration::from_secs(10)),
+        ..ServeConfig::default()
+    };
+    let (server, engine) = start_test_server(62, f, config);
+    let rows: Vec<BitVec> = (0..32).map(|i| test_row(f, 2, i)).collect();
+    let expected = offline(&engine, &rows);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(client.predict(row).expect("predict"), expected[i]);
+    }
+    assert_eq!(server.stats().deadline_expired(), 0);
+    assert_eq!(
+        server
+            .registry()
+            .stats(0)
+            .expect("model 0")
+            .deadline_expired(),
+        0
+    );
+    server.shutdown();
+}
+
+/// Every worker batch panics (injected): each request is shed with a
+/// typed `Overloaded` answer instead of vanishing, the worker survives
+/// to shed the next batch, and the panic counter records the blast.
+#[test]
+fn worker_panics_shed_typed_answers_and_the_worker_survives() {
+    silence_injected_panics();
+    let f = 24;
+    let total = 50usize;
+    let config = ServeConfig {
+        workers: 1,
+        fault: Some(FaultPlan {
+            panic: 1, // every batch
+            ..FaultPlan::quiet(63)
+        }),
+        ..ServeConfig::default()
+    };
+    let (server, _engine) = start_test_server(63, f, config);
+    let client = Client::connect(server.local_addr()).expect("connect");
+    let (mut tx, mut rx) = client.into_split();
+    let mut sent: HashSet<u64> = HashSet::new();
+    for i in 0..total {
+        sent.insert(tx.send(&test_row(f, 3, i)).expect("send"));
+    }
+    for _ in 0..total {
+        let (id, response) = rx.recv().expect("recv");
+        assert!(sent.remove(&id), "unknown or duplicate response {id}");
+        assert_eq!(response, Response::Overloaded, "panic-shed must be typed");
+    }
+    let stats = server.stats();
+    assert_eq!(stats.served(), 0);
+    assert_eq!(stats.overloaded(), total as u64);
+    assert!(stats.worker_panics() >= 1);
+    assert_eq!(stats.received(), stats.overloaded());
+    server.shutdown();
+}
+
+/// Retry-with-jittered-backoff rides through intermittent injected
+/// panics: every prediction eventually lands (and matches the offline
+/// path), with the retry count reported separately.
+#[test]
+fn predict_with_backoff_rides_through_intermittent_panics() {
+    silence_injected_panics();
+    let f = 24;
+    let config = ServeConfig {
+        workers: 1,
+        fault: Some(FaultPlan {
+            panic: 4, // one batch in four
+            ..FaultPlan::quiet(64)
+        }),
+        ..ServeConfig::default()
+    };
+    let (server, engine) = start_test_server(64, f, config);
+    let rows: Vec<BitVec> = (0..30).map(|i| test_row(f, 4, i)).collect();
+    let expected = offline(&engine, &rows);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let policy = RetryPolicy {
+        max_retries: 12,
+        ..RetryPolicy::default()
+    };
+    let mut retries = 0u32;
+    for (i, row) in rows.iter().enumerate() {
+        let (class, attempts) = client
+            .predict_with_backoff(0, row, &policy)
+            .expect("backoff must outlast a 1-in-4 panic rate");
+        assert_eq!(class, expected[i], "row {i}");
+        retries += attempts;
+    }
+    assert!(
+        retries > 0,
+        "a 1-in-4 panic rate over 30 single-request batches must force retries"
+    );
+    assert!(server.stats().worker_panics() >= 1);
+    server.shutdown();
+}
+
+/// The backoff schedule itself: deterministic in `(seed, salt, attempt)`,
+/// bounded by `min(cap, base·2^k)`, and actually jittered across salts.
+#[test]
+fn backoff_is_deterministic_bounded_and_jittered() {
+    let policy = RetryPolicy::default();
+    let mut distinct: HashSet<u128> = HashSet::new();
+    for attempt in 0..12u32 {
+        let ceiling = policy
+            .base
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(policy.cap);
+        for salt in 0..8u64 {
+            let d = policy.backoff(attempt, salt);
+            assert!(
+                d <= ceiling,
+                "attempt {attempt} salt {salt}: {d:?} > {ceiling:?}"
+            );
+            assert_eq!(d, policy.backoff(attempt, salt), "must be deterministic");
+            distinct.insert(d.as_nanos());
+        }
+    }
+    assert!(
+        distinct.len() > 48,
+        "full jitter must spread sleeps, got {} distinct values",
+        distinct.len()
+    );
+}
+
+/// Graceful drain under load: `shutdown_within` stops accepting, lets
+/// the in-flight work finish, and reports completion inside its grace —
+/// with the counters reconciled and no response lost or duplicated for
+/// the frames the server actually took.
+#[test]
+fn shutdown_within_drains_in_flight_and_returns_true() {
+    let f = 24;
+    let total = 200usize;
+    let config = ServeConfig {
+        workers: 2,
+        linger: Duration::from_millis(5),
+        ..ServeConfig::default()
+    };
+    let (server, _engine) = start_test_server(65, f, config);
+    let client = Client::connect(server.local_addr()).expect("connect");
+    let (mut tx, mut rx) = client.into_split();
+    for i in 0..total {
+        tx.send(&test_row(f, 5, i)).expect("send");
+    }
+    let reader = std::thread::spawn(move || {
+        // Drain until the server hangs up (it flushes what it accepted,
+        // then closes); every answer must be unique.
+        let mut seen: HashSet<u64> = HashSet::new();
+        while let Ok((id, _response)) = rx.recv() {
+            assert!(seen.insert(id), "duplicate response {id}");
+        }
+        seen.len() as u64
+    });
+    // A tiny head start so the burst is genuinely in flight at drain.
+    std::thread::sleep(Duration::from_millis(10));
+    let stats = server.stats_handle();
+    let begun = Instant::now();
+    assert!(
+        server.shutdown_within(Duration::from_secs(10)),
+        "drain watchdog expired"
+    );
+    assert!(begun.elapsed() < Duration::from_secs(10));
+    let answered = reader.join().expect("reader");
+    assert_eq!(
+        stats.received(),
+        stats.served() + stats.overloaded() + stats.rejected(),
+        "drain lost requests"
+    );
+    assert_eq!(
+        answered,
+        stats.received(),
+        "every frame the server took must be answered before the close"
+    );
+}

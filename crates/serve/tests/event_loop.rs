@@ -94,7 +94,8 @@ fn partial_and_coalesced_frames_reassemble_correctly() {
 /// linger holding batches back, a burst far past capacity must be shed
 /// with typed `STATUS_OVERLOADED` responses — queue depth stays bounded,
 /// nothing is silently dropped, and the counters reconcile exactly
-/// (`received == served`, sheds counted separately).
+/// (`received == served + overloaded`; every wire frame lands in exactly
+/// one outcome counter).
 #[test]
 fn overload_sheds_typed_responses_and_queue_depth_stays_bounded() {
     let f = 16;
@@ -149,8 +150,8 @@ fn overload_sheds_typed_responses_and_queue_depth_stays_bounded() {
     assert_eq!(stats.overloaded(), overloaded);
     assert_eq!(
         stats.received(),
-        stats.served(),
-        "received must count only requests that entered a queue"
+        stats.served() + stats.overloaded(),
+        "every wire frame must land in exactly one outcome counter"
     );
     assert_eq!(stats.rejected(), 0);
     server.shutdown();
@@ -213,23 +214,28 @@ fn slow_reader_pauses_reads_and_stops_engine_work() {
     // not reading. Keep sampling until two consecutive 200ms windows see
     // no movement.
     let deadline = Instant::now() + Duration::from_secs(20);
-    let mut last = (server.stats().received(), server.stats().served());
+    let sample = || {
+        let s = server.stats();
+        (s.received(), s.served(), s.overloaded())
+    };
+    let mut last = sample();
     let mut quiet = 0;
     while quiet < 2 {
         assert!(Instant::now() < deadline, "pipeline never stalled");
         std::thread::sleep(Duration::from_millis(200));
-        let now = (server.stats().received(), server.stats().served());
+        let now = sample();
         quiet = if now == last { quiet + 1 } else { 0 };
         last = now;
     }
-    let (stalled_received, stalled_served) = last;
+    let (stalled_received, stalled_served, stalled_overloaded) = last;
     assert!(
         (stalled_received as usize) < total,
         "server processed all {total} requests while the client read nothing — \
          write backpressure never paused its reads"
     );
     assert_eq!(
-        stalled_served, stalled_received,
+        stalled_served + stalled_overloaded,
+        stalled_received,
         "engine must have drained the queue and gone idle"
     );
     assert_eq!(server.queue_depth(), 0, "queue must be drained at a stall");
@@ -258,7 +264,7 @@ fn slow_reader_pauses_reads_and_stops_engine_work() {
     assert_eq!(classes + overloaded, total as u64);
     let stats = server.stats();
     assert_eq!(stats.served(), classes);
-    assert_eq!(stats.received(), stats.served());
+    assert_eq!(stats.received(), stats.served() + stats.overloaded());
     assert_eq!(stats.overloaded(), overloaded);
     server.shutdown();
 }
@@ -291,14 +297,15 @@ fn abrupt_disconnect_mid_flight_tears_down_and_reconciles() {
     let deadline = Instant::now() + Duration::from_secs(10);
     loop {
         let stats = server.stats();
-        if stats.received() == stats.served() && server.queue_depth() == 0 {
+        if stats.received() == stats.served() + stats.overloaded() && server.queue_depth() == 0 {
             break;
         }
         assert!(
             Instant::now() < deadline,
-            "counters never reconciled: received {} served {}",
+            "counters never reconciled: received {} served {} overloaded {}",
             stats.received(),
-            stats.served()
+            stats.served(),
+            stats.overloaded()
         );
         std::thread::sleep(Duration::from_millis(20));
     }
@@ -375,7 +382,7 @@ fn shutdown_under_load_joins_promptly_and_counters_reconcile() {
         .expect("shutdown wedged under load");
     assert_eq!(
         stats.received(),
-        stats.served(),
+        stats.served() + stats.overloaded() + stats.rejected(),
         "requests vanished across shutdown: received {} served {} (shed {}, rejected {})",
         stats.received(),
         stats.served(),
@@ -443,7 +450,7 @@ fn interleaved_good_and_bad_frames_each_get_one_typed_answer() {
     let stats = server.stats();
     assert_eq!(stats.rejected(), 2 * rounds);
     assert_eq!(stats.protocol_errors(), 0);
-    assert_eq!(stats.received(), stats.served());
+    assert_eq!(stats.received(), stats.served() + stats.rejected());
     server.shutdown();
 }
 

@@ -1,0 +1,126 @@
+//! Hot-swap robustness: a damaged `POETBIN2` artifact pushed through
+//! [`ModelRegistry::swap_validated`] must be rejected *before* the atomic
+//! swap — the live engine keeps serving, connected clients never notice,
+//! and the same bytes untorn then swap cleanly. The corpus reuses the
+//! decoder fuzz families from the persistence suite (truncations, bit
+//! flips) at the serving layer.
+//!
+//! [`ModelRegistry::swap_validated`]: poetbin_serve::ModelRegistry::swap_validated
+
+mod common;
+
+use common::{offline, start_test_server, test_classifier, test_row};
+use poetbin_bits::BitVec;
+use poetbin_core::{save_classifier, ModelFormat};
+use poetbin_engine::{Backend, ClassifierEngine};
+use poetbin_serve::{torn_copies, Client, ServeConfig};
+
+/// Every torn copy of a valid replacement model must fail validation,
+/// leave the live engine untouched, and leave the client's connection
+/// fully usable — checked with a live prediction after every rejection.
+#[test]
+fn torn_swaps_are_rejected_and_live_traffic_is_undisturbed() {
+    let f = 24;
+    let (server, engine) = start_test_server(81, f, ServeConfig::default());
+    let replacement = test_classifier(82, f);
+    let good = save_classifier(&replacement, ModelFormat::PoetBin2);
+
+    let rows: Vec<BitVec> = (0..16).map(|i| test_row(f, 3, i)).collect();
+    let expected = offline(&engine, &rows);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    for (i, torn) in torn_copies(&good, 0xfeed_beef, 24).iter().enumerate() {
+        let result = server.registry().swap_validated(0, torn, Backend::Interp);
+        assert!(
+            result.is_err(),
+            "torn copy {i} must be rejected, got {result:?}"
+        );
+        let k = i % rows.len();
+        assert_eq!(
+            client
+                .predict(&rows[k])
+                .expect("predict after rejected swap"),
+            expected[k],
+            "live model disturbed by rejected swap {i}"
+        );
+    }
+    let stats = server.registry().stats(0).expect("model 0 stats");
+    assert_eq!(stats.swaps(), 0, "a rejected swap must never commit");
+
+    // The same artifact, undamaged, validates and swaps; the connected
+    // client sees the new model's predictions without reconnecting.
+    server
+        .registry()
+        .swap_validated(0, &good, Backend::Interp)
+        .expect("the undamaged artifact must swap");
+    assert_eq!(server.registry().stats(0).expect("stats").swaps(), 1);
+    let swapped = ClassifierEngine::compile(&replacement, f).expect("compiles");
+    let now_expected = offline(&swapped, &rows);
+    for (k, row) in rows.iter().enumerate() {
+        assert_eq!(
+            client.predict(row).expect("predict after swap"),
+            now_expected[k],
+            "row {k} must follow the swapped-in model"
+        );
+    }
+    server.shutdown();
+}
+
+/// Random bit flips over the whole artifact (the decoder fuzz family,
+/// replayed at the serving layer): every mutation either fails validation
+/// or — if it survives decode, compile, and the canary — commits a
+/// *working* engine. Either way the server keeps answering correctly.
+#[test]
+fn bit_flipped_swaps_never_panic_and_never_break_serving() {
+    let f = 24;
+    let (server, _engine) = start_test_server(83, f, ServeConfig::default());
+    let replacement = test_classifier(84, f);
+    let good = save_classifier(&replacement, ModelFormat::PoetBin2);
+
+    let row = test_row(f, 4, 0);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let mut state = 0x8f1b_bcdc_u64;
+    let mut committed = 0u64;
+    for i in 0..200 {
+        // Deterministic xorshift positions — the corpus is reproducible.
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let mut corrupt = good.clone();
+        let pos = (state as usize) % corrupt.len();
+        corrupt[pos] ^= 1 << (state % 8);
+        if server
+            .registry()
+            .swap_validated(0, &corrupt, Backend::Interp)
+            .is_ok()
+        {
+            // A flip in format slack can survive the full gauntlet; the
+            // canary guarantees whatever committed actually predicts.
+            committed += 1;
+        }
+        if i % 20 == 0 {
+            let class = client.predict(&row).expect("predict under swap fuzzing");
+            let classes = client.models()[0].classes;
+            assert!(class < classes, "out-of-range class {class}");
+        }
+    }
+    // The overwhelming majority of flips must be caught by validation
+    // (section CRCs localise single-bit damage); a tiny survivor count
+    // is possible, a large one means validation is not running.
+    assert!(
+        committed <= 10,
+        "{committed}/200 corrupt artifacts passed validation"
+    );
+
+    // Restore the known-good artifact and confirm the served prediction
+    // matches an offline compile of the same classifier.
+    server
+        .registry()
+        .swap_validated(0, &good, Backend::Interp)
+        .expect("known-good artifact swaps");
+    let swapped = ClassifierEngine::compile(&replacement, f).expect("compiles");
+    let after = offline(&swapped, std::slice::from_ref(&row))[0];
+    assert_eq!(client.predict(&row).expect("predict"), after);
+    server.shutdown();
+}

@@ -1,0 +1,199 @@
+//! Idle-connection reaping: slow-loris peers dripping partial frames,
+//! clients that never read their responses, and abrupt disconnects
+//! mid-frame — all under injected partial reads — must be torn down by
+//! [`ServeConfig::idle_timeout`] without ever touching a healthy, active
+//! client.
+//!
+//! [`ServeConfig::idle_timeout`]: poetbin_serve::ServeConfig::idle_timeout
+
+mod common;
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use common::{start_test_server, test_row};
+use poetbin_bits::BitVec;
+use poetbin_serve::protocol;
+use poetbin_serve::{Client, FaultPlan, ServeConfig};
+
+/// One request frame as raw wire bytes.
+fn raw_frame(model_id: u16, id: u64, row: &BitVec) -> Vec<u8> {
+    let mut wire = Vec::new();
+    protocol::write_frame(&mut wire, &protocol::encode_request(model_id, id, row))
+        .expect("writing to a Vec cannot fail");
+    wire
+}
+
+/// Polls a counter until it reaches `want` or the deadline passes.
+fn wait_for(what: &str, deadline: Duration, mut read: impl FnMut() -> u64, want: u64) {
+    let wall = Instant::now() + deadline;
+    while read() < want {
+        assert!(
+            Instant::now() < wall,
+            "{what} never reached {want} (at {})",
+            read()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// A slow-loris peer drips one byte of a frame at a time and never
+/// completes it: partial bytes are deliberately not "activity", so the
+/// connection is reaped mid-drip — while an actively predicting client
+/// on the same server, with injected short reads in play, is untouched.
+#[test]
+fn slow_loris_is_reaped_while_active_client_survives() {
+    let f = 24;
+    let config = ServeConfig {
+        idle_timeout: Some(Duration::from_millis(150)),
+        fault: Some(FaultPlan {
+            short_read: 3,
+            ..FaultPlan::quiet(11)
+        }),
+        ..ServeConfig::default()
+    };
+    let (server, _engine) = start_test_server(91, f, config);
+
+    let mut loris = TcpStream::connect(server.local_addr()).expect("connect loris");
+    loris.set_nodelay(true).expect("nodelay");
+    protocol::read_hello(&mut loris).expect("hello");
+    let frame = raw_frame(0, 1, &test_row(f, 1, 0));
+
+    let mut client = Client::connect(server.local_addr()).expect("connect active");
+    // Drip for ~600ms — four idle timeouts — never completing the frame,
+    // while the active client predicts throughout.
+    for (i, byte) in frame.iter().take(14).enumerate() {
+        // The loris socket may die mid-drip once the server reaps it;
+        // that is the expected outcome, not a test failure.
+        let _ = loris.write_all(std::slice::from_ref(byte));
+        client
+            .predict(&test_row(f, 2, i))
+            .expect("active client must survive the reaper");
+        std::thread::sleep(Duration::from_millis(45));
+    }
+
+    wait_for(
+        "reaped",
+        Duration::from_secs(5),
+        || server.stats().reaped(),
+        1,
+    );
+    // The reaped socket is really closed: the loris reads EOF (or a
+    // reset), never a response.
+    loris
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .expect("read timeout");
+    let mut buf = [0u8; 16];
+    match loris.read(&mut buf) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!("reaped connection produced {n} bytes"),
+    }
+    // And the active client still works.
+    client.predict(&test_row(f, 2, 99)).expect("still serving");
+    server.shutdown();
+}
+
+/// A client that pipelines requests and then never reads: once its
+/// responses are flushed into the socket buffer and nothing is in
+/// flight, the connection goes quiet and must be reaped.
+#[test]
+fn client_that_never_reads_responses_is_reaped() {
+    let f = 24;
+    let config = ServeConfig {
+        idle_timeout: Some(Duration::from_millis(150)),
+        fault: Some(FaultPlan {
+            short_read: 2,
+            short_write: 3,
+            ..FaultPlan::quiet(12)
+        }),
+        ..ServeConfig::default()
+    };
+    let (server, _engine) = start_test_server(92, f, config);
+
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    protocol::read_hello(&mut stream).expect("hello");
+    let mut wire = Vec::new();
+    for i in 0..5u64 {
+        wire.extend_from_slice(&raw_frame(0, i, &test_row(f, 3, i as usize)));
+    }
+    stream.write_all(&wire).expect("pipelined write");
+    // Never read. All five answers flush into kernel buffers, in-flight
+    // drops to zero, and the idle clock runs out.
+    wait_for(
+        "reaped",
+        Duration::from_secs(5),
+        || server.stats().reaped(),
+        1,
+    );
+
+    let stats = server.stats();
+    assert_eq!(stats.received(), 5);
+    assert_eq!(stats.served() + stats.overloaded(), 5);
+    // The server stays healthy for the next client.
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.predict(&test_row(f, 4, 0)).expect("predict");
+    server.shutdown();
+}
+
+/// A peer that vanishes mid-frame (half a request on the wire, socket
+/// dropped) under injected one-byte reads: the completed frames are
+/// answered, the dangling half-frame is discarded with the connection,
+/// and the counters reconcile.
+#[test]
+fn abrupt_disconnect_mid_frame_under_short_reads_reconciles() {
+    let f = 24;
+    let config = ServeConfig {
+        idle_timeout: Some(Duration::from_millis(150)),
+        fault: Some(FaultPlan {
+            short_read: 1, // every read delivers a single byte
+            eagain: 4,
+            ..FaultPlan::quiet(13)
+        }),
+        ..ServeConfig::default()
+    };
+    let (server, _engine) = start_test_server(93, f, config);
+
+    {
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        protocol::read_hello(&mut stream).expect("hello");
+        let mut wire = Vec::new();
+        for i in 0..2u64 {
+            wire.extend_from_slice(&raw_frame(0, i, &test_row(f, 5, i as usize)));
+        }
+        let half = raw_frame(0, 2, &test_row(f, 5, 2));
+        wire.extend_from_slice(&half[..half.len() / 2]);
+        stream.write_all(&wire).expect("write");
+        // Read both real answers (one byte at a time server-side), then
+        // vanish with the half-frame still dangling.
+        for _ in 0..2 {
+            protocol::read_frame(&mut stream, protocol::RESPONSE_LEN)
+                .expect("read response")
+                .expect("a response");
+        }
+    }
+
+    // Quiescence: the two whole frames are the only received units; the
+    // dangling half-frame died with the socket, uncounted.
+    let wall = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = server.stats();
+        if stats.received() == 2 && stats.served() + stats.overloaded() == 2 {
+            break;
+        }
+        assert!(
+            Instant::now() < wall,
+            "counters never reconciled: received {} served {}",
+            stats.received(),
+            stats.served()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.stats().protocol_errors(), 0);
+
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.predict(&test_row(f, 6, 0)).expect("predict");
+    server.shutdown();
+}

@@ -31,6 +31,8 @@
 
 use std::io;
 use std::os::fd::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// The raw libc surface. Kernel ABI constants are from the Linux UAPI
@@ -72,8 +74,16 @@ mod sys {
     /// `SO_RCVBUF`.
     pub const SO_RCVBUF: c_int = 8;
 
+    /// `SIGINT`.
+    pub const SIGINT: c_int = 2;
+    /// `SIGTERM`.
+    pub const SIGTERM: c_int = 15;
+    /// `SIG_ERR` as returned by `signal(2)`.
+    pub const SIG_ERR: usize = usize::MAX;
+
     extern "C" {
         pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn signal(signum: c_int, handler: usize) -> usize;
         pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
         pub fn epoll_wait(
             epfd: c_int,
@@ -189,10 +199,34 @@ pub fn set_socket_buffers(fd: RawFd, send: Option<usize>, recv: Option<usize>) -
     Ok(())
 }
 
+/// A fault a [`Poller`] wait hook may inject before the poller blocks —
+/// the seam deterministic chaos tests use to simulate a tardy kernel.
+#[derive(Clone, Copy, Debug)]
+pub enum WaitFault {
+    /// Sleep this long before entering the wait — a delayed wakeup: every
+    /// readiness notification in that window is delivered late, together.
+    Delay(Duration),
+}
+
+type WaitHook = Box<dyn FnMut() -> Option<WaitFault> + Send>;
+
 /// A level-triggered readiness queue over `epoll(7)`.
-#[derive(Debug)]
 pub struct Poller {
     epfd: RawFd,
+    /// Optional fault-injection hook consulted before every wait. The
+    /// `AtomicBool` keeps the no-hook fast path to one relaxed load — no
+    /// lock is ever taken unless a hook was installed.
+    hook_armed: AtomicBool,
+    wait_hook: Mutex<Option<WaitHook>>,
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poller")
+            .field("epfd", &self.epfd)
+            .field("hook_armed", &self.hook_armed.load(Ordering::Relaxed))
+            .finish()
+    }
 }
 
 impl Poller {
@@ -204,7 +238,20 @@ impl Poller {
     pub fn new() -> io::Result<Poller> {
         // SAFETY: no pointers involved; an invalid flag would just error.
         let epfd = cvt(unsafe { sys::epoll_create1(sys::CLOEXEC) })?;
-        Ok(Poller { epfd })
+        Ok(Poller {
+            epfd,
+            hook_armed: AtomicBool::new(false),
+            wait_hook: Mutex::new(None),
+        })
+    }
+
+    /// Installs a fault-injection hook consulted before every
+    /// [`wait`](Self::wait). Returning `Some(WaitFault)` injects that
+    /// fault; `None` waits normally. When no hook is installed the cost
+    /// on the wait path is a single relaxed atomic load.
+    pub fn set_wait_hook(&self, hook: Box<dyn FnMut() -> Option<WaitFault> + Send>) {
+        *self.wait_hook.lock().expect("wait hook lock poisoned") = Some(hook);
+        self.hook_armed.store(true, Ordering::Release);
     }
 
     fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
@@ -260,6 +307,18 @@ impl Poller {
     ///
     /// Propagates `epoll_wait` failure.
     pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        if self.hook_armed.load(Ordering::Relaxed) {
+            let fault = self
+                .wait_hook
+                .lock()
+                .expect("wait hook lock poisoned")
+                .as_mut()
+                .and_then(|hook| hook());
+            match fault {
+                Some(WaitFault::Delay(d)) => std::thread::sleep(d),
+                None => {}
+            }
+        }
         out.clear();
         let mut buf = [sys::EpollEvent { events: 0, data: 0 }; 256];
         let timeout_ms: i32 = match timeout {
@@ -372,6 +431,40 @@ impl Drop for Waker {
     }
 }
 
+/// Process-wide flag set by the [`install_shutdown_flag`] signal handler.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_shutdown_signal(_signum: std::os::raw::c_int) {
+    // Only async-signal-safe work: a single relaxed atomic store.
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Installs `SIGINT`/`SIGTERM` handlers that set a process-wide flag
+/// readable via [`shutdown_requested`], so a server can drain gracefully
+/// instead of dying mid-request. Idempotent; the handler does nothing but
+/// one atomic store (async-signal-safe by construction).
+///
+/// # Errors
+///
+/// Propagates `signal(2)` failure (`SIG_ERR`).
+pub fn install_shutdown_flag() -> io::Result<()> {
+    for signum in [sys::SIGINT, sys::SIGTERM] {
+        // SAFETY: registers an `extern "C"` handler that only performs an
+        // atomic store; `signal(2)` copies nothing from us.
+        let prev = unsafe { sys::signal(signum, on_shutdown_signal as *const () as usize) };
+        if prev == sys::SIG_ERR {
+            return Err(io::Error::last_os_error());
+        }
+    }
+    Ok(())
+}
+
+/// Whether a `SIGINT`/`SIGTERM` arrived since [`install_shutdown_flag`].
+/// The flag latches: it never resets within the process.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -459,6 +552,47 @@ mod tests {
 
         poller.delete(server_side.as_raw_fd()).expect("delete");
         poller.delete(listener.as_raw_fd()).expect("delete");
+    }
+
+    #[test]
+    fn wait_hook_delays_but_preserves_readiness() {
+        use std::sync::atomic::AtomicU32;
+        use std::sync::Arc;
+        use std::time::Instant;
+
+        let poller = Poller::new().expect("epoll");
+        let waker = Waker::new().expect("eventfd");
+        poller
+            .add(waker.as_raw_fd(), T_WAKE, Interest::READ)
+            .expect("add");
+
+        let calls = Arc::new(AtomicU32::new(0));
+        let seen = Arc::clone(&calls);
+        poller.set_wait_hook(Box::new(move || {
+            if seen.fetch_add(1, Ordering::Relaxed) == 0 {
+                Some(WaitFault::Delay(Duration::from_millis(5)))
+            } else {
+                None
+            }
+        }));
+
+        waker.wake().expect("wake");
+        let start = Instant::now();
+        let mut events = Vec::new();
+        poller.wait(&mut events, None).expect("wait");
+        assert!(
+            start.elapsed() >= Duration::from_millis(5),
+            "first wait must absorb the injected delay"
+        );
+        assert_eq!(events.len(), 1, "readiness survives the delayed wakeup");
+        assert_eq!(events[0].token, T_WAKE);
+        assert!(calls.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn shutdown_flag_defaults_off_and_installs() {
+        install_shutdown_flag().expect("install handlers");
+        assert!(!shutdown_requested(), "no signal delivered yet");
     }
 
     #[test]
